@@ -1,0 +1,20 @@
+# Benchmarks are declared from the top level so that build/bench/ holds only
+# the runnable binaries (the documented run command is `for b in build/bench/*`).
+function(vl_add_bench name)
+  add_executable(${name} bench/${name}.cc)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE vl_vision vl_viewql vl_viewcl vl_dbg vl_vkern vl_support)
+endfunction()
+
+vl_add_bench(bench_table2)
+vl_add_bench(bench_table3)
+vl_add_bench(bench_table4)
+vl_add_bench(bench_fig2_focus)
+vl_add_bench(bench_fig4_maple)
+vl_add_bench(bench_fig5_stackrot)
+vl_add_bench(bench_fig7_dirtypipe)
+vl_add_bench(bench_ablation)
+
+add_executable(bench_micro bench/bench_micro.cc)
+set_target_properties(bench_micro PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+target_link_libraries(bench_micro PRIVATE vl_vision vl_viewql vl_viewcl vl_dbg vl_vkern vl_support benchmark::benchmark)

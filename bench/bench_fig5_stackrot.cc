@@ -1,0 +1,63 @@
+// Reproduces paper Figure 5 (CVE-2023-3269): sweeps the StackRot race across
+// every workload process and both a buggy and a "fixed" interleaving,
+// verifying the use-after-free manifests exactly when the reader relies on
+// mmap_lock alone.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/vkern/faults.h"
+
+int main() {
+  std::printf("=== Figure 5: the StackRot (CVE-2023-3269) race, swept across processes "
+              "===\n\n");
+  vlbench::BenchEnv env;
+
+  std::printf("%-6s %-10s %10s %10s %8s %6s\n", "pid", "comm", "on-cblist", "gp-done",
+              "UAF", "fixed");
+  std::printf("%.58s\n", "-------------------------------------------------------------");
+
+  int reproduced = 0;
+  int prevented = 0;
+  int total = 0;
+  for (int p = 0; p < env.workload->nr_processes(); ++p) {
+    vkern::task_struct* victim = env.workload->process(p);
+
+    // Buggy interleaving: reader holds only mmap_lock.
+    vkern::StackRotReport report = vkern::RunStackRotScenario(env.kernel.get(), victim);
+    bool uaf = report.uaf_detected && report.node_was_on_cblist &&
+               report.grace_period_completed;
+    reproduced += uaf ? 1 : 0;
+
+    // "Fixed" interleaving: the reader takes the RCU read lock around the
+    // walk, pinning the grace period for the duration of the access.
+    vkern::mm_struct* mm = victim->mm;
+    vkern::maple_node* node =
+        env.kernel->maple().LeafContaining(&mm->mm_mt, mm->start_stack);
+    bool fixed_ok = false;
+    if (node != nullptr) {
+      env.kernel->rcu().ReadLock(1);
+      env.kernel->maple().RebuildLeaf(&mm->mm_mt, mm->start_stack);
+      env.kernel->rcu().Synchronize();
+      bool freed_during_read =
+          vkern::SlabAllocator::IsPoisoned(node, sizeof(vkern::maple_node));
+      env.kernel->rcu().ReadUnlock(1);
+      env.kernel->rcu().Synchronize();
+      fixed_ok = !freed_during_read;
+      prevented += fixed_ok ? 1 : 0;
+    }
+    ++total;
+
+    std::printf("%-6d %-10s %10s %10s %8s %6s\n", victim->pid, victim->comm,
+                report.node_was_on_cblist ? "yes" : "no",
+                report.grace_period_completed ? "yes" : "no", uaf ? "YES" : "no",
+                fixed_ok ? "safe" : "UAF");
+  }
+
+  std::printf("\nsummary: UAF reproduced %d/%d with mmap_lock only; prevented %d/%d under "
+              "rcu_read_lock\n",
+              reproduced, total, prevented, total);
+  std::printf("paper reference: the mmap read lock does not hold off the RCU grace period "
+              "— that is the root cause\n");
+  return (reproduced == total && prevented == total) ? 0 : 1;
+}

@@ -1,0 +1,131 @@
+// Google-benchmark microbenchmarks for the hot paths: the kernel substrate's
+// data structures, the debugger's C-expression engine, and ViewCL/ViewQL
+// evaluation. These quantify the *host-side* costs the paper's Table 4
+// footnote calls negligible next to transport latency.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/viewcl/interp.h"
+#include "src/viewql/query.h"
+
+namespace {
+
+vlbench::BenchEnv* Env() {
+  static auto* env = new vlbench::BenchEnv(60, dbg::LatencyModel::Free());
+  return env;
+}
+
+void BM_MapleStoreErase(benchmark::State& state) {
+  vlbench::BenchEnv* env = Env();
+  vkern::maple_tree tree;
+  env->kernel->maple().Init(&tree, vkern::MT_FLAGS_ALLOC_RANGE);
+  vkern::kmem_cache* cache = env->kernel->slabs().FindCache("vm_area_struct");
+  void* entry = env->kernel->slabs().Alloc(cache);
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t start = 0x100000 + i * 0x2000;
+    env->kernel->maple().StoreRange(&tree, start, start + 0xfff, entry);
+  }
+  uint64_t cursor = 0;
+  for (auto _ : state) {
+    uint64_t start = 0x100000 + (n + cursor) * 0x2000;
+    benchmark::DoNotOptimize(env->kernel->maple().StoreRange(&tree, start, start + 0xfff,
+                                                             entry));
+    benchmark::DoNotOptimize(env->kernel->maple().Erase(&tree, start));
+    env->kernel->rcu().Synchronize();
+    ++cursor;
+  }
+  env->kernel->maple().Destroy(&tree);
+  env->kernel->rcu().Synchronize();
+  vkern::SlabAllocator::Free(cache, entry);
+}
+BENCHMARK(BM_MapleStoreErase)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_MapleFind(benchmark::State& state) {
+  vlbench::BenchEnv* env = Env();
+  vkern::mm_struct* mm = env->workload->process(0)->mm;
+  uint64_t probe = mm->start_stack;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env->kernel->maple().Find(&mm->mm_mt, probe));
+  }
+}
+BENCHMARK(BM_MapleFind);
+
+void BM_SlabAllocFree(benchmark::State& state) {
+  vlbench::BenchEnv* env = Env();
+  vkern::kmem_cache* cache = env->kernel->slabs().FindCache("vm_area_struct");
+  for (auto _ : state) {
+    void* obj = env->kernel->slabs().Alloc(cache);
+    benchmark::DoNotOptimize(obj);
+    vkern::SlabAllocator::Free(cache, obj);
+  }
+}
+BENCHMARK(BM_SlabAllocFree);
+
+void BM_SchedTick(benchmark::State& state) {
+  vlbench::BenchEnv* env = Env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env->kernel->sched().Tick(0));
+  }
+}
+BENCHMARK(BM_SchedTick);
+
+void BM_ExprMemberChain(benchmark::State& state) {
+  vlbench::BenchEnv* env = Env();
+  for (auto _ : state) {
+    auto v = env->debugger->Eval("init_task.se.vruntime");
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ExprMemberChain);
+
+void BM_ExprHelperCall(benchmark::State& state) {
+  vlbench::BenchEnv* env = Env();
+  for (auto _ : state) {
+    auto v = env->debugger->Eval("cpu_rq(0)->cfs.nr_running + mte_node_type(0x1010)");
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ExprHelperCall);
+
+void BM_ViewClPlotRunqueue(benchmark::State& state) {
+  vlbench::BenchEnv* env = Env();
+  const vision::FigureDef* figure = vision::FindFigure("fig7_1");
+  for (auto _ : state) {
+    viewcl::Interpreter interp(env->debugger.get());
+    auto graph = interp.RunProgram(figure->viewcl);
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_ViewClPlotRunqueue);
+
+void BM_ViewQlSelectUpdate(benchmark::State& state) {
+  vlbench::BenchEnv* env = Env();
+  viewcl::Interpreter interp(env->debugger.get());
+  auto graph = interp.RunProgram(vision::FindFigure("fig3_4")->viewcl);
+  if (!graph.ok()) {
+    state.SkipWithError("plot failed");
+    return;
+  }
+  for (auto _ : state) {
+    viewql::QueryEngine engine(graph->get(), env->debugger.get());
+    benchmark::DoNotOptimize(
+        engine.Execute("a = SELECT task_struct FROM * WHERE mm != NULL\n"
+                       "UPDATE a WITH collapsed: true"));
+  }
+}
+BENCHMARK(BM_ViewQlSelectUpdate);
+
+void BM_TargetRead(benchmark::State& state) {
+  vlbench::BenchEnv* env = Env();
+  uint64_t addr = reinterpret_cast<uint64_t>(env->kernel->procs().init_task());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env->debugger->target().ReadUnsigned(addr, 8));
+  }
+}
+BENCHMARK(BM_TargetRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

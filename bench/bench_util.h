@@ -1,0 +1,64 @@
+// Shared benchmark harness: boots a kernel, runs the paper's workload, and
+// attaches a debugger with figure symbols registered.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <memory>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/vision/figures.h"
+#include "src/vkern/kernel.h"
+#include "src/viewcl/graph.h"
+#include "src/vkern/workload.h"
+
+namespace vlbench {
+
+struct BenchEnv {
+  std::unique_ptr<vkern::Kernel> kernel;
+  std::unique_ptr<vkern::Workload> workload;
+  std::unique_ptr<dbg::KernelDebugger> debugger;
+
+  // `steps` matches the paper's ~500-LoC workload scale by default.
+  explicit BenchEnv(int steps = 120, dbg::LatencyModel model = dbg::LatencyModel::GdbQemu()) {
+    kernel = std::make_unique<vkern::Kernel>();
+    vkern::WorkloadConfig config;
+    config.steps = steps;
+    workload = std::make_unique<vkern::Workload>(kernel.get(), config);
+    workload->Run();
+    // Keep mm_percpu_wq lively so the workqueue figure is non-trivial.
+    kernel->QueueMmPercpuWork(0);
+    kernel->QueueMmPercpuWork(1);
+    debugger = std::make_unique<dbg::KernelDebugger>(kernel.get(), std::move(model));
+    vision::RegisterFigureSymbols(debugger.get(), workload.get());
+  }
+};
+
+// Counts boxes backed by real kernel objects (Table 4's per-object metric).
+inline uint64_t CountObjects(const viewcl::ViewGraph& graph) {
+  uint64_t n = 0;
+  graph.ForEachBox([&n](const viewcl::VBox& box) {
+    if (!box.is_virtual()) {
+      ++n;
+    }
+  });
+  return n;
+}
+
+// Counts edges (links + container members) across active views.
+inline uint64_t CountEdges(const viewcl::ViewGraph& graph) {
+  uint64_t n = 0;
+  graph.ForEachBox([&](const viewcl::VBox& box) {
+    for (const viewcl::ViewInstance& view : box.views()) {
+      n += view.links.size();
+      for (const viewcl::ContainerItem& container : view.containers) {
+        n += container.members.size();
+      }
+    }
+  });
+  return n;
+}
+
+}  // namespace vlbench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,105 @@
+// CVE-2023-3269 "StackRot" case study (paper §3.2, §5.3, Figure 5).
+//
+// Drives the two-CPU race on the live kernel: CPU#1 fetches a maple-tree node
+// under mm_read_lock while CPU#0's expand_stack rebuilds the leaf and defers
+// the free through RCU; the grace period completes anyway (the mmap lock is
+// not an RCU read-side critical section) and CPU#1's stale pointer reads slab
+// poison. Both data structures — the maple tree and the RCU waiting list —
+// are visualized at the interesting breakpoints.
+//
+//   $ ./cve_stackrot
+
+#include <cstdio>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/support/str.h"
+#include "src/viewcl/interp.h"
+#include "src/viewql/query.h"
+#include "src/vision/render.h"
+#include "src/vkern/faults.h"
+#include "src/vkern/kernel.h"
+#include "src/vkern/workload.h"
+
+namespace {
+
+// ViewCL for the per-CPU RCU state and its callback waiting list.
+const char* kRcuProgram = R"(
+define RcuHead as Box<rcu_head> [
+  Text<fptr> func
+  Link next -> RcuHead(${@this.next})
+]
+define RcuData as Box<rcu_data> [
+  Text cpu, cblist_len, nesting, invoked
+  Link cblist -> RcuHead(${@this.cblist_head})
+]
+define RcuState as Box<rcu_state> [
+  Text gp_seq, gp_in_progress
+]
+plot RcuState(${&rcu_state})
+plot RcuData(${&rcu_data[0]})
+plot RcuData(${&rcu_data[1]})
+)";
+
+void Plot(dbg::KernelDebugger* debugger, const char* program, const char* title) {
+  viewcl::Interpreter interp(debugger);
+  auto graph = interp.RunProgram(program);
+  if (!graph.ok()) {
+    std::printf("plot error: %s\n", graph.status().ToString().c_str());
+    return;
+  }
+  std::printf("--- %s ---\n%s\n", title, vision::AsciiRenderer().Render(**graph).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== CVE-2023-3269 (StackRot) interactive reproduction ===\n\n");
+  vkern::Kernel kernel;
+  vkern::Workload workload(&kernel);
+  workload.Run();
+  kernel.rcu().Synchronize();  // drain workload churn so the cblist starts clean
+  dbg::KernelDebugger debugger(&kernel);
+
+  vkern::task_struct* victim = workload.process(0);
+  vkern::mm_struct* mm = victim->mm;
+  std::printf("victim: pid %d (%s), %d VMAs, stack at 0x%llx\n\n", victim->pid, victim->comm,
+              mm->map_count, static_cast<unsigned long long>(mm->start_stack));
+
+  // Breakpoint 1: CPU#1 (the reader) walks the tree under mm_read_lock and
+  // fetches the leaf node containing the stack VMA.
+  std::printf("[CPU#1] mm_read_lock(&mm->mmap_lock); find_vma_prev() -> mas_walk()\n");
+  vkern::maple_node* fetched = kernel.maple().LeafContaining(&mm->mm_mt, mm->start_stack);
+  std::printf("[CPU#1] node pointer fetched: 0x%llx  (NOT under rcu_read_lock!)\n\n",
+              static_cast<unsigned long long>(reinterpret_cast<uint64_t>(fetched)));
+
+  // Breakpoint 2: CPU#0 expands the stack; mas_store_prealloc() rebuilds the
+  // leaf copy-on-write and queues the old node on the RCU waiting list.
+  std::printf("[CPU#0] expand_stack() -> mas_store_prealloc() -> ma_free_rcu(node)\n");
+  kernel.maple().RebuildLeaf(&mm->mm_mt, mm->start_stack);
+  std::printf("[CPU#0] call_rcu(&node->rcu, mt_free_rcu): node is now pending-free\n\n");
+  Plot(&debugger, kRcuProgram, "RCU state: the node sits on CPU#0's waiting list");
+
+  // Breakpoint 3: the grace period elapses — nothing holds it off.
+  std::printf("[CPU#0] mm_read_unlock(); ... rcu_do_batch() -> mt_free_rcu() -> "
+              "kmem_cache_free()\n");
+  kernel.rcu().Synchronize();
+  Plot(&debugger, kRcuProgram, "RCU state: the waiting list has drained");
+
+  // Breakpoint 4: CPU#1 dereferences its stale pointer.
+  bool poisoned = vkern::SlabAllocator::IsPoisoned(fetched, sizeof(vkern::maple_node));
+  std::printf("[CPU#1] mas_prev() -> rcu_dereference_check(node...)\n");
+  std::printf("[CPU#1] *** USE-AFTER-FREE: the node reads as %s ***\n\n",
+              poisoned ? "slab poison (0x6b)" : "live data (?)");
+
+  // The full scripted scenario (what the faults library automates).
+  std::printf("re-running the packaged scenario on another process:\n");
+  vkern::StackRotReport report = vkern::RunStackRotScenario(&kernel, workload.process(1));
+  std::printf("  node 0x%llx: on_cblist=%s, grace_period_completed=%s, uaf_detected=%s\n",
+              static_cast<unsigned long long>(report.fetched_addr),
+              report.node_was_on_cblist ? "yes" : "no",
+              report.grace_period_completed ? "yes" : "no",
+              report.uaf_detected ? "YES" : "no");
+  std::printf("\nconclusion: mmap_lock does not pin RCU readers; the fix must take the RCU\n"
+              "read lock around the walk (see faults_test.cc's control experiment).\n");
+  return report.uaf_detected && poisoned ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// The panel-based interactive debugger (paper §2.4, Figure 2).
+//
+// Runs the v-command shell over a live simulated kernel. With --demo, a
+// scripted session reproduces Figure 2's workflow: two primary panes (the
+// process parenthood tree and the CFS scheduling tree), a "focus" search
+// that finds the same task_struct in both, a secondary pane for the focused
+// object, and a vchat refinement. Without --demo, a REPL reads v-commands
+// from stdin.
+//
+//   $ ./interactive_debugger --demo
+//   $ ./interactive_debugger            # type 'help' for commands
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/support/str.h"
+#include "src/vision/figures.h"
+#include "src/vision/shell.h"
+#include "src/vkern/kernel.h"
+#include "src/vkern/workload.h"
+
+namespace {
+
+void Run(vision::DebuggerShell& shell, const std::string& line) {
+  std::printf("(vdb) %s\n%s\n", line.c_str(), shell.Execute(line).c_str());
+}
+
+int Demo(vision::DebuggerShell& shell, vkern::Kernel& kernel) {
+  std::printf("--- scripted demo: the paper's Figure 2 workflow ---\n\n");
+
+  // Pane 1: the process parenthood tree; pane 2: the CFS scheduling tree.
+  Run(shell, std::string("vplot 1 ") + vision::FindFigure("fig3_4")->viewcl);
+  Run(shell, "vctrl split 1 h");
+  Run(shell, std::string("vplot 2 ") + vision::FindFigure("fig7_1")->viewcl);
+  Run(shell, "vctrl layout");
+
+  // Focus: find a queued task in BOTH structures.
+  vkern::task_struct* queued = nullptr;
+  kernel.sched().ForEachQueued(0, [&](vkern::task_struct* t) {
+    if (queued == nullptr && t->pid > 1) {
+      queued = t;
+    }
+  });
+  if (queued == nullptr) {
+    std::printf("no queued task to focus on\n");
+    return 1;
+  }
+  std::printf("focusing on pid %d (%s), managed by the parent tree AND the run queue:\n\n",
+              queued->pid, queued->comm);
+  Run(shell, vl::StrFormat("vctrl focus pid %d", queued->pid));
+
+  // Refine pane 1 with vchat, then render both panes.
+  Run(shell, "vchat 1 shrink tasks that have no address space");
+  Run(shell, "vctrl view 1");
+  Run(shell, "vctrl view 2");
+
+  // Session persistence: the state is replayable JSON.
+  std::string saved = shell.Execute("vctrl save");
+  std::printf("(vdb) vctrl save\n... %zu bytes of replayable session state ...\n", saved.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Visualinux-CPP interactive debugger ===\n");
+  std::printf("booting the kernel and running the workload...\n\n");
+  vkern::Kernel kernel;
+  vkern::Workload workload(&kernel);
+  workload.Run();
+  dbg::KernelDebugger debugger(&kernel);
+  vision::RegisterFigureSymbols(&debugger, &workload);
+  vision::DebuggerShell shell(&debugger);
+
+  if (argc > 1 && std::strcmp(argv[1], "--demo") == 0) {
+    return Demo(shell, kernel);
+  }
+
+  std::printf("%s", shell.Execute("help").c_str());
+  std::string line;
+  while (true) {
+    std::printf("(vdb) ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    if (line == "quit" || line == "exit") {
+      break;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    std::printf("%s", shell.Execute(line).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// KernelDebugger: attaches the debugger substrate to a simulated kernel.
+//
+// This plays the role of `gdb vmlinux` + the Visualinux GDB scripts: it
+// populates the TypeRegistry with machine-accurate struct layouts (offsetof/
+// sizeof of the real structs), exports the kernel's global objects as symbols,
+// and registers the helper functions (kernel static inlines invisible to a
+// debugger) that ViewCL programs call inside ${...} expressions.
+
+#ifndef SRC_DBG_KERNEL_INTROSPECT_H_
+#define SRC_DBG_KERNEL_INTROSPECT_H_
+
+#include <memory>
+
+#include "src/dbg/expr.h"
+#include "src/dbg/symbols.h"
+#include "src/dbg/target.h"
+#include "src/dbg/type.h"
+#include "src/vkern/kernel.h"
+
+namespace dbg {
+
+class KernelDebugger {
+ public:
+  explicit KernelDebugger(vkern::Kernel* kernel,
+                          LatencyModel model = LatencyModel::Free());
+
+  KernelDebugger(const KernelDebugger&) = delete;
+  KernelDebugger& operator=(const KernelDebugger&) = delete;
+
+  vkern::Kernel* kernel() { return kernel_; }
+  TypeRegistry& types() { return types_; }
+  Target& target() { return *target_; }
+  SymbolTable& symbols() { return symbols_; }
+  HelperRegistry& helpers() { return helpers_; }
+  EvalContext& context() { return *context_; }
+
+  // Convenience: evaluates a C expression with an optional environment.
+  vl::StatusOr<Value> Eval(std::string_view expr, const Environment* env = nullptr) {
+    return EvalCExpression(context_.get(), expr, env);
+  }
+
+ private:
+  class ArenaMemory : public MemoryDomain {
+   public:
+    explicit ArenaMemory(vkern::Arena* arena) : arena_(arena) {}
+    bool ReadBytes(uint64_t addr, void* out, size_t len) const override;
+
+   private:
+    vkern::Arena* arena_;
+  };
+
+  void RegisterTypes();
+  void RegisterEnums();
+  void RegisterSymbols();
+  void RegisterHelpers();
+  void BuildStateStringTable();
+
+  vkern::Kernel* kernel_;
+  ArenaMemory memory_;
+  TypeRegistry types_;
+  SymbolTable symbols_;
+  HelperRegistry helpers_;
+  std::unique_ptr<Target> target_;
+  std::unique_ptr<EvalContext> context_;
+  // In-arena C strings for the task_state() helper.
+  uint64_t state_string_addrs_[8] = {};
+};
+
+}  // namespace dbg
+
+#endif  // SRC_DBG_KERNEL_INTROSPECT_H_

@@ -1,0 +1,53 @@
+// Symbol tables: global variables (name -> typed location) and function
+// addresses (address -> name, feeding the FunPtr text decorator).
+
+#ifndef SRC_DBG_SYMBOLS_H_
+#define SRC_DBG_SYMBOLS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/dbg/value.h"
+
+namespace dbg {
+
+class SymbolTable {
+ public:
+  // Registers a global variable at a fixed address; re-registering a name
+  // rebinds it (harnesses repoint target_task/target_file between plots).
+  void AddGlobal(std::string_view name, const Type* type, uint64_t addr) {
+    globals_.insert_or_assign(std::string(name), Value::MakeLValue(type, addr));
+  }
+
+  // Looks up a global; returns false if unknown.
+  bool FindGlobal(std::string_view name, Value* out) const {
+    auto it = globals_.find(name);
+    if (it == globals_.end()) {
+      return false;
+    }
+    *out = it->second;
+    return true;
+  }
+
+  void AddFunction(uint64_t addr, std::string_view name) {
+    functions_[addr] = std::string(name);
+  }
+
+  // Symbolizes a code address; empty string when unknown.
+  std::string FunctionName(uint64_t addr) const {
+    auto it = functions_.find(addr);
+    return it != functions_.end() ? it->second : std::string();
+  }
+
+  const std::map<std::string, Value, std::less<>>& globals() const { return globals_; }
+
+ private:
+  std::map<std::string, Value, std::less<>> globals_;
+  std::map<uint64_t, std::string> functions_;
+};
+
+}  // namespace dbg
+
+#endif  // SRC_DBG_SYMBOLS_H_

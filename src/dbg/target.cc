@@ -1,0 +1,69 @@
+#include "src/dbg/target.h"
+
+#include <cstring>
+
+#include "src/support/str.h"
+
+namespace dbg {
+
+vl::Status Target::ReadBytes(uint64_t addr, void* out, size_t len) {
+  if (!memory_->ReadBytes(addr, out, len)) {
+    return vl::MemoryFaultError(
+        vl::StrFormat("cannot read %zu bytes at 0x%llx", len,
+                      static_cast<unsigned long long>(addr)));
+  }
+  Charge(len);
+  return vl::Status::Ok();
+}
+
+vl::StatusOr<uint64_t> Target::ReadUnsigned(uint64_t addr, size_t size) {
+  if (size == 0 || size > 8) {
+    return vl::InvalidArgumentError(vl::StrFormat("bad scalar width %zu", size));
+  }
+  uint64_t value = 0;
+  VL_RETURN_IF_ERROR(ReadBytes(addr, &value, size));  // little-endian host
+  return value;
+}
+
+vl::StatusOr<int64_t> Target::ReadSigned(uint64_t addr, size_t size) {
+  VL_ASSIGN_OR_RETURN(uint64_t raw, ReadUnsigned(addr, size));
+  if (size < 8) {
+    uint64_t sign_bit = 1ull << (size * 8 - 1);
+    if ((raw & sign_bit) != 0) {
+      raw |= ~((sign_bit << 1) - 1);
+    }
+  }
+  return static_cast<int64_t>(raw);
+}
+
+vl::StatusOr<std::string> Target::ReadCString(uint64_t addr, size_t max_len) {
+  std::string out;
+  // Model a single string-fetch request (GDB reads strings in one or few
+  // packets); we charge per chunk of 64 bytes.
+  char chunk[64];
+  while (out.size() < max_len) {
+    size_t want = std::min(sizeof(chunk), max_len - out.size());
+    if (!memory_->ReadBytes(addr + out.size(), chunk, want)) {
+      // Retry byte-wise up to the boundary.
+      size_t ok = 0;
+      while (ok < want && memory_->ReadBytes(addr + out.size() + ok, chunk + ok, 1)) {
+        ++ok;
+      }
+      if (ok == 0) {
+        return vl::MemoryFaultError(vl::StrFormat(
+            "cannot read string at 0x%llx", static_cast<unsigned long long>(addr)));
+      }
+      want = ok;
+    }
+    Charge(want);
+    for (size_t i = 0; i < want; ++i) {
+      if (chunk[i] == '\0') {
+        return out;
+      }
+      out.push_back(chunk[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace dbg

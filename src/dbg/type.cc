@@ -1,0 +1,173 @@
+#include "src/dbg/type.h"
+
+#include <cassert>
+
+#include "src/support/str.h"
+
+namespace dbg {
+
+const Field* Type::FindField(std::string_view field_name) const {
+  for (const Field& field : fields) {
+    if (field.name == field_name) {
+      return &field;
+    }
+  }
+  return nullptr;
+}
+
+std::string Type::ToString() const {
+  switch (kind) {
+    case TypeKind::kPointer:
+      return pointee->ToString() + " *";
+    case TypeKind::kArray:
+      return element->ToString() + vl::StrFormat(" [%zu]", array_len);
+    default:
+      return name;
+  }
+}
+
+TypeRegistry::TypeRegistry() {
+  void_ = NewType(TypeKind::kVoid, "void", 0);
+  bool_ = NewType(TypeKind::kBool, "bool", 1);
+  char_ = NewType(TypeKind::kChar, "char", 1);
+  func_ = NewType(TypeKind::kFunc, "<function>", 0);
+
+  static const char* kSignedNames[4] = {"signed char", "short", "int", "long"};
+  static const char* kUnsignedNames[4] = {"unsigned char", "unsigned short", "unsigned int",
+                                          "unsigned long"};
+  for (int log2 = 0; log2 < 4; ++log2) {
+    size_t size = size_t{1} << log2;
+    Type* s = NewType(TypeKind::kInt, kSignedNames[log2], size);
+    s->is_signed = true;
+    ints_[1][log2] = s;
+    Type* u = NewType(TypeKind::kInt, kUnsignedNames[log2], size);
+    ints_[0][log2] = u;
+  }
+  // Kernel-style aliases.
+  by_name_["u8"] = const_cast<Type*>(ints_[0][0]);
+  by_name_["u16"] = const_cast<Type*>(ints_[0][1]);
+  by_name_["u32"] = const_cast<Type*>(ints_[0][2]);
+  by_name_["u64"] = const_cast<Type*>(ints_[0][3]);
+  by_name_["s8"] = const_cast<Type*>(ints_[1][0]);
+  by_name_["s16"] = const_cast<Type*>(ints_[1][1]);
+  by_name_["s32"] = const_cast<Type*>(ints_[1][2]);
+  by_name_["s64"] = const_cast<Type*>(ints_[1][3]);
+  by_name_["size_t"] = const_cast<Type*>(ints_[0][3]);
+  by_name_["uintptr_t"] = const_cast<Type*>(ints_[0][3]);
+  by_name_["long long"] = const_cast<Type*>(ints_[1][3]);
+  by_name_["unsigned long long"] = const_cast<Type*>(ints_[0][3]);
+}
+
+Type* TypeRegistry::NewType(TypeKind kind, std::string name, size_t size) {
+  auto owned = std::make_unique<Type>();
+  Type* t = owned.get();
+  t->kind = kind;
+  t->name = std::move(name);
+  t->size = size;
+  all_.push_back(std::move(owned));
+  if (!t->name.empty() && t->name[0] != '<') {
+    by_name_.emplace(t->name, t);
+  }
+  return t;
+}
+
+const Type* TypeRegistry::IntType(size_t size, bool is_signed) const {
+  int log2 = size == 1 ? 0 : size == 2 ? 1 : size == 4 ? 2 : 3;
+  assert((size_t{1} << log2) == size && "unsupported integer width");
+  return ints_[is_signed ? 1 : 0][log2];
+}
+
+const Type* TypeRegistry::PointerTo(const Type* pointee) {
+  auto it = pointer_cache_.find(pointee);
+  if (it != pointer_cache_.end()) {
+    return it->second;
+  }
+  Type* t = NewType(TypeKind::kPointer, "<ptr>", 8);
+  t->pointee = pointee;
+  pointer_cache_[pointee] = t;
+  return t;
+}
+
+const Type* TypeRegistry::ArrayOf(const Type* element, size_t len) {
+  auto key = std::make_pair(element, len);
+  auto it = array_cache_.find(key);
+  if (it != array_cache_.end()) {
+    return it->second;
+  }
+  Type* t = NewType(TypeKind::kArray, "<array>", element->size * len);
+  t->element = element;
+  t->array_len = len;
+  array_cache_[key] = t;
+  return t;
+}
+
+Type* TypeRegistry::DeclareStruct(std::string_view name, size_t size) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  return NewType(TypeKind::kStruct, std::string(name), size);
+}
+
+Type* TypeRegistry::DeclareUnion(std::string_view name, size_t size) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  return NewType(TypeKind::kUnion, std::string(name), size);
+}
+
+Type* TypeRegistry::DeclareEnum(std::string_view name, size_t size) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  return NewType(TypeKind::kEnum, std::string(name), size);
+}
+
+void TypeRegistry::AddField(Type* aggregate, std::string_view name, size_t offset,
+                            const Type* type) {
+  assert(aggregate->IsAggregate());
+  aggregate->fields.push_back(Field{std::string(name), offset, type});
+}
+
+void TypeRegistry::AddEnumerator(Type* enum_type, std::string_view name, int64_t value) {
+  assert(enum_type->kind == TypeKind::kEnum);
+  enum_type->enumerators.emplace_back(std::string(name), value);
+}
+
+const Type* TypeRegistry::FindByName(std::string_view name) const {
+  // Strip "struct "/"union "/"enum " prefixes (C tag syntax).
+  for (std::string_view prefix : {"struct ", "union ", "enum "}) {
+    if (name.substr(0, prefix.size()) == prefix) {
+      name = name.substr(prefix.size());
+    }
+  }
+  auto it = by_name_.find(name);
+  return it != by_name_.end() ? it->second : nullptr;
+}
+
+bool TypeRegistry::FindEnumerator(std::string_view name, int64_t* value) const {
+  for (const auto& owned : all_) {
+    if (owned->kind != TypeKind::kEnum) {
+      continue;
+    }
+    for (const auto& [ename, evalue] : owned->enumerators) {
+      if (ename == name) {
+        *value = evalue;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<const Type*> TypeRegistry::named_types() const {
+  std::vector<const Type*> out;
+  for (const auto& [name, type] : by_name_) {
+    out.push_back(type);
+  }
+  return out;
+}
+
+}  // namespace dbg

@@ -1,0 +1,121 @@
+// DWARF-like type metadata for the debugger substrate.
+//
+// A TypeRegistry interns machine-accurate layout descriptions (offsets/sizes
+// taken from the real C structs via offsetof/sizeof) that the expression
+// evaluator and ViewCL use to navigate raw target memory — the role debug info
+// plays for GDB.
+
+#ifndef SRC_DBG_TYPE_H_
+#define SRC_DBG_TYPE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbg {
+
+enum class TypeKind {
+  kVoid,
+  kBool,
+  kChar,
+  kInt,
+  kEnum,
+  kPointer,
+  kArray,
+  kStruct,
+  kUnion,
+  kFunc,  // function-pointer pointee (opaque)
+};
+
+struct Type;
+
+struct Field {
+  std::string name;
+  size_t offset = 0;
+  const Type* type = nullptr;
+};
+
+struct Type {
+  TypeKind kind = TypeKind::kVoid;
+  std::string name;
+  size_t size = 0;
+  bool is_signed = false;
+
+  const Type* pointee = nullptr;   // kPointer
+  const Type* element = nullptr;   // kArray
+  size_t array_len = 0;            // kArray
+
+  std::vector<Field> fields;                             // kStruct / kUnion
+  std::vector<std::pair<std::string, int64_t>> enumerators;  // kEnum
+
+  bool IsScalar() const {
+    return kind == TypeKind::kBool || kind == TypeKind::kChar || kind == TypeKind::kInt ||
+           kind == TypeKind::kEnum || kind == TypeKind::kPointer;
+  }
+  bool IsAggregate() const { return kind == TypeKind::kStruct || kind == TypeKind::kUnion; }
+
+  const Field* FindField(std::string_view field_name) const;
+
+  // "task_struct *", "unsigned long", "char [16]" style rendering.
+  std::string ToString() const;
+};
+
+class TypeRegistry {
+ public:
+  TypeRegistry();
+
+  TypeRegistry(const TypeRegistry&) = delete;
+  TypeRegistry& operator=(const TypeRegistry&) = delete;
+
+  // --- built-in scalars ---
+  const Type* void_type() const { return void_; }
+  const Type* bool_type() const { return bool_; }
+  const Type* char_type() const { return char_; }
+  const Type* func_type() const { return func_; }  // opaque function
+  const Type* IntType(size_t size, bool is_signed) const;
+  const Type* u64() const { return IntType(8, false); }
+  const Type* i32() const { return IntType(4, true); }
+
+  // --- derived types (interned) ---
+  const Type* PointerTo(const Type* pointee);
+  const Type* ArrayOf(const Type* element, size_t len);
+
+  // --- named aggregates / enums ---
+  Type* DeclareStruct(std::string_view name, size_t size);
+  Type* DeclareUnion(std::string_view name, size_t size);
+  Type* DeclareEnum(std::string_view name, size_t size);
+  void AddField(Type* aggregate, std::string_view name, size_t offset, const Type* type);
+  void AddEnumerator(Type* enum_type, std::string_view name, int64_t value);
+
+  // Lookup by kernel name ("task_struct", "unsigned long", "u64", "int", ...).
+  // Returns nullptr if unknown.
+  const Type* FindByName(std::string_view name) const;
+
+  // Resolves an enumerator by name across all registered enums; returns true
+  // and fills *value when found.
+  bool FindEnumerator(std::string_view name, int64_t* value) const;
+
+  // All registered named types (for docs / tests).
+  std::vector<const Type*> named_types() const;
+
+ private:
+  Type* NewType(TypeKind kind, std::string name, size_t size);
+
+  std::vector<std::unique_ptr<Type>> all_;
+  std::map<std::string, Type*, std::less<>> by_name_;
+  std::map<const Type*, const Type*> pointer_cache_;
+  std::map<std::pair<const Type*, size_t>, const Type*> array_cache_;
+
+  const Type* void_;
+  const Type* bool_;
+  const Type* char_;
+  const Type* func_;
+  const Type* ints_[2][4];  // [signed][log2(size)] for sizes 1,2,4,8
+};
+
+}  // namespace dbg
+
+#endif  // SRC_DBG_TYPE_H_

@@ -1,0 +1,124 @@
+#include "src/dbg/value.h"
+
+#include "src/support/str.h"
+
+namespace dbg {
+
+vl::StatusOr<Value> Value::Load(Target* target) const {
+  if (type_ == nullptr) {
+    return vl::EvalError("load of an untyped value");
+  }
+  if (!is_lvalue_) {
+    return *this;
+  }
+  if (type_->IsAggregate() || type_->kind == TypeKind::kArray) {
+    return *this;  // aggregates stay in place
+  }
+  if (type_->is_signed) {
+    VL_ASSIGN_OR_RETURN(int64_t v, target->ReadSigned(addr_, type_->size));
+    return MakeInt(type_, static_cast<uint64_t>(v));
+  }
+  VL_ASSIGN_OR_RETURN(uint64_t v, target->ReadUnsigned(addr_, type_->size));
+  return MakeInt(type_, v);
+}
+
+vl::StatusOr<Value> Value::Member(Target* target, const TypeRegistry* types,
+                                  std::string_view field) const {
+  Value base = *this;
+  // Auto-deref pointer chains (a.b works when a is a pointer, like GDB).
+  while (base.type_ != nullptr && base.type_->kind == TypeKind::kPointer) {
+    VL_ASSIGN_OR_RETURN(base, base.Deref(target, types));
+  }
+  if (base.type_ == nullptr || !base.type_->IsAggregate()) {
+    return vl::EvalError(vl::StrFormat("member '%.*s' on non-aggregate value",
+                                       static_cast<int>(field.size()), field.data()));
+  }
+  if (!base.is_lvalue_) {
+    return vl::EvalError("member access on a non-addressable aggregate");
+  }
+  const Field* f = base.type_->FindField(field);
+  if (f == nullptr) {
+    return vl::EvalError(vl::StrFormat("type '%s' has no member '%.*s'",
+                                       base.type_->name.c_str(),
+                                       static_cast<int>(field.size()), field.data()));
+  }
+  return MakeLValue(f->type, base.addr_ + f->offset);
+}
+
+vl::StatusOr<Value> Value::Deref(Target* target, const TypeRegistry* types) const {
+  Value v = *this;
+  if (v.is_lvalue_) {
+    VL_ASSIGN_OR_RETURN(v, v.Load(target));
+  }
+  if (v.type_ == nullptr || v.type_->kind != TypeKind::kPointer) {
+    return vl::EvalError("dereference of a non-pointer value");
+  }
+  if (v.bits_ == 0) {
+    return vl::EvalError("dereference of a NULL pointer");
+  }
+  return MakeLValue(v.type_->pointee, v.bits_);
+}
+
+vl::StatusOr<Value> Value::Index(Target* target, const TypeRegistry* types,
+                                 int64_t index) const {
+  if (type_ == nullptr) {
+    return vl::EvalError("index of an untyped value");
+  }
+  if (type_->kind == TypeKind::kArray) {
+    if (!is_lvalue_) {
+      return vl::EvalError("index of a non-addressable array");
+    }
+    const Type* elem = type_->element;
+    return MakeLValue(elem, addr_ + static_cast<uint64_t>(index) * elem->size);
+  }
+  if (type_->kind == TypeKind::kPointer) {
+    Value loaded = *this;
+    if (is_lvalue_) {
+      VL_ASSIGN_OR_RETURN(loaded, Load(target));
+    }
+    const Type* elem = loaded.type_->pointee;
+    if (elem->size == 0) {
+      return vl::EvalError("index of a void pointer");
+    }
+    return MakeLValue(elem, loaded.bits_ + static_cast<uint64_t>(index) * elem->size);
+  }
+  return vl::EvalError("index of a non-array, non-pointer value");
+}
+
+vl::StatusOr<Value> Value::AddressOf(const TypeRegistry* types) const {
+  if (!is_lvalue_) {
+    return vl::EvalError("address-of a non-lvalue");
+  }
+  return MakePointer(const_cast<TypeRegistry*>(types)->PointerTo(type_), addr_);
+}
+
+vl::StatusOr<bool> Value::ToBool(Target* target) const {
+  Value v = *this;
+  if (v.is_lvalue_) {
+    if (v.type_->IsAggregate() || v.type_->kind == TypeKind::kArray) {
+      return true;  // an aggregate lvalue "exists"
+    }
+    VL_ASSIGN_OR_RETURN(v, v.Load(target));
+  }
+  return v.bits_ != 0;
+}
+
+std::string Value::ToString() const {
+  if (type_ == nullptr) {
+    return "<void>";
+  }
+  if (is_lvalue_) {
+    return vl::StrFormat("(%s) @0x%llx", type_->ToString().c_str(),
+                         static_cast<unsigned long long>(addr_));
+  }
+  if (type_->kind == TypeKind::kPointer) {
+    return vl::StrFormat("(%s) 0x%llx", type_->ToString().c_str(),
+                         static_cast<unsigned long long>(bits_));
+  }
+  if (type_->is_signed) {
+    return vl::StrFormat("%lld", static_cast<long long>(bits_));
+  }
+  return vl::StrFormat("%llu", static_cast<unsigned long long>(bits_));
+}
+
+}  // namespace dbg

@@ -1,0 +1,85 @@
+// Typed values flowing through the expression evaluator.
+//
+// A Value is either an *lvalue* (a typed location in target memory) or an
+// *rvalue* (a loaded scalar). Aggregates stay lvalues; loading a scalar
+// lvalue costs a target read.
+
+#ifndef SRC_DBG_VALUE_H_
+#define SRC_DBG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/dbg/target.h"
+#include "src/dbg/type.h"
+#include "src/support/status.h"
+
+namespace dbg {
+
+class Value {
+ public:
+  Value() = default;
+
+  static Value MakeLValue(const Type* type, uint64_t addr) {
+    Value v;
+    v.type_ = type;
+    v.is_lvalue_ = true;
+    v.addr_ = addr;
+    return v;
+  }
+
+  static Value MakeInt(const Type* type, uint64_t bits) {
+    Value v;
+    v.type_ = type;
+    v.bits_ = bits;
+    return v;
+  }
+
+  static Value MakePointer(const Type* pointer_type, uint64_t addr_value) {
+    Value v;
+    v.type_ = pointer_type;
+    v.bits_ = addr_value;
+    return v;
+  }
+
+  const Type* type() const { return type_; }
+  bool is_lvalue() const { return is_lvalue_; }
+  uint64_t addr() const { return addr_; }
+  uint64_t bits() const { return bits_; }
+  int64_t AsSigned() const { return static_cast<int64_t>(bits_); }
+  bool IsNull() const { return !is_lvalue_ && bits_ == 0; }
+
+  // Loads a scalar lvalue into an rvalue (no-op for rvalues; error for
+  // aggregates). Sign-extends according to the type.
+  vl::StatusOr<Value> Load(Target* target) const;
+
+  // Field access: `value.field`. Pointers are auto-dereferenced first (GDB's
+  // permissive behaviour, which ViewCL's dot-paths rely on for flattening).
+  vl::StatusOr<Value> Member(Target* target, const TypeRegistry* types,
+                             std::string_view field) const;
+
+  // `*value`.
+  vl::StatusOr<Value> Deref(Target* target, const TypeRegistry* types) const;
+
+  // `value[index]` on arrays and pointers.
+  vl::StatusOr<Value> Index(Target* target, const TypeRegistry* types, int64_t index) const;
+
+  // Address-of: `&value` (lvalues only).
+  vl::StatusOr<Value> AddressOf(const TypeRegistry* types) const;
+
+  // Truthiness for logical operators (loads scalars as needed).
+  vl::StatusOr<bool> ToBool(Target* target) const;
+
+  // Debug rendering ("(task_struct *) 0xffff..." style).
+  std::string ToString() const;
+
+ private:
+  const Type* type_ = nullptr;
+  bool is_lvalue_ = false;
+  uint64_t addr_ = 0;  // lvalue location
+  uint64_t bits_ = 0;  // rvalue payload (sign-extended when signed)
+};
+
+}  // namespace dbg
+
+#endif  // SRC_DBG_VALUE_H_

@@ -1,0 +1,297 @@
+#include "src/support/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "src/support/str.h"
+
+namespace vl {
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent >= 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber: {
+      if (num_ == std::floor(num_) && std::abs(num_) < 9.0e15) {
+        *out += StrFormat("%lld", static_cast<long long>(num_));
+      } else {
+        *out += StrFormat("%.17g", num_);
+      }
+      return;
+    }
+    case Kind::kString:
+      *out += "\"" + JsonEscape(str_) + "\"";
+      return;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[";
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) {
+          *out += ",";
+        }
+        newline(depth + 1);
+        arr_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      *out += "]";
+      return;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{";
+      bool first = true;
+      for (const auto& [key, value] : obj_) {
+        if (!first) {
+          *out += ",";
+        }
+        first = false;
+        newline(depth + 1);
+        *out += "\"" + JsonEscape(key) + "\":";
+        if (indent >= 0) {
+          *out += " ";
+        }
+        value.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      *out += "}";
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<Json> Run() {
+    VL_ASSIGN_OR_RETURN(Json value, ParseValue());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return ParseError("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  StatusOr<Json> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return ParseError("unexpected end of JSON");
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      VL_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json::Str(std::move(s));
+    }
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return Json::Null();
+    }
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return Json::Bool(true);
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return Json::Bool(false);
+    }
+    return ParseNumber();
+  }
+
+  StatusOr<Json> ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      return ParseError(StrFormat("bad JSON value at offset %zu", pos_));
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return ParseError("bad JSON number '" + token + "'");
+    }
+    return Json::Number(value);
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;
+        switch (text_[pos_]) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) {
+              return ParseError("bad \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              char h = static_cast<char>(
+                  std::tolower(static_cast<unsigned char>(text_[pos_ + i])));
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else {
+                return ParseError("bad \\u escape digit");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode (BMP only).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default:
+            return ParseError("unknown escape in JSON string");
+        }
+        ++pos_;
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return ParseError("unterminated JSON string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  StatusOr<Json> ParseArray() {
+    ++pos_;  // '['
+    Json out = Json::Array();
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      VL_ASSIGN_OR_RETURN(Json value, ParseValue());
+      out.Append(std::move(value));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return out;
+      }
+      return ParseError("expected ',' or ']' in JSON array");
+    }
+  }
+
+  StatusOr<Json> ParseObject() {
+    ++pos_;  // '{'
+    Json out = Json::Object();
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return ParseError("expected a key string in JSON object");
+      }
+      VL_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return ParseError("expected ':' in JSON object");
+      }
+      ++pos_;
+      VL_ASSIGN_OR_RETURN(Json value, ParseValue());
+      out[key] = std::move(value);
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return out;
+      }
+      return ParseError("expected ',' or '}' in JSON object");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Json> Json::Parse(std::string_view text) { return JsonParser(text).Run(); }
+
+}  // namespace vl

@@ -1,0 +1,94 @@
+// A minimal JSON value, writer, and parser — used for the visualizer wire
+// format (the HTTP payload of the paper's front-end) and session persistence.
+
+#ifndef SRC_SUPPORT_JSON_H_
+#define SRC_SUPPORT_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace vl {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool v) {
+    Json j;
+    j.kind_ = Kind::kBool;
+    j.bool_ = v;
+    return j;
+  }
+  static Json Number(double v) {
+    Json j;
+    j.kind_ = Kind::kNumber;
+    j.num_ = v;
+    return j;
+  }
+  static Json Int(int64_t v) { return Number(static_cast<double>(v)); }
+  static Json Str(std::string v) {
+    Json j;
+    j.kind_ = Kind::kString;
+    j.str_ = std::move(v);
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return num_; }
+  int64_t AsInt() const { return static_cast<int64_t>(num_); }
+  const std::string& AsString() const { return str_; }
+
+  // Array access.
+  void Append(Json v) { arr_.push_back(std::move(v)); }
+  size_t size() const { return kind_ == Kind::kArray ? arr_.size() : obj_.size(); }
+  const Json& at(size_t i) const { return arr_[i]; }
+  const std::vector<Json>& items() const { return arr_; }
+
+  // Object access.
+  Json& operator[](const std::string& key) { return obj_[key]; }
+  const Json* Find(const std::string& key) const {
+    auto it = obj_.find(key);
+    return it != obj_.end() ? &it->second : nullptr;
+  }
+  const std::map<std::string, Json>& entries() const { return obj_; }
+
+  // Serialization; indent < 0 emits compact form.
+  std::string Dump(int indent = -1) const;
+
+  static StatusOr<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace vl
+
+#endif  // SRC_SUPPORT_JSON_H_

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation for the synthetic workload.
+//
+// All randomness in the repository flows through SplitMix64 so every run of the
+// kernel simulator, the examples, and the benchmarks is bit-for-bit
+// reproducible for a given seed.
+
+#ifndef SRC_SUPPORT_RNG_H_
+#define SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace vl {
+
+// SplitMix64 (Steele, Lea, Flood 2014). Tiny state, excellent mixing, and —
+// unlike std::mt19937 — a stable cross-platform output sequence.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound == 0 yields 0.
+  uint64_t NextBelow(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    return Next() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) { return lo + NextBelow(hi - lo + 1); }
+
+  // Bernoulli trial with probability numer/denom.
+  bool NextChance(uint64_t numer, uint64_t denom) { return NextBelow(denom) < numer; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace vl
+
+#endif  // SRC_SUPPORT_RNG_H_

@@ -1,0 +1,127 @@
+// Lightweight error-handling vocabulary used across the library.
+//
+// The library does not throw across public API boundaries; fallible operations
+// return Status or StatusOr<T>. DSL front-ends (ViewCL/ViewQL parsers) attach
+// line/column information to the message.
+
+#ifndef SRC_SUPPORT_STATUS_H_
+#define SRC_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vl {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kEvalError,
+  kMemoryFault,
+};
+
+// Human-readable name of a status code ("OK", "PARSE_ERROR", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result with a message. Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "PARSE_ERROR: unexpected token" style rendering.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ParseError(std::string message);
+Status EvalError(std::string message);
+Status MemoryFaultError(std::string message);
+
+// A value or an error. Modeled after absl::StatusOr but minimal.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : repr_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(repr_).ok() && "OK status must carry a value");
+  }
+  StatusOr(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace vl
+
+// Propagates an error Status from an expression that yields Status.
+#define VL_RETURN_IF_ERROR(expr)         \
+  do {                                   \
+    ::vl::Status vl_status_ = (expr);    \
+    if (!vl_status_.ok()) {              \
+      return vl_status_;                 \
+    }                                    \
+  } while (0)
+
+// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define VL_ASSIGN_OR_RETURN(lhs, expr)      \
+  VL_ASSIGN_OR_RETURN_IMPL_(VL_CONCAT_(vl_statusor_, __LINE__), lhs, expr)
+#define VL_CONCAT_INNER_(a, b) a##b
+#define VL_CONCAT_(a, b) VL_CONCAT_INNER_(a, b)
+#define VL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) {                                \
+    return tmp.status();                          \
+  }                                               \
+  lhs = std::move(tmp).value()
+
+#endif  // SRC_SUPPORT_STATUS_H_

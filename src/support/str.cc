@@ -1,0 +1,188 @@
+#include "src/support/str.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vl {
+
+std::vector<std::string> StrSplit(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplitTrimmed(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  for (const std::string& piece : StrSplit(text, sep)) {
+    std::string_view trimmed = StrTrim(piece);
+    if (!trimmed.empty()) {
+      out.emplace_back(trimmed);
+    }
+  }
+  return out;
+}
+
+std::string_view StrTrim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StrContains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+std::string StrLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatUnsigned(uint64_t value, int base) {
+  if (base == 10) {
+    return std::to_string(value);
+  }
+  static const char kDigits[] = "0123456789abcdef";
+  std::string digits;
+  if (value == 0) {
+    digits = "0";
+  } else {
+    while (value != 0) {
+      digits.insert(digits.begin(), kDigits[value % static_cast<uint64_t>(base)]);
+      value /= static_cast<uint64_t>(base);
+    }
+  }
+  switch (base) {
+    case 16:
+      return "0x" + digits;
+    case 8:
+      return "0" + digits;
+    case 2:
+      return "0b" + digits;
+    default:
+      return digits;
+  }
+}
+
+std::string FormatByteSize(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) {
+    return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return StrFormat("%.1f %s", value, kUnits[unit]);
+}
+
+std::string StrReplaceAll(std::string_view text, std::string_view from, std::string_view to) {
+  std::string out;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos || from.empty()) {
+      out.append(text.substr(start));
+      break;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  text = StrTrim(text);
+  if (text.empty()) {
+    return false;
+  }
+  std::string buf(text);
+  char* end = nullptr;
+  errno = 0;
+  long long value = std::strtoll(buf.c_str(), &end, 0);
+  if (errno != 0 || end == buf.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+}  // namespace vl

@@ -1,0 +1,50 @@
+// String utilities shared by the DSL front-ends and the renderers.
+
+#ifndef SRC_SUPPORT_STR_H_
+#define SRC_SUPPORT_STR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vl {
+
+// Splits on a single character; empty pieces are kept.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Splits on a single character; empty pieces are dropped after trimming.
+std::vector<std::string> StrSplitTrimmed(std::string_view text, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StrContains(std::string_view haystack, std::string_view needle);
+
+// ASCII lowercase copy.
+std::string StrLower(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+// Unsigned value rendered in the given base (2, 8, 10, 16); base 16/8/2 get a
+// "0x"/"0"/"0b" prefix.
+std::string FormatUnsigned(uint64_t value, int base);
+
+// Renders "12.3 KiB"-style human sizes.
+std::string FormatByteSize(uint64_t bytes);
+
+// Replaces every occurrence of `from` with `to`.
+std::string StrReplaceAll(std::string_view text, std::string_view from, std::string_view to);
+
+// Escapes a string for inclusion in JSON or DOT output.
+std::string JsonEscape(std::string_view text);
+
+// True if `text` parses fully as a (possibly signed, possibly hex) integer.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+}  // namespace vl
+
+#endif  // SRC_SUPPORT_STR_H_

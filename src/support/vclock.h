@@ -1,0 +1,33 @@
+// Virtual time accounting.
+//
+// Table 4 of the paper compares plotting cost on two debugger transports
+// (localhost GDB-remote into QEMU vs. serial KGDB on a Raspberry Pi 400).
+// Rather than requiring that hardware, the debugger target charges each memory
+// access to a VirtualClock according to a latency model; benchmarks report the
+// accumulated virtual nanoseconds. The clock is strictly additive and
+// deterministic.
+
+#ifndef SRC_SUPPORT_VCLOCK_H_
+#define SRC_SUPPORT_VCLOCK_H_
+
+#include <cstdint>
+
+namespace vl {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  void AdvanceNanos(uint64_t nanos) { nanos_ += nanos; }
+  void Reset() { nanos_ = 0; }
+
+  uint64_t nanos() const { return nanos_; }
+  double millis() const { return static_cast<double>(nanos_) / 1e6; }
+
+ private:
+  uint64_t nanos_ = 0;
+};
+
+}  // namespace vl
+
+#endif  // SRC_SUPPORT_VCLOCK_H_

@@ -1,0 +1,228 @@
+#include "src/viewcl/decorate.h"
+
+#include "src/support/str.h"
+
+namespace viewcl {
+
+namespace {
+
+using dbg::Type;
+using dbg::TypeKind;
+using dbg::Value;
+
+vl::StatusOr<DecoratedText> Text(std::string display, bool is_string) {
+  DecoratedText out;
+  out.display = std::move(display);
+  out.is_string = is_string;
+  return out;
+}
+
+vl::StatusOr<DecoratedText> Scalar(std::string display, uint64_t raw) {
+  DecoratedText out;
+  out.display = std::move(display);
+  out.raw_bits = raw;
+  out.has_raw = true;
+  return out;
+}
+
+int ParseBaseSuffix(const std::string& suffix) {
+  if (suffix == "x" || suffix == "h") return 16;
+  if (suffix == "o") return 8;
+  if (suffix == "b") return 2;
+  return 10;
+}
+
+// Reads a string either from a char array lvalue or through a char pointer.
+vl::StatusOr<std::string> ReadString(dbg::EvalContext* ctx, Value value) {
+  if (value.is_lvalue() && value.type() != nullptr &&
+      value.type()->kind == TypeKind::kArray) {
+    size_t max = value.type()->array_len;
+    VL_ASSIGN_OR_RETURN(std::string s, ctx->target()->ReadCString(value.addr(), max));
+    return s;
+  }
+  VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+  if (loaded.bits() == 0) {
+    return std::string("<null>");
+  }
+  return ctx->target()->ReadCString(loaded.bits());
+}
+
+// Default (spec-less) rendering, directed by the value's type.
+vl::StatusOr<DecoratedText> FormatDefault(dbg::EvalContext* ctx, Value value) {
+  const Type* type = value.type();
+  if (type == nullptr) {
+    return Text("<void>", false);
+  }
+  if (type->kind == TypeKind::kArray && type->element->kind == TypeKind::kChar) {
+    VL_ASSIGN_OR_RETURN(std::string s, ReadString(ctx, value));
+    return Text(std::move(s), true);
+  }
+  if (type->IsAggregate()) {
+    return Text(vl::StrFormat("{%s @0x%llx}", type->name.c_str(),
+                              static_cast<unsigned long long>(value.addr())),
+                false);
+  }
+  if (type->kind == TypeKind::kArray) {
+    return Text(vl::StrFormat("[%zu x %s]", type->array_len, type->element->name.c_str()),
+                false);
+  }
+  VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+  if (type->kind == TypeKind::kPointer) {
+    return Scalar(vl::FormatUnsigned(loaded.bits(), 16), loaded.bits());
+  }
+  if (type->kind == TypeKind::kBool) {
+    return Scalar(loaded.bits() != 0 ? "true" : "false", loaded.bits());
+  }
+  if (type->kind == TypeKind::kChar) {
+    char c = static_cast<char>(loaded.bits());
+    return Scalar(c >= 0x20 && c < 0x7f ? vl::StrFormat("'%c'", c)
+                                        : vl::StrFormat("'\\x%02x'", c & 0xff),
+                  loaded.bits());
+  }
+  if (type->is_signed) {
+    return Scalar(vl::StrFormat("%lld", static_cast<long long>(loaded.AsSigned())),
+                  loaded.bits());
+  }
+  return Scalar(vl::FormatUnsigned(loaded.bits(), 10), loaded.bits());
+}
+
+}  // namespace
+
+EmojiRegistry::EmojiRegistry() {
+  Register("lock", [](uint64_t v) { return v != 0 ? std::string("\U0001F512 held")
+                                                  : std::string("\U0001F513 free"); });
+  Register("bool", [](uint64_t v) { return v != 0 ? std::string("✅")
+                                                  : std::string("❌"); });
+  Register("state", [](uint64_t v) {
+    // Task __state bits -> an at-a-glance glyph.
+    if (v == 0) return std::string("\U0001F3C3 R");             // running
+    if ((v & 0x1) != 0) return std::string("\U0001F634 S");     // interruptible
+    if ((v & 0x2) != 0) return std::string("\U0001F4A4 D");     // uninterruptible
+    if ((v & 0x4) != 0) return std::string("✋ T");         // stopped
+    if ((v & 0x80) != 0) return std::string("\U0001F480 X");    // dead
+    return std::string("?");
+  });
+}
+
+vl::StatusOr<DecoratedText> FormatDecorated(dbg::EvalContext* ctx, const EmojiRegistry* emoji,
+                                            const std::string& spec, dbg::Value value) {
+  if (spec.empty()) {
+    return FormatDefault(ctx, value);
+  }
+  std::vector<std::string> parts = vl::StrSplit(spec, ':');
+  const std::string& head = parts[0];
+  const std::string arg = parts.size() > 1 ? parts[1] : "";
+
+  if (head == "string") {
+    VL_ASSIGN_OR_RETURN(std::string s, ReadString(ctx, value));
+    return Text(std::move(s), true);
+  }
+  if (head == "bool") {
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    return Scalar(loaded.bits() != 0 ? "true" : "false", loaded.bits());
+  }
+  if (head == "char") {
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    char c = static_cast<char>(loaded.bits());
+    return Scalar(vl::StrFormat("'%c'", c), loaded.bits());
+  }
+  if (head == "raw_ptr") {
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    return Scalar(vl::FormatUnsigned(loaded.bits(), 16), loaded.bits());
+  }
+  if (head == "fptr") {
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    std::string name = ctx->symbols() != nullptr
+                           ? ctx->symbols()->FunctionName(loaded.bits())
+                           : std::string();
+    if (name.empty()) {
+      name = loaded.bits() == 0 ? "<null>" : vl::FormatUnsigned(loaded.bits(), 16);
+    }
+    DecoratedText out;
+    out.display = name;
+    out.is_string = true;
+    out.raw_bits = loaded.bits();
+    out.has_raw = true;
+    return out;
+  }
+  if (head == "enum") {
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    const Type* enum_type = ctx->types()->FindByName(arg);
+    if (enum_type != nullptr && enum_type->kind == TypeKind::kEnum) {
+      for (const auto& [name, v] : enum_type->enumerators) {
+        if (static_cast<uint64_t>(v) == loaded.bits()) {
+          DecoratedText out;
+          out.display = name;
+          out.is_string = true;
+          out.raw_bits = loaded.bits();
+          out.has_raw = true;
+          return out;
+        }
+      }
+    }
+    return Scalar(vl::FormatUnsigned(loaded.bits(), 10), loaded.bits());
+  }
+  if (head == "flag") {
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    const Type* enum_type = ctx->types()->FindByName(arg);
+    std::string names;
+    if (enum_type != nullptr && enum_type->kind == TypeKind::kEnum) {
+      for (const auto& [name, bit] : enum_type->enumerators) {
+        if (bit != 0 && (loaded.bits() & static_cast<uint64_t>(bit)) ==
+                            static_cast<uint64_t>(bit)) {
+          if (!names.empty()) {
+            names += "|";
+          }
+          names += name;
+        }
+      }
+    }
+    if (names.empty()) {
+      names = loaded.bits() == 0 ? "0" : vl::FormatUnsigned(loaded.bits(), 16);
+    }
+    DecoratedText out;
+    out.display = names;
+    out.is_string = true;
+    out.raw_bits = loaded.bits();
+    out.has_raw = true;
+    return out;
+  }
+  if (head == "emoji") {
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    const EmojiRegistry::Renderer* renderer =
+        emoji != nullptr ? emoji->Find(arg) : nullptr;
+    if (renderer == nullptr) {
+      return vl::EvalError("unknown emoji set '" + arg + "'");
+    }
+    DecoratedText out;
+    out.display = (*renderer)(loaded.bits());
+    out.is_string = true;
+    out.raw_bits = loaded.bits();
+    out.has_raw = true;
+    return out;
+  }
+
+  // "<int-type>[:<base>]": u8..u64/s8..s64/int/long..., reinterpreted.
+  const Type* int_type = ctx->types()->FindByName(head);
+  if (int_type != nullptr && int_type->IsScalar()) {
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    uint64_t bits = loaded.bits();
+    if (int_type->size < 8) {
+      uint64_t mask = (1ull << (int_type->size * 8)) - 1;
+      bits &= mask;
+    }
+    int base = ParseBaseSuffix(arg);
+    if (base == 10 && int_type->is_signed) {
+      int64_t v = static_cast<int64_t>(bits);
+      if (int_type->size < 8 &&
+          (bits & (1ull << (int_type->size * 8 - 1))) != 0) {
+        v = static_cast<int64_t>(bits | ~((1ull << (int_type->size * 8)) - 1));
+      }
+      return Scalar(vl::StrFormat("%lld", static_cast<long long>(v)), loaded.bits());
+    }
+    return Scalar(vl::FormatUnsigned(bits, base), loaded.bits());
+  }
+  return vl::EvalError("unknown decorator '" + spec + "'");
+}
+
+}  // namespace viewcl

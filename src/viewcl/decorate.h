@@ -1,0 +1,53 @@
+// Text decorators (paper Table 1): Int, Bool, Char, Enum, String, RawPtr,
+// FunPtr, Flag, EMOJI.
+//
+// A decorator spec is the string between <> in a Text item, e.g. "u64:x",
+// "enum:maple_type", "flag:vm_flags_bits", "emoji:lock". Flag and Enum specs
+// name a registered enum type whose enumerators provide the bit/value names.
+
+#ifndef SRC_VIEWCL_DECORATE_H_
+#define SRC_VIEWCL_DECORATE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/dbg/expr.h"
+#include "src/dbg/value.h"
+#include "src/support/status.h"
+
+namespace viewcl {
+
+class EmojiRegistry {
+ public:
+  using Renderer = std::function<std::string(uint64_t value)>;
+
+  EmojiRegistry();  // installs the built-in sets ("lock", "state", "bool")
+
+  void Register(const std::string& id, Renderer renderer) {
+    renderers_[id] = std::move(renderer);
+  }
+  const Renderer* Find(const std::string& id) const {
+    auto it = renderers_.find(id);
+    return it != renderers_.end() ? &it->second : nullptr;
+  }
+
+ private:
+  std::map<std::string, Renderer> renderers_;
+};
+
+struct DecoratedText {
+  std::string display;     // what the box shows
+  bool is_string = false;  // true when the display is the semantic value
+  uint64_t raw_bits = 0;   // the underlying scalar (when applicable)
+  bool has_raw = false;
+};
+
+// Formats `value` per the decorator `spec` (empty spec = type-directed
+// default). Reads target memory for strings/loads as needed.
+vl::StatusOr<DecoratedText> FormatDecorated(dbg::EvalContext* ctx, const EmojiRegistry* emoji,
+                                            const std::string& spec, dbg::Value value);
+
+}  // namespace viewcl
+
+#endif  // SRC_VIEWCL_DECORATE_H_

@@ -1,0 +1,48 @@
+#include "src/viewcl/graph.h"
+
+#include <set>
+
+namespace viewcl {
+
+std::vector<uint64_t> ViewGraph::Neighbors(uint64_t id) const {
+  std::vector<uint64_t> out;
+  const VBox* b = box(id);
+  if (b == nullptr) {
+    return out;
+  }
+  for (const ViewInstance& view : b->views()) {
+    for (const LinkItem& link : view.links) {
+      if (link.target != kNoBox) {
+        out.push_back(link.target);
+      }
+    }
+    for (const ContainerItem& container : view.containers) {
+      for (uint64_t member : container.members) {
+        if (member != kNoBox) {
+          out.push_back(member);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> ViewGraph::Reachable(const std::vector<uint64_t>& from) const {
+  std::set<uint64_t> seen;
+  std::vector<uint64_t> stack(from.begin(), from.end());
+  std::vector<uint64_t> out;
+  while (!stack.empty()) {
+    uint64_t id = stack.back();
+    stack.pop_back();
+    if (id == kNoBox || !seen.insert(id).second) {
+      continue;
+    }
+    out.push_back(id);
+    for (uint64_t next : Neighbors(id)) {
+      stack.push_back(next);
+    }
+  }
+  return out;
+}
+
+}  // namespace viewcl

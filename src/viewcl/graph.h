@@ -1,0 +1,181 @@
+// The simplified kernel object graph G(V, E) that ViewCL evaluation produces
+// and that ViewQL and the visualizer consume (paper §2.2/§2.3).
+//
+// Vertices are Boxes (kernel objects or virtual grouping boxes); edges are
+// Links and Container memberships. Each box carries its evaluated views
+// (display structure), a member-value map (what ViewQL WHERE clauses match
+// against), and a display-attribute map (what ViewQL UPDATE mutates).
+
+#ifndef SRC_VIEWCL_GRAPH_H_
+#define SRC_VIEWCL_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace viewcl {
+
+inline constexpr uint64_t kNoBox = ~0ull;
+
+// A scalar snapshot of an evaluated member, queryable from ViewQL.
+struct MemberValue {
+  enum class Kind { kNull, kInt, kString };
+  Kind kind = Kind::kNull;
+  int64_t num = 0;
+  std::string str;
+
+  static MemberValue Null() { return MemberValue{}; }
+  static MemberValue Int(int64_t v) { return MemberValue{Kind::kInt, v, ""}; }
+  static MemberValue Str(std::string v) { return MemberValue{Kind::kString, 0, std::move(v)}; }
+};
+
+struct TextItem {
+  std::string name;
+  std::string display;  // decorator-formatted text
+};
+
+struct LinkItem {
+  std::string name;
+  uint64_t target = kNoBox;  // box id; kNoBox renders as a null link
+};
+
+struct ContainerItem {
+  std::string name;
+  std::vector<uint64_t> members;  // box ids, in container order
+};
+
+// One evaluated view of a box (inheritance already flattened).
+struct ViewInstance {
+  std::string name;  // "default", "sched", ...
+  std::vector<TextItem> texts;
+  std::vector<LinkItem> links;
+  std::vector<ContainerItem> containers;
+};
+
+class VBox {
+ public:
+  VBox(uint64_t id, std::string decl_name, std::string kernel_type, uint64_t addr,
+       size_t object_size)
+      : id_(id),
+        decl_name_(std::move(decl_name)),
+        kernel_type_(std::move(kernel_type)),
+        addr_(addr),
+        object_size_(object_size) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& decl_name() const { return decl_name_; }
+  const std::string& kernel_type() const { return kernel_type_; }
+  uint64_t addr() const { return addr_; }
+  size_t object_size() const { return object_size_; }
+  bool is_virtual() const { return addr_ == 0; }
+
+  std::vector<ViewInstance>& views() { return views_; }
+  const std::vector<ViewInstance>& views() const { return views_; }
+  const ViewInstance* FindView(const std::string& name) const {
+    for (const ViewInstance& view : views_) {
+      if (view.name == name) {
+        return &view;
+      }
+    }
+    return nullptr;
+  }
+
+  // The view selected for display (the ViewQL `view` attribute, else default).
+  const ViewInstance* ActiveView() const {
+    auto it = attrs_.find("view");
+    if (it != attrs_.end()) {
+      const ViewInstance* chosen = FindView(it->second);
+      if (chosen != nullptr) {
+        return chosen;
+      }
+    }
+    const ViewInstance* def = FindView("default");
+    if (def != nullptr) {
+      return def;
+    }
+    return views_.empty() ? nullptr : &views_[0];
+  }
+
+  std::map<std::string, MemberValue>& members() { return members_; }
+  const std::map<std::string, MemberValue>& members() const { return members_; }
+
+  std::map<std::string, std::string>& attrs() { return attrs_; }
+  const std::map<std::string, std::string>& attrs() const { return attrs_; }
+  bool AttrBool(const std::string& key) const {
+    auto it = attrs_.find(key);
+    return it != attrs_.end() && (it->second == "true" || it->second == "1");
+  }
+
+ private:
+  uint64_t id_;
+  std::string decl_name_;
+  std::string kernel_type_;
+  uint64_t addr_;
+  size_t object_size_;
+  std::vector<ViewInstance> views_;
+  std::map<std::string, MemberValue> members_;
+  std::map<std::string, std::string> attrs_;
+};
+
+class ViewGraph {
+ public:
+  // Creates a box; (decl, addr) pairs are interned by the interpreter, not
+  // here. addr == 0 creates a virtual box.
+  VBox* NewBox(std::string decl_name, std::string kernel_type, uint64_t addr,
+               size_t object_size) {
+    auto box = std::make_unique<VBox>(boxes_.size(), std::move(decl_name),
+                                      std::move(kernel_type), addr, object_size);
+    VBox* raw = box.get();
+    boxes_.push_back(std::move(box));
+    return raw;
+  }
+
+  VBox* box(uint64_t id) { return id < boxes_.size() ? boxes_[id].get() : nullptr; }
+  const VBox* box(uint64_t id) const { return id < boxes_.size() ? boxes_[id].get() : nullptr; }
+  size_t size() const { return boxes_.size(); }
+
+  std::vector<uint64_t>& roots() { return roots_; }
+  const std::vector<uint64_t>& roots() const { return roots_; }
+
+  // First box whose underlying object address matches (the "focus" search).
+  const VBox* FindByAddr(uint64_t addr) const {
+    for (const auto& box : boxes_) {
+      if (!box->is_virtual() && box->addr() == addr) {
+        return box.get();
+      }
+    }
+    return nullptr;
+  }
+
+  // Outgoing edges (links + container members) of a box's every view.
+  std::vector<uint64_t> Neighbors(uint64_t id) const;
+
+  // All boxes reachable from `from` (inclusive) following edges.
+  std::vector<uint64_t> Reachable(const std::vector<uint64_t>& from) const;
+
+  // Total bytes of underlying kernel objects (Table 4's per-KB metric).
+  uint64_t TotalObjectBytes() const {
+    uint64_t total = 0;
+    for (const auto& box : boxes_) {
+      total += box->object_size();
+    }
+    return total;
+  }
+
+  template <typename Fn>
+  void ForEachBox(Fn&& fn) const {
+    for (const auto& box : boxes_) {
+      fn(*box);
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<VBox>> boxes_;
+  std::vector<uint64_t> roots_;
+};
+
+}  // namespace viewcl
+
+#endif  // SRC_VIEWCL_GRAPH_H_

@@ -1,0 +1,936 @@
+#include "src/viewcl/interp.h"
+
+#include <cassert>
+
+#include "src/support/str.h"
+#include "src/viewcl/parser.h"
+
+namespace viewcl {
+
+using dbg::Type;
+using dbg::TypeKind;
+using dbg::Value;
+
+// ---------------------------------------------------------------------------
+// Values and scopes
+// ---------------------------------------------------------------------------
+
+struct Interpreter::VclValue {
+  enum class Kind { kNull, kDbg, kBox, kBoxSet, kRawSet };
+  Kind kind = Kind::kNull;
+  Value dbg;                        // kDbg
+  uint64_t box = kNoBox;            // kBox
+  std::vector<uint64_t> box_set;    // kBoxSet
+  std::vector<Value> raw_set;       // kRawSet
+  std::string set_kind;             // container kind ("List", "RBTree", ...)
+
+  static VclValue Null() { return VclValue{}; }
+  static VclValue Dbg(Value v) {
+    VclValue out;
+    out.kind = Kind::kDbg;
+    out.dbg = v;
+    return out;
+  }
+  static VclValue Box(uint64_t id) {
+    VclValue out;
+    out.kind = Kind::kBox;
+    out.box = id;
+    return out;
+  }
+  static VclValue BoxSet(std::vector<uint64_t> ids) {
+    VclValue out;
+    out.kind = Kind::kBoxSet;
+    out.box_set = std::move(ids);
+    return out;
+  }
+  static VclValue RawSet(std::vector<Value> values) {
+    VclValue out;
+    out.kind = Kind::kRawSet;
+    out.raw_set = std::move(values);
+    return out;
+  }
+};
+
+class Interpreter::Scope {
+ public:
+  explicit Scope(const Scope* parent = nullptr) : parent_(parent) {}
+
+  const VclValue* Find(const std::string& name) const {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) {
+      return &it->second;
+    }
+    return parent_ != nullptr ? parent_->Find(name) : nullptr;
+  }
+
+  void Set(const std::string& name, VclValue value) { vars_[name] = std::move(value); }
+
+  const Scope* parent() const { return parent_; }
+  const std::map<std::string, VclValue>& vars() const { return vars_; }
+
+ private:
+  const Scope* parent_;
+  std::map<std::string, VclValue> vars_;
+};
+
+// ---------------------------------------------------------------------------
+// RunState: one evaluation of the accumulated program
+// ---------------------------------------------------------------------------
+
+class Interpreter::RunState {
+ public:
+  RunState(Interpreter* interp)
+      : in_(interp),
+        dbg_(interp->debugger_),
+        ctx_(&interp->debugger_->context()),
+        graph_(std::make_unique<ViewGraph>()) {
+    ResolveWellKnownOffsets();
+  }
+
+  vl::StatusOr<std::unique_ptr<ViewGraph>> Run() {
+    Scope global;
+    for (const Binding& binding : in_->bindings_) {
+      auto value = EvalExpr(binding.value.get(), &global, 0);
+      if (!value.ok()) {
+        Warn("binding '" + binding.name + "': " + value.status().ToString());
+        global.Set(binding.name, VclValue::Null());
+      } else {
+        global.Set(binding.name, std::move(value).value());
+      }
+    }
+    for (const ExprPtr& plot : in_->plots_) {
+      auto value = EvalExpr(plot.get(), &global, 0);
+      if (!value.ok()) {
+        Warn("plot: " + value.status().ToString());
+        continue;
+      }
+      switch (value->kind) {
+        case VclValue::Kind::kBox:
+          graph_->roots().push_back(value->box);
+          break;
+        case VclValue::Kind::kBoxSet: {
+          uint64_t id = MakeContainerBox("plot", value->box_set, value->set_kind);
+          graph_->roots().push_back(id);
+          break;
+        }
+        case VclValue::Kind::kRawSet: {
+          uint64_t id =
+              MakeContainerBox("plot", MakeRawBoxes("item", value->raw_set), value->set_kind);
+          graph_->roots().push_back(id);
+          break;
+        }
+        default:
+          Warn("plot produced no boxes");
+      }
+    }
+    return std::move(graph_);
+  }
+
+ private:
+  void Warn(std::string message) { in_->warnings_.push_back(std::move(message)); }
+
+  vl::Status LimitError() { return vl::FailedPreconditionError("box limit exceeded"); }
+
+  void ResolveWellKnownOffsets() {
+    dbg::TypeRegistry& reg = dbg_->types();
+    auto off = [&reg](const char* type_name, const char* field) -> size_t {
+      const Type* t = reg.FindByName(type_name);
+      assert(t != nullptr);
+      const dbg::Field* f = t->FindField(field);
+      assert(f != nullptr);
+      return f->offset;
+    };
+    off_list_next_ = off("list_head", "next");
+    off_hlist_first_ = off("hlist_head", "first");
+    off_hnode_next_ = off("hlist_node", "next");
+    off_rbroot_node_ = off("rb_root", "rb_node");
+    off_rbcached_root_ = off("rb_root_cached", "rb_root");
+    off_rb_left_ = off("rb_node", "rb_left");
+    off_rb_right_ = off("rb_node", "rb_right");
+    off_radix_rnode_ = off("radix_tree_root", "rnode");
+    off_radix_shift_ = off("radix_tree_node", "shift");
+    off_radix_slots_ = off("radix_tree_node", "slots");
+    off_mt_root_ = off("maple_tree", "ma_root");
+    off_mr64_pivot_ = off("maple_range_64", "pivot");
+    off_mr64_slot_ = off("maple_range_64", "slot");
+    off_ma64_pivot_ = off("maple_arange_64", "pivot");
+    off_ma64_slot_ = off("maple_arange_64", "slot");
+  }
+
+  // --- scalar plumbing ---
+
+  vl::StatusOr<uint64_t> ObjectAddr(const Value& v) {
+    if (v.is_lvalue()) {
+      if (v.type() != nullptr && v.type()->kind == TypeKind::kPointer) {
+        VL_ASSIGN_OR_RETURN(Value loaded, v.Load(&dbg_->target()));
+        return loaded.bits();
+      }
+      return v.addr();
+    }
+    return v.bits();
+  }
+
+  vl::StatusOr<uint64_t> ScalarBits(const Value& v) {
+    VL_ASSIGN_OR_RETURN(Value loaded, v.Load(&dbg_->target()));
+    if (loaded.is_lvalue()) {
+      return loaded.addr();  // aggregates decay to their address
+    }
+    return loaded.bits();
+  }
+
+  vl::StatusOr<uint64_t> ReadPtr(uint64_t addr) { return dbg_->target().ReadUnsigned(addr, 8); }
+
+  // Builds the C-expression environment from the lexical scope chain.
+  dbg::Environment BuildEnv(const Scope* scope) {
+    dbg::Environment env;
+    for (const Scope* s = scope; s != nullptr; s = s->parent()) {
+      for (const auto& [name, value] : s->vars()) {
+        if (env.count(name) != 0) {
+          continue;  // inner scope wins
+        }
+        if (value.kind == VclValue::Kind::kDbg) {
+          env.emplace(name, value.dbg);
+        } else if (value.kind == VclValue::Kind::kBox) {
+          const VBox* box = graph_->box(value.box);
+          if (box != nullptr && !box->is_virtual()) {
+            const Type* t = dbg_->types().FindByName(box->kernel_type());
+            if (t != nullptr) {
+              env.emplace(name, Value::MakePointer(dbg_->types().PointerTo(t), box->addr()));
+            }
+          }
+        }
+      }
+    }
+    return env;
+  }
+
+  vl::StatusOr<Value> EvalC(const std::string& text, const Scope* scope) {
+    dbg::Environment env = BuildEnv(scope);
+    return dbg::EvalCExpression(ctx_, text, &env);
+  }
+
+  // --- expression evaluation ---
+
+  vl::StatusOr<VclValue> EvalExpr(const Expr* expr, Scope* scope, int depth) {
+    if (depth > in_->limits_.max_depth) {
+      return vl::FailedPreconditionError("evaluation depth limit exceeded");
+    }
+    switch (expr->kind) {
+      case Expr::Kind::kCExpr: {
+        VL_ASSIGN_OR_RETURN(Value v, EvalC(expr->text, scope));
+        return VclValue::Dbg(v);
+      }
+      case Expr::Kind::kAtRef: {
+        const VclValue* found = scope->Find(expr->text);
+        if (found == nullptr) {
+          return vl::EvalError("unbound @" + expr->text);
+        }
+        return *found;
+      }
+      case Expr::Kind::kInt:
+        return VclValue::Dbg(Value::MakeInt(dbg_->types().u64(), expr->ival));
+      case Expr::Kind::kNull:
+        return VclValue::Null();
+      case Expr::Kind::kFieldPath: {
+        const VclValue* self = scope->Find("this");
+        if (self == nullptr || self->kind != VclValue::Kind::kDbg) {
+          return vl::EvalError("field path '" + vl::StrJoin(expr->path, ".") +
+                               "' outside a box context");
+        }
+        Value v = self->dbg;
+        for (const std::string& field : expr->path) {
+          VL_ASSIGN_OR_RETURN(v, v.Member(&dbg_->target(), &dbg_->types(), field));
+        }
+        return VclValue::Dbg(v);
+      }
+      case Expr::Kind::kSwitch:
+        return EvalSwitch(expr, scope, depth);
+      case Expr::Kind::kBoxCtor:
+        return EvalBoxCtor(expr, scope, depth);
+      case Expr::Kind::kContainerCtor:
+        return EvalContainerCtor(expr, scope, depth);
+      case Expr::Kind::kSelectFrom:
+        return EvalSelectFrom(expr, scope, depth);
+      case Expr::Kind::kInlineBox:
+        return InstantiateBox(expr->inline_box.get(), Value(), scope, depth + 1);
+    }
+    return vl::InternalError("unhandled ViewCL expression");
+  }
+
+  vl::StatusOr<VclValue> EvalSwitch(const Expr* expr, Scope* scope, int depth) {
+    VL_ASSIGN_OR_RETURN(VclValue scrutinee, EvalExpr(expr->kids[0].get(), scope, depth + 1));
+    uint64_t bits = 0;
+    if (scrutinee.kind == VclValue::Kind::kDbg) {
+      VL_ASSIGN_OR_RETURN(bits, ScalarBits(scrutinee.dbg));
+    } else if (scrutinee.kind == VclValue::Kind::kNull) {
+      bits = 0;
+    } else {
+      return vl::EvalError("switch scrutinee must be a scalar");
+    }
+    for (const SwitchCase& sc : expr->cases) {
+      for (const ExprPtr& label : sc.labels) {
+        VL_ASSIGN_OR_RETURN(VclValue lv, EvalExpr(label.get(), scope, depth + 1));
+        uint64_t label_bits = 0;
+        if (lv.kind == VclValue::Kind::kDbg) {
+          VL_ASSIGN_OR_RETURN(label_bits, ScalarBits(lv.dbg));
+        }
+        if (label_bits == bits) {
+          return EvalExpr(sc.body.get(), scope, depth + 1);
+        }
+      }
+    }
+    if (expr->otherwise != nullptr) {
+      return EvalExpr(expr->otherwise.get(), scope, depth + 1);
+    }
+    return VclValue::Null();
+  }
+
+  vl::StatusOr<VclValue> EvalBoxCtor(const Expr* expr, Scope* scope, int depth) {
+    auto it = in_->defines_.find(expr->text);
+    if (it == in_->defines_.end()) {
+      return vl::EvalError("unknown Box '" + expr->text + "'");
+    }
+    const BoxDecl* decl = it->second;
+    VL_ASSIGN_OR_RETURN(VclValue arg, EvalExpr(expr->kids[0].get(), scope, depth + 1));
+    uint64_t addr = 0;
+    if (arg.kind == VclValue::Kind::kDbg) {
+      VL_ASSIGN_OR_RETURN(addr, ObjectAddr(arg.dbg));
+    } else if (arg.kind == VclValue::Kind::kBox) {
+      const VBox* box = graph_->box(arg.box);
+      addr = box != nullptr ? box->addr() : 0;
+    } else if (arg.kind == VclValue::Kind::kNull) {
+      return VclValue::Null();
+    }
+    if (addr == 0) {
+      return VclValue::Null();
+    }
+    // Anchored constructor: container_of the argument.
+    if (!expr->path.empty()) {
+      VL_ASSIGN_OR_RETURN(size_t anchor_off, AnchorOffset(expr->path));
+      addr -= anchor_off;
+    }
+    const Type* t = dbg_->types().FindByName(decl->kernel_type);
+    Value object = Value::MakeLValue(t != nullptr ? t : dbg_->types().void_type(), addr);
+    return InstantiateBox(decl, object, nullptr, depth + 1);
+  }
+
+  vl::StatusOr<size_t> AnchorOffset(const std::vector<std::string>& path) {
+    const Type* t = dbg_->types().FindByName(path[0]);
+    if (t == nullptr) {
+      return vl::EvalError("unknown anchor type '" + path[0] + "'");
+    }
+    size_t total = 0;
+    for (size_t i = 1; i < path.size(); ++i) {
+      if (t->kind == TypeKind::kArray) {
+        t = t->element;  // anchors through array fields address element 0
+      }
+      const dbg::Field* f = t->FindField(path[i]);
+      if (f == nullptr) {
+        return vl::EvalError("anchor: '" + t->name + "' has no member '" + path[i] + "'");
+      }
+      total += f->offset;
+      t = f->type;
+    }
+    return total;
+  }
+
+  // --- container adapters (the distill/flatten machinery) ---
+
+  vl::StatusOr<VclValue> EvalContainerCtor(const Expr* expr, Scope* scope, int depth) {
+    std::vector<VclValue> args;
+    for (const ExprPtr& kid : expr->kids) {
+      VL_ASSIGN_OR_RETURN(VclValue v, EvalExpr(kid.get(), scope, depth + 1));
+      args.push_back(std::move(v));
+    }
+    std::vector<Value> elements;
+    const std::string& kind = expr->text;
+    if (kind == "List") {
+      VL_ASSIGN_OR_RETURN(elements, WalkList(args));
+    } else if (kind == "HList") {
+      VL_ASSIGN_OR_RETURN(elements, WalkHList(args));
+    } else if (kind == "RBTree") {
+      VL_ASSIGN_OR_RETURN(elements, WalkRbTree(args));
+    } else if (kind == "Array") {
+      VL_ASSIGN_OR_RETURN(elements, WalkArray(args));
+    } else if (kind == "XArray" || kind == "RadixTree") {
+      VL_ASSIGN_OR_RETURN(elements, WalkRadix(args));
+    } else if (kind == "MapleTree") {
+      VL_ASSIGN_OR_RETURN(elements, WalkMaple(args));
+    } else {
+      return vl::EvalError("unknown container '" + kind + "'");
+    }
+
+    if (expr->for_each == nullptr) {
+      VclValue raw = VclValue::RawSet(std::move(elements));
+      raw.set_kind = kind;
+      return raw;
+    }
+    const ForEachClause* fe = expr->for_each.get();
+    std::vector<uint64_t> boxes;
+    for (const Value& element : elements) {
+      Scope iter(scope);
+      iter.Set(fe->var, VclValue::Dbg(element));
+      bool failed = false;
+      for (const Binding& binding : fe->bindings) {
+        auto v = EvalExpr(binding.value.get(), &iter, depth + 1);
+        if (!v.ok()) {
+          Warn("forEach binding '" + binding.name + "': " + v.status().ToString());
+          iter.Set(binding.name, VclValue::Null());
+          failed = true;
+        } else {
+          iter.Set(binding.name, std::move(v).value());
+        }
+      }
+      (void)failed;
+      auto yielded = EvalExpr(fe->yield.get(), &iter, depth + 1);
+      if (!yielded.ok()) {
+        Warn("forEach yield: " + yielded.status().ToString());
+        continue;
+      }
+      if (yielded->kind == VclValue::Kind::kBox) {
+        boxes.push_back(yielded->box);
+      } else if (yielded->kind == VclValue::Kind::kBoxSet) {
+        boxes.insert(boxes.end(), yielded->box_set.begin(), yielded->box_set.end());
+      }
+      // kNull yields are skipped (e.g. empty maple slots).
+    }
+    VclValue result = VclValue::BoxSet(std::move(boxes));
+    result.set_kind = kind;
+    return result;
+  }
+
+  vl::StatusOr<uint64_t> ArgAddr(const std::vector<VclValue>& args, const char* what) {
+    if (args.empty() || args[0].kind != VclValue::Kind::kDbg) {
+      return vl::EvalError(std::string(what) + ": expected an object argument");
+    }
+    return ObjectAddr(args[0].dbg);
+  }
+
+  vl::StatusOr<std::vector<Value>> WalkList(const std::vector<VclValue>& args) {
+    VL_ASSIGN_OR_RETURN(uint64_t head, ArgAddr(args, "List"));
+    std::vector<Value> out;
+    const Type* node_type = dbg_->types().FindByName("list_head");
+    VL_ASSIGN_OR_RETURN(uint64_t node, ReadPtr(head + off_list_next_));
+    while (node != 0 && node != head && out.size() < in_->limits_.max_container_elems) {
+      out.push_back(Value::MakeLValue(node_type, node));
+      VL_ASSIGN_OR_RETURN(node, ReadPtr(node + off_list_next_));
+    }
+    return out;
+  }
+
+  vl::StatusOr<std::vector<Value>> WalkHList(const std::vector<VclValue>& args) {
+    VL_ASSIGN_OR_RETURN(uint64_t head, ArgAddr(args, "HList"));
+    std::vector<Value> out;
+    const Type* node_type = dbg_->types().FindByName("hlist_node");
+    VL_ASSIGN_OR_RETURN(uint64_t node, ReadPtr(head + off_hlist_first_));
+    while (node != 0 && out.size() < in_->limits_.max_container_elems) {
+      out.push_back(Value::MakeLValue(node_type, node));
+      VL_ASSIGN_OR_RETURN(node, ReadPtr(node + off_hnode_next_));
+    }
+    return out;
+  }
+
+  vl::StatusOr<std::vector<Value>> WalkRbTree(const std::vector<VclValue>& args) {
+    if (args.empty() || args[0].kind != VclValue::Kind::kDbg) {
+      return vl::EvalError("RBTree: expected a root argument");
+    }
+    Value root = args[0].dbg;
+    uint64_t root_addr = 0;
+    // Accept rb_root, rb_root_cached, or a pointer to either.
+    Value cursor = root;
+    if (cursor.type() != nullptr && cursor.type()->kind == TypeKind::kPointer) {
+      VL_ASSIGN_OR_RETURN(cursor, cursor.Deref(&dbg_->target(), &dbg_->types()));
+    }
+    if (cursor.type() != nullptr && cursor.type()->name == "rb_root_cached") {
+      root_addr = cursor.addr() + off_rbcached_root_;
+    } else {
+      root_addr = cursor.is_lvalue() ? cursor.addr() : cursor.bits();
+    }
+    VL_ASSIGN_OR_RETURN(uint64_t node, ReadPtr(root_addr + off_rbroot_node_));
+    // Iterative in-order traversal with an explicit stack of node addresses.
+    std::vector<Value> out;
+    const Type* node_type = dbg_->types().FindByName("rb_node");
+    std::vector<uint64_t> stack;
+    while ((node != 0 || !stack.empty()) &&
+           out.size() < in_->limits_.max_container_elems) {
+      while (node != 0) {
+        stack.push_back(node);
+        VL_ASSIGN_OR_RETURN(node, ReadPtr(node + off_rb_left_));
+        if (stack.size() > 4096) {
+          return vl::EvalError("RBTree: runaway traversal");
+        }
+      }
+      if (stack.empty()) {
+        break;
+      }
+      uint64_t current = stack.back();
+      stack.pop_back();
+      out.push_back(Value::MakeLValue(node_type, current));
+      VL_ASSIGN_OR_RETURN(node, ReadPtr(current + off_rb_right_));
+    }
+    return out;
+  }
+
+  vl::StatusOr<std::vector<Value>> WalkArray(const std::vector<VclValue>& args) {
+    if (args.empty() || args[0].kind != VclValue::Kind::kDbg) {
+      return vl::EvalError("Array: expected an array argument");
+    }
+    Value arr = args[0].dbg;
+    std::vector<Value> out;
+    if (arr.is_lvalue() && arr.type() != nullptr && arr.type()->kind == TypeKind::kArray) {
+      const Type* elem = arr.type()->element;
+      size_t n = arr.type()->array_len;
+      if (args.size() > 1 && args[1].kind == VclValue::Kind::kDbg) {
+        VL_ASSIGN_OR_RETURN(uint64_t limit, ScalarBits(args[1].dbg));
+        n = std::min<size_t>(n, limit);
+      }
+      n = std::min(n, in_->limits_.max_container_elems);
+      for (size_t i = 0; i < n; ++i) {
+        out.push_back(Value::MakeLValue(elem, arr.addr() + i * elem->size));
+      }
+      return out;
+    }
+    // Pointer base + explicit count.
+    if (arr.type() != nullptr && arr.type()->kind == TypeKind::kPointer) {
+      if (args.size() < 2 || args[1].kind != VclValue::Kind::kDbg) {
+        return vl::EvalError("Array(pointer) requires an element count");
+      }
+      VL_ASSIGN_OR_RETURN(Value base, arr.Load(&dbg_->target()));
+      VL_ASSIGN_OR_RETURN(uint64_t n, ScalarBits(args[1].dbg));
+      n = std::min<uint64_t>(n, in_->limits_.max_container_elems);
+      const Type* elem = base.type()->pointee;
+      if (elem->size == 0) {
+        return vl::EvalError("Array of void: unknown element size");
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        out.push_back(Value::MakeLValue(elem, base.bits() + i * elem->size));
+      }
+      return out;
+    }
+    return vl::EvalError("Array: argument is not an array or pointer");
+  }
+
+  vl::Status WalkRadixNode(uint64_t node, std::vector<Value>* out) {
+    VL_ASSIGN_OR_RETURN(uint64_t shift, dbg_->target().ReadUnsigned(node + off_radix_shift_, 1));
+    for (int i = 0; i < vkern::kRadixTreeMapSize; ++i) {
+      if (out->size() >= in_->limits_.max_container_elems) {
+        return vl::Status::Ok();
+      }
+      VL_ASSIGN_OR_RETURN(uint64_t slot,
+                          ReadPtr(node + off_radix_slots_ + static_cast<uint64_t>(i) * 8));
+      if (slot == 0) {
+        continue;
+      }
+      if (shift == 0) {
+        out->push_back(
+            Value::MakePointer(dbg_->types().PointerTo(dbg_->types().void_type()), slot));
+      } else {
+        VL_RETURN_IF_ERROR(WalkRadixNode(slot, out));
+      }
+    }
+    return vl::Status::Ok();
+  }
+
+  vl::StatusOr<std::vector<Value>> WalkRadix(const std::vector<VclValue>& args) {
+    VL_ASSIGN_OR_RETURN(uint64_t root, ArgAddr(args, "XArray"));
+    std::vector<Value> out;
+    VL_ASSIGN_OR_RETURN(uint64_t rnode, ReadPtr(root + off_radix_rnode_));
+    if (rnode != 0) {
+      VL_RETURN_IF_ERROR(WalkRadixNode(rnode, &out));
+    }
+    return out;
+  }
+
+  vl::Status WalkMapleNode(uint64_t enode, uint64_t max, std::vector<Value>* out) {
+    uint64_t node = enode & ~uint64_t{0xff};
+    uint32_t type = (enode >> 3) & 0xf;
+    bool leaf = type < vkern::maple_range_64;
+    bool arange = type == vkern::maple_arange_64;
+    uint64_t pivot_off = arange ? off_ma64_pivot_ : off_mr64_pivot_;
+    uint64_t slot_off = arange ? off_ma64_slot_ : off_mr64_slot_;
+    uint32_t pivots = arange ? vkern::kMapleArange64Slots - 1 : vkern::kMapleRange64Slots - 1;
+    uint64_t prev_pivot = 0;
+    for (uint32_t i = 0; i <= pivots; ++i) {
+      if (out->size() >= in_->limits_.max_container_elems) {
+        return vl::Status::Ok();
+      }
+      uint64_t slot_max = max;
+      if (i < pivots) {
+        VL_ASSIGN_OR_RETURN(slot_max,
+                            dbg_->target().ReadUnsigned(node + pivot_off + i * 8ull, 8));
+        if (slot_max == 0 || slot_max >= max) {
+          slot_max = max;  // terminator: this is the last slot
+        }
+      }
+      VL_ASSIGN_OR_RETURN(uint64_t entry, ReadPtr(node + slot_off + i * 8ull));
+      if (entry != 0) {
+        if (leaf) {
+          out->push_back(
+              Value::MakePointer(dbg_->types().PointerTo(dbg_->types().void_type()), entry));
+        } else {
+          VL_RETURN_IF_ERROR(WalkMapleNode(entry, slot_max, out));
+        }
+      }
+      if (slot_max == max) {
+        break;
+      }
+      prev_pivot = slot_max;
+      (void)prev_pivot;
+    }
+    return vl::Status::Ok();
+  }
+
+  vl::StatusOr<std::vector<Value>> WalkMaple(const std::vector<VclValue>& args) {
+    VL_ASSIGN_OR_RETURN(uint64_t tree, ArgAddr(args, "MapleTree"));
+    std::vector<Value> out;
+    VL_ASSIGN_OR_RETURN(uint64_t root, ReadPtr(tree + off_mt_root_));
+    if (root == 0) {
+      return out;
+    }
+    if ((root & 2) == 0) {
+      // Direct entry at the root.
+      out.push_back(Value::MakePointer(dbg_->types().PointerTo(dbg_->types().void_type()), root));
+      return out;
+    }
+    VL_RETURN_IF_ERROR(WalkMapleNode(root, ~0ull, &out));
+    return out;
+  }
+
+  vl::StatusOr<VclValue> EvalSelectFrom(const Expr* expr, Scope* scope, int depth) {
+    VL_ASSIGN_OR_RETURN(VclValue source, EvalExpr(expr->kids[0].get(), scope, depth + 1));
+    // Resolve the underlying object (box or value) and its kernel type.
+    uint64_t addr = 0;
+    std::string type_name;
+    if (source.kind == VclValue::Kind::kBox) {
+      const VBox* box = graph_->box(source.box);
+      if (box == nullptr) {
+        return vl::EvalError("selectFrom: dangling box");
+      }
+      addr = box->addr();
+      type_name = box->kernel_type();
+    } else if (source.kind == VclValue::Kind::kDbg) {
+      Value v = source.dbg;
+      if (v.type() != nullptr && v.type()->kind == TypeKind::kPointer) {
+        VL_ASSIGN_OR_RETURN(v, v.Deref(&dbg_->target(), &dbg_->types()));
+      }
+      addr = v.addr();
+      type_name = v.type() != nullptr ? v.type()->name : "";
+    } else {
+      return vl::EvalError("selectFrom: unsupported source");
+    }
+
+    std::vector<Value> entries;
+    std::vector<VclValue> args;
+    args.push_back(VclValue::Dbg(
+        Value::MakeLValue(dbg_->types().FindByName(type_name), addr)));
+    if (type_name == "maple_tree") {
+      VL_ASSIGN_OR_RETURN(entries, WalkMaple(args));
+    } else if (type_name == "radix_tree_root" || type_name == "address_space") {
+      if (type_name == "address_space") {
+        const Type* as = dbg_->types().FindByName("address_space");
+        const dbg::Field* f = as->FindField("i_pages");
+        args[0] = VclValue::Dbg(Value::MakeLValue(
+            dbg_->types().FindByName("radix_tree_root"), addr + f->offset));
+      }
+      VL_ASSIGN_OR_RETURN(entries, WalkRadix(args));
+    } else {
+      return vl::EvalError("selectFrom: cannot distill a '" + type_name + "'");
+    }
+
+    auto it = in_->defines_.find(expr->text);
+    if (it == in_->defines_.end()) {
+      return vl::EvalError("selectFrom: unknown Box '" + expr->text + "'");
+    }
+    const BoxDecl* decl = it->second;
+    const Type* elem_type = dbg_->types().FindByName(decl->kernel_type);
+    std::vector<uint64_t> boxes;
+    for (const Value& entry : entries) {
+      Value typed = Value::MakeLValue(elem_type != nullptr ? elem_type : dbg_->types().void_type(),
+                                      entry.bits());
+      VL_ASSIGN_OR_RETURN(VclValue box, InstantiateBox(decl, typed, nullptr, depth + 1));
+      if (box.kind == VclValue::Kind::kBox) {
+        boxes.push_back(box.box);
+      }
+    }
+    VclValue result = VclValue::BoxSet(std::move(boxes));
+    result.set_kind = "Array";
+    return result;
+  }
+
+  // --- box instantiation ---
+
+  vl::StatusOr<VclValue> InstantiateBox(const BoxDecl* decl, Value object, Scope* lexical,
+                                        int depth) {
+    if (depth > in_->limits_.max_depth) {
+      return vl::FailedPreconditionError("box nesting limit exceeded");
+    }
+    if (graph_->size() >= in_->limits_.max_boxes) {
+      return LimitError();
+    }
+    bool is_virtual = decl->kernel_type.empty();
+    uint64_t addr = 0;
+    size_t object_size = 0;
+    const Type* type = nullptr;
+    if (!is_virtual) {
+      type = dbg_->types().FindByName(decl->kernel_type);
+      addr = object.is_lvalue() ? object.addr() : object.bits();
+      if (addr == 0) {
+        return VclValue::Null();
+      }
+      object_size = type != nullptr ? type->size : 0;
+      if (in_->limits_.intern_boxes) {
+        auto key = std::make_pair(decl, addr);
+        auto found = interned_.find(key);
+        if (found != interned_.end()) {
+          return VclValue::Box(found->second);
+        }
+      }
+    }
+
+    VBox* box = graph_->NewBox(decl->name, decl->kernel_type, addr, object_size);
+    if (!is_virtual && in_->limits_.intern_boxes) {
+      interned_[std::make_pair(decl, addr)] = box->id();
+    }
+
+    // Box scope: @this plus box-level where bindings.
+    Scope box_scope(lexical);
+    if (!is_virtual && type != nullptr) {
+      box_scope.Set("this", VclValue::Dbg(Value::MakeLValue(type, addr)));
+    }
+    for (const Binding& binding : decl->where) {
+      auto v = EvalExpr(binding.value.get(), &box_scope, depth + 1);
+      if (!v.ok()) {
+        Warn("where '" + binding.name + "' in " + decl->name + ": " + v.status().ToString());
+        box_scope.Set(binding.name, VclValue::Null());
+      } else {
+        RecordMember(box, binding.name, *v);
+        box_scope.Set(binding.name, std::move(v).value());
+      }
+    }
+
+    for (const ViewDecl& view_decl : decl->views) {
+      ViewInstance view;
+      view.name = view_decl.name;
+      Scope view_scope(&box_scope);
+      VL_RETURN_IF_ERROR(
+          EvalViewInto(decl, &view_decl, &view_scope, box, &view, depth));
+      box->views().push_back(std::move(view));
+    }
+    return VclValue::Box(box->id());
+  }
+
+  // Evaluates a view (after resolving its inheritance chain) into `out`.
+  vl::Status EvalViewInto(const BoxDecl* decl, const ViewDecl* view_decl, Scope* scope,
+                          VBox* box, ViewInstance* out, int depth) {
+    // Inherited views first (recursively).
+    if (!view_decl->parent.empty()) {
+      const ViewDecl* parent = nullptr;
+      for (const ViewDecl& candidate : decl->views) {
+        if (candidate.name == view_decl->parent) {
+          parent = &candidate;
+        }
+      }
+      if (parent == nullptr) {
+        return vl::EvalError("view :" + view_decl->name + " inherits unknown :" +
+                             view_decl->parent);
+      }
+      VL_RETURN_IF_ERROR(EvalViewInto(decl, parent, scope, box, out, depth));
+    }
+    for (const Binding& binding : view_decl->where) {
+      auto v = EvalExpr(binding.value.get(), scope, depth + 1);
+      if (!v.ok()) {
+        Warn("where '" + binding.name + "': " + v.status().ToString());
+        scope->Set(binding.name, VclValue::Null());
+      } else {
+        RecordMember(box, binding.name, *v);
+        scope->Set(binding.name, std::move(v).value());
+      }
+    }
+    for (const ItemDecl& item : view_decl->items) {
+      EvalItem(item, scope, box, out, depth);
+    }
+    return vl::Status::Ok();
+  }
+
+  void EvalItem(const ItemDecl& item, Scope* scope, VBox* box, ViewInstance* out, int depth) {
+    auto value = EvalExpr(item.value.get(), scope, depth + 1);
+    if (!value.ok()) {
+      if (item.kind == ItemDecl::Kind::kText) {
+        out->texts.push_back(TextItem{item.name, "?"});
+      } else if (item.kind == ItemDecl::Kind::kLink) {
+        out->links.push_back(LinkItem{item.name, kNoBox});
+      }
+      Warn("item '" + item.name + "' in " + box->decl_name() + ": " +
+           value.status().ToString());
+      return;
+    }
+    switch (item.kind) {
+      case ItemDecl::Kind::kText:
+        EvalTextItem(item, *value, box, out);
+        return;
+      case ItemDecl::Kind::kLink: {
+        uint64_t target = kNoBox;
+        if (value->kind == VclValue::Kind::kBox) {
+          target = value->box;
+        } else if (value->kind == VclValue::Kind::kBoxSet) {
+          target = MakeContainerBox(item.name, value->box_set, value->set_kind);
+        } else if (value->kind == VclValue::Kind::kRawSet) {
+          target = MakeContainerBox(item.name, MakeRawBoxes(item.name, value->raw_set),
+                                    value->set_kind);
+        } else if (value->kind == VclValue::Kind::kDbg) {
+          Warn("link '" + item.name + "' targets a plain value, not a box");
+        }
+        out->links.push_back(LinkItem{item.name, target});
+        return;
+      }
+      case ItemDecl::Kind::kContainer: {
+        ContainerItem container;
+        container.name = item.name;
+        if (value->kind == VclValue::Kind::kBoxSet) {
+          container.members = value->box_set;
+        } else if (value->kind == VclValue::Kind::kRawSet) {
+          container.members = MakeRawBoxes(item.name, value->raw_set);
+        } else if (value->kind == VclValue::Kind::kBox) {
+          container.members.push_back(value->box);
+        }
+        box->members()[item.name + ".size"] =
+            MemberValue::Int(static_cast<int64_t>(container.members.size()));
+        out->containers.push_back(std::move(container));
+        return;
+      }
+    }
+  }
+
+  void EvalTextItem(const ItemDecl& item, const VclValue& value, VBox* box,
+                    ViewInstance* out) {
+    if (value.kind == VclValue::Kind::kNull) {
+      out->texts.push_back(TextItem{item.name, "<null>"});
+      box->members()[item.name] = MemberValue::Null();
+      return;
+    }
+    if (value.kind != VclValue::Kind::kDbg) {
+      out->texts.push_back(TextItem{item.name, "<box>"});
+      return;
+    }
+    auto formatted = FormatDecorated(ctx_, &in_->emoji_, item.decorator, value.dbg);
+    if (!formatted.ok()) {
+      out->texts.push_back(TextItem{item.name, "?"});
+      Warn("text '" + item.name + "': " + formatted.status().ToString());
+      return;
+    }
+    out->texts.push_back(TextItem{item.name, formatted->display});
+    if (formatted->is_string) {
+      box->members()[item.name] = MemberValue::Str(formatted->display);
+    } else if (formatted->has_raw) {
+      box->members()[item.name] = MemberValue::Int(static_cast<int64_t>(formatted->raw_bits));
+    } else {
+      box->members()[item.name] = MemberValue::Str(formatted->display);
+    }
+  }
+
+  void RecordMember(VBox* box, const std::string& name, const VclValue& value) {
+    if (value.kind != VclValue::Kind::kDbg) {
+      return;
+    }
+    const Value& v = value.dbg;
+    if (v.type() != nullptr && v.IsNull() && !v.is_lvalue()) {
+      box->members()[name] = MemberValue::Null();
+      return;
+    }
+    if (!v.is_lvalue() && v.type() != nullptr && v.type()->IsScalar()) {
+      box->members()[name] = MemberValue::Int(static_cast<int64_t>(v.bits()));
+    }
+  }
+
+  // A virtual box that groups a set of member boxes (used for plotted sets
+  // and links-to-containers).
+  uint64_t MakeContainerBox(const std::string& name, const std::vector<uint64_t>& members,
+                            const std::string& kind = "") {
+    VBox* box =
+        graph_->NewBox(kind.empty() ? "<container:" + name + ">" : kind, "", 0, 0);
+    ViewInstance view;
+    view.name = "default";
+    ContainerItem container;
+    container.name = name;
+    container.members = members;
+    view.containers.push_back(std::move(container));
+    box->members()[name + ".size"] = MemberValue::Int(static_cast<int64_t>(members.size()));
+    box->views().push_back(std::move(view));
+    return box->id();
+  }
+
+  // Wraps raw scalar elements into single-text virtual boxes.
+  std::vector<uint64_t> MakeRawBoxes(const std::string& name,
+                                     const std::vector<Value>& values) {
+    std::vector<uint64_t> ids;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (graph_->size() >= in_->limits_.max_boxes) {
+        break;
+      }
+      VBox* box = graph_->NewBox("<value>", "", 0, 0);
+      ViewInstance view;
+      view.name = "default";
+      auto formatted = FormatDecorated(ctx_, &in_->emoji_, "", values[i]);
+      std::string display = formatted.ok() ? formatted->display : "?";
+      view.texts.push_back(TextItem{vl::StrFormat("%s[%zu]", name.c_str(), i), display});
+      if (formatted.ok() && formatted->has_raw) {
+        box->members()["value"] = MemberValue::Int(static_cast<int64_t>(formatted->raw_bits));
+      }
+      box->views().push_back(std::move(view));
+      ids.push_back(box->id());
+    }
+    return ids;
+  }
+
+  Interpreter* in_;
+  dbg::KernelDebugger* dbg_;
+  dbg::EvalContext* ctx_;
+  std::unique_ptr<ViewGraph> graph_;
+  std::map<std::pair<const BoxDecl*, uint64_t>, uint64_t> interned_;
+
+  size_t off_list_next_ = 0;
+  size_t off_hlist_first_ = 0;
+  size_t off_hnode_next_ = 0;
+  size_t off_rbroot_node_ = 0;
+  size_t off_rbcached_root_ = 0;
+  size_t off_rb_left_ = 0;
+  size_t off_rb_right_ = 0;
+  size_t off_radix_rnode_ = 0;
+  size_t off_radix_shift_ = 0;
+  size_t off_radix_slots_ = 0;
+  size_t off_mt_root_ = 0;
+  size_t off_mr64_pivot_ = 0;
+  size_t off_mr64_slot_ = 0;
+  size_t off_ma64_pivot_ = 0;
+  size_t off_ma64_slot_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Interpreter façade
+// ---------------------------------------------------------------------------
+
+Interpreter::Interpreter(dbg::KernelDebugger* debugger, InterpLimits limits)
+    : debugger_(debugger), limits_(limits) {}
+
+vl::Status Interpreter::Load(std::string_view source) {
+  VL_ASSIGN_OR_RETURN(Program program, ParseViewCl(source));
+  for (std::unique_ptr<BoxDecl>& decl : program.defines) {
+    defines_[decl->name] = decl.get();
+    owned_decls_.push_back(std::move(decl));
+  }
+  for (Binding& binding : program.bindings) {
+    bindings_.push_back(std::move(binding));
+  }
+  for (ExprPtr& plot : program.plots) {
+    plots_.push_back(std::move(plot));
+  }
+  return vl::Status::Ok();
+}
+
+vl::StatusOr<std::unique_ptr<ViewGraph>> Interpreter::Run() {
+  warnings_.clear();
+  RunState state(this);
+  return state.Run();
+}
+
+}  // namespace viewcl

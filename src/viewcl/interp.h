@@ -1,0 +1,76 @@
+// The ViewCL interpreter: evaluates programs against a debugger-attached
+// kernel, producing a ViewGraph (paper §2.2, §4.1).
+//
+// Evaluation walks the live object graph purely through Target memory reads
+// (never host pointers), so the latency model sees exactly the traffic a GDB
+// front-end would generate. Boxes are interned by (declaration, address) so
+// cyclic kernel structures terminate; container adapters implement the
+// *distill* operation and anchored constructors implement container_of.
+
+#ifndef SRC_VIEWCL_INTERP_H_
+#define SRC_VIEWCL_INTERP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/viewcl/ast.h"
+#include "src/viewcl/decorate.h"
+#include "src/viewcl/graph.h"
+
+namespace viewcl {
+
+struct InterpLimits {
+  size_t max_boxes = 50000;
+  size_t max_container_elems = 4096;
+  int max_depth = 128;
+  // Interning deduplicates (declaration, address) pairs; disabling it (the
+  // bench_ablation experiment) makes shared/cyclic structures blow up until
+  // the depth/box limits bite.
+  bool intern_boxes = true;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(dbg::KernelDebugger* debugger, InterpLimits limits = InterpLimits{});
+
+  // Parses and accumulates a program chunk (definitions are remembered across
+  // Load calls, so a prelude can be loaded before a figure program).
+  vl::Status Load(std::string_view source);
+
+  // Evaluates all pending top-level bindings and plot statements against the
+  // current kernel state, producing a fresh graph. Can be called repeatedly;
+  // each call re-runs the accumulated program on the *current* state.
+  vl::StatusOr<std::unique_ptr<ViewGraph>> Run();
+
+  // One-shot convenience.
+  vl::StatusOr<std::unique_ptr<ViewGraph>> RunProgram(std::string_view source) {
+    VL_RETURN_IF_ERROR(Load(source));
+    return Run();
+  }
+
+  const std::vector<std::string>& warnings() const { return warnings_; }
+  EmojiRegistry& emoji() { return emoji_; }
+  dbg::KernelDebugger* debugger() { return debugger_; }
+
+ private:
+  struct VclValue;
+  class Scope;
+  class RunState;
+
+  dbg::KernelDebugger* debugger_;
+  InterpLimits limits_;
+  EmojiRegistry emoji_;
+
+  std::map<std::string, const BoxDecl*> defines_;
+  std::vector<std::unique_ptr<BoxDecl>> owned_decls_;
+  std::vector<Binding> bindings_;
+  std::vector<ExprPtr> plots_;
+  std::vector<std::string> warnings_;
+};
+
+}  // namespace viewcl
+
+#endif  // SRC_VIEWCL_INTERP_H_

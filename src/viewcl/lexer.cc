@@ -1,0 +1,206 @@
+#include "src/viewcl/lexer.h"
+
+#include <cctype>
+
+#include "src/support/str.h"
+
+namespace viewcl {
+
+namespace {
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view src) : src_(src) {}
+
+  vl::StatusOr<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= src_.size()) {
+        out.push_back(Make(TokKind::kEnd, ""));
+        return out;
+      }
+      char c = src_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexIdent());
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        VL_ASSIGN_OR_RETURN(Token t, LexNumber());
+        out.push_back(t);
+      } else if (c == '@') {
+        VL_ASSIGN_OR_RETURN(Token t, LexPrefixed(TokKind::kAtIdent, '@'));
+        out.push_back(t);
+      } else if (c == '$' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '{') {
+        VL_ASSIGN_OR_RETURN(Token t, LexCExpr());
+        out.push_back(t);
+      } else if (c == ':' && pos_ + 1 < src_.size() &&
+                 (std::isalpha(static_cast<unsigned char>(src_[pos_ + 1])) ||
+                  src_[pos_ + 1] == '_')) {
+        VL_ASSIGN_OR_RETURN(Token t, LexPrefixed(TokKind::kViewName, ':'));
+        out.push_back(t);
+      } else {
+        VL_ASSIGN_OR_RETURN(Token t, LexPunct());
+        out.push_back(t);
+      }
+    }
+  }
+
+ private:
+  Token Make(TokKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_;
+    t.col = col_;
+    return t;
+  }
+
+  void Bump() {
+    if (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Bump();
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') {
+          Bump();
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token LexIdent() {
+    size_t start = pos_;
+    while (pos_ < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                                  src_[pos_] == '_')) {
+      Bump();
+    }
+    return Make(TokKind::kIdent, std::string(src_.substr(start, pos_ - start)));
+  }
+
+  vl::StatusOr<Token> LexNumber() {
+    size_t start = pos_;
+    uint64_t value = 0;
+    int base = 10;
+    if (src_[pos_] == '0' && pos_ + 1 < src_.size() &&
+        (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+      base = 16;
+      Bump();
+      Bump();
+    }
+    bool any = false;
+    while (pos_ < src_.size()) {
+      char c = static_cast<char>(std::tolower(static_cast<unsigned char>(src_[pos_])));
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (base == 16 && c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else {
+        break;
+      }
+      value = value * static_cast<uint64_t>(base) + static_cast<uint64_t>(digit);
+      Bump();
+      any = true;
+    }
+    if (!any) {
+      return vl::ParseError(vl::StrFormat("bad number at %d:%d", line_, col_));
+    }
+    Token t = Make(TokKind::kInt, std::string(src_.substr(start, pos_ - start)));
+    t.ival = value;
+    return t;
+  }
+
+  vl::StatusOr<Token> LexPrefixed(TokKind kind, char prefix) {
+    Bump();  // consume the prefix character
+    if (pos_ >= src_.size() || (!std::isalpha(static_cast<unsigned char>(src_[pos_])) &&
+                                src_[pos_] != '_')) {
+      return vl::ParseError(
+          vl::StrFormat("'%c' must be followed by a name at %d:%d", prefix, line_, col_));
+    }
+    size_t start = pos_;
+    while (pos_ < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                                  src_[pos_] == '_')) {
+      Bump();
+    }
+    return Make(kind, std::string(src_.substr(start, pos_ - start)));
+  }
+
+  vl::StatusOr<Token> LexCExpr() {
+    Bump();  // '$'
+    Bump();  // '{'
+    size_t start = pos_;
+    int depth = 1;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) {
+          std::string inner(src_.substr(start, pos_ - start));
+          Bump();  // closing '}'
+          return Make(TokKind::kCExpr, std::string(vl::StrTrim(inner)));
+        }
+      }
+      Bump();
+    }
+    return vl::ParseError(vl::StrFormat("unterminated ${...} starting at line %d", line_));
+  }
+
+  vl::StatusOr<Token> LexPunct() {
+    if (src_.substr(pos_, 2) == "=>") {
+      Bump();
+      Bump();
+      return Make(TokKind::kPunct, "=>");
+    }
+    if (src_.substr(pos_, 2) == "->") {
+      Bump();
+      Bump();
+      return Make(TokKind::kPunct, "->");
+    }
+    static const std::string_view kOneChar = "[]{}()<>,:.=|\\";
+    char c = src_[pos_];
+    if (kOneChar.find(c) == std::string_view::npos) {
+      return vl::ParseError(vl::StrFormat("unexpected character '%c' at %d:%d", c, line_, col_));
+    }
+    Bump();
+    return Make(TokKind::kPunct, std::string(1, c));
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+vl::StatusOr<std::vector<Token>> LexViewCl(std::string_view source) {
+  return LexerImpl(source).Run();
+}
+
+int CountCodeLines(std::string_view source) {
+  int count = 0;
+  for (const std::string& line : vl::StrSplit(source, '\n')) {
+    std::string_view trimmed = vl::StrTrim(line);
+    if (trimmed.empty() || trimmed.substr(0, 2) == "//") {
+      continue;
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace viewcl

@@ -1,0 +1,46 @@
+// ViewCL lexer.
+//
+// ViewCL's surface syntax mixes its own tokens with embedded C expressions:
+// `${...}` chunks are captured verbatim and later handed to the debugger's
+// C-expression engine (paper §2.2).
+
+#ifndef SRC_VIEWCL_LEXER_H_
+#define SRC_VIEWCL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace viewcl {
+
+enum class TokKind {
+  kEnd,
+  kIdent,     // define, Box, foo_bar — keywords are identified by the parser
+  kAtIdent,   // @name (text is the name without '@')
+  kViewName,  // :name (text is the name without ':')
+  kInt,
+  kCExpr,     // ${ ... } (text is the inner C expression)
+  kPunct,     // [ ] { } ( ) < > , : . = | and the digraphs => ->
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  uint64_t ival = 0;
+  int line = 0;
+  int col = 0;
+};
+
+// Tokenizes `source`; `//` comments run to end of line.
+vl::StatusOr<std::vector<Token>> LexViewCl(std::string_view source);
+
+// Number of non-blank, non-comment-only source lines — the "LOC" metric
+// Table 2 reports per figure program.
+int CountCodeLines(std::string_view source);
+
+}  // namespace viewcl
+
+#endif  // SRC_VIEWCL_LEXER_H_

@@ -1,0 +1,17 @@
+// ViewCL parser: tokens -> Program AST.
+
+#ifndef SRC_VIEWCL_PARSER_H_
+#define SRC_VIEWCL_PARSER_H_
+
+#include <string_view>
+
+#include "src/support/status.h"
+#include "src/viewcl/ast.h"
+
+namespace viewcl {
+
+vl::StatusOr<Program> ParseViewCl(std::string_view source);
+
+}  // namespace viewcl
+
+#endif  // SRC_VIEWCL_PARSER_H_

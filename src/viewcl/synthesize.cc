@@ -1,0 +1,78 @@
+#include "src/viewcl/synthesize.h"
+
+#include "src/support/str.h"
+
+namespace viewcl {
+
+using dbg::Field;
+using dbg::Type;
+using dbg::TypeKind;
+
+vl::StatusOr<std::string> SynthesizeViewCl(const dbg::TypeRegistry& types,
+                                           std::string_view type_name,
+                                           std::string_view root_expr,
+                                           const SynthesisOptions& options) {
+  const Type* type = types.FindByName(type_name);
+  if (type == nullptr) {
+    return vl::NotFoundError("unknown type '" + std::string(type_name) + "'");
+  }
+  if (!type->IsAggregate() || type->fields.empty()) {
+    return vl::InvalidArgumentError("type '" + type->name + "' has no displayable fields");
+  }
+
+  std::string box_name = "Auto_" + type->name;
+  std::string program = "// synthesized by vplot for '" + type->name + "'\n";
+  program += "define " + box_name + " as Box<" + type->name + "> [\n";
+
+  int emitted = 0;
+  for (const Field& field : type->fields) {
+    if (emitted >= options.max_fields) {
+      break;
+    }
+    const Type* ft = field.type;
+    switch (ft->kind) {
+      case TypeKind::kBool:
+        program += "  Text<bool> " + field.name + "\n";
+        break;
+      case TypeKind::kChar:
+        program += "  Text<char> " + field.name + "\n";
+        break;
+      case TypeKind::kInt:
+      case TypeKind::kEnum:
+        program += "  Text " + field.name + "\n";
+        break;
+      case TypeKind::kArray:
+        if (ft->element->kind == TypeKind::kChar) {
+          program += "  Text<string> " + field.name + "\n";
+        } else {
+          continue;  // non-char arrays are beyond a naive skim
+        }
+        break;
+      case TypeKind::kPointer:
+        if (!options.include_pointers) {
+          continue;
+        }
+        if (ft->pointee != nullptr && ft->pointee->kind == TypeKind::kFunc) {
+          program += "  Text<fptr> " + field.name + "\n";
+        } else {
+          program += "  Text<raw_ptr> " + field.name + "\n";
+        }
+        break;
+      case TypeKind::kStruct:
+      case TypeKind::kUnion:
+      case TypeKind::kVoid:
+      case TypeKind::kFunc:
+        continue;  // nested aggregates need a real (non-naive) program
+    }
+    ++emitted;
+  }
+  if (emitted == 0) {
+    return vl::InvalidArgumentError("type '" + type->name +
+                                    "' has no naively displayable fields");
+  }
+  program += "]\n";
+  program += "plot " + box_name + "(${" + std::string(root_expr) + "})\n";
+  return program;
+}
+
+}  // namespace viewcl

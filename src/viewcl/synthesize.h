@@ -1,0 +1,35 @@
+// Naive ViewCL synthesis (paper §4: "vplot ... can also synthesize naive
+// ViewCL code for trivial debugging objectives").
+//
+// Given a registered kernel type, generates a Box declaration covering its
+// directly displayable state: scalar fields as Text items with type-directed
+// decorators, char arrays as strings, function pointers symbolized, other
+// pointers as raw values (no recursion — that is what makes it "naive"), and
+// a plot statement for the given root expression.
+
+#ifndef SRC_VIEWCL_SYNTHESIZE_H_
+#define SRC_VIEWCL_SYNTHESIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/dbg/type.h"
+#include "src/support/status.h"
+
+namespace viewcl {
+
+struct SynthesisOptions {
+  int max_fields = 24;        // trivial objectives want a skim, not a dump
+  bool include_pointers = true;
+};
+
+// Returns a complete ViewCL program: one Box define for `type_name` plus
+// `plot <Box>(${root_expr})`. Errors if the type is unknown or opaque.
+vl::StatusOr<std::string> SynthesizeViewCl(const dbg::TypeRegistry& types,
+                                           std::string_view type_name,
+                                           std::string_view root_expr,
+                                           const SynthesisOptions& options = SynthesisOptions{});
+
+}  // namespace viewcl
+
+#endif  // SRC_VIEWCL_SYNTHESIZE_H_

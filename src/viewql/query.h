@@ -1,0 +1,76 @@
+// ViewQL (paper §2.3): an SQL-like language for customizing a ViewCL-produced
+// object graph.
+//
+//   name = SELECT <type[.member]> FROM <set|*> [AS alias] [WHERE cond]
+//   UPDATE <set-expr> WITH attr: value [, attr: value]
+//
+// Conditions are AND/OR compositions of `member op value` (no nested queries,
+// per the paper). Set expressions support \ (difference), & (intersection),
+// | (union), REACHABLE(set) (transitive closure), and MEMBERS(set) (the boxes
+// directly contained in / linked from a set — the paper's is_inside-style
+// containment operator). UPDATE mutates the display attributes the
+// visualizer honours: view, trimmed, collapsed, direction.
+//
+// WHERE resolution: a member is looked up in the box's evaluated member map
+// first (covering ViewCL-defined fields like is_writable); if absent, it is
+// read from the underlying kernel object through the debugger — which is how
+// `WHERE mm != NULL` works even when `mm` is not displayed.
+
+#ifndef SRC_VIEWQL_QUERY_H_
+#define SRC_VIEWQL_QUERY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/support/status.h"
+#include "src/viewcl/graph.h"
+
+namespace viewql {
+
+using BoxSet = std::set<uint64_t>;
+
+struct ExecStats {
+  int statements = 0;
+  int selects = 0;
+  int updates = 0;
+  uint64_t last_selected = 0;   // size of the most recent SELECT result
+  uint64_t boxes_updated = 0;   // total boxes touched by UPDATEs
+};
+
+class QueryEngine {
+ public:
+  // `debugger` may be null; raw-field WHERE fallback is then disabled.
+  QueryEngine(viewcl::ViewGraph* graph, dbg::KernelDebugger* debugger)
+      : graph_(graph), debugger_(debugger) {}
+
+  // Executes a whole ViewQL program (multiple statements).
+  vl::Status Execute(std::string_view program);
+
+  // Named result sets created by SELECT statements.
+  const BoxSet* FindSet(const std::string& name) const {
+    auto it = sets_.find(name);
+    return it != sets_.end() ? &it->second : nullptr;
+  }
+
+  const ExecStats& stats() const { return stats_; }
+  viewcl::ViewGraph* graph() { return graph_; }
+
+ private:
+  friend class ExecState;
+
+  viewcl::ViewGraph* graph_;
+  dbg::KernelDebugger* debugger_;
+  std::map<std::string, BoxSet> sets_;
+  ExecStats stats_;
+};
+
+// Validates syntax without executing (used by vchat).
+vl::Status CheckViewQl(std::string_view program);
+
+}  // namespace viewql
+
+#endif  // SRC_VIEWQL_QUERY_H_

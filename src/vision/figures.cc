@@ -1,0 +1,696 @@
+#include "src/vision/figures.h"
+
+#include "src/support/str.h"
+
+namespace vision {
+
+namespace {
+
+// Δ legend (paper Table 2): "O" negligible, "o" variables/fields changed,
+// "d" fields/relations changed, "D" underlying data structure replaced.
+
+const char* kFig3_4 = R"(// Fig 3-4: process parenthood tree
+define Task as Box<task_struct> {
+  :default [
+    Text pid, comm
+    Text<string> state: ${task_state(@this)}
+  ]
+  :default => :show_children [
+    Container children: List(${&@this.children}).forEach |node| {
+      yield Task<task_struct.sibling>(@node)
+    }
+  ]
+}
+plot Task(${&init_task})
+)";
+
+const char* kFig3_6 = R"(// Fig 3-6: the PID hash table
+define Task as Box<task_struct> [ Text pid, comm ]
+define Pid as Box<pid> [
+  Text nr
+  Container tasks: HList(${&@this.tasks_head}).forEach |n| {
+    yield Task<task_struct.pids.node>(@n)
+  }
+]
+buckets = Array(${pid_hash}).forEach |bucket| {
+  yield switch ${@bucket.first == NULL} {
+    case ${1}: NULL
+    otherwise: Box [
+      Container chain: HList(${&@bucket}).forEach |n| {
+        yield Pid<pid.pid_chain>(@n)
+      }
+    ]
+  }
+}
+plot @buckets
+)";
+
+const char* kFig4_5 = R"(// Fig 4-5: IRQ descriptors and shared action chains
+define IrqAction as Box<irqaction> [
+  Text<string> name
+  Text irq
+  Text<fptr> handler
+  Link next -> IrqAction(${@this.next})
+]
+define IrqDesc as Box<irq_desc> [
+  Text irq: ${@this.irq_data.irq}
+  Text<string> name
+  Text depth, tot_count
+  Text<bool> is_configured: ${@this.action != NULL}
+  Text<string> chip: ${@this.irq_data.chip->name}
+  Link action -> IrqAction(${@this.action})
+]
+descs = Array(${irq_desc}).forEach |d| { yield IrqDesc(${&@d}) }
+plot @descs
+)";
+
+const char* kFig6_1 = R"(// Fig 6-1: dynamic timers on the per-CPU timer wheel
+define Timer as Box<timer_list> [
+  Text expires
+  Text<fptr> function
+]
+define TimerBase as Box<timer_base> [
+  Text cpu, clk
+  Container buckets: Array(${@this.vectors}).forEach |bucket| {
+    yield switch ${@bucket.first == NULL} {
+      case ${1}: NULL
+      otherwise: Box [
+        Container timers: HList(${&@bucket}).forEach |n| {
+          yield Timer<timer_list.entry>(@n)
+        }
+      ]
+    }
+  }
+]
+plot TimerBase(${&timer_bases[0]})
+plot TimerBase(${&timer_bases[1]})
+)";
+
+const char* kFig7_1 = R"(// Fig 7-1: the CFS run queue (vruntime-ordered red-black tree)
+define Task as Box<task_struct> {
+  :default [
+    Text pid, comm
+    Text ppid: ${@this.parent != NULL ? @this.parent->pid : 0}
+  ]
+  :default => :sched [
+    Text<string> state: ${task_state(@this)}
+    Text se.vruntime
+  ]
+}
+define CfsRq as Box<cfs_rq> [
+  Text nr_running, min_vruntime
+  Container tasks_timeline: RBTree(${&@this.tasks_timeline}).forEach |node| {
+    yield Task<task_struct.se.run_node>(@node)
+  }
+]
+define Rq as Box<rq> [
+  Text cpu, clock
+  Link curr -> Task(${@this.curr})
+  Link cfs -> CfsRq(${&@this.cfs})
+]
+plot Rq(${cpu_rq(0)})
+plot Rq(${cpu_rq(1)})
+)";
+
+const char* kFig8_2 = R"(// Fig 8-2: the buddy system and page descriptors
+define Page as Box<page> [
+  Text<u64:x> flags
+  Text order
+]
+define FreeArea as Box<free_area> [
+  Text nr_free
+  Container blocks: List(${&@this.free_list}).forEach |n| {
+    yield Page<page.lru>(@n)
+  }
+]
+define Zone as Box<zone> [
+  Text<string> name
+  Text free_pages, spanned_pages
+  Container areas: Array(${@this.free_area}).forEach |a| { yield FreeArea(${&@a}) }
+]
+plot Zone(${&contig_page_data})
+)";
+
+const char* kFig8_4 = R"(// Fig 8-4: kmem caches and the slab allocator
+define Slab as Box<slab> [
+  Text inuse, free_idx
+  Text<u64:x> s_mem
+]
+define KmemCache as Box<kmem_cache> [
+  Text<string> name
+  Text object_size, size, num
+  Text active_objects, total_objects
+  Container partial: List(${&@this.slabs_partial}).forEach |n| { yield Slab<slab.list>(@n) }
+  Container full: List(${&@this.slabs_full}).forEach |n| { yield Slab<slab.list>(@n) }
+  Container free: List(${&@this.slabs_free}).forEach |n| { yield Slab<slab.list>(@n) }
+]
+caches = List(${&cache_chain}).forEach |n| { yield KmemCache<kmem_cache.cache_list>(@n) }
+plot @caches
+)";
+
+const char* kFig9_2 = R"(// Fig 9-2: the process address space (maple tree of VMAs; paper Figs 3/4)
+define FileRef as Box<file> [
+  Text<string> path: ${@this.f_dentry->d_name}
+]
+define VMArea as Box<vm_area_struct> [
+  Text<u64:x> vm_start, vm_end
+  Text<flag:vm_flags_bits> vm_flags
+  Text<bool> is_writable: ${(@this.vm_flags & VM_WRITE) != 0}
+  Link vm_file -> FileRef(${@this.vm_file})
+]
+define MapleNode as Box<maple_node> [
+  Text<enum:maple_type> ntype: @type
+  Text<bool> leaf: @is_leaf
+  Container slots: @slots
+  Container pivots: @pivots
+] where {
+  node = ${mte_to_node(@this)}
+  type = ${mte_node_type(@this)}
+  is_leaf = ${mte_is_leaf(@this)}
+  pivots = switch @type {
+    case ${maple_arange_64}: Array(${@node->ma64.pivot})
+    otherwise: Array(${@node->mr64.pivot})
+  }
+  slots = switch @type {
+    case ${maple_leaf_64}, ${maple_range_64}: Array(${@node->mr64.slot}).forEach |item| {
+      yield switch ${@item == NULL} {
+        case ${1}: NULL
+        otherwise: VMArea(@item)
+      }
+    }
+    case ${maple_arange_64}: Array(${@node->ma64.slot}).forEach |item| {
+      yield switch ${@item == NULL} {
+        case ${1}: NULL
+        otherwise: MapleNode(@item)
+      }
+    }
+    otherwise: NULL
+  }
+}
+define MapleTree as Box<maple_tree> [
+  Text<u64:x> root_enode: ma_root
+  Text<emoji:lock> ma_lock
+  Link ma_root -> @root
+] where {
+  root = switch ${xa_is_node(@this.ma_root)} {
+    case ${1}: MapleNode(${@this.ma_root})
+    otherwise: NULL
+  }
+}
+define MMStruct as Box<mm_struct> {
+  :default [
+    Text<u64:x> mmap_base, start_code, end_code, start_brk, brk, start_stack
+    Text map_count
+    Text mm_users: ${@this.mm_users.counter}
+    Text mm_count: ${@this.mm_count.counter}
+  ]
+  :default => :show_mt [
+    Link mm_maple_tree -> @mm_mt
+  ]
+  :default => :show_addrspace [
+    Container mm_addr_space: @mm_as
+  ]
+} where {
+  mm_mt = MapleTree(${&@this.mm_mt})
+  mm_as = Array.selectFrom(${&@this.mm_mt}, VMArea)
+}
+plot MMStruct(${target_task.mm})
+)";
+
+const char* kFig11_1 = R"(// Fig 11-1: components for signal handling
+define SigQueue as Box<sigqueue> [ Text signo, pid_from ]
+define Sigaction as Box<k_sigaction> [
+  Text<fptr> handler: ${@this.sa.sa_handler}
+  Text<bool> is_configured: ${@this.sa.sa_handler != 0 && @this.sa.sa_handler != 1}
+]
+define Sighand as Box<sighand_struct> [
+  Text count
+  Container action: Array(${@this.action}).forEach |a| { yield Sigaction(${&@a}) }
+]
+define SignalStruct as Box<signal_struct> [
+  Text nr_threads
+  Container shared_pending: List(${&@this.shared_pending.list}).forEach |n| {
+    yield SigQueue<sigqueue.list>(@n)
+  }
+]
+define Task as Box<task_struct> [
+  Text pid, comm
+  Text<u64:x> blocked: ${@this.blocked.sig}
+  Link signal -> SignalStruct(${@this.signal})
+  Link sighand -> Sighand(${@this.sighand})
+  Container pending: List(${&@this.pending.list}).forEach |n| {
+    yield SigQueue<sigqueue.list>(@n)
+  }
+]
+plot Task(${target_task})
+)";
+
+const char* kFig12_3 = R"(// Fig 12-3: the fd array
+define Inode as Box<inode> [
+  Text i_ino
+  Text<u64:x> i_mode
+]
+define File as Box<file> [
+  Text<string> fops: ${@this.f_op->name}
+  Text f_flags
+  Text refs: ${@this.f_count.counter}
+  Link f_inode -> Inode(${@this.f_inode})
+]
+define FdTable as Box<files_struct> [
+  Text refs: ${@this.count.counter}
+  Text next_fd
+  Container fd: Array(${@this.fdtab.fd}, ${@this.fdtab.max_fds}).forEach |f| {
+    yield File(@f)
+  }
+]
+plot FdTable(${target_task.files})
+)";
+
+const char* kFig13_3 = R"(// Fig 13-3: device drivers and kobjects
+define Kobject as Box<kobject> [
+  Text<string> name
+  Text refcount: ${@this.kref.refcount.counter}
+]
+define Driver as Box<device_driver> [
+  Text<string> name
+]
+define Device as Box<device> [
+  Text<string> init_name
+  Text<u64:x> devt
+  Link kobj -> Kobject(${&@this.kobj})
+  Link parent -> Device(${@this.parent})
+  Link driver -> Driver(${@this.driver})
+]
+define Bus as Box<bus_type> [
+  Text<string> name
+  Container devices: List(${&@this.devices_list}).forEach |n| {
+    yield Device<device.bus_node>(@n)
+  }
+  Container drivers: List(${&@this.drivers_list}).forEach |n| {
+    yield Driver<device_driver.bus_node>(@n)
+  }
+]
+plot Bus(${&platform_bus_type})
+)";
+
+const char* kFig14_3 = R"(// Fig 14-3: block device descriptors and superblocks
+define Bdev as Box<block_device> [
+  Text<string> bd_disk_name
+  Text bd_nr_sectors
+  Text<u64:x> bd_dev
+]
+define SuperBlock as Box<super_block> [
+  Text<string> s_id
+  Text<string> fstype: ${@this.s_type->name}
+  Text<u64:x> s_magic
+  Text s_count
+  Link s_bdev -> Bdev(${@this.s_bdev})
+]
+sbs = List(${&super_blocks}).forEach |n| { yield SuperBlock<super_block.s_list>(@n) }
+plot @sbs
+)";
+
+const char* kFig15_1 = R"(// Fig 15-1: the radix tree managing the page cache
+define Page as Box<page> [
+  Text index
+  Text<u64:x> flags
+]
+define RadixNode as Box<radix_tree_node> [
+  Text shift, count
+  Container slots: @children
+] where {
+  is_leaf = ${@this.shift == 0}
+  children = Array(${@this.slots}).forEach |s| {
+    yield switch ${@s == NULL} {
+      case ${1}: NULL
+      otherwise: switch @is_leaf {
+        case ${1}: Page(@s)
+        otherwise: RadixNode(@s)
+      }
+    }
+  }
+}
+define AddressSpace as Box<address_space> [
+  Text nrpages
+  Link page_tree -> RadixNode(${@this.i_pages.rnode})
+]
+plot AddressSpace(${&target_file.f_inode->i_data})
+)";
+
+const char* kFig16_2 = R"(// Fig 16-2: file memory mapping
+define Page as Box<page> [
+  Text index
+  Text<u64:x> flags
+]
+define AddressSpace as Box<address_space> [
+  Text nrpages
+  Container pages: Array.selectFrom(${&@this.i_pages}, Page)
+]
+define File as Box<file> [
+  Text<string> path: ${@this.f_dentry->d_name}
+  Text<bool> has_mapping: ${@this.f_mapping != NULL && @this.f_mapping->nrpages != 0}
+  Link mapping -> AddressSpace(${@this.f_mapping})
+]
+define FdTable as Box<files_struct> [
+  Container files: Array(${@this.fdtab.fd}, ${@this.fdtab.max_fds}).forEach |f| {
+    yield File(@f)
+  }
+]
+plot FdTable(${target_task.files})
+)";
+
+const char* kFig17_1 = R"(// Fig 17-1: reverse map of anonymous pages
+define VMArea as Box<vm_area_struct> [
+  Text<u64:x> vm_start, vm_end
+]
+define Avc as Box<anon_vma_chain> [
+  Link vma -> VMArea(${@this.vma})
+]
+define AnonVma as Box<anon_vma> [
+  Text refcount: ${@this.refcount.counter}
+  Text num_active_vmas
+  Container chains: RBTree(${&@this.rb_root}).forEach |n| {
+    yield Avc<anon_vma_chain.rb>(@n)
+  }
+]
+avs = MapleTree(${&target_task.mm->mm_mt}).forEach |entry| {
+  av = ${((vm_area_struct*)@entry)->anon_vma}
+  yield switch ${@av == NULL} {
+    case ${1}: NULL
+    otherwise: AnonVma(@av)
+  }
+}
+plot @avs
+)";
+
+const char* kFig17_6 = R"(// Fig 17-6: swap area descriptors
+define FileRef as Box<file> [ Text<string> path: ${@this.f_dentry->d_name} ]
+define Bdev as Box<block_device> [ Text<string> bd_disk_name ]
+define SwapInfo as Box<swap_info_struct> [
+  Text<flag:swap_flag_bits> flags
+  Text prio, pages, inuse_pages, max
+  Link swap_file -> FileRef(${@this.swap_file})
+  Link bdev -> Bdev(${@this.bdev})
+]
+sis = Array(${swap_info}).forEach |si| { yield SwapInfo(@si) }
+plot @sis
+)";
+
+const char* kFig19_1 = R"(// Fig 19-1: IPC semaphore management
+define Sem as Box<sem> [ Text semval, sempid ]
+define SemArray as Box<sem_array> [
+  Text key: ${@this.sem_perm.key}
+  Text id: ${@this.sem_perm.id}
+  Text sem_nsems
+  Container sems: Array(${@this.sems}, ${@this.sem_nsems}).forEach |s| { yield Sem(${&@s}) }
+]
+sems = Array(${init_ipc_ns.ids[0].entries}).forEach |e| {
+  yield switch ${@e == NULL} {
+    case ${1}: NULL
+    otherwise: SemArray(${(sem_array*)@e})
+  }
+}
+plot @sems
+)";
+
+const char* kFig19_2 = R"(// Fig 19-2: IPC message queue management
+define Msg as Box<msg_msg> [ Text m_type, m_ts ]
+define MsgQueue as Box<msg_queue> [
+  Text key: ${@this.q_perm.key}
+  Text q_qnum, q_cbytes, q_qbytes
+  Container messages: List(${&@this.q_messages}).forEach |n| {
+    yield Msg<msg_msg.m_list>(@n)
+  }
+]
+msqs = Array(${init_ipc_ns.ids[1].entries}).forEach |e| {
+  yield switch ${@e == NULL} {
+    case ${1}: NULL
+    otherwise: MsgQueue(${(msg_queue*)@e})
+  }
+}
+plot @msqs
+)";
+
+const char* kWorkqueue = R"(// Table 2 #19: a heterogeneous work list (paper Figure 6)
+define VmstatWork as Box<vmstat_work_item> [
+  Text cpu, nr_updates
+  Text<fptr> func: ${@this.dw.work.func}
+]
+define LruWork as Box<lru_drain_item> [
+  Text cpu
+  Text<fptr> func: ${@this.work.func}
+]
+define DrainWork as Box<drain_pages_item> [
+  Text cpu, drained
+  Text<fptr> func: ${@this.work.func}
+]
+define GenericWork as Box<work_struct> [ Text<fptr> func ]
+define Pool as Box<worker_pool> [
+  Text cpu, nr_workers
+  Container worklist: List(${&@this.worklist}).forEach |n| {
+    yield switch ${((work_struct*)((unsigned long)&@n - 8))->func} {
+      case ${vmstat_update}: VmstatWork<vmstat_work_item.dw.work.entry>(@n)
+      case ${lru_add_drain_per_cpu}: LruWork<lru_drain_item.work.entry>(@n)
+      case ${drain_local_pages_wq}: DrainWork<drain_pages_item.work.entry>(@n)
+      otherwise: GenericWork<work_struct.entry>(@n)
+    }
+  }
+]
+define Pwq as Box<pool_workqueue> [
+  Link pool -> Pool(${@this.pool})
+]
+define Workqueue as Box<workqueue_struct> [
+  Text<string> name
+  Text<u64:x> flags
+  Container pwqs: List(${&@this.pwqs}).forEach |n| {
+    yield Pwq<pool_workqueue.pwqs_node>(@n)
+  }
+]
+plot Workqueue(${&mm_percpu_wq})
+)";
+
+const char* kProc2Vfs = R"(// Table 2 #20: from a process to the VFS (flattened path)
+define SuperBlockRef as Box<super_block> [
+  Text<string> s_id
+  Text<string> fstype: ${@this.s_type->name}
+]
+define InodeRef as Box<inode> [
+  Text i_ino
+  Link i_sb -> SuperBlockRef(${@this.i_sb})
+]
+define DentryRef as Box<dentry> [
+  Text<string> d_name
+  Link d_inode -> InodeRef(${@this.d_inode})
+]
+define Task as Box<task_struct> [
+  Text pid, comm
+  Link fd0_dentry -> DentryRef(
+      ${@this.files->fdtab.fd[0] != NULL ? @this.files->fdtab.fd[0]->f_dentry : 0})
+  Link fd0_sb -> SuperBlockRef(
+      ${@this.files->fdtab.fd[0] != NULL ? @this.files->fdtab.fd[0]->f_inode->i_sb : 0})
+]
+plot Task(${target_task})
+)";
+
+const char* kSocketConn = R"(// Table 2 #21: live socket connections (added figure)
+define Sock as Box<sock> [
+  Text skc_family
+  Text rxq: ${@this.sk_receive_queue.qlen}
+  Text txq: ${@this.sk_write_queue.qlen}
+  Link peer -> Sock(${@this.sk_peer})
+]
+define Socket as Box<socket> [
+  Text state, type
+  Text rx_qlen: ${@this.sk->sk_receive_queue.qlen}
+  Text tx_qlen: ${@this.sk->sk_write_queue.qlen}
+  Link sk -> Sock(${@this.sk})
+]
+define TaskSockets as Box<task_struct> [
+  Text pid, comm
+  Container sockets: @socks
+] where {
+  socks = switch ${@this.files == NULL} {
+    case ${1}: NULL
+    otherwise: Array(${@this.files->fdtab.fd}, ${@this.files->fdtab.max_fds}).forEach |f| {
+      yield switch ${@f != NULL && (@f->f_inode->i_mode & 0170000) == S_IFSOCK} {
+        case ${1}: Socket(${(socket*)@f->private_data})
+        otherwise: NULL
+      }
+    }
+  }
+}
+tasks = List(${&init_task.tasks}).forEach |n| {
+  yield TaskSockets<task_struct.tasks>(@n)
+}
+plot @tasks
+)";
+
+std::vector<FigureDef> BuildFigures() {
+  return {
+      {1, "fig3_4", "Fig 3-4", "process parenthood tree", "O", kFig3_4},
+      {2, "fig3_6", "Fig 3-6", "PID hash tables", "d", kFig3_6},
+      {3, "fig4_5", "Fig 4-5", "IRQ descriptors", "o", kFig4_5},
+      {4, "fig6_1", "Fig 6-1", "dynamic timers", "D", kFig6_1},
+      {5, "fig7_1", "Fig 7-1", "runqueue of CFS scheduler", "D", kFig7_1},
+      {6, "fig8_2", "Fig 8-2", "buddy system and pages", "d", kFig8_2},
+      {7, "fig8_4", "Fig 8-4", "kmem cache and slab allocator", "D", kFig8_4},
+      {8, "fig9_2", "Fig 9-2", "process address space", "D", kFig9_2},
+      {9, "fig11_1", "Fig 11-1", "components for signal handling", "O", kFig11_1},
+      {10, "fig12_3", "Fig 12-3", "the fd array", "o", kFig12_3},
+      {11, "fig13_3", "Fig 13-3", "device driver and kobject", "d", kFig13_3},
+      {12, "fig14_3", "Fig 14-3", "block device descriptors", "d", kFig14_3},
+      {13, "fig15_1", "Fig 15-1", "the radix tree managing page cache", "D", kFig15_1},
+      {14, "fig16_2", "Fig 16-2", "file memory mapping", "d", kFig16_2},
+      {15, "fig17_1", "Fig 17-1", "reverse map of anonymous pages", "O", kFig17_1},
+      {16, "fig17_6", "Fig 17-6", "swap area descriptors", "O", kFig17_6},
+      {17, "fig19_1", "Fig 19-1", "IPC semaphore management", "D", kFig19_1},
+      {18, "fig19_2", "Fig 19-2", "IPC message queue management", "D", kFig19_2},
+      {19, "workqueue", "-", "work queue", "D", kWorkqueue},
+      {20, "proc2vfs", "-", "from process to VFS", "O", kProc2Vfs},
+      {21, "socketconn", "-", "socket connection", "d", kSocketConn},
+  };
+}
+
+std::vector<ObjectiveDef> BuildObjectives() {
+  return {
+      {"fig3_4",
+       "Display view \"show_children\" of all tasks and shrink tasks that have no address "
+       "space",
+       "display view show_children of all tasks and shrink tasks that have no address space",
+       "a = SELECT task_struct FROM *\n"
+       "UPDATE a WITH view: show_children\n"
+       "b = SELECT task_struct FROM * WHERE mm == NULL\n"
+       "UPDATE b WITH collapsed: true\n"},
+      {"fig3_6",
+       "Shrink all PID hash table entries except for a set of specific pids",
+       "shrink all pid hash table entries except for pids 1 and 2",
+       "a = SELECT pid FROM * WHERE nr != 1 AND nr != 2\n"
+       "UPDATE a WITH collapsed: true\n"},
+      {"fig4_5",
+       "Shrink irq descriptors whose action is not configured",
+       "shrink irq descriptors whose action is not configured",
+       "a = SELECT irq_desc FROM * WHERE action == NULL\n"
+       "UPDATE a WITH collapsed: true\n"},
+      {"fig7_1",
+       "Display view \"sched\" of all processes, and display the red-black tree top-down",
+       "display view sched of all processes and display the red-black tree top-down",
+       "a = SELECT task_struct FROM *\n"
+       "UPDATE a WITH view: sched\n"
+       "b = SELECT RBTree FROM *\n"
+       "UPDATE b WITH direction: vertical\n"},
+      {"fig9_2",
+       "Display view \"show_mt\" of mm_struct, collapse the slot pointer list, and shrink "
+       "all writable vm_area_structs",
+       "display view show_mt of mm_struct, collapse the slot pointer lists, and shrink all "
+       "writable memory areas",
+       "a = SELECT mm_struct FROM *\n"
+       "UPDATE a WITH view: show_mt\n"
+       "b = SELECT maple_node.slots FROM *\n"
+       "UPDATE b WITH collapsed: true\n"
+       "c = SELECT vm_area_struct FROM * WHERE is_writable == true\n"
+       "UPDATE c WITH collapsed: true\n"},
+      {"fig11_1",
+       "Shrink all non-configured sigactions",
+       "shrink all non-configured sigactions",
+       "a = SELECT k_sigaction FROM * WHERE is_configured != true\n"
+       "UPDATE a WITH collapsed: true\n"},
+      {"fig14_3",
+       "Display the superblock list vertically, and collapse superblocks that are not "
+       "connected to any block device",
+       "display the superblock list vertically, and collapse superblocks that are not "
+       "connected to any block device",
+       "a = SELECT List FROM *\n"
+       "UPDATE a WITH direction: vertical\n"
+       "b = SELECT super_block FROM * WHERE s_bdev == NULL\n"
+       "UPDATE b WITH collapsed: true\n"},
+      {"fig15_1",
+       "Shrink the extremely large page list in file mappings",
+       "shrink the extremely large page list",
+       "a = SELECT page FROM *\n"
+       "UPDATE a WITH collapsed: true\n"},
+      {"fig16_2",
+       "Shrink all files that have no memory mapping",
+       "shrink all files that have no memory mapping",
+       "a = SELECT file FROM * WHERE has_mapping != true\n"
+       "UPDATE a WITH collapsed: true\n"},
+      {"socketconn",
+       "Shrink sockets whose write/receive buffer are both empty",
+       "shrink sockets whose write and receive buffers are both empty",
+       "a = SELECT socket FROM * WHERE tx_qlen == 0 AND rx_qlen == 0\n"
+       "UPDATE a WITH collapsed: true\n"},
+  };
+}
+
+}  // namespace
+
+const std::vector<FigureDef>& AllFigures() {
+  static const std::vector<FigureDef>* figures = new std::vector<FigureDef>(BuildFigures());
+  return *figures;
+}
+
+const FigureDef* FindFigure(const std::string& id) {
+  for (const FigureDef& figure : AllFigures()) {
+    if (figure.id == id) {
+      return &figure;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<ObjectiveDef>& AllObjectives() {
+  static const std::vector<ObjectiveDef>* objectives =
+      new std::vector<ObjectiveDef>(BuildObjectives());
+  return *objectives;
+}
+
+void RegisterFigureSymbols(dbg::KernelDebugger* debugger, vkern::Workload* workload) {
+  vkern::Kernel* kernel = debugger->kernel();
+  // target_task: a workload process that owns at least one socket fd (the
+  // socketconn figure needs one); fall back to process 0.
+  vkern::task_struct* target = workload->process(0);
+  for (vkern::task_struct* task : workload->user_tasks()) {
+    vkern::files_struct* files = task->files;
+    if (files == nullptr) {
+      continue;
+    }
+    bool has_socket = false;
+    for (uint32_t fd = 0; fd < files->fdt->max_fds; ++fd) {
+      vkern::file* f = kernel->fs().FdGet(files, static_cast<int>(fd));
+      if (f != nullptr && (f->f_inode->i_mode & 0170000u) == vkern::kSIfSock) {
+        has_socket = true;
+        break;
+      }
+    }
+    if (has_socket) {
+      target = task->group_leader;
+      break;
+    }
+  }
+  debugger->symbols().AddGlobal("target_task", debugger->types().FindByName("task_struct"),
+                                reinterpret_cast<uint64_t>(target));
+
+  // target_file: the file with the most cached pages.
+  vkern::file* best = nullptr;
+  uint64_t best_pages = 0;
+  for (vkern::task_struct* task : workload->user_tasks()) {
+    vkern::files_struct* files = task->files;
+    if (files == nullptr) {
+      continue;
+    }
+    for (uint32_t fd = 0; fd < files->fdt->max_fds; ++fd) {
+      vkern::file* f = kernel->fs().FdGet(files, static_cast<int>(fd));
+      if (f != nullptr && f->f_mapping != nullptr && f->f_mapping->nrpages > best_pages) {
+        best = f;
+        best_pages = f->f_mapping->nrpages;
+      }
+    }
+  }
+  if (best == nullptr) {
+    // Boot-time swap file always exists.
+    best = kernel->swap().info(0)->swap_file;
+  }
+  debugger->symbols().AddGlobal("target_file", debugger->types().FindByName("file"),
+                                reinterpret_cast<uint64_t>(best));
+}
+
+}  // namespace vision

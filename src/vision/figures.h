@@ -1,0 +1,48 @@
+// The evaluation corpus: ViewCL programs porting the representative figures of
+// *Understanding the Linux Kernel* to the simulated 6.1-style kernel (paper
+// Table 2), and the hypothetical debugging objectives with their
+// natural-language phrasings and reference ViewQL (paper Table 3).
+
+#ifndef SRC_VISION_FIGURES_H_
+#define SRC_VISION_FIGURES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/vkern/workload.h"
+
+namespace vision {
+
+struct FigureDef {
+  int index;                 // Table 2 row number (1-based)
+  const char* id;            // short stable id ("fig3_4")
+  const char* ulk_figure;    // "Fig 3-4" (or "-" for added figures)
+  const char* description;   // Table 2 "Diagram description"
+  const char* delta;         // data-structure change class: "O", "o", "d", "D"
+  const char* viewcl;        // the full ViewCL program
+};
+
+// All 21 Table 2 figures, in paper order.
+const std::vector<FigureDef>& AllFigures();
+const FigureDef* FindFigure(const std::string& id);
+
+struct ObjectiveDef {
+  const char* figure_id;     // which figure's plot it refines
+  const char* description;   // Table 3 "Debugging objective"
+  const char* nl_request;    // what the developer types at vchat
+  const char* viewql;        // the reference hand-written ViewQL
+};
+
+// The 10 Table 3 debugging objectives.
+const std::vector<ObjectiveDef>& AllObjectives();
+
+// Figure programs reference two harness-provided symbols: `target_task` (a
+// workload process) and `target_file` (an open file with cached pages). This
+// registers both against the debugger, choosing a process that owns sockets
+// and a file with a populated page cache.
+void RegisterFigureSymbols(dbg::KernelDebugger* debugger, vkern::Workload* workload);
+
+}  // namespace vision
+
+#endif  // SRC_VISION_FIGURES_H_

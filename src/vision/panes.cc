@@ -1,0 +1,356 @@
+#include "src/vision/panes.h"
+
+#include "src/support/str.h"
+
+namespace vision {
+
+PaneManager::PaneManager(dbg::KernelDebugger* debugger) : debugger_(debugger) {
+  Pane pane;
+  pane.id = next_pane_id_++;
+  panes_.emplace(pane.id, std::move(pane));
+  pane_order_.push_back(1);
+  layout_ = std::make_unique<LayoutNode>();
+  layout_->leaf = true;
+  layout_->pane_id = 1;
+}
+
+PaneManager::Pane* PaneManager::FindPane(int pane_id) {
+  auto it = panes_.find(pane_id);
+  return it != panes_.end() ? &it->second : nullptr;
+}
+
+const PaneManager::Pane* PaneManager::FindPane(int pane_id) const {
+  auto it = panes_.find(pane_id);
+  return it != panes_.end() ? &it->second : nullptr;
+}
+
+PaneManager::LayoutNode* PaneManager::FindLeaf(LayoutNode* node, int pane_id) {
+  if (node == nullptr) {
+    return nullptr;
+  }
+  if (node->leaf) {
+    return node->pane_id == pane_id ? node : nullptr;
+  }
+  LayoutNode* found = FindLeaf(node->first.get(), pane_id);
+  return found != nullptr ? found : FindLeaf(node->second.get(), pane_id);
+}
+
+vl::StatusOr<int> PaneManager::Split(int pane_id, char direction) {
+  if (direction != 'h' && direction != 'v') {
+    return vl::InvalidArgumentError("split direction must be 'h' or 'v'");
+  }
+  LayoutNode* leaf = FindLeaf(layout_.get(), pane_id);
+  if (leaf == nullptr) {
+    return vl::NotFoundError(vl::StrFormat("no pane %d in the layout", pane_id));
+  }
+  Pane pane;
+  pane.id = next_pane_id_++;
+  int new_id = pane.id;
+  panes_.emplace(new_id, std::move(pane));
+  pane_order_.push_back(new_id);
+
+  auto first = std::make_unique<LayoutNode>();
+  first->leaf = true;
+  first->pane_id = pane_id;
+  auto second = std::make_unique<LayoutNode>();
+  second->leaf = true;
+  second->pane_id = new_id;
+  leaf->leaf = false;
+  leaf->direction = direction;
+  leaf->first = std::move(first);
+  leaf->second = std::move(second);
+  return new_id;
+}
+
+vl::Status PaneManager::SetGraph(int pane_id, std::unique_ptr<viewcl::ViewGraph> graph,
+                                 std::string program_text) {
+  Pane* pane = FindPane(pane_id);
+  if (pane == nullptr) {
+    return vl::NotFoundError(vl::StrFormat("no pane %d", pane_id));
+  }
+  if (pane->secondary) {
+    return vl::FailedPreconditionError("cannot plot into a secondary pane");
+  }
+  pane->graph = std::move(graph);
+  pane->program_text = std::move(program_text);
+  pane->viewql_history.clear();
+  return vl::Status::Ok();
+}
+
+vl::StatusOr<int> PaneManager::CreateSecondary(int source_pane, std::vector<uint64_t> box_ids) {
+  Pane* source = FindPane(source_pane);
+  if (source == nullptr || source->graph == nullptr) {
+    // A secondary source must itself resolve to a graph-bearing pane.
+    if (source != nullptr && source->secondary) {
+      source = FindPane(source->source_pane);
+    }
+    if (source == nullptr || (source->graph == nullptr && !source->secondary)) {
+      return vl::FailedPreconditionError("source pane has no graph");
+    }
+  }
+  Pane pane;
+  pane.id = next_pane_id_++;
+  pane.secondary = true;
+  pane.source_pane = source->id;
+  pane.subset = std::move(box_ids);
+  int new_id = pane.id;
+  panes_.emplace(new_id, std::move(pane));
+  pane_order_.push_back(new_id);
+
+  // Secondary panes attach to the layout by splitting the source pane.
+  LayoutNode* leaf = FindLeaf(layout_.get(), source->id);
+  if (leaf != nullptr) {
+    auto first = std::make_unique<LayoutNode>();
+    first->leaf = true;
+    first->pane_id = source->id;
+    auto second = std::make_unique<LayoutNode>();
+    second->leaf = true;
+    second->pane_id = new_id;
+    leaf->leaf = false;
+    leaf->direction = 'h';
+    leaf->first = std::move(first);
+    leaf->second = std::move(second);
+  }
+  return new_id;
+}
+
+viewcl::ViewGraph* PaneManager::graph(int pane_id) {
+  Pane* pane = FindPane(pane_id);
+  if (pane == nullptr) {
+    return nullptr;
+  }
+  if (pane->secondary) {
+    Pane* source = FindPane(pane->source_pane);
+    return source != nullptr ? source->graph.get() : nullptr;
+  }
+  return pane->graph.get();
+}
+
+bool PaneManager::is_secondary(int pane_id) const {
+  const Pane* pane = FindPane(pane_id);
+  return pane != nullptr && pane->secondary;
+}
+
+std::string PaneManager::pane_title(int pane_id) const {
+  const Pane* pane = FindPane(pane_id);
+  if (pane == nullptr) {
+    return "?";
+  }
+  if (pane->secondary) {
+    return vl::StrFormat("pane %d (secondary of %d, %zu boxes)", pane_id, pane->source_pane,
+                         pane->subset.size());
+  }
+  return vl::StrFormat("pane %d (primary%s)", pane_id,
+                       pane->graph != nullptr ? "" : ", empty");
+}
+
+vl::Status PaneManager::ApplyViewQl(int pane_id, std::string_view program) {
+  viewcl::ViewGraph* target = graph(pane_id);
+  if (target == nullptr) {
+    return vl::FailedPreconditionError("pane has no graph to refine");
+  }
+  viewql::QueryEngine engine(target, debugger_);
+  VL_RETURN_IF_ERROR(engine.Execute(program));
+  Pane* pane = FindPane(pane_id);
+  pane->viewql_history.push_back(std::string(program));
+  return vl::Status::Ok();
+}
+
+std::vector<FocusHit> PaneManager::FocusAddress(uint64_t addr) const {
+  std::vector<FocusHit> hits;
+  for (int id : pane_order_) {
+    const Pane* pane = FindPane(id);
+    const viewcl::ViewGraph* g =
+        pane->secondary ? (FindPane(pane->source_pane) != nullptr
+                               ? FindPane(pane->source_pane)->graph.get()
+                               : nullptr)
+                        : pane->graph.get();
+    if (g == nullptr) {
+      continue;
+    }
+    g->ForEachBox([&](const viewcl::VBox& box) {
+      if (!box.is_virtual() && box.addr() == addr) {
+        hits.push_back(FocusHit{id, box.id()});
+      }
+    });
+  }
+  return hits;
+}
+
+std::vector<FocusHit> PaneManager::FocusMember(const std::string& member, int64_t value) const {
+  std::vector<FocusHit> hits;
+  for (int id : pane_order_) {
+    const Pane* pane = FindPane(id);
+    const viewcl::ViewGraph* g =
+        pane->secondary ? (FindPane(pane->source_pane) != nullptr
+                               ? FindPane(pane->source_pane)->graph.get()
+                               : nullptr)
+                        : pane->graph.get();
+    if (g == nullptr) {
+      continue;
+    }
+    g->ForEachBox([&](const viewcl::VBox& box) {
+      auto it = box.members().find(member);
+      if (it != box.members().end() &&
+          it->second.kind == viewcl::MemberValue::Kind::kInt && it->second.num == value) {
+        hits.push_back(FocusHit{id, box.id()});
+      }
+    });
+  }
+  return hits;
+}
+
+std::string PaneManager::RenderPane(int pane_id, const RenderOptions& options) {
+  Pane* pane = FindPane(pane_id);
+  if (pane == nullptr) {
+    return "(no such pane)\n";
+  }
+  viewcl::ViewGraph* g = graph(pane_id);
+  if (g == nullptr) {
+    return "(empty pane)\n";
+  }
+  AsciiRenderer renderer(options);
+  if (!pane->secondary) {
+    return renderer.Render(*g);
+  }
+  // Secondary panes display the subset as roots.
+  std::vector<uint64_t> saved = g->roots();
+  g->roots() = pane->subset;
+  std::string out = renderer.Render(*g);
+  g->roots() = saved;
+  return out;
+}
+
+void PaneManager::LayoutToAscii(const LayoutNode* node, int depth, std::string* out) const {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (node->leaf) {
+    *out += pane_title(node->pane_id) + "\n";
+    return;
+  }
+  *out += node->direction == 'h' ? "split-h\n" : "split-v\n";
+  LayoutToAscii(node->first.get(), depth + 1, out);
+  LayoutToAscii(node->second.get(), depth + 1, out);
+}
+
+std::string PaneManager::LayoutAscii() const {
+  std::string out;
+  LayoutToAscii(layout_.get(), 0, &out);
+  return out;
+}
+
+vl::Json PaneManager::LayoutToJson(const LayoutNode* node) const {
+  vl::Json j = vl::Json::Object();
+  if (node->leaf) {
+    j["pane"] = vl::Json::Int(node->pane_id);
+    return j;
+  }
+  j["dir"] = vl::Json::Str(std::string(1, node->direction));
+  j["first"] = LayoutToJson(node->first.get());
+  j["second"] = LayoutToJson(node->second.get());
+  return j;
+}
+
+vl::Json PaneManager::SaveState() const {
+  vl::Json state = vl::Json::Object();
+  state["layout"] = LayoutToJson(layout_.get());
+  vl::Json panes = vl::Json::Array();
+  for (int id : pane_order_) {
+    const Pane* pane = FindPane(id);
+    vl::Json jpane = vl::Json::Object();
+    jpane["id"] = vl::Json::Int(id);
+    jpane["secondary"] = vl::Json::Bool(pane->secondary);
+    if (pane->secondary) {
+      jpane["source"] = vl::Json::Int(pane->source_pane);
+      vl::Json subset = vl::Json::Array();
+      for (uint64_t box : pane->subset) {
+        subset.Append(vl::Json::Int(static_cast<int64_t>(box)));
+      }
+      jpane["subset"] = std::move(subset);
+    } else {
+      jpane["program"] = vl::Json::Str(pane->program_text);
+      vl::Json history = vl::Json::Array();
+      for (const std::string& entry : pane->viewql_history) {
+        history.Append(vl::Json::Str(entry));
+      }
+      jpane["viewql"] = std::move(history);
+    }
+    panes.Append(std::move(jpane));
+  }
+  state["panes"] = std::move(panes);
+  return state;
+}
+
+vl::StatusOr<std::unique_ptr<PaneManager::LayoutNode>> PaneManager::LayoutFromJson(
+    const vl::Json& node) {
+  auto out = std::make_unique<LayoutNode>();
+  if (const vl::Json* pane = node.Find("pane")) {
+    out->leaf = true;
+    out->pane_id = static_cast<int>(pane->AsInt());
+    return out;
+  }
+  const vl::Json* dir = node.Find("dir");
+  const vl::Json* first = node.Find("first");
+  const vl::Json* second = node.Find("second");
+  if (dir == nullptr || first == nullptr || second == nullptr) {
+    return vl::ParseError("malformed layout node");
+  }
+  out->leaf = false;
+  out->direction = dir->AsString().empty() ? 'h' : dir->AsString()[0];
+  VL_ASSIGN_OR_RETURN(out->first, LayoutFromJson(*first));
+  VL_ASSIGN_OR_RETURN(out->second, LayoutFromJson(*second));
+  return out;
+}
+
+vl::Status PaneManager::LoadState(const vl::Json& state, const ReplotFn& replot) {
+  const vl::Json* layout = state.Find("layout");
+  const vl::Json* panes = state.Find("panes");
+  if (layout == nullptr || panes == nullptr) {
+    return vl::ParseError("malformed session state");
+  }
+  VL_ASSIGN_OR_RETURN(std::unique_ptr<LayoutNode> new_layout, LayoutFromJson(*layout));
+
+  panes_.clear();
+  pane_order_.clear();
+  next_pane_id_ = 1;
+  for (const vl::Json& jpane : panes->items()) {
+    Pane pane;
+    pane.id = static_cast<int>(jpane.Find("id")->AsInt());
+    next_pane_id_ = std::max(next_pane_id_, pane.id + 1);
+    const vl::Json* secondary = jpane.Find("secondary");
+    pane.secondary = secondary != nullptr && secondary->AsBool();
+    if (pane.secondary) {
+      pane.source_pane = static_cast<int>(jpane.Find("source")->AsInt());
+      if (const vl::Json* subset = jpane.Find("subset")) {
+        for (const vl::Json& box : subset->items()) {
+          pane.subset.push_back(static_cast<uint64_t>(box.AsInt()));
+        }
+      }
+    } else {
+      if (const vl::Json* program = jpane.Find("program")) {
+        pane.program_text = program->AsString();
+      }
+      if (!pane.program_text.empty() && replot != nullptr) {
+        VL_ASSIGN_OR_RETURN(pane.graph, replot(pane.program_text));
+      }
+    }
+    int id = pane.id;
+    panes_.emplace(id, std::move(pane));
+    pane_order_.push_back(id);
+  }
+  layout_ = std::move(new_layout);
+  // Re-apply the recorded ViewQL history against the replotted graphs.
+  for (const vl::Json& jpane : panes->items()) {
+    if (const vl::Json* history = jpane.Find("viewql")) {
+      int id = static_cast<int>(jpane.Find("id")->AsInt());
+      for (const vl::Json& entry : history->items()) {
+        vl::Status status = ApplyViewQl(id, entry.AsString());
+        if (!status.ok()) {
+          return status;
+        }
+      }
+    }
+  }
+  return vl::Status::Ok();
+}
+
+}  // namespace vision

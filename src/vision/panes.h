@@ -1,0 +1,112 @@
+// The pane-based interactive debugger front-end (paper §2.4).
+//
+// Panes form a tmux-style split tree. Primary panes display a ViewCL-extracted
+// object graph (further customizable with ViewQL); secondary panes display a
+// focused subset of another pane's boxes. The "focus" operation searches every
+// displayed graph for a given object — the paper's Figure 2 workflow.
+
+#ifndef SRC_VISION_PANES_H_
+#define SRC_VISION_PANES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/support/json.h"
+#include "src/viewcl/graph.h"
+#include "src/viewql/query.h"
+#include "src/vision/render.h"
+
+namespace vision {
+
+struct FocusHit {
+  int pane_id = 0;
+  uint64_t box_id = viewcl::kNoBox;
+};
+
+class PaneManager {
+ public:
+  // `debugger` powers ViewQL raw-field WHERE fallback; may be null.
+  explicit PaneManager(dbg::KernelDebugger* debugger);
+
+  // --- pane lifecycle ---
+  // The manager starts with one empty primary pane (id 1).
+  int root_pane() const { return 1; }
+
+  // Splits `pane_id`, creating a new empty primary pane; 'h' stacks them
+  // side by side, 'v' on top of each other. Returns the new pane id.
+  vl::StatusOr<int> Split(int pane_id, char direction);
+
+  // Installs a freshly plotted graph into a primary pane.
+  vl::Status SetGraph(int pane_id, std::unique_ptr<viewcl::ViewGraph> graph,
+                      std::string program_text);
+
+  // Creates a secondary pane showing `box_ids` of `source_pane`'s graph.
+  vl::StatusOr<int> CreateSecondary(int source_pane, std::vector<uint64_t> box_ids);
+
+  // Applies a ViewQL program to the pane's graph (the refine operation).
+  vl::Status ApplyViewQl(int pane_id, std::string_view program);
+
+  // --- focus: search all panes for an object ---
+  std::vector<FocusHit> FocusAddress(uint64_t addr) const;
+  // Finds boxes whose evaluated member equals the value (e.g. pid == 42).
+  std::vector<FocusHit> FocusMember(const std::string& member, int64_t value) const;
+
+  // --- access ---
+  viewcl::ViewGraph* graph(int pane_id);
+  const std::vector<int>& pane_ids() const { return pane_order_; }
+  bool is_secondary(int pane_id) const;
+  std::string pane_title(int pane_id) const;
+
+  // Renders one pane (secondary panes render their subset only).
+  std::string RenderPane(int pane_id, const RenderOptions& options = RenderOptions{});
+  // ASCII sketch of the split layout.
+  std::string LayoutAscii() const;
+
+  // --- session persistence (paper §4.2) ---
+  // The saved state is replayable: pane layout, each primary pane's ViewCL
+  // program text, and the ViewQL history applied to it.
+  vl::Json SaveState() const;
+  // Restores layout + programs from `state`; `replot` is called to rebuild
+  // each primary pane's graph from its program text.
+  using ReplotFn =
+      std::function<vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>>(const std::string&)>;
+  vl::Status LoadState(const vl::Json& state, const ReplotFn& replot);
+
+ private:
+  struct Pane {
+    int id = 0;
+    bool secondary = false;
+    std::unique_ptr<viewcl::ViewGraph> graph;  // primary panes
+    std::string program_text;                  // ViewCL source (primary)
+    std::vector<std::string> viewql_history;
+    int source_pane = 0;                       // secondary panes
+    std::vector<uint64_t> subset;              // secondary panes
+  };
+
+  struct LayoutNode {
+    bool leaf = true;
+    int pane_id = 0;
+    char direction = 'h';
+    std::unique_ptr<LayoutNode> first, second;
+  };
+
+  Pane* FindPane(int pane_id);
+  const Pane* FindPane(int pane_id) const;
+  LayoutNode* FindLeaf(LayoutNode* node, int pane_id);
+  void LayoutToAscii(const LayoutNode* node, int depth, std::string* out) const;
+  vl::Json LayoutToJson(const LayoutNode* node) const;
+  vl::StatusOr<std::unique_ptr<LayoutNode>> LayoutFromJson(const vl::Json& node);
+
+  dbg::KernelDebugger* debugger_;
+  std::map<int, Pane> panes_;
+  std::vector<int> pane_order_;
+  std::unique_ptr<LayoutNode> layout_;
+  int next_pane_id_ = 1;
+};
+
+}  // namespace vision
+
+#endif  // SRC_VISION_PANES_H_

@@ -1,0 +1,284 @@
+#include "src/vision/render.h"
+
+#include "src/support/str.h"
+
+namespace vision {
+
+using viewcl::ContainerItem;
+using viewcl::kNoBox;
+using viewcl::LinkItem;
+using viewcl::VBox;
+using viewcl::ViewGraph;
+using viewcl::ViewInstance;
+
+std::set<uint64_t> VisibleBoxes(const ViewGraph& graph) {
+  std::set<uint64_t> visible;
+  std::vector<uint64_t> stack;
+  for (uint64_t root : graph.roots()) {
+    stack.push_back(root);
+  }
+  while (!stack.empty()) {
+    uint64_t id = stack.back();
+    stack.pop_back();
+    const VBox* box = graph.box(id);
+    if (box == nullptr || box->AttrBool("trimmed") || !visible.insert(id).second) {
+      continue;
+    }
+    if (box->AttrBool("collapsed")) {
+      continue;  // a collapsed stub hides its descendants until expanded
+    }
+    // Only the *active* view's edges count for visibility.
+    const ViewInstance* view = box->ActiveView();
+    if (view == nullptr) {
+      continue;
+    }
+    for (const LinkItem& link : view->links) {
+      if (link.target != kNoBox) {
+        stack.push_back(link.target);
+      }
+    }
+    for (const ContainerItem& container : view->containers) {
+      for (uint64_t member : container.members) {
+        stack.push_back(member);
+      }
+    }
+  }
+  return visible;
+}
+
+namespace {
+
+std::string BoxHeader(const VBox& box, const RenderOptions& options) {
+  std::string header = box.is_virtual() ? box.decl_name() : box.kernel_type();
+  if (options.show_addresses && !box.is_virtual()) {
+    header += vl::StrFormat(" @0x%llx", static_cast<unsigned long long>(box.addr()));
+  }
+  return header;
+}
+
+class AsciiWriter {
+ public:
+  AsciiWriter(const ViewGraph& graph, const RenderOptions& options)
+      : graph_(graph), options_(options), visible_(VisibleBoxes(graph)) {}
+
+  std::string Run() {
+    for (size_t i = 0; i < graph_.roots().size(); ++i) {
+      out_ += vl::StrFormat("== plot %zu ==\n", i + 1);
+      WriteBox(graph_.roots()[i], 0);
+    }
+    return out_;
+  }
+
+ private:
+  void Indent(int depth) { out_.append(static_cast<size_t>(depth) * 2, ' '); }
+
+  void WriteBox(uint64_t id, int depth) {
+    const VBox* box = graph_.box(id);
+    if (box == nullptr) {
+      return;
+    }
+    if (box->AttrBool("trimmed")) {
+      return;
+    }
+    if (box->AttrBool("collapsed")) {
+      Indent(depth);
+      out_ += vl::StrFormat("[+] %s (collapsed)\n", BoxHeader(*box, options_).c_str());
+      return;
+    }
+    if (!emitted_.insert(id).second) {
+      Indent(depth);
+      out_ += vl::StrFormat("(see box #%llu %s)\n", static_cast<unsigned long long>(id),
+                            BoxHeader(*box, options_).c_str());
+      return;
+    }
+    Indent(depth);
+    out_ += vl::StrFormat("+- #%llu %s", static_cast<unsigned long long>(id),
+                          BoxHeader(*box, options_).c_str());
+    const ViewInstance* view = box->ActiveView();
+    if (view != nullptr && view->name != "default") {
+      out_ += " [:" + view->name + "]";
+    }
+    out_ += "\n";
+    if (view == nullptr) {
+      return;
+    }
+    for (const viewcl::TextItem& text : view->texts) {
+      Indent(depth + 1);
+      out_ += "| " + text.name + " = " + text.display + "\n";
+    }
+    for (const LinkItem& link : view->links) {
+      Indent(depth + 1);
+      if (link.target == kNoBox) {
+        out_ += "* " + link.name + " -> (null)\n";
+      } else {
+        out_ += "* " + link.name + " ->\n";
+        WriteBox(link.target, depth + 2);
+      }
+    }
+    for (const ContainerItem& container : view->containers) {
+      Indent(depth + 1);
+      bool vertical = false;
+      auto dir = box->attrs().find("direction");
+      if (dir != box->attrs().end() && dir->second == "vertical") {
+        vertical = true;
+      }
+      out_ += vl::StrFormat("# %s (%zu %s)\n", container.name.c_str(),
+                            container.members.size(), vertical ? "vertical" : "horizontal");
+      int shown = 0;
+      int hidden = 0;
+      for (uint64_t member : container.members) {
+        const VBox* member_box = graph_.box(member);
+        if (member_box != nullptr && member_box->AttrBool("trimmed")) {
+          continue;
+        }
+        if (shown >= options_.max_container_preview) {
+          ++hidden;
+          continue;
+        }
+        WriteBox(member, depth + 2);
+        ++shown;
+      }
+      if (hidden > 0) {
+        Indent(depth + 2);
+        out_ += vl::StrFormat("... (+%d more)\n", hidden);
+      }
+    }
+  }
+
+  const ViewGraph& graph_;
+  const RenderOptions& options_;
+  std::set<uint64_t> visible_;
+  std::set<uint64_t> emitted_;
+  std::string out_;
+};
+
+std::string DotEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\' || c == '{' || c == '}' || c == '<' || c == '>' || c == '|') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AsciiRenderer::Render(const ViewGraph& graph) const {
+  AsciiWriter writer(graph, options_);
+  return writer.Run();
+}
+
+std::string DotRenderer::Render(const ViewGraph& graph) const {
+  std::set<uint64_t> visible = VisibleBoxes(graph);
+  std::string out = "digraph kernel_state {\n  rankdir=LR;\n  node [shape=record];\n";
+  for (uint64_t id : visible) {
+    const VBox* box = graph.box(id);
+    const ViewInstance* view = box->ActiveView();
+    std::string label = DotEscape(BoxHeader(*box, options_));
+    if (box->AttrBool("collapsed")) {
+      out += vl::StrFormat("  b%llu [label=\"[+] %s\", style=dashed];\n",
+                           static_cast<unsigned long long>(id), label.c_str());
+      continue;
+    }
+    std::string record = label;
+    if (view != nullptr) {
+      for (const viewcl::TextItem& text : view->texts) {
+        record += "|" + DotEscape(text.name) + ": " + DotEscape(text.display);
+      }
+    }
+    out += vl::StrFormat("  b%llu [label=\"{%s}\"];\n", static_cast<unsigned long long>(id),
+                         record.c_str());
+    if (view == nullptr) {
+      continue;
+    }
+    for (const LinkItem& link : view->links) {
+      if (link.target != kNoBox && visible.count(link.target) != 0) {
+        out += vl::StrFormat("  b%llu -> b%llu [label=\"%s\"];\n",
+                             static_cast<unsigned long long>(id),
+                             static_cast<unsigned long long>(link.target),
+                             DotEscape(link.name).c_str());
+      }
+    }
+    for (const ContainerItem& container : view->containers) {
+      for (uint64_t member : container.members) {
+        if (visible.count(member) != 0) {
+          out += vl::StrFormat("  b%llu -> b%llu [style=dotted, label=\"%s\"];\n",
+                               static_cast<unsigned long long>(id),
+                               static_cast<unsigned long long>(member),
+                               DotEscape(container.name).c_str());
+        }
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+vl::Json JsonRenderer::ToJson(const ViewGraph& graph) const {
+  vl::Json root = vl::Json::Object();
+  vl::Json roots = vl::Json::Array();
+  for (uint64_t id : graph.roots()) {
+    roots.Append(vl::Json::Int(static_cast<int64_t>(id)));
+  }
+  root["roots"] = std::move(roots);
+
+  vl::Json boxes = vl::Json::Array();
+  graph.ForEachBox([&boxes](const VBox& box) {
+    vl::Json jbox = vl::Json::Object();
+    jbox["id"] = vl::Json::Int(static_cast<int64_t>(box.id()));
+    jbox["decl"] = vl::Json::Str(box.decl_name());
+    jbox["type"] = vl::Json::Str(box.kernel_type());
+    jbox["addr"] = vl::Json::Str(vl::FormatUnsigned(box.addr(), 16));
+    jbox["virtual"] = vl::Json::Bool(box.is_virtual());
+
+    vl::Json views = vl::Json::Array();
+    for (const ViewInstance& view : box.views()) {
+      vl::Json jview = vl::Json::Object();
+      jview["name"] = vl::Json::Str(view.name);
+      vl::Json texts = vl::Json::Array();
+      for (const viewcl::TextItem& text : view.texts) {
+        vl::Json jtext = vl::Json::Object();
+        jtext["name"] = vl::Json::Str(text.name);
+        jtext["text"] = vl::Json::Str(text.display);
+        texts.Append(std::move(jtext));
+      }
+      jview["texts"] = std::move(texts);
+      vl::Json links = vl::Json::Array();
+      for (const LinkItem& link : view.links) {
+        vl::Json jlink = vl::Json::Object();
+        jlink["name"] = vl::Json::Str(link.name);
+        jlink["target"] =
+            link.target == kNoBox ? vl::Json::Null() : vl::Json::Int(static_cast<int64_t>(link.target));
+        links.Append(std::move(jlink));
+      }
+      jview["links"] = std::move(links);
+      vl::Json containers = vl::Json::Array();
+      for (const ContainerItem& container : view.containers) {
+        vl::Json jcontainer = vl::Json::Object();
+        jcontainer["name"] = vl::Json::Str(container.name);
+        vl::Json members = vl::Json::Array();
+        for (uint64_t member : container.members) {
+          members.Append(vl::Json::Int(static_cast<int64_t>(member)));
+        }
+        jcontainer["members"] = std::move(members);
+        containers.Append(std::move(jcontainer));
+      }
+      jview["containers"] = std::move(containers);
+      views.Append(std::move(jview));
+    }
+    jbox["views"] = std::move(views);
+
+    vl::Json attrs = vl::Json::Object();
+    for (const auto& [key, value] : box.attrs()) {
+      attrs[key] = vl::Json::Str(value);
+    }
+    jbox["attrs"] = std::move(attrs);
+    boxes.Append(std::move(jbox));
+  });
+  root["boxes"] = std::move(boxes);
+  return root;
+}
+
+}  // namespace vision

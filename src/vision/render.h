@@ -1,0 +1,65 @@
+// Renderers for ViewCL object graphs (the paper's visualizer output stage).
+//
+// Three back-ends share the same visibility semantics, honouring the ViewQL
+// display attributes:
+//   * `trimmed`    — the box and everything only reachable through it vanish;
+//   * `collapsed`  — the box renders as a click-to-expand stub;
+//   * `view`       — selects which of the box's views is shown;
+//   * `direction`  — horizontal (default) or vertical container layout.
+//
+// AsciiRenderer produces terminal box diagrams, DotRenderer produces Graphviz
+// input, and JsonRenderer produces the wire format the paper's TypeScript
+// front-end would receive over HTTP.
+
+#ifndef SRC_VISION_RENDER_H_
+#define SRC_VISION_RENDER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+#include "src/viewcl/graph.h"
+
+namespace vision {
+
+// The boxes that should be displayed: reachable from the roots without
+// passing through trimmed boxes (trimmed roots are dropped entirely).
+std::set<uint64_t> VisibleBoxes(const viewcl::ViewGraph& graph);
+
+struct RenderOptions {
+  bool show_addresses = false;   // append @0x... to box headers
+  bool show_attributes = false;  // show the ViewQL attribute map
+  int max_container_preview = 12;  // elements shown before "... (+N more)"
+};
+
+class AsciiRenderer {
+ public:
+  explicit AsciiRenderer(RenderOptions options = RenderOptions{}) : options_(options) {}
+  std::string Render(const viewcl::ViewGraph& graph) const;
+
+ private:
+  RenderOptions options_;
+};
+
+class DotRenderer {
+ public:
+  explicit DotRenderer(RenderOptions options = RenderOptions{}) : options_(options) {}
+  std::string Render(const viewcl::ViewGraph& graph) const;
+
+ private:
+  RenderOptions options_;
+};
+
+class JsonRenderer {
+ public:
+  // Serializes the full graph (all boxes, views, members, attributes, roots).
+  vl::Json ToJson(const viewcl::ViewGraph& graph) const;
+  std::string Render(const viewcl::ViewGraph& graph, int indent = 2) const {
+    return ToJson(graph).Dump(indent);
+  }
+};
+
+}  // namespace vision
+
+#endif  // SRC_VISION_RENDER_H_

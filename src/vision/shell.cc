@@ -1,0 +1,195 @@
+#include "src/vision/shell.h"
+
+#include "src/support/str.h"
+#include "src/viewcl/synthesize.h"
+
+namespace vision {
+
+namespace {
+
+// Splits "first rest..." on the first whitespace run.
+std::pair<std::string, std::string> SplitFirst(std::string_view text) {
+  text = vl::StrTrim(text);
+  size_t space = text.find_first_of(" \t\n");
+  if (space == std::string_view::npos) {
+    return {std::string(text), ""};
+  }
+  return {std::string(text.substr(0, space)),
+          std::string(vl::StrTrim(text.substr(space + 1)))};
+}
+
+}  // namespace
+
+DebuggerShell::DebuggerShell(dbg::KernelDebugger* debugger)
+    : debugger_(debugger), interp_(debugger), panes_(debugger) {}
+
+std::string DebuggerShell::Execute(const std::string& line) {
+  auto [command, args] = SplitFirst(line);
+  if (command == "vplot") {
+    return CmdVplot(args);
+  }
+  if (command == "vctrl") {
+    return CmdVctrl(args);
+  }
+  if (command == "vchat") {
+    return CmdVchat(args);
+  }
+  if (command == "help" || command.empty()) {
+    return "commands: vplot <pane> [--auto <type> <expr>] <viewcl> | "
+           "vctrl split|apply|focus|view|dot|json|layout|save | "
+           "vchat <pane> <request>\n";
+  }
+  return "error: unknown command '" + command + "' (try 'help')\n";
+}
+
+std::string DebuggerShell::CmdVplot(const std::string& args) {
+  auto [pane_text, program] = SplitFirst(args);
+  int64_t pane_id = 0;
+  if (!vl::ParseInt64(pane_text, &pane_id) || program.empty()) {
+    return "usage: vplot <pane> <viewcl program>\n"
+           "       vplot <pane> --auto <type> <root c-expression>\n";
+  }
+  std::string synthesized_note;
+  if (program.substr(0, 6) == "--auto") {
+    // Naive ViewCL synthesis for trivial objectives (paper 4).
+    auto [flag, rest] = SplitFirst(program);
+    auto [type_name, root_expr] = SplitFirst(rest);
+    if (type_name.empty() || root_expr.empty()) {
+      return "usage: vplot <pane> --auto <type> <root c-expression>\n";
+    }
+    auto generated = viewcl::SynthesizeViewCl(debugger_->types(), type_name, root_expr);
+    if (!generated.ok()) {
+      return "error: " + generated.status().ToString() + "\n";
+    }
+    synthesized_note = "synthesized ViewCL:\n" + *generated;
+    program = *generated;
+  }
+  (void)synthesized_note;
+  auto graph = interp_.RunProgram(program);
+  if (!graph.ok()) {
+    return "error: " + graph.status().ToString() + "\n";
+  }
+  size_t boxes = (*graph)->size();
+  vl::Status status =
+      panes_.SetGraph(static_cast<int>(pane_id), std::move(graph).value(), program);
+  if (!status.ok()) {
+    return "error: " + status.ToString() + "\n";
+  }
+  std::string out = synthesized_note +
+                    vl::StrFormat("plotted %zu boxes into pane %d\n", boxes,
+                                  static_cast<int>(pane_id));
+  for (const std::string& warning : interp_.warnings()) {
+    out += "warning: " + warning + "\n";
+  }
+  return out;
+}
+
+std::string DebuggerShell::CmdVctrl(const std::string& args) {
+  auto [sub, rest] = SplitFirst(args);
+  if (sub == "split") {
+    auto [pane_text, dir_text] = SplitFirst(rest);
+    int64_t pane_id = 0;
+    if (!vl::ParseInt64(pane_text, &pane_id) || dir_text.empty()) {
+      return "usage: vctrl split <pane> h|v\n";
+    }
+    auto new_id = panes_.Split(static_cast<int>(pane_id), dir_text[0]);
+    if (!new_id.ok()) {
+      return "error: " + new_id.status().ToString() + "\n";
+    }
+    return vl::StrFormat("created pane %d\n", *new_id);
+  }
+  if (sub == "apply") {
+    auto [pane_text, viewql] = SplitFirst(rest);
+    int64_t pane_id = 0;
+    if (!vl::ParseInt64(pane_text, &pane_id) || viewql.empty()) {
+      return "usage: vctrl apply <pane> <viewql>\n";
+    }
+    vl::Status status = panes_.ApplyViewQl(static_cast<int>(pane_id), viewql);
+    if (!status.ok()) {
+      return "error: " + status.ToString() + "\n";
+    }
+    return "applied\n";
+  }
+  if (sub == "focus") {
+    auto [what, value_text] = SplitFirst(rest);
+    std::vector<FocusHit> hits;
+    if (what == "addr") {
+      int64_t addr = 0;
+      if (!vl::ParseInt64(value_text, &addr)) {
+        return "usage: vctrl focus addr <hex address>\n";
+      }
+      hits = panes_.FocusAddress(static_cast<uint64_t>(addr));
+    } else {
+      int64_t value = 0;
+      if (what.empty() || !vl::ParseInt64(value_text, &value)) {
+        return "usage: vctrl focus <member> <value>\n";
+      }
+      hits = panes_.FocusMember(what, value);
+    }
+    if (hits.empty()) {
+      return "no matches\n";
+    }
+    std::string out;
+    for (const FocusHit& hit : hits) {
+      out += vl::StrFormat("pane %d: box #%llu\n", hit.pane_id,
+                           static_cast<unsigned long long>(hit.box_id));
+    }
+    return out;
+  }
+  if (sub == "view") {
+    int64_t pane_id = 0;
+    if (!vl::ParseInt64(rest, &pane_id)) {
+      return "usage: vctrl view <pane>\n";
+    }
+    return panes_.RenderPane(static_cast<int>(pane_id));
+  }
+  if (sub == "dot") {
+    int64_t pane_id = 0;
+    if (!vl::ParseInt64(rest, &pane_id)) {
+      return "usage: vctrl dot <pane>\n";
+    }
+    viewcl::ViewGraph* graph = panes_.graph(static_cast<int>(pane_id));
+    if (graph == nullptr) {
+      return "(empty pane)\n";
+    }
+    return DotRenderer().Render(*graph);
+  }
+  if (sub == "json") {
+    int64_t pane_id = 0;
+    if (!vl::ParseInt64(rest, &pane_id)) {
+      return "usage: vctrl json <pane>\n";
+    }
+    viewcl::ViewGraph* graph = panes_.graph(static_cast<int>(pane_id));
+    if (graph == nullptr) {
+      return "(empty pane)\n";
+    }
+    return JsonRenderer().Render(*graph) + "\n";
+  }
+  if (sub == "layout") {
+    return panes_.LayoutAscii();
+  }
+  if (sub == "save") {
+    return panes_.SaveState().Dump(2) + "\n";
+  }
+  return "usage: vctrl split|apply|focus|view|layout|save ...\n";
+}
+
+std::string DebuggerShell::CmdVchat(const std::string& args) {
+  auto [pane_text, request] = SplitFirst(args);
+  int64_t pane_id = 0;
+  if (!vl::ParseInt64(pane_text, &pane_id) || request.empty()) {
+    return "usage: vchat <pane> <natural-language request>\n";
+  }
+  auto program = vchat_.Synthesize(request);
+  if (!program.ok()) {
+    return "error: " + program.status().ToString() + "\n";
+  }
+  std::string out = "synthesized ViewQL:\n" + *program;
+  vl::Status status = panes_.ApplyViewQl(static_cast<int>(pane_id), *program);
+  if (!status.ok()) {
+    return out + "error applying: " + status.ToString() + "\n";
+  }
+  return out + "applied\n";
+}
+
+}  // namespace vision

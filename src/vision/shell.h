@@ -1,0 +1,52 @@
+// The v-command shell (paper §4): vplot, vctrl, and vchat as CLI-style
+// commands a developer invokes at a breakpoint. This is the programmatic core
+// behind the interactive example binary and the shell tests.
+
+#ifndef SRC_VISION_SHELL_H_
+#define SRC_VISION_SHELL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/viewcl/interp.h"
+#include "src/vision/panes.h"
+#include "src/vision/vchat.h"
+
+namespace vision {
+
+class DebuggerShell {
+ public:
+  explicit DebuggerShell(dbg::KernelDebugger* debugger);
+
+  // Executes one command line and returns its textual output. Commands:
+  //   vplot <pane> <viewcl program...>      extract a graph into a pane
+  //   vctrl split <pane> h|v                split a pane
+  //   vctrl apply <pane> <viewql...>        refine a pane with ViewQL
+  //   vctrl focus addr <hex>                search all panes for an object
+  //   vctrl focus <member> <value>          search by member value (e.g. pid 2)
+  //   vctrl view <pane>                     render a pane (ASCII)
+  //   vctrl layout                          show the pane tree
+  //   vctrl save                            dump the session state as JSON
+  //   vchat <pane> <natural language...>    synthesize + apply ViewQL
+  //   help
+  std::string Execute(const std::string& line);
+
+  PaneManager& panes() { return panes_; }
+  viewcl::Interpreter& interp() { return interp_; }
+  VchatSynthesizer& vchat() { return vchat_; }
+
+ private:
+  std::string CmdVplot(const std::string& args);
+  std::string CmdVctrl(const std::string& args);
+  std::string CmdVchat(const std::string& args);
+
+  dbg::KernelDebugger* debugger_;
+  viewcl::Interpreter interp_;
+  PaneManager panes_;
+  VchatSynthesizer vchat_;
+};
+
+}  // namespace vision
+
+#endif  // SRC_VISION_SHELL_H_

@@ -1,0 +1,314 @@
+#include "src/vision/vchat.h"
+#include <cctype>
+
+#include <algorithm>
+#include <regex>
+
+#include "src/support/str.h"
+
+namespace vision {
+
+namespace {
+
+const char* kActionVerbs[] = {"display", "show",   "shrink", "collapse", "hide",
+                              "trim",    "remove", "make",   "find",     "mark"};
+
+bool StartsWithVerb(std::string_view text) {
+  for (const char* verb : kActionVerbs) {
+    std::string_view v(verb);
+    if (text.substr(0, v.size()) == v) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Splits the request into action clauses: separators (", " / " and " / "; " /
+// ". " / " then ") only count when followed by an action verb, so conditions
+// like "write and receive buffers" survive intact.
+std::vector<std::string> SplitClauses(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  size_t pos = 0;
+  auto flush = [&](size_t end, size_t next) {
+    std::string_view piece = vl::StrTrim(std::string_view(text).substr(start, end - start));
+    if (!piece.empty()) {
+      out.emplace_back(piece);
+    }
+    start = next;
+  };
+  while (pos < text.size()) {
+    for (std::string_view sep : {std::string_view(", and "), std::string_view(" and "),
+                                 std::string_view(", "), std::string_view("; "),
+                                 std::string_view(". "), std::string_view(" then ")}) {
+      if (text.compare(pos, sep.size(), sep) == 0) {
+        std::string_view rest = std::string_view(text).substr(pos + sep.size());
+        rest = vl::StrTrim(rest);
+        if (StartsWithVerb(rest)) {
+          flush(pos, pos + sep.size());
+          pos += sep.size();
+          goto advanced;
+        }
+      }
+    }
+    ++pos;
+  advanced:;
+  }
+  flush(text.size(), text.size());
+  return out;
+}
+
+}  // namespace
+
+VchatSynthesizer::VchatSynthesizer() {
+  // --- kernel noun-phrase lexicon ---
+  AddTypePhrase("user thread", "task_struct");
+  AddTypePhrase("user threads", "task_struct");
+  AddTypePhrase("kernel thread", "task_struct");
+  AddTypePhrase("task_struct", "task_struct");
+  AddTypePhrase("tasks", "task_struct");
+  AddTypePhrase("task", "task_struct");
+  AddTypePhrase("processes", "task_struct");
+  AddTypePhrase("process", "task_struct");
+  AddTypePhrase("threads", "task_struct");
+  AddTypePhrase("memory areas", "vm_area_struct");
+  AddTypePhrase("memory area", "vm_area_struct");
+  AddTypePhrase("memory regions", "vm_area_struct");
+  AddTypePhrase("vm_area_struct", "vm_area_struct");
+  AddTypePhrase("vmas", "vm_area_struct");
+  AddTypePhrase("vma", "vm_area_struct");
+  AddTypePhrase("superblocks", "super_block");
+  AddTypePhrase("superblock", "super_block");
+  AddTypePhrase("super_block", "super_block");
+  AddTypePhrase("irq descriptors", "irq_desc");
+  AddTypePhrase("irq descriptor", "irq_desc");
+  AddTypePhrase("sigactions", "k_sigaction");
+  AddTypePhrase("sigaction", "k_sigaction");
+  AddTypePhrase("pid hash table entries", "pid");
+  AddTypePhrase("pid hash entries", "pid");
+  AddTypePhrase("pid entries", "pid");
+  AddTypePhrase("sockets", "socket");
+  AddTypePhrase("socket", "socket");
+  AddTypePhrase("files", "file");
+  AddTypePhrase("file", "file");
+  AddTypePhrase("pages", "page");
+  AddTypePhrase("page", "page");
+  AddTypePhrase("maple nodes", "maple_node");
+  AddTypePhrase("maple node", "maple_node");
+  AddTypePhrase("mm_struct", "mm_struct");
+  AddTypePhrase("timers", "timer_list");
+  AddTypePhrase("work items", "work_struct");
+  // Item/container phrases.
+  AddTypePhrase("slot pointer lists", "maple_node.slots");
+  AddTypePhrase("slot pointer list", "maple_node.slots");
+  AddTypePhrase("page list", "page");
+  AddTypePhrase("superblock list", "List");
+  AddTypePhrase("the list", "List");
+  AddTypePhrase("red-black tree", "RBTree");
+  AddTypePhrase("rbtree", "RBTree");
+
+  // --- condition templates ---
+  AddConditionPhrase("have no address space", "mm == NULL");
+  AddConditionPhrase("has no address space", "mm == NULL");
+  AddConditionPhrase("without an address space", "mm == NULL");
+  AddConditionPhrase("have an address space", "mm != NULL");
+  AddConditionPhrase("have non-null mm members", "mm != NULL");
+  AddConditionPhrase("non-null mm", "mm != NULL");
+  AddConditionPhrase("action is not configured", "action == NULL");
+  AddConditionPhrase("whose action is not configured", "action == NULL");
+  AddConditionPhrase("non-configured", "is_configured != true");
+  AddConditionPhrase("not configured", "is_configured != true");
+  AddConditionPhrase("not connected to any block device", "s_bdev == NULL");
+  AddConditionPhrase("no block device", "s_bdev == NULL");
+  AddConditionPhrase("has no memory mapping", "has_mapping != true");
+  AddConditionPhrase("have no memory mapping", "has_mapping != true");
+  AddConditionPhrase("not writable", "is_writable != true");
+  AddConditionPhrase("read-only", "is_writable != true");
+  AddConditionPhrase("writable", "is_writable == true");
+  AddConditionPhrase("write/receive buffer are both empty",
+                     "tx_qlen == 0 AND rx_qlen == 0");
+  AddConditionPhrase("write and receive buffers are both empty",
+                     "tx_qlen == 0 AND rx_qlen == 0");
+  AddConditionPhrase("is a zombie", "exit_state != 0");
+  AddConditionPhrase("kernel threads", "mm == NULL");
+}
+
+void VchatSynthesizer::AddTypePhrase(std::string phrase, std::string type_name) {
+  type_phrases_.emplace_back(std::move(phrase), std::move(type_name));
+  std::stable_sort(type_phrases_.begin(), type_phrases_.end(),
+                   [](const auto& a, const auto& b) { return a.first.size() > b.first.size(); });
+}
+
+void VchatSynthesizer::AddConditionPhrase(std::string phrase, std::string condition) {
+  cond_phrases_.emplace_back(std::move(phrase), std::move(condition));
+  std::stable_sort(cond_phrases_.begin(), cond_phrases_.end(),
+                   [](const auto& a, const auto& b) { return a.first.size() > b.first.size(); });
+}
+
+std::string VchatSynthesizer::FindType(const std::string& clause) const {
+  for (const auto& [phrase, type_name] : type_phrases_) {
+    if (clause.find(phrase) != std::string::npos) {
+      return type_name;
+    }
+  }
+  return "";
+}
+
+std::string VchatSynthesizer::FindCondition(const std::string& clause) const {
+  for (const auto& [phrase, condition] : cond_phrases_) {
+    if (clause.find(phrase) != std::string::npos) {
+      return condition;
+    }
+  }
+  // "whose address is not 0x..." -> alias comparison (handled by caller via
+  // the __alias marker).
+  static const std::regex kAddrNot("address is not (0x[0-9a-f]+)");
+  std::smatch match;
+  if (std::regex_search(clause, match, kAddrNot)) {
+    return "__alias != " + match[1].str();
+  }
+  static const std::regex kAddrIs("address is (0x[0-9a-f]+)");
+  if (std::regex_search(clause, match, kAddrIs)) {
+    return "__alias == " + match[1].str();
+  }
+  // pid lists: "except ... pids 1, 2" / "pid 7".
+  static const std::regex kPids("pids? ([0-9][0-9, and]*)");
+  if (std::regex_search(clause, match, kPids)) {
+    std::vector<std::string> nums;
+    std::string list = match[1].str();
+    std::string current;
+    for (char c : list + " ") {
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        current += c;
+      } else if (!current.empty()) {
+        nums.push_back(current);
+        current.clear();
+      }
+    }
+    bool negated = clause.find("except") != std::string::npos ||
+                   clause.find("is not") != std::string::npos ||
+                   clause.find("other than") != std::string::npos;
+    std::string cond;
+    for (size_t i = 0; i < nums.size(); ++i) {
+      if (i != 0) {
+        cond += negated ? " AND " : " OR ";
+      }
+      cond += std::string("pid ") + (negated ? "!=" : "==") + " " + nums[i];
+    }
+    return cond;
+  }
+  return "";
+}
+
+VchatSynthesizer::ClausePlan VchatSynthesizer::PlanClause(const std::string& clause) const {
+  ClausePlan plan;
+  // Action.
+  bool wants_view = false;
+  static const std::regex kViewName("view \"?([a-z_][a-z_0-9]*)\"?");
+  static const std::regex kTheView("the \"?([a-z_][a-z_0-9]*)\"? view");
+  std::smatch match;
+  if (std::regex_search(clause, match, kViewName) ||
+      std::regex_search(clause, match, kTheView)) {
+    wants_view = true;
+    plan.attr = "view";
+    plan.value = match[1].str();
+  }
+  bool vertical = clause.find("vertical") != std::string::npos ||
+                  clause.find("top-down") != std::string::npos ||
+                  clause.find("top down") != std::string::npos;
+  if (!wants_view && vertical) {
+    plan.attr = "direction";
+    plan.value = "vertical";
+  }
+  if (plan.attr.empty()) {
+    if (clause.find("shrink") != std::string::npos ||
+        clause.find("collapse") != std::string::npos) {
+      plan.attr = "collapsed";
+      plan.value = "true";
+    } else if (clause.find("trim") != std::string::npos ||
+               clause.find("hide") != std::string::npos ||
+               clause.find("remove") != std::string::npos ||
+               clause.find("invisible") != std::string::npos) {
+      plan.attr = "trimmed";
+      plan.value = "true";
+    }
+  }
+  bool select_only = false;
+  if (plan.attr.empty()) {
+    // "find ..." / "select ..." clauses perform a pure selection that a later
+    // "collapse them" style clause refers back to.
+    if (clause.find("find") != std::string::npos ||
+        clause.find("select") != std::string::npos) {
+      select_only = true;
+    } else {
+      return plan;  // no recognizable action
+    }
+  }
+  (void)select_only;
+  // Target type (may be empty: "collapse them").
+  std::string found = FindType(clause);
+  if (found.find('.') != std::string::npos) {
+    plan.item_path = found;
+  } else {
+    plan.type_name = found;
+  }
+  plan.condition = FindCondition(clause);
+  if (plan.type_name == "pid") {
+    // `struct pid` calls its number `nr`.
+    plan.condition = vl::StrReplaceAll(plan.condition, "pid ", "nr ");
+  }
+  plan.valid = true;
+  return plan;
+}
+
+vl::StatusOr<std::string> VchatSynthesizer::Synthesize(std::string_view request) const {
+  std::string text = vl::StrLower(request);
+  if (text.find('<') != std::string::npos) {
+    return vl::InvalidArgumentError(
+        "the request contains an unfilled placeholder (<...>); substitute a real value");
+  }
+  std::vector<std::string> clauses = SplitClauses(text);
+  std::string program;
+  std::string previous_set;
+  char next_name = 'a';
+  for (const std::string& clause : clauses) {
+    ClausePlan plan = PlanClause(clause);
+    if (!plan.valid) {
+      continue;
+    }
+    bool select_only = plan.attr.empty();
+    bool anaphora = plan.type_name.empty() && plan.item_path.empty() &&
+                    (clause.find("them") != std::string::npos ||
+                     clause.find("these") != std::string::npos ||
+                     clause.find("those") != std::string::npos);
+    std::string set_name;
+    if (anaphora && !previous_set.empty()) {
+      set_name = previous_set;  // "collapse them" reuses the last selection
+    } else {
+      set_name = std::string(1, next_name++);
+      std::string selector = !plan.item_path.empty()
+                                 ? plan.item_path
+                                 : (plan.type_name.empty() ? "*" : plan.type_name);
+      program += set_name + " = SELECT " + selector + " FROM *";
+      if (!plan.condition.empty()) {
+        if (plan.condition.find("__alias") != std::string::npos) {
+          program += " AS obj";
+          program += " WHERE " + vl::StrReplaceAll(plan.condition, "__alias", "obj");
+        } else {
+          program += " WHERE " + plan.condition;
+        }
+      }
+      program += "\n";
+    }
+    if (!select_only) {
+      program += "UPDATE " + set_name + " WITH " + plan.attr + ": " + plan.value + "\n";
+    }
+    previous_set = set_name;
+  }
+  if (program.empty()) {
+    return vl::NotFoundError("no actionable request recognized: '" + text + "'");
+  }
+  return program;
+}
+
+}  // namespace vision

@@ -1,0 +1,57 @@
+// vchat: natural language -> ViewQL synthesis (paper §2.4, §4.2, §5.2).
+//
+// The paper sends the request plus in-context examples to DeepSeek-V2; since
+// this repository must run offline and deterministically, vchat is a
+// rule-based synthesizer over the same request family: an action verb
+// (display/collapse/trim/orient), a type phrase resolved through a kernel
+// lexicon, an optional view name, and an optional condition. DESIGN.md
+// documents this substitution; the evaluation criterion (§5.2's "all 10
+// objectives synthesize to <10-line ViewQL programs") is preserved.
+
+#ifndef SRC_VISION_VCHAT_H_
+#define SRC_VISION_VCHAT_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace vision {
+
+class VchatSynthesizer {
+ public:
+  VchatSynthesizer();  // installs the default kernel lexicon
+
+  // Adds a noun-phrase -> box/kernel type mapping ("memory area" ->
+  // "vm_area_struct"). Longest phrase wins.
+  void AddTypePhrase(std::string phrase, std::string type_name);
+  // Adds a condition template: when `phrase` appears in a clause, the given
+  // WHERE fragment is attached ("have no address space" -> "mm == NULL").
+  void AddConditionPhrase(std::string phrase, std::string condition);
+
+  // Synthesizes a ViewQL program from the request; error if no rule matches.
+  vl::StatusOr<std::string> Synthesize(std::string_view request) const;
+
+ private:
+  struct ClausePlan {
+    std::string type_name;       // SELECT target
+    std::string item_path;       // e.g. "maple_node.slots"
+    std::string condition;       // WHERE text (may be empty)
+    std::string attr;            // view/collapsed/trimmed/direction
+    std::string value;
+    bool valid = false;
+  };
+
+  ClausePlan PlanClause(const std::string& clause) const;
+  std::string FindType(const std::string& clause) const;
+  std::string FindCondition(const std::string& clause) const;
+
+  std::vector<std::pair<std::string, std::string>> type_phrases_;  // sorted longest-first
+  std::vector<std::pair<std::string, std::string>> cond_phrases_;
+};
+
+}  // namespace vision
+
+#endif  // SRC_VISION_VCHAT_H_

@@ -1,0 +1,13 @@
+#include "src/vkern/arena.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vkern {
+
+Arena::Arena(size_t size_bytes) : size_(size_bytes), mem_(new uint8_t[size_bytes]) {
+  assert(size_bytes % kPageSize == 0 && "arena size must be page aligned");
+  std::memset(mem_.get(), 0, size_bytes);
+}
+
+}  // namespace vkern

@@ -1,0 +1,54 @@
+// Simulated kernel physical memory.
+//
+// Every object in the simulated kernel lives inside one fixed, non-moving byte
+// arena, so an object reference *is* a stable address that the debugger layer
+// can read back as raw bytes — exactly how GDB sees a live kernel. The arena
+// never reallocates.
+
+#ifndef SRC_VKERN_ARENA_H_
+#define SRC_VKERN_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace vkern {
+
+class Arena {
+ public:
+  // Size must be a multiple of the page size (4 KiB).
+  explicit Arena(size_t size_bytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  uint8_t* base() { return mem_.get(); }
+  const uint8_t* base() const { return mem_.get(); }
+  size_t size() const { return size_; }
+
+  uint64_t base_addr() const { return reinterpret_cast<uint64_t>(mem_.get()); }
+  uint64_t end_addr() const { return base_addr() + size_; }
+
+  // True if [addr, addr+len) lies wholly inside the arena.
+  bool Contains(uint64_t addr, size_t len) const {
+    return addr >= base_addr() && len <= size_ && addr - base_addr() <= size_ - len;
+  }
+
+  bool ContainsPtr(const void* ptr, size_t len = 1) const {
+    return Contains(reinterpret_cast<uint64_t>(ptr), len);
+  }
+
+  void* AtAddr(uint64_t addr) { return mem_.get() + (addr - base_addr()); }
+  const void* AtAddr(uint64_t addr) const { return mem_.get() + (addr - base_addr()); }
+
+ private:
+  size_t size_;
+  std::unique_ptr<uint8_t[]> mem_;
+};
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageShift = 12;
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_ARENA_H_

@@ -1,0 +1,196 @@
+#include "src/vkern/buddy.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vkern {
+
+BuddyAllocator::BuddyAllocator(Arena* arena) : arena_(arena) {
+  // Carve the arena: zone descriptor first, then mem_map, then the pool.
+  uint8_t* cursor = arena->base();
+  zone_ = reinterpret_cast<zone*>(cursor);
+  cursor += (sizeof(zone) + 63) & ~size_t{63};
+
+  // Estimate pool size: everything after the metadata, in whole pages. The
+  // mem_map must describe exactly the pool pages.
+  size_t remaining = arena->size() - static_cast<size_t>(cursor - arena->base());
+  // Solve n * (sizeof(page) + kPageSize) <= remaining (approximately).
+  size_t n = remaining / (sizeof(page) + kPageSize);
+  // Leave slack for page alignment of the pool base.
+  while (n > 0) {
+    uint8_t* map_end = cursor + n * sizeof(page);
+    uint64_t pool = (reinterpret_cast<uint64_t>(map_end) + kPageSize - 1) & ~uint64_t{kPageSize - 1};
+    if (pool + n * kPageSize <= arena->end_addr()) {
+      break;
+    }
+    --n;
+  }
+  assert(n > 8 && "arena too small");
+
+  mem_map_ = reinterpret_cast<page*>(cursor);
+  uint8_t* map_end = cursor + n * sizeof(page);
+  pool_base_ = reinterpret_cast<uint8_t*>(
+      (reinterpret_cast<uint64_t>(map_end) + kPageSize - 1) & ~uint64_t{kPageSize - 1});
+  nr_pool_pages_ = n;
+  pool_start_pfn_ = reinterpret_cast<uint64_t>(pool_base_) >> kPageShift;
+
+  std::memset(zone_, 0, sizeof(zone));
+  std::memcpy(zone_->name, "Normal", 7);
+  zone_->zone_start_pfn = pool_start_pfn_;
+  zone_->spanned_pages = n;
+  for (int order = 0; order < kMaxOrder; ++order) {
+    INIT_LIST_HEAD(&zone_->free_area_[order].free_list);
+    zone_->free_area_[order].nr_free = 0;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    page* pg = &mem_map_[i];
+    std::memset(pg, 0, sizeof(page));
+    pg->flags = PG_reserved;
+    INIT_LIST_HEAD(&pg->lru);
+  }
+
+  // Seed the free lists with maximal aligned blocks.
+  size_t pfn = 0;
+  while (pfn < n) {
+    int order = kMaxOrder - 1;
+    while (order > 0 &&
+           (((pool_start_pfn_ + pfn) & ((1ull << order) - 1)) != 0 ||
+            pfn + (1ull << order) > n)) {
+      --order;
+    }
+    page* pg = &mem_map_[pfn];
+    pg->flags = PG_buddy;
+    pg->order = order;
+    list_add_tail(&pg->lru, &zone_->free_area_[order].free_list);
+    zone_->free_area_[order].nr_free++;
+    zone_->free_pages += 1ull << order;
+    pfn += 1ull << order;
+  }
+}
+
+void* BuddyAllocator::PageAddress(const page* pg) const {
+  size_t idx = static_cast<size_t>(pg - mem_map_);
+  return const_cast<uint8_t*>(pool_base_) + idx * kPageSize;
+}
+
+page* BuddyAllocator::VirtToPage(const void* addr) const {
+  uint64_t off = reinterpret_cast<uint64_t>(addr) - reinterpret_cast<uint64_t>(pool_base_);
+  size_t idx = static_cast<size_t>(off >> kPageShift);
+  assert(idx < nr_pool_pages_);
+  return &mem_map_[idx];
+}
+
+uint64_t BuddyAllocator::PageToPfn(const page* pg) const {
+  return pool_start_pfn_ + static_cast<uint64_t>(pg - mem_map_);
+}
+
+page* BuddyAllocator::PfnToPage(uint64_t pfn) const {
+  assert(pfn >= pool_start_pfn_ && pfn < pool_start_pfn_ + nr_pool_pages_);
+  return &mem_map_[pfn - pool_start_pfn_];
+}
+
+page* BuddyAllocator::BuddyOf(page* pg, int order) const {
+  uint64_t pfn = PageToPfn(pg);
+  uint64_t buddy_pfn = pfn ^ (1ull << order);
+  if (buddy_pfn < pool_start_pfn_ || buddy_pfn >= pool_start_pfn_ + nr_pool_pages_) {
+    return nullptr;
+  }
+  return PfnToPage(buddy_pfn);
+}
+
+void BuddyAllocator::SplitAndTake(page* pg, int high_order, int want_order) {
+  // Split the block down to want_order, returning halves to the free lists.
+  while (high_order > want_order) {
+    --high_order;
+    page* half = pg + (1ull << high_order);
+    half->flags = PG_buddy;
+    half->order = high_order;
+    list_add(&half->lru, &zone_->free_area_[high_order].free_list);
+    zone_->free_area_[high_order].nr_free++;
+  }
+}
+
+page* BuddyAllocator::AllocPages(int order) {
+  assert(order >= 0 && order < kMaxOrder);
+  for (int o = order; o < kMaxOrder; ++o) {
+    free_area* area = &zone_->free_area_[o];
+    if (list_empty(&area->free_list)) {
+      continue;
+    }
+    page* pg = VKERN_CONTAINER_OF(area->free_list.next, page, lru);
+    list_del_init(&pg->lru);
+    area->nr_free--;
+    SplitAndTake(pg, o, order);
+    zone_->free_pages -= 1ull << order;
+    // Mark the whole allocated block in-use.
+    for (uint64_t i = 0; i < (1ull << order); ++i) {
+      page* p = pg + i;
+      p->flags = 0;
+      p->order = 0;
+      p->refcount = 1;
+      p->mapcount = 0;
+      p->mapping = nullptr;
+      p->index = 0;
+      p->private_data = nullptr;
+      INIT_LIST_HEAD(&p->lru);
+    }
+    pg->order = order;
+    if (order > 0) {
+      pg->flags |= PG_head;
+    }
+    return pg;
+  }
+  return nullptr;
+}
+
+void BuddyAllocator::FreePages(page* pg, int order) {
+  assert(order >= 0 && order < kMaxOrder);
+  assert((pg->flags & PG_buddy) == 0 && "double free");
+  pg->refcount = 0;
+  zone_->free_pages += 1ull << order;
+  // Coalesce with free buddies.
+  while (order < kMaxOrder - 1) {
+    page* buddy = BuddyOf(pg, order);
+    if (buddy == nullptr || (buddy->flags & PG_buddy) == 0 || buddy->order != order) {
+      break;
+    }
+    list_del_init(&buddy->lru);
+    zone_->free_area_[order].nr_free--;
+    buddy->flags = 0;
+    if (buddy < pg) {
+      pg = buddy;
+    }
+    ++order;
+  }
+  pg->flags = PG_buddy;
+  pg->order = order;
+  list_add(&pg->lru, &zone_->free_area_[order].free_list);
+  zone_->free_area_[order].nr_free++;
+}
+
+bool BuddyAllocator::Validate() const {
+  uint64_t counted = 0;
+  for (int order = 0; order < kMaxOrder; ++order) {
+    const free_area* area = &zone_->free_area_[order];
+    uint64_t entries = 0;
+    for (const list_head* p = area->free_list.next; p != &area->free_list; p = p->next) {
+      const page* pg = VKERN_CONTAINER_OF(const_cast<list_head*>(p), page, lru);
+      if ((pg->flags & PG_buddy) == 0 || pg->order != order) {
+        return false;
+      }
+      uint64_t pfn = PageToPfn(pg);
+      if ((pfn & ((1ull << order) - 1)) != 0 && order > 0) {
+        return false;  // misaligned block
+      }
+      counted += 1ull << order;
+      ++entries;
+    }
+    if (entries != area->nr_free) {
+      return false;
+    }
+  }
+  return counted == zone_->free_pages;
+}
+
+}  // namespace vkern

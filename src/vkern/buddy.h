@@ -1,0 +1,61 @@
+// Buddy page allocator over the Arena (ULK Figure 8-2).
+//
+// The arena is carved into: [zone descriptor][mem_map page descriptors][pool].
+// The zone and mem_map live inside the arena so the debugger can read them as
+// target memory, just as GDB reads a kernel's mem_map.
+
+#ifndef SRC_VKERN_BUDDY_H_
+#define SRC_VKERN_BUDDY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/vkern/arena.h"
+#include "src/vkern/kstructs.h"
+
+namespace vkern {
+
+class BuddyAllocator {
+ public:
+  explicit BuddyAllocator(Arena* arena);
+
+  BuddyAllocator(const BuddyAllocator&) = delete;
+  BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+
+  // Allocates 2^order contiguous pages; returns the head page descriptor or
+  // nullptr when the zone is exhausted.
+  page* AllocPages(int order);
+  void FreePages(page* pg, int order);
+
+  // One-page conveniences.
+  page* AllocPage() { return AllocPages(0); }
+  void FreePage(page* pg) { FreePages(pg, 0); }
+
+  void* PageAddress(const page* pg) const;
+  page* VirtToPage(const void* addr) const;
+  uint64_t PageToPfn(const page* pg) const;
+  page* PfnToPage(uint64_t pfn) const;
+
+  zone* zone_desc() { return zone_; }
+  page* mem_map() { return mem_map_; }
+  size_t nr_pool_pages() const { return nr_pool_pages_; }
+  uint64_t free_pages() const { return zone_->free_pages; }
+
+  // Validation for tests: every free list entry sane, totals consistent.
+  bool Validate() const;
+
+ private:
+  void SplitAndTake(page* pg, int high_order, int want_order);
+  page* BuddyOf(page* pg, int order) const;
+
+  Arena* arena_;
+  zone* zone_;
+  page* mem_map_;
+  uint8_t* pool_base_;       // first byte of the page pool
+  size_t nr_pool_pages_;
+  uint64_t pool_start_pfn_;  // pfn of pool_base_ (absolute, arena-based)
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_BUDDY_H_

@@ -1,0 +1,117 @@
+#include "src/vkern/faults.h"
+
+#include <cstring>
+
+namespace vkern {
+
+StackRotReport RunStackRotScenario(Kernel* kernel, task_struct* victim) {
+  StackRotReport report;
+  report.victim_task = victim;
+  mm_struct* mm = victim->mm;
+  report.mm = mm;
+  if (mm == nullptr) {
+    return report;
+  }
+  MapleTreeOps& maple = kernel->maple();
+  RcuSubsystem& rcu = kernel->rcu();
+
+  // CPU#1: find_vma_prev() under mm_read_lock — mas_walk fetches a node
+  // pointer. Crucially this is *not* an rcu_read_lock section; the mmap read
+  // lock does not hold off the RCU grace period.
+  uint64_t probe = mm->start_stack;
+  maple_node* fetched = maple.LeafContaining(&mm->mm_mt, probe);
+  if (fetched == nullptr) {
+    return report;
+  }
+  report.fetched_node = fetched;
+  report.fetched_addr = reinterpret_cast<uint64_t>(fetched);
+
+  // CPU#0: expand_stack() -> mas_store_prealloc() rebuilds the leaf and frees
+  // the old node via ma_free_rcu -> call_rcu.
+  maple_node* freed = maple.RebuildLeaf(&mm->mm_mt, probe);
+  (void)freed;
+
+  // The node now sits on CPU#0's RCU callback list, awaiting a grace period.
+  rcu_data* rdp = kernel->rcu_data_array();
+  for (rcu_head* head = rdp[0].cblist_head; head != nullptr; head = head->next) {
+    if (VKERN_CONTAINER_OF(head, maple_node, rcu) == fetched) {
+      report.node_was_on_cblist = true;
+      break;
+    }
+  }
+  report.cblist_len_at_free = rcu.pending_callbacks();
+
+  // CPU#0 drops its lock; both CPUs pass quiescent states (the reader on
+  // CPU#1 never entered an RCU read-side critical section), so the grace
+  // period completes and rcu_do_batch frees the node into the slab.
+  rcu.Synchronize();
+  report.grace_period_completed = (rcu.pending_callbacks() == 0);
+
+  // CPU#1: mas_prev() dereferences its stale pointer — the memory now carries
+  // slab free-poison: a use-after-free.
+  report.first_poison_byte = reinterpret_cast<const uint8_t*>(fetched)[sizeof(uint32_t)];
+  report.uaf_detected =
+      SlabAllocator::IsPoisoned(fetched, kernel->maple().node_cache()->object_size);
+  return report;
+}
+
+DirtyPipeReport RunDirtyPipeScenario(Kernel* kernel, task_struct* attacker, bool vulnerable) {
+  DirtyPipeReport report;
+  FsManager& fs = kernel->fs();
+
+  // The victim: a read-only file whose pages sit in the page cache.
+  inode* ino = fs.CreateInode(kernel->ext4_sb(), kSIfReg | 0444, 4096);
+  dentry* dent = fs.CreateDentry("test.txt", ino, kernel->ext4_sb()->s_root);
+  file* victim = fs.OpenFile(dent, 0 /* O_RDONLY */);
+  report.victim_file = victim;
+  if (attacker != nullptr && attacker->files != nullptr) {
+    fs.InstallFd(attacker->files, victim);
+  }
+  page* cache_page = fs.PageCacheGrab(ino, 0);
+  uint8_t original = static_cast<uint8_t*>(kernel->buddy().PageAddress(cache_page))[8];
+  report.original_byte = original;
+
+  // The attacker's pipe.
+  file* rd = nullptr;
+  file* wr = nullptr;
+  pipe_inode_info* pipe = fs.CreatePipe(kernel->pipefs_sb(), &rd, &wr);
+  report.pipe = pipe;
+  if (attacker != nullptr && attacker->files != nullptr) {
+    fs.InstallFd(attacker->files, rd);
+    fs.InstallFd(attacker->files, wr);
+  }
+
+  // Phase 1: fill the whole ring with ordinary writes (every anon buffer gets
+  // PIPE_BUF_FLAG_CAN_MERGE), then drain it — the flags stay behind in the
+  // ring slots.
+  char junk[kPageSize];
+  std::memset(junk, 'j', sizeof(junk));
+  for (uint32_t i = 0; i < pipe->ring_size; ++i) {
+    fs.PipeWrite(pipe, junk, kPageSize);
+  }
+  for (uint32_t i = 0; i < pipe->ring_size; ++i) {
+    fs.PipeRead(pipe, kPageSize);
+  }
+
+  // Phase 2: splice the file into the pipe. With the bug, the reused slot's
+  // stale CAN_MERGE flag survives on a page-cache-backed buffer.
+  fs.SpliceFileToPipe(victim, 0, pipe, 8, vulnerable);
+  uint32_t idx = (pipe->head - 1) & (pipe->ring_size - 1);
+  report.buggy_buf_index = idx;
+  pipe_buffer* buf = &pipe->bufs[idx];
+  report.shared_page = buf->page_;
+  report.buggy_buf_flags = buf->flags;
+  report.can_merge_leaked = (buf->flags & PIPE_BUF_FLAG_CAN_MERGE) != 0;
+
+  // Phase 3: the attacker writes to the pipe. With CAN_MERGE set the bytes
+  // merge into the *page-cache page*, corrupting the read-only file.
+  const char payload[] = "0wned";
+  fs.PipeWrite(pipe, payload, sizeof(payload) - 1);
+
+  uint8_t now = static_cast<uint8_t*>(kernel->buddy().PageAddress(cache_page))[8];
+  report.corrupted_byte = now;
+  report.file_content_corrupted = (now != original);
+  return report;
+}
+
+}  // namespace vkern

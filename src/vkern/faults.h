@@ -1,0 +1,58 @@
+// Fault-injection scenarios reproducing the paper's two CVE case studies
+// (§3.2/§5.3). Each scenario drives the real subsystem code into the corrupted
+// state the CVE exposes and returns a report of the relevant addresses so the
+// visualization layer (and tests) can inspect them.
+
+#ifndef SRC_VKERN_FAULTS_H_
+#define SRC_VKERN_FAULTS_H_
+
+#include <cstdint>
+
+#include "src/vkern/kernel.h"
+
+namespace vkern {
+
+// CVE-2023-3269 "StackRot": a maple-tree node is freed through call_rcu while
+// another CPU still holds a raw pointer obtained under mmap_lock (which does
+// not block the RCU grace period).
+struct StackRotReport {
+  task_struct* victim_task = nullptr;
+  mm_struct* mm = nullptr;
+  maple_node* fetched_node = nullptr;   // the node CPU#1 fetched
+  uint64_t fetched_addr = 0;
+  bool node_was_on_cblist = false;      // observed on the RCU waiting list
+  uint64_t cblist_len_at_free = 0;      // pending callbacks right after free
+  bool grace_period_completed = false;
+  bool uaf_detected = false;            // the freed node reads as slab poison
+  uint8_t first_poison_byte = 0;
+};
+
+// Runs the race: CPU#0 performs expand_stack-style store (rebuilding the leaf
+// and RCU-freeing the old one) while CPU#1 keeps its stale pointer; the grace
+// period then completes because the reader holds only mmap_lock, not the RCU
+// read lock. Returns the report; the kernel state afterwards shows the freed
+// (poisoned) node still referenced.
+StackRotReport RunStackRotScenario(Kernel* kernel, task_struct* victim);
+
+// CVE-2022-0847 "Dirty Pipe": splicing a page-cache page into a pipe reuses a
+// ring slot whose stale PIPE_BUF_FLAG_CAN_MERGE survives because
+// copy_page_to_iter_pipe forgets to initialize flags; a subsequent pipe write
+// then merges into — and corrupts — the shared page-cache page.
+struct DirtyPipeReport {
+  file* victim_file = nullptr;
+  pipe_inode_info* pipe = nullptr;
+  page* shared_page = nullptr;          // page owned by the file, in the pipe
+  uint32_t buggy_buf_index = 0;
+  uint32_t buggy_buf_flags = 0;         // contains CAN_MERGE when vulnerable
+  bool can_merge_leaked = false;
+  bool file_content_corrupted = false;  // page bytes changed by the pipe write
+  uint8_t corrupted_byte = 0;
+  uint8_t original_byte = 0;
+};
+
+// `vulnerable` selects the pre-fix (true) or post-fix (false) splice path.
+DirtyPipeReport RunDirtyPipeScenario(Kernel* kernel, task_struct* attacker, bool vulnerable);
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_FAULTS_H_

@@ -1,0 +1,344 @@
+#include "src/vkern/fs.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vkern {
+
+namespace {
+
+void CopyName(char* dst, size_t cap, std::string_view name) {
+  size_t len = name.size() < cap - 1 ? name.size() : cap - 1;
+  std::memcpy(dst, name.data(), len);
+  dst[len] = '\0';
+}
+
+}  // namespace
+
+FsManager::FsManager(SlabAllocator* slabs, BuddyAllocator* buddy, RadixTreeOps* radix)
+    : slabs_(slabs), buddy_(buddy), radix_(radix) {
+  super_blocks_ = static_cast<list_head*>(slabs_->AllocMeta(sizeof(list_head)));
+  INIT_LIST_HEAD(super_blocks_);
+  filesystems_ = static_cast<list_head*>(slabs_->AllocMeta(sizeof(list_head)));
+  INIT_LIST_HEAD(filesystems_);
+
+  sb_cache_ = slabs_->CreateCache("super_block", sizeof(super_block));
+  inode_cache_ = slabs_->CreateCache("inode_cache", sizeof(inode));
+  dentry_cache_ = slabs_->CreateCache("dentry", sizeof(dentry));
+  file_cache_ = slabs_->CreateCache("filp", sizeof(file));
+  files_cache_ = slabs_->CreateCache("files_cache", sizeof(files_struct));
+  bdev_cache_ = slabs_->CreateCache("bdev_cache", sizeof(block_device));
+  fstype_cache_ = slabs_->CreateCache("file_system_type", sizeof(file_system_type));
+  pipe_cache_ = slabs_->CreateCache("pipe_inode_info", sizeof(pipe_inode_info));
+  pipe_buf_cache_ =
+      slabs_->CreateCache("pipe_buffer[]", sizeof(pipe_buffer) * kPipeDefBuffers);
+
+  // Ops tables live in the arena (a real kernel keeps them in .rodata, which
+  // GDB can read; our debugger can only read the arena).
+  pipefifo_fops_ = static_cast<file_operations_stub*>(
+      slabs_->AllocMeta(sizeof(file_operations_stub)));
+  CopyName(pipefifo_fops_->name, sizeof(pipefifo_fops_->name), "pipefifo_fops");
+  def_file_fops_ = static_cast<file_operations_stub*>(
+      slabs_->AllocMeta(sizeof(file_operations_stub)));
+  CopyName(def_file_fops_->name, sizeof(def_file_fops_->name), "def_file_fops");
+  anon_pipe_buf_ops_ = static_cast<pipe_buf_operations_stub*>(
+      slabs_->AllocMeta(sizeof(pipe_buf_operations_stub)));
+  CopyName(anon_pipe_buf_ops_->name, sizeof(anon_pipe_buf_ops_->name), "anon_pipe_buf_ops");
+  page_cache_pipe_buf_ops_ = static_cast<pipe_buf_operations_stub*>(
+      slabs_->AllocMeta(sizeof(pipe_buf_operations_stub)));
+  CopyName(page_cache_pipe_buf_ops_->name, sizeof(page_cache_pipe_buf_ops_->name),
+           "page_cache_pipe_buf_ops");
+}
+
+file_system_type* FsManager::RegisterFilesystem(std::string_view name) {
+  auto* fs_type = slabs_->AllocAs<file_system_type>(fstype_cache_);
+  CopyName(fs_type->name, sizeof(fs_type->name), name);
+  INIT_LIST_HEAD(&fs_type->fs_supers);
+  return fs_type;
+}
+
+block_device* FsManager::CreateBlockDevice(std::string_view disk_name, uint64_t dev,
+                                           uint64_t nr_sectors) {
+  auto* bdev = slabs_->AllocAs<block_device>(bdev_cache_);
+  bdev->bd_dev = dev;
+  CopyName(bdev->bd_disk_name, sizeof(bdev->bd_disk_name), disk_name);
+  bdev->bd_nr_sectors = nr_sectors;
+  return bdev;
+}
+
+super_block* FsManager::CreateSuperBlock(file_system_type* fs_type, std::string_view id,
+                                         block_device* bdev) {
+  auto* sb = slabs_->AllocAs<super_block>(sb_cache_);
+  sb->s_dev = bdev != nullptr ? bdev->bd_dev : 0;
+  sb->s_magic = 0x58465342;  // arbitrary but stable
+  sb->s_type = fs_type;
+  sb->s_bdev = bdev;
+  sb->s_count = 1;
+  CopyName(sb->s_id, sizeof(sb->s_id), id);
+  INIT_LIST_HEAD(&sb->s_inodes);
+  list_add_tail(&sb->s_list, super_blocks_);
+  if (bdev != nullptr) {
+    bdev->bd_super = sb;
+  }
+  // Root dentry "/" with a directory inode.
+  inode* root_ino = CreateInode(sb, kSIfDir | 0755, 0);
+  sb->s_root = CreateDentry("/", root_ino, nullptr);
+  return sb;
+}
+
+inode* FsManager::CreateInode(super_block* sb, uint32_t mode, int64_t size) {
+  auto* ino = slabs_->AllocAs<inode>(inode_cache_);
+  ino->i_ino = next_ino_++;
+  ino->i_mode = mode;
+  ino->i_nlink = 1;
+  ino->i_size = size;
+  ino->i_sb = sb;
+  ino->i_data.host = ino;
+  ino->i_data.i_pages.height = 0;
+  ino->i_data.i_pages.rnode = nullptr;
+  ino->i_data.nrpages = 0;
+  INIT_LIST_HEAD(&ino->i_data.i_mmap);
+  ino->i_mapping = &ino->i_data;
+  if (sb != nullptr) {
+    list_add_tail(&ino->i_sb_list, &sb->s_inodes);
+  } else {
+    INIT_LIST_HEAD(&ino->i_sb_list);
+  }
+  return ino;
+}
+
+dentry* FsManager::CreateDentry(std::string_view name, inode* ino, dentry* parent) {
+  auto* dent = slabs_->AllocAs<dentry>(dentry_cache_);
+  CopyName(dent->d_name, sizeof(dent->d_name), name);
+  dent->d_inode = ino;
+  dent->d_parent = parent != nullptr ? parent : dent;
+  dent->d_count = 1;
+  INIT_LIST_HEAD(&dent->d_subdirs);
+  if (parent != nullptr) {
+    list_add_tail(&dent->d_child, &parent->d_subdirs);
+  } else {
+    INIT_LIST_HEAD(&dent->d_child);
+  }
+  return dent;
+}
+
+file* FsManager::OpenFile(dentry* dent, uint32_t flags) {
+  auto* f = slabs_->AllocAs<file>(file_cache_);
+  f->f_dentry = dent;
+  f->f_inode = dent->d_inode;
+  f->f_mapping = dent->d_inode != nullptr ? dent->d_inode->i_mapping : nullptr;
+  f->f_op = def_file_fops_;
+  f->f_flags = flags;
+  f->f_mode = 0;
+  f->f_pos = 0;
+  f->f_count.counter = 1;
+  if (dent->d_inode != nullptr) {
+    dent->d_count++;
+  }
+  return f;
+}
+
+void FsManager::CloseFile(file* f) {
+  if (--f->f_count.counter > 0) {
+    return;
+  }
+  slabs_->Free(file_cache_, f);
+}
+
+page* FsManager::PageCacheLookup(inode* ino, uint64_t pgoff) const {
+  return static_cast<page*>(radix_->Lookup(&ino->i_data.i_pages, pgoff));
+}
+
+page* FsManager::PageCacheGrab(inode* ino, uint64_t pgoff) {
+  page* pg = PageCacheLookup(ino, pgoff);
+  if (pg != nullptr) {
+    return pg;
+  }
+  pg = buddy_->AllocPage();
+  if (pg == nullptr) {
+    return nullptr;
+  }
+  pg->mapping = &ino->i_data;
+  pg->index = pgoff;
+  pg->flags |= PG_uptodate;
+  // "Read" deterministic file content into the page.
+  auto* data = static_cast<uint8_t*>(buddy_->PageAddress(pg));
+  for (size_t i = 0; i < kPageSize; ++i) {
+    data[i] = static_cast<uint8_t>('A' + ((ino->i_ino + pgoff * 7 + i) % 26));
+  }
+  if (!radix_->Insert(&ino->i_data.i_pages, pgoff, pg)) {
+    buddy_->FreePage(pg);
+    return nullptr;
+  }
+  ino->i_data.nrpages++;
+  return pg;
+}
+
+files_struct* FsManager::CreateFilesStruct() {
+  auto* files = slabs_->AllocAs<files_struct>(files_cache_);
+  files->count.counter = 1;
+  files->fdt_embedded.max_fds = kNrOpenDefault;
+  files->fdt_embedded.fd = files->fd_array;
+  files->fdt_embedded.open_fds = &files->open_fds_init;
+  files->fdt_embedded.close_on_exec = &files->close_on_exec_init;
+  files->fdt = &files->fdt_embedded;
+  files->next_fd = 0;
+  return files;
+}
+
+int FsManager::InstallFd(files_struct* files, file* f) {
+  fdtable* fdt = files->fdt;
+  for (uint32_t fd = static_cast<uint32_t>(files->next_fd); fd < fdt->max_fds; ++fd) {
+    if ((*fdt->open_fds & (1ull << fd)) == 0) {
+      *fdt->open_fds |= 1ull << fd;
+      fdt->fd[fd] = f;
+      files->next_fd = static_cast<int>(fd) + 1;
+      return static_cast<int>(fd);
+    }
+  }
+  return -1;
+}
+
+file* FsManager::FdGet(files_struct* files, int fd) const {
+  fdtable* fdt = files->fdt;
+  if (fd < 0 || static_cast<uint32_t>(fd) >= fdt->max_fds) {
+    return nullptr;
+  }
+  if ((*fdt->open_fds & (1ull << fd)) == 0) {
+    return nullptr;
+  }
+  return fdt->fd[fd];
+}
+
+void FsManager::CloseFd(files_struct* files, int fd) {
+  file* f = FdGet(files, fd);
+  if (f == nullptr) {
+    return;
+  }
+  fdtable* fdt = files->fdt;
+  *fdt->open_fds &= ~(1ull << fd);
+  fdt->fd[fd] = nullptr;
+  if (fd < files->next_fd) {
+    files->next_fd = fd;
+  }
+  CloseFile(f);
+}
+
+pipe_inode_info* FsManager::CreatePipe(super_block* pipefs_sb, file** read_end,
+                                       file** write_end) {
+  inode* ino = CreateInode(pipefs_sb, kSIfIfo | 0600, 0);
+  auto* pipe = slabs_->AllocAs<pipe_inode_info>(pipe_cache_);
+  pipe->head = 0;
+  pipe->tail = 0;
+  pipe->ring_size = kPipeDefBuffers;
+  pipe->readers = 1;
+  pipe->writers = 1;
+  pipe->bufs = static_cast<pipe_buffer*>(slabs_->Alloc(pipe_buf_cache_));
+  pipe->inode_ = ino;
+  ino->i_pipe = pipe;
+
+  dentry* dent = CreateDentry("pipe:", ino, nullptr);
+  file* rf = OpenFile(dent, 0 /* O_RDONLY */);
+  rf->f_op = pipefifo_fops_;
+  rf->private_data = pipe;
+  file* wf = OpenFile(dent, 1 /* O_WRONLY */);
+  wf->f_op = pipefifo_fops_;
+  wf->private_data = pipe;
+  *read_end = rf;
+  *write_end = wf;
+  return pipe;
+}
+
+bool FsManager::PipeWrite(pipe_inode_info* pipe, const void* data, uint32_t len) {
+  const auto* src = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    uint32_t used = pipe->head - pipe->tail;
+    // Try appending to the head buffer when it allows merging.
+    if (used > 0) {
+      pipe_buffer* buf = &pipe->bufs[(pipe->head - 1) & (pipe->ring_size - 1)];
+      if ((buf->flags & PIPE_BUF_FLAG_CAN_MERGE) != 0 && buf->offset + buf->len < kPageSize) {
+        uint32_t space = static_cast<uint32_t>(kPageSize) - (buf->offset + buf->len);
+        uint32_t chunk = len < space ? len : space;
+        auto* dst = static_cast<uint8_t*>(buddy_->PageAddress(buf->page_));
+        // NOTE: for a page-cache-backed buffer this writes *into the shared
+        // page*, corrupting the file's cached content — CVE-2022-0847.
+        std::memcpy(dst + buf->offset + buf->len, src, chunk);
+        buf->len += chunk;
+        src += chunk;
+        len -= chunk;
+        continue;
+      }
+    }
+    if (used >= pipe->ring_size) {
+      return false;  // pipe full
+    }
+    page* pg = buddy_->AllocPage();
+    if (pg == nullptr) {
+      return false;
+    }
+    pipe_buffer* buf = &pipe->bufs[pipe->head & (pipe->ring_size - 1)];
+    buf->page_ = pg;
+    buf->offset = 0;
+    buf->len = 0;
+    buf->ops = anon_pipe_buf_ops_;
+    // Anonymous pipe buffers are mergeable (Linux 5.8+ behaviour).
+    buf->flags = PIPE_BUF_FLAG_CAN_MERGE;
+    pipe->head++;
+    uint32_t chunk = len < kPageSize ? len : static_cast<uint32_t>(kPageSize);
+    std::memcpy(buddy_->PageAddress(pg), src, chunk);
+    buf->len = chunk;
+    src += chunk;
+    len -= chunk;
+  }
+  return true;
+}
+
+uint32_t FsManager::PipeRead(pipe_inode_info* pipe, uint32_t len) {
+  uint32_t total = 0;
+  while (len > 0 && pipe->tail != pipe->head) {
+    pipe_buffer* buf = &pipe->bufs[pipe->tail & (pipe->ring_size - 1)];
+    uint32_t chunk = len < buf->len ? len : buf->len;
+    buf->offset += chunk;
+    buf->len -= chunk;
+    total += chunk;
+    len -= chunk;
+    if (buf->len == 0) {
+      // Release the buffer. Linux leaves buf->flags as-is in the ring — the
+      // stale-flag reuse at the heart of Dirty Pipe.
+      if (buf->ops == anon_pipe_buf_ops_ && buf->page_ != nullptr) {
+        buddy_->FreePage(buf->page_);
+      }
+      buf->page_ = nullptr;
+      buf->ops = nullptr;
+      buf->offset = 0;
+      pipe->tail++;
+    }
+  }
+  return total;
+}
+
+bool FsManager::SpliceFileToPipe(file* src, uint64_t pgoff, pipe_inode_info* pipe, uint32_t len,
+                                 bool init_flags_bug) {
+  if (pipe->head - pipe->tail >= pipe->ring_size) {
+    return false;
+  }
+  page* pg = PageCacheGrab(src->f_inode, pgoff);
+  if (pg == nullptr) {
+    return false;
+  }
+  pipe_buffer* buf = &pipe->bufs[pipe->head & (pipe->ring_size - 1)];
+  buf->page_ = pg;
+  buf->offset = 0;
+  buf->len = len;
+  buf->ops = page_cache_pipe_buf_ops_;
+  if (!init_flags_bug) {
+    buf->flags = 0;  // the post-CVE fix: copy_page_to_iter_pipe clears flags
+  }
+  // With the bug, buf->flags keeps whatever the previous occupant of this ring
+  // slot left behind — possibly PIPE_BUF_FLAG_CAN_MERGE.
+  pg->refcount++;
+  pipe->head++;
+  return true;
+}
+
+}  // namespace vkern

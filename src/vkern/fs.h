@@ -1,0 +1,119 @@
+// VFS substrate: superblocks, inodes, dentries, files, fd tables, the
+// radix-tree page cache, block devices, and pipes.
+//
+// Covers the object graphs of ULK Figures 12-3 (fd array), 14-3 (block device
+// descriptors), 15-1 (page cache radix tree), 16-2 (file memory mapping), and
+// the pipe machinery of the Dirty Pipe case study (paper Figure 7).
+
+#ifndef SRC_VKERN_FS_H_
+#define SRC_VKERN_FS_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/vkern/buddy.h"
+#include "src/vkern/kstructs.h"
+#include "src/vkern/radix.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+
+// i_mode type bits (matching the real S_IF* values).
+inline constexpr uint32_t kSIfReg = 0100000;
+inline constexpr uint32_t kSIfDir = 0040000;
+inline constexpr uint32_t kSIfIfo = 0010000;
+inline constexpr uint32_t kSIfSock = 0140000;
+inline constexpr uint32_t kSIfBlk = 0060000;
+
+class FsManager {
+ public:
+  FsManager(SlabAllocator* slabs, BuddyAllocator* buddy, RadixTreeOps* radix);
+
+  // --- filesystems and superblocks ---
+  file_system_type* RegisterFilesystem(std::string_view name);
+  super_block* CreateSuperBlock(file_system_type* fs_type, std::string_view id,
+                                block_device* bdev);
+  block_device* CreateBlockDevice(std::string_view disk_name, uint64_t dev, uint64_t nr_sectors);
+
+  // --- inodes / dentries / files ---
+  inode* CreateInode(super_block* sb, uint32_t mode, int64_t size);
+  dentry* CreateDentry(std::string_view name, inode* ino, dentry* parent);
+  file* OpenFile(dentry* dent, uint32_t flags);
+  void CloseFile(file* f);
+
+  // --- the page cache ---
+  // Reads page `pgoff` of the file into the page cache (allocating and filling
+  // a page on miss); mirrors filemap_grab_page.
+  page* PageCacheGrab(inode* ino, uint64_t pgoff);
+  page* PageCacheLookup(inode* ino, uint64_t pgoff) const;
+
+  // --- fd tables ---
+  files_struct* CreateFilesStruct();
+  int InstallFd(files_struct* files, file* f);
+  file* FdGet(files_struct* files, int fd) const;
+  void CloseFd(files_struct* files, int fd);
+
+  // --- pipes (CVE-2022-0847 substrate) ---
+  // Creates a pipe: an inode with pipe_inode_info and two file descriptors'
+  // backing file objects (read end, write end).
+  pipe_inode_info* CreatePipe(super_block* pipefs_sb, file** read_end, file** write_end);
+
+  // pipe_write: copies `len` bytes into the pipe. When the head buffer has the
+  // CAN_MERGE flag, bytes are appended *into its existing page* — the Dirty
+  // Pipe corruption vector.
+  bool PipeWrite(pipe_inode_info* pipe, const void* data, uint32_t len);
+
+  // pipe_read: consumes up to `len` bytes; returns bytes read. Released ring
+  // slots keep their stale flags, as in Linux.
+  uint32_t PipeRead(pipe_inode_info* pipe, uint32_t len);
+
+  // splice(file -> pipe): zero-copy moves a page-cache page into a pipe buffer
+  // (copy_page_to_iter_pipe). `init_flags_bug` reproduces CVE-2022-0847: the
+  // buffer's flags are left uninitialized instead of being cleared, so a stale
+  // PIPE_BUF_FLAG_CAN_MERGE survives.
+  bool SpliceFileToPipe(file* src, uint64_t pgoff, pipe_inode_info* pipe, uint32_t len,
+                        bool init_flags_bug);
+
+  list_head* super_blocks() { return super_blocks_; }
+  list_head* filesystems() { return filesystems_; }
+
+  kmem_cache* inode_cache() { return inode_cache_; }
+  kmem_cache* file_cache() { return file_cache_; }
+  kmem_cache* dentry_cache() { return dentry_cache_; }
+
+  const file_operations_stub* pipefifo_fops() const { return pipefifo_fops_; }
+  const pipe_buf_operations_stub* anon_pipe_buf_ops() const { return anon_pipe_buf_ops_; }
+  const pipe_buf_operations_stub* page_cache_pipe_buf_ops() const {
+    return page_cache_pipe_buf_ops_;
+  }
+
+ private:
+  SlabAllocator* slabs_;
+  BuddyAllocator* buddy_;
+  RadixTreeOps* radix_;
+
+  list_head* super_blocks_;   // global super_blocks list (arena)
+  list_head* filesystems_;    // registered file_system_types (arena)
+
+  kmem_cache* sb_cache_;
+  kmem_cache* inode_cache_;
+  kmem_cache* dentry_cache_;
+  kmem_cache* file_cache_;
+  kmem_cache* files_cache_;
+  kmem_cache* bdev_cache_;
+  kmem_cache* fstype_cache_;
+  kmem_cache* pipe_cache_;
+  kmem_cache* pipe_buf_cache_;
+
+  // Ops tables allocated inside the arena (a real kernel's .rodata).
+  file_operations_stub* pipefifo_fops_;
+  file_operations_stub* def_file_fops_;
+  pipe_buf_operations_stub* anon_pipe_buf_ops_;
+  pipe_buf_operations_stub* page_cache_pipe_buf_ops_;
+
+  uint64_t next_ino_ = 1;
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_FS_H_

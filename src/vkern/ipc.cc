@@ -1,0 +1,123 @@
+#include "src/vkern/ipc.h"
+
+namespace vkern {
+
+IpcSubsystem::IpcSubsystem(ipc_namespace* ns, SlabAllocator* slabs) : ns_(ns), slabs_(slabs) {
+  sem_cache_ = slabs_->CreateCache("sem_array", sizeof(sem_array));
+  msq_cache_ = slabs_->CreateCache("msg_queue", sizeof(msg_queue));
+  msg_cache_ = slabs_->CreateCache("msg_msg", sizeof(msg_msg));
+  for (int i = 0; i < 3; ++i) {
+    ns_->ids[i].in_use = 0;
+    ns_->ids[i].max_idx = -1;
+    for (auto& entry : ns_->ids[i].entries) {
+      entry = nullptr;
+    }
+  }
+}
+
+int IpcSubsystem::AllocId(ipc_ids* ids, kern_ipc_perm* perm) {
+  for (int i = 0; i < static_cast<int>(sizeof(ids->entries) / sizeof(ids->entries[0])); ++i) {
+    if (ids->entries[i] == nullptr) {
+      ids->entries[i] = perm;
+      ids->in_use++;
+      if (i > ids->max_idx) {
+        ids->max_idx = i;
+      }
+      perm->id = i;
+      perm->seq = seq_++;
+      return i;
+    }
+  }
+  return -1;
+}
+
+sem_array* IpcSubsystem::SemGet(uint64_t key, int nsems) {
+  if (nsems <= 0 || nsems > kSemsMax) {
+    return nullptr;
+  }
+  auto* sma = slabs_->AllocAs<sem_array>(sem_cache_);
+  if (sma == nullptr) {
+    return nullptr;
+  }
+  sma->sem_perm.key = key;
+  sma->sem_perm.mode = 0600;
+  sma->sem_nsems = nsems;
+  INIT_LIST_HEAD(&sma->pending_alter);
+  INIT_LIST_HEAD(&sma->pending_const);
+  for (int i = 0; i < nsems; ++i) {
+    sma->sems[i].semval = 0;
+    sma->sems[i].sempid = 0;
+    INIT_LIST_HEAD(&sma->sems[i].pending_alter);
+    INIT_LIST_HEAD(&sma->sems[i].pending_const);
+  }
+  if (AllocId(&ns_->ids[kIpcSemIds], &sma->sem_perm) < 0) {
+    slabs_->Free(sem_cache_, sma);
+    return nullptr;
+  }
+  return sma;
+}
+
+bool IpcSubsystem::SemOp(sem_array* sma, int semnum, int delta, int pid) {
+  if (semnum < 0 || semnum >= sma->sem_nsems) {
+    return false;
+  }
+  sem_sim* sem = &sma->sems[semnum];
+  int next = sem->semval + delta;
+  if (next < 0) {
+    return false;  // would block; the simulation treats it as EAGAIN
+  }
+  sem->semval = next;
+  sem->sempid = pid;
+  return true;
+}
+
+msg_queue* IpcSubsystem::MsgGet(uint64_t key) {
+  auto* q = slabs_->AllocAs<msg_queue>(msq_cache_);
+  if (q == nullptr) {
+    return nullptr;
+  }
+  q->q_perm.key = key;
+  q->q_perm.mode = 0600;
+  q->q_qbytes = 16384;
+  INIT_LIST_HEAD(&q->q_messages);
+  INIT_LIST_HEAD(&q->q_receivers);
+  INIT_LIST_HEAD(&q->q_senders);
+  if (AllocId(&ns_->ids[kIpcMsgIds], &q->q_perm) < 0) {
+    slabs_->Free(msq_cache_, q);
+    return nullptr;
+  }
+  return q;
+}
+
+bool IpcSubsystem::MsgSend(msg_queue* q, int64_t type, uint64_t size) {
+  if (q->q_cbytes + size > q->q_qbytes) {
+    return false;
+  }
+  auto* msg = slabs_->AllocAs<msg_msg>(msg_cache_);
+  if (msg == nullptr) {
+    return false;
+  }
+  msg->m_type = type;
+  msg->m_ts = size;
+  list_add_tail(&msg->m_list, &q->q_messages);
+  q->q_cbytes += size;
+  q->q_qnum++;
+  q->q_stime++;
+  return true;
+}
+
+uint64_t IpcSubsystem::MsgReceive(msg_queue* q) {
+  if (list_empty(&q->q_messages)) {
+    return 0;
+  }
+  msg_msg* msg = VKERN_CONTAINER_OF(q->q_messages.next, msg_msg, m_list);
+  uint64_t size = msg->m_ts;
+  list_del(&msg->m_list);
+  q->q_cbytes -= size;
+  q->q_qnum--;
+  q->q_rtime++;
+  slabs_->Free(msg_cache_, msg);
+  return size;
+}
+
+}  // namespace vkern

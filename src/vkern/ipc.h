@@ -1,0 +1,51 @@
+// System-V IPC: semaphore sets and message queues (ULK Figures 19-1/19-2).
+
+#ifndef SRC_VKERN_IPC_H_
+#define SRC_VKERN_IPC_H_
+
+#include <cstdint>
+
+#include "src/vkern/kstructs.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+
+inline constexpr int kIpcSemIds = 0;
+inline constexpr int kIpcMsgIds = 1;
+inline constexpr int kIpcShmIds = 2;
+
+class IpcSubsystem {
+ public:
+  // `ns` is the in-arena ipc_namespace.
+  IpcSubsystem(ipc_namespace* ns, SlabAllocator* slabs);
+
+  // semget(): a semaphore set with `nsems` semaphores (<= kSemsMax).
+  sem_array* SemGet(uint64_t key, int nsems);
+  // semop() on one semaphore: adjusts semval (never below zero; clamped).
+  bool SemOp(sem_array* sma, int semnum, int delta, int pid);
+
+  // msgget(): a message queue.
+  msg_queue* MsgGet(uint64_t key);
+  // msgsnd(): enqueues a message of `size` bytes with the given type.
+  bool MsgSend(msg_queue* q, int64_t type, uint64_t size);
+  // msgrcv(): dequeues the first message; returns its size or 0.
+  uint64_t MsgReceive(msg_queue* q);
+
+  ipc_namespace* ns() { return ns_; }
+  int sem_count() const { return ns_->ids[kIpcSemIds].in_use; }
+  int msg_count() const { return ns_->ids[kIpcMsgIds].in_use; }
+
+ private:
+  int AllocId(ipc_ids* ids, kern_ipc_perm* perm);
+
+  ipc_namespace* ns_;
+  SlabAllocator* slabs_;
+  kmem_cache* sem_cache_;
+  kmem_cache* msq_cache_;
+  kmem_cache* msg_cache_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_IPC_H_

@@ -1,0 +1,104 @@
+#include "src/vkern/irq.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace vkern {
+
+namespace {
+
+// The generic flow handler every descriptor points at (symbolized).
+void HandleEdgeIrq(irq_desc* desc) {
+  for (irqaction* action = desc->action; action != nullptr; action = action->next) {
+    if (action->handler != nullptr) {
+      action->handler(static_cast<int>(action->irq), action->dev_id);
+    }
+  }
+}
+
+}  // namespace
+
+IrqSubsystem::IrqSubsystem(irq_desc* descs, SlabAllocator* slabs)
+    : descs_(descs), slabs_(slabs) {
+  action_cache_ = slabs_->CreateCache("irqaction", sizeof(irqaction));
+  chip_ = static_cast<irq_chip*>(slabs_->AllocMeta(sizeof(irq_chip)));
+  std::memcpy(chip_->name, "IO-APIC", 8);
+  for (uint32_t i = 0; i < kNrIrqs; ++i) {
+    irq_desc* desc = &descs_[i];
+    std::memset(desc, 0, sizeof(irq_desc));
+    desc->irq_data_.irq = i;
+    desc->irq_data_.hwirq = i;
+    desc->irq_data_.chip = chip_;
+    desc->handle_irq = &HandleEdgeIrq;
+    desc->depth = 1;  // disabled until an action is installed
+    std::snprintf(desc->name, sizeof(desc->name), "irq%u", i);
+  }
+}
+
+irqaction* IrqSubsystem::RequestIrq(uint32_t irq, std::string_view name,
+                                    void (*handler)(int, void*), void* dev_id, uint32_t flags) {
+  if (irq >= kNrIrqs) {
+    return nullptr;
+  }
+  auto* action = slabs_->AllocAs<irqaction>(action_cache_);
+  if (action == nullptr) {
+    return nullptr;
+  }
+  action->handler = handler;
+  action->dev_id = dev_id;
+  action->irq = irq;
+  action->flags = flags;
+  size_t len = name.size() < sizeof(action->name) - 1 ? name.size() : sizeof(action->name) - 1;
+  std::memcpy(action->name, name.data(), len);
+
+  irq_desc* desc = &descs_[irq];
+  irqaction** tail = &desc->action;
+  while (*tail != nullptr) {
+    tail = &(*tail)->next;
+  }
+  *tail = action;
+  desc->depth = 0;  // enabled
+  return action;
+}
+
+void IrqSubsystem::FreeIrq(uint32_t irq, void* dev_id) {
+  if (irq >= kNrIrqs) {
+    return;
+  }
+  irq_desc* desc = &descs_[irq];
+  irqaction** link = &desc->action;
+  while (*link != nullptr) {
+    if ((*link)->dev_id == dev_id) {
+      irqaction* victim = *link;
+      *link = victim->next;
+      slabs_->Free(action_cache_, victim);
+    } else {
+      link = &(*link)->next;
+    }
+  }
+  if (desc->action == nullptr) {
+    desc->depth = 1;
+  }
+}
+
+uint64_t IrqSubsystem::Raise(uint32_t irq) {
+  if (irq >= kNrIrqs || descs_[irq].depth > 0) {
+    return 0;
+  }
+  irq_desc* desc = &descs_[irq];
+  desc->tot_count++;
+  if (desc->handle_irq != nullptr) {
+    desc->handle_irq(desc);
+  }
+  return desc->tot_count;
+}
+
+uint32_t IrqSubsystem::action_count(uint32_t irq) const {
+  uint32_t n = 0;
+  for (irqaction* action = descs_[irq].action; action != nullptr; action = action->next) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace vkern

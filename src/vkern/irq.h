@@ -1,0 +1,41 @@
+// IRQ descriptors and action chains (ULK Figure 4-5).
+
+#ifndef SRC_VKERN_IRQ_H_
+#define SRC_VKERN_IRQ_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/vkern/kstructs.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+
+class IrqSubsystem {
+ public:
+  // `descs` is the in-arena irq_desc[kNrIrqs] array.
+  IrqSubsystem(irq_desc* descs, SlabAllocator* slabs);
+
+  // request_irq: appends a handler to the IRQ's action chain (shared IRQs
+  // chain multiple irqaction entries).
+  irqaction* RequestIrq(uint32_t irq, std::string_view name, void (*handler)(int, void*),
+                        void* dev_id, uint32_t flags);
+  void FreeIrq(uint32_t irq, void* dev_id);
+
+  // Fires the IRQ: walks the action chain, invoking every handler.
+  uint64_t Raise(uint32_t irq);
+
+  irq_desc* desc(uint32_t irq) { return &descs_[irq]; }
+  irq_chip* chip() { return chip_; }
+  uint32_t action_count(uint32_t irq) const;
+
+ private:
+  irq_desc* descs_;
+  SlabAllocator* slabs_;
+  kmem_cache* action_cache_;
+  irq_chip* chip_;  // a single "IO-APIC" style chip, in the arena
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_IRQ_H_

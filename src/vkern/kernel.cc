@@ -1,0 +1,222 @@
+#include "src/vkern/kernel.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace vkern {
+
+namespace {
+
+// Work handlers — their addresses tag the containing type of each work item
+// (Figure 6's "types determined by a function pointer field").
+void VmstatUpdate(work_struct* work) {
+  auto* dw = VKERN_CONTAINER_OF(work, delayed_work, work);
+  auto* item = VKERN_CONTAINER_OF(dw, vmstat_work_item, dw);
+  item->nr_updates++;
+}
+
+void LruAddDrainPerCpu(work_struct* work) {
+  auto* item = VKERN_CONTAINER_OF(work, lru_drain_item, work);
+  (void)item;
+}
+
+void DrainLocalPagesWq(work_struct* work) {
+  auto* item = VKERN_CONTAINER_OF(work, drain_pages_item, work);
+  item->drained++;
+}
+
+// Timer callbacks.
+void ProcessTimeoutFn(timer_list* timer) { (void)timer; }
+void DelayedWorkTimerFn(timer_list* timer) { (void)timer; }
+
+// IRQ handlers.
+void TimerInterrupt(int irq, void* dev) {
+  (void)irq;
+  (void)dev;
+}
+void AtaInterrupt(int irq, void* dev) {
+  (void)irq;
+  (void)dev;
+}
+void EthInterrupt(int irq, void* dev) {
+  (void)irq;
+  (void)dev;
+}
+
+// Stand-in user signal handlers (only their addresses matter).
+void UserSigHandler1(int sig) { (void)sig; }
+void UserSigHandler2(int sig) { (void)sig; }
+
+}  // namespace
+
+Kernel::Kernel(const KernelConfig& config) {
+  arena_ = std::make_unique<Arena>(config.arena_bytes);
+  buddy_ = std::make_unique<BuddyAllocator>(arena_.get());
+  slabs_ = std::make_unique<SlabAllocator>(buddy_.get());
+  radix_ = std::make_unique<RadixTreeOps>(slabs_.get());
+
+  // In-arena globals.
+  runqueues_ = static_cast<rq*>(slabs_->AllocMeta(sizeof(rq) * kNrCpus, 64));
+  rcu_state_ = static_cast<rcu_state*>(slabs_->AllocMeta(sizeof(rcu_state), 64));
+  rcu_data_ = static_cast<rcu_data*>(slabs_->AllocMeta(sizeof(rcu_data) * kNrCpus, 64));
+  timer_bases_ = static_cast<timer_base*>(slabs_->AllocMeta(sizeof(timer_base) * kNrCpus, 64));
+  irq_descs_ = static_cast<irq_desc*>(slabs_->AllocMeta(sizeof(irq_desc) * kNrIrqs, 64));
+  worker_pools_ =
+      static_cast<worker_pool*>(slabs_->AllocMeta(sizeof(worker_pool) * kNrCpus, 64));
+  workqueues_head_ = static_cast<list_head*>(slabs_->AllocMeta(sizeof(list_head)));
+  init_ipc_ns_ = static_cast<ipc_namespace*>(slabs_->AllocMeta(sizeof(ipc_namespace), 64));
+  swap_info_ = static_cast<swap_info_struct**>(
+      slabs_->AllocMeta(sizeof(swap_info_struct*) * kMaxSwapFiles, 8));
+
+  rcu_ = std::make_unique<RcuSubsystem>(rcu_state_, rcu_data_, kNrCpus);
+  maple_ = std::make_unique<MapleTreeOps>(slabs_.get(), rcu_.get());
+  sched_ = std::make_unique<Scheduler>(runqueues_);
+  fs_ = std::make_unique<FsManager>(slabs_.get(), buddy_.get(), radix_.get());
+  procs_ = std::make_unique<ProcessManager>(slabs_.get(), buddy_.get(), maple_.get(),
+                                            sched_.get(), fs_.get());
+  timers_ = std::make_unique<TimerSubsystem>(timer_bases_, slabs_.get());
+  irqs_ = std::make_unique<IrqSubsystem>(irq_descs_, slabs_.get());
+  wqs_ = std::make_unique<WorkqueueSubsystem>(slabs_.get(), workqueues_head_, worker_pools_);
+  ipc_ = std::make_unique<IpcSubsystem>(init_ipc_ns_, slabs_.get());
+  devices_ = std::make_unique<DeviceModel>(slabs_.get());
+  swap_ = std::make_unique<SwapSubsystem>(swap_info_, slabs_.get());
+
+  wq_item_cache_ = slabs_->CreateCache("mm_percpu_wq_item", sizeof(vmstat_work_item));
+
+  BootFilesystems();
+  net_ = std::make_unique<NetSubsystem>(slabs_.get(), fs_.get(), sockfs_sb_);
+  procs_->Boot();
+  BootDeviceModel();
+  BootWorkqueues();
+  BootIrqs();
+  BootSwap();
+  BootKthreads();
+  RegisterWellKnownFunctions();
+}
+
+Kernel::~Kernel() = default;
+
+void Kernel::BootFilesystems() {
+  file_system_type* ext4 = fs_->RegisterFilesystem("ext4");
+  file_system_type* tmpfs = fs_->RegisterFilesystem("tmpfs");
+  file_system_type* pipefs = fs_->RegisterFilesystem("pipefs");
+  file_system_type* sockfs = fs_->RegisterFilesystem("sockfs");
+  fs_->RegisterFilesystem("proc");
+
+  sda_ = fs_->CreateBlockDevice("sda", (8ull << 20) | 0, 1 << 21);
+  sdb_ = fs_->CreateBlockDevice("sdb", (8ull << 20) | 16, 1 << 20);
+  ext4_sb_ = fs_->CreateSuperBlock(ext4, "sda1", sda_);
+  tmpfs_sb_ = fs_->CreateSuperBlock(tmpfs, "tmpfs", nullptr);
+  pipefs_sb_ = fs_->CreateSuperBlock(pipefs, "pipefs", nullptr);
+  sockfs_sb_ = fs_->CreateSuperBlock(sockfs, "sockfs", nullptr);
+}
+
+void Kernel::BootDeviceModel() {
+  platform_bus_ = devices_->RegisterBus("platform");
+  device_driver* serial_drv = devices_->RegisterDriver(platform_bus_, "serial8250");
+  device_driver* rtc_drv = devices_->RegisterDriver(platform_bus_, "rtc_cmos");
+  devices_->RegisterDriver(platform_bus_, "i8042");
+  device* serial = devices_->RegisterDevice(platform_bus_, "serial8250", nullptr, 0);
+  device* rtc = devices_->RegisterDevice(platform_bus_, "rtc_cmos", nullptr, 0);
+  device* port0 = devices_->RegisterDevice(platform_bus_, "ttyS0", serial, (4ull << 20) | 64);
+  devices_->BindDevice(serial, serial_drv);
+  devices_->BindDevice(rtc, rtc_drv);
+  devices_->BindDevice(port0, serial_drv);
+}
+
+void Kernel::BootWorkqueues() {
+  events_wq_ = wqs_->AllocWorkqueue("events", 0);
+  mm_percpu_wq_ = wqs_->AllocWorkqueue("mm_percpu_wq", 0x20000 /* WQ_MEM_RECLAIM */);
+  for (int cpu = 0; cpu < kNrCpus; ++cpu) {
+    QueueMmPercpuWork(cpu);
+  }
+}
+
+void Kernel::QueueMmPercpuWork(int cpu) {
+  auto* vw = slabs_->AllocAs<vmstat_work_item>(wq_item_cache_);
+  vw->cpu = cpu;
+  wqs_->InitWork(&vw->dw.work, &VmstatUpdate);
+  vw->dw.cpu = cpu;
+  wqs_->QueueWork(mm_percpu_wq_, cpu, &vw->dw.work);
+
+  auto* lw = slabs_->AllocAs<lru_drain_item>(wq_item_cache_);
+  lw->cpu = cpu;
+  wqs_->InitWork(&lw->work, &LruAddDrainPerCpu);
+  wqs_->QueueWork(mm_percpu_wq_, cpu, &lw->work);
+
+  auto* dw = slabs_->AllocAs<drain_pages_item>(wq_item_cache_);
+  dw->cpu = cpu;
+  wqs_->InitWork(&dw->work, &DrainLocalPagesWq);
+  wqs_->QueueWork(mm_percpu_wq_, cpu, &dw->work);
+}
+
+void Kernel::BootIrqs() {
+  irqs_->RequestIrq(0, "timer", &TimerInterrupt, runqueues_, 0);
+  irqs_->RequestIrq(1, "i8042", &TimerInterrupt, nullptr, 0);
+  irqs_->RequestIrq(14, "ata_piix", &AtaInterrupt, sda_, 0);
+  irqs_->RequestIrq(14, "ata_piix", &AtaInterrupt, sdb_, 0x80 /* IRQF_SHARED */);
+  irqs_->RequestIrq(11, "eth0", &EthInterrupt, nullptr, 0);
+}
+
+void Kernel::BootSwap() {
+  inode* swap_ino = fs_->CreateInode(ext4_sb_, kSIfReg | 0600, 64 << 20);
+  dentry* swap_dent = fs_->CreateDentry("swapfile", swap_ino, ext4_sb_->s_root);
+  file* swap_file = fs_->OpenFile(swap_dent, 2);
+  swap_info_struct* si = swap_->SwapOn(swap_file, sda_, 16384, -2);
+  // Pre-populate a little usage so the figure is non-trivial.
+  for (int i = 0; i < 37; ++i) {
+    swap_->AllocSlot(si);
+  }
+}
+
+void Kernel::BootKthreads() {
+  for (int cpu = 0; cpu < kNrCpus; ++cpu) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "kworker/%d:0", cpu);
+    procs_->CreateKthread(name, cpu);
+    std::snprintf(name, sizeof(name), "ksoftirqd/%d", cpu);
+    procs_->CreateKthread(name, cpu);
+  }
+  procs_->CreateKthread("rcu_sched", 0);
+  procs_->CreateKthread("kswapd0", 1);
+}
+
+void Kernel::TickCpu(int cpu) {
+  sched_->Tick(cpu);
+  timers_->Advance(cpu, 1);
+  wqs_->ProcessPending(cpu, 1);
+  rcu_->QuiescentState(cpu);
+  rcu_->TryAdvanceGracePeriod();
+}
+
+void Kernel::RegisterFunction(const void* fn, std::string name) {
+  func_symbols_[reinterpret_cast<uint64_t>(fn)] = std::move(name);
+}
+
+std::string Kernel::SymbolizeFunction(uint64_t addr) const {
+  auto it = func_symbols_.find(addr);
+  return it != func_symbols_.end() ? it->second : std::string();
+}
+
+void Kernel::RegisterWellKnownFunctions() {
+  RegisterFunction(reinterpret_cast<const void*>(&VmstatUpdate), "vmstat_update");
+  RegisterFunction(reinterpret_cast<const void*>(&LruAddDrainPerCpu), "lru_add_drain_per_cpu");
+  RegisterFunction(reinterpret_cast<const void*>(&DrainLocalPagesWq), "drain_local_pages_wq");
+  RegisterFunction(reinterpret_cast<const void*>(&ProcessTimeoutFn), "process_timeout");
+  RegisterFunction(reinterpret_cast<const void*>(&DelayedWorkTimerFn), "delayed_work_timer_fn");
+  RegisterFunction(reinterpret_cast<const void*>(&TimerInterrupt), "timer_interrupt");
+  RegisterFunction(reinterpret_cast<const void*>(&AtaInterrupt), "ata_bmdma_interrupt");
+  RegisterFunction(reinterpret_cast<const void*>(&EthInterrupt), "e1000_intr");
+  RegisterFunction(reinterpret_cast<const void*>(&MapleTreeOps::MtFreeRcu), "mt_free_rcu");
+  RegisterFunction(reinterpret_cast<const void*>(&UserSigHandler1), "user_sigint_handler");
+  RegisterFunction(reinterpret_cast<const void*>(&UserSigHandler2), "user_sigusr1_handler");
+  RegisterFunction(nullptr, "SIG_DFL");
+  RegisterFunction(reinterpret_cast<const void*>(uintptr_t{1}), "SIG_IGN");
+}
+
+// Exposed for workloads that want to install "user" handlers.
+sighandler_t KernelTestSigHandler1() { return &UserSigHandler1; }
+sighandler_t KernelTestSigHandler2() { return &UserSigHandler2; }
+void (*KernelProcessTimeoutFn())(timer_list*) { return &ProcessTimeoutFn; }
+
+}  // namespace vkern

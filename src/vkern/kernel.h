@@ -1,0 +1,185 @@
+// The composed simulated kernel.
+//
+// Kernel boots every subsystem inside one Arena, creates the well-known global
+// objects a real Linux boot would (runqueues, pid hash, superblocks, the
+// mm_percpu_wq workqueue, the platform bus, swap areas, IRQ descriptors,
+// kthreads, init), and exposes their in-arena addresses so the debugger layer
+// can register them as symbols. A function-symbol table maps host function
+// pointers (work handlers, timer callbacks, RCU callbacks, signal handlers)
+// to kernel-style names for the FunPtr text decorator.
+
+#ifndef SRC_VKERN_KERNEL_H_
+#define SRC_VKERN_KERNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/vkern/arena.h"
+#include "src/vkern/buddy.h"
+#include "src/vkern/fs.h"
+#include "src/vkern/ipc.h"
+#include "src/vkern/irq.h"
+#include "src/vkern/kobject.h"
+#include "src/vkern/kstructs.h"
+#include "src/vkern/maple.h"
+#include "src/vkern/net.h"
+#include "src/vkern/process.h"
+#include "src/vkern/radix.h"
+#include "src/vkern/rcu.h"
+#include "src/vkern/sched.h"
+#include "src/vkern/slab.h"
+#include "src/vkern/swap.h"
+#include "src/vkern/timer.h"
+#include "src/vkern/workqueue.h"
+
+namespace vkern {
+
+// Work items queued on mm_percpu_wq, in three distinct containing types — the
+// heterogeneous work list of the paper's Figure 6.
+struct vmstat_work_item {
+  delayed_work dw;
+  int cpu;
+  uint64_t nr_updates;
+};
+
+struct lru_drain_item {
+  work_struct work;
+  int cpu;
+};
+
+struct drain_pages_item {
+  work_struct work;
+  int cpu;
+  uint64_t drained;
+};
+
+struct KernelConfig {
+  size_t arena_bytes = 96ull << 20;  // 96 MiB of simulated physical memory
+  uint64_t seed = 42;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config = KernelConfig{});
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- subsystems ---
+  Arena& arena() { return *arena_; }
+  BuddyAllocator& buddy() { return *buddy_; }
+  SlabAllocator& slabs() { return *slabs_; }
+  RadixTreeOps& radix() { return *radix_; }
+  RcuSubsystem& rcu() { return *rcu_; }
+  MapleTreeOps& maple() { return *maple_; }
+  Scheduler& sched() { return *sched_; }
+  FsManager& fs() { return *fs_; }
+  ProcessManager& procs() { return *procs_; }
+  TimerSubsystem& timers() { return *timers_; }
+  IrqSubsystem& irqs() { return *irqs_; }
+  WorkqueueSubsystem& wqs() { return *wqs_; }
+  NetSubsystem& net() { return *net_; }
+  IpcSubsystem& ipc() { return *ipc_; }
+  DeviceModel& devices() { return *devices_; }
+  SwapSubsystem& swap() { return *swap_; }
+
+  // --- in-arena globals (exported as debugger symbols) ---
+  rq* runqueues() { return runqueues_; }
+  rcu_state* rcu_state_ptr() { return rcu_state_; }
+  rcu_data* rcu_data_array() { return rcu_data_; }
+  timer_base* timer_bases() { return timer_bases_; }
+  irq_desc* irq_descs() { return irq_descs_; }
+  worker_pool* cpu_worker_pools() { return worker_pools_; }
+  list_head* workqueues_head() { return workqueues_head_; }
+  ipc_namespace* init_ipc_ns() { return init_ipc_ns_; }
+  swap_info_struct** swap_info() { return swap_info_; }
+
+  // --- well-known boot-time objects ---
+  workqueue_struct* mm_percpu_wq() { return mm_percpu_wq_; }
+  workqueue_struct* events_wq() { return events_wq_; }
+  super_block* ext4_sb() { return ext4_sb_; }
+  super_block* pipefs_sb() { return pipefs_sb_; }
+  super_block* sockfs_sb() { return sockfs_sb_; }
+  super_block* tmpfs_sb() { return tmpfs_sb_; }
+  block_device* sda() { return sda_; }
+  bus_type* platform_bus() { return platform_bus_; }
+
+  // Queues one of each heterogeneous mm_percpu_wq item on `cpu` (Figure 6).
+  void QueueMmPercpuWork(int cpu);
+
+  // One "jiffy" of kernel life on a CPU: scheduler tick, timer-wheel advance,
+  // a workqueue pass, an RCU quiescent state, and a grace-period attempt.
+  void TickCpu(int cpu);
+
+  // --- function symbolization (FunPtr decorator support) ---
+  void RegisterFunction(const void* fn, std::string name);
+  // Returns the symbol for a host function address, or "" if unknown.
+  std::string SymbolizeFunction(uint64_t addr) const;
+  const std::map<uint64_t, std::string>& function_symbols() const { return func_symbols_; }
+
+  // Total jiffies ticked so far (per CPU 0's base).
+  uint64_t jiffies() const { return timer_bases_[0].clk; }
+
+ private:
+  void BootFilesystems();
+  void BootDeviceModel();
+  void BootWorkqueues();
+  void BootIrqs();
+  void BootSwap();
+  void BootKthreads();
+  void RegisterWellKnownFunctions();
+
+  std::unique_ptr<Arena> arena_;
+  std::unique_ptr<BuddyAllocator> buddy_;
+  std::unique_ptr<SlabAllocator> slabs_;
+  std::unique_ptr<RadixTreeOps> radix_;
+  std::unique_ptr<RcuSubsystem> rcu_;
+  std::unique_ptr<MapleTreeOps> maple_;
+  std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<FsManager> fs_;
+  std::unique_ptr<ProcessManager> procs_;
+  std::unique_ptr<TimerSubsystem> timers_;
+  std::unique_ptr<IrqSubsystem> irqs_;
+  std::unique_ptr<WorkqueueSubsystem> wqs_;
+  std::unique_ptr<NetSubsystem> net_;
+  std::unique_ptr<IpcSubsystem> ipc_;
+  std::unique_ptr<DeviceModel> devices_;
+  std::unique_ptr<SwapSubsystem> swap_;
+
+  rq* runqueues_ = nullptr;
+  rcu_state* rcu_state_ = nullptr;
+  rcu_data* rcu_data_ = nullptr;
+  timer_base* timer_bases_ = nullptr;
+  irq_desc* irq_descs_ = nullptr;
+  worker_pool* worker_pools_ = nullptr;
+  list_head* workqueues_head_ = nullptr;
+  ipc_namespace* init_ipc_ns_ = nullptr;
+  swap_info_struct** swap_info_ = nullptr;
+
+  workqueue_struct* mm_percpu_wq_ = nullptr;
+  workqueue_struct* events_wq_ = nullptr;
+  super_block* ext4_sb_ = nullptr;
+  super_block* pipefs_sb_ = nullptr;
+  super_block* sockfs_sb_ = nullptr;
+  super_block* tmpfs_sb_ = nullptr;
+  block_device* sda_ = nullptr;
+  block_device* sdb_ = nullptr;
+  bus_type* platform_bus_ = nullptr;
+
+  kmem_cache* wq_item_cache_ = nullptr;  // heterogeneous mm_percpu_wq items
+
+  std::map<uint64_t, std::string> func_symbols_;
+};
+
+// Well-known host functions usable as "user" callbacks by workloads; their
+// addresses are registered in the kernel's function-symbol table.
+sighandler_t KernelTestSigHandler1();
+sighandler_t KernelTestSigHandler2();
+void (*KernelProcessTimeoutFn())(timer_list*);
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_KERNEL_H_

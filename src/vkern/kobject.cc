@@ -1,0 +1,82 @@
+#include "src/vkern/kobject.h"
+
+#include <cstring>
+
+namespace vkern {
+
+namespace {
+
+void CopyName(char* dst, size_t cap, std::string_view name) {
+  size_t len = name.size() < cap - 1 ? name.size() : cap - 1;
+  std::memcpy(dst, name.data(), len);
+  dst[len] = '\0';
+}
+
+}  // namespace
+
+DeviceModel::DeviceModel(SlabAllocator* slabs) : slabs_(slabs) {
+  kset_cache_ = slabs_->CreateCache("kset", sizeof(kset));
+  bus_cache_ = slabs_->CreateCache("bus_type", sizeof(bus_type));
+  driver_cache_ = slabs_->CreateCache("device_driver", sizeof(device_driver));
+  device_cache_ = slabs_->CreateCache("device", sizeof(device));
+  devices_root_ = CreateKset("devices", nullptr);
+}
+
+void DeviceModel::KobjectInit(kobject* kobj, std::string_view name, kobject* parent,
+                              kset* owner) {
+  CopyName(kobj->name, sizeof(kobj->name), name);
+  kobj->parent = parent;
+  kobj->kset_ = owner;
+  kobj->kref_.refcount.counter = 1;
+  kobj->state_initialized = 1;
+  if (owner != nullptr) {
+    list_add_tail(&kobj->entry, &owner->list);
+  } else {
+    INIT_LIST_HEAD(&kobj->entry);
+  }
+}
+
+kset* DeviceModel::CreateKset(std::string_view name, kobject* parent) {
+  auto* set = slabs_->AllocAs<kset>(kset_cache_);
+  INIT_LIST_HEAD(&set->list);
+  KobjectInit(&set->kobj, name, parent, nullptr);
+  return set;
+}
+
+bus_type* DeviceModel::RegisterBus(std::string_view name) {
+  auto* bus = slabs_->AllocAs<bus_type>(bus_cache_);
+  CopyName(bus->name, sizeof(bus->name), name);
+  bus->devices_kset = CreateKset(name, &devices_root_->kobj);
+  bus->drivers_kset = CreateKset("drivers", &bus->devices_kset->kobj);
+  INIT_LIST_HEAD(&bus->devices_list);
+  INIT_LIST_HEAD(&bus->drivers_list);
+  return bus;
+}
+
+device_driver* DeviceModel::RegisterDriver(bus_type* bus, std::string_view name) {
+  auto* drv = slabs_->AllocAs<device_driver>(driver_cache_);
+  CopyName(drv->name, sizeof(drv->name), name);
+  drv->bus = bus;
+  INIT_LIST_HEAD(&drv->devices);
+  list_add_tail(&drv->bus_node, &bus->drivers_list);
+  return drv;
+}
+
+device* DeviceModel::RegisterDevice(bus_type* bus, std::string_view name, device* parent,
+                                    uint64_t devt) {
+  auto* dev = slabs_->AllocAs<device>(device_cache_);
+  CopyName(dev->init_name, sizeof(dev->init_name), name);
+  dev->parent = parent;
+  dev->bus = bus;
+  dev->devt = devt;
+  KobjectInit(&dev->kobj, name, parent != nullptr ? &parent->kobj : &bus->devices_kset->kobj,
+              bus->devices_kset);
+  list_add_tail(&dev->bus_node, &bus->devices_list);
+  return dev;
+}
+
+void DeviceModel::BindDevice(device* dev, device_driver* drv) {
+  dev->driver = drv;
+}
+
+}  // namespace vkern

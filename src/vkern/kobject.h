@@ -1,0 +1,44 @@
+// kobject / kset hierarchy and a minimal device model (ULK Figure 13-3).
+
+#ifndef SRC_VKERN_KOBJECT_H_
+#define SRC_VKERN_KOBJECT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/vkern/kstructs.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+
+class DeviceModel {
+ public:
+  explicit DeviceModel(SlabAllocator* slabs);
+
+  kset* CreateKset(std::string_view name, kobject* parent);
+  void KobjectInit(kobject* kobj, std::string_view name, kobject* parent, kset* owner);
+
+  bus_type* RegisterBus(std::string_view name);
+  device_driver* RegisterDriver(bus_type* bus, std::string_view name);
+  device* RegisterDevice(bus_type* bus, std::string_view name, device* parent, uint64_t devt);
+  // Binds a device to a driver (probe success).
+  void BindDevice(device* dev, device_driver* drv);
+
+  kset* devices_root() { return devices_root_; }
+  uint32_t device_count(const bus_type* bus) const { return count(&bus->devices_list); }
+  uint32_t driver_count(const bus_type* bus) const { return count(&bus->drivers_list); }
+
+ private:
+  static uint32_t count(const list_head* head) { return static_cast<uint32_t>(list_count(head)); }
+
+  SlabAllocator* slabs_;
+  kmem_cache* kset_cache_;
+  kmem_cache* bus_cache_;
+  kmem_cache* driver_cache_;
+  kmem_cache* device_cache_;
+  kset* devices_root_;  // /sys/devices analogue
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_KOBJECT_H_

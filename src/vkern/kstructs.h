@@ -1,0 +1,863 @@
+// The simulated kernel's object model.
+//
+// These structs mirror the Linux 6.1 layouts that the paper's evaluation
+// visualizes (trimmed to the fields those figures show, plus enough state to
+// make the subsystems actually function). They intentionally preserve the
+// kernel's awkward idioms — embedded list nodes resolved via container_of,
+// unions with runtime-discriminated types, pointer/colour compaction, function
+// pointers as type tags — because handling those idioms is the core challenge
+// the ViewCL language addresses.
+//
+// Everything here is allocated from the slab layer inside the Arena, so the
+// debugger substrate can read any of it back as raw target memory.
+
+#ifndef SRC_VKERN_KSTRUCTS_H_
+#define SRC_VKERN_KSTRUCTS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/vkern/list.h"
+#include "src/vkern/rbtree.h"
+
+namespace vkern {
+
+// ---------------------------------------------------------------------------
+// Global configuration constants.
+// ---------------------------------------------------------------------------
+
+inline constexpr int kNrCpus = 2;           // Paper's QEMU setup uses two vCPUs.
+inline constexpr int kTaskCommLen = 16;     // TASK_COMM_LEN
+inline constexpr int kPidHashSize = 64;     // pid_hash buckets
+inline constexpr int kNsig = 64;            // _NSIG
+inline constexpr int kMaxOrder = 11;        // MAX_ORDER (buddy)
+inline constexpr int kRadixTreeMapShift = 6;
+inline constexpr int kRadixTreeMapSize = 1 << kRadixTreeMapShift;  // 64 slots/node
+inline constexpr int kMapleRange64Slots = 16;  // MAPLE_RANGE64_SLOTS
+inline constexpr int kMapleArange64Slots = 10; // MAPLE_ARANGE64_SLOTS
+inline constexpr int kNrOpenDefault = 64;   // NR_OPEN_DEFAULT
+inline constexpr int kPipeDefBuffers = 16;  // PIPE_DEF_BUFFERS
+inline constexpr int kNrIrqs = 32;
+inline constexpr int kTimerWheelLevels = 4;
+inline constexpr int kTimerWheelSlotsPerLevel = 64;
+inline constexpr int kTimerLevelShift = 6;  // each level covers 64x the previous
+inline constexpr int kSemsMax = 8;          // max semaphores per set (simulated)
+inline constexpr int kMaxSwapFiles = 4;
+
+// ---------------------------------------------------------------------------
+// Memory: pages, buddy, slab.
+// ---------------------------------------------------------------------------
+
+// Page flag bits (subset of include/linux/page-flags.h).
+enum PageFlagBits : uint64_t {
+  PG_locked = 1ull << 0,
+  PG_referenced = 1ull << 1,
+  PG_uptodate = 1ull << 2,
+  PG_dirty = 1ull << 3,
+  PG_lru = 1ull << 4,
+  PG_slab = 1ull << 5,
+  PG_reserved = 1ull << 6,
+  PG_private = 1ull << 7,
+  PG_writeback = 1ull << 8,
+  PG_head = 1ull << 9,
+  PG_swapcache = 1ull << 10,
+  PG_anon = 1ull << 11,  // stand-in for PageAnon (mapping low bit in Linux)
+  PG_buddy = 1ull << 12,
+};
+
+struct address_space;  // forward
+
+// struct page: the page descriptor (mem_map entry).
+struct page {
+  uint64_t flags;           // PG_* bits
+  int refcount;             // _refcount
+  int mapcount;             // _mapcount
+  // mapping: address_space* for file pages, or (anon_vma* | 1) for anonymous
+  // pages — the PAGE_MAPPING_ANON low-bit tag, preserved from Linux.
+  void* mapping;
+  uint64_t index;           // page offset within the mapping
+  list_head lru;            // buddy free list / LRU linkage
+  void* private_data;       // buddy: order while free; pipe: buffer back-ref
+  int order;                // buddy order while free (simulation aid)
+};
+
+// Buddy allocator free area (ULK Figure 8-2).
+struct free_area {
+  list_head free_list;
+  uint64_t nr_free;
+};
+
+struct zone {
+  char name[16];
+  uint64_t zone_start_pfn;
+  uint64_t spanned_pages;
+  uint64_t free_pages;
+  free_area free_area_[kMaxOrder];
+};
+
+// Classic slab allocator (ULK Figure 8-4).
+struct kmem_cache;
+
+struct slab {
+  list_head list;            // linkage in the cache's partial/full/free list
+  kmem_cache* cache;
+  void* s_mem;               // first object
+  uint32_t inuse;            // objects in use
+  uint32_t free_idx;         // head of the embedded free-index list
+  page* pg;                  // backing page(s)
+};
+
+struct kmem_cache {
+  char name[32];
+  uint32_t object_size;      // requested object size
+  uint32_t size;             // aligned object stride
+  uint32_t align;
+  uint32_t num;              // objects per slab
+  uint32_t pages_per_slab;
+  list_head slabs_partial;
+  list_head slabs_full;
+  list_head slabs_free;
+  uint64_t total_objects;
+  uint64_t active_objects;
+  list_head cache_list;      // linkage in the global cache chain
+};
+
+// ---------------------------------------------------------------------------
+// RCU (paper §3.2, Figure 5).
+// ---------------------------------------------------------------------------
+
+struct rcu_head {
+  rcu_head* next;
+  void (*func)(rcu_head*);
+};
+
+// Per-CPU RCU state: pending callbacks awaiting a grace period.
+struct rcu_data {
+  int cpu;
+  uint64_t gp_seq;            // last grace period this CPU has seen
+  int nesting;                // rcu_read_lock depth
+  rcu_head* cblist_head;      // callbacks queued by call_rcu (FIFO)
+  rcu_head** cblist_tail;
+  uint64_t cblist_len;
+  uint64_t invoked;           // total callbacks invoked (rcu_do_batch)
+};
+
+struct rcu_state {
+  uint64_t gp_seq;            // global grace-period sequence
+  int gp_in_progress;
+};
+
+// ---------------------------------------------------------------------------
+// Maple tree (Linux 6.1 lib/maple_tree.c, trimmed).
+// ---------------------------------------------------------------------------
+
+// Node types, encoded in bits 3..6 of a maple_enode.
+enum maple_type : uint32_t {
+  maple_dense = 0,
+  maple_leaf_64 = 1,
+  maple_range_64 = 2,
+  maple_arange_64 = 3,
+};
+
+struct maple_node;
+
+// A "maple_pnode": pointer to the parent node with the slot offset and a
+// root marker compacted into the low byte (nodes are 256-byte aligned):
+//   bit 0    : 1 => this node is the root (pointer is the maple_tree itself)
+//   bits 1..5: slot index within the parent
+using maple_pnode = uintptr_t;
+
+// A "maple_enode": pointer to a maple_node with the node type compacted in:
+//   bit 1    : set => this entry is an internal node (xa_is_node)
+//   bits 3..6: maple_type
+using maple_enode = uintptr_t;
+
+struct maple_range_64_s {
+  maple_pnode parent;
+  uint64_t pivot[kMapleRange64Slots - 1];
+  void* slot[kMapleRange64Slots];
+};
+
+struct maple_arange_64_s {
+  maple_pnode parent;
+  uint64_t pivot[kMapleArange64Slots - 1];
+  void* slot[kMapleArange64Slots];
+  uint64_t gap[kMapleArange64Slots];
+};
+
+// The node union: the active arm depends on the type encoded in the parent's
+// slot entry — exactly the indirection the paper's Figure 3 unwraps.
+struct maple_node {
+  union {
+    struct {
+      maple_pnode parent;
+      void* slot[kMapleRange64Slots];
+    };
+    maple_range_64_s mr64;
+    maple_arange_64_s ma64;
+  };
+  rcu_head rcu;          // deferred free linkage (shares space in Linux; kept
+                         // separate here so freed nodes remain inspectable)
+  uint32_t ma_flags;
+};
+
+struct maple_tree {
+  void* ma_root;         // maple_enode, or a direct entry, or null
+  uint32_t ma_flags;
+  uint32_t ma_lock;      // spinlock stand-in (0 = free)
+};
+
+// maple_tree.ma_flags bits.
+inline constexpr uint32_t MT_FLAGS_ALLOC_RANGE = 0x01;  // track gaps (arange nodes)
+
+// ---------------------------------------------------------------------------
+// Radix tree / page cache (ULK Figure 15-1).
+// ---------------------------------------------------------------------------
+
+struct radix_tree_node {
+  uint8_t shift;          // bits to shift off at this level
+  uint8_t offset;         // slot index within the parent
+  uint16_t count;         // occupied slots
+  radix_tree_node* parent;
+  void* slots[kRadixTreeMapSize];
+};
+
+struct radix_tree_root {
+  uint32_t height;        // levels below (0 = single direct entry)
+  radix_tree_node* rnode;
+};
+
+// ---------------------------------------------------------------------------
+// Scheduler (CFS; paper §1 motivating example, ULK Figure 7-1).
+// ---------------------------------------------------------------------------
+
+struct load_weight {
+  uint64_t weight;
+  uint32_t inv_weight;
+};
+
+struct sched_entity {
+  load_weight load;
+  rb_node run_node;       // linkage in cfs_rq.tasks_timeline
+  uint32_t on_rq;
+  uint64_t exec_start;
+  uint64_t sum_exec_runtime;
+  uint64_t vruntime;
+};
+
+struct cfs_rq {
+  load_weight load;
+  uint32_t nr_running;
+  uint64_t min_vruntime;
+  rb_root_cached tasks_timeline;
+  sched_entity* curr;
+};
+
+struct task_struct;  // forward
+
+struct rq {
+  uint32_t cpu;
+  uint32_t nr_running;
+  uint64_t clock;         // rq clock in nanoseconds
+  cfs_rq cfs;
+  task_struct* curr;
+  task_struct* idle;
+};
+
+// ---------------------------------------------------------------------------
+// Signals (ULK Figure 11-1).
+// ---------------------------------------------------------------------------
+
+using sighandler_t = void (*)(int);
+
+struct sigset_t_sim {
+  uint64_t sig;           // 64 signals in one word
+};
+
+struct sigaction_k {
+  sighandler_t sa_handler_fn;   // SIG_DFL(0)/SIG_IGN(1)/user fn
+  uint64_t sa_flags;
+  sigset_t_sim sa_mask;
+};
+
+struct k_sigaction {
+  sigaction_k sa;
+};
+
+struct sigqueue {
+  list_head list;
+  int signo;
+  int errno_;
+  int pid_from;
+};
+
+struct sigpending {
+  list_head list;          // of sigqueue
+  sigset_t_sim signal;
+};
+
+struct sighand_struct {
+  int count;               // refcount (shared by CLONE_SIGHAND threads)
+  k_sigaction action[kNsig];
+};
+
+struct signal_struct {
+  int sig_cnt;             // refcount
+  int nr_threads;
+  list_head thread_head;   // task_struct.thread_node list
+  sigpending shared_pending;
+  int group_exit_code;
+  task_struct* group_leader_task;
+};
+
+// ---------------------------------------------------------------------------
+// Memory descriptor and VMAs (ULK Figure 9-2, paper Figures 3/4).
+// ---------------------------------------------------------------------------
+
+// vm_flags bits (subset of include/linux/mm.h).
+enum VmFlagBits : uint64_t {
+  VM_READ = 1ull << 0,
+  VM_WRITE = 1ull << 1,
+  VM_EXEC = 1ull << 2,
+  VM_SHARED = 1ull << 3,
+  VM_MAYREAD = 1ull << 4,
+  VM_MAYWRITE = 1ull << 5,
+  VM_GROWSDOWN = 1ull << 8,
+  VM_ANON = 1ull << 16,     // simulation tag: anonymous mapping
+  VM_STACK = 1ull << 17,    // simulation tag: stack VMA
+};
+
+struct mm_struct;
+struct file;
+struct anon_vma;
+
+struct vm_area_struct {
+  uint64_t vm_start;
+  uint64_t vm_end;
+  mm_struct* vm_mm;
+  uint64_t vm_flags;
+  uint64_t vm_pgoff;
+  file* vm_file;
+  anon_vma* anon_vma_;
+  list_head anon_vma_chain;  // list of anon_vma_chain.same_vma
+};
+
+struct atomic_t {
+  int counter;
+};
+
+struct mm_struct {
+  maple_tree mm_mt;          // the VMA tree (Linux 6.1 replaced the rbtree)
+  uint64_t mmap_base;
+  uint64_t task_size;
+  atomic_t mm_users;
+  atomic_t mm_count;
+  int map_count;
+  uint64_t total_vm;
+  uint64_t start_code, end_code;
+  uint64_t start_data, end_data;
+  uint64_t start_brk, brk;
+  uint64_t start_stack;
+  uint64_t pgd;              // opaque page-table root (not walked)
+  task_struct* owner;
+};
+
+// Reverse mapping of anonymous pages (ULK Figure 17-1).
+struct anon_vma {
+  anon_vma* root;
+  atomic_t refcount;
+  uint32_t num_children;
+  uint32_t num_active_vmas;
+  rb_root_cached rb_root_;   // interval tree of anon_vma_chain
+};
+
+struct anon_vma_chain {
+  vm_area_struct* vma;
+  anon_vma* av;              // "anon_vma" in Linux; renamed to avoid the type
+  list_head same_vma;        // linkage in vma->anon_vma_chain
+  rb_node rb;                // linkage in av->rb_root_
+  uint64_t rb_subtree_last;
+};
+
+// ---------------------------------------------------------------------------
+// VFS (ULK Figures 12-3, 14-3, 16-2; paper Table 2 #20).
+// ---------------------------------------------------------------------------
+
+struct super_block;
+struct inode;
+struct dentry;
+
+struct address_space {
+  inode* host;
+  radix_tree_root i_pages;   // the page cache (Linux: xarray; ULK: radix tree)
+  uint64_t nrpages;
+  list_head i_mmap;          // VMAs mapping this file (simplified to a list)
+};
+
+struct inode {
+  uint64_t i_ino;
+  uint32_t i_mode;           // kSIfReg / kSIfDir / kSIfIfo / kSIfSock | perms
+  uint32_t i_nlink;
+  int64_t i_size;
+  super_block* i_sb;
+  address_space i_data;
+  address_space* i_mapping;
+  list_head i_sb_list;       // linkage in super_block.s_inodes
+  void* i_pipe;              // pipe_inode_info* for FIFOs
+};
+
+struct dentry {
+  char d_name[32];
+  inode* d_inode;
+  dentry* d_parent;
+  list_head d_child;         // linkage in parent's d_subdirs
+  list_head d_subdirs;
+  int d_count;
+};
+
+struct file_operations_stub {
+  char name[24];             // identifies the ops table ("pipefifo_fops", ...)
+};
+
+struct file {
+  dentry* f_dentry;          // Linux has struct path; flattened for clarity
+  inode* f_inode;
+  address_space* f_mapping;
+  const file_operations_stub* f_op;
+  uint32_t f_flags;
+  uint32_t f_mode;
+  int64_t f_pos;
+  atomic_t f_count;
+  void* private_data;        // pipe_inode_info*, socket*, ...
+};
+
+struct fdtable {
+  uint32_t max_fds;
+  file** fd;                 // current fd array
+  uint64_t* open_fds;        // bitmap
+  uint64_t* close_on_exec;
+};
+
+struct files_struct {
+  atomic_t count;
+  fdtable fdt_embedded;      // Linux: fdtab
+  fdtable* fdt;              // points at fdt_embedded until expanded
+  file* fd_array[kNrOpenDefault];
+  uint64_t open_fds_init;
+  uint64_t close_on_exec_init;
+  int next_fd;
+};
+
+struct file_system_type {
+  char name[16];
+  list_head fs_supers;
+};
+
+struct block_device {
+  uint64_t bd_dev;           // MAJOR:MINOR
+  char bd_disk_name[24];
+  uint64_t bd_nr_sectors;
+  super_block* bd_super;
+};
+
+struct super_block {
+  list_head s_list;          // linkage in the global super_blocks list
+  uint64_t s_dev;
+  uint64_t s_magic;
+  file_system_type* s_type;
+  block_device* s_bdev;
+  dentry* s_root;
+  list_head s_inodes;
+  uint32_t s_count;
+  char s_id[32];
+};
+
+// ---------------------------------------------------------------------------
+// Pipes (CVE-2022-0847, paper Figure 7).
+// ---------------------------------------------------------------------------
+
+// pipe_buffer.flags bits.
+enum PipeBufFlagBits : uint32_t {
+  PIPE_BUF_FLAG_LRU = 1u << 0,
+  PIPE_BUF_FLAG_ATOMIC = 1u << 1,
+  PIPE_BUF_FLAG_GIFT = 1u << 2,
+  PIPE_BUF_FLAG_PACKET = 1u << 3,
+  PIPE_BUF_FLAG_CAN_MERGE = 1u << 4,  // the Dirty Pipe culprit
+};
+
+struct pipe_buf_operations_stub {
+  char name[24];
+};
+
+struct pipe_buffer {
+  page* page_;
+  uint32_t offset;
+  uint32_t len;
+  const pipe_buf_operations_stub* ops;
+  uint32_t flags;
+};
+
+struct pipe_inode_info {
+  uint32_t head;
+  uint32_t tail;
+  uint32_t ring_size;        // power of two
+  uint32_t readers;
+  uint32_t writers;
+  pipe_buffer* bufs;
+  inode* inode_;
+};
+
+// ---------------------------------------------------------------------------
+// Sockets (paper Table 2 #21).
+// ---------------------------------------------------------------------------
+
+struct sk_buff {
+  sk_buff* next;             // sk_buff_head ring linkage
+  sk_buff* prev;
+  uint32_t len;
+  uint32_t data_len;
+  void* data;
+};
+
+struct sk_buff_head {
+  sk_buff* next;             // must alias sk_buff linkage (kernel layout)
+  sk_buff* prev;
+  uint32_t qlen;
+};
+
+struct sock;
+
+struct socket {
+  uint32_t state;            // SS_CONNECTED etc.
+  uint32_t type;             // SOCK_STREAM...
+  sock* sk;
+  file* file_;
+};
+
+struct sock {
+  uint16_t skc_family;       // AF_UNIX / AF_INET
+  uint8_t skc_state;         // TCP_ESTABLISHED...
+  uint32_t sk_rcvbuf;
+  uint32_t sk_sndbuf;
+  sk_buff_head sk_receive_queue;
+  sk_buff_head sk_write_queue;
+  socket* sk_socket;
+  sock* sk_peer;             // connected peer (unix socketpair)
+};
+
+// ---------------------------------------------------------------------------
+// Timers (ULK Figure 6-1): hierarchical timer wheel.
+// ---------------------------------------------------------------------------
+
+struct timer_list {
+  hlist_node entry;
+  uint64_t expires;
+  void (*function)(timer_list*);
+  uint32_t flags;
+};
+
+struct timer_base {
+  uint64_t clk;              // current jiffies for this base
+  uint64_t next_expiry;
+  uint32_t cpu;
+  hlist_head vectors[kTimerWheelLevels * kTimerWheelSlotsPerLevel];
+};
+
+// ---------------------------------------------------------------------------
+// IRQs (ULK Figure 4-5).
+// ---------------------------------------------------------------------------
+
+struct irqaction;
+
+struct irq_chip {
+  char name[16];
+};
+
+struct irq_data {
+  uint32_t irq;
+  uint64_t hwirq;
+  irq_chip* chip;
+};
+
+struct irq_desc {
+  irq_data irq_data_;
+  void (*handle_irq)(irq_desc*);
+  irqaction* action;         // chain of handlers
+  uint32_t depth;            // disable depth
+  uint32_t status_use_accessors;
+  uint64_t tot_count;
+  char name[16];
+};
+
+struct irqaction {
+  void (*handler)(int, void*);
+  void* dev_id;
+  irqaction* next;
+  uint32_t irq;
+  uint32_t flags;
+  char name[16];
+};
+
+// ---------------------------------------------------------------------------
+// Workqueues (paper Figure 6).
+// ---------------------------------------------------------------------------
+
+struct work_struct {
+  uint64_t data;             // pending bit and pwq pointer compaction in Linux
+  list_head entry;
+  void (*func)(work_struct*);
+};
+
+struct delayed_work {
+  work_struct work;
+  timer_list timer;
+  int cpu;
+};
+
+struct worker_pool;
+struct workqueue_struct;
+
+struct pool_workqueue {
+  worker_pool* pool;
+  workqueue_struct* wq;
+  int refcnt;
+  list_head pwqs_node;       // linkage in wq->pwqs
+  list_head inactive_works;
+};
+
+struct worker {
+  list_head node;            // linkage in pool->workers
+  work_struct* current_work;
+  task_struct* task;
+  char desc[24];
+};
+
+struct worker_pool {
+  int cpu;
+  int id;
+  uint32_t nr_workers;
+  uint32_t nr_running;
+  list_head worklist;        // pending work_structs
+  list_head workers;
+};
+
+struct workqueue_struct {
+  char name[24];
+  uint32_t flags;
+  list_head pwqs;            // pool_workqueues
+  list_head list;            // linkage in the global workqueues list
+};
+
+// ---------------------------------------------------------------------------
+// System-V IPC (ULK Figures 19-1/19-2).
+// ---------------------------------------------------------------------------
+
+struct kern_ipc_perm {
+  int id;
+  uint64_t key;
+  uint32_t uid, gid;
+  uint32_t mode;
+  uint64_t seq;
+};
+
+struct sem_sim {
+  int semval;
+  int sempid;
+  list_head pending_alter;
+  list_head pending_const;
+};
+
+struct sem_array {
+  kern_ipc_perm sem_perm;
+  uint64_t sem_ctime;
+  int sem_nsems;
+  list_head pending_alter;
+  list_head pending_const;
+  sem_sim sems[kSemsMax];
+};
+
+struct msg_msg {
+  list_head m_list;          // linkage in msg_queue.q_messages
+  int64_t m_type;
+  uint64_t m_ts;             // message text size
+  void* m_text;
+};
+
+struct msg_queue {
+  kern_ipc_perm q_perm;
+  uint64_t q_stime, q_rtime, q_ctime;
+  uint64_t q_cbytes;
+  uint64_t q_qnum;
+  uint64_t q_qbytes;
+  list_head q_messages;
+  list_head q_receivers;
+  list_head q_senders;
+};
+
+struct ipc_ids {
+  int in_use;
+  int max_idx;
+  kern_ipc_perm* entries[32];  // Linux uses an IDR; a fixed table suffices
+};
+
+struct ipc_namespace {
+  ipc_ids ids[3];              // 0=sem, 1=msg, 2=shm
+};
+
+// ---------------------------------------------------------------------------
+// Device model / kobjects (ULK Figure 13-3).
+// ---------------------------------------------------------------------------
+
+struct kref {
+  atomic_t refcount;
+};
+
+struct kset;
+
+struct kobject {
+  char name[32];
+  list_head entry;           // linkage in kset->list
+  kobject* parent;
+  kset* kset_;
+  kref kref_;
+  int state_initialized;
+};
+
+struct kset {
+  list_head list;            // children kobjects
+  kobject kobj;
+};
+
+struct bus_type;
+struct device_driver;
+
+struct device {
+  kobject kobj;
+  device* parent;
+  bus_type* bus;
+  device_driver* driver;
+  char init_name[32];
+  uint64_t devt;
+  list_head bus_node;        // linkage in the bus device list
+};
+
+struct device_driver {
+  char name[32];
+  bus_type* bus;
+  list_head bus_node;        // linkage in the bus driver list
+  list_head devices;         // bound devices (simplified)
+};
+
+struct bus_type {
+  char name[32];
+  kset* devices_kset;
+  kset* drivers_kset;
+  list_head devices_list;
+  list_head drivers_list;
+};
+
+// ---------------------------------------------------------------------------
+// Swap (ULK Figure 17-6).
+// ---------------------------------------------------------------------------
+
+enum SwapFlagBits : uint64_t {
+  SWP_USED = 1ull << 0,
+  SWP_WRITEOK = 1ull << 1,
+  SWP_DISCARDABLE = 1ull << 2,
+};
+
+struct swap_info_struct {
+  uint64_t flags;
+  int16_t prio;
+  uint8_t type;
+  uint32_t max;              // total slots
+  uint8_t* swap_map;         // usage counts per slot
+  uint32_t pages;
+  uint32_t inuse_pages;
+  file* swap_file;
+  block_device* bdev;
+};
+
+// ---------------------------------------------------------------------------
+// PIDs and the task structure.
+// ---------------------------------------------------------------------------
+
+// Task states (subset of include/linux/sched.h).
+enum TaskStateBits : uint32_t {
+  TASK_RUNNING = 0x0000,
+  TASK_INTERRUPTIBLE = 0x0001,
+  TASK_UNINTERRUPTIBLE = 0x0002,
+  TASK_STOPPED = 0x0004,
+  TASK_DEAD = 0x0080,
+  TASK_IDLE_STATE = 0x0402,
+};
+
+// struct pid: hashed pid bookkeeping (ULK Figure 3-6 topology).
+struct pid_struct {
+  int nr;
+  hlist_node pid_chain;      // linkage in the pid hash bucket
+  hlist_head tasks_head;     // tasks using this pid (pid_link chains)
+  atomic_t count;
+};
+
+struct pid_link {
+  hlist_node node;
+  pid_struct* pid;
+};
+
+struct task_struct {
+  // Scheduling.
+  uint32_t __state;          // TASK_* (Linux 6.x renamed state -> __state)
+  int prio;
+  int static_prio;
+  uint32_t policy;
+  sched_entity se;
+  int on_cpu;
+  int recent_used_cpu;
+  uint64_t utime, stime;
+
+  // Identity.
+  int pid;
+  int tgid;
+  uint32_t flags;            // PF_*
+  char comm[kTaskCommLen];
+
+  // Process tree (ULK Figure 3-4).
+  task_struct* real_parent;
+  task_struct* parent;
+  list_head children;        // list of children (via sibling)
+  list_head sibling;         // linkage in parent's children list
+  task_struct* group_leader;
+  list_head thread_node;     // linkage in signal->thread_head
+  list_head tasks;           // linkage in the global task list
+
+  // PID hash (ULK Figure 3-6).
+  pid_link pids[1];          // PIDTYPE_PID only
+  pid_struct* thread_pid;
+
+  // Subsystem attachments.
+  mm_struct* mm;
+  mm_struct* active_mm;
+  files_struct* files;
+  signal_struct* signal;
+  sighand_struct* sighand;
+  sigpending pending;
+  sigset_t_sim blocked;
+
+  // Misc accounting.
+  uint64_t start_time;
+  int exit_state;
+  int exit_code;
+};
+
+// PF_* flags.
+enum TaskPfBits : uint32_t {
+  PF_IDLE = 0x00000002,
+  PF_EXITING = 0x00000004,
+  PF_WQ_WORKER = 0x00000020,
+  PF_KTHREAD = 0x00200000,
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_KSTRUCTS_H_

@@ -1,0 +1,131 @@
+// Kernel-style intrusive containers: list_head and hlist, plus container_of.
+//
+// These mirror include/linux/list.h so that the object graphs the debugger
+// extracts have the same shape (embedded nodes, container_of indirection) as a
+// real kernel — which is precisely the complication ViewCL's Container
+// adapters exist to handle.
+
+#ifndef SRC_VKERN_LIST_H_
+#define SRC_VKERN_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vkern {
+
+struct list_head {
+  list_head* next;
+  list_head* prev;
+};
+
+// container_of: recover the enclosing object from a pointer to its member.
+#define VKERN_CONTAINER_OF(ptr, type, member) \
+  (reinterpret_cast<type*>(reinterpret_cast<char*>(ptr) - offsetof(type, member)))
+
+inline void INIT_LIST_HEAD(list_head* head) {
+  head->next = head;
+  head->prev = head;
+}
+
+inline void __list_add(list_head* entry, list_head* prev, list_head* next) {
+  next->prev = entry;
+  entry->next = next;
+  entry->prev = prev;
+  prev->next = entry;
+}
+
+inline void list_add(list_head* entry, list_head* head) { __list_add(entry, head, head->next); }
+
+inline void list_add_tail(list_head* entry, list_head* head) {
+  __list_add(entry, head->prev, head);
+}
+
+inline void list_del(list_head* entry) {
+  entry->next->prev = entry->prev;
+  entry->prev->next = entry->next;
+  entry->next = nullptr;
+  entry->prev = nullptr;
+}
+
+inline void list_del_init(list_head* entry) {
+  entry->next->prev = entry->prev;
+  entry->prev->next = entry->next;
+  INIT_LIST_HEAD(entry);
+}
+
+inline bool list_empty(const list_head* head) { return head->next == head; }
+
+inline void list_move_tail(list_head* entry, list_head* head) {
+  entry->next->prev = entry->prev;
+  entry->prev->next = entry->next;
+  list_add_tail(entry, head);
+}
+
+inline size_t list_count(const list_head* head) {
+  size_t n = 0;
+  for (const list_head* p = head->next; p != head; p = p->next) {
+    ++n;
+  }
+  return n;
+}
+
+// Iterates `pos` (a list_head*) over the list; body must not delete `pos`.
+#define VKERN_LIST_FOR_EACH(pos, head) \
+  for (::vkern::list_head* pos = (head)->next; pos != (head); pos = pos->next)
+
+// hlist: singly-headed doubly-linked list for hash buckets (half the head size).
+struct hlist_node {
+  hlist_node* next;
+  hlist_node** pprev;
+};
+
+struct hlist_head {
+  hlist_node* first;
+};
+
+inline void INIT_HLIST_HEAD(hlist_head* head) { head->first = nullptr; }
+
+inline void INIT_HLIST_NODE(hlist_node* node) {
+  node->next = nullptr;
+  node->pprev = nullptr;
+}
+
+inline void hlist_add_head(hlist_node* node, hlist_head* head) {
+  hlist_node* first = head->first;
+  node->next = first;
+  if (first != nullptr) {
+    first->pprev = &node->next;
+  }
+  head->first = node;
+  node->pprev = &head->first;
+}
+
+inline bool hlist_unhashed(const hlist_node* node) { return node->pprev == nullptr; }
+
+inline void hlist_del(hlist_node* node) {
+  if (hlist_unhashed(node)) {
+    return;
+  }
+  hlist_node* next = node->next;
+  hlist_node** pprev = node->pprev;
+  *pprev = next;
+  if (next != nullptr) {
+    next->pprev = pprev;
+  }
+  node->next = nullptr;
+  node->pprev = nullptr;
+}
+
+inline bool hlist_empty(const hlist_head* head) { return head->first == nullptr; }
+
+inline size_t hlist_count(const hlist_head* head) {
+  size_t n = 0;
+  for (const hlist_node* p = head->first; p != nullptr; p = p->next) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_LIST_H_

@@ -1,0 +1,1028 @@
+#include "src/vkern/maple.h"
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vkern {
+
+namespace {
+
+// Canonical node content: entry i covers (items[i-1].max, items[i].max],
+// starting from the node's min. For internal nodes, entry is a maple_enode.
+struct Item {
+  void* entry;
+  uint64_t max;
+};
+
+const uint64_t* NodePivots(const maple_node* node, maple_type type) {
+  return type == maple_arange_64 ? node->ma64.pivot : node->mr64.pivot;
+}
+
+uint64_t* NodePivots(maple_node* node, maple_type type) {
+  return type == maple_arange_64 ? node->ma64.pivot : node->mr64.pivot;
+}
+
+void* const* NodeSlots(const maple_node* node, maple_type type) {
+  return type == maple_arange_64 ? node->ma64.slot : node->mr64.slot;
+}
+
+void** NodeSlots(maple_node* node, maple_type type) {
+  return type == maple_arange_64 ? node->ma64.slot : node->mr64.slot;
+}
+
+// Length of [min, max] with saturation at UINT64_MAX.
+uint64_t RangeLen(uint64_t min, uint64_t max) {
+  uint64_t span = max - min;
+  return span == kMtMaxIndex ? kMtMaxIndex : span + 1;
+}
+
+// Reads node content into items (entries with their covering max).
+void ReadContent(const maple_node* node, maple_type type, uint64_t max, std::vector<Item>* out) {
+  uint32_t end = ma_data_end(node, type, max);
+  const uint64_t* pivots = NodePivots(node, type);
+  void* const* slots = NodeSlots(node, type);
+  out->clear();
+  for (uint32_t i = 0; i <= end; ++i) {
+    uint64_t item_max = (i < end) ? pivots[i] : max;
+    out->push_back(Item{slots[i], item_max});
+  }
+}
+
+// Merges adjacent null entries (leaf normalization).
+void MergeNullRuns(std::vector<Item>* items) {
+  std::vector<Item> merged;
+  for (const Item& item : *items) {
+    if (!merged.empty() && merged.back().entry == nullptr && item.entry == nullptr) {
+      merged.back().max = item.max;
+    } else {
+      merged.push_back(item);
+    }
+  }
+  *items = std::move(merged);
+}
+
+}  // namespace
+
+uint32_t ma_data_end(const maple_node* node, maple_type type, uint64_t max) {
+  uint32_t pivots = mt_pivots(type);
+  const uint64_t* pv = NodePivots(node, type);
+  for (uint32_t i = 0; i < pivots; ++i) {
+    if (pv[i] == 0 || pv[i] >= max) {
+      return i;
+    }
+  }
+  return pivots;
+}
+
+MapleTreeOps::MapleTreeOps(SlabAllocator* slabs, RcuSubsystem* rcu) : slabs_(slabs), rcu_(rcu) {
+  node_cache_ = slabs_->FindCache("maple_node");
+  if (node_cache_ == nullptr) {
+    node_cache_ = slabs_->CreateCache("maple_node", sizeof(maple_node), 256);
+  }
+  // MtFreeRcu recovers the slab descriptor by masking the node address to the
+  // page boundary, which requires single-page slabs.
+  assert(node_cache_->pages_per_slab == 1);
+}
+
+void MapleTreeOps::Init(maple_tree* mt, uint32_t flags) {
+  mt->ma_root = nullptr;
+  mt->ma_flags = flags;
+  mt->ma_lock = 0;
+}
+
+maple_node* MapleTreeOps::AllocNode() {
+  auto* node = slabs_->AllocAs<maple_node>(node_cache_);
+  return node;
+}
+
+void MapleTreeOps::MtFreeRcu(rcu_head* head) {
+  maple_node* node = VKERN_CONTAINER_OF(head, maple_node, rcu);
+  auto* sl = reinterpret_cast<slab*>(reinterpret_cast<uint64_t>(node) & ~uint64_t{kPageSize - 1});
+  SlabAllocator::Free(sl->cache, node);
+}
+
+void MapleTreeOps::FreeNodeRcu(maple_node* node) {
+  // ma_free_rcu(): the node stays readable (and reachable by stale pointers)
+  // until a grace period elapses — the CVE-2023-3269 window.
+  rcu_->CallRcu(write_cpu_, &node->rcu, &MapleTreeOps::MtFreeRcu);
+}
+
+void MapleTreeOps::SetChildParent(maple_enode child, maple_node* parent, uint32_t slot,
+                                  maple_type ptype) {
+  mte_to_node(child)->parent = ma_encode_parent(parent, slot, ptype);
+}
+
+namespace {
+
+struct PathEntry {
+  maple_node* node;
+  maple_type type;
+  uint64_t min;
+  uint64_t max;
+  uint32_t child_slot;  // slot descended into (meaningless at the leaf)
+};
+
+}  // namespace
+
+void* MapleTreeOps::Find(const maple_tree* mt, uint64_t index) const {
+  const void* root = mt->ma_root;
+  if (root == nullptr) {
+    return nullptr;
+  }
+  if (!xa_is_node(root)) {
+    return index == 0 ? const_cast<void*>(root) : nullptr;
+  }
+  maple_enode enode = reinterpret_cast<uintptr_t>(root);
+  uint64_t max = kMtMaxIndex;
+  while (true) {
+    maple_node* node = mte_to_node(enode);
+    maple_type type = mte_node_type(enode);
+    uint32_t end = ma_data_end(node, type, max);
+    const uint64_t* pivots = NodePivots(node, type);
+    void* const* slots = NodeSlots(node, type);
+    uint32_t i = 0;
+    while (i < end && pivots[i] < index) {
+      ++i;
+    }
+    uint64_t slot_max = (i < end) ? pivots[i] : max;
+    if (ma_is_leaf(type)) {
+      return slots[i];
+    }
+    enode = reinterpret_cast<maple_enode>(slots[i]);
+    max = slot_max;
+    if (enode == 0) {
+      return nullptr;  // corrupt tree; defensive
+    }
+  }
+}
+
+maple_node* MapleTreeOps::LeafContaining(const maple_tree* mt, uint64_t index) const {
+  const void* root = mt->ma_root;
+  if (root == nullptr || !xa_is_node(root)) {
+    return nullptr;
+  }
+  maple_enode enode = reinterpret_cast<uintptr_t>(root);
+  uint64_t max = kMtMaxIndex;
+  while (true) {
+    maple_node* node = mte_to_node(enode);
+    maple_type type = mte_node_type(enode);
+    if (ma_is_leaf(type)) {
+      return node;
+    }
+    uint32_t end = ma_data_end(node, type, max);
+    const uint64_t* pivots = NodePivots(node, type);
+    void* const* slots = NodeSlots(node, type);
+    uint32_t i = 0;
+    while (i < end && pivots[i] < index) {
+      ++i;
+    }
+    max = (i < end) ? pivots[i] : max;
+    enode = reinterpret_cast<maple_enode>(slots[i]);
+    if (enode == 0) {
+      return nullptr;
+    }
+  }
+}
+
+namespace {
+
+void ForEachNodeRec(const maple_node* node, maple_type type, uint64_t min, uint64_t max,
+                    const std::function<void(uint64_t, uint64_t, void*)>& fn) {
+  uint32_t end = ma_data_end(node, type, max);
+  const uint64_t* pivots = NodePivots(node, type);
+  void* const* slots = NodeSlots(node, type);
+  uint64_t slot_min = min;
+  for (uint32_t i = 0; i <= end; ++i) {
+    uint64_t slot_max = (i < end) ? pivots[i] : max;
+    void* entry = slots[i];
+    if (ma_is_leaf(type)) {
+      if (entry != nullptr) {
+        fn(slot_min, slot_max, entry);
+      }
+    } else if (entry != nullptr) {
+      maple_enode child = reinterpret_cast<maple_enode>(entry);
+      ForEachNodeRec(mte_to_node(child), mte_node_type(child), slot_min, slot_max, fn);
+    }
+    slot_min = slot_max + 1;
+  }
+}
+
+}  // namespace
+
+void MapleTreeOps::ForEach(
+    const maple_tree* mt,
+    const std::function<void(uint64_t start, uint64_t last, void* entry)>& fn) const {
+  const void* root = mt->ma_root;
+  if (root == nullptr) {
+    return;
+  }
+  if (!xa_is_node(root)) {
+    fn(0, 0, const_cast<void*>(root));
+    return;
+  }
+  maple_enode enode = reinterpret_cast<uintptr_t>(root);
+  ForEachNodeRec(mte_to_node(enode), mte_node_type(enode), 0, kMtMaxIndex, fn);
+}
+
+uint64_t MapleTreeOps::CountEntries(const maple_tree* mt) const {
+  uint64_t n = 0;
+  ForEach(mt, [&n](uint64_t, uint64_t, void*) { ++n; });
+  return n;
+}
+
+int MapleTreeOps::Height(const maple_tree* mt) const {
+  const void* root = mt->ma_root;
+  if (root == nullptr || !xa_is_node(root)) {
+    return 0;
+  }
+  int height = 1;
+  maple_enode enode = reinterpret_cast<uintptr_t>(root);
+  uint64_t max = kMtMaxIndex;
+  while (!mte_is_leaf(enode)) {
+    maple_node* node = mte_to_node(enode);
+    maple_type type = mte_node_type(enode);
+    uint32_t end = ma_data_end(node, type, max);
+    const uint64_t* pivots = NodePivots(node, type);
+    max = (end > 0) ? pivots[0] : max;
+    enode = reinterpret_cast<maple_enode>(NodeSlots(node, type)[0]);
+    ++height;
+  }
+  return height;
+}
+
+namespace {
+
+// Writes items into a node of the given type covering [min, max].
+void WriteNode(maple_node* node, maple_type type, uint64_t max, const std::vector<Item>& items) {
+  uint32_t nslots = mt_slots(type);
+  uint32_t npivots = mt_pivots(type);
+  assert(items.size() <= nslots && !items.empty());
+  assert(items.back().max == max);
+  uint64_t* pivots = NodePivots(node, type);
+  void** slots = NodeSlots(node, type);
+  for (uint32_t i = 0; i < nslots; ++i) {
+    slots[i] = nullptr;
+  }
+  for (uint32_t i = 0; i < npivots; ++i) {
+    pivots[i] = 0;
+  }
+  for (uint32_t i = 0; i < items.size(); ++i) {
+    slots[i] = items[i].entry;
+    if (i < items.size() - 1) {
+      pivots[i] = items[i].max;
+    } else if (i < npivots) {
+      // A last pivot equal to the node max is also how the kernel encodes a
+      // short node; our ma_data_end treats pivot >= max as the end marker.
+      pivots[i] = (max == kMtMaxIndex) ? 0 : max;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t MapleTreeOps::SubtreeMaxGap(maple_enode enode, uint64_t min, uint64_t max) const {
+  maple_node* node = mte_to_node(enode);
+  maple_type type = mte_node_type(enode);
+  uint32_t end = ma_data_end(node, type, max);
+  const uint64_t* pivots = NodePivots(node, type);
+  void* const* slots = NodeSlots(node, type);
+  uint64_t best = 0;
+  uint64_t slot_min = min;
+  for (uint32_t i = 0; i <= end; ++i) {
+    uint64_t slot_max = (i < end) ? pivots[i] : max;
+    if (ma_is_leaf(type)) {
+      if (slots[i] == nullptr) {
+        uint64_t len = RangeLen(slot_min, slot_max);
+        best = len > best ? len : best;
+      }
+    } else if (slots[i] != nullptr) {
+      if (type == maple_arange_64) {
+        best = node->ma64.gap[i] > best ? node->ma64.gap[i] : best;
+      } else {
+        uint64_t len = SubtreeMaxGap(reinterpret_cast<maple_enode>(slots[i]), slot_min, slot_max);
+        best = len > best ? len : best;
+      }
+    }
+    slot_min = slot_max + 1;
+  }
+  return best;
+}
+
+namespace {
+
+// Max gap directly beneath a child: for leaves scan the null runs; for arange
+// internals trust the child's own (already up-to-date) gap array.
+uint64_t ChildMaxGap(maple_enode child, uint64_t min, uint64_t max) {
+  maple_node* node = mte_to_node(child);
+  maple_type type = mte_node_type(child);
+  uint32_t end = ma_data_end(node, type, max);
+  const uint64_t* pivots = NodePivots(node, type);
+  void* const* slots = NodeSlots(node, type);
+  uint64_t best = 0;
+  uint64_t slot_min = min;
+  for (uint32_t i = 0; i <= end; ++i) {
+    uint64_t slot_max = (i < end) ? pivots[i] : max;
+    if (ma_is_leaf(type)) {
+      if (slots[i] == nullptr) {
+        uint64_t len = RangeLen(slot_min, slot_max);
+        best = len > best ? len : best;
+      }
+    } else if (type == maple_arange_64) {
+      best = node->ma64.gap[i] > best ? node->ma64.gap[i] : best;
+    }
+    slot_min = slot_max + 1;
+  }
+  return best;
+}
+
+}  // namespace
+
+bool MapleTreeOps::StoreInLeaf(maple_node* leaf, maple_type type, uint64_t min, uint64_t max,
+                               uint64_t start, uint64_t last, void* entry, SplitResult* result) {
+  std::vector<Item> items;
+  ReadContent(leaf, type, max, &items);
+  std::vector<Item> out;
+  uint64_t slot_min = min;
+  bool placed = false;
+  for (const Item& item : items) {
+    uint64_t slot_max = item.max;
+    bool overlaps = !(slot_max < start || slot_min > last);
+    if (!overlaps) {
+      out.push_back(item);
+    } else {
+      if (item.entry != nullptr) {
+        return false;  // VMA stores target empty ranges only
+      }
+      if (slot_min < start && !placed) {
+        out.push_back(Item{nullptr, start - 1});
+      }
+      if (!placed) {
+        out.push_back(Item{entry, last});
+        placed = true;
+      }
+      if (slot_max > last) {
+        out.push_back(Item{nullptr, slot_max});
+      }
+    }
+    slot_min = slot_max + 1;
+  }
+  if (!placed) {
+    return false;
+  }
+  MergeNullRuns(&out);
+
+  uint32_t nslots = mt_slots(type);
+  if (out.size() <= nslots) {
+    maple_node* fresh = AllocNode();
+    if (fresh == nullptr) {
+      return false;
+    }
+    WriteNode(fresh, type, max, out);
+    result->left = mt_mk_node(fresh, type);
+    result->right = 0;
+    return true;
+  }
+  // Split into two leaves.
+  size_t half = out.size() / 2;
+  std::vector<Item> left_items(out.begin(), out.begin() + static_cast<long>(half));
+  std::vector<Item> right_items(out.begin() + static_cast<long>(half), out.end());
+  maple_node* left = AllocNode();
+  maple_node* right = AllocNode();
+  if (left == nullptr || right == nullptr) {
+    return false;
+  }
+  uint64_t split_pivot = left_items.back().max;
+  WriteNode(left, type, split_pivot, left_items);
+  WriteNode(right, type, max, right_items);
+  result->left = mt_mk_node(left, type);
+  result->right = mt_mk_node(right, type);
+  result->split_pivot = split_pivot;
+  return true;
+}
+
+bool MapleTreeOps::StoreRange(maple_tree* mt, uint64_t start, uint64_t last, void* entry) {
+  assert(entry != nullptr && !xa_is_node(entry));
+  assert(start <= last);
+
+  if (mt->ma_root == nullptr) {
+    maple_node* leaf = AllocNode();
+    if (leaf == nullptr) {
+      return false;
+    }
+    std::vector<Item> items;
+    if (start > 0) {
+      items.push_back(Item{nullptr, start - 1});
+    }
+    items.push_back(Item{entry, last});
+    if (last < kMtMaxIndex) {
+      items.push_back(Item{nullptr, kMtMaxIndex});
+    }
+    WriteNode(leaf, maple_leaf_64, kMtMaxIndex, items);
+    leaf->parent = ma_encode_root_parent(mt);
+    mt->ma_root = reinterpret_cast<void*>(mt_mk_node(leaf, maple_leaf_64));
+    return true;
+  }
+
+  if (!xa_is_node(mt->ma_root)) {
+    // A direct root entry covers [0, 0]; expand it into a leaf first.
+    void* old_entry = mt->ma_root;
+    mt->ma_root = nullptr;
+    if (!StoreRange(mt, 0, 0, old_entry)) {
+      return false;
+    }
+    return StoreRange(mt, start, last, entry);
+  }
+
+  // Descend, recording the path.
+  std::vector<PathEntry> path;
+  maple_enode enode = reinterpret_cast<uintptr_t>(mt->ma_root);
+  uint64_t min = 0;
+  uint64_t max = kMtMaxIndex;
+  while (true) {
+    maple_node* node = mte_to_node(enode);
+    maple_type type = mte_node_type(enode);
+    path.push_back(PathEntry{node, type, min, max, 0});
+    if (ma_is_leaf(type)) {
+      break;
+    }
+    uint32_t end = ma_data_end(node, type, max);
+    const uint64_t* pivots = NodePivots(node, type);
+    void* const* slots = NodeSlots(node, type);
+    uint32_t i = 0;
+    uint64_t slot_min = min;
+    while (i < end && pivots[i] < start) {
+      slot_min = pivots[i] + 1;
+      ++i;
+    }
+    uint64_t slot_max = (i < end) ? pivots[i] : max;
+    if (last > slot_max) {
+      // Spanning store: the target range crosses a subtree boundary. The
+      // kernel rewrites the affected subtree; we take the equivalent (if
+      // heavier) route of rebuilding the whole tree — every replaced node
+      // still goes through the RCU-deferred free path.
+      return StoreSpanning(mt, start, last, entry);
+    }
+    path.back().child_slot = i;
+    enode = reinterpret_cast<maple_enode>(slots[i]);
+    min = slot_min;
+    max = slot_max;
+    if (enode == 0) {
+      return false;
+    }
+  }
+
+  PathEntry& leaf_entry = path.back();
+  SplitResult repl;
+  if (!StoreInLeaf(leaf_entry.node, leaf_entry.type, leaf_entry.min, leaf_entry.max, start, last,
+                   entry, &repl)) {
+    return false;
+  }
+  FreeNodeRcu(leaf_entry.node);
+
+  // Replace upward through the recorded path.
+  size_t level = path.size() - 1;
+  while (true) {
+    if (level == 0) {
+      // Replacing the root.
+      if (repl.right == 0) {
+        maple_node* new_root = mte_to_node(repl.left);
+        new_root->parent = ma_encode_root_parent(mt);
+        mt->ma_root = reinterpret_cast<void*>(repl.left);
+        path[0].node = new_root;
+        path[0].type = mte_node_type(repl.left);
+      } else {
+        maple_type itype =
+            (mt->ma_flags & MT_FLAGS_ALLOC_RANGE) != 0 ? maple_arange_64 : maple_range_64;
+        maple_node* new_root = AllocNode();
+        if (new_root == nullptr) {
+          return false;
+        }
+        std::vector<Item> items = {
+            Item{reinterpret_cast<void*>(repl.left), repl.split_pivot},
+            Item{reinterpret_cast<void*>(repl.right), kMtMaxIndex},
+        };
+        WriteNode(new_root, itype, kMtMaxIndex, items);
+        SetChildParent(repl.left, new_root, 0, itype);
+        SetChildParent(repl.right, new_root, 1, itype);
+        if (itype == maple_arange_64) {
+          new_root->ma64.gap[0] = ChildMaxGap(repl.left, 0, repl.split_pivot);
+          new_root->ma64.gap[1] = ChildMaxGap(repl.right, repl.split_pivot + 1, kMtMaxIndex);
+        }
+        new_root->parent = ma_encode_root_parent(mt);
+        mt->ma_root = reinterpret_cast<void*>(mt_mk_node(new_root, itype));
+        // The path gained a level; prepend it for gap recomputation below.
+        path.insert(path.begin(), PathEntry{new_root, itype, 0, kMtMaxIndex, 0});
+      }
+      break;
+    }
+
+    PathEntry& parent_entry = path[level - 1];
+    maple_node* parent = parent_entry.node;
+    maple_type ptype = parent_entry.type;
+    uint32_t slot = parent_entry.child_slot;
+
+    if (repl.right == 0) {
+      // Atomic single-slot pointer replacement; no structural change.
+      NodeSlots(parent, ptype)[slot] = reinterpret_cast<void*>(repl.left);
+      SetChildParent(repl.left, parent, slot, ptype);
+      path[level].node = mte_to_node(repl.left);
+      break;
+    }
+
+    // The child split: rewrite the parent with one extra child.
+    std::vector<Item> items;
+    ReadContent(parent, ptype, parent_entry.max, &items);
+    std::vector<Item> out;
+    for (uint32_t i = 0; i < items.size(); ++i) {
+      if (i == slot) {
+        out.push_back(Item{reinterpret_cast<void*>(repl.left), repl.split_pivot});
+        out.push_back(Item{reinterpret_cast<void*>(repl.right), items[i].max});
+      } else {
+        out.push_back(items[i]);
+      }
+    }
+    FreeNodeRcu(parent);
+
+    uint32_t nslots = mt_slots(ptype);
+    if (out.size() <= nslots) {
+      maple_node* fresh = AllocNode();
+      if (fresh == nullptr) {
+        return false;
+      }
+      WriteNode(fresh, ptype, parent_entry.max, out);
+      uint64_t slot_min = parent_entry.min;
+      for (uint32_t i = 0; i < out.size(); ++i) {
+        maple_enode child = reinterpret_cast<maple_enode>(out[i].entry);
+        SetChildParent(child, fresh, i, ptype);
+        if (ptype == maple_arange_64) {
+          fresh->ma64.gap[i] = ChildMaxGap(child, slot_min, out[i].max);
+        }
+        slot_min = out[i].max + 1;
+      }
+      repl.left = mt_mk_node(fresh, ptype);
+      repl.right = 0;
+      path[level - 1].node = fresh;
+      --level;
+      continue;
+    }
+
+    // The parent overflows too: split it.
+    size_t half = out.size() / 2;
+    std::vector<Item> left_items(out.begin(), out.begin() + static_cast<long>(half));
+    std::vector<Item> right_items(out.begin() + static_cast<long>(half), out.end());
+    maple_node* left = AllocNode();
+    maple_node* right = AllocNode();
+    if (left == nullptr || right == nullptr) {
+      return false;
+    }
+    uint64_t split_pivot = left_items.back().max;
+    WriteNode(left, ptype, split_pivot, left_items);
+    WriteNode(right, ptype, parent_entry.max, right_items);
+    uint64_t slot_min = parent_entry.min;
+    for (uint32_t i = 0; i < left_items.size(); ++i) {
+      maple_enode child = reinterpret_cast<maple_enode>(left_items[i].entry);
+      SetChildParent(child, left, i, ptype);
+      if (ptype == maple_arange_64) {
+        left->ma64.gap[i] = ChildMaxGap(child, slot_min, left_items[i].max);
+      }
+      slot_min = left_items[i].max + 1;
+    }
+    for (uint32_t i = 0; i < right_items.size(); ++i) {
+      maple_enode child = reinterpret_cast<maple_enode>(right_items[i].entry);
+      SetChildParent(child, right, i, ptype);
+      if (ptype == maple_arange_64) {
+        right->ma64.gap[i] = ChildMaxGap(child, slot_min, right_items[i].max);
+      }
+      slot_min = right_items[i].max + 1;
+    }
+    repl.left = mt_mk_node(left, ptype);
+    repl.right = mt_mk_node(right, ptype);
+    repl.split_pivot = split_pivot;
+    path[level - 1].node = left;  // approximate; gaps refreshed below
+    --level;
+  }
+
+  // Refresh gap metadata along the (new) path, bottom-up.
+  if ((mt->ma_flags & MT_FLAGS_ALLOC_RANGE) != 0) {
+    RefreshGapsAlongPath(mt, start);
+  }
+  return true;
+}
+
+void MapleTreeOps::RefreshGapsAlongPath(maple_tree* mt, uint64_t index) {
+  if (mt->ma_root == nullptr || !xa_is_node(mt->ma_root)) {
+    return;
+  }
+  // Re-descend toward `index`, collecting the path with exact bounds, then
+  // update each arange ancestor's gap entry for the descended slot bottom-up.
+  struct Hop {
+    maple_node* node;
+    maple_type type;
+    uint64_t min, max;
+    uint32_t slot;
+    uint64_t child_min, child_max;
+  };
+  std::vector<Hop> hops;
+  maple_enode enode = reinterpret_cast<uintptr_t>(mt->ma_root);
+  uint64_t min = 0;
+  uint64_t max = kMtMaxIndex;
+  while (!mte_is_leaf(enode)) {
+    maple_node* node = mte_to_node(enode);
+    maple_type type = mte_node_type(enode);
+    uint32_t end = ma_data_end(node, type, max);
+    const uint64_t* pivots = NodePivots(node, type);
+    void* const* slots = NodeSlots(node, type);
+    uint32_t i = 0;
+    uint64_t slot_min = min;
+    while (i < end && pivots[i] < index) {
+      slot_min = pivots[i] + 1;
+      ++i;
+    }
+    uint64_t slot_max = (i < end) ? pivots[i] : max;
+    hops.push_back(Hop{node, type, min, max, i, slot_min, slot_max});
+    enode = reinterpret_cast<maple_enode>(slots[i]);
+    min = slot_min;
+    max = slot_max;
+    if (enode == 0) {
+      return;
+    }
+  }
+  for (size_t i = hops.size(); i-- > 0;) {
+    Hop& hop = hops[i];
+    if (hop.type != maple_arange_64) {
+      continue;
+    }
+    void* child = NodeSlots(hop.node, hop.type)[hop.slot];
+    hop.node->ma64.gap[hop.slot] =
+        ChildMaxGap(reinterpret_cast<maple_enode>(child), hop.child_min, hop.child_max);
+  }
+}
+
+bool MapleTreeOps::StoreSpanning(maple_tree* mt, uint64_t start, uint64_t last, void* entry) {
+  // Collect the existing ranges; reject overlap with the target.
+  struct Range {
+    uint64_t start, last;
+    void* entry;
+  };
+  std::vector<Range> ranges;
+  bool overlap = false;
+  ForEach(mt, [&](uint64_t s, uint64_t l, void* e) {
+    if (!(l < start || s > last)) {
+      overlap = true;
+    }
+    ranges.push_back(Range{s, l, e});
+  });
+  if (overlap) {
+    return false;
+  }
+  // Insert the new range in sorted position.
+  auto it = ranges.begin();
+  while (it != ranges.end() && it->start < start) {
+    ++it;
+  }
+  ranges.insert(it, Range{start, last, entry});
+
+  // Free the old tree through RCU and rebuild in ascending order: each
+  // insertion targets the rightmost gap, which always lies within one leaf.
+  Destroy(mt);
+  for (const Range& range : ranges) {
+    if (!StoreRange(mt, range.start, range.last, range.entry)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void* MapleTreeOps::Erase(maple_tree* mt, uint64_t index) {
+  if (mt->ma_root == nullptr) {
+    return nullptr;
+  }
+  if (!xa_is_node(mt->ma_root)) {
+    if (index == 0) {
+      void* old = mt->ma_root;
+      mt->ma_root = nullptr;
+      return old;
+    }
+    return nullptr;
+  }
+
+  // Descend to the leaf, recording the parent path.
+  std::vector<PathEntry> path;
+  maple_enode enode = reinterpret_cast<uintptr_t>(mt->ma_root);
+  uint64_t min = 0;
+  uint64_t max = kMtMaxIndex;
+  while (true) {
+    maple_node* node = mte_to_node(enode);
+    maple_type type = mte_node_type(enode);
+    path.push_back(PathEntry{node, type, min, max, 0});
+    if (ma_is_leaf(type)) {
+      break;
+    }
+    uint32_t end = ma_data_end(node, type, max);
+    const uint64_t* pivots = NodePivots(node, type);
+    void* const* slots = NodeSlots(node, type);
+    uint32_t i = 0;
+    uint64_t slot_min = min;
+    while (i < end && pivots[i] < index) {
+      slot_min = pivots[i] + 1;
+      ++i;
+    }
+    path.back().child_slot = i;
+    max = (i < end) ? pivots[i] : max;
+    min = slot_min;
+    enode = reinterpret_cast<maple_enode>(slots[i]);
+    if (enode == 0) {
+      return nullptr;
+    }
+  }
+
+  PathEntry& leaf_entry = path.back();
+  std::vector<Item> items;
+  ReadContent(leaf_entry.node, leaf_entry.type, leaf_entry.max, &items);
+  void* old_entry = nullptr;
+  uint64_t slot_min = leaf_entry.min;
+  for (Item& item : items) {
+    if (index >= slot_min && index <= item.max && item.entry != nullptr) {
+      old_entry = item.entry;
+      item.entry = nullptr;
+      break;
+    }
+    slot_min = item.max + 1;
+  }
+  if (old_entry == nullptr) {
+    return nullptr;
+  }
+  MergeNullRuns(&items);
+
+  // COW the leaf (the RCU-safe store path).
+  maple_node* fresh = AllocNode();
+  if (fresh == nullptr) {
+    return nullptr;
+  }
+  WriteNode(fresh, leaf_entry.type, leaf_entry.max, items);
+  maple_enode fresh_enode = mt_mk_node(fresh, leaf_entry.type);
+  FreeNodeRcu(leaf_entry.node);
+
+  if (path.size() == 1) {
+    if (items.size() == 1 && items[0].entry == nullptr) {
+      // The tree is empty again.
+      FreeNodeRcu(fresh);
+      mt->ma_root = nullptr;
+      return old_entry;
+    }
+    fresh->parent = ma_encode_root_parent(mt);
+    mt->ma_root = reinterpret_cast<void*>(fresh_enode);
+  } else {
+    PathEntry& parent_entry = path[path.size() - 2];
+    NodeSlots(parent_entry.node, parent_entry.type)[parent_entry.child_slot] =
+        reinterpret_cast<void*>(fresh_enode);
+    SetChildParent(fresh_enode, parent_entry.node, parent_entry.child_slot, parent_entry.type);
+  }
+
+  if ((mt->ma_flags & MT_FLAGS_ALLOC_RANGE) != 0) {
+    RefreshGapsAlongPath(mt, index);
+  }
+  return old_entry;
+}
+
+maple_node* MapleTreeOps::RebuildLeaf(maple_tree* mt, uint64_t index) {
+  maple_node* leaf = LeafContaining(mt, index);
+  if (leaf == nullptr) {
+    return nullptr;
+  }
+  maple_node* fresh = AllocNode();
+  if (fresh == nullptr) {
+    return nullptr;
+  }
+  std::memcpy(fresh, leaf, sizeof(maple_node));
+  fresh->rcu.next = nullptr;
+  fresh->rcu.func = nullptr;
+  maple_enode fresh_enode = mt_mk_node(fresh, maple_leaf_64);
+  if (ma_is_root(leaf)) {
+    fresh->parent = ma_encode_root_parent(mt);
+    mt->ma_root = reinterpret_cast<void*>(fresh_enode);
+  } else {
+    maple_node* parent = ma_parent_node(leaf);
+    uint32_t slot = ma_parent_slot(leaf);
+    maple_type ptype = ma_parent_type(leaf);
+    NodeSlots(parent, ptype)[slot] = reinterpret_cast<void*>(fresh_enode);
+    SetChildParent(fresh_enode, parent, slot, ptype);
+  }
+  FreeNodeRcu(leaf);
+  return leaf;
+}
+
+namespace {
+
+void DestroyRec(MapleTreeOps* ops, maple_enode enode, uint64_t max,
+                std::vector<maple_node*>* nodes) {
+  maple_node* node = mte_to_node(enode);
+  maple_type type = mte_node_type(enode);
+  if (!ma_is_leaf(type)) {
+    uint32_t end = ma_data_end(node, type, max);
+    const uint64_t* pivots = NodePivots(node, type);
+    void* const* slots = NodeSlots(node, type);
+    for (uint32_t i = 0; i <= end; ++i) {
+      if (slots[i] != nullptr) {
+        uint64_t child_max = (i < end) ? pivots[i] : max;
+        DestroyRec(ops, reinterpret_cast<maple_enode>(slots[i]), child_max, nodes);
+      }
+    }
+  }
+  nodes->push_back(node);
+}
+
+}  // namespace
+
+void MapleTreeOps::Destroy(maple_tree* mt) {
+  if (mt->ma_root != nullptr && xa_is_node(mt->ma_root)) {
+    std::vector<maple_node*> nodes;
+    DestroyRec(this, reinterpret_cast<uintptr_t>(mt->ma_root), kMtMaxIndex, &nodes);
+    for (maple_node* node : nodes) {
+      FreeNodeRcu(node);
+    }
+  }
+  mt->ma_root = nullptr;
+}
+
+bool MapleTreeOps::FindEmptyArea(const maple_tree* mt, uint64_t lo, uint64_t hi, uint64_t size,
+                                 uint64_t* out_start) const {
+  if (size == 0 || lo > hi) {
+    return false;
+  }
+  if (mt->ma_root == nullptr) {
+    *out_start = lo;
+    return RangeLen(lo, hi) >= size;
+  }
+  if (!xa_is_node(mt->ma_root)) {
+    uint64_t start = lo == 0 ? 1 : lo;
+    if (start > hi || RangeLen(start, hi) < size) {
+      return false;
+    }
+    *out_start = start;
+    return true;
+  }
+  // Recursive first-fit descent.
+  struct Walker {
+    const MapleTreeOps* ops;
+    uint64_t lo, hi, size;
+    uint64_t found = 0;
+    bool ok = false;
+
+    bool Visit(maple_enode enode, uint64_t min, uint64_t max) {
+      maple_node* node = mte_to_node(enode);
+      maple_type type = mte_node_type(enode);
+      uint32_t end = ma_data_end(node, type, max);
+      const uint64_t* pivots = NodePivots(node, type);
+      void* const* slots = NodeSlots(node, type);
+      uint64_t slot_min = min;
+      for (uint32_t i = 0; i <= end; ++i) {
+        uint64_t slot_max = (i < end) ? pivots[i] : max;
+        if (slot_max >= lo && slot_min <= hi) {
+          if (ma_is_leaf(type)) {
+            if (slots[i] == nullptr) {
+              uint64_t s = slot_min > lo ? slot_min : lo;
+              uint64_t e = slot_max < hi ? slot_max : hi;
+              if (s <= e && RangeLen(s, e) >= size) {
+                found = s;
+                ok = true;
+                return true;
+              }
+            }
+          } else if (slots[i] != nullptr) {
+            // Prune using gap metadata when available.
+            if (type != maple_arange_64 || node->ma64.gap[i] >= size) {
+              if (Visit(reinterpret_cast<maple_enode>(slots[i]), slot_min, slot_max)) {
+                return true;
+              }
+            }
+          }
+        }
+        slot_min = slot_max + 1;
+      }
+      return false;
+    }
+  };
+  Walker walker{this, lo, hi, size};
+  if (walker.Visit(reinterpret_cast<uintptr_t>(mt->ma_root), 0, kMtMaxIndex)) {
+    *out_start = walker.found;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+struct ValidateCtx {
+  const maple_tree* mt;
+  std::string* why;
+  int leaf_depth = -1;
+  bool ok = true;
+
+  void Fail(const std::string& reason) {
+    ok = false;
+    if (why != nullptr && why->empty()) {
+      *why = reason;
+    }
+  }
+};
+
+void ValidateNode(ValidateCtx* ctx, maple_enode enode, uint64_t min, uint64_t max, int depth,
+                  const maple_node* parent, uint32_t slot_in_parent, maple_type ptype) {
+  maple_node* node = mte_to_node(enode);
+  maple_type type = mte_node_type(enode);
+
+  if (parent == nullptr) {
+    if (!ma_is_root(node)) {
+      ctx->Fail("root node lacks the root parent marker");
+      return;
+    }
+  } else {
+    if (ma_is_root(node)) {
+      ctx->Fail("non-root node carries the root marker");
+      return;
+    }
+    if (ma_parent_node(node) != parent || ma_parent_slot(node) != slot_in_parent ||
+        ma_parent_type(node) != ptype) {
+      ctx->Fail("parent encoding mismatch");
+      return;
+    }
+  }
+
+  uint32_t end = ma_data_end(node, type, max);
+  const uint64_t* pivots = NodePivots(node, type);
+  void* const* slots = NodeSlots(node, type);
+
+  uint64_t prev = min;
+  for (uint32_t i = 0; i < end; ++i) {
+    if (pivots[i] < prev || pivots[i] > max) {
+      ctx->Fail("pivots not monotonically increasing within bounds");
+      return;
+    }
+    prev = pivots[i] + 1;
+  }
+
+  if (ma_is_leaf(type)) {
+    if (type != maple_leaf_64) {
+      ctx->Fail("leaf node has a non-leaf type");
+      return;
+    }
+    if (ctx->leaf_depth < 0) {
+      ctx->leaf_depth = depth;
+    } else if (ctx->leaf_depth != depth) {
+      ctx->Fail("leaves at different depths");
+    }
+    for (uint32_t i = 0; i <= end; ++i) {
+      if (slots[i] != nullptr && xa_is_node(slots[i])) {
+        ctx->Fail("leaf slot holds an internal node pointer");
+        return;
+      }
+    }
+    return;
+  }
+
+  uint64_t slot_min = min;
+  for (uint32_t i = 0; i <= end; ++i) {
+    uint64_t slot_max = (i < end) ? pivots[i] : max;
+    void* child = slots[i];
+    if (child == nullptr || !xa_is_node(child)) {
+      ctx->Fail("internal slot does not hold a node");
+      return;
+    }
+    if (type == maple_arange_64) {
+      uint64_t expect = 0;
+      maple_enode child_enode = reinterpret_cast<maple_enode>(child);
+      if (mte_is_leaf(child_enode)) {
+        expect = ChildMaxGap(child_enode, slot_min, slot_max);
+      } else {
+        expect = ChildMaxGap(child_enode, slot_min, slot_max);
+      }
+      if (node->ma64.gap[i] != expect) {
+        ctx->Fail("arange gap entry is stale");
+        return;
+      }
+    }
+    ValidateNode(ctx, reinterpret_cast<maple_enode>(child), slot_min, slot_max, depth + 1, node,
+                 i, type);
+    if (!ctx->ok) {
+      return;
+    }
+    slot_min = slot_max + 1;
+  }
+}
+
+}  // namespace
+
+bool MapleTreeOps::Validate(const maple_tree* mt, std::string* why) const {
+  if (mt->ma_root == nullptr || !xa_is_node(mt->ma_root)) {
+    return true;
+  }
+  ValidateCtx ctx{mt, why};
+  ValidateNode(&ctx, reinterpret_cast<uintptr_t>(mt->ma_root), 0, kMtMaxIndex, 0, nullptr, 0,
+               maple_range_64);
+  return ctx.ok;
+}
+
+}  // namespace vkern

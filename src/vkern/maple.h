@@ -1,0 +1,186 @@
+// Maple tree (Linux 6.1 lib/maple_tree.c, functional subset).
+//
+// A range-based B-tree storing non-overlapping [start, last] -> entry ranges;
+// this is the structure that replaced the VMA rbtree and that the paper's
+// Figures 3/4 visualize. We reproduce the aspects the visualization and the
+// StackRot case study depend on:
+//
+//   * encoded node pointers (maple_enode): type bits compacted into the
+//     pointer, decoded with mte_to_node / mte_node_type / xa_is_node;
+//   * encoded parent pointers (maple_pnode): slot index + root marker + parent
+//     type compacted into the pointer's low byte;
+//   * two node widths: 16-slot leaves (maple_leaf_64) and, when the tree
+//     tracks gaps (MT_FLAGS_ALLOC_RANGE), 10-slot maple_arange_64 internal
+//     nodes with per-child gap arrays;
+//   * copy-on-write stores: a modified node is replaced by a fresh copy and
+//     the old node is released through call_rcu (ma_free_rcu), which is the
+//     exact mechanism CVE-2023-3269 races against.
+//
+// Writers are assumed externally serialized (mmap_lock), as in Linux.
+
+#ifndef SRC_VKERN_MAPLE_H_
+#define SRC_VKERN_MAPLE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/vkern/kstructs.h"
+#include "src/vkern/rcu.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+
+// --- Pointer encoding helpers (mirrored into the debugger helper registry) ---
+
+inline maple_enode mt_mk_node(const maple_node* node, maple_type type) {
+  return reinterpret_cast<uintptr_t>(node) | (static_cast<uintptr_t>(type) << 3) | 2u;
+}
+
+inline maple_node* mte_to_node(maple_enode enode) {
+  return reinterpret_cast<maple_node*>(enode & ~uintptr_t{0xff});
+}
+
+inline maple_type mte_node_type(maple_enode enode) {
+  return static_cast<maple_type>((enode >> 3) & 0xf);
+}
+
+// True if the entry stored in a slot (or ma_root) is an internal node pointer
+// rather than a user entry. User entries (slab objects) are 8-byte aligned, so
+// bit 1 discriminates.
+inline bool xa_is_node(const void* entry) {
+  return entry != nullptr && (reinterpret_cast<uintptr_t>(entry) & 2u) != 0;
+}
+
+inline bool ma_is_leaf(maple_type type) { return type < maple_range_64; }
+
+inline bool mte_is_leaf(maple_enode enode) { return ma_is_leaf(mte_node_type(enode)); }
+
+// Parent encoding: bit 0 = root marker (the pointer is the maple_tree), bits
+// 1..4 = slot in parent, bits 5..6 = parent maple_type - maple_range_64.
+inline maple_pnode ma_encode_parent(const maple_node* parent, uint32_t slot, maple_type ptype) {
+  return reinterpret_cast<uintptr_t>(parent) | (static_cast<uintptr_t>(slot) << 1) |
+         (static_cast<uintptr_t>(ptype - maple_range_64) << 5);
+}
+
+inline maple_pnode ma_encode_root_parent(const maple_tree* tree) {
+  return reinterpret_cast<uintptr_t>(tree) | 1u;
+}
+
+inline bool ma_is_root(const maple_node* node) { return (node->parent & 1u) != 0; }
+
+inline maple_node* ma_parent_node(const maple_node* node) {
+  return reinterpret_cast<maple_node*>(node->parent & ~uintptr_t{0xff});
+}
+
+inline uint32_t ma_parent_slot(const maple_node* node) {
+  return static_cast<uint32_t>((node->parent >> 1) & 0xf);
+}
+
+inline maple_type ma_parent_type(const maple_node* node) {
+  return static_cast<maple_type>(((node->parent >> 5) & 0x3) + maple_range_64);
+}
+
+// Slot/pivot counts per node type.
+inline uint32_t mt_slots(maple_type type) {
+  return type == maple_arange_64 ? kMapleArange64Slots : kMapleRange64Slots;
+}
+inline uint32_t mt_pivots(maple_type type) { return mt_slots(type) - 1; }
+
+// Upper bound of the index space (ULONG_MAX).
+inline constexpr uint64_t kMtMaxIndex = ~0ull;
+
+// --- Tree operations ---
+
+class MapleTreeOps {
+ public:
+  // Nodes come from a dedicated "maple_node" slab cache (256-byte aligned);
+  // deferred frees go through `rcu` on behalf of `write_cpu`.
+  MapleTreeOps(SlabAllocator* slabs, RcuSubsystem* rcu);
+
+  void Init(maple_tree* mt, uint32_t flags);
+
+  // Stores `entry` over [start, last]. The target range must currently be
+  // empty (a gap) — VMA semantics. Returns false on overlap or OOM. A range
+  // spanning several leaves takes the slow path (full rebuild with RCU-
+  // deferred frees), mirroring the kernel's spanning-store subtree rewrite.
+  bool StoreRange(maple_tree* mt, uint64_t start, uint64_t last, void* entry);
+
+  // Erases the occupied range containing `index`; returns the old entry.
+  void* Erase(maple_tree* mt, uint64_t index);
+
+  // mas_walk: the entry whose range contains `index` (nullptr if a gap).
+  void* Find(const maple_tree* mt, uint64_t index) const;
+
+  // In-order traversal of occupied ranges.
+  void ForEach(const maple_tree* mt,
+               const std::function<void(uint64_t start, uint64_t last, void* entry)>& fn) const;
+
+  // Finds the lowest gap of at least `size` within [lo, hi]; returns true and
+  // sets *out_start on success (uses arange gap metadata when available).
+  bool FindEmptyArea(const maple_tree* mt, uint64_t lo, uint64_t hi, uint64_t size,
+                     uint64_t* out_start) const;
+
+  uint64_t CountEntries(const maple_tree* mt) const;
+  int Height(const maple_tree* mt) const;
+
+  // Frees every node (not the entries); the tree becomes empty.
+  void Destroy(maple_tree* mt);
+
+  // The leaf node whose range covers `index` (nullptr for empty/direct root).
+  maple_node* LeafContaining(const maple_tree* mt, uint64_t index) const;
+
+  // Copy-on-write rebuild of the leaf covering `index`: a fresh node replaces
+  // it and the old one is queued for RCU free — the mas_store_prealloc path
+  // the StackRot CVE races with. Returns the *old* (now pending-free) node.
+  maple_node* RebuildLeaf(maple_tree* mt, uint64_t index);
+
+  // Structural invariants check; returns false with a reason for tests.
+  bool Validate(const maple_tree* mt, std::string* why = nullptr) const;
+
+  kmem_cache* node_cache() { return node_cache_; }
+
+  // The RCU callback used for deferred node frees (symbolized as
+  // "mt_free_rcu" in the kernel symbol table).
+  static void MtFreeRcu(rcu_head* head);
+
+ private:
+  struct SplitResult {
+    maple_enode left = 0;
+    maple_enode right = 0;   // 0 when no split happened
+    uint64_t split_pivot = 0;  // last index covered by `left`
+  };
+
+  maple_node* AllocNode();
+  void FreeNodeRcu(maple_node* node);
+
+  // Rewrites the leaf covering [start,last] (whose bounds are [min,max]) with
+  // the new entry inserted; may split. Fills `result` with replacements.
+  bool StoreInLeaf(maple_node* leaf, maple_type type, uint64_t min, uint64_t max, uint64_t start,
+                   uint64_t last, void* entry, SplitResult* result);
+
+  // Slow path for ranges that cross subtree boundaries: verifies the target
+  // range is a gap, then rebuilds the tree with the new range included.
+  bool StoreSpanning(maple_tree* mt, uint64_t start, uint64_t last, void* entry);
+
+  void SetChildParent(maple_enode child, maple_node* parent, uint32_t slot, maple_type ptype);
+
+  // Re-descends toward `index` refreshing arange gap entries bottom-up.
+  void RefreshGapsAlongPath(maple_tree* mt, uint64_t index);
+
+  // Full-descent max-gap computation (diagnostics; ChildMaxGap is the cheap
+  // incremental variant used on the write paths).
+  uint64_t SubtreeMaxGap(maple_enode enode, uint64_t min, uint64_t max) const;
+
+  SlabAllocator* slabs_;
+  RcuSubsystem* rcu_;
+  kmem_cache* node_cache_;
+  int write_cpu_ = 0;
+};
+
+// Number of used slots in the node: pivots are monotonically increasing and a
+// zero pivot (beyond slot 0) terminates the data, as in ma_data_end().
+uint32_t ma_data_end(const maple_node* node, maple_type type, uint64_t max);
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_MAPLE_H_

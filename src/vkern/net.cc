@@ -1,0 +1,119 @@
+#include "src/vkern/net.h"
+
+namespace vkern {
+
+NetSubsystem::NetSubsystem(SlabAllocator* slabs, FsManager* fs, super_block* sockfs_sb)
+    : slabs_(slabs), fs_(fs), sockfs_sb_(sockfs_sb) {
+  socket_cache_ = slabs_->CreateCache("sock_inode_cache", sizeof(socket));
+  sock_cache_ = slabs_->CreateCache("UNIX", sizeof(sock));
+  skb_cache_ = slabs_->CreateCache("skbuff_head_cache", sizeof(sk_buff));
+}
+
+void NetSubsystem::SkbQueueTail(sk_buff_head* head, sk_buff* skb) {
+  // sk_buff_head aliases the first two pointers of sk_buff, forming a ring.
+  auto* head_as_skb = reinterpret_cast<sk_buff*>(head);
+  sk_buff* prev = head->prev != nullptr ? head->prev : head_as_skb;
+  skb->next = head_as_skb;
+  skb->prev = prev;
+  prev->next = skb;
+  head->prev = skb;
+  if (head->next == nullptr) {
+    head->next = skb;
+  }
+  head->qlen++;
+}
+
+sk_buff* NetSubsystem::SkbDequeue(sk_buff_head* head) {
+  auto* head_as_skb = reinterpret_cast<sk_buff*>(head);
+  sk_buff* skb = head->next;
+  if (skb == nullptr || skb == head_as_skb) {
+    return nullptr;
+  }
+  head->next = skb->next;
+  if (skb->next == head_as_skb || skb->next == nullptr) {
+    head->next = nullptr;
+    head->prev = nullptr;
+  } else {
+    skb->next->prev = head_as_skb;
+  }
+  head->qlen--;
+  skb->next = nullptr;
+  skb->prev = nullptr;
+  return skb;
+}
+
+socket* NetSubsystem::CreateSocket() {
+  auto* sock_wrap = slabs_->AllocAs<socket>(socket_cache_);
+  auto* sk = slabs_->AllocAs<sock>(sock_cache_);
+  sock_wrap->state = SS_UNCONNECTED;
+  sock_wrap->type = SOCK_STREAM;
+  sock_wrap->sk = sk;
+  sk->skc_family = AF_UNIX;
+  sk->skc_state = 1;  // TCP_ESTABLISHED-ish once connected
+  sk->sk_rcvbuf = 212992;
+  sk->sk_sndbuf = 212992;
+  sk->sk_receive_queue.next = nullptr;
+  sk->sk_receive_queue.prev = nullptr;
+  sk->sk_receive_queue.qlen = 0;
+  sk->sk_write_queue.next = nullptr;
+  sk->sk_write_queue.prev = nullptr;
+  sk->sk_write_queue.qlen = 0;
+  sk->sk_socket = sock_wrap;
+  return sock_wrap;
+}
+
+bool NetSubsystem::SocketPair(file** a, file** b) {
+  socket* sa = CreateSocket();
+  socket* sb = CreateSocket();
+  sa->sk->sk_peer = sb->sk;
+  sb->sk->sk_peer = sa->sk;
+  sa->state = SS_CONNECTED;
+  sb->state = SS_CONNECTED;
+
+  inode* ia = fs_->CreateInode(sockfs_sb_, kSIfSock | 0777, 0);
+  inode* ib = fs_->CreateInode(sockfs_sb_, kSIfSock | 0777, 0);
+  dentry* da = fs_->CreateDentry("socket:", ia, nullptr);
+  dentry* db = fs_->CreateDentry("socket:", ib, nullptr);
+  file* fa = fs_->OpenFile(da, 2 /* O_RDWR */);
+  file* fb = fs_->OpenFile(db, 2 /* O_RDWR */);
+  fa->private_data = sa;
+  fb->private_data = sb;
+  sa->file_ = fa;
+  sb->file_ = fb;
+  *a = fa;
+  *b = fb;
+  return true;
+}
+
+sk_buff* NetSubsystem::AllocSkb(uint32_t len) {
+  auto* skb = slabs_->AllocAs<sk_buff>(skb_cache_);
+  skb->len = len;
+  skb->data_len = len;
+  skb->data = nullptr;
+  return skb;
+}
+
+bool NetSubsystem::SendBytes(socket* from, uint32_t len) {
+  sock* sk = from->sk;
+  if (sk == nullptr || sk->sk_peer == nullptr) {
+    return false;
+  }
+  sk_buff* skb = AllocSkb(len);
+  if (skb == nullptr) {
+    return false;
+  }
+  SkbQueueTail(&sk->sk_peer->sk_receive_queue, skb);
+  return true;
+}
+
+uint32_t NetSubsystem::ReceiveOne(socket* sock_) {
+  sk_buff* skb = SkbDequeue(&sock_->sk->sk_receive_queue);
+  if (skb == nullptr) {
+    return 0;
+  }
+  uint32_t len = skb->len;
+  slabs_->Free(skb_cache_, skb);
+  return len;
+}
+
+}  // namespace vkern

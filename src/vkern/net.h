@@ -1,0 +1,54 @@
+// Sockets with send/receive sk_buff queues (paper Table 2 #21).
+
+#ifndef SRC_VKERN_NET_H_
+#define SRC_VKERN_NET_H_
+
+#include <cstdint>
+
+#include "src/vkern/fs.h"
+#include "src/vkern/kstructs.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+
+// Socket states (SS_*) and families.
+inline constexpr uint32_t SS_UNCONNECTED = 1;
+inline constexpr uint32_t SS_CONNECTED = 3;
+inline constexpr uint16_t AF_UNIX = 1;
+inline constexpr uint16_t AF_INET = 2;
+inline constexpr uint32_t SOCK_STREAM = 1;
+
+class NetSubsystem {
+ public:
+  NetSubsystem(SlabAllocator* slabs, FsManager* fs, super_block* sockfs_sb);
+
+  // socketpair(): two connected AF_UNIX stream sockets with backing files.
+  bool SocketPair(file** a, file** b);
+
+  // Queues `len` bytes from one peer; the skb lands on the receiver's
+  // sk_receive_queue (and is mirrored briefly on the sender's write queue).
+  bool SendBytes(socket* from, uint32_t len);
+  // Dequeues one skb from the receive queue; returns its length or 0.
+  uint32_t ReceiveOne(socket* sock_);
+
+  static socket* FromFile(file* f) { return static_cast<socket*>(f->private_data); }
+
+  kmem_cache* sock_cache() { return sock_cache_; }
+
+ private:
+  socket* CreateSocket();
+  sk_buff* AllocSkb(uint32_t len);
+  static void SkbQueueTail(sk_buff_head* head, sk_buff* skb);
+  static sk_buff* SkbDequeue(sk_buff_head* head);
+
+  SlabAllocator* slabs_;
+  FsManager* fs_;
+  super_block* sockfs_sb_;
+  kmem_cache* socket_cache_;
+  kmem_cache* sock_cache_;
+  kmem_cache* skb_cache_;
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_NET_H_

@@ -1,0 +1,530 @@
+#include "src/vkern/process.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace vkern {
+
+namespace {
+
+void CopyComm(char* dst, std::string_view name) {
+  size_t len = name.size() < kTaskCommLen - 1 ? name.size() : kTaskCommLen - 1;
+  std::memcpy(dst, name.data(), len);
+  dst[len] = '\0';
+}
+
+}  // namespace
+
+ProcessManager::ProcessManager(SlabAllocator* slabs, BuddyAllocator* buddy, MapleTreeOps* maple,
+                               Scheduler* sched, FsManager* fs)
+    : slabs_(slabs), buddy_(buddy), maple_(maple), sched_(sched), fs_(fs) {
+  task_cache_ = slabs_->CreateCache("task_struct", sizeof(task_struct), 64);
+  mm_cache_ = slabs_->CreateCache("mm_struct", sizeof(mm_struct), 64);
+  vma_cache_ = slabs_->CreateCache("vm_area_struct", sizeof(vm_area_struct));
+  signal_cache_ = slabs_->CreateCache("signal_cache", sizeof(signal_struct));
+  sighand_cache_ = slabs_->CreateCache("sighand_cache", sizeof(sighand_struct));
+  pid_cache_ = slabs_->CreateCache("pid", sizeof(pid_struct));
+  sigqueue_cache_ = slabs_->CreateCache("sigqueue", sizeof(sigqueue));
+  anon_vma_cache_ = slabs_->CreateCache("anon_vma", sizeof(anon_vma));
+  avc_cache_ = slabs_->CreateCache("anon_vma_chain", sizeof(anon_vma_chain));
+
+  pid_hash_ =
+      static_cast<hlist_head*>(slabs_->AllocMeta(sizeof(hlist_head) * kPidHashSize, 64));
+  for (int i = 0; i < kPidHashSize; ++i) {
+    INIT_HLIST_HEAD(&pid_hash_[i]);
+  }
+}
+
+task_struct* ProcessManager::AllocTaskCommon(std::string_view name, uint32_t pf_flags) {
+  auto* task = slabs_->AllocAs<task_struct>(task_cache_);
+  if (task == nullptr) {
+    return nullptr;
+  }
+  CopyComm(task->comm, name);
+  task->__state = TASK_RUNNING;
+  task->flags = pf_flags;
+  task->prio = 120;
+  task->static_prio = 120;
+  task->se.load.weight = kNiceZeroWeight;
+  INIT_LIST_HEAD(&task->children);
+  INIT_LIST_HEAD(&task->sibling);
+  INIT_LIST_HEAD(&task->thread_node);
+  INIT_LIST_HEAD(&task->tasks);
+  INIT_LIST_HEAD(&task->pending.list);
+  INIT_HLIST_NODE(&task->pids[0].node);
+  return task;
+}
+
+void ProcessManager::AttachPid(task_struct* task, int nr) {
+  auto* pid = slabs_->AllocAs<pid_struct>(pid_cache_);
+  pid->nr = nr;
+  pid->count.counter = 1;
+  INIT_HLIST_HEAD(&pid->tasks_head);
+  hlist_add_head(&pid->pid_chain, &pid_hash_[PidHashFn(nr)]);
+  task->pid = nr;
+  task->pids[0].pid = pid;
+  task->thread_pid = pid;
+  hlist_add_head(&task->pids[0].node, &pid->tasks_head);
+}
+
+void ProcessManager::DetachPid(task_struct* task) {
+  pid_struct* pid = task->pids[0].pid;
+  if (pid == nullptr) {
+    return;
+  }
+  hlist_del(&task->pids[0].node);
+  if (hlist_empty(&pid->tasks_head)) {
+    hlist_del(&pid->pid_chain);
+    slabs_->Free(pid_cache_, pid);
+  }
+  task->pids[0].pid = nullptr;
+  task->thread_pid = nullptr;
+}
+
+signal_struct* ProcessManager::AllocSignalStruct(task_struct* for_task) {
+  auto* sig = slabs_->AllocAs<signal_struct>(signal_cache_);
+  sig->sig_cnt = 1;
+  sig->nr_threads = 1;
+  INIT_LIST_HEAD(&sig->thread_head);
+  INIT_LIST_HEAD(&sig->shared_pending.list);
+  sig->group_leader_task = for_task;
+  return sig;
+}
+
+sighand_struct* ProcessManager::AllocSighand() {
+  auto* sighand = slabs_->AllocAs<sighand_struct>(sighand_cache_);
+  sighand->count = 1;
+  // All actions default to SIG_DFL (null handler).
+  return sighand;
+}
+
+void ProcessManager::Boot() {
+  for (int cpu = 0; cpu < kNrCpus; ++cpu) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "swapper/%d", cpu);
+    task_struct* idle = AllocTaskCommon(name, PF_KTHREAD | PF_IDLE);
+    idle->pid = 0;
+    idle->tgid = 0;
+    idle->__state = TASK_RUNNING;
+    idle->signal = AllocSignalStruct(idle);
+    idle->sighand = AllocSighand();
+    idle->group_leader = idle;
+    idle_[cpu] = idle;
+    sched_->InitRq(cpu, idle);
+    if (cpu == 0) {
+      // init_task anchors the global task list (Linux: init_task.tasks).
+      init_task_ = idle;
+    } else {
+      list_add_tail(&idle->tasks, &init_task_->tasks);
+    }
+  }
+  // pid 1: init.
+  task_struct* init = CreateTask("init", init_task_, 0, 0);
+  (void)init;
+}
+
+task_struct* ProcessManager::CreateTask(std::string_view name, task_struct* parent,
+                                        uint64_t clone_flags, int cpu) {
+  task_struct* task = AllocTaskCommon(name, 0);
+  if (task == nullptr) {
+    return nullptr;
+  }
+  AttachPid(task, next_pid_++);
+  task->tgid = task->pid;
+  task->group_leader = task;
+  task->real_parent = parent;
+  task->parent = parent;
+  if (parent != nullptr) {
+    list_add_tail(&task->sibling, &parent->children);
+  }
+  list_add_tail(&task->tasks, &init_task_->tasks);
+
+  if ((clone_flags & kCloneVm) != 0 && parent != nullptr && parent->mm != nullptr) {
+    task->mm = parent->mm;
+    task->mm->mm_users.counter++;
+  } else {
+    task->mm = CreateMm(task);
+    SetupStandardLayout(task->mm, nullptr);
+  }
+  task->active_mm = task->mm;
+
+  if ((clone_flags & kCloneFiles) != 0 && parent != nullptr && parent->files != nullptr) {
+    task->files = parent->files;
+    task->files->count.counter++;
+  } else {
+    task->files = fs_->CreateFilesStruct();
+  }
+
+  if ((clone_flags & kCloneSighand) != 0 && parent != nullptr) {
+    task->sighand = parent->sighand;
+    task->sighand->count++;
+  } else {
+    task->sighand = AllocSighand();
+  }
+
+  if ((clone_flags & kCloneThread) != 0 && parent != nullptr) {
+    task->signal = parent->signal;
+    task->signal->sig_cnt++;
+    task->signal->nr_threads++;
+    task->tgid = parent->tgid;
+    task->group_leader = parent->group_leader;
+    list_add_tail(&task->thread_node, &task->signal->thread_head);
+  } else {
+    task->signal = AllocSignalStruct(task);
+    list_add_tail(&task->thread_node, &task->signal->thread_head);
+  }
+
+  sched_->Enqueue(cpu, task);
+  return task;
+}
+
+task_struct* ProcessManager::CreateThread(task_struct* leader, std::string_view name, int cpu) {
+  return CreateTask(name, leader, kCloneVm | kCloneFiles | kCloneSighand | kCloneThread, cpu);
+}
+
+task_struct* ProcessManager::CreateKthread(std::string_view name, int cpu) {
+  task_struct* task = AllocTaskCommon(name, PF_KTHREAD);
+  if (task == nullptr) {
+    return nullptr;
+  }
+  AttachPid(task, next_pid_++);
+  task->tgid = task->pid;
+  task->group_leader = task;
+  task->real_parent = init_task_;
+  task->parent = init_task_;
+  list_add_tail(&task->sibling, &init_task_->children);
+  list_add_tail(&task->tasks, &init_task_->tasks);
+  task->mm = nullptr;
+  task->active_mm = nullptr;
+  task->files = fs_->CreateFilesStruct();
+  task->sighand = AllocSighand();
+  task->signal = AllocSignalStruct(task);
+  list_add_tail(&task->thread_node, &task->signal->thread_head);
+  sched_->Enqueue(cpu, task);
+  return task;
+}
+
+void ProcessManager::ExitTask(task_struct* task, int exit_code) {
+  assert(task != init_task_);
+  sched_->Dequeue(task->on_cpu, task);
+  task->__state = TASK_DEAD;
+  task->exit_state = 16 /* EXIT_ZOMBIE */;
+  task->exit_code = exit_code;
+  task->flags |= PF_EXITING;
+
+  // Reparent children to init (pid 1 if present, else init_task).
+  task_struct* reaper = FindTaskByPid(1);
+  if (reaper == nullptr || reaper == task) {
+    reaper = init_task_;
+  }
+  while (!list_empty(&task->children)) {
+    task_struct* child = VKERN_CONTAINER_OF(task->children.next, task_struct, sibling);
+    list_del_init(&child->sibling);
+    child->parent = reaper;
+    child->real_parent = reaper;
+    list_add_tail(&child->sibling, &reaper->children);
+  }
+
+  // Drop the mm.
+  if (task->mm != nullptr) {
+    if (--task->mm->mm_users.counter == 0) {
+      DestroyMm(task->mm);
+    }
+    task->mm = nullptr;
+    task->active_mm = nullptr;
+  }
+  // Drop files.
+  if (task->files != nullptr) {
+    if (--task->files->count.counter == 0) {
+      fdtable* fdt = task->files->fdt;
+      for (uint32_t fd = 0; fd < fdt->max_fds; ++fd) {
+        if ((*fdt->open_fds & (1ull << fd)) != 0) {
+          fs_->CloseFd(task->files, static_cast<int>(fd));
+        }
+      }
+      slabs_->Free(slabs_->FindCache("files_cache"), task->files);
+    }
+    task->files = nullptr;
+  }
+  // Leave signal/sighand until reap (a zombie still has them in Linux).
+}
+
+void ProcessManager::ReapTask(task_struct* task) {
+  assert(task->exit_state != 0 && "only zombies can be reaped");
+  list_del_init(&task->sibling);
+  list_del(&task->tasks);
+  list_del_init(&task->thread_node);
+  DetachPid(task);
+
+  if (task->signal != nullptr) {
+    task->signal->nr_threads--;
+    if (--task->signal->sig_cnt == 0) {
+      // Flush shared pending signals.
+      while (!list_empty(&task->signal->shared_pending.list)) {
+        sigqueue* q =
+            VKERN_CONTAINER_OF(task->signal->shared_pending.list.next, sigqueue, list);
+        list_del(&q->list);
+        slabs_->Free(sigqueue_cache_, q);
+      }
+      slabs_->Free(signal_cache_, task->signal);
+    }
+    task->signal = nullptr;
+  }
+  if (task->sighand != nullptr) {
+    if (--task->sighand->count == 0) {
+      slabs_->Free(sighand_cache_, task->sighand);
+    }
+    task->sighand = nullptr;
+  }
+  while (!list_empty(&task->pending.list)) {
+    sigqueue* q = VKERN_CONTAINER_OF(task->pending.list.next, sigqueue, list);
+    list_del(&q->list);
+    slabs_->Free(sigqueue_cache_, q);
+  }
+  slabs_->Free(task_cache_, task);
+}
+
+task_struct* ProcessManager::FindTaskByPid(int pid) const {
+  const hlist_head* bucket = &pid_hash_[PidHashFn(pid)];
+  for (hlist_node* node = bucket->first; node != nullptr; node = node->next) {
+    pid_struct* p = VKERN_CONTAINER_OF(node, pid_struct, pid_chain);
+    if (p->nr == pid && !hlist_empty(&p->tasks_head)) {
+      pid_link* link = VKERN_CONTAINER_OF(p->tasks_head.first, pid_link, node);
+      return VKERN_CONTAINER_OF(link, task_struct, pids[0]);
+    }
+  }
+  return nullptr;
+}
+
+int ProcessManager::task_count() const {
+  return static_cast<int>(list_count(&init_task_->tasks)) + 1;
+}
+
+// --- memory descriptors ---
+
+mm_struct* ProcessManager::CreateMm(task_struct* owner) {
+  auto* mm = slabs_->AllocAs<mm_struct>(mm_cache_);
+  maple_->Init(&mm->mm_mt, MT_FLAGS_ALLOC_RANGE);
+  mm->mmap_base = kMmapBase;
+  mm->task_size = kTaskSize;
+  mm->mm_users.counter = 1;
+  mm->mm_count.counter = 1;
+  mm->map_count = 0;
+  mm->pgd = 0xffff888000100000ull;  // cosmetic
+  mm->owner = owner;
+  return mm;
+}
+
+void ProcessManager::SetupStandardLayout(mm_struct* mm, file* exe) {
+  // Code, data, heap, stack — the canonical exec layout of ULK Figure 9-2.
+  mm->start_code = kCodeStart;
+  mm->end_code = kCodeStart + 0x8000;
+  Mmap(mm, 0x8000, VM_READ | VM_EXEC, exe, 0, mm->start_code);
+  mm->start_data = kCodeStart + 0x200000;
+  mm->end_data = mm->start_data + 0x4000;
+  Mmap(mm, 0x4000, VM_READ | VM_WRITE, exe, 8, mm->start_data);
+  mm->start_brk = mm->end_data + 0x1000;
+  mm->brk = mm->start_brk + 0x21000;
+  Mmap(mm, 0x21000, VM_READ | VM_WRITE | VM_ANON, nullptr, 0, mm->start_brk);
+  mm->start_stack = kStackTop - 0x21000;
+  Mmap(mm, 0x21000, VM_READ | VM_WRITE | VM_ANON | VM_GROWSDOWN | VM_STACK, nullptr, 0,
+       mm->start_stack);
+}
+
+vm_area_struct* ProcessManager::Mmap(mm_struct* mm, uint64_t len, uint64_t vm_flags, file* f,
+                                     uint64_t pgoff, uint64_t fixed_addr) {
+  len = (len + kPageSize - 1) & ~(kPageSize - 1);
+  if (len == 0) {
+    return nullptr;
+  }
+  uint64_t addr = fixed_addr;
+  if (addr == 0) {
+    if (!maple_->FindEmptyArea(&mm->mm_mt, mm->mmap_base, mm->task_size - 1, len, &addr)) {
+      return nullptr;
+    }
+  }
+  auto* vma = slabs_->AllocAs<vm_area_struct>(vma_cache_);
+  if (vma == nullptr) {
+    return nullptr;
+  }
+  vma->vm_start = addr;
+  vma->vm_end = addr + len;
+  vma->vm_mm = mm;
+  vma->vm_flags = vm_flags | VM_MAYREAD | VM_MAYWRITE;
+  vma->vm_pgoff = pgoff;
+  vma->vm_file = f;
+  INIT_LIST_HEAD(&vma->anon_vma_chain);
+  if (f != nullptr) {
+    f->f_count.counter++;
+    if (f->f_mapping != nullptr) {
+      // Track the mapping in the file's i_mmap (simplified to a list).
+      // Reuse anon_vma_chain linkage for the file case would be wrong; we do
+      // not link file VMAs into i_mmap to keep ownership simple.
+    }
+  }
+  if ((vm_flags & VM_ANON) != 0) {
+    AnonVmaPrepare(vma);
+  }
+  if (!maple_->StoreRange(&mm->mm_mt, vma->vm_start, vma->vm_end - 1, vma)) {
+    FreeVma(vma);
+    return nullptr;
+  }
+  mm->map_count++;
+  mm->total_vm += len >> kPageShift;
+  return vma;
+}
+
+bool ProcessManager::Munmap(mm_struct* mm, uint64_t addr) {
+  void* entry = maple_->Erase(&mm->mm_mt, addr);
+  if (entry == nullptr) {
+    return false;
+  }
+  auto* vma = static_cast<vm_area_struct*>(entry);
+  mm->map_count--;
+  mm->total_vm -= (vma->vm_end - vma->vm_start) >> kPageShift;
+  FreeVma(vma);
+  return true;
+}
+
+vm_area_struct* ProcessManager::FindVma(mm_struct* mm, uint64_t addr) const {
+  return static_cast<vm_area_struct*>(maple_->Find(&mm->mm_mt, addr));
+}
+
+anon_vma* ProcessManager::AnonVmaPrepare(vm_area_struct* vma) {
+  if (vma->anon_vma_ != nullptr) {
+    return vma->anon_vma_;
+  }
+  auto* av = slabs_->AllocAs<anon_vma>(anon_vma_cache_);
+  av->root = av;
+  av->refcount.counter = 1;
+  av->num_active_vmas = 1;
+  av->rb_root_.rb_root_.rb_node_ = nullptr;
+  av->rb_root_.rb_leftmost = nullptr;
+
+  auto* avc = slabs_->AllocAs<anon_vma_chain>(avc_cache_);
+  avc->vma = vma;
+  avc->av = av;
+  avc->rb_subtree_last = vma->vm_end - 1;
+  list_add_tail(&avc->same_vma, &vma->anon_vma_chain);
+
+  // Insert into the anon_vma interval tree keyed by vm_start.
+  rb_node** link = &av->rb_root_.rb_root_.rb_node_;
+  rb_node* parent = nullptr;
+  bool leftmost = true;
+  while (*link != nullptr) {
+    parent = *link;
+    anon_vma_chain* other = VKERN_CONTAINER_OF(parent, anon_vma_chain, rb);
+    if (vma->vm_start < other->vma->vm_start) {
+      link = &parent->rb_left;
+    } else {
+      link = &parent->rb_right;
+      leftmost = false;
+    }
+  }
+  rb_link_node(&avc->rb, parent, link);
+  rb_insert_color_cached(&avc->rb, &av->rb_root_, leftmost);
+
+  vma->anon_vma_ = av;
+  return av;
+}
+
+void ProcessManager::FreeVma(vm_area_struct* vma) {
+  // Unlink reverse-map chains.
+  while (!list_empty(&vma->anon_vma_chain)) {
+    anon_vma_chain* avc =
+        VKERN_CONTAINER_OF(vma->anon_vma_chain.next, anon_vma_chain, same_vma);
+    list_del(&avc->same_vma);
+    rb_erase_cached(&avc->rb, &avc->av->rb_root_);
+    anon_vma* av = avc->av;
+    slabs_->Free(avc_cache_, avc);
+    if (--av->refcount.counter == 0) {
+      slabs_->Free(anon_vma_cache_, av);
+    }
+  }
+  if (vma->vm_file != nullptr) {
+    fs_->CloseFile(vma->vm_file);
+  }
+  slabs_->Free(vma_cache_, vma);
+}
+
+void ProcessManager::DestroyMm(mm_struct* mm) {
+  // Collect VMAs first (Erase mutates the tree during iteration).
+  std::vector<vm_area_struct*> vmas;
+  maple_->ForEach(&mm->mm_mt, [&vmas](uint64_t, uint64_t, void* entry) {
+    vmas.push_back(static_cast<vm_area_struct*>(entry));
+  });
+  for (vm_area_struct* vma : vmas) {
+    FreeVma(vma);
+  }
+  maple_->Destroy(&mm->mm_mt);
+  if (--mm->mm_count.counter == 0) {
+    slabs_->Free(mm_cache_, mm);
+  }
+}
+
+page* ProcessManager::FaultAnonPage(vm_area_struct* vma, uint64_t addr) {
+  assert(addr >= vma->vm_start && addr < vma->vm_end);
+  anon_vma* av = AnonVmaPrepare(vma);
+  page* pg = buddy_->AllocPage();
+  if (pg == nullptr) {
+    return nullptr;
+  }
+  // PAGE_MAPPING_ANON: the low bit of page->mapping tags an anon_vma pointer.
+  pg->mapping = reinterpret_cast<void*>(reinterpret_cast<uintptr_t>(av) | 1u);
+  pg->index = (addr - vma->vm_start) >> kPageShift;
+  pg->flags |= PG_anon | PG_uptodate;
+  pg->mapcount = 1;
+  return pg;
+}
+
+// --- signals ---
+
+void ProcessManager::SetSigaction(task_struct* task, int sig, sighandler_t handler,
+                                  uint64_t flags) {
+  assert(sig >= 1 && sig <= kNsig);
+  k_sigaction* ka = &task->sighand->action[sig - 1];
+  ka->sa.sa_handler_fn = handler;
+  ka->sa.sa_flags = flags;
+}
+
+bool ProcessManager::SendSignal(task_struct* task, int sig, int from_pid) {
+  assert(sig >= 1 && sig <= kNsig);
+  if ((task->blocked.sig & (1ull << (sig - 1))) != 0) {
+    // Blocked: still queued, but kept pending.
+  }
+  auto* q = slabs_->AllocAs<sigqueue>(sigqueue_cache_);
+  if (q == nullptr) {
+    return false;
+  }
+  q->signo = sig;
+  q->pid_from = from_pid;
+  list_add_tail(&q->list, &task->pending.list);
+  task->pending.signal.sig |= 1ull << (sig - 1);
+  return true;
+}
+
+int ProcessManager::DequeueSignal(task_struct* task) {
+  if (list_empty(&task->pending.list)) {
+    return 0;
+  }
+  sigqueue* q = VKERN_CONTAINER_OF(task->pending.list.next, sigqueue, list);
+  int sig = q->signo;
+  list_del(&q->list);
+  slabs_->Free(sigqueue_cache_, q);
+  // Clear the bit if no other queued instance of this signal remains.
+  bool more = false;
+  VKERN_LIST_FOR_EACH(pos, &task->pending.list) {
+    if (VKERN_CONTAINER_OF(pos, sigqueue, list)->signo == sig) {
+      more = true;
+      break;
+    }
+  }
+  if (!more) {
+    task->pending.signal.sig &= ~(1ull << (sig - 1));
+  }
+  return sig;
+}
+
+}  // namespace vkern

@@ -1,0 +1,128 @@
+// Process management: task creation (fork/clone), the process tree, the PID
+// hash, memory descriptors with maple-tree VMAs, anonymous reverse mapping,
+// and signal delivery.
+//
+// Covers ULK Figures 3-4 (parenthood tree), 3-6 (PID hash), 9-2 (address
+// space), 11-1 (signal handling), 17-1 (anon rmap), plus the mm substrate the
+// paper's maple-tree figures (3/4) and StackRot case study visualize.
+
+#ifndef SRC_VKERN_PROCESS_H_
+#define SRC_VKERN_PROCESS_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/vkern/buddy.h"
+#include "src/vkern/fs.h"
+#include "src/vkern/kstructs.h"
+#include "src/vkern/maple.h"
+#include "src/vkern/sched.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+
+// clone() flag subset.
+inline constexpr uint64_t kCloneVm = 0x00000100;
+inline constexpr uint64_t kCloneFiles = 0x00000400;
+inline constexpr uint64_t kCloneSighand = 0x00000800;
+inline constexpr uint64_t kCloneThread = 0x00010000;
+
+// Default user address-space layout.
+inline constexpr uint64_t kTaskSize = 0x0000800000000000ull;   // 128 TiB
+inline constexpr uint64_t kMmapBase = 0x00007f0000000000ull;
+inline constexpr uint64_t kStackTop = 0x00007ffffffff000ull;
+inline constexpr uint64_t kCodeStart = 0x0000000000400000ull;
+
+class ProcessManager {
+ public:
+  ProcessManager(SlabAllocator* slabs, BuddyAllocator* buddy, MapleTreeOps* maple,
+                 Scheduler* sched, FsManager* fs);
+
+  // Boot: creates the per-CPU idle tasks ("swapper/N", pid 0) and init (pid 1)
+  // and installs them on the run queues.
+  void Boot();
+
+  // fork()/clone(): creates a task as a child of `parent`. Without kCloneVm a
+  // fresh mm with the standard layout is built. The task is enqueued on `cpu`.
+  task_struct* CreateTask(std::string_view name, task_struct* parent, uint64_t clone_flags,
+                          int cpu);
+  // pthread_create-style thread in `leader`'s group.
+  task_struct* CreateThread(task_struct* leader, std::string_view name, int cpu);
+  // A kernel thread (no mm).
+  task_struct* CreateKthread(std::string_view name, int cpu);
+
+  // exit(): detaches the task (zombie until reaped); children reparent to init.
+  void ExitTask(task_struct* task, int exit_code);
+  // wait()/release_task: frees the zombie's resources.
+  void ReapTask(task_struct* task);
+
+  task_struct* FindTaskByPid(int pid) const;
+
+  // --- memory descriptor operations ---
+  mm_struct* CreateMm(task_struct* owner);
+  // Standard exec layout: code, data, heap and stack VMAs.
+  void SetupStandardLayout(mm_struct* mm, file* exe);
+  // mmap: picks a free range (or uses `fixed_addr` when nonzero). Returns the
+  // new VMA or nullptr.
+  vm_area_struct* Mmap(mm_struct* mm, uint64_t len, uint64_t vm_flags, file* f, uint64_t pgoff,
+                       uint64_t fixed_addr = 0);
+  // munmap of the VMA containing `addr`. Returns true if one was removed.
+  bool Munmap(mm_struct* mm, uint64_t addr);
+  vm_area_struct* FindVma(mm_struct* mm, uint64_t addr) const;
+  // Simulated anonymous page fault: allocates a page, wires it to the VMA's
+  // anon_vma through the reverse map (ULK Figure 17-1).
+  page* FaultAnonPage(vm_area_struct* vma, uint64_t addr);
+
+  // --- signals (ULK Figure 11-1) ---
+  void SetSigaction(task_struct* task, int sig, sighandler_t handler, uint64_t flags);
+  bool SendSignal(task_struct* task, int sig, int from_pid);
+  // Delivers (consumes) one pending signal; returns its number or 0.
+  int DequeueSignal(task_struct* task);
+
+  task_struct* init_task() { return init_task_; }
+  task_struct* idle_task(int cpu) { return idle_[cpu]; }
+  hlist_head* pid_hash() { return pid_hash_; }
+  list_head* task_list_head() { return &init_task_->tasks; }
+  int task_count() const;
+
+  kmem_cache* task_cache() { return task_cache_; }
+  kmem_cache* vma_cache() { return vma_cache_; }
+  kmem_cache* mm_cache() { return mm_cache_; }
+
+  static uint32_t PidHashFn(int pid) { return static_cast<uint32_t>(pid) & (kPidHashSize - 1); }
+
+ private:
+  task_struct* AllocTaskCommon(std::string_view name, uint32_t pf_flags);
+  void AttachPid(task_struct* task, int nr);
+  void DetachPid(task_struct* task);
+  signal_struct* AllocSignalStruct(task_struct* for_task);
+  sighand_struct* AllocSighand();
+  anon_vma* AnonVmaPrepare(vm_area_struct* vma);
+  void FreeVma(vm_area_struct* vma);
+  void DestroyMm(mm_struct* mm);
+
+  SlabAllocator* slabs_;
+  BuddyAllocator* buddy_;
+  MapleTreeOps* maple_;
+  Scheduler* sched_;
+  FsManager* fs_;
+
+  kmem_cache* task_cache_;
+  kmem_cache* mm_cache_;
+  kmem_cache* vma_cache_;
+  kmem_cache* signal_cache_;
+  kmem_cache* sighand_cache_;
+  kmem_cache* pid_cache_;
+  kmem_cache* sigqueue_cache_;
+  kmem_cache* anon_vma_cache_;
+  kmem_cache* avc_cache_;
+
+  hlist_head* pid_hash_;       // in-arena bucket array [kPidHashSize]
+  task_struct* init_task_ = nullptr;
+  task_struct* idle_[kNrCpus] = {};
+  int next_pid_ = 1;
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_PROCESS_H_

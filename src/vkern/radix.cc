@@ -1,0 +1,150 @@
+#include "src/vkern/radix.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vkern {
+
+namespace {
+
+// Maximum index representable by a tree whose root has the given shift.
+uint64_t ShiftMaxIndex(uint32_t shift) {
+  if (shift + kRadixTreeMapShift >= 64) {
+    return ~0ull;
+  }
+  return (1ull << (shift + kRadixTreeMapShift)) - 1;
+}
+
+}  // namespace
+
+RadixTreeOps::RadixTreeOps(SlabAllocator* slabs) : slabs_(slabs) {
+  node_cache_ = slabs_->FindCache("radix_tree_node");
+  if (node_cache_ == nullptr) {
+    node_cache_ = slabs_->CreateCache("radix_tree_node", sizeof(radix_tree_node), 64);
+  }
+}
+
+radix_tree_node* RadixTreeOps::NewNode(uint8_t shift, uint8_t offset, radix_tree_node* parent) {
+  auto* node = slabs_->AllocAs<radix_tree_node>(node_cache_);
+  if (node == nullptr) {
+    return nullptr;
+  }
+  node->shift = shift;
+  node->offset = offset;
+  node->count = 0;
+  node->parent = parent;
+  return node;
+}
+
+bool RadixTreeOps::Insert(radix_tree_root* root, uint64_t index, void* item) {
+  // Grow the tree until the root covers `index`.
+  if (root->rnode == nullptr) {
+    radix_tree_node* node = NewNode(0, 0, nullptr);
+    if (node == nullptr) {
+      return false;
+    }
+    root->rnode = node;
+    root->height = 1;
+  }
+  while (index > ShiftMaxIndex(root->rnode->shift)) {
+    radix_tree_node* new_root =
+        NewNode(static_cast<uint8_t>(root->rnode->shift + kRadixTreeMapShift), 0, nullptr);
+    if (new_root == nullptr) {
+      return false;
+    }
+    new_root->slots[0] = root->rnode;
+    new_root->count = root->rnode->count > 0 ? 1 : 0;
+    root->rnode->parent = new_root;
+    root->rnode = new_root;
+    root->height++;
+  }
+  // Descend, materializing interior nodes.
+  radix_tree_node* node = root->rnode;
+  while (node->shift > 0) {
+    uint32_t slot = (index >> node->shift) & (kRadixTreeMapSize - 1);
+    auto* child = static_cast<radix_tree_node*>(node->slots[slot]);
+    if (child == nullptr) {
+      child = NewNode(static_cast<uint8_t>(node->shift - kRadixTreeMapShift),
+                      static_cast<uint8_t>(slot), node);
+      if (child == nullptr) {
+        return false;
+      }
+      node->slots[slot] = child;
+      node->count++;
+    }
+    node = child;
+  }
+  uint32_t slot = index & (kRadixTreeMapSize - 1);
+  if (node->slots[slot] == nullptr) {
+    node->count++;
+  }
+  node->slots[slot] = item;
+  return true;
+}
+
+void* RadixTreeOps::Lookup(const radix_tree_root* root, uint64_t index) const {
+  const radix_tree_node* node = root->rnode;
+  if (node == nullptr || index > ShiftMaxIndex(node->shift)) {
+    return nullptr;
+  }
+  while (node->shift > 0) {
+    uint32_t slot = (index >> node->shift) & (kRadixTreeMapSize - 1);
+    node = static_cast<const radix_tree_node*>(node->slots[slot]);
+    if (node == nullptr) {
+      return nullptr;
+    }
+  }
+  return node->slots[index & (kRadixTreeMapSize - 1)];
+}
+
+void* RadixTreeOps::Delete(radix_tree_root* root, uint64_t index) {
+  radix_tree_node* node = root->rnode;
+  if (node == nullptr || index > ShiftMaxIndex(node->shift)) {
+    return nullptr;
+  }
+  while (node->shift > 0) {
+    uint32_t slot = (index >> node->shift) & (kRadixTreeMapSize - 1);
+    node = static_cast<radix_tree_node*>(node->slots[slot]);
+    if (node == nullptr) {
+      return nullptr;
+    }
+  }
+  uint32_t slot = index & (kRadixTreeMapSize - 1);
+  void* item = node->slots[slot];
+  if (item != nullptr) {
+    node->slots[slot] = nullptr;
+    node->count--;
+  }
+  return item;
+}
+
+void RadixTreeOps::ForEachNode(const radix_tree_node* node, uint64_t prefix,
+                               const std::function<void(uint64_t, void*)>& fn) const {
+  for (uint32_t i = 0; i < kRadixTreeMapSize; ++i) {
+    void* entry = node->slots[i];
+    if (entry == nullptr) {
+      continue;
+    }
+    uint64_t index = prefix | (static_cast<uint64_t>(i) << node->shift);
+    if (node->shift == 0) {
+      fn(index, entry);
+    } else {
+      ForEachNode(static_cast<const radix_tree_node*>(entry), index, fn);
+    }
+  }
+}
+
+void RadixTreeOps::ForEach(const radix_tree_root* root,
+                           const std::function<void(uint64_t, void*)>& fn) const {
+  if (root->rnode != nullptr) {
+    ForEachNode(root->rnode, 0, fn);
+  }
+}
+
+uint64_t RadixTreeOps::CountEntries(const radix_tree_root* root) const {
+  uint64_t n = 0;
+  ForEach(root, [&n](uint64_t, void*) { ++n; });
+  return n;
+}
+
+}  // namespace vkern

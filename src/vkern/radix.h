@@ -1,0 +1,52 @@
+// Radix tree (page-cache index, ULK Figure 15-1).
+//
+// Linux 6.x wraps this machinery in the XArray; ULK's figure and the paper's
+// Table 2 entry #13 visualize the underlying radix-tree node structure, so we
+// keep the classic radix_tree_node layout (64 slots per node).
+
+#ifndef SRC_VKERN_RADIX_H_
+#define SRC_VKERN_RADIX_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/vkern/kstructs.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+
+class RadixTreeOps {
+ public:
+  explicit RadixTreeOps(SlabAllocator* slabs);
+
+  // Inserts `item` at `index`; replaces any existing entry. Returns false only
+  // on allocation failure.
+  bool Insert(radix_tree_root* root, uint64_t index, void* item);
+
+  // Returns the entry at `index`, or nullptr.
+  void* Lookup(const radix_tree_root* root, uint64_t index) const;
+
+  // Removes and returns the entry at `index` (no node reclamation — matching
+  // the lazy shrinking of the real tree closely enough for visualization).
+  void* Delete(radix_tree_root* root, uint64_t index);
+
+  // In-order traversal of all present entries.
+  void ForEach(const radix_tree_root* root,
+               const std::function<void(uint64_t index, void* item)>& fn) const;
+
+  uint64_t CountEntries(const radix_tree_root* root) const;
+
+  kmem_cache* node_cache() { return node_cache_; }
+
+ private:
+  radix_tree_node* NewNode(uint8_t shift, uint8_t offset, radix_tree_node* parent);
+  void ForEachNode(const radix_tree_node* node, uint64_t prefix,
+                   const std::function<void(uint64_t, void*)>& fn) const;
+
+  SlabAllocator* slabs_;
+  kmem_cache* node_cache_;
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_RADIX_H_

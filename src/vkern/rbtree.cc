@@ -1,0 +1,387 @@
+#include "src/vkern/rbtree.h"
+
+namespace vkern {
+
+namespace {
+
+void rb_set_parent(rb_node* node, rb_node* parent) {
+  node->__rb_parent_color =
+      (node->__rb_parent_color & 3ull) | reinterpret_cast<uintptr_t>(parent);
+}
+
+void rb_set_parent_color(rb_node* node, rb_node* parent, uintptr_t color) {
+  node->__rb_parent_color = reinterpret_cast<uintptr_t>(parent) | color;
+}
+
+void rb_set_black(rb_node* node) { node->__rb_parent_color |= kRbBlack; }
+
+// Replaces `old_node` with `new_node` in the parent's child slot.
+void rb_change_child(rb_node* old_node, rb_node* new_node, rb_node* parent, rb_root* root) {
+  if (parent != nullptr) {
+    if (parent->rb_left == old_node) {
+      parent->rb_left = new_node;
+    } else {
+      parent->rb_right = new_node;
+    }
+  } else {
+    root->rb_node_ = new_node;
+  }
+}
+
+void rb_rotate_set_parents(rb_node* old_node, rb_node* new_node, rb_root* root, uintptr_t color) {
+  rb_node* parent = rb_parent(old_node);
+  new_node->__rb_parent_color = old_node->__rb_parent_color;
+  rb_set_parent_color(old_node, new_node, color);
+  rb_change_child(old_node, new_node, parent, root);
+}
+
+}  // namespace
+
+void rb_insert_color(rb_node* node, rb_root* root) {
+  rb_node* parent = rb_parent(node);
+  while (true) {
+    if (parent == nullptr) {
+      // Inserted at the root: colour it black.
+      rb_set_parent_color(node, nullptr, kRbBlack);
+      break;
+    }
+    if (rb_is_black(parent)) {
+      break;
+    }
+    rb_node* gparent = rb_parent(parent);
+    rb_node* tmp = gparent->rb_right;
+    if (parent != tmp) {  // parent == gparent->rb_left
+      if (tmp != nullptr && rb_is_red(tmp)) {
+        // Case 1: uncle is red — flip colours and ascend.
+        rb_set_parent_color(tmp, gparent, kRbBlack);
+        rb_set_parent_color(parent, gparent, kRbBlack);
+        node = gparent;
+        parent = rb_parent(node);
+        rb_set_parent_color(node, parent, kRbRed);
+        continue;
+      }
+      tmp = parent->rb_right;
+      if (node == tmp) {
+        // Case 2: left-rotate at parent to transform into case 3.
+        tmp = node->rb_left;
+        parent->rb_right = tmp;
+        node->rb_left = parent;
+        if (tmp != nullptr) {
+          rb_set_parent_color(tmp, parent, kRbBlack);
+        }
+        rb_set_parent_color(parent, node, kRbRed);
+        parent = node;
+        tmp = node->rb_right;
+      }
+      // Case 3: right-rotate at gparent.
+      gparent->rb_left = tmp;
+      parent->rb_right = gparent;
+      if (tmp != nullptr) {
+        rb_set_parent_color(tmp, gparent, kRbBlack);
+      }
+      rb_rotate_set_parents(gparent, parent, root, kRbRed);
+      break;
+    } else {  // parent == gparent->rb_right (mirror image)
+      tmp = gparent->rb_left;
+      if (tmp != nullptr && rb_is_red(tmp)) {
+        rb_set_parent_color(tmp, gparent, kRbBlack);
+        rb_set_parent_color(parent, gparent, kRbBlack);
+        node = gparent;
+        parent = rb_parent(node);
+        rb_set_parent_color(node, parent, kRbRed);
+        continue;
+      }
+      tmp = parent->rb_left;
+      if (node == tmp) {
+        tmp = node->rb_right;
+        parent->rb_left = tmp;
+        node->rb_right = parent;
+        if (tmp != nullptr) {
+          rb_set_parent_color(tmp, parent, kRbBlack);
+        }
+        rb_set_parent_color(parent, node, kRbRed);
+        parent = node;
+        tmp = node->rb_left;
+      }
+      gparent->rb_right = tmp;
+      parent->rb_left = gparent;
+      if (tmp != nullptr) {
+        rb_set_parent_color(tmp, gparent, kRbBlack);
+      }
+      rb_rotate_set_parents(gparent, parent, root, kRbRed);
+      break;
+    }
+  }
+}
+
+namespace {
+
+// Rebalances after removing a black node; `parent` is the parent of the
+// (possibly null) replacement node.
+void rb_erase_color(rb_node* parent, rb_root* root) {
+  rb_node* node = nullptr;
+  while (true) {
+    rb_node* sibling = parent->rb_right;
+    if (node != sibling) {  // node == parent->rb_left
+      if (rb_is_red(sibling)) {
+        // Case 1: red sibling — left-rotate at parent.
+        rb_node* tmp1 = sibling->rb_left;
+        parent->rb_right = tmp1;
+        sibling->rb_left = parent;
+        rb_set_parent_color(tmp1, parent, kRbBlack);
+        rb_rotate_set_parents(parent, sibling, root, kRbRed);
+        sibling = tmp1;
+      }
+      rb_node* tmp1 = sibling->rb_right;
+      if (tmp1 == nullptr || rb_is_black(tmp1)) {
+        rb_node* tmp2 = sibling->rb_left;
+        if (tmp2 == nullptr || rb_is_black(tmp2)) {
+          // Case 2: sibling and both nephews black — recolour and ascend.
+          rb_set_parent_color(sibling, parent, kRbRed);
+          if (rb_is_red(parent)) {
+            rb_set_black(parent);
+          } else {
+            node = parent;
+            parent = rb_parent(node);
+            if (parent != nullptr) {
+              continue;
+            }
+          }
+          break;
+        }
+        // Case 3: right-rotate at sibling.
+        tmp1 = tmp2->rb_right;
+        sibling->rb_left = tmp1;
+        tmp2->rb_right = sibling;
+        parent->rb_right = tmp2;
+        if (tmp1 != nullptr) {
+          rb_set_parent_color(tmp1, sibling, kRbBlack);
+        }
+        tmp1 = sibling;
+        sibling = tmp2;
+      }
+      // Case 4: left-rotate at parent.
+      rb_node* tmp2 = sibling->rb_left;
+      parent->rb_right = tmp2;
+      sibling->rb_left = parent;
+      rb_set_parent_color(tmp1, sibling, kRbBlack);
+      if (tmp2 != nullptr) {
+        rb_set_parent(tmp2, parent);
+      }
+      rb_rotate_set_parents(parent, sibling, root, kRbBlack);
+      break;
+    } else {  // node == parent->rb_right (mirror image)
+      sibling = parent->rb_left;
+      if (rb_is_red(sibling)) {
+        rb_node* tmp1 = sibling->rb_right;
+        parent->rb_left = tmp1;
+        sibling->rb_right = parent;
+        rb_set_parent_color(tmp1, parent, kRbBlack);
+        rb_rotate_set_parents(parent, sibling, root, kRbRed);
+        sibling = tmp1;
+      }
+      rb_node* tmp1 = sibling->rb_left;
+      if (tmp1 == nullptr || rb_is_black(tmp1)) {
+        rb_node* tmp2 = sibling->rb_right;
+        if (tmp2 == nullptr || rb_is_black(tmp2)) {
+          rb_set_parent_color(sibling, parent, kRbRed);
+          if (rb_is_red(parent)) {
+            rb_set_black(parent);
+          } else {
+            node = parent;
+            parent = rb_parent(node);
+            if (parent != nullptr) {
+              continue;
+            }
+          }
+          break;
+        }
+        tmp1 = tmp2->rb_left;
+        sibling->rb_right = tmp1;
+        tmp2->rb_left = sibling;
+        parent->rb_left = tmp2;
+        if (tmp1 != nullptr) {
+          rb_set_parent_color(tmp1, sibling, kRbBlack);
+        }
+        tmp1 = sibling;
+        sibling = tmp2;
+      }
+      rb_node* tmp2 = sibling->rb_right;
+      parent->rb_left = tmp2;
+      sibling->rb_right = parent;
+      rb_set_parent_color(tmp1, sibling, kRbBlack);
+      if (tmp2 != nullptr) {
+        rb_set_parent(tmp2, parent);
+      }
+      rb_rotate_set_parents(parent, sibling, root, kRbBlack);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void rb_erase(rb_node* node, rb_root* root) {
+  rb_node* child = node->rb_right;
+  rb_node* tmp = node->rb_left;
+  rb_node* parent;
+  rb_node* rebalance = nullptr;
+  uintptr_t pc;
+
+  if (tmp == nullptr) {
+    // Case 1: at most one (right) child.
+    pc = node->__rb_parent_color;
+    parent = reinterpret_cast<rb_node*>(pc & ~3ull);
+    rb_change_child(node, child, parent, root);
+    if (child != nullptr) {
+      child->__rb_parent_color = pc;
+    } else if ((pc & 1) == kRbBlack) {
+      rebalance = parent;
+    }
+  } else if (child == nullptr) {
+    // Case 1 mirrored: only a left child; the child must be red, node black.
+    pc = node->__rb_parent_color;
+    tmp->__rb_parent_color = pc;
+    parent = reinterpret_cast<rb_node*>(pc & ~3ull);
+    rb_change_child(node, tmp, parent, root);
+  } else {
+    // Two children: splice in the successor.
+    rb_node* successor = child;
+    rb_node* child2;
+    tmp = child->rb_left;
+    if (tmp == nullptr) {
+      // The right child is the successor.
+      parent = successor;
+      child2 = successor->rb_right;
+    } else {
+      do {
+        parent = successor;
+        successor = tmp;
+        tmp = tmp->rb_left;
+      } while (tmp != nullptr);
+      child2 = successor->rb_right;
+      parent->rb_left = child2;
+      successor->rb_right = child;
+      rb_set_parent(child, successor);
+    }
+    rb_node* left = node->rb_left;
+    successor->rb_left = left;
+    rb_set_parent(left, successor);
+
+    pc = node->__rb_parent_color;
+    tmp = reinterpret_cast<rb_node*>(pc & ~3ull);
+    rb_change_child(node, successor, tmp, root);
+
+    if (child2 != nullptr) {
+      rb_set_parent_color(child2, parent, kRbBlack);
+    } else if (rb_is_black(successor)) {
+      rebalance = parent;
+    }
+    successor->__rb_parent_color = pc;
+  }
+
+  if (rebalance != nullptr) {
+    rb_erase_color(rebalance, root);
+  }
+}
+
+void rb_insert_color_cached(rb_node* node, rb_root_cached* root, bool leftmost) {
+  if (leftmost) {
+    root->rb_leftmost = node;
+  }
+  rb_insert_color(node, &root->rb_root_);
+}
+
+void rb_erase_cached(rb_node* node, rb_root_cached* root) {
+  if (root->rb_leftmost == node) {
+    root->rb_leftmost = rb_next(node);
+  }
+  rb_erase(node, &root->rb_root_);
+}
+
+rb_node* rb_first(const rb_root* root) {
+  rb_node* n = root->rb_node_;
+  if (n == nullptr) {
+    return nullptr;
+  }
+  while (n->rb_left != nullptr) {
+    n = n->rb_left;
+  }
+  return n;
+}
+
+rb_node* rb_last(const rb_root* root) {
+  rb_node* n = root->rb_node_;
+  if (n == nullptr) {
+    return nullptr;
+  }
+  while (n->rb_right != nullptr) {
+    n = n->rb_right;
+  }
+  return n;
+}
+
+rb_node* rb_next(const rb_node* node) {
+  if (node->rb_right != nullptr) {
+    const rb_node* n = node->rb_right;
+    while (n->rb_left != nullptr) {
+      n = n->rb_left;
+    }
+    return const_cast<rb_node*>(n);
+  }
+  rb_node* parent;
+  while ((parent = rb_parent(node)) != nullptr && node == parent->rb_right) {
+    node = parent;
+  }
+  return parent;
+}
+
+rb_node* rb_prev(const rb_node* node) {
+  if (node->rb_left != nullptr) {
+    const rb_node* n = node->rb_left;
+    while (n->rb_right != nullptr) {
+      n = n->rb_right;
+    }
+    return const_cast<rb_node*>(n);
+  }
+  rb_node* parent;
+  while ((parent = rb_parent(node)) != nullptr && node == parent->rb_left) {
+    node = parent;
+  }
+  return parent;
+}
+
+namespace {
+
+// Returns black-height, or -1 on violation.
+int ValidateSubtree(const rb_node* node, const rb_node* parent) {
+  if (node == nullptr) {
+    return 0;
+  }
+  if (rb_parent(node) != parent) {
+    return -1;
+  }
+  if (rb_is_red(node)) {
+    if ((node->rb_left != nullptr && rb_is_red(node->rb_left)) ||
+        (node->rb_right != nullptr && rb_is_red(node->rb_right))) {
+      return -1;  // Red node with a red child.
+    }
+  }
+  int lh = ValidateSubtree(node->rb_left, node);
+  int rh = ValidateSubtree(node->rb_right, node);
+  if (lh < 0 || rh < 0 || lh != rh) {
+    return -1;
+  }
+  return lh + (rb_is_black(node) ? 1 : 0);
+}
+
+}  // namespace
+
+int rb_validate(const rb_root* root) {
+  if (root->rb_node_ != nullptr && rb_is_red(root->rb_node_)) {
+    return -1;
+  }
+  return ValidateSubtree(root->rb_node_, nullptr);
+}
+
+}  // namespace vkern

@@ -1,0 +1,69 @@
+// Kernel-style red-black tree (lib/rbtree.c port).
+//
+// The caller performs the ordered descent and links the node with rb_link_node;
+// rb_insert_color/rb_erase restore the red-black invariants. The parent pointer
+// and the node colour share one word (__rb_parent_color), matching Linux — the
+// debugger layer must decode this compaction, which is one of the paper's
+// "handling data compaction" scenarios.
+
+#ifndef SRC_VKERN_RBTREE_H_
+#define SRC_VKERN_RBTREE_H_
+
+#include <cstdint>
+
+namespace vkern {
+
+struct rb_node {
+  uintptr_t __rb_parent_color;  // parent pointer | colour in bit 0 (0=red, 1=black)
+  rb_node* rb_right;
+  rb_node* rb_left;
+};
+
+struct rb_root {
+  rb_node* rb_node_;
+};
+
+// Root plus a cached leftmost pointer; used by CFS (tasks_timeline).
+struct rb_root_cached {
+  rb_root rb_root_;
+  rb_node* rb_leftmost;
+};
+
+inline constexpr uintptr_t kRbRed = 0;
+inline constexpr uintptr_t kRbBlack = 1;
+
+inline rb_node* rb_parent(const rb_node* node) {
+  return reinterpret_cast<rb_node*>(node->__rb_parent_color & ~3ull);
+}
+inline bool rb_is_black(const rb_node* node) { return (node->__rb_parent_color & 1) != 0; }
+inline bool rb_is_red(const rb_node* node) { return !rb_is_black(node); }
+
+// Links a new node below `parent` at `link` (coloured red, not yet balanced).
+inline void rb_link_node(rb_node* node, rb_node* parent, rb_node** link) {
+  node->__rb_parent_color = reinterpret_cast<uintptr_t>(parent);
+  node->rb_left = nullptr;
+  node->rb_right = nullptr;
+  *link = node;
+}
+
+void rb_insert_color(rb_node* node, rb_root* root);
+void rb_erase(rb_node* node, rb_root* root);
+
+// Cached-leftmost variants.
+void rb_insert_color_cached(rb_node* node, rb_root_cached* root, bool leftmost);
+void rb_erase_cached(rb_node* node, rb_root_cached* root);
+
+rb_node* rb_first(const rb_root* root);
+rb_node* rb_last(const rb_root* root);
+rb_node* rb_next(const rb_node* node);
+rb_node* rb_prev(const rb_node* node);
+
+inline rb_node* rb_first_cached(const rb_root_cached* root) { return root->rb_leftmost; }
+
+// Structural validation (used by tests): returns the black-height if the tree
+// rooted at `root` satisfies every red-black invariant, or -1 if violated.
+int rb_validate(const rb_root* root);
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_RBTREE_H_

@@ -1,0 +1,134 @@
+#include "src/vkern/rcu.h"
+
+#include <cassert>
+
+namespace vkern {
+
+RcuSubsystem::RcuSubsystem(rcu_state* state, rcu_data* data, int nr_cpus)
+    : state_(state), data_(data), nr_cpus_(nr_cpus) {
+  state_->gp_seq = 0;
+  state_->gp_in_progress = 0;
+  for (int cpu = 0; cpu < nr_cpus; ++cpu) {
+    data_[cpu].cpu = cpu;
+    data_[cpu].gp_seq = 0;
+    data_[cpu].nesting = 0;
+    data_[cpu].cblist_head = nullptr;
+    data_[cpu].cblist_tail = &data_[cpu].cblist_head;
+    data_[cpu].cblist_len = 0;
+    data_[cpu].invoked = 0;
+  }
+  wait_len_.assign(static_cast<size_t>(nr_cpus), 0);
+}
+
+void RcuSubsystem::ReadLock(int cpu) { data_[cpu].nesting++; }
+
+void RcuSubsystem::ReadUnlock(int cpu) {
+  assert(data_[cpu].nesting > 0);
+  data_[cpu].nesting--;
+}
+
+bool RcuSubsystem::InReadSection(int cpu) const { return data_[cpu].nesting > 0; }
+
+void RcuSubsystem::CallRcu(int cpu, rcu_head* head, void (*func)(rcu_head*)) {
+  head->func = func;
+  head->next = nullptr;
+  *data_[cpu].cblist_tail = head;
+  data_[cpu].cblist_tail = &head->next;
+  data_[cpu].cblist_len++;
+}
+
+void RcuSubsystem::QuiescentState(int cpu) {
+  if (data_[cpu].nesting > 0) {
+    return;  // still inside a read-side critical section
+  }
+  data_[cpu].gp_seq = state_->gp_seq;
+  qs_mask_ |= 1ull << cpu;
+}
+
+uint64_t RcuSubsystem::DoBatch(int cpu) {
+  // Invokes the callbacks that were already queued when the grace period
+  // started (the "wait" segment of the cblist).
+  rcu_data* rdp = &data_[cpu];
+  uint64_t to_run = wait_len_[static_cast<size_t>(cpu)];
+  uint64_t ran = 0;
+  while (ran < to_run && rdp->cblist_head != nullptr) {
+    rcu_head* head = rdp->cblist_head;
+    rdp->cblist_head = head->next;
+    if (rdp->cblist_head == nullptr) {
+      rdp->cblist_tail = &rdp->cblist_head;
+    }
+    rdp->cblist_len--;
+    rdp->invoked++;
+    ++ran;
+    head->next = nullptr;
+    head->func(head);
+  }
+  wait_len_[static_cast<size_t>(cpu)] = 0;
+  return ran;
+}
+
+uint64_t RcuSubsystem::TryAdvanceGracePeriod() {
+  if (state_->gp_in_progress == 0) {
+    if (pending_callbacks() == 0) {
+      return 0;
+    }
+    // Start a new grace period: snapshot the callbacks that must wait for it.
+    state_->gp_in_progress = 1;
+    gp_start_seq_ = ++state_->gp_seq;
+    qs_mask_ = 0;
+    for (int cpu = 0; cpu < nr_cpus_; ++cpu) {
+      wait_len_[static_cast<size_t>(cpu)] = data_[cpu].cblist_len;
+    }
+    return 0;
+  }
+  // A grace period is in flight: it completes once every CPU has reported a
+  // quiescent state and no CPU sits inside a read-side critical section.
+  uint64_t all = (nr_cpus_ >= 64) ? ~0ull : ((1ull << nr_cpus_) - 1);
+  for (int cpu = 0; cpu < nr_cpus_; ++cpu) {
+    if (data_[cpu].nesting > 0) {
+      return 0;
+    }
+  }
+  if ((qs_mask_ & all) != all) {
+    return 0;
+  }
+  state_->gp_in_progress = 0;
+  uint64_t ran = 0;
+  for (int cpu = 0; cpu < nr_cpus_; ++cpu) {
+    ran += DoBatch(cpu);
+  }
+  return ran;
+}
+
+uint64_t RcuSubsystem::Synchronize() {
+  uint64_t total = 0;
+  for (int round = 0; round < 8 && pending_callbacks() > 0; ++round) {
+    // A CPU inside a read-side critical section pins every grace period; no
+    // amount of driving makes progress until it unlocks.
+    bool reader_active = false;
+    for (int cpu = 0; cpu < nr_cpus_; ++cpu) {
+      if (data_[cpu].nesting > 0) {
+        reader_active = true;
+      }
+    }
+    if (reader_active) {
+      break;
+    }
+    TryAdvanceGracePeriod();  // starts a GP if none is in flight
+    for (int cpu = 0; cpu < nr_cpus_; ++cpu) {
+      QuiescentState(cpu);
+    }
+    total += TryAdvanceGracePeriod();  // completes the GP
+  }
+  return total;
+}
+
+uint64_t RcuSubsystem::pending_callbacks() const {
+  uint64_t n = 0;
+  for (int cpu = 0; cpu < nr_cpus_; ++cpu) {
+    n += data_[cpu].cblist_len;
+  }
+  return n;
+}
+
+}  // namespace vkern

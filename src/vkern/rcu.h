@@ -1,0 +1,64 @@
+// Read-copy-update machinery (paper §3.2, Figure 5).
+//
+// A deliberately small but behaviourally faithful RCU: per-CPU callback lists
+// populated by call_rcu, a global grace-period sequence, and rcu_do_batch that
+// invokes callbacks only after every CPU has passed a quiescent state since
+// the callbacks were queued. The StackRot case study drives this machinery to
+// reproduce the CVE-2023-3269 use-after-free window.
+
+#ifndef SRC_VKERN_RCU_H_
+#define SRC_VKERN_RCU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/vkern/kstructs.h"
+
+namespace vkern {
+
+class RcuSubsystem {
+ public:
+  // `state` and `data[cpu]` must live in the arena (registered as symbols).
+  RcuSubsystem(rcu_state* state, rcu_data* data, int nr_cpus);
+
+  // Reader-side critical section on `cpu` (nestable).
+  void ReadLock(int cpu);
+  void ReadUnlock(int cpu);
+  bool InReadSection(int cpu) const;
+
+  // Queues `head` for invocation after the current grace period.
+  void CallRcu(int cpu, rcu_head* head, void (*func)(rcu_head*));
+
+  // Marks a quiescent state for `cpu` (a context switch / idle pass).
+  void QuiescentState(int cpu);
+
+  // Tries to complete a grace period: if every CPU has passed a quiescent
+  // state since the GP began and none is inside a read-side critical section,
+  // advances gp_seq and runs pending callbacks (rcu_do_batch). Returns the
+  // number of callbacks invoked.
+  uint64_t TryAdvanceGracePeriod();
+
+  // Drives grace periods until all queued callbacks ran, reporting quiescent
+  // states for all CPUs that are not in a read section. Returns callbacks run.
+  // CPUs inside read sections block completion, as in a real kernel.
+  uint64_t Synchronize();
+
+  uint64_t pending_callbacks() const;
+  rcu_data* cpu_data(int cpu) { return &data_[cpu]; }
+  rcu_state* state() { return state_; }
+
+ private:
+  uint64_t DoBatch(int cpu);
+
+  rcu_state* state_;
+  rcu_data* data_;
+  int nr_cpus_;
+  // Grace-period bookkeeping (host-side, not visualized).
+  uint64_t qs_mask_ = 0;   // CPUs that have passed a QS this GP
+  uint64_t gp_start_seq_ = 0;
+  std::vector<uint64_t> wait_len_;  // per-CPU "wait" segment length
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_RCU_H_

@@ -1,0 +1,148 @@
+#include "src/vkern/sched.h"
+
+#include <cassert>
+
+namespace vkern {
+
+Scheduler::Scheduler(rq* runqueues) : runqueues_(runqueues) {}
+
+void Scheduler::InitRq(int cpu, task_struct* idle) {
+  rq* q = &runqueues_[cpu];
+  q->cpu = static_cast<uint32_t>(cpu);
+  q->nr_running = 0;
+  q->clock = 0;
+  q->cfs.load.weight = 0;
+  q->cfs.load.inv_weight = 0;
+  q->cfs.nr_running = 0;
+  q->cfs.min_vruntime = 0;
+  q->cfs.tasks_timeline.rb_root_.rb_node_ = nullptr;
+  q->cfs.tasks_timeline.rb_leftmost = nullptr;
+  q->cfs.curr = nullptr;
+  q->curr = idle;
+  q->idle = idle;
+  if (idle != nullptr) {
+    idle->on_cpu = cpu;
+    idle->__state = TASK_RUNNING;
+  }
+}
+
+void Scheduler::EnqueueEntity(cfs_rq* cfs, sched_entity* se) {
+  rb_node** link = &cfs->tasks_timeline.rb_root_.rb_node_;
+  rb_node* parent = nullptr;
+  bool leftmost = true;
+  while (*link != nullptr) {
+    parent = *link;
+    sched_entity* other = VKERN_CONTAINER_OF(parent, sched_entity, run_node);
+    if (se->vruntime < other->vruntime) {
+      link = &parent->rb_left;
+    } else {
+      link = &parent->rb_right;
+      leftmost = false;
+    }
+  }
+  rb_link_node(&se->run_node, parent, link);
+  rb_insert_color_cached(&se->run_node, &cfs->tasks_timeline, leftmost);
+  se->on_rq = 1;
+  cfs->nr_running++;
+  cfs->load.weight += se->load.weight;
+}
+
+void Scheduler::DequeueEntity(cfs_rq* cfs, sched_entity* se) {
+  assert(se->on_rq == 1);
+  rb_erase_cached(&se->run_node, &cfs->tasks_timeline);
+  se->on_rq = 0;
+  cfs->nr_running--;
+  cfs->load.weight -= se->load.weight;
+}
+
+void Scheduler::UpdateMinVruntime(cfs_rq* cfs) {
+  uint64_t min = cfs->min_vruntime;
+  if (cfs->curr != nullptr && cfs->curr->vruntime > min) {
+    min = cfs->curr->vruntime;
+  }
+  rb_node* leftmost = rb_first_cached(&cfs->tasks_timeline);
+  if (leftmost != nullptr) {
+    sched_entity* se = VKERN_CONTAINER_OF(leftmost, sched_entity, run_node);
+    if (se->vruntime < min) {
+      min = se->vruntime;
+    }
+  }
+  if (min > cfs->min_vruntime) {
+    cfs->min_vruntime = min;
+  }
+}
+
+void Scheduler::Enqueue(int cpu, task_struct* task) {
+  rq* q = &runqueues_[cpu];
+  if (task->se.load.weight == 0) {
+    task->se.load.weight = kNiceZeroWeight;
+  }
+  // Place new arrivals near min_vruntime so they do not monopolize the CPU.
+  if (task->se.vruntime < q->cfs.min_vruntime) {
+    task->se.vruntime = q->cfs.min_vruntime;
+  }
+  EnqueueEntity(&q->cfs, &task->se);
+  q->nr_running++;
+  task->__state = TASK_RUNNING;
+  task->on_cpu = cpu;
+}
+
+void Scheduler::Dequeue(int cpu, task_struct* task) {
+  rq* q = &runqueues_[cpu];
+  if (task->se.on_rq == 0) {
+    if (q->curr == task) {
+      q->curr = q->idle;
+      q->cfs.curr = nullptr;
+    }
+    return;
+  }
+  DequeueEntity(&q->cfs, &task->se);
+  q->nr_running--;
+  if (q->curr == task) {
+    q->curr = q->idle;
+    q->cfs.curr = nullptr;
+  }
+}
+
+task_struct* Scheduler::PickNext(int cpu) {
+  rq* q = &runqueues_[cpu];
+  rb_node* leftmost = rb_first_cached(&q->cfs.tasks_timeline);
+  if (leftmost == nullptr) {
+    return q->idle;
+  }
+  sched_entity* se = VKERN_CONTAINER_OF(leftmost, sched_entity, run_node);
+  return VKERN_CONTAINER_OF(se, task_struct, se);
+}
+
+task_struct* Scheduler::Tick(int cpu) {
+  rq* q = &runqueues_[cpu];
+  q->clock += kSchedTickNs;
+
+  task_struct* curr = q->curr;
+  if (curr != nullptr && curr != q->idle) {
+    // Charge the tick to the current task (nice-0: wall time == vruntime).
+    curr->se.vruntime += kSchedTickNs * kNiceZeroWeight / curr->se.load.weight;
+    curr->se.sum_exec_runtime += kSchedTickNs;
+    curr->utime += kSchedTickNs;
+  }
+
+  // Preemption check: run the leftmost entity if it beats the current one.
+  task_struct* next = PickNext(cpu);
+  if (next != q->idle &&
+      (curr == nullptr || curr == q->idle ||
+       next->se.vruntime + kSchedTickNs < curr->se.vruntime)) {
+    if (curr != nullptr && curr != q->idle && curr->se.on_rq == 0 &&
+        curr->__state == TASK_RUNNING) {
+      // The previous current is still runnable: requeue it.
+      EnqueueEntity(&q->cfs, &curr->se);
+    }
+    DequeueEntity(&q->cfs, &next->se);
+    q->curr = next;
+    q->cfs.curr = &next->se;
+    next->se.exec_start = q->clock;
+  }
+  UpdateMinVruntime(&q->cfs);
+  return q->curr;
+}
+
+}  // namespace vkern

@@ -1,0 +1,65 @@
+// CFS scheduler over per-CPU run queues (paper §1's motivating example,
+// ULK Figure 7-1).
+//
+// Tasks are kept in a vruntime-ordered red-black tree (cfs_rq.tasks_timeline)
+// with a cached leftmost node; ticks advance the current task's vruntime and
+// preempt when a smaller vruntime is runnable — enough dynamics to keep the
+// runqueue plot changing across breakpoints.
+
+#ifndef SRC_VKERN_SCHED_H_
+#define SRC_VKERN_SCHED_H_
+
+#include <cstdint>
+
+#include "src/vkern/kstructs.h"
+
+namespace vkern {
+
+inline constexpr uint64_t kNiceZeroWeight = 1024;
+inline constexpr uint64_t kSchedTickNs = 1'000'000;  // 1 ms per tick
+
+class Scheduler {
+ public:
+  // `runqueues` must be an in-arena array of kNrCpus run queues.
+  explicit Scheduler(rq* runqueues);
+
+  void InitRq(int cpu, task_struct* idle);
+
+  // Adds a runnable task to a CPU's CFS run queue.
+  void Enqueue(int cpu, task_struct* task);
+  // Removes a task (e.g. it blocked or exited).
+  void Dequeue(int cpu, task_struct* task);
+
+  // One scheduler tick on `cpu`: charges vruntime to the current task and
+  // switches to the leftmost entity when it is due. Returns the task that is
+  // current after the tick.
+  task_struct* Tick(int cpu);
+
+  task_struct* PickNext(int cpu);
+  rq* cpu_rq(int cpu) { return &runqueues_[cpu]; }
+  const rq* cpu_rq(int cpu) const { return &runqueues_[cpu]; }
+
+  uint32_t nr_running(int cpu) const { return runqueues_[cpu].cfs.nr_running; }
+
+  // Tree-order traversal of the runqueue for tests.
+  template <typename Fn>
+  void ForEachQueued(int cpu, Fn&& fn) const {
+    const cfs_rq* cfs = &runqueues_[cpu].cfs;
+    for (rb_node* node = rb_first_cached(&cfs->tasks_timeline); node != nullptr;
+         node = rb_next(node)) {
+      sched_entity* se = VKERN_CONTAINER_OF(node, sched_entity, run_node);
+      fn(VKERN_CONTAINER_OF(se, task_struct, se));
+    }
+  }
+
+ private:
+  void EnqueueEntity(cfs_rq* cfs, sched_entity* se);
+  void DequeueEntity(cfs_rq* cfs, sched_entity* se);
+  void UpdateMinVruntime(cfs_rq* cfs);
+
+  rq* runqueues_;
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_SCHED_H_

@@ -1,0 +1,54 @@
+#include "src/vkern/swap.h"
+
+namespace vkern {
+
+SwapSubsystem::SwapSubsystem(swap_info_struct** swap_info, SlabAllocator* slabs)
+    : swap_info_(swap_info), slabs_(slabs) {
+  si_cache_ = slabs_->CreateCache("swap_info_struct", sizeof(swap_info_struct));
+  for (int i = 0; i < kMaxSwapFiles; ++i) {
+    swap_info_[i] = nullptr;
+  }
+}
+
+swap_info_struct* SwapSubsystem::SwapOn(file* backing, block_device* bdev, uint32_t pages,
+                                        int16_t prio) {
+  if (nr_swapfiles_ >= kMaxSwapFiles) {
+    return nullptr;
+  }
+  auto* si = slabs_->AllocAs<swap_info_struct>(si_cache_);
+  if (si == nullptr) {
+    return nullptr;
+  }
+  si->flags = SWP_USED | SWP_WRITEOK;
+  si->prio = prio;
+  si->type = static_cast<uint8_t>(nr_swapfiles_);
+  si->max = pages;
+  si->pages = pages;
+  si->inuse_pages = 0;
+  si->swap_file = backing;
+  si->bdev = bdev;
+  si->swap_map = static_cast<uint8_t*>(slabs_->AllocMeta(pages, 8));
+  swap_info_[nr_swapfiles_++] = si;
+  return si;
+}
+
+int64_t SwapSubsystem::AllocSlot(swap_info_struct* si) {
+  for (uint32_t i = 1; i < si->max; ++i) {  // slot 0 is reserved (header)
+    if (si->swap_map[i] == 0) {
+      si->swap_map[i] = 1;
+      si->inuse_pages++;
+      return i;
+    }
+  }
+  return -1;
+}
+
+void SwapSubsystem::FreeSlot(swap_info_struct* si, uint32_t slot) {
+  if (slot < si->max && si->swap_map[slot] > 0) {
+    if (--si->swap_map[slot] == 0) {
+      si->inuse_pages--;
+    }
+  }
+}
+
+}  // namespace vkern

@@ -1,0 +1,38 @@
+// Swap area descriptors (ULK Figure 17-6).
+
+#ifndef SRC_VKERN_SWAP_H_
+#define SRC_VKERN_SWAP_H_
+
+#include <cstdint>
+
+#include "src/vkern/fs.h"
+#include "src/vkern/kstructs.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+
+class SwapSubsystem {
+ public:
+  // `swap_info` is the in-arena array of swap_info_struct* [kMaxSwapFiles].
+  SwapSubsystem(swap_info_struct** swap_info, SlabAllocator* slabs);
+
+  // swapon(): activates a swap area of `pages` slots backed by `backing`.
+  swap_info_struct* SwapOn(file* backing, block_device* bdev, uint32_t pages, int16_t prio);
+
+  // Allocates/free a swap slot (adjusting swap_map usage counts).
+  int64_t AllocSlot(swap_info_struct* si);
+  void FreeSlot(swap_info_struct* si, uint32_t slot);
+
+  swap_info_struct* info(int type) { return swap_info_[type]; }
+  int nr_swapfiles() const { return nr_swapfiles_; }
+
+ private:
+  swap_info_struct** swap_info_;
+  SlabAllocator* slabs_;
+  kmem_cache* si_cache_;
+  int nr_swapfiles_ = 0;
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_SWAP_H_

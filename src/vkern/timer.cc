@@ -1,0 +1,111 @@
+#include "src/vkern/timer.h"
+
+#include <cassert>
+
+namespace vkern {
+
+TimerSubsystem::TimerSubsystem(timer_base* bases, SlabAllocator* slabs)
+    : bases_(bases), slabs_(slabs) {
+  timer_cache_ = slabs_->FindCache("timer_list");
+  if (timer_cache_ == nullptr) {
+    timer_cache_ = slabs_->CreateCache("timer_list", sizeof(timer_list));
+  }
+  for (int cpu = 0; cpu < kNrCpus; ++cpu) {
+    bases_[cpu].clk = 0;
+    bases_[cpu].next_expiry = ~0ull;
+    bases_[cpu].cpu = static_cast<uint32_t>(cpu);
+    for (int i = 0; i < kTimerWheelLevels * kTimerWheelSlotsPerLevel; ++i) {
+      INIT_HLIST_HEAD(&bases_[cpu].vectors[i]);
+    }
+  }
+}
+
+timer_list* TimerSubsystem::AllocTimer() {
+  auto* timer = slabs_->AllocAs<timer_list>(timer_cache_);
+  INIT_HLIST_NODE(&timer->entry);
+  return timer;
+}
+
+void TimerSubsystem::FreeTimer(timer_list* timer) {
+  DelTimer(timer);
+  slabs_->Free(timer_cache_, timer);
+}
+
+uint32_t TimerSubsystem::CalcWheelIndex(uint64_t expires, uint64_t clk) {
+  uint64_t delta = expires > clk ? expires - clk : 0;
+  for (int level = 0; level < kTimerWheelLevels; ++level) {
+    uint64_t level_span = 1ull << (kTimerLevelShift * (level + 1));
+    if (delta < level_span || level == kTimerWheelLevels - 1) {
+      uint64_t granularity = 1ull << (kTimerLevelShift * level);
+      uint64_t slot = (expires / granularity) & (kTimerWheelSlotsPerLevel - 1);
+      return static_cast<uint32_t>(level * kTimerWheelSlotsPerLevel + slot);
+    }
+  }
+  return kTimerWheelLevels * kTimerWheelSlotsPerLevel - 1;
+}
+
+void TimerSubsystem::AddTimer(int cpu, timer_list* timer, uint64_t expires,
+                              void (*fn)(timer_list*)) {
+  DelTimer(timer);
+  timer->expires = expires;
+  timer->function = fn;
+  timer->flags = static_cast<uint32_t>(cpu);
+  timer_base* base = &bases_[cpu];
+  uint32_t idx = CalcWheelIndex(expires, base->clk);
+  hlist_add_head(&timer->entry, &base->vectors[idx]);
+  if (expires < base->next_expiry) {
+    base->next_expiry = expires;
+  }
+}
+
+void TimerSubsystem::DelTimer(timer_list* timer) {
+  if (!hlist_unhashed(&timer->entry)) {
+    hlist_del(&timer->entry);
+  }
+}
+
+uint64_t TimerSubsystem::Advance(int cpu, uint64_t jiffies) {
+  timer_base* base = &bases_[cpu];
+  uint64_t fired = 0;
+  for (uint64_t j = 0; j < jiffies; ++j) {
+    base->clk++;
+    // Collect and run every due timer; re-bucket early cascaded entries.
+    for (int level = 0; level < kTimerWheelLevels; ++level) {
+      uint64_t granularity = 1ull << (kTimerLevelShift * level);
+      if (level > 0 && (base->clk % granularity) != 0) {
+        continue;
+      }
+      uint64_t slot = (base->clk / granularity) & (kTimerWheelSlotsPerLevel - 1);
+      hlist_head* bucket = &base->vectors[level * kTimerWheelSlotsPerLevel + slot];
+      hlist_node* node = bucket->first;
+      while (node != nullptr) {
+        hlist_node* next = node->next;
+        timer_list* timer = VKERN_CONTAINER_OF(node, timer_list, entry);
+        if (timer->expires <= base->clk) {
+          hlist_del(&timer->entry);
+          ++fired;
+          if (timer->function != nullptr) {
+            timer->function(timer);
+          }
+        } else if (level > 0) {
+          // Cascade down to a finer level.
+          hlist_del(&timer->entry);
+          uint32_t idx = CalcWheelIndex(timer->expires, base->clk);
+          hlist_add_head(&timer->entry, &base->vectors[idx]);
+        }
+        node = next;
+      }
+    }
+  }
+  return fired;
+}
+
+uint64_t TimerSubsystem::pending_count(int cpu) const {
+  uint64_t n = 0;
+  for (int i = 0; i < kTimerWheelLevels * kTimerWheelSlotsPerLevel; ++i) {
+    n += hlist_count(&bases_[cpu].vectors[i]);
+  }
+  return n;
+}
+
+}  // namespace vkern

@@ -1,0 +1,44 @@
+// Dynamic timers on a hierarchical timer wheel (ULK Figure 6-1).
+
+#ifndef SRC_VKERN_TIMER_H_
+#define SRC_VKERN_TIMER_H_
+
+#include <cstdint>
+
+#include "src/vkern/kstructs.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+
+class TimerSubsystem {
+ public:
+  // `bases` is an in-arena array of kNrCpus timer_base structures.
+  TimerSubsystem(timer_base* bases, SlabAllocator* slabs);
+
+  // Allocates a timer from the "timer_list" cache.
+  timer_list* AllocTimer();
+  void FreeTimer(timer_list* timer);
+
+  // mod_timer: (re)arms `timer` to fire at absolute jiffy `expires` on `cpu`.
+  void AddTimer(int cpu, timer_list* timer, uint64_t expires, void (*fn)(timer_list*));
+  void DelTimer(timer_list* timer);
+
+  // Advances the CPU's wheel clock by `jiffies`, expiring due timers (their
+  // callbacks run). Returns the number fired.
+  uint64_t Advance(int cpu, uint64_t jiffies);
+
+  timer_base* base(int cpu) { return &bases_[cpu]; }
+  uint64_t pending_count(int cpu) const;
+
+  // Wheel geometry: which vector slot an expiry lands in, given base clk.
+  static uint32_t CalcWheelIndex(uint64_t expires, uint64_t clk);
+
+ private:
+  timer_base* bases_;
+  SlabAllocator* slabs_;
+  kmem_cache* timer_cache_;
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_TIMER_H_

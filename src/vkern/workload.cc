@@ -1,0 +1,232 @@
+#include "src/vkern/workload.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace vkern {
+
+Workload::Workload(Kernel* kernel, const WorkloadConfig& config)
+    : kernel_(kernel), config_(config), rng_(config.seed) {}
+
+file* Workload::OpenScratchFile(const char* prefix, int idx) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%d.txt", prefix, idx);
+  inode* ino = kernel_->fs().CreateInode(kernel_->ext4_sb(), kSIfReg | 0644,
+                                         static_cast<int64_t>(8 * kPageSize));
+  dentry* dent = kernel_->fs().CreateDentry(name, ino, kernel_->ext4_sb()->s_root);
+  return kernel_->fs().OpenFile(dent, 2 /* O_RDWR */);
+}
+
+void Workload::SpawnPopulation() {
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  shared_sem_ = kernel_->ipc().SemGet(0x5eed, 4);
+  shared_msq_ = kernel_->ipc().MsgGet(0xfeed);
+
+  for (int p = 0; p < config_.nr_processes; ++p) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "bench-%d", p);
+    int cpu = p % kNrCpus;
+    task_struct* leader = kernel_->procs().CreateTask(name, init, 0, cpu);
+    leaders_.push_back(leader);
+    threads_.push_back(leader);
+    ThreadState ls;
+    ls.task = leader;
+    states_.push_back(std::move(ls));
+    for (int t = 1; t < config_.threads_per_process; ++t) {
+      std::snprintf(name, sizeof(name), "bench-%d.%d", p, t);
+      task_struct* thread = kernel_->procs().CreateThread(leader, name, (cpu + t) % kNrCpus);
+      threads_.push_back(thread);
+      ThreadState tss;
+      tss.task = thread;
+      states_.push_back(std::move(tss));
+    }
+    // Give each process some initial handlers, pages, and descriptors.
+    kernel_->procs().SetSigaction(leader, 2 /* SIGINT */, KernelTestSigHandler1(), 0);
+    kernel_->procs().SetSigaction(leader, 10 /* SIGUSR1 */, KernelTestSigHandler2(), 0);
+    file* f = OpenScratchFile("data", file_seq_++);
+    kernel_->fs().InstallFd(leader->files, f);
+    for (uint64_t pg = 0; pg < 4; ++pg) {
+      kernel_->fs().PageCacheGrab(f->f_inode, pg);
+    }
+  }
+}
+
+void Workload::DoRandomOp(ThreadState* ts) {
+  task_struct* task = ts->task;
+  mm_struct* mm = task->mm;
+  ProcessManager& procs = kernel_->procs();
+  FsManager& fs = kernel_->fs();
+
+  switch (rng_.NextBelow(12)) {
+    case 0: {  // mmap anonymous
+      uint64_t pages = rng_.NextInRange(1, 32);
+      vm_area_struct* vma =
+          procs.Mmap(mm, pages * kPageSize, VM_READ | VM_WRITE | VM_ANON, nullptr, 0);
+      if (vma != nullptr) {
+        ts->anon_vmas.push_back(vma->vm_start);
+        // Fault in a page or two (populates the reverse map).
+        procs.FaultAnonPage(vma, vma->vm_start);
+        if (pages > 1) {
+          procs.FaultAnonPage(vma, vma->vm_start + kPageSize);
+        }
+      }
+      break;
+    }
+    case 1: {  // mmap a file
+      file* f = OpenScratchFile("map", file_seq_++);
+      uint64_t pages = rng_.NextInRange(1, 16);
+      vm_area_struct* vma = procs.Mmap(mm, pages * kPageSize,
+                                       VM_READ | (rng_.NextChance(1, 2) ? uint64_t{VM_WRITE} : 0), f, 0);
+      if (vma != nullptr) {
+        ts->file_vmas.push_back(vma->vm_start);
+        fs.PageCacheGrab(f->f_inode, 0);
+      }
+      fs.CloseFile(f);  // the VMA holds its own reference
+      break;
+    }
+    case 2: {  // munmap something
+      std::vector<uint64_t>* pool = rng_.NextChance(1, 2) ? &ts->anon_vmas : &ts->file_vmas;
+      if (!pool->empty()) {
+        size_t idx = rng_.NextBelow(pool->size());
+        procs.Munmap(mm, (*pool)[idx]);
+        pool->erase(pool->begin() + static_cast<long>(idx));
+      }
+      break;
+    }
+    case 3: {  // open a file and read some pages
+      file* f = OpenScratchFile("tmp", file_seq_++);
+      int fd = fs.InstallFd(task->files, f);
+      if (fd >= 0) {
+        ts->fds.push_back(fd);
+        uint64_t nr_pages = rng_.NextInRange(1, 6);
+        for (uint64_t pg = 0; pg < nr_pages; ++pg) {
+          fs.PageCacheGrab(f->f_inode, pg);
+        }
+      } else {
+        fs.CloseFile(f);
+      }
+      break;
+    }
+    case 4: {  // close an fd
+      if (!ts->fds.empty()) {
+        size_t idx = rng_.NextBelow(ts->fds.size());
+        fs.CloseFd(task->files, ts->fds[idx]);
+        ts->fds.erase(ts->fds.begin() + static_cast<long>(idx));
+      }
+      break;
+    }
+    case 5: {  // create a pipe and push bytes through it
+      file* rd = nullptr;
+      file* wr = nullptr;
+      pipe_inode_info* pipe = fs.CreatePipe(kernel_->pipefs_sb(), &rd, &wr);
+      int rfd = fs.InstallFd(task->files, rd);
+      int wfd = fs.InstallFd(task->files, wr);
+      if (rfd >= 0 && wfd >= 0) {
+        ts->fds.push_back(rfd);
+        ts->fds.push_back(wfd);
+        ts->pipes.push_back(pipe);
+        char buf[256];
+        std::memset(buf, 'x', sizeof(buf));
+        fs.PipeWrite(pipe, buf, sizeof(buf));
+        if (rng_.NextChance(1, 2)) {
+          fs.PipeRead(pipe, 128);
+        }
+      } else {
+        // The fd table filled up mid-pair: release through the table for the
+        // end that made it in, directly for the one that did not.
+        if (rfd >= 0) {
+          fs.CloseFd(task->files, rfd);
+        } else {
+          fs.CloseFile(rd);
+        }
+        if (wfd >= 0) {
+          fs.CloseFd(task->files, wfd);
+        } else {
+          fs.CloseFile(wr);
+        }
+      }
+      break;
+    }
+    case 6: {  // socketpair and a message
+      file* a = nullptr;
+      file* b = nullptr;
+      kernel_->net().SocketPair(&a, &b);
+      int fa = fs.InstallFd(task->files, a);
+      int fb = fs.InstallFd(task->files, b);
+      if (fa >= 0 && fb >= 0) {
+        ts->fds.push_back(fa);
+        ts->fds.push_back(fb);
+        socket* sa = NetSubsystem::FromFile(a);
+        ts->sockets.push_back(sa);
+        kernel_->net().SendBytes(sa, static_cast<uint32_t>(rng_.NextInRange(64, 1024)));
+      } else {
+        if (fa >= 0) {
+          fs.CloseFd(task->files, fa);
+        } else {
+          fs.CloseFile(a);
+        }
+        if (fb >= 0) {
+          fs.CloseFd(task->files, fb);
+        } else {
+          fs.CloseFile(b);
+        }
+      }
+      break;
+    }
+    case 7: {  // SysV IPC traffic
+      int pid = task->pid;
+      if (rng_.NextChance(1, 2)) {
+        kernel_->ipc().SemOp(shared_sem_, static_cast<int>(rng_.NextBelow(4)),
+                             rng_.NextChance(1, 2) ? 1 : -1, pid);
+      } else if (rng_.NextChance(1, 2)) {
+        kernel_->ipc().MsgSend(shared_msq_, static_cast<int64_t>(rng_.NextInRange(1, 5)),
+                               rng_.NextInRange(16, 512));
+      } else {
+        kernel_->ipc().MsgReceive(shared_msq_);
+      }
+      break;
+    }
+    case 8: {  // arm a timer
+      timer_list* timer = kernel_->timers().AllocTimer();
+      int cpu = task->on_cpu;
+      kernel_->timers().AddTimer(cpu, timer,
+                                 kernel_->timer_bases()[cpu].clk + rng_.NextInRange(2, 600),
+                                 KernelProcessTimeoutFn());
+      ts->timers.push_back(timer);
+      break;
+    }
+    case 9: {  // send a signal to a sibling thread or to self
+      task_struct* target = threads_[rng_.NextBelow(threads_.size())];
+      procs.SendSignal(target, rng_.NextChance(1, 2) ? 2 : 10, task->pid);
+      break;
+    }
+    case 10: {  // drain a signal
+      procs.DequeueSignal(task);
+      break;
+    }
+    case 11: {  // queue background mm work
+      if (rng_.NextChance(1, 4)) {
+        kernel_->QueueMmPercpuWork(task->on_cpu);
+      }
+      break;
+    }
+  }
+}
+
+void Workload::Step() {
+  for (ThreadState& ts : states_) {
+    DoRandomOp(&ts);
+  }
+  for (int cpu = 0; cpu < kNrCpus; ++cpu) {
+    kernel_->TickCpu(cpu);
+  }
+}
+
+void Workload::Run() {
+  SpawnPopulation();
+  for (int step = 0; step < config_.steps; ++step) {
+    Step();
+  }
+}
+
+}  // namespace vkern

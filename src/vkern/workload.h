@@ -1,0 +1,68 @@
+// The paper's evaluation workload (§5.4): five processes, each with two
+// threads, repeatedly performing IPC, mapping/unmapping files and anonymous
+// pages, opening files/pipes/sockets, arming timers, sending signals, and
+// scheduling — producing the live object graphs all figures are plotted from.
+// Fully deterministic for a given seed.
+
+#ifndef SRC_VKERN_WORKLOAD_H_
+#define SRC_VKERN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/vkern/kernel.h"
+
+namespace vkern {
+
+struct WorkloadConfig {
+  int nr_processes = 5;
+  int threads_per_process = 2;  // threads in addition to the group leader? No:
+                                // total threads per process (leader included)
+  int steps = 200;              // operations per thread
+  uint64_t seed = 42;
+};
+
+class Workload {
+ public:
+  Workload(Kernel* kernel, const WorkloadConfig& config = WorkloadConfig{});
+
+  // Creates the process/thread population and runs `config.steps` rounds.
+  void Run();
+
+  // One extra round of random operations across all live threads.
+  void Step();
+
+  const std::vector<task_struct*>& user_tasks() const { return threads_; }
+  task_struct* process(int i) const { return leaders_[static_cast<size_t>(i)]; }
+  int nr_processes() const { return static_cast<int>(leaders_.size()); }
+
+ private:
+  struct ThreadState {
+    task_struct* task = nullptr;
+    std::vector<uint64_t> anon_vmas;  // start addresses
+    std::vector<uint64_t> file_vmas;
+    std::vector<int> fds;
+    std::vector<pipe_inode_info*> pipes;
+    std::vector<socket*> sockets;
+    std::vector<timer_list*> timers;
+  };
+
+  void SpawnPopulation();
+  void DoRandomOp(ThreadState* ts);
+  file* OpenScratchFile(const char* prefix, int idx);
+
+  Kernel* kernel_;
+  WorkloadConfig config_;
+  vl::Rng rng_;
+  std::vector<task_struct*> leaders_;
+  std::vector<task_struct*> threads_;
+  std::vector<ThreadState> states_;
+  sem_array* shared_sem_ = nullptr;
+  msg_queue* shared_msq_ = nullptr;
+  int file_seq_ = 0;
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_WORKLOAD_H_

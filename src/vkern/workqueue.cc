@@ -1,0 +1,87 @@
+#include "src/vkern/workqueue.h"
+
+#include <cstring>
+
+namespace vkern {
+
+WorkqueueSubsystem::WorkqueueSubsystem(SlabAllocator* slabs, list_head* workqueues_head,
+                                       worker_pool* cpu_pools)
+    : slabs_(slabs), workqueues_head_(workqueues_head), cpu_pools_(cpu_pools) {
+  wq_cache_ = slabs_->CreateCache("workqueue_struct", sizeof(workqueue_struct));
+  pwq_cache_ = slabs_->CreateCache("pool_workqueue", sizeof(pool_workqueue));
+  INIT_LIST_HEAD(workqueues_head_);
+  for (int cpu = 0; cpu < kNrCpus; ++cpu) {
+    worker_pool* pool = &cpu_pools_[cpu];
+    pool->cpu = cpu;
+    pool->id = cpu;
+    pool->nr_workers = 1;
+    pool->nr_running = 0;
+    INIT_LIST_HEAD(&pool->worklist);
+    INIT_LIST_HEAD(&pool->workers);
+  }
+}
+
+workqueue_struct* WorkqueueSubsystem::AllocWorkqueue(std::string_view name, uint32_t flags) {
+  auto* wq = slabs_->AllocAs<workqueue_struct>(wq_cache_);
+  size_t len = name.size() < sizeof(wq->name) - 1 ? name.size() : sizeof(wq->name) - 1;
+  std::memcpy(wq->name, name.data(), len);
+  wq->flags = flags;
+  INIT_LIST_HEAD(&wq->pwqs);
+  list_add_tail(&wq->list, workqueues_head_);
+  for (int cpu = 0; cpu < kNrCpus; ++cpu) {
+    auto* pwq = slabs_->AllocAs<pool_workqueue>(pwq_cache_);
+    pwq->pool = &cpu_pools_[cpu];
+    pwq->wq = wq;
+    pwq->refcnt = 1;
+    INIT_LIST_HEAD(&pwq->inactive_works);
+    list_add_tail(&pwq->pwqs_node, &wq->pwqs);
+  }
+  return wq;
+}
+
+void WorkqueueSubsystem::InitWork(work_struct* work, void (*fn)(work_struct*)) {
+  work->data = 0;
+  work->func = fn;
+  INIT_LIST_HEAD(&work->entry);
+}
+
+bool WorkqueueSubsystem::QueueWork(workqueue_struct* wq, int cpu, work_struct* work) {
+  if ((work->data & 1u) != 0) {
+    return false;  // WORK_STRUCT_PENDING already set
+  }
+  // Find this wq's pool_workqueue for the CPU (data compaction: Linux packs
+  // the pwq pointer into work->data; we mirror that).
+  pool_workqueue* target = nullptr;
+  VKERN_LIST_FOR_EACH(pos, &wq->pwqs) {
+    pool_workqueue* pwq = VKERN_CONTAINER_OF(pos, pool_workqueue, pwqs_node);
+    if (pwq->pool->cpu == cpu) {
+      target = pwq;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    return false;
+  }
+  work->data = reinterpret_cast<uint64_t>(target) | 1u;  // pwq ptr | PENDING
+  list_add_tail(&work->entry, &target->pool->worklist);
+  return true;
+}
+
+uint64_t WorkqueueSubsystem::ProcessPending(int cpu, uint64_t max) {
+  worker_pool* pool = &cpu_pools_[cpu];
+  uint64_t ran = 0;
+  while (ran < max && !list_empty(&pool->worklist)) {
+    work_struct* work = VKERN_CONTAINER_OF(pool->worklist.next, work_struct, entry);
+    list_del_init(&work->entry);
+    work->data &= ~uint64_t{1};  // clear PENDING
+    pool->nr_running++;
+    if (work->func != nullptr) {
+      work->func(work);
+    }
+    pool->nr_running--;
+    ++ran;
+  }
+  return ran;
+}
+
+}  // namespace vkern

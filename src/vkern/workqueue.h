@@ -1,0 +1,48 @@
+// Workqueues with heterogeneous work lists (paper Figure 6).
+//
+// Work items are embedded in arbitrary containing structures and chained on
+// the per-pool worklist through work_struct.entry; the containing type is only
+// recoverable from the func pointer — the exact heterogeneous-list puzzle
+// ViewCL's Container + switch-case combination solves.
+
+#ifndef SRC_VKERN_WORKQUEUE_H_
+#define SRC_VKERN_WORKQUEUE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/vkern/kstructs.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+
+class WorkqueueSubsystem {
+ public:
+  WorkqueueSubsystem(SlabAllocator* slabs, list_head* workqueues_head,
+                     worker_pool* cpu_pools /* [kNrCpus] in the arena */);
+
+  // alloc_workqueue: creates a workqueue with one pool_workqueue per CPU.
+  workqueue_struct* AllocWorkqueue(std::string_view name, uint32_t flags);
+
+  // INIT_WORK + queue_work_on.
+  void InitWork(work_struct* work, void (*fn)(work_struct*));
+  bool QueueWork(workqueue_struct* wq, int cpu, work_struct* work);
+
+  // Runs up to `max` queued items on a CPU's pool (worker thread pass).
+  uint64_t ProcessPending(int cpu, uint64_t max = ~0ull);
+
+  worker_pool* pool(int cpu) { return &cpu_pools_[cpu]; }
+  list_head* workqueues_head() { return workqueues_head_; }
+  uint64_t pending_count(int cpu) const { return list_count(&cpu_pools_[cpu].worklist); }
+
+ private:
+  SlabAllocator* slabs_;
+  list_head* workqueues_head_;
+  worker_pool* cpu_pools_;
+  kmem_cache* wq_cache_;
+  kmem_cache* pwq_cache_;
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_WORKQUEUE_H_

@@ -1,0 +1,130 @@
+// Buddy allocator tests: split/coalesce behaviour, alignment, accounting.
+
+#include "src/vkern/buddy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace vkern {
+namespace {
+
+class BuddyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    arena_ = std::make_unique<Arena>(16ull << 20);
+    buddy_ = std::make_unique<BuddyAllocator>(arena_.get());
+  }
+
+  std::unique_ptr<Arena> arena_;
+  std::unique_ptr<BuddyAllocator> buddy_;
+};
+
+TEST_F(BuddyTest, FreshZoneValidates) {
+  EXPECT_TRUE(buddy_->Validate());
+  EXPECT_GT(buddy_->free_pages(), 1000u);
+  EXPECT_EQ(buddy_->free_pages(), buddy_->nr_pool_pages());
+}
+
+TEST_F(BuddyTest, AllocFreeSinglePage) {
+  uint64_t before = buddy_->free_pages();
+  page* pg = buddy_->AllocPage();
+  ASSERT_NE(pg, nullptr);
+  EXPECT_EQ(buddy_->free_pages(), before - 1);
+  EXPECT_EQ(pg->refcount, 1);
+  EXPECT_EQ(pg->flags & PG_buddy, 0u);
+  buddy_->FreePage(pg);
+  EXPECT_EQ(buddy_->free_pages(), before);
+  EXPECT_TRUE(buddy_->Validate());
+}
+
+TEST_F(BuddyTest, PageAddressRoundTrip) {
+  page* pg = buddy_->AllocPage();
+  void* addr = buddy_->PageAddress(pg);
+  EXPECT_EQ(buddy_->VirtToPage(addr), pg);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(addr) & (kPageSize - 1), 0u);
+  buddy_->FreePage(pg);
+}
+
+TEST_F(BuddyTest, HighOrderBlocksAreAligned) {
+  for (int order = 1; order <= 6; ++order) {
+    page* pg = buddy_->AllocPages(order);
+    ASSERT_NE(pg, nullptr);
+    uint64_t addr = reinterpret_cast<uint64_t>(buddy_->PageAddress(pg));
+    EXPECT_EQ(addr & ((kPageSize << order) - 1), 0u) << "order " << order;
+    buddy_->FreePages(pg, order);
+  }
+  EXPECT_TRUE(buddy_->Validate());
+}
+
+TEST_F(BuddyTest, CoalescingRestoresLargeBlocks) {
+  uint64_t initial_free = buddy_->free_pages();
+  std::vector<page*> pages;
+  for (int i = 0; i < 256; ++i) {
+    pages.push_back(buddy_->AllocPage());
+  }
+  for (page* pg : pages) {
+    buddy_->FreePage(pg);
+  }
+  EXPECT_EQ(buddy_->free_pages(), initial_free);
+  EXPECT_TRUE(buddy_->Validate());
+  // After full free, a max-order allocation must succeed again.
+  page* big = buddy_->AllocPages(kMaxOrder - 1);
+  EXPECT_NE(big, nullptr);
+  buddy_->FreePages(big, kMaxOrder - 1);
+}
+
+TEST_F(BuddyTest, ExhaustionReturnsNull) {
+  std::vector<page*> taken;
+  while (true) {
+    page* pg = buddy_->AllocPages(4);
+    if (pg == nullptr) {
+      break;
+    }
+    taken.push_back(pg);
+  }
+  // No block of order >= 4 can remain (only sub-order tail/head fragments).
+  for (int order = 4; order < kMaxOrder; ++order) {
+    EXPECT_EQ(buddy_->zone_desc()->free_area_[order].nr_free, 0u) << "order " << order;
+  }
+  for (page* pg : taken) {
+    buddy_->FreePages(pg, 4);
+  }
+  EXPECT_TRUE(buddy_->Validate());
+}
+
+TEST_F(BuddyTest, RandomAllocFreeStress) {
+  vl::Rng rng(11);
+  std::vector<std::pair<page*, int>> live;
+  for (int round = 0; round < 3000; ++round) {
+    if (live.empty() || rng.NextChance(3, 5)) {
+      int order = static_cast<int>(rng.NextBelow(5));
+      page* pg = buddy_->AllocPages(order);
+      if (pg != nullptr) {
+        live.emplace_back(pg, order);
+      }
+    } else {
+      size_t idx = rng.NextBelow(live.size());
+      buddy_->FreePages(live[idx].first, live[idx].second);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  for (auto& [pg, order] : live) {
+    buddy_->FreePages(pg, order);
+  }
+  EXPECT_TRUE(buddy_->Validate());
+  EXPECT_EQ(buddy_->free_pages(), buddy_->nr_pool_pages());
+}
+
+TEST_F(BuddyTest, ZoneDescriptorLivesInArena) {
+  EXPECT_TRUE(arena_->ContainsPtr(buddy_->zone_desc(), sizeof(zone)));
+  EXPECT_TRUE(arena_->ContainsPtr(buddy_->mem_map(), sizeof(page)));
+  EXPECT_STREQ(buddy_->zone_desc()->name, "Normal");
+}
+
+}  // namespace
+}  // namespace vkern

@@ -1,0 +1,86 @@
+// CVE scenario tests: the injected faults must reproduce the corrupted states
+// the paper's case studies visualize — and the fixed paths must not.
+
+#include "src/vkern/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace vkern {
+namespace {
+
+using vltest::WorkloadKernelTest;
+
+class StackRotTest : public WorkloadKernelTest {};
+
+TEST_F(StackRotTest, ReproducesUseAfterFree) {
+  task_struct* victim = workload_->process(0);
+  StackRotReport report = RunStackRotScenario(kernel_.get(), victim);
+  ASSERT_NE(report.fetched_node, nullptr);
+  EXPECT_TRUE(report.node_was_on_cblist)
+      << "the freed node must transit the RCU waiting list (Figure 5)";
+  EXPECT_GE(report.cblist_len_at_free, 1u);
+  EXPECT_TRUE(report.grace_period_completed)
+      << "mmap_lock must NOT hold off the grace period — that is the bug";
+  EXPECT_TRUE(report.uaf_detected) << "stale pointer must read slab poison";
+  EXPECT_EQ(report.first_poison_byte, kSlabPoison);
+}
+
+TEST_F(StackRotTest, TreeRemainsValidAfterScenario) {
+  task_struct* victim = workload_->process(1);
+  StackRotReport report = RunStackRotScenario(kernel_.get(), victim);
+  ASSERT_NE(report.mm, nullptr);
+  std::string why;
+  EXPECT_TRUE(kernel_->maple().Validate(&report.mm->mm_mt, &why)) << why;
+  // The replacement leaf answers the same query the reader was performing.
+  EXPECT_NE(kernel_->maple().Find(&report.mm->mm_mt, report.mm->start_stack), nullptr);
+}
+
+TEST_F(StackRotTest, RcuReaderWouldHavePreventedIt) {
+  // Control experiment: holding the RCU read lock (the actual fix direction)
+  // blocks the free for the duration of the critical section.
+  task_struct* victim = workload_->process(2);
+  mm_struct* mm = victim->mm;
+  maple_node* node = kernel_->maple().LeafContaining(&mm->mm_mt, mm->start_stack);
+  ASSERT_NE(node, nullptr);
+  kernel_->rcu().ReadLock(1);
+  kernel_->maple().RebuildLeaf(&mm->mm_mt, mm->start_stack);
+  kernel_->rcu().Synchronize();
+  EXPECT_FALSE(SlabAllocator::IsPoisoned(node, sizeof(maple_node)))
+      << "node freed despite an active RCU reader";
+  kernel_->rcu().ReadUnlock(1);
+  kernel_->rcu().Synchronize();
+  EXPECT_TRUE(SlabAllocator::IsPoisoned(node, sizeof(maple_node)));
+}
+
+class DirtyPipeTest : public WorkloadKernelTest {};
+
+TEST_F(DirtyPipeTest, VulnerablePathCorruptsPageCache) {
+  DirtyPipeReport report = RunDirtyPipeScenario(kernel_.get(), workload_->process(0), true);
+  EXPECT_TRUE(report.can_merge_leaked)
+      << "stale CAN_MERGE must survive on the spliced buffer";
+  EXPECT_TRUE(report.file_content_corrupted)
+      << "pipe write must have modified the shared page-cache page";
+  EXPECT_EQ(report.corrupted_byte, '0');  // first byte of the "0wned" payload
+  ASSERT_NE(report.shared_page, nullptr);
+  // The page is owned by the victim file's address space, not the pipe.
+  EXPECT_EQ(report.shared_page->mapping, &report.victim_file->f_inode->i_data);
+}
+
+TEST_F(DirtyPipeTest, FixedPathDoesNotCorrupt) {
+  DirtyPipeReport report = RunDirtyPipeScenario(kernel_.get(), workload_->process(1), false);
+  EXPECT_FALSE(report.can_merge_leaked);
+  EXPECT_FALSE(report.file_content_corrupted);
+  EXPECT_EQ(report.corrupted_byte, report.original_byte);
+}
+
+TEST_F(DirtyPipeTest, SharedPageIsZeroCopy) {
+  DirtyPipeReport report = RunDirtyPipeScenario(kernel_.get(), workload_->process(2), true);
+  page* cached = kernel_->fs().PageCacheLookup(report.victim_file->f_inode, 0);
+  EXPECT_EQ(report.shared_page, cached)
+      << "the pipe buffer must reference the page-cache page itself";
+}
+
+}  // namespace
+}  // namespace vkern

@@ -1,0 +1,226 @@
+// Evaluation-corpus tests: every Table 2 figure program must plot a
+// non-trivial graph from the live kernel, and every Table 3 objective must
+// work both as hand-written ViewQL and as vchat-synthesized ViewQL with the
+// same effect (paper §5.1/§5.2's claims C1 and C2).
+
+#include "src/vision/figures.h"
+
+#include <gtest/gtest.h>
+
+#include "src/viewcl/interp.h"
+#include "src/viewcl/lexer.h"
+#include "src/viewql/query.h"
+#include "src/vision/vchat.h"
+#include "tests/test_util.h"
+
+namespace vision {
+namespace {
+
+class FiguresTest : public vltest::WorkloadKernelTest {
+ protected:
+  void SetUp() override {
+    vltest::WorkloadKernelTest::SetUp();
+    debugger_ = std::make_unique<dbg::KernelDebugger>(kernel_.get());
+    RegisterFigureSymbols(debugger_.get(), workload_.get());
+  }
+
+  std::unique_ptr<viewcl::ViewGraph> PlotFigure(const std::string& id,
+                                                std::vector<std::string>* warnings = nullptr) {
+    const FigureDef* figure = FindFigure(id);
+    EXPECT_NE(figure, nullptr) << id;
+    if (figure == nullptr) {
+      return nullptr;
+    }
+    viewcl::Interpreter interp(debugger_.get());
+    auto graph = interp.RunProgram(figure->viewcl);
+    EXPECT_TRUE(graph.ok()) << id << ": " << graph.status().ToString();
+    if (!graph.ok()) {
+      return nullptr;
+    }
+    if (warnings != nullptr) {
+      *warnings = interp.warnings();
+    }
+    return std::move(graph).value();
+  }
+
+  static size_t CountType(const viewcl::ViewGraph& graph, std::string_view type) {
+    size_t n = 0;
+    graph.ForEachBox([&](const viewcl::VBox& box) {
+      if (box.kernel_type() == type) {
+        ++n;
+      }
+    });
+    return n;
+  }
+
+  std::unique_ptr<dbg::KernelDebugger> debugger_;
+};
+
+TEST_F(FiguresTest, CorpusShape) {
+  EXPECT_EQ(AllFigures().size(), 21u);   // Table 2 rows
+  EXPECT_EQ(AllObjectives().size(), 10u);  // Table 3 rows
+  // Every objective refers to an existing figure and has <10 ViewQL lines
+  // (the paper's usability claim).
+  for (const ObjectiveDef& objective : AllObjectives()) {
+    EXPECT_NE(FindFigure(objective.figure_id), nullptr) << objective.figure_id;
+    EXPECT_LT(viewcl::CountCodeLines(objective.viewql), 10) << objective.description;
+  }
+}
+
+// Every figure plots successfully and yields a graph of its expected types.
+class FigureSweep : public FiguresTest, public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(FigureSweep, PlotsNonTrivialGraph) {
+  std::vector<std::string> warnings;
+  auto graph = PlotFigure(GetParam(), &warnings);
+  ASSERT_NE(graph, nullptr);
+  EXPECT_FALSE(graph->roots().empty()) << GetParam();
+  EXPECT_GE(graph->size(), 2u) << GetParam();
+  for (const std::string& warning : warnings) {
+    ADD_FAILURE() << GetParam() << " warning: " << warning;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFigures, FigureSweep,
+                         ::testing::Values("fig3_4", "fig3_6", "fig4_5", "fig6_1", "fig7_1",
+                                           "fig8_2", "fig8_4", "fig9_2", "fig11_1", "fig12_3",
+                                           "fig13_3", "fig14_3", "fig15_1", "fig16_2",
+                                           "fig17_1", "fig17_6", "fig19_1", "fig19_2",
+                                           "workqueue", "proc2vfs", "socketconn"));
+
+TEST_F(FiguresTest, ProcessTreeMatchesKernel) {
+  auto graph = PlotFigure("fig3_4");
+  ASSERT_NE(graph, nullptr);
+  // Every task except the secondary CPU's idle thread descends from
+  // init_task (swapper/1 parents nothing and has no parent link).
+  EXPECT_EQ(CountType(*graph, "task_struct"),
+            static_cast<size_t>(kernel_->procs().task_count() - 1));
+}
+
+TEST_F(FiguresTest, PidHashMatchesKernel) {
+  auto graph = PlotFigure("fig3_6");
+  ASSERT_NE(graph, nullptr);
+  size_t expected = 0;
+  for (int i = 0; i < vkern::kPidHashSize; ++i) {
+    expected += vkern::hlist_count(&kernel_->procs().pid_hash()[i]);
+  }
+  EXPECT_EQ(CountType(*graph, "pid"), expected);
+}
+
+TEST_F(FiguresTest, IrqFigureShowsSharedChain) {
+  auto graph = PlotFigure("fig4_5");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(CountType(*graph, "irq_desc"), static_cast<size_t>(vkern::kNrIrqs));
+  // Boot registered 5 irqactions (IRQ 14 shared by two).
+  EXPECT_GE(CountType(*graph, "irqaction"), 5u);
+}
+
+TEST_F(FiguresTest, SchedulerFigureMatchesRunqueues) {
+  auto graph = PlotFigure("fig7_1");
+  ASSERT_NE(graph, nullptr);
+  size_t queued = kernel_->sched().cpu_rq(0)->cfs.nr_running +
+                  kernel_->sched().cpu_rq(1)->cfs.nr_running;
+  // Tasks on the timeline, plus possibly the two curr tasks.
+  EXPECT_GE(CountType(*graph, "task_struct"), queued);
+  EXPECT_EQ(CountType(*graph, "rq"), 2u);
+  EXPECT_EQ(CountType(*graph, "cfs_rq"), 2u);
+}
+
+TEST_F(FiguresTest, MapleFigureWalksTheRealTree) {
+  auto graph = PlotFigure("fig9_2");
+  ASSERT_NE(graph, nullptr);
+  const vkern::task_struct* target = nullptr;
+  dbg::Value symbol;
+  ASSERT_TRUE(debugger_->symbols().FindGlobal("target_task", &symbol));
+  target = reinterpret_cast<const vkern::task_struct*>(symbol.addr());
+  // VMAs counted twice (tree leaves and the distilled address-space list are
+  // interned to the same boxes), so the count matches map_count exactly.
+  EXPECT_EQ(CountType(*graph, "vm_area_struct"),
+            static_cast<size_t>(target->mm->map_count));
+  EXPECT_GE(CountType(*graph, "maple_node"), 1u);
+  EXPECT_EQ(CountType(*graph, "maple_tree"), 1u);
+}
+
+TEST_F(FiguresTest, SignalFigureShows64Actions) {
+  auto graph = PlotFigure("fig11_1");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(CountType(*graph, "k_sigaction"), static_cast<size_t>(vkern::kNsig));
+}
+
+TEST_F(FiguresTest, WorkqueueFigureResolvesHeterogeneousTypes) {
+  // Re-queue fresh items so the worklist is populated at plot time.
+  kernel_->QueueMmPercpuWork(0);
+  kernel_->QueueMmPercpuWork(1);
+  auto graph = PlotFigure("workqueue");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_GE(CountType(*graph, "vmstat_work_item"), 1u);
+  EXPECT_GE(CountType(*graph, "lru_drain_item"), 1u);
+  EXPECT_GE(CountType(*graph, "drain_pages_item"), 1u);
+  EXPECT_EQ(CountType(*graph, "workqueue_struct"), 1u);
+  EXPECT_EQ(CountType(*graph, "worker_pool"), 2u);
+}
+
+TEST_F(FiguresTest, SuperblockFigureListsBootMounts) {
+  auto graph = PlotFigure("fig14_3");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_GE(CountType(*graph, "super_block"), 4u);
+  EXPECT_GE(CountType(*graph, "block_device"), 1u);
+}
+
+TEST_F(FiguresTest, SocketFigureFindsConnectedPairs) {
+  auto graph = PlotFigure("socketconn");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_GE(CountType(*graph, "socket"), 1u);
+  EXPECT_GE(CountType(*graph, "sock"), 2u);  // a socket and its peer
+}
+
+// --- Table 3: objectives, hand-written and via vchat ---
+
+class ObjectiveSweep : public FiguresTest, public ::testing::WithParamInterface<int> {};
+
+TEST_P(ObjectiveSweep, HandWrittenViewQlApplies) {
+  const ObjectiveDef& objective = AllObjectives()[static_cast<size_t>(GetParam())];
+  auto graph = PlotFigure(objective.figure_id);
+  ASSERT_NE(graph, nullptr);
+  viewql::QueryEngine engine(graph.get(), debugger_.get());
+  vl::Status status = engine.Execute(objective.viewql);
+  ASSERT_TRUE(status.ok()) << objective.description << ": " << status.ToString();
+  EXPECT_GT(engine.stats().boxes_updated, 0u)
+      << objective.description << ": the reference ViewQL must affect the plot";
+}
+
+TEST_P(ObjectiveSweep, VchatSynthesizesEquivalentProgram) {
+  const ObjectiveDef& objective = AllObjectives()[static_cast<size_t>(GetParam())];
+
+  VchatSynthesizer vchat;
+  auto synthesized = vchat.Synthesize(objective.nl_request);
+  ASSERT_TRUE(synthesized.ok()) << objective.nl_request << ": "
+                                << synthesized.status().ToString();
+  ASSERT_TRUE(viewql::CheckViewQl(*synthesized).ok()) << *synthesized;
+
+  // Apply the reference and the synthesized program to two fresh plots; the
+  // resulting attribute assignments must be identical box-for-box.
+  auto graph_ref = PlotFigure(objective.figure_id);
+  auto graph_syn = PlotFigure(objective.figure_id);
+  ASSERT_NE(graph_ref, nullptr);
+  ASSERT_NE(graph_syn, nullptr);
+  ASSERT_EQ(graph_ref->size(), graph_syn->size());
+
+  viewql::QueryEngine ref(graph_ref.get(), debugger_.get());
+  ASSERT_TRUE(ref.Execute(objective.viewql).ok());
+  viewql::QueryEngine syn(graph_syn.get(), debugger_.get());
+  vl::Status status = syn.Execute(*synthesized);
+  ASSERT_TRUE(status.ok()) << *synthesized << "\n" << status.ToString();
+
+  for (uint64_t id = 0; id < graph_ref->size(); ++id) {
+    EXPECT_EQ(graph_ref->box(id)->attrs(), graph_syn->box(id)->attrs())
+        << objective.description << " diverges at box " << id << "\nsynthesized:\n"
+        << *synthesized;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllObjectives, ObjectiveSweep,
+                         ::testing::Range(0, static_cast<int>(10)));
+
+}  // namespace
+}  // namespace vision

@@ -1,0 +1,158 @@
+// VFS tests: superblocks, inodes, fd tables, page cache, pipes.
+
+#include "src/vkern/fs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tests/test_util.h"
+
+namespace vkern {
+namespace {
+
+using vltest::KernelTest;
+
+class FsTest : public KernelTest {
+ protected:
+  file* MakeFile(const char* name, int64_t size = 8192) {
+    inode* ino = kernel_->fs().CreateInode(kernel_->ext4_sb(), kSIfReg | 0644, size);
+    dentry* dent = kernel_->fs().CreateDentry(name, ino, kernel_->ext4_sb()->s_root);
+    return kernel_->fs().OpenFile(dent, 2);
+  }
+};
+
+TEST_F(FsTest, BootRegistersSuperblocks) {
+  // ext4, tmpfs, pipefs, sockfs were mounted at boot.
+  size_t n = list_count(kernel_->fs().super_blocks());
+  EXPECT_GE(n, 4u);
+  bool found_ext4 = false;
+  VKERN_LIST_FOR_EACH(pos, kernel_->fs().super_blocks()) {
+    super_block* sb = VKERN_CONTAINER_OF(pos, super_block, s_list);
+    if (sb == kernel_->ext4_sb()) {
+      found_ext4 = true;
+      EXPECT_EQ(sb->s_bdev, kernel_->sda());
+      EXPECT_STREQ(sb->s_type->name, "ext4");
+    }
+  }
+  EXPECT_TRUE(found_ext4);
+}
+
+TEST_F(FsTest, InodesJoinSuperblockList) {
+  size_t before = list_count(&kernel_->ext4_sb()->s_inodes);
+  MakeFile("x.txt");
+  EXPECT_EQ(list_count(&kernel_->ext4_sb()->s_inodes), before + 1);
+}
+
+TEST_F(FsTest, FdInstallAndGet) {
+  files_struct* files = kernel_->fs().CreateFilesStruct();
+  file* f = MakeFile("fd.txt");
+  int fd = kernel_->fs().InstallFd(files, f);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(kernel_->fs().FdGet(files, fd), f);
+  EXPECT_EQ(kernel_->fs().FdGet(files, fd + 1), nullptr);
+  kernel_->fs().CloseFd(files, fd);
+  EXPECT_EQ(kernel_->fs().FdGet(files, fd), nullptr);
+}
+
+TEST_F(FsTest, FdsReuseLowestFree) {
+  files_struct* files = kernel_->fs().CreateFilesStruct();
+  int fd0 = kernel_->fs().InstallFd(files, MakeFile("a"));
+  int fd1 = kernel_->fs().InstallFd(files, MakeFile("b"));
+  int fd2 = kernel_->fs().InstallFd(files, MakeFile("c"));
+  EXPECT_EQ(fd1, fd0 + 1);
+  EXPECT_EQ(fd2, fd0 + 2);
+  kernel_->fs().CloseFd(files, fd1);
+  EXPECT_EQ(kernel_->fs().InstallFd(files, MakeFile("d")), fd1);
+}
+
+TEST_F(FsTest, FdTableExhaustion) {
+  files_struct* files = kernel_->fs().CreateFilesStruct();
+  for (int i = 0; i < kNrOpenDefault; ++i) {
+    ASSERT_GE(kernel_->fs().InstallFd(files, MakeFile("f")), 0) << i;
+  }
+  EXPECT_EQ(kernel_->fs().InstallFd(files, MakeFile("overflow")), -1);
+}
+
+TEST_F(FsTest, PageCacheGrabCachesPages) {
+  file* f = MakeFile("cache.txt");
+  page* p0 = kernel_->fs().PageCacheGrab(f->f_inode, 0);
+  ASSERT_NE(p0, nullptr);
+  EXPECT_EQ(kernel_->fs().PageCacheGrab(f->f_inode, 0), p0);  // hit
+  page* p5 = kernel_->fs().PageCacheGrab(f->f_inode, 5);
+  EXPECT_NE(p5, p0);
+  EXPECT_EQ(f->f_inode->i_data.nrpages, 2u);
+  EXPECT_EQ(p5->index, 5u);
+  EXPECT_EQ(p5->mapping, &f->f_inode->i_data);
+  EXPECT_TRUE(p5->flags & PG_uptodate);
+  EXPECT_EQ(kernel_->fs().PageCacheLookup(f->f_inode, 7), nullptr);
+}
+
+TEST_F(FsTest, PipeRoundTrip) {
+  file* rd = nullptr;
+  file* wr = nullptr;
+  pipe_inode_info* pipe = kernel_->fs().CreatePipe(kernel_->pipefs_sb(), &rd, &wr);
+  ASSERT_NE(pipe, nullptr);
+  EXPECT_EQ(rd->private_data, pipe);
+  EXPECT_EQ(wr->private_data, pipe);
+  EXPECT_STREQ(rd->f_op->name, "pipefifo_fops");
+  EXPECT_EQ((rd->f_inode->i_mode & 0170000u), kSIfIfo);
+
+  char data[100];
+  std::memset(data, 'q', sizeof(data));
+  ASSERT_TRUE(kernel_->fs().PipeWrite(pipe, data, sizeof(data)));
+  EXPECT_EQ(pipe->head, 1u);
+  EXPECT_EQ(kernel_->fs().PipeRead(pipe, 100), 100u);
+  EXPECT_EQ(pipe->tail, 1u);
+}
+
+TEST_F(FsTest, PipeWritesMergeIntoHeadBuffer) {
+  file* rd = nullptr;
+  file* wr = nullptr;
+  pipe_inode_info* pipe = kernel_->fs().CreatePipe(kernel_->pipefs_sb(), &rd, &wr);
+  char data[64];
+  std::memset(data, 'm', sizeof(data));
+  ASSERT_TRUE(kernel_->fs().PipeWrite(pipe, data, sizeof(data)));
+  ASSERT_TRUE(kernel_->fs().PipeWrite(pipe, data, sizeof(data)));
+  // Merged into one buffer thanks to CAN_MERGE.
+  EXPECT_EQ(pipe->head, 1u);
+  EXPECT_EQ(pipe->bufs[0].len, 128u);
+  EXPECT_TRUE(pipe->bufs[0].flags & PIPE_BUF_FLAG_CAN_MERGE);
+}
+
+TEST_F(FsTest, PipeFillsRingThenBlocks) {
+  file* rd = nullptr;
+  file* wr = nullptr;
+  pipe_inode_info* pipe = kernel_->fs().CreatePipe(kernel_->pipefs_sb(), &rd, &wr);
+  std::vector<char> pagebuf(kPageSize, 'f');
+  for (uint32_t i = 0; i < pipe->ring_size; ++i) {
+    ASSERT_TRUE(kernel_->fs().PipeWrite(pipe, pagebuf.data(), kPageSize));
+  }
+  EXPECT_FALSE(kernel_->fs().PipeWrite(pipe, pagebuf.data(), kPageSize));
+}
+
+TEST_F(FsTest, SpliceSharesPageCachePage) {
+  file* victim = MakeFile("victim.txt");
+  page* cached = kernel_->fs().PageCacheGrab(victim->f_inode, 0);
+  file* rd = nullptr;
+  file* wr = nullptr;
+  pipe_inode_info* pipe = kernel_->fs().CreatePipe(kernel_->pipefs_sb(), &rd, &wr);
+  ASSERT_TRUE(kernel_->fs().SpliceFileToPipe(victim, 0, pipe, 16, /*init_flags_bug=*/false));
+  pipe_buffer* buf = &pipe->bufs[0];
+  EXPECT_EQ(buf->page_, cached);  // zero copy: same page descriptor
+  EXPECT_STREQ(buf->ops->name, "page_cache_pipe_buf_ops");
+  EXPECT_EQ(buf->flags, 0u);  // fixed path clears flags
+}
+
+TEST_F(FsTest, DentryTreeParenting) {
+  inode* dir_ino = kernel_->fs().CreateInode(kernel_->ext4_sb(), kSIfDir | 0755, 0);
+  dentry* dir = kernel_->fs().CreateDentry("home", dir_ino, kernel_->ext4_sb()->s_root);
+  inode* ino = kernel_->fs().CreateInode(kernel_->ext4_sb(), kSIfReg | 0644, 10);
+  dentry* child = kernel_->fs().CreateDentry("notes", ino, dir);
+  EXPECT_EQ(child->d_parent, dir);
+  EXPECT_EQ(list_count(&dir->d_subdirs), 1u);
+  EXPECT_EQ(dir->d_parent, kernel_->ext4_sb()->s_root);
+}
+
+}  // namespace
+}  // namespace vkern

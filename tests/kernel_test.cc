@@ -1,0 +1,153 @@
+// Integration tests: boot + the paper's workload, with cross-subsystem
+// invariants checked over the resulting live object graph.
+
+#include "src/vkern/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/vkern/workload.h"
+#include "tests/test_util.h"
+
+namespace vkern {
+namespace {
+
+using vltest::KernelTest;
+using vltest::WorkloadKernelTest;
+
+TEST_F(KernelTest, BootPopulatesGlobals) {
+  EXPECT_NE(kernel_->procs().init_task(), nullptr);
+  EXPECT_NE(kernel_->mm_percpu_wq(), nullptr);
+  EXPECT_NE(kernel_->ext4_sb(), nullptr);
+  EXPECT_GE(kernel_->procs().task_count(), 8);  // idles + init + kthreads
+  // Everything visualizable lives inside the arena.
+  EXPECT_TRUE(kernel_->arena().ContainsPtr(kernel_->procs().init_task()));
+  EXPECT_TRUE(kernel_->arena().ContainsPtr(kernel_->runqueues()));
+  EXPECT_TRUE(kernel_->arena().ContainsPtr(kernel_->mm_percpu_wq()));
+  EXPECT_TRUE(kernel_->arena().ContainsPtr(kernel_->ext4_sb()));
+}
+
+TEST_F(KernelTest, FunctionSymbolsRegistered) {
+  EXPECT_FALSE(kernel_->function_symbols().empty());
+  // mt_free_rcu must be symbolized (the StackRot figure labels it).
+  bool found = false;
+  for (const auto& [addr, name] : kernel_->function_symbols()) {
+    if (name == "mt_free_rcu") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(kernel_->SymbolizeFunction(0xdeadbeef), "");
+}
+
+TEST_F(KernelTest, TickAdvancesSubsystems) {
+  uint64_t j0 = kernel_->jiffies();
+  for (int i = 0; i < 10; ++i) {
+    kernel_->TickCpu(0);
+    kernel_->TickCpu(1);
+  }
+  EXPECT_EQ(kernel_->jiffies(), j0 + 10);
+}
+
+TEST_F(WorkloadKernelTest, PopulationMatchesPaperSetup) {
+  EXPECT_EQ(workload_->nr_processes(), 5);
+  EXPECT_EQ(workload_->user_tasks().size(), 10u);  // 5 procs x 2 threads
+  for (task_struct* t : workload_->user_tasks()) {
+    EXPECT_NE(t->mm, nullptr);
+    EXPECT_EQ(kernel_->procs().FindTaskByPid(t->pid), t);
+  }
+}
+
+TEST_F(WorkloadKernelTest, ThreadsShareLeaderMm) {
+  for (int p = 0; p < workload_->nr_processes(); ++p) {
+    task_struct* leader = workload_->process(p);
+    EXPECT_EQ(leader->signal->nr_threads, 2);
+    EXPECT_GE(leader->mm->mm_users.counter, 2);
+  }
+}
+
+TEST_F(WorkloadKernelTest, VmaTreesStayValid) {
+  for (int p = 0; p < workload_->nr_processes(); ++p) {
+    mm_struct* mm = workload_->process(p)->mm;
+    std::string why;
+    EXPECT_TRUE(kernel_->maple().Validate(&mm->mm_mt, &why)) << "proc " << p << ": " << why;
+    EXPECT_EQ(kernel_->maple().CountEntries(&mm->mm_mt),
+              static_cast<uint64_t>(mm->map_count));
+  }
+}
+
+TEST_F(WorkloadKernelTest, MapCountsAreSubstantial) {
+  // The workload must leave enough state for meaningful figures.
+  int total_vmas = 0;
+  for (int p = 0; p < workload_->nr_processes(); ++p) {
+    total_vmas += workload_->process(p)->mm->map_count;
+  }
+  EXPECT_GT(total_vmas, 30);
+}
+
+TEST_F(WorkloadKernelTest, SchedulerStateConsistent) {
+  for (int cpu = 0; cpu < kNrCpus; ++cpu) {
+    rq* q = kernel_->sched().cpu_rq(cpu);
+    EXPECT_GE(rb_validate(&q->cfs.tasks_timeline.rb_root_), 0) << "cpu " << cpu;
+    uint32_t counted = 0;
+    kernel_->sched().ForEachQueued(cpu, [&counted](task_struct*) { ++counted; });
+    EXPECT_EQ(counted, q->cfs.nr_running);
+  }
+}
+
+TEST_F(WorkloadKernelTest, BuddyAndSlabStayConsistent) {
+  EXPECT_TRUE(kernel_->buddy().Validate());
+  EXPECT_GT(kernel_->slabs().total_active_objects(), 100u);
+}
+
+TEST_F(WorkloadKernelTest, PageCacheHasPages) {
+  uint64_t pages = 0;
+  VKERN_LIST_FOR_EACH(pos, &kernel_->ext4_sb()->s_inodes) {
+    inode* ino = VKERN_CONTAINER_OF(pos, inode, i_sb_list);
+    pages += ino->i_data.nrpages;
+  }
+  EXPECT_GT(pages, 20u);
+}
+
+TEST_F(WorkloadKernelTest, RcuMadeProgress) {
+  // The workload's maple-tree churn must have exercised deferred frees.
+  uint64_t invoked = 0;
+  for (int cpu = 0; cpu < kNrCpus; ++cpu) {
+    invoked += kernel_->rcu_data_array()[cpu].invoked;
+  }
+  EXPECT_GT(invoked, 10u);
+}
+
+TEST_F(WorkloadKernelTest, DeterministicAcrossRuns) {
+  // A second kernel with the same seed produces the same topology.
+  vkern::Kernel other;
+  vkern::WorkloadConfig config;
+  config.steps = 60;
+  vkern::Workload workload2(&other, config);
+  workload2.Run();
+  ASSERT_EQ(workload2.user_tasks().size(), workload_->user_tasks().size());
+  for (size_t i = 0; i < workload2.user_tasks().size(); ++i) {
+    task_struct* a = workload_->user_tasks()[i];
+    task_struct* b = workload2.user_tasks()[i];
+    EXPECT_EQ(a->pid, b->pid);
+    EXPECT_EQ(a->mm->map_count, b->mm->map_count);
+    EXPECT_EQ(std::string(a->comm), std::string(b->comm));
+  }
+}
+
+TEST_F(WorkloadKernelTest, PidsAreUniqueAcrossTaskList) {
+  std::set<int> pids;
+  task_struct* init_task = kernel_->procs().init_task();
+  pids.insert(init_task->pid);
+  VKERN_LIST_FOR_EACH(pos, &init_task->tasks) {
+    task_struct* t = VKERN_CONTAINER_OF(pos, task_struct, tasks);
+    if (t->pid != 0) {  // idle tasks share pid 0
+      EXPECT_TRUE(pids.insert(t->pid).second) << "duplicate pid " << t->pid;
+    }
+  }
+  EXPECT_GT(pids.size(), 10u);
+}
+
+}  // namespace
+}  // namespace vkern

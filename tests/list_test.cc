@@ -1,0 +1,128 @@
+// Intrusive container tests: list_head and hlist primitives, container_of.
+
+#include "src/vkern/list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vkern {
+namespace {
+
+struct Widget {
+  int value;
+  list_head node;
+  hlist_node hnode;
+};
+
+class ListTest : public ::testing::Test {
+ protected:
+  void SetUp() override { INIT_LIST_HEAD(&head_); }
+
+  std::vector<int> Values() {
+    std::vector<int> out;
+    VKERN_LIST_FOR_EACH(pos, &head_) {
+      out.push_back(VKERN_CONTAINER_OF(pos, Widget, node)->value);
+    }
+    return out;
+  }
+
+  list_head head_;
+};
+
+TEST_F(ListTest, EmptyList) {
+  EXPECT_TRUE(list_empty(&head_));
+  EXPECT_EQ(list_count(&head_), 0u);
+  EXPECT_EQ(head_.next, &head_);
+  EXPECT_EQ(head_.prev, &head_);
+}
+
+TEST_F(ListTest, AddHeadAndTailOrdering) {
+  Widget a{1, {}, {}};
+  Widget b{2, {}, {}};
+  Widget c{3, {}, {}};
+  list_add(&a.node, &head_);        // head insertion
+  list_add_tail(&b.node, &head_);   // tail insertion
+  list_add(&c.node, &head_);        // head again
+  EXPECT_EQ(Values(), (std::vector<int>{3, 1, 2}));
+  EXPECT_EQ(list_count(&head_), 3u);
+}
+
+TEST_F(ListTest, DelAndDelInit) {
+  Widget a{1, {}, {}};
+  Widget b{2, {}, {}};
+  list_add_tail(&a.node, &head_);
+  list_add_tail(&b.node, &head_);
+  list_del(&a.node);
+  EXPECT_EQ(Values(), std::vector<int>{2});
+  EXPECT_EQ(a.node.next, nullptr);  // poisoned
+  list_del_init(&b.node);
+  EXPECT_TRUE(list_empty(&head_));
+  EXPECT_EQ(b.node.next, &b.node);  // reinitialized
+}
+
+TEST_F(ListTest, MoveTail) {
+  Widget a{1, {}, {}};
+  Widget b{2, {}, {}};
+  Widget c{3, {}, {}};
+  list_add_tail(&a.node, &head_);
+  list_add_tail(&b.node, &head_);
+  list_add_tail(&c.node, &head_);
+  list_move_tail(&a.node, &head_);
+  EXPECT_EQ(Values(), (std::vector<int>{2, 3, 1}));
+}
+
+TEST_F(ListTest, ContainerOfRecoversObject) {
+  Widget w{42, {}, {}};
+  list_add_tail(&w.node, &head_);
+  Widget* recovered = VKERN_CONTAINER_OF(head_.next, Widget, node);
+  EXPECT_EQ(recovered, &w);
+  EXPECT_EQ(recovered->value, 42);
+}
+
+TEST(HlistTest, AddHeadAndDel) {
+  hlist_head head;
+  INIT_HLIST_HEAD(&head);
+  EXPECT_TRUE(hlist_empty(&head));
+
+  Widget a{1, {}, {}};
+  Widget b{2, {}, {}};
+  INIT_HLIST_NODE(&a.hnode);
+  INIT_HLIST_NODE(&b.hnode);
+  hlist_add_head(&a.hnode, &head);
+  hlist_add_head(&b.hnode, &head);
+  // Head insertion: b before a.
+  EXPECT_EQ(head.first, &b.hnode);
+  EXPECT_EQ(b.hnode.next, &a.hnode);
+  EXPECT_EQ(hlist_count(&head), 2u);
+
+  hlist_del(&b.hnode);
+  EXPECT_EQ(head.first, &a.hnode);
+  EXPECT_EQ(hlist_count(&head), 1u);
+  EXPECT_TRUE(hlist_unhashed(&b.hnode));
+  // Deleting an unhashed node is a no-op, as in the kernel.
+  hlist_del(&b.hnode);
+  hlist_del(&a.hnode);
+  EXPECT_TRUE(hlist_empty(&head));
+}
+
+TEST(HlistTest, MiddleDeletionFixesPprev) {
+  hlist_head head;
+  INIT_HLIST_HEAD(&head);
+  Widget a{1, {}, {}};
+  Widget b{2, {}, {}};
+  Widget c{3, {}, {}};
+  for (Widget* w : {&a, &b, &c}) {
+    INIT_HLIST_NODE(&w->hnode);
+    hlist_add_head(&w->hnode, &head);
+  }
+  // Order: c, b, a. Remove the middle.
+  hlist_del(&b.hnode);
+  EXPECT_EQ(head.first, &c.hnode);
+  EXPECT_EQ(c.hnode.next, &a.hnode);
+  EXPECT_EQ(a.hnode.pprev, &c.hnode.next);
+  EXPECT_EQ(hlist_count(&head), 2u);
+}
+
+}  // namespace
+}  // namespace vkern

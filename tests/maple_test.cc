@@ -1,0 +1,354 @@
+// Maple tree unit and property tests: stores, erases, splits, encoded
+// pointers, gap tracking, COW/RCU node replacement.
+
+#include "src/vkern/maple.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/vkern/arena.h"
+#include "src/vkern/buddy.h"
+#include "src/vkern/rcu.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+namespace {
+
+class MapleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    arena_ = std::make_unique<Arena>(32ull << 20);
+    buddy_ = std::make_unique<BuddyAllocator>(arena_.get());
+    slabs_ = std::make_unique<SlabAllocator>(buddy_.get());
+    state_ = static_cast<rcu_state*>(slabs_->AllocMeta(sizeof(rcu_state)));
+    data_ = static_cast<rcu_data*>(slabs_->AllocMeta(sizeof(rcu_data) * kNrCpus));
+    rcu_ = std::make_unique<RcuSubsystem>(state_, data_, kNrCpus);
+    ops_ = std::make_unique<MapleTreeOps>(slabs_.get(), rcu_.get());
+    entry_cache_ = slabs_->CreateCache("test_entry", 64);
+    ops_->Init(&tree_, MT_FLAGS_ALLOC_RANGE);
+  }
+
+  void* NewEntry() { return slabs_->Alloc(entry_cache_); }
+
+  void ExpectValid() {
+    std::string why;
+    EXPECT_TRUE(ops_->Validate(&tree_, &why)) << why;
+  }
+
+  std::unique_ptr<Arena> arena_;
+  std::unique_ptr<BuddyAllocator> buddy_;
+  std::unique_ptr<SlabAllocator> slabs_;
+  rcu_state* state_ = nullptr;
+  rcu_data* data_ = nullptr;
+  std::unique_ptr<RcuSubsystem> rcu_;
+  std::unique_ptr<MapleTreeOps> ops_;
+  kmem_cache* entry_cache_ = nullptr;
+  maple_tree tree_;
+};
+
+TEST_F(MapleTest, EmptyTreeFindsNothing) {
+  EXPECT_EQ(ops_->Find(&tree_, 0), nullptr);
+  EXPECT_EQ(ops_->Find(&tree_, 12345), nullptr);
+  EXPECT_EQ(ops_->CountEntries(&tree_), 0u);
+  EXPECT_EQ(ops_->Height(&tree_), 0);
+}
+
+TEST_F(MapleTest, SingleRangeStoreAndFind) {
+  void* entry = NewEntry();
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x1000, 0x1fff, entry));
+  EXPECT_EQ(ops_->Find(&tree_, 0x1000), entry);
+  EXPECT_EQ(ops_->Find(&tree_, 0x1800), entry);
+  EXPECT_EQ(ops_->Find(&tree_, 0x1fff), entry);
+  EXPECT_EQ(ops_->Find(&tree_, 0x0fff), nullptr);
+  EXPECT_EQ(ops_->Find(&tree_, 0x2000), nullptr);
+  EXPECT_EQ(ops_->CountEntries(&tree_), 1u);
+  ExpectValid();
+}
+
+TEST_F(MapleTest, RootBecomesLeafNode) {
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x1000, 0x1fff, NewEntry()));
+  ASSERT_TRUE(xa_is_node(tree_.ma_root));
+  maple_enode enode = reinterpret_cast<uintptr_t>(tree_.ma_root);
+  EXPECT_EQ(mte_node_type(enode), maple_leaf_64);
+  EXPECT_TRUE(mte_is_leaf(enode));
+  EXPECT_TRUE(ma_is_root(mte_to_node(enode)));
+}
+
+TEST_F(MapleTest, EncodedPointerRoundTrip) {
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x1000, 0x1fff, NewEntry()));
+  maple_enode enode = reinterpret_cast<uintptr_t>(tree_.ma_root);
+  maple_node* node = mte_to_node(enode);
+  // The node address must be 256-byte aligned so the type bits decode cleanly.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(node) & 0xff, 0u);
+  EXPECT_EQ(mt_mk_node(node, mte_node_type(enode)), enode);
+}
+
+TEST_F(MapleTest, OverlappingStoreRejected) {
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x1000, 0x1fff, NewEntry()));
+  EXPECT_FALSE(ops_->StoreRange(&tree_, 0x1800, 0x27ff, NewEntry()));
+  EXPECT_FALSE(ops_->StoreRange(&tree_, 0x0800, 0x17ff, NewEntry()));
+  EXPECT_EQ(ops_->CountEntries(&tree_), 1u);
+}
+
+TEST_F(MapleTest, AdjacentRangesAllowed) {
+  void* a = NewEntry();
+  void* b = NewEntry();
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x1000, 0x1fff, a));
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x2000, 0x2fff, b));
+  EXPECT_EQ(ops_->Find(&tree_, 0x1fff), a);
+  EXPECT_EQ(ops_->Find(&tree_, 0x2000), b);
+  ExpectValid();
+}
+
+TEST_F(MapleTest, EraseReturnsEntryAndLeavesGap) {
+  void* a = NewEntry();
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x1000, 0x1fff, a));
+  EXPECT_EQ(ops_->Erase(&tree_, 0x1234), a);
+  EXPECT_EQ(ops_->Find(&tree_, 0x1234), nullptr);
+  EXPECT_EQ(ops_->Erase(&tree_, 0x1234), nullptr);
+  ExpectValid();
+}
+
+TEST_F(MapleTest, ManyInsertionsSplitIntoTree) {
+  // Enough ranges to force leaf splits and at least one root split.
+  std::vector<void*> entries;
+  for (int i = 0; i < 64; ++i) {
+    void* e = NewEntry();
+    entries.push_back(e);
+    uint64_t start = 0x10000ull + static_cast<uint64_t>(i) * 0x3000;
+    ASSERT_TRUE(ops_->StoreRange(&tree_, start, start + 0xfff, e)) << i;
+  }
+  EXPECT_EQ(ops_->CountEntries(&tree_), 64u);
+  EXPECT_GE(ops_->Height(&tree_), 2);
+  ExpectValid();
+  for (int i = 0; i < 64; ++i) {
+    uint64_t start = 0x10000ull + static_cast<uint64_t>(i) * 0x3000;
+    EXPECT_EQ(ops_->Find(&tree_, start + 0x800), entries[static_cast<size_t>(i)]);
+  }
+}
+
+TEST_F(MapleTest, InternalNodesAreArangeWhenGapTracking) {
+  for (int i = 0; i < 64; ++i) {
+    uint64_t start = 0x10000ull + static_cast<uint64_t>(i) * 0x3000;
+    ASSERT_TRUE(ops_->StoreRange(&tree_, start, start + 0xfff, NewEntry()));
+  }
+  maple_enode root = reinterpret_cast<uintptr_t>(tree_.ma_root);
+  EXPECT_EQ(mte_node_type(root), maple_arange_64);
+}
+
+TEST_F(MapleTest, ForEachVisitsInOrder) {
+  for (int i = 15; i >= 0; --i) {
+    uint64_t start = 0x10000ull + static_cast<uint64_t>(i) * 0x2000;
+    ASSERT_TRUE(ops_->StoreRange(&tree_, start, start + 0xfff, NewEntry()));
+  }
+  uint64_t prev_last = 0;
+  uint64_t count = 0;
+  ops_->ForEach(&tree_, [&](uint64_t start, uint64_t last, void* entry) {
+    EXPECT_GT(start, prev_last);
+    EXPECT_GE(last, start);
+    EXPECT_NE(entry, nullptr);
+    prev_last = last;
+    ++count;
+  });
+  EXPECT_EQ(count, 16u);
+}
+
+TEST_F(MapleTest, FindEmptyAreaRespectsExistingRanges) {
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x10000, 0x10fff, NewEntry()));
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x12000, 0x12fff, NewEntry()));
+  uint64_t found = 0;
+  // The gap [0x11000, 0x11fff] fits exactly one page.
+  ASSERT_TRUE(ops_->FindEmptyArea(&tree_, 0x10000, 0x13000, 0x1000, &found));
+  EXPECT_EQ(found, 0x11000u);
+  // A two-page request must skip it.
+  ASSERT_TRUE(ops_->FindEmptyArea(&tree_, 0x10000, 0x20000, 0x2000, &found));
+  EXPECT_EQ(found, 0x13000u);
+}
+
+TEST_F(MapleTest, StoreIntoFoundGapAlwaysSucceeds) {
+  vl::Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    uint64_t size = (rng.NextInRange(1, 40)) * 0x1000;
+    uint64_t addr = 0;
+    ASSERT_TRUE(ops_->FindEmptyArea(&tree_, 0x10000, 0x10000000, size, &addr)) << i;
+    ASSERT_TRUE(ops_->StoreRange(&tree_, addr, addr + size - 1, NewEntry())) << i;
+  }
+  EXPECT_EQ(ops_->CountEntries(&tree_), 300u);
+  ExpectValid();
+}
+
+TEST_F(MapleTest, RandomStoreEraseAgainstModel) {
+  vl::Rng rng(1234);
+  std::map<uint64_t, std::pair<uint64_t, void*>> model;  // start -> (last, entry)
+  for (int round = 0; round < 600; ++round) {
+    if (model.empty() || rng.NextChance(3, 5)) {
+      uint64_t size = rng.NextInRange(1, 16) * 0x1000;
+      uint64_t addr = 0;
+      if (!ops_->FindEmptyArea(&tree_, 0x10000, 0x4000000, size, &addr)) {
+        continue;
+      }
+      void* e = NewEntry();
+      ASSERT_TRUE(ops_->StoreRange(&tree_, addr, addr + size - 1, e));
+      model[addr] = {addr + size - 1, e};
+    } else {
+      size_t victim = rng.NextBelow(model.size());
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(victim));
+      EXPECT_EQ(ops_->Erase(&tree_, it->first), it->second.second);
+      model.erase(it);
+    }
+  }
+  std::string why;
+  ASSERT_TRUE(ops_->Validate(&tree_, &why)) << why;
+  EXPECT_EQ(ops_->CountEntries(&tree_), model.size());
+  for (const auto& [start, range] : model) {
+    EXPECT_EQ(ops_->Find(&tree_, start), range.second);
+    EXPECT_EQ(ops_->Find(&tree_, range.first), range.second);
+  }
+}
+
+TEST_F(MapleTest, CowStoresQueueRcuFrees) {
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x1000, 0x1fff, NewEntry()));
+  uint64_t before = rcu_->pending_callbacks();
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x3000, 0x3fff, NewEntry()));
+  // The second store rewrote the root leaf; the old one awaits a grace period.
+  EXPECT_GT(rcu_->pending_callbacks(), before);
+  uint64_t active_before = slabs_->FindCache("maple_node")->active_objects;
+  rcu_->Synchronize();
+  EXPECT_LT(slabs_->FindCache("maple_node")->active_objects, active_before);
+}
+
+TEST_F(MapleTest, RebuildLeafReplacesNodeAndFreesOldViaRcu) {
+  for (int i = 0; i < 8; ++i) {
+    uint64_t start = 0x10000ull + static_cast<uint64_t>(i) * 0x2000;
+    ASSERT_TRUE(ops_->StoreRange(&tree_, start, start + 0xfff, NewEntry()));
+  }
+  rcu_->Synchronize();
+  maple_node* before = ops_->LeafContaining(&tree_, 0x10000);
+  ASSERT_NE(before, nullptr);
+  maple_node* old_node = ops_->RebuildLeaf(&tree_, 0x10000);
+  EXPECT_EQ(old_node, before);
+  maple_node* after = ops_->LeafContaining(&tree_, 0x10000);
+  EXPECT_NE(after, before);
+  // Content preserved.
+  EXPECT_NE(ops_->Find(&tree_, 0x10000), nullptr);
+  ExpectValid();
+  // The old node is poisoned only after the grace period.
+  EXPECT_FALSE(SlabAllocator::IsPoisoned(before, sizeof(maple_node)));
+  rcu_->Synchronize();
+  EXPECT_TRUE(SlabAllocator::IsPoisoned(before, sizeof(maple_node)));
+}
+
+TEST_F(MapleTest, ReaderInCriticalSectionBlocksFree) {
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x1000, 0x1fff, NewEntry()));
+  rcu_->Synchronize();
+  rcu_->ReadLock(1);
+  maple_node* old_node = ops_->RebuildLeaf(&tree_, 0x1000);
+  rcu_->Synchronize();  // cannot complete: CPU1 is a reader
+  EXPECT_FALSE(SlabAllocator::IsPoisoned(old_node, sizeof(maple_node)));
+  rcu_->ReadUnlock(1);
+  rcu_->Synchronize();
+  EXPECT_TRUE(SlabAllocator::IsPoisoned(old_node, sizeof(maple_node)));
+}
+
+TEST_F(MapleTest, SpanningStoreTakesSlowPath) {
+  // Fill enough ranges to split into multiple leaves, leaving a gap that
+  // crosses a leaf boundary, then store across it.
+  std::vector<void*> entries;
+  for (int i = 0; i < 40; ++i) {
+    uint64_t start = 0x10000ull + static_cast<uint64_t>(i) * 0x4000;
+    void* e = NewEntry();
+    ASSERT_TRUE(ops_->StoreRange(&tree_, start, start + 0xfff, e));
+    entries.push_back(e);
+  }
+  ASSERT_GE(ops_->Height(&tree_), 2);
+  // Erase a run in the middle to open a wide gap spanning leaves.
+  for (int i = 10; i < 30; ++i) {
+    uint64_t start = 0x10000ull + static_cast<uint64_t>(i) * 0x4000;
+    ASSERT_NE(ops_->Erase(&tree_, start), nullptr);
+  }
+  // A store covering the whole gap necessarily spans several former leaves.
+  uint64_t big_start = 0x10000ull + 10 * 0x4000;
+  uint64_t big_last = 0x10000ull + 29 * 0x4000 + 0xfff;
+  void* big = NewEntry();
+  ASSERT_TRUE(ops_->StoreRange(&tree_, big_start, big_last, big));
+  EXPECT_EQ(ops_->Find(&tree_, big_start), big);
+  EXPECT_EQ(ops_->Find(&tree_, big_last), big);
+  EXPECT_EQ(ops_->Find(&tree_, (big_start + big_last) / 2), big);
+  EXPECT_EQ(ops_->CountEntries(&tree_), 21u);
+  std::string why;
+  EXPECT_TRUE(ops_->Validate(&tree_, &why)) << why;
+  // Surviving neighbours are intact.
+  EXPECT_EQ(ops_->Find(&tree_, 0x10000ull + 9 * 0x4000), entries[9]);
+  EXPECT_EQ(ops_->Find(&tree_, 0x10000ull + 30 * 0x4000), entries[30]);
+}
+
+TEST_F(MapleTest, SpanningStoreRejectsOverlap) {
+  for (int i = 0; i < 40; ++i) {
+    uint64_t start = 0x10000ull + static_cast<uint64_t>(i) * 0x4000;
+    ASSERT_TRUE(ops_->StoreRange(&tree_, start, start + 0xfff, NewEntry()));
+  }
+  // A huge range overlapping existing entries must fail without damage.
+  uint64_t before = ops_->CountEntries(&tree_);
+  EXPECT_FALSE(ops_->StoreRange(&tree_, 0x10000, 0x10000ull + 40 * 0x4000, NewEntry()));
+  EXPECT_EQ(ops_->CountEntries(&tree_), before);
+  std::string why;
+  EXPECT_TRUE(ops_->Validate(&tree_, &why)) << why;
+}
+
+TEST_F(MapleTest, DestroyEmptiesTree) {
+  for (int i = 0; i < 40; ++i) {
+    uint64_t start = 0x10000ull + static_cast<uint64_t>(i) * 0x2000;
+    ASSERT_TRUE(ops_->StoreRange(&tree_, start, start + 0xfff, NewEntry()));
+  }
+  ops_->Destroy(&tree_);
+  EXPECT_EQ(tree_.ma_root, nullptr);
+  EXPECT_EQ(ops_->CountEntries(&tree_), 0u);
+  rcu_->Synchronize();
+  EXPECT_EQ(rcu_->pending_callbacks(), 0u);
+}
+
+TEST_F(MapleTest, DataEndScansPivots) {
+  ASSERT_TRUE(ops_->StoreRange(&tree_, 0x1000, 0x1fff, NewEntry()));
+  maple_node* node = mte_to_node(reinterpret_cast<uintptr_t>(tree_.ma_root));
+  uint32_t end = ma_data_end(node, maple_leaf_64, kMtMaxIndex);
+  // Layout: [null 0..0xfff][entry 0x1000..0x1fff][null 0x2000..max] => end = 2.
+  EXPECT_EQ(end, 2u);
+}
+
+// Parameterized sweep: different insertion orders and range sizes must all
+// produce a valid tree that answers point queries correctly.
+class MapleSweepTest : public MapleTest,
+                       public ::testing::WithParamInterface<std::tuple<int, int>> {};
+
+TEST_P(MapleSweepTest, InsertionPatternsKeepInvariants) {
+  auto [count, stride_pages] = GetParam();
+  std::vector<std::pair<uint64_t, void*>> inserted;
+  for (int i = 0; i < count; ++i) {
+    // Alternate low/high halves to vary split patterns.
+    int slot = (i % 2 == 0) ? i / 2 : count - 1 - i / 2;
+    uint64_t start =
+        0x100000ull + static_cast<uint64_t>(slot) * static_cast<uint64_t>(stride_pages) * 0x1000;
+    void* e = NewEntry();
+    ASSERT_TRUE(ops_->StoreRange(&tree_, start, start + 0xfff, e));
+    inserted.emplace_back(start, e);
+  }
+  std::string why;
+  ASSERT_TRUE(ops_->Validate(&tree_, &why)) << why;
+  for (const auto& [start, e] : inserted) {
+    EXPECT_EQ(ops_->Find(&tree_, start), e);
+  }
+  EXPECT_EQ(ops_->CountEntries(&tree_), static_cast<uint64_t>(count));
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, MapleSweepTest,
+                         ::testing::Combine(::testing::Values(1, 8, 17, 64, 200, 500),
+                                            ::testing::Values(2, 3, 9)));
+
+}  // namespace
+}  // namespace vkern

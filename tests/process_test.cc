@@ -1,0 +1,183 @@
+// Process-management tests: fork/thread/exit semantics, pid hash, process
+// tree, mm/VMA lifecycle, signals, reverse map.
+
+#include "src/vkern/process.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vkern/kernel.h"
+#include "tests/test_util.h"
+
+namespace vkern {
+namespace {
+
+using vltest::KernelTest;
+
+class ProcessTest : public KernelTest {};
+
+TEST_F(ProcessTest, BootCreatesIdleAndInit) {
+  EXPECT_EQ(kernel_->procs().init_task()->pid, 0);
+  EXPECT_STREQ(kernel_->procs().init_task()->comm, "swapper/0");
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  ASSERT_NE(init, nullptr);
+  EXPECT_STREQ(init->comm, "init");
+  EXPECT_EQ(init->parent, kernel_->procs().init_task());
+}
+
+TEST_F(ProcessTest, ForkBuildsProcessTree) {
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  task_struct* child = kernel_->procs().CreateTask("child", init, 0, 0);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->parent, init);
+  EXPECT_EQ(child->tgid, child->pid);
+  // The child appears in init's children list.
+  bool found = false;
+  VKERN_LIST_FOR_EACH(pos, &init->children) {
+    if (VKERN_CONTAINER_OF(pos, task_struct, sibling) == child) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(kernel_->procs().FindTaskByPid(child->pid), child);
+}
+
+TEST_F(ProcessTest, ForkGetsFreshMmWithStandardLayout) {
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  task_struct* child = kernel_->procs().CreateTask("child", init, 0, 0);
+  ASSERT_NE(child->mm, nullptr);
+  EXPECT_NE(child->mm, init->mm);
+  EXPECT_EQ(child->mm->map_count, 4);  // code, data, heap, stack
+  vm_area_struct* code = kernel_->procs().FindVma(child->mm, kCodeStart);
+  ASSERT_NE(code, nullptr);
+  EXPECT_TRUE(code->vm_flags & VM_EXEC);
+  vm_area_struct* stack = kernel_->procs().FindVma(child->mm, child->mm->start_stack);
+  ASSERT_NE(stack, nullptr);
+  EXPECT_TRUE(stack->vm_flags & VM_GROWSDOWN);
+}
+
+TEST_F(ProcessTest, ThreadsShareMmFilesSignal) {
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  task_struct* leader = kernel_->procs().CreateTask("leader", init, 0, 0);
+  task_struct* thread = kernel_->procs().CreateThread(leader, "worker", 1);
+  ASSERT_NE(thread, nullptr);
+  EXPECT_EQ(thread->mm, leader->mm);
+  EXPECT_EQ(thread->files, leader->files);
+  EXPECT_EQ(thread->signal, leader->signal);
+  EXPECT_EQ(thread->sighand, leader->sighand);
+  EXPECT_EQ(thread->tgid, leader->pid);
+  EXPECT_NE(thread->pid, leader->pid);
+  EXPECT_EQ(thread->group_leader, leader);
+  EXPECT_EQ(leader->signal->nr_threads, 2);
+  EXPECT_EQ(leader->mm->mm_users.counter, 2);
+}
+
+TEST_F(ProcessTest, PidHashChainsCollisions) {
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  // Create enough tasks that two must share a bucket (64 buckets).
+  task_struct* last = nullptr;
+  for (int i = 0; i < 70; ++i) {
+    last = kernel_->procs().CreateTask("many", init, 0, i % kNrCpus);
+  }
+  ASSERT_NE(last, nullptr);
+  // Each pid still resolves to its own task.
+  EXPECT_EQ(kernel_->procs().FindTaskByPid(last->pid), last);
+  EXPECT_EQ(kernel_->procs().FindTaskByPid(last->pid - kPidHashSize)->pid,
+            last->pid - kPidHashSize);
+}
+
+TEST_F(ProcessTest, ExitReparentsChildrenToInit) {
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  task_struct* parent = kernel_->procs().CreateTask("parent", init, 0, 0);
+  task_struct* child = kernel_->procs().CreateTask("orphan", parent, 0, 0);
+  kernel_->procs().ExitTask(parent, 0);
+  EXPECT_EQ(child->parent, init);
+  EXPECT_EQ(parent->__state, static_cast<uint32_t>(TASK_DEAD));
+  EXPECT_NE(parent->exit_state, 0);
+  EXPECT_EQ(parent->mm, nullptr);
+}
+
+TEST_F(ProcessTest, ReapReleasesPid) {
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  task_struct* t = kernel_->procs().CreateTask("gone", init, 0, 0);
+  int pid = t->pid;
+  kernel_->procs().ExitTask(t, 3);
+  EXPECT_NE(kernel_->procs().FindTaskByPid(pid), nullptr);
+  kernel_->procs().ReapTask(t);
+  EXPECT_EQ(kernel_->procs().FindTaskByPid(pid), nullptr);
+}
+
+TEST_F(ProcessTest, MmapPicksFreeRangesAboveMmapBase) {
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  task_struct* t = kernel_->procs().CreateTask("mapper", init, 0, 0);
+  vm_area_struct* a = kernel_->procs().Mmap(t->mm, 0x4000, VM_READ | VM_WRITE | VM_ANON,
+                                            nullptr, 0);
+  vm_area_struct* b = kernel_->procs().Mmap(t->mm, 0x4000, VM_READ | VM_WRITE | VM_ANON,
+                                            nullptr, 0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_GE(a->vm_start, kMmapBase);
+  EXPECT_NE(a->vm_start, b->vm_start);
+  // Non-overlap.
+  EXPECT_TRUE(a->vm_end <= b->vm_start || b->vm_end <= a->vm_start);
+  EXPECT_EQ(t->mm->map_count, 6);
+}
+
+TEST_F(ProcessTest, MunmapRemovesVma) {
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  task_struct* t = kernel_->procs().CreateTask("mapper", init, 0, 0);
+  vm_area_struct* a =
+      kernel_->procs().Mmap(t->mm, 0x4000, VM_READ | VM_WRITE | VM_ANON, nullptr, 0);
+  uint64_t start = a->vm_start;
+  EXPECT_TRUE(kernel_->procs().Munmap(t->mm, start));
+  EXPECT_EQ(kernel_->procs().FindVma(t->mm, start), nullptr);
+  EXPECT_FALSE(kernel_->procs().Munmap(t->mm, start));
+  std::string why;
+  EXPECT_TRUE(kernel_->maple().Validate(&t->mm->mm_mt, &why)) << why;
+}
+
+TEST_F(ProcessTest, AnonVmaReverseMapWiring) {
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  task_struct* t = kernel_->procs().CreateTask("rmap", init, 0, 0);
+  vm_area_struct* vma =
+      kernel_->procs().Mmap(t->mm, 0x3000, VM_READ | VM_WRITE | VM_ANON, nullptr, 0);
+  ASSERT_NE(vma, nullptr);
+  ASSERT_NE(vma->anon_vma_, nullptr);
+  page* pg = kernel_->procs().FaultAnonPage(vma, vma->vm_start + kPageSize);
+  ASSERT_NE(pg, nullptr);
+  // PAGE_MAPPING_ANON tag set.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(pg->mapping) & 1u, 1u);
+  auto* av = reinterpret_cast<anon_vma*>(reinterpret_cast<uintptr_t>(pg->mapping) & ~1ull);
+  EXPECT_EQ(av, vma->anon_vma_);
+  EXPECT_EQ(pg->index, 1u);
+  // The interval tree leads back to the VMA.
+  rb_node* first = rb_first_cached(&av->rb_root_);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(VKERN_CONTAINER_OF(first, anon_vma_chain, rb)->vma, vma);
+}
+
+TEST_F(ProcessTest, SignalDeliveryQueuesAndDrains) {
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  task_struct* t = kernel_->procs().CreateTask("sig", init, 0, 0);
+  kernel_->procs().SetSigaction(t, 2, KernelTestSigHandler1(), 0);
+  EXPECT_TRUE(kernel_->procs().SendSignal(t, 2, 1));
+  EXPECT_TRUE(kernel_->procs().SendSignal(t, 10, 1));
+  EXPECT_EQ(t->pending.signal.sig, (1ull << 1) | (1ull << 9));
+  EXPECT_EQ(kernel_->procs().DequeueSignal(t), 2);
+  EXPECT_EQ(t->pending.signal.sig, 1ull << 9);
+  EXPECT_EQ(kernel_->procs().DequeueSignal(t), 10);
+  EXPECT_EQ(kernel_->procs().DequeueSignal(t), 0);
+  EXPECT_EQ(t->sighand->action[1].sa.sa_handler_fn, KernelTestSigHandler1());
+}
+
+TEST_F(ProcessTest, TaskCountTracksGlobalList) {
+  int before = kernel_->procs().task_count();
+  task_struct* init = kernel_->procs().FindTaskByPid(1);
+  task_struct* t = kernel_->procs().CreateTask("counted", init, 0, 0);
+  EXPECT_EQ(kernel_->procs().task_count(), before + 1);
+  kernel_->procs().ExitTask(t, 0);
+  kernel_->procs().ReapTask(t);
+  EXPECT_EQ(kernel_->procs().task_count(), before);
+}
+
+}  // namespace
+}  // namespace vkern

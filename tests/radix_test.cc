@@ -1,0 +1,114 @@
+// Radix tree tests against a std::map model.
+
+#include "src/vkern/radix.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/support/rng.h"
+#include "src/vkern/arena.h"
+
+namespace vkern {
+namespace {
+
+class RadixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    arena_ = std::make_unique<Arena>(16ull << 20);
+    buddy_ = std::make_unique<BuddyAllocator>(arena_.get());
+    slabs_ = std::make_unique<SlabAllocator>(buddy_.get());
+    radix_ = std::make_unique<RadixTreeOps>(slabs_.get());
+    root_.height = 0;
+    root_.rnode = nullptr;
+  }
+
+  void* Tag(uint64_t v) { return reinterpret_cast<void*>(v << 3); }
+
+  std::unique_ptr<Arena> arena_;
+  std::unique_ptr<BuddyAllocator> buddy_;
+  std::unique_ptr<SlabAllocator> slabs_;
+  std::unique_ptr<RadixTreeOps> radix_;
+  radix_tree_root root_;
+};
+
+TEST_F(RadixTest, EmptyLookup) {
+  EXPECT_EQ(radix_->Lookup(&root_, 0), nullptr);
+  EXPECT_EQ(radix_->CountEntries(&root_), 0u);
+}
+
+TEST_F(RadixTest, InsertLookupSmallIndices) {
+  ASSERT_TRUE(radix_->Insert(&root_, 0, Tag(1)));
+  ASSERT_TRUE(radix_->Insert(&root_, 63, Tag(2)));
+  EXPECT_EQ(radix_->Lookup(&root_, 0), Tag(1));
+  EXPECT_EQ(radix_->Lookup(&root_, 63), Tag(2));
+  EXPECT_EQ(radix_->Lookup(&root_, 1), nullptr);
+}
+
+TEST_F(RadixTest, TreeGrowsForLargeIndices) {
+  ASSERT_TRUE(radix_->Insert(&root_, 5, Tag(1)));
+  uint32_t h1 = root_.height;
+  ASSERT_TRUE(radix_->Insert(&root_, 1ull << 30, Tag(2)));
+  EXPECT_GT(root_.height, h1);
+  // Old entry survives root growth.
+  EXPECT_EQ(radix_->Lookup(&root_, 5), Tag(1));
+  EXPECT_EQ(radix_->Lookup(&root_, 1ull << 30), Tag(2));
+}
+
+TEST_F(RadixTest, ReplaceExisting) {
+  ASSERT_TRUE(radix_->Insert(&root_, 7, Tag(1)));
+  ASSERT_TRUE(radix_->Insert(&root_, 7, Tag(9)));
+  EXPECT_EQ(radix_->Lookup(&root_, 7), Tag(9));
+  EXPECT_EQ(radix_->CountEntries(&root_), 1u);
+}
+
+TEST_F(RadixTest, Delete) {
+  ASSERT_TRUE(radix_->Insert(&root_, 100, Tag(4)));
+  EXPECT_EQ(radix_->Delete(&root_, 100), Tag(4));
+  EXPECT_EQ(radix_->Lookup(&root_, 100), nullptr);
+  EXPECT_EQ(radix_->Delete(&root_, 100), nullptr);
+}
+
+TEST_F(RadixTest, ForEachInIndexOrder) {
+  for (uint64_t i : {900ull, 3ull, 70ull, 4096ull, 64ull}) {
+    ASSERT_TRUE(radix_->Insert(&root_, i, Tag(i)));
+  }
+  uint64_t prev = 0;
+  bool first = true;
+  uint64_t count = 0;
+  radix_->ForEach(&root_, [&](uint64_t index, void* item) {
+    EXPECT_EQ(item, Tag(index));
+    if (!first) {
+      EXPECT_GT(index, prev);
+    }
+    prev = index;
+    first = false;
+    ++count;
+  });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST_F(RadixTest, RandomAgainstModel) {
+  vl::Rng rng(21);
+  std::map<uint64_t, void*> model;
+  for (int round = 0; round < 2000; ++round) {
+    uint64_t index = rng.NextBelow(1ull << 18);
+    if (model.empty() || rng.NextChance(2, 3)) {
+      void* v = Tag(rng.Next() | 8);
+      ASSERT_TRUE(radix_->Insert(&root_, index, v));
+      model[index] = v;
+    } else {
+      EXPECT_EQ(radix_->Delete(&root_, index),
+                model.count(index) != 0 ? model[index] : nullptr);
+      model.erase(index);
+    }
+  }
+  EXPECT_EQ(radix_->CountEntries(&root_), model.size());
+  for (const auto& [index, v] : model) {
+    EXPECT_EQ(radix_->Lookup(&root_, index), v);
+  }
+}
+
+}  // namespace
+}  // namespace vkern

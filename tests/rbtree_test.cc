@@ -1,0 +1,171 @@
+// Red-black tree unit and property tests against a std::multiset model.
+
+#include "src/vkern/rbtree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/vkern/list.h"
+
+namespace vkern {
+namespace {
+
+struct Item {
+  uint64_t key;
+  rb_node node;
+};
+
+class RbFixture : public ::testing::Test {
+ protected:
+  void Insert(Item* item) {
+    rb_node** link = &root_.rb_node_;
+    rb_node* parent = nullptr;
+    while (*link != nullptr) {
+      parent = *link;
+      Item* other = VKERN_CONTAINER_OF(parent, Item, node);
+      link = item->key < other->key ? &parent->rb_left : &parent->rb_right;
+    }
+    rb_link_node(&item->node, parent, link);
+    rb_insert_color(&item->node, &root_);
+  }
+
+  std::vector<uint64_t> InOrderKeys() {
+    std::vector<uint64_t> keys;
+    for (rb_node* n = rb_first(&root_); n != nullptr; n = rb_next(n)) {
+      keys.push_back(VKERN_CONTAINER_OF(n, Item, node)->key);
+    }
+    return keys;
+  }
+
+  rb_root root_{nullptr};
+};
+
+TEST_F(RbFixture, EmptyTreeValidates) {
+  EXPECT_EQ(rb_validate(&root_), 0);
+  EXPECT_EQ(rb_first(&root_), nullptr);
+  EXPECT_EQ(rb_last(&root_), nullptr);
+}
+
+TEST_F(RbFixture, SingleNode) {
+  Item a{42, {}};
+  Insert(&a);
+  EXPECT_GE(rb_validate(&root_), 1);
+  EXPECT_EQ(rb_first(&root_), &a.node);
+  EXPECT_EQ(rb_last(&root_), &a.node);
+  EXPECT_EQ(rb_next(&a.node), nullptr);
+  EXPECT_EQ(rb_prev(&a.node), nullptr);
+}
+
+TEST_F(RbFixture, AscendingInsertStaysBalanced) {
+  std::vector<Item> items(1024);
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i].key = i;
+    Insert(&items[i]);
+  }
+  int bh = rb_validate(&root_);
+  ASSERT_GT(bh, 0);
+  // Black height of a 1024-node RB tree is at most ~log2(n)+1.
+  EXPECT_LE(bh, 11);
+  EXPECT_EQ(InOrderKeys().size(), items.size());
+}
+
+TEST_F(RbFixture, InOrderTraversalIsSorted) {
+  vl::Rng rng(99);
+  std::vector<Item> items(512);
+  std::multiset<uint64_t> model;
+  for (auto& item : items) {
+    item.key = rng.NextBelow(10000);
+    model.insert(item.key);
+    Insert(&item);
+  }
+  std::vector<uint64_t> keys = InOrderKeys();
+  std::vector<uint64_t> expect(model.begin(), model.end());
+  EXPECT_EQ(keys, expect);
+  EXPECT_GT(rb_validate(&root_), 0);
+}
+
+TEST_F(RbFixture, EraseKeepsInvariants) {
+  vl::Rng rng(7);
+  std::vector<Item> items(400);
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i].key = i * 3;
+    Insert(&items[i]);
+  }
+  // Erase in random order, validating periodically.
+  std::vector<size_t> order(items.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBelow(i)]);
+  }
+  size_t remaining = items.size();
+  for (size_t idx : order) {
+    rb_erase(&items[idx].node, &root_);
+    --remaining;
+    if (remaining % 37 == 0) {
+      ASSERT_GE(rb_validate(&root_), 0) << "invariant broken at " << remaining;
+      EXPECT_EQ(InOrderKeys().size(), remaining);
+    }
+  }
+  EXPECT_EQ(root_.rb_node_, nullptr);
+}
+
+TEST_F(RbFixture, CachedLeftmostTracksMinimum) {
+  rb_root_cached cached{{nullptr}, nullptr};
+  std::vector<Item> items(100);
+  vl::Rng rng(5);
+  for (auto& item : items) {
+    item.key = rng.NextBelow(100000);
+    rb_node** link = &cached.rb_root_.rb_node_;
+    rb_node* parent = nullptr;
+    bool leftmost = true;
+    while (*link != nullptr) {
+      parent = *link;
+      Item* other = VKERN_CONTAINER_OF(parent, Item, node);
+      if (item.key < other->key) {
+        link = &parent->rb_left;
+      } else {
+        link = &parent->rb_right;
+        leftmost = false;
+      }
+    }
+    rb_link_node(&item.node, parent, link);
+    rb_insert_color_cached(&item.node, &cached, leftmost);
+    EXPECT_EQ(cached.rb_leftmost, rb_first(&cached.rb_root_));
+  }
+  // Erase the minimum repeatedly; the cache must follow.
+  while (cached.rb_root_.rb_node_ != nullptr) {
+    rb_node* min = cached.rb_leftmost;
+    ASSERT_EQ(min, rb_first(&cached.rb_root_));
+    rb_erase_cached(min, &cached);
+  }
+  EXPECT_EQ(cached.rb_leftmost, nullptr);
+}
+
+// Property sweep over sizes: insert N, erase every other, validate.
+class RbSweep : public RbFixture, public ::testing::WithParamInterface<int> {};
+
+TEST_P(RbSweep, InsertEraseHalf) {
+  int n = GetParam();
+  std::vector<Item> items(static_cast<size_t>(n));
+  vl::Rng rng(static_cast<uint64_t>(n));
+  for (auto& item : items) {
+    item.key = rng.Next() % 1000000;
+    Insert(&item);
+  }
+  ASSERT_GT(rb_validate(&root_), 0);
+  for (size_t i = 0; i < items.size(); i += 2) {
+    rb_erase(&items[i].node, &root_);
+  }
+  ASSERT_GE(rb_validate(&root_), 0);
+  EXPECT_EQ(InOrderKeys().size(), items.size() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RbSweep, ::testing::Values(2, 3, 7, 33, 128, 1000, 4096));
+
+}  // namespace
+}  // namespace vkern

@@ -1,0 +1,129 @@
+// RCU grace-period semantics: callbacks run only after every CPU quiesces and
+// no reader is inside a critical section.
+
+#include "src/vkern/rcu.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/vkern/arena.h"
+#include "src/vkern/buddy.h"
+#include "src/vkern/slab.h"
+
+namespace vkern {
+namespace {
+
+struct Tracked {
+  rcu_head rcu;
+  bool* fired;
+};
+
+void MarkFired(rcu_head* head) {
+  auto* t = VKERN_CONTAINER_OF(head, Tracked, rcu);
+  *t->fired = true;
+}
+
+class RcuTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    state_ = {};
+    data_.resize(kNrCpus);
+    rcu_ = std::make_unique<RcuSubsystem>(&state_, data_.data(), kNrCpus);
+  }
+
+  rcu_state state_;
+  std::vector<rcu_data> data_;
+  std::unique_ptr<RcuSubsystem> rcu_;
+};
+
+TEST_F(RcuTest, CallbackRunsAfterGracePeriod) {
+  bool fired = false;
+  Tracked t{{}, &fired};
+  rcu_->CallRcu(0, &t.rcu, &MarkFired);
+  EXPECT_EQ(rcu_->pending_callbacks(), 1u);
+  EXPECT_FALSE(fired);
+  rcu_->Synchronize();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(rcu_->pending_callbacks(), 0u);
+}
+
+TEST_F(RcuTest, ReaderBlocksGracePeriod) {
+  bool fired = false;
+  Tracked t{{}, &fired};
+  rcu_->ReadLock(1);
+  rcu_->CallRcu(0, &t.rcu, &MarkFired);
+  rcu_->Synchronize();
+  EXPECT_FALSE(fired) << "callback ran while a reader was active";
+  rcu_->ReadUnlock(1);
+  rcu_->Synchronize();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(RcuTest, NestedReadLock) {
+  bool fired = false;
+  Tracked t{{}, &fired};
+  rcu_->ReadLock(0);
+  rcu_->ReadLock(0);
+  rcu_->CallRcu(1, &t.rcu, &MarkFired);
+  rcu_->ReadUnlock(0);
+  rcu_->Synchronize();
+  EXPECT_FALSE(fired);
+  rcu_->ReadUnlock(0);
+  rcu_->Synchronize();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(RcuTest, CallbacksQueuedDuringGpWaitForNextGp) {
+  bool fired1 = false;
+  bool fired2 = false;
+  Tracked t1{{}, &fired1};
+  Tracked t2{{}, &fired2};
+  rcu_->CallRcu(0, &t1.rcu, &MarkFired);
+  rcu_->TryAdvanceGracePeriod();  // starts a GP covering t1
+  rcu_->CallRcu(0, &t2.rcu, &MarkFired);
+  for (int cpu = 0; cpu < kNrCpus; ++cpu) {
+    rcu_->QuiescentState(cpu);
+  }
+  rcu_->TryAdvanceGracePeriod();  // completes the GP: only t1 may run
+  EXPECT_TRUE(fired1);
+  EXPECT_FALSE(fired2);
+  rcu_->Synchronize();
+  EXPECT_TRUE(fired2);
+}
+
+TEST_F(RcuTest, CblistIsFifo) {
+  std::vector<int> order;
+  struct Seq {
+    rcu_head rcu;
+    std::vector<int>* order;
+    int id;
+  };
+  auto fire = [](rcu_head* head) {
+    auto* s = VKERN_CONTAINER_OF(head, Seq, rcu);
+    s->order->push_back(s->id);
+  };
+  Seq a{{}, &order, 1};
+  Seq b{{}, &order, 2};
+  Seq c{{}, &order, 3};
+  rcu_->CallRcu(0, &a.rcu, fire);
+  rcu_->CallRcu(0, &b.rcu, fire);
+  rcu_->CallRcu(0, &c.rcu, fire);
+  EXPECT_EQ(data_[0].cblist_len, 3u);
+  rcu_->Synchronize();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(data_[0].invoked, 3u);
+}
+
+TEST_F(RcuTest, GpSeqAdvances) {
+  uint64_t seq0 = state_.gp_seq;
+  bool fired = false;
+  Tracked t{{}, &fired};
+  rcu_->CallRcu(1, &t.rcu, &MarkFired);
+  rcu_->Synchronize();
+  EXPECT_GT(state_.gp_seq, seq0);
+}
+
+}  // namespace
+}  // namespace vkern

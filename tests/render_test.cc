@@ -1,0 +1,184 @@
+// Renderer unit tests on hand-built graphs (no kernel): exact-output checks
+// for the visibility semantics (trimmed/collapsed/view/direction), cycle
+// handling, container previews, and edge cases the integration tests cannot
+// pin down deterministically.
+
+#include "src/vision/render.h"
+
+#include <gtest/gtest.h>
+
+namespace vision {
+namespace {
+
+using viewcl::ContainerItem;
+using viewcl::kNoBox;
+using viewcl::LinkItem;
+using viewcl::TextItem;
+using viewcl::VBox;
+using viewcl::ViewGraph;
+using viewcl::ViewInstance;
+
+// A tiny deterministic graph:
+//   root(task_struct) --child--> kid(task_struct)
+//   kid --back--> root   (cycle)
+//   root has a container of two value boxes.
+class RenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = graph_.NewBox("Task", "task_struct", 0x1000, 64);
+    kid_ = graph_.NewBox("Task", "task_struct", 0x2000, 64);
+    v1_ = graph_.NewBox("<value>", "", 0, 0);
+    v2_ = graph_.NewBox("<value>", "", 0, 0);
+
+    ViewInstance root_default;
+    root_default.name = "default";
+    root_default.texts.push_back(TextItem{"pid", "1"});
+    root_default.links.push_back(LinkItem{"child", kid_->id()});
+    root_default.links.push_back(LinkItem{"mm", kNoBox});
+    root_default.containers.push_back(ContainerItem{"vals", {v1_->id(), v2_->id()}});
+    root_->views().push_back(std::move(root_default));
+
+    ViewInstance root_alt;
+    root_alt.name = "tiny";
+    root_alt.texts.push_back(TextItem{"pid", "1"});
+    root_->views().push_back(std::move(root_alt));
+
+    ViewInstance kid_default;
+    kid_default.name = "default";
+    kid_default.texts.push_back(TextItem{"pid", "2"});
+    kid_default.links.push_back(LinkItem{"back", root_->id()});
+    kid_->views().push_back(std::move(kid_default));
+
+    for (VBox* v : {v1_, v2_}) {
+      ViewInstance view;
+      view.name = "default";
+      view.texts.push_back(TextItem{"v", v == v1_ ? "10" : "20"});
+      v->views().push_back(std::move(view));
+    }
+    graph_.roots().push_back(root_->id());
+  }
+
+  ViewGraph graph_;
+  VBox* root_ = nullptr;
+  VBox* kid_ = nullptr;
+  VBox* v1_ = nullptr;
+  VBox* v2_ = nullptr;
+};
+
+TEST_F(RenderTest, AsciiFullGraph) {
+  std::string out = AsciiRenderer().Render(graph_);
+  EXPECT_NE(out.find("#0 task_struct"), std::string::npos);
+  EXPECT_NE(out.find("| pid = 1"), std::string::npos);
+  EXPECT_NE(out.find("* child ->"), std::string::npos);
+  EXPECT_NE(out.find("* mm -> (null)"), std::string::npos);
+  EXPECT_NE(out.find("# vals (2 horizontal)"), std::string::npos);
+  // The cycle back-edge renders as a reference, not a re-expansion.
+  EXPECT_NE(out.find("(see box #0"), std::string::npos);
+}
+
+TEST_F(RenderTest, VisibilityComputation) {
+  EXPECT_EQ(VisibleBoxes(graph_).size(), 4u);
+  kid_->attrs()["trimmed"] = "true";
+  EXPECT_EQ(VisibleBoxes(graph_).count(kid_->id()), 0u);
+  EXPECT_EQ(VisibleBoxes(graph_).size(), 3u);
+  kid_->attrs().erase("trimmed");
+
+  // Collapsing the root hides everything beneath it.
+  root_->attrs()["collapsed"] = "true";
+  std::set<uint64_t> visible = VisibleBoxes(graph_);
+  EXPECT_EQ(visible.size(), 1u);
+  EXPECT_EQ(visible.count(root_->id()), 1u);
+  root_->attrs().erase("collapsed");
+
+  // Switching the root to a link-less view hides the subtree too.
+  root_->attrs()["view"] = "tiny";
+  EXPECT_EQ(VisibleBoxes(graph_).size(), 1u);
+}
+
+TEST_F(RenderTest, TrimmedRootVanishes) {
+  root_->attrs()["trimmed"] = "true";
+  EXPECT_TRUE(VisibleBoxes(graph_).empty());
+  std::string out = AsciiRenderer().Render(graph_);
+  EXPECT_EQ(out.find("pid ="), std::string::npos);
+}
+
+TEST_F(RenderTest, CollapsedRendersStub) {
+  kid_->attrs()["collapsed"] = "true";
+  std::string out = AsciiRenderer().Render(graph_);
+  EXPECT_NE(out.find("[+] task_struct (collapsed)"), std::string::npos);
+  // The kid's own text must not render.
+  EXPECT_EQ(out.find("| pid = 2"), std::string::npos);
+}
+
+TEST_F(RenderTest, DirectionAttributeChangesContainerLabel) {
+  root_->attrs()["direction"] = "vertical";
+  std::string out = AsciiRenderer().Render(graph_);
+  EXPECT_NE(out.find("# vals (2 vertical)"), std::string::npos);
+}
+
+TEST_F(RenderTest, ContainerPreviewLimit) {
+  // Add many members; the renderer elides beyond the preview limit.
+  ContainerItem big;
+  big.name = "many";
+  for (int i = 0; i < 30; ++i) {
+    VBox* extra = graph_.NewBox("<value>", "", 0, 0);
+    ViewInstance view;
+    view.name = "default";
+    view.texts.push_back(TextItem{"i", std::to_string(i)});
+    extra->views().push_back(std::move(view));
+    big.members.push_back(extra->id());
+  }
+  root_->views()[0].containers.push_back(std::move(big));
+  RenderOptions options;
+  options.max_container_preview = 5;
+  std::string out = AsciiRenderer(options).Render(graph_);
+  EXPECT_NE(out.find("... (+25 more)"), std::string::npos);
+}
+
+TEST_F(RenderTest, ShowAddressesOption) {
+  RenderOptions options;
+  options.show_addresses = true;
+  std::string out = AsciiRenderer(options).Render(graph_);
+  EXPECT_NE(out.find("task_struct @0x1000"), std::string::npos);
+}
+
+TEST_F(RenderTest, DotRespectsVisibility) {
+  kid_->attrs()["trimmed"] = "true";
+  std::string dot = DotRenderer().Render(graph_);
+  EXPECT_EQ(dot.find("b1 ["), std::string::npos);     // kid not emitted
+  EXPECT_EQ(dot.find("-> b1"), std::string::npos);    // no edge to it
+  EXPECT_NE(dot.find("b0 ["), std::string::npos);
+}
+
+TEST_F(RenderTest, DotEscapesRecordCharacters) {
+  root_->views()[0].texts.push_back(TextItem{"tricky", "a{b}|<c>"});
+  std::string dot = DotRenderer().Render(graph_);
+  EXPECT_NE(dot.find("a\\{b\\}\\|\\<c\\>"), std::string::npos);
+}
+
+TEST_F(RenderTest, JsonCarriesAttrsAndNullLinks) {
+  root_->attrs()["collapsed"] = "true";
+  vl::Json json = JsonRenderer().ToJson(graph_);
+  const vl::Json& boxes = *json.Find("boxes");
+  const vl::Json& jroot = boxes.at(0);
+  EXPECT_EQ(jroot.Find("attrs")->Find("collapsed")->AsString(), "true");
+  // The null mm link serializes as JSON null.
+  const vl::Json& links = *jroot.Find("views")->at(0).Find("links");
+  bool saw_null = false;
+  for (const vl::Json& link : links.items()) {
+    if (link.Find("name")->AsString() == "mm") {
+      saw_null = link.Find("target")->is_null();
+    }
+  }
+  EXPECT_TRUE(saw_null);
+}
+
+TEST_F(RenderTest, EmptyGraphRenders) {
+  ViewGraph empty;
+  EXPECT_EQ(AsciiRenderer().Render(empty), "");
+  EXPECT_EQ(DotRenderer().Render(empty), "digraph kernel_state {\n  rankdir=LR;\n  node [shape=record];\n}\n");
+  EXPECT_EQ(JsonRenderer().ToJson(empty).Find("boxes")->size(), 0u);
+}
+
+}  // namespace
+}  // namespace vision

@@ -1,0 +1,171 @@
+// CFS scheduler tests: runqueue ordering, vruntime accounting, preemption.
+
+#include "src/vkern/sched.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/vkern/kstructs.h"
+
+namespace vkern {
+namespace {
+
+class SchedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runqueues_.resize(kNrCpus);
+    sched_ = std::make_unique<Scheduler>(runqueues_.data());
+    idle_.resize(kNrCpus);
+    for (int cpu = 0; cpu < kNrCpus; ++cpu) {
+      idle_[cpu] = MakeTask("swapper");
+      sched_->InitRq(cpu, &idle_[cpu]->task);
+    }
+  }
+
+  struct Holder {
+    task_struct task;
+  };
+
+  Holder* MakeTask(const char* name) {
+    auto holder = std::make_unique<Holder>();
+    holder->task = {};
+    std::snprintf(holder->task.comm, sizeof(holder->task.comm), "%s", name);
+    holder->task.se.load.weight = kNiceZeroWeight;
+    tasks_.push_back(std::move(holder));
+    return tasks_.back().get();
+  }
+
+  std::vector<rq> runqueues_;
+  std::unique_ptr<Scheduler> sched_;
+  std::vector<Holder*> idle_;
+  std::vector<std::unique_ptr<Holder>> tasks_;
+};
+
+TEST_F(SchedTest, EmptyRqRunsIdle) {
+  EXPECT_EQ(sched_->PickNext(0), &idle_[0]->task);
+  EXPECT_EQ(sched_->Tick(0), &idle_[0]->task);
+  EXPECT_EQ(sched_->nr_running(0), 0u);
+}
+
+TEST_F(SchedTest, EnqueueOrdersByVruntime) {
+  Holder* a = MakeTask("a");
+  Holder* b = MakeTask("b");
+  Holder* c = MakeTask("c");
+  a->task.se.vruntime = 300;
+  b->task.se.vruntime = 100;
+  c->task.se.vruntime = 200;
+  sched_->Enqueue(0, &a->task);
+  sched_->Enqueue(0, &b->task);
+  sched_->Enqueue(0, &c->task);
+  EXPECT_EQ(sched_->nr_running(0), 3u);
+  std::vector<task_struct*> order;
+  sched_->ForEachQueued(0, [&order](task_struct* t) { order.push_back(t); });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], &b->task);
+  EXPECT_EQ(order[1], &c->task);
+  EXPECT_EQ(order[2], &a->task);
+  EXPECT_EQ(sched_->PickNext(0), &b->task);
+}
+
+TEST_F(SchedTest, TickRunsLowestVruntime) {
+  Holder* a = MakeTask("a");
+  Holder* b = MakeTask("b");
+  a->task.se.vruntime = 1000;
+  b->task.se.vruntime = 0;
+  sched_->Enqueue(0, &a->task);
+  sched_->Enqueue(0, &b->task);
+  task_struct* running = sched_->Tick(0);
+  EXPECT_EQ(running, &b->task);
+  EXPECT_EQ(sched_->cpu_rq(0)->curr, &b->task);
+}
+
+TEST_F(SchedTest, VruntimeAdvancesWhileRunning) {
+  Holder* a = MakeTask("a");
+  sched_->Enqueue(0, &a->task);
+  sched_->Tick(0);
+  uint64_t v0 = a->task.se.vruntime;
+  sched_->Tick(0);
+  sched_->Tick(0);
+  EXPECT_GT(a->task.se.vruntime, v0);
+  EXPECT_GT(a->task.se.sum_exec_runtime, 0u);
+}
+
+TEST_F(SchedTest, RoundRobinUnderEqualLoad) {
+  Holder* a = MakeTask("a");
+  Holder* b = MakeTask("b");
+  sched_->Enqueue(0, &a->task);
+  sched_->Enqueue(0, &b->task);
+  // Over many ticks both should accumulate comparable runtime.
+  for (int i = 0; i < 200; ++i) {
+    sched_->Tick(0);
+  }
+  uint64_t ra = a->task.se.sum_exec_runtime;
+  uint64_t rb = b->task.se.sum_exec_runtime;
+  EXPECT_GT(ra, 0u);
+  EXPECT_GT(rb, 0u);
+  double ratio = static_cast<double>(ra) / static_cast<double>(rb);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST_F(SchedTest, DequeueRemovesFromTree) {
+  Holder* a = MakeTask("a");
+  sched_->Enqueue(0, &a->task);
+  sched_->Dequeue(0, &a->task);
+  EXPECT_EQ(sched_->nr_running(0), 0u);
+  EXPECT_EQ(sched_->PickNext(0), &idle_[0]->task);
+}
+
+TEST_F(SchedTest, DequeueRunningTaskFallsBackToIdle) {
+  Holder* a = MakeTask("a");
+  sched_->Enqueue(0, &a->task);
+  sched_->Tick(0);
+  ASSERT_EQ(sched_->cpu_rq(0)->curr, &a->task);
+  sched_->Dequeue(0, &a->task);  // task blocked while current
+  EXPECT_EQ(sched_->cpu_rq(0)->curr, &idle_[0]->task);
+  EXPECT_EQ(sched_->Tick(0), &idle_[0]->task);
+}
+
+TEST_F(SchedTest, PerCpuQueuesAreIndependent) {
+  Holder* a = MakeTask("a");
+  Holder* b = MakeTask("b");
+  sched_->Enqueue(0, &a->task);
+  sched_->Enqueue(1, &b->task);
+  EXPECT_EQ(sched_->nr_running(0), 1u);
+  EXPECT_EQ(sched_->nr_running(1), 1u);
+  EXPECT_EQ(sched_->Tick(0), &a->task);
+  EXPECT_EQ(sched_->Tick(1), &b->task);
+}
+
+TEST_F(SchedTest, NewcomerClampedToMinVruntime) {
+  Holder* a = MakeTask("a");
+  sched_->Enqueue(0, &a->task);
+  for (int i = 0; i < 100; ++i) {
+    sched_->Tick(0);
+  }
+  Holder* late = MakeTask("late");
+  late->task.se.vruntime = 0;
+  sched_->Enqueue(0, &late->task);
+  EXPECT_GE(late->task.se.vruntime, sched_->cpu_rq(0)->cfs.min_vruntime);
+}
+
+TEST_F(SchedTest, RunqueueTreeStaysValid) {
+  std::vector<Holder*> holders;
+  for (int i = 0; i < 50; ++i) {
+    Holder* h = MakeTask("t");
+    h->task.se.vruntime = static_cast<uint64_t>(i * 37 % 100);
+    sched_->Enqueue(0, &h->task);
+    holders.push_back(h);
+  }
+  EXPECT_GE(rb_validate(&sched_->cpu_rq(0)->cfs.tasks_timeline.rb_root_), 0);
+  for (int i = 0; i < 25; ++i) {
+    sched_->Dequeue(0, &holders[static_cast<size_t>(i * 2)]->task);
+  }
+  EXPECT_GE(rb_validate(&sched_->cpu_rq(0)->cfs.tasks_timeline.rb_root_), 0);
+  EXPECT_EQ(sched_->nr_running(0), 25u);
+}
+
+}  // namespace
+}  // namespace vkern

@@ -1,0 +1,154 @@
+// Slab allocator tests: cache lifecycle, poisoning, alignment, list movement.
+
+#include "src/vkern/slab.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/vkern/arena.h"
+
+namespace vkern {
+namespace {
+
+class SlabTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    arena_ = std::make_unique<Arena>(16ull << 20);
+    buddy_ = std::make_unique<BuddyAllocator>(arena_.get());
+    slabs_ = std::make_unique<SlabAllocator>(buddy_.get());
+  }
+
+  std::unique_ptr<Arena> arena_;
+  std::unique_ptr<BuddyAllocator> buddy_;
+  std::unique_ptr<SlabAllocator> slabs_;
+};
+
+TEST_F(SlabTest, CreateAndFindCache) {
+  kmem_cache* cache = slabs_->CreateCache("widget", 48);
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(slabs_->FindCache("widget"), cache);
+  EXPECT_EQ(slabs_->FindCache("missing"), nullptr);
+  EXPECT_STREQ(cache->name, "widget");
+  EXPECT_EQ(cache->object_size, 48u);
+  EXPECT_GE(cache->num, 4u);
+}
+
+TEST_F(SlabTest, AllocZeroesObject) {
+  kmem_cache* cache = slabs_->CreateCache("zeroed", 128);
+  auto* obj = static_cast<uint8_t*>(slabs_->Alloc(cache));
+  ASSERT_NE(obj, nullptr);
+  for (uint32_t i = 0; i < cache->size; ++i) {
+    EXPECT_EQ(obj[i], 0) << i;
+  }
+}
+
+TEST_F(SlabTest, FreePoisonsObject) {
+  kmem_cache* cache = slabs_->CreateCache("poisoned", 96);
+  void* obj = slabs_->Alloc(cache);
+  SlabAllocator::Free(cache, obj);
+  EXPECT_TRUE(SlabAllocator::IsPoisoned(obj, cache->object_size));
+  // Reallocation un-poisons.
+  void* again = slabs_->Alloc(cache);
+  EXPECT_EQ(again, obj);  // LIFO freelist
+  EXPECT_FALSE(SlabAllocator::IsPoisoned(again, cache->object_size));
+}
+
+TEST_F(SlabTest, AlignmentHonored) {
+  kmem_cache* cache = slabs_->CreateCache("aligned256", 300, 256);
+  for (int i = 0; i < 20; ++i) {
+    void* obj = slabs_->Alloc(cache);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(obj) & 255, 0u);
+  }
+}
+
+TEST_F(SlabTest, AccountingTracksActiveObjects) {
+  kmem_cache* cache = slabs_->CreateCache("counted", 64);
+  std::vector<void*> objs;
+  for (int i = 0; i < 100; ++i) {
+    objs.push_back(slabs_->Alloc(cache));
+  }
+  EXPECT_EQ(cache->active_objects, 100u);
+  EXPECT_GE(cache->total_objects, 100u);
+  for (void* obj : objs) {
+    SlabAllocator::Free(cache, obj);
+  }
+  EXPECT_EQ(cache->active_objects, 0u);
+}
+
+TEST_F(SlabTest, SlabListsMoveBetweenStates) {
+  kmem_cache* cache = slabs_->CreateCache("lists", 64);
+  // Fill exactly one slab.
+  std::vector<void*> objs;
+  for (uint32_t i = 0; i < cache->num; ++i) {
+    objs.push_back(slabs_->Alloc(cache));
+  }
+  EXPECT_FALSE(list_empty(&cache->slabs_full));
+  EXPECT_TRUE(list_empty(&cache->slabs_partial));
+  SlabAllocator::Free(cache, objs.back());
+  objs.pop_back();
+  EXPECT_TRUE(list_empty(&cache->slabs_full));
+  EXPECT_FALSE(list_empty(&cache->slabs_partial));
+  for (void* obj : objs) {
+    SlabAllocator::Free(cache, obj);
+  }
+  EXPECT_FALSE(list_empty(&cache->slabs_free));
+}
+
+TEST_F(SlabTest, DistinctAddressesWhileLive) {
+  kmem_cache* cache = slabs_->CreateCache("distinct", 40);
+  std::set<void*> seen;
+  for (int i = 0; i < 500; ++i) {
+    void* obj = slabs_->Alloc(cache);
+    ASSERT_NE(obj, nullptr);
+    EXPECT_TRUE(seen.insert(obj).second);
+  }
+}
+
+TEST_F(SlabTest, LargeObjectsGetMultiPageSlabs) {
+  kmem_cache* cache = slabs_->CreateCache("big", 3000);
+  EXPECT_GE(cache->pages_per_slab, 4u);
+  void* a = slabs_->Alloc(cache);
+  void* b = slabs_->Alloc(cache);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  SlabAllocator::Free(cache, a);
+  SlabAllocator::Free(cache, b);
+  EXPECT_EQ(cache->active_objects, 0u);
+}
+
+TEST_F(SlabTest, StressRandomAllocFree) {
+  kmem_cache* cache = slabs_->CreateCache("stress", 72);
+  vl::Rng rng(3);
+  std::vector<void*> live;
+  for (int round = 0; round < 5000; ++round) {
+    if (live.empty() || rng.NextChance(1, 2)) {
+      void* obj = slabs_->Alloc(cache);
+      ASSERT_NE(obj, nullptr);
+      live.push_back(obj);
+    } else {
+      size_t idx = rng.NextBelow(live.size());
+      SlabAllocator::Free(cache, live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(cache->active_objects, live.size());
+}
+
+TEST_F(SlabTest, CacheChainListsAllCaches) {
+  slabs_->CreateCache("a", 16);
+  slabs_->CreateCache("b", 32);
+  slabs_->CreateCache("c", 64);
+  size_t n = 0;
+  for (list_head* p = slabs_->cache_chain()->next; p != slabs_->cache_chain(); p = p->next) {
+    ++n;
+  }
+  EXPECT_GE(n, 3u);
+}
+
+}  // namespace
+}  // namespace vkern

@@ -1,0 +1,111 @@
+// Long-run stress: a 400-step workload (2x the paper's default), with
+// cross-subsystem invariants validated afterwards, plus exit/reap churn and a
+// full-corpus replot to prove the extraction layer survives a heavily mutated
+// kernel.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/viewcl/interp.h"
+#include "src/vision/figures.h"
+#include "src/vkern/kernel.h"
+#include "src/vkern/workload.h"
+
+namespace {
+
+class StressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = std::make_unique<vkern::Kernel>();
+    vkern::WorkloadConfig config;
+    config.steps = 400;
+    workload_ = std::make_unique<vkern::Workload>(kernel_.get(), config);
+    workload_->Run();
+  }
+
+  std::unique_ptr<vkern::Kernel> kernel_;
+  std::unique_ptr<vkern::Workload> workload_;
+};
+
+TEST_F(StressTest, AllInvariantsHoldAfterLongRun) {
+  // Buddy allocator.
+  EXPECT_TRUE(kernel_->buddy().Validate());
+  // Every process's maple tree.
+  for (int p = 0; p < workload_->nr_processes(); ++p) {
+    vkern::mm_struct* mm = workload_->process(p)->mm;
+    std::string why;
+    ASSERT_TRUE(kernel_->maple().Validate(&mm->mm_mt, &why)) << "proc " << p << ": " << why;
+    EXPECT_EQ(kernel_->maple().CountEntries(&mm->mm_mt),
+              static_cast<uint64_t>(mm->map_count));
+  }
+  // Scheduler trees.
+  for (int cpu = 0; cpu < vkern::kNrCpus; ++cpu) {
+    EXPECT_GE(vkern::rb_validate(&kernel_->sched().cpu_rq(cpu)->cfs.tasks_timeline.rb_root_),
+              0);
+  }
+  // RCU fully drains once quiesced.
+  kernel_->rcu().Synchronize();
+  EXPECT_EQ(kernel_->rcu().pending_callbacks(), 0u);
+  // Slab accounting is self-consistent per cache.
+  for (vkern::list_head* p = kernel_->slabs().cache_chain()->next;
+       p != kernel_->slabs().cache_chain(); p = p->next) {
+    vkern::kmem_cache* cache = VKERN_CONTAINER_OF(p, vkern::kmem_cache, cache_list);
+    EXPECT_LE(cache->active_objects, cache->total_objects) << cache->name;
+  }
+}
+
+TEST_F(StressTest, ExitAndReapChurnKeepsKernelConsistent) {
+  // Kill every workload process (threads first), reap them all, then verify
+  // the global structures.
+  std::set<int> dead_pids;
+  std::vector<vkern::task_struct*> victims(workload_->user_tasks().begin(),
+                                           workload_->user_tasks().end());
+  // Threads before leaders (reverse creation order within the vector works
+  // because CreateThread appends after its leader).
+  for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
+    dead_pids.insert((*it)->pid);
+    kernel_->procs().ExitTask(*it, 0);
+  }
+  for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
+    kernel_->procs().ReapTask(*it);
+  }
+  kernel_->rcu().Synchronize();
+
+  for (int pid : dead_pids) {
+    EXPECT_EQ(kernel_->procs().FindTaskByPid(pid), nullptr);
+  }
+  EXPECT_TRUE(kernel_->buddy().Validate());
+  // The scheduler no longer references any victim.
+  for (int cpu = 0; cpu < vkern::kNrCpus; ++cpu) {
+    kernel_->sched().ForEachQueued(cpu, [&](vkern::task_struct* t) {
+      EXPECT_EQ(dead_pids.count(t->pid), 0u);
+    });
+    kernel_->TickCpu(cpu);
+  }
+  // The kernel remains fully plottable.
+  dbg::KernelDebugger debugger(kernel_.get());
+  viewcl::Interpreter interp(&debugger);
+  auto graph = interp.RunProgram(vision::FindFigure("fig3_4")->viewcl);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_GE((*graph)->size(), 2u);
+}
+
+TEST_F(StressTest, FullCorpusPlotsOnMutatedKernel) {
+  dbg::KernelDebugger debugger(kernel_.get());
+  vision::RegisterFigureSymbols(&debugger, workload_.get());
+  kernel_->QueueMmPercpuWork(0);
+  for (const vision::FigureDef& figure : vision::AllFigures()) {
+    viewcl::Interpreter interp(&debugger);
+    auto graph = interp.RunProgram(figure.viewcl);
+    ASSERT_TRUE(graph.ok()) << figure.id << ": " << graph.status().ToString();
+    EXPECT_GE((*graph)->size(), 2u) << figure.id;
+    for (const std::string& warning : interp.warnings()) {
+      ADD_FAILURE() << figure.id << ": " << warning;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,294 @@
+// Tests for the smaller subsystems: timers, IRQs, workqueues, sockets,
+// System-V IPC, the device model, and swap.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/vkern/kernel.h"
+#include "tests/test_util.h"
+
+namespace vkern {
+namespace {
+
+using vltest::KernelTest;
+
+// --- timers ---
+
+class TimerTest : public KernelTest {};
+
+namespace timer_detail {
+int g_fired = 0;
+void CountFire(timer_list* timer) {
+  (void)timer;
+  ++g_fired;
+}
+}  // namespace timer_detail
+
+TEST_F(TimerTest, FiresAtExpiry) {
+  timer_detail::g_fired = 0;
+  timer_list* t = kernel_->timers().AllocTimer();
+  uint64_t now = kernel_->timer_bases()[0].clk;
+  kernel_->timers().AddTimer(0, t, now + 5, &timer_detail::CountFire);
+  EXPECT_EQ(kernel_->timers().Advance(0, 4), 0u);
+  EXPECT_EQ(timer_detail::g_fired, 0);
+  EXPECT_EQ(kernel_->timers().Advance(0, 1), 1u);
+  EXPECT_EQ(timer_detail::g_fired, 1);
+  EXPECT_EQ(kernel_->timers().pending_count(0), 0u);
+}
+
+TEST_F(TimerTest, FarTimersLandInHigherLevels) {
+  timer_detail::g_fired = 0;
+  timer_list* near = kernel_->timers().AllocTimer();
+  timer_list* far = kernel_->timers().AllocTimer();
+  uint64_t now = kernel_->timer_bases()[0].clk;
+  kernel_->timers().AddTimer(0, near, now + 10, &timer_detail::CountFire);
+  kernel_->timers().AddTimer(0, far, now + 3000, &timer_detail::CountFire);
+  uint32_t near_idx = TimerSubsystem::CalcWheelIndex(now + 10, now);
+  uint32_t far_idx = TimerSubsystem::CalcWheelIndex(now + 3000, now);
+  EXPECT_LT(near_idx, static_cast<uint32_t>(kTimerWheelSlotsPerLevel));
+  EXPECT_GE(far_idx, static_cast<uint32_t>(kTimerWheelSlotsPerLevel));
+  kernel_->timers().Advance(0, 3200);
+  EXPECT_EQ(timer_detail::g_fired, 2);
+}
+
+TEST_F(TimerTest, DelTimerCancels) {
+  timer_detail::g_fired = 0;
+  timer_list* t = kernel_->timers().AllocTimer();
+  uint64_t now = kernel_->timer_bases()[0].clk;
+  kernel_->timers().AddTimer(0, t, now + 3, &timer_detail::CountFire);
+  kernel_->timers().DelTimer(t);
+  kernel_->timers().Advance(0, 10);
+  EXPECT_EQ(timer_detail::g_fired, 0);
+}
+
+TEST_F(TimerTest, PerCpuBasesIndependent) {
+  timer_detail::g_fired = 0;
+  timer_list* t = kernel_->timers().AllocTimer();
+  uint64_t now = kernel_->timer_bases()[1].clk;
+  kernel_->timers().AddTimer(1, t, now + 2, &timer_detail::CountFire);
+  kernel_->timers().Advance(0, 10);  // wrong CPU
+  EXPECT_EQ(timer_detail::g_fired, 0);
+  kernel_->timers().Advance(1, 3);
+  EXPECT_EQ(timer_detail::g_fired, 1);
+}
+
+// --- IRQs ---
+
+class IrqTest : public KernelTest {};
+
+namespace irq_detail {
+int g_hits = 0;
+void Handler(int irq, void* dev) {
+  (void)irq;
+  (void)dev;
+  ++g_hits;
+}
+}  // namespace irq_detail
+
+TEST_F(IrqTest, BootInstalledSharedChain) {
+  // IRQ 14 was registered twice at boot (sda + sdb share it).
+  EXPECT_EQ(kernel_->irqs().action_count(14), 2u);
+  irq_desc* desc = kernel_->irqs().desc(14);
+  ASSERT_NE(desc->action, nullptr);
+  ASSERT_NE(desc->action->next, nullptr);
+  EXPECT_STREQ(desc->action->name, "ata_piix");
+}
+
+TEST_F(IrqTest, RaiseInvokesAllHandlers) {
+  irq_detail::g_hits = 0;
+  kernel_->irqs().RequestIrq(20, "test-a", &irq_detail::Handler, nullptr, 0);
+  kernel_->irqs().RequestIrq(20, "test-b", &irq_detail::Handler, &irq_detail::g_hits, 0);
+  kernel_->irqs().Raise(20);
+  EXPECT_EQ(irq_detail::g_hits, 2);
+  EXPECT_EQ(kernel_->irqs().desc(20)->tot_count, 1u);
+}
+
+TEST_F(IrqTest, DisabledIrqDoesNotFire) {
+  irq_detail::g_hits = 0;
+  EXPECT_EQ(kernel_->irqs().Raise(25), 0u);  // no action installed => depth 1
+  EXPECT_EQ(irq_detail::g_hits, 0);
+}
+
+TEST_F(IrqTest, FreeIrqRemovesFromChain) {
+  irq_detail::g_hits = 0;
+  int cookie_a = 0;
+  int cookie_b = 0;
+  kernel_->irqs().RequestIrq(21, "x", &irq_detail::Handler, &cookie_a, 0);
+  kernel_->irqs().RequestIrq(21, "y", &irq_detail::Handler, &cookie_b, 0);
+  kernel_->irqs().FreeIrq(21, &cookie_a);
+  EXPECT_EQ(kernel_->irqs().action_count(21), 1u);
+  kernel_->irqs().Raise(21);
+  EXPECT_EQ(irq_detail::g_hits, 1);
+}
+
+// --- workqueues ---
+
+class WorkqueueTest : public KernelTest {};
+
+TEST_F(WorkqueueTest, BootQueuedHeterogeneousItems) {
+  // Three items per CPU were queued on mm_percpu_wq at boot.
+  EXPECT_EQ(kernel_->wqs().pending_count(0), 3u);
+  EXPECT_EQ(kernel_->wqs().pending_count(1), 3u);
+  // The three containing types resolve via distinct func pointers.
+  worker_pool* pool = kernel_->wqs().pool(0);
+  std::set<uint64_t> funcs;
+  VKERN_LIST_FOR_EACH(pos, &pool->worklist) {
+    work_struct* w = VKERN_CONTAINER_OF(pos, work_struct, entry);
+    funcs.insert(reinterpret_cast<uint64_t>(w->func));
+    EXPECT_FALSE(kernel_->SymbolizeFunction(reinterpret_cast<uint64_t>(w->func)).empty());
+  }
+  EXPECT_EQ(funcs.size(), 3u);
+}
+
+TEST_F(WorkqueueTest, ProcessPendingRunsHandlers) {
+  uint64_t ran = kernel_->wqs().ProcessPending(0);
+  EXPECT_EQ(ran, 3u);
+  EXPECT_EQ(kernel_->wqs().pending_count(0), 0u);
+}
+
+TEST_F(WorkqueueTest, WorkDataPacksPwqPointer) {
+  worker_pool* pool = kernel_->wqs().pool(0);
+  work_struct* w = VKERN_CONTAINER_OF(pool->worklist.next, work_struct, entry);
+  EXPECT_EQ(w->data & 1u, 1u);  // PENDING bit
+  auto* pwq = reinterpret_cast<pool_workqueue*>(w->data & ~uint64_t{1});
+  EXPECT_EQ(pwq->wq, kernel_->mm_percpu_wq());
+  EXPECT_EQ(pwq->pool, pool);
+}
+
+TEST_F(WorkqueueTest, DoubleQueueRejected) {
+  kernel_->wqs().ProcessPending(0);
+  auto* item = static_cast<lru_drain_item*>(
+      kernel_->slabs().Alloc(kernel_->slabs().FindCache("mm_percpu_wq_item")));
+  kernel_->wqs().InitWork(&item->work, nullptr);
+  EXPECT_TRUE(kernel_->wqs().QueueWork(kernel_->mm_percpu_wq(), 0, &item->work));
+  EXPECT_FALSE(kernel_->wqs().QueueWork(kernel_->mm_percpu_wq(), 0, &item->work));
+}
+
+// --- sockets ---
+
+class NetTest : public KernelTest {};
+
+TEST_F(NetTest, SocketPairConnectsPeers) {
+  file* a = nullptr;
+  file* b = nullptr;
+  ASSERT_TRUE(kernel_->net().SocketPair(&a, &b));
+  socket* sa = NetSubsystem::FromFile(a);
+  socket* sb = NetSubsystem::FromFile(b);
+  EXPECT_EQ(sa->sk->sk_peer, sb->sk);
+  EXPECT_EQ(sb->sk->sk_peer, sa->sk);
+  EXPECT_EQ(sa->state, SS_CONNECTED);
+  EXPECT_EQ((a->f_inode->i_mode & 0170000u), kSIfSock);
+}
+
+TEST_F(NetTest, SendLandsOnPeerReceiveQueue) {
+  file* a = nullptr;
+  file* b = nullptr;
+  kernel_->net().SocketPair(&a, &b);
+  socket* sa = NetSubsystem::FromFile(a);
+  socket* sb = NetSubsystem::FromFile(b);
+  ASSERT_TRUE(kernel_->net().SendBytes(sa, 500));
+  ASSERT_TRUE(kernel_->net().SendBytes(sa, 300));
+  EXPECT_EQ(sb->sk->sk_receive_queue.qlen, 2u);
+  EXPECT_EQ(kernel_->net().ReceiveOne(sb), 500u);  // FIFO
+  EXPECT_EQ(kernel_->net().ReceiveOne(sb), 300u);
+  EXPECT_EQ(kernel_->net().ReceiveOne(sb), 0u);
+}
+
+// --- SysV IPC ---
+
+class IpcTest : public KernelTest {};
+
+TEST_F(IpcTest, SemaphoreOps) {
+  sem_array* sma = kernel_->ipc().SemGet(0x1234, 3);
+  ASSERT_NE(sma, nullptr);
+  EXPECT_EQ(sma->sem_nsems, 3);
+  EXPECT_TRUE(kernel_->ipc().SemOp(sma, 0, 2, 100));
+  EXPECT_TRUE(kernel_->ipc().SemOp(sma, 0, -1, 101));
+  EXPECT_EQ(sma->sems[0].semval, 1);
+  EXPECT_EQ(sma->sems[0].sempid, 101);
+  EXPECT_FALSE(kernel_->ipc().SemOp(sma, 0, -5, 102));  // would go negative
+  EXPECT_FALSE(kernel_->ipc().SemOp(sma, 9, 1, 102));   // out of range
+}
+
+TEST_F(IpcTest, MessageQueueFifo) {
+  msg_queue* q = kernel_->ipc().MsgGet(0x777);
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(kernel_->ipc().MsgSend(q, 1, 128));
+  EXPECT_TRUE(kernel_->ipc().MsgSend(q, 2, 256));
+  EXPECT_EQ(q->q_qnum, 2u);
+  EXPECT_EQ(q->q_cbytes, 384u);
+  EXPECT_EQ(kernel_->ipc().MsgReceive(q), 128u);
+  EXPECT_EQ(kernel_->ipc().MsgReceive(q), 256u);
+  EXPECT_EQ(kernel_->ipc().MsgReceive(q), 0u);
+}
+
+TEST_F(IpcTest, QueueByteLimitEnforced) {
+  msg_queue* q = kernel_->ipc().MsgGet(0x778);
+  ASSERT_TRUE(kernel_->ipc().MsgSend(q, 1, q->q_qbytes));
+  EXPECT_FALSE(kernel_->ipc().MsgSend(q, 1, 1));
+}
+
+TEST_F(IpcTest, IdsRegisterInNamespace) {
+  int before = kernel_->ipc().sem_count();
+  sem_array* sma = kernel_->ipc().SemGet(0x9, 1);
+  EXPECT_EQ(kernel_->ipc().sem_count(), before + 1);
+  EXPECT_EQ(kernel_->init_ipc_ns()->ids[kIpcSemIds].entries[sma->sem_perm.id], &sma->sem_perm);
+}
+
+// --- device model ---
+
+class DeviceTest : public KernelTest {};
+
+TEST_F(DeviceTest, BootPlatformBusPopulated) {
+  bus_type* bus = kernel_->platform_bus();
+  ASSERT_NE(bus, nullptr);
+  EXPECT_EQ(kernel_->devices().device_count(bus), 3u);
+  EXPECT_EQ(kernel_->devices().driver_count(bus), 3u);
+}
+
+TEST_F(DeviceTest, DeviceKobjectParenting) {
+  bus_type* bus = kernel_->platform_bus();
+  // Find ttyS0; its parent device is serial8250 and its driver is bound.
+  device* tty = nullptr;
+  VKERN_LIST_FOR_EACH(pos, &bus->devices_list) {
+    device* dev = VKERN_CONTAINER_OF(pos, device, bus_node);
+    if (std::strcmp(dev->init_name, "ttyS0") == 0) {
+      tty = dev;
+    }
+  }
+  ASSERT_NE(tty, nullptr);
+  ASSERT_NE(tty->parent, nullptr);
+  EXPECT_STREQ(tty->parent->init_name, "serial8250");
+  EXPECT_EQ(tty->kobj.parent, &tty->parent->kobj);
+  ASSERT_NE(tty->driver, nullptr);
+  EXPECT_STREQ(tty->driver->name, "serial8250");
+}
+
+// --- swap ---
+
+class SwapTest : public KernelTest {};
+
+TEST_F(SwapTest, BootActivatedSwapArea) {
+  ASSERT_EQ(kernel_->swap().nr_swapfiles(), 1);
+  swap_info_struct* si = kernel_->swap().info(0);
+  EXPECT_TRUE(si->flags & SWP_USED);
+  EXPECT_TRUE(si->flags & SWP_WRITEOK);
+  EXPECT_EQ(si->inuse_pages, 37u);
+  ASSERT_NE(si->swap_file, nullptr);
+  EXPECT_EQ(si->bdev, kernel_->sda());
+}
+
+TEST_F(SwapTest, SlotAllocationCounts) {
+  swap_info_struct* si = kernel_->swap().info(0);
+  uint32_t before = si->inuse_pages;
+  int64_t slot = kernel_->swap().AllocSlot(si);
+  ASSERT_GT(slot, 0);
+  EXPECT_EQ(si->inuse_pages, before + 1);
+  EXPECT_EQ(si->swap_map[slot], 1);
+  kernel_->swap().FreeSlot(si, static_cast<uint32_t>(slot));
+  EXPECT_EQ(si->inuse_pages, before);
+}
+
+}  // namespace
+}  // namespace vkern

@@ -1,0 +1,145 @@
+// Support library tests: Status/StatusOr, string utilities, RNG determinism.
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+#include "src/support/status.h"
+#include "src/support/str.h"
+#include "src/support/vclock.h"
+
+namespace vl {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = ParseError("unexpected token at 3:14");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "PARSE_ERROR: unexpected token at 3:14");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+Status Half(int x, int* out) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  *out = x / 2;
+  return Status::Ok();
+}
+
+StatusOr<int> QuarterViaMacros(int x) {
+  int half = 0;
+  VL_RETURN_IF_ERROR(Half(x, &half));
+  int quarter = 0;
+  VL_RETURN_IF_ERROR(Half(half, &quarter));
+  return quarter;
+}
+
+TEST(StatusOrTest, MacrosPropagate) {
+  EXPECT_EQ(*QuarterViaMacros(8), 2);
+  EXPECT_FALSE(QuarterViaMacros(6).ok());
+  EXPECT_FALSE(QuarterViaMacros(7).ok());
+}
+
+TEST(StrTest, SplitKeepsEmpty) {
+  auto parts = StrSplit("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StrTest, SplitTrimmedDropsEmpty) {
+  auto parts = StrSplitTrimmed(" a , , b ", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StrTest, Trim) {
+  EXPECT_EQ(StrTrim("  x  "), "x");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim(" \t\n "), "");
+}
+
+TEST(StrTest, FormatUnsignedBases) {
+  EXPECT_EQ(FormatUnsigned(255, 16), "0xff");
+  EXPECT_EQ(FormatUnsigned(8, 8), "010");
+  EXPECT_EQ(FormatUnsigned(5, 2), "0b101");
+  EXPECT_EQ(FormatUnsigned(1234, 10), "1234");
+  EXPECT_EQ(FormatUnsigned(0, 16), "0x0");
+}
+
+TEST(StrTest, FormatByteSize) {
+  EXPECT_EQ(FormatByteSize(512), "512 B");
+  EXPECT_EQ(FormatByteSize(2048), "2.0 KiB");
+  EXPECT_EQ(FormatByteSize(3u << 20), "3.0 MiB");
+}
+
+TEST(StrTest, ReplaceAll) {
+  EXPECT_EQ(StrReplaceAll("a.b.c", ".", "->"), "a->b->c");
+  EXPECT_EQ(StrReplaceAll("", ".", "x"), "");
+}
+
+TEST(StrTest, JsonEscape) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(StrTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("0x10", &v));
+  EXPECT_EQ(v, 16);
+  EXPECT_TRUE(ParseInt64("-5", &v));
+  EXPECT_EQ(v, -5);
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, RangesRespectBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextInRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    EXPECT_LT(rng.NextBelow(7), 7u);
+  }
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+}
+
+TEST(VClockTest, Accumulates) {
+  VirtualClock clock;
+  clock.AdvanceNanos(1500000);
+  clock.AdvanceNanos(500000);
+  EXPECT_EQ(clock.nanos(), 2000000u);
+  EXPECT_DOUBLE_EQ(clock.millis(), 2.0);
+  clock.Reset();
+  EXPECT_EQ(clock.nanos(), 0u);
+}
+
+}  // namespace
+}  // namespace vl

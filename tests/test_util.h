@@ -1,0 +1,39 @@
+// Shared test fixtures: a booted simulated kernel, optionally with the paper's
+// standard workload already run over it.
+
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/vkern/kernel.h"
+#include "src/vkern/workload.h"
+
+namespace vltest {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { kernel_ = std::make_unique<vkern::Kernel>(); }
+
+  std::unique_ptr<vkern::Kernel> kernel_;
+};
+
+class WorkloadKernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = std::make_unique<vkern::Kernel>();
+    vkern::WorkloadConfig config;
+    config.steps = 60;
+    workload_ = std::make_unique<vkern::Workload>(kernel_.get(), config);
+    workload_->Run();
+  }
+
+  std::unique_ptr<vkern::Kernel> kernel_;
+  std::unique_ptr<vkern::Workload> workload_;
+};
+
+}  // namespace vltest
+
+#endif  // TESTS_TEST_UTIL_H_

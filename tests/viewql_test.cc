@@ -1,0 +1,310 @@
+// ViewQL tests: SELECT/UPDATE semantics over live ViewCL graphs, including
+// every query shape the paper's examples use (§2.3, §3.1, §5.2, §5.3).
+
+#include <gtest/gtest.h>
+
+#include "src/viewcl/interp.h"
+#include "src/viewql/query.h"
+#include "tests/test_util.h"
+
+namespace viewql {
+namespace {
+
+class ViewQlTest : public vltest::WorkloadKernelTest {
+ protected:
+  void SetUp() override {
+    vltest::WorkloadKernelTest::SetUp();
+    debugger_ = std::make_unique<dbg::KernelDebugger>(kernel_.get());
+    interp_ = std::make_unique<viewcl::Interpreter>(debugger_.get());
+    // A task graph: every task on the global list, with its mm distilled.
+    graph_ = Must(interp_->RunProgram(R"(
+      define Vma as Box<vm_area_struct> [
+        Text<u64:x> vm_start, vm_end
+        Text<bool> is_writable: ${(@this.vm_flags & VM_WRITE) != 0}
+      ]
+      define Task as Box<task_struct> {
+        :default [
+          Text pid, comm
+          Text ppid: ${@this.parent != NULL ? @this.parent->pid : 0}
+        ]
+        :default => :show_mm [
+          Container vmas: Array.selectFrom(${&@this.mm->mm_mt}, Vma)
+        ]
+      }
+      tasks = List(${&init_task.tasks}).forEach |node| {
+        yield Task<task_struct.tasks>(@node)
+      }
+      plot @tasks
+    )"));
+    engine_ = std::make_unique<QueryEngine>(graph_.get(), debugger_.get());
+  }
+
+  std::unique_ptr<viewcl::ViewGraph> Must(
+      vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>> graph) {
+    EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+    return std::move(graph).value();
+  }
+
+  void MustExec(std::string_view program) {
+    vl::Status status = engine_->Execute(program);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+
+  size_t SetSize(const std::string& name) {
+    const BoxSet* set = engine_->FindSet(name);
+    return set != nullptr ? set->size() : 0;
+  }
+
+  std::unique_ptr<dbg::KernelDebugger> debugger_;
+  std::unique_ptr<viewcl::Interpreter> interp_;
+  std::unique_ptr<viewcl::ViewGraph> graph_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(ViewQlTest, SelectByType) {
+  MustExec("all_tasks = SELECT task_struct FROM *");
+  // The workload list excludes init_task itself (list anchor) but includes
+  // everything else.
+  EXPECT_EQ(SetSize("all_tasks"),
+            static_cast<size_t>(kernel_->procs().task_count() - 1));
+}
+
+TEST_F(ViewQlTest, SelectStarFromSet) {
+  MustExec(R"(
+    a = SELECT task_struct FROM *
+    b = SELECT * FROM a
+  )");
+  EXPECT_EQ(SetSize("a"), SetSize("b"));
+}
+
+TEST_F(ViewQlTest, WhereOnEvaluatedMember) {
+  MustExec(R"(
+    init_only = SELECT task_struct FROM * WHERE pid == 1
+  )");
+  ASSERT_EQ(SetSize("init_only"), 1u);
+  const viewcl::VBox* box = graph_->box(*engine_->FindSet("init_only")->begin());
+  EXPECT_EQ(box->members().at("comm").str, "init");
+}
+
+TEST_F(ViewQlTest, WhereStringCompare) {
+  MustExec(R"(
+    rcu = SELECT task_struct FROM * WHERE comm == "rcu_sched"
+    benches = SELECT task_struct FROM * WHERE comm contains "bench"
+  )");
+  EXPECT_EQ(SetSize("rcu"), 1u);
+  EXPECT_EQ(SetSize("benches"), 10u);  // 5 procs x 2 threads
+}
+
+TEST_F(ViewQlTest, WhereOrComposition) {
+  MustExec(R"(
+    pair = SELECT task_struct FROM * WHERE pid == 1 OR ppid == 1
+  )");
+  // init + the 5 bench leaders (children of init).
+  EXPECT_EQ(SetSize("pair"), 6u);
+}
+
+TEST_F(ViewQlTest, WhereAndComposition) {
+  MustExec(R"(
+    none = SELECT task_struct FROM * WHERE pid == 1 AND ppid == 1
+    one = SELECT task_struct FROM * WHERE pid >= 1 AND pid <= 1
+  )");
+  EXPECT_EQ(SetSize("none"), 0u);
+  EXPECT_EQ(SetSize("one"), 1u);
+}
+
+TEST_F(ViewQlTest, WhereRawFieldFallback) {
+  // `mm` is not a displayed item; it resolves through the debugger (§2.3's
+  // "tasks with a non-null mm" example).
+  MustExec(R"(
+    user_threads = SELECT task_struct FROM * WHERE mm != NULL
+  )");
+  int expected = 0;
+  VKERN_LIST_FOR_EACH(pos, &kernel_->procs().init_task()->tasks) {
+    if (VKERN_CONTAINER_OF(pos, vkern::task_struct, tasks)->mm != nullptr) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(SetSize("user_threads"), static_cast<size_t>(expected));
+  EXPECT_GT(expected, 10);
+}
+
+TEST_F(ViewQlTest, WhereRawDottedPath) {
+  MustExec(R"(
+    sleepers = SELECT task_struct FROM * WHERE se.vruntime > 0
+  )");
+  EXPECT_GT(SetSize("sleepers"), 0u);
+}
+
+TEST_F(ViewQlTest, UpdateSetsViewAttribute) {
+  MustExec(R"(
+    user_threads = SELECT task_struct FROM * WHERE mm != NULL
+    UPDATE user_threads WITH view: show_mm
+  )");
+  const BoxSet* set = engine_->FindSet("user_threads");
+  ASSERT_NE(set, nullptr);
+  ASSERT_FALSE(set->empty());
+  for (uint64_t id : *set) {
+    const viewcl::VBox* box = graph_->box(id);
+    EXPECT_EQ(box->attrs().at("view"), "show_mm");
+    EXPECT_EQ(box->ActiveView()->name, "show_mm");
+  }
+  EXPECT_EQ(engine_->stats().boxes_updated, set->size());
+}
+
+TEST_F(ViewQlTest, PaperNonWritableVmaExample) {
+  // §2.3: collapse the non-writable memory areas.
+  MustExec(R"(
+    non_writable_vmas = SELECT vm_area_struct
+        FROM *
+        WHERE is_writable != true
+    UPDATE non_writable_vmas WITH collapsed: true
+  )");
+  size_t collapsed = 0;
+  size_t total = 0;
+  graph_->ForEachBox([&](const viewcl::VBox& box) {
+    if (box.kernel_type() != "vm_area_struct") {
+      return;
+    }
+    ++total;
+    bool writable = box.members().at("is_writable").num != 0;
+    if (box.AttrBool("collapsed")) {
+      ++collapsed;
+      EXPECT_FALSE(writable);
+    } else {
+      EXPECT_TRUE(writable);
+    }
+  });
+  EXPECT_GT(collapsed, 0u);
+  EXPECT_GT(total, collapsed);
+}
+
+TEST_F(ViewQlTest, SetDifferenceOperator) {
+  // §1's example: collapse everything except process #1 and its children.
+  MustExec(R"(
+    task_all = SELECT task_struct FROM *
+    task_1 = SELECT task_struct FROM task_all WHERE pid == 1 OR ppid == 1
+    UPDATE task_all \ task_1 WITH collapsed: true
+  )");
+  size_t collapsed = 0;
+  graph_->ForEachBox([&](const viewcl::VBox& box) {
+    if (box.kernel_type() == "task_struct" && box.AttrBool("collapsed")) {
+      ++collapsed;
+    }
+  });
+  EXPECT_EQ(collapsed, SetSize("task_all") - SetSize("task_1"));
+  EXPECT_GT(collapsed, 0u);
+}
+
+TEST_F(ViewQlTest, SetIntersectionAndUnion) {
+  MustExec(R"(
+    a = SELECT task_struct FROM * WHERE pid <= 5
+    b = SELECT task_struct FROM * WHERE pid >= 5
+    both = SELECT * FROM a & b
+    any = SELECT * FROM a | b
+  )");
+  EXPECT_EQ(SetSize("both"), 1u);  // pid == 5 exactly
+  EXPECT_EQ(SetSize("any"), SetSize("a") + SetSize("b") - 1);
+}
+
+TEST_F(ViewQlTest, ReachableBuiltin) {
+  MustExec(R"(
+    init_set = SELECT task_struct FROM * WHERE pid == 1
+    closure = SELECT * FROM REACHABLE(init_set)
+  )");
+  // init's box has no outgoing links in this program (vmas only shown in
+  // show_mm container which *is* part of the views) — the closure includes
+  // the vma container members.
+  EXPECT_GE(SetSize("closure"), 1u);
+}
+
+TEST_F(ViewQlTest, ItemPathSelection) {
+  // §3.1's "SELECT maple_node.slots" shape: select the boxes referenced by a
+  // named item of a type.
+  MustExec(R"(
+    vma_containers = SELECT Task.vmas FROM *
+  )");
+  // Every user thread's Task box exposes a 'vmas' container whose members are
+  // vm_area_struct boxes.
+  const BoxSet* set = engine_->FindSet("vma_containers");
+  ASSERT_NE(set, nullptr);
+  EXPECT_GT(set->size(), 0u);
+  for (uint64_t id : *set) {
+    EXPECT_EQ(graph_->box(id)->kernel_type(), "vm_area_struct");
+  }
+}
+
+TEST_F(ViewQlTest, AliasComparesObjectAddress) {
+  // §3.2's LLM-generated query: pin one VMA by address.
+  uint64_t target = 0;
+  graph_->ForEachBox([&](const viewcl::VBox& box) {
+    if (target == 0 && box.kernel_type() == "vm_area_struct") {
+      target = box.addr();
+    }
+  });
+  ASSERT_NE(target, 0u);
+  char program[256];
+  std::snprintf(program, sizeof(program), R"(
+    a = SELECT vm_area_struct FROM * AS vma WHERE vma != 0x%llx
+    UPDATE a WITH trimmed: true
+  )",
+                static_cast<unsigned long long>(target));
+  MustExec(program);
+  size_t trimmed = 0;
+  size_t kept = 0;
+  graph_->ForEachBox([&](const viewcl::VBox& box) {
+    if (box.kernel_type() != "vm_area_struct") {
+      return;
+    }
+    if (box.AttrBool("trimmed")) {
+      ++trimmed;
+      EXPECT_NE(box.addr(), target);
+    } else {
+      ++kept;
+      EXPECT_EQ(box.addr(), target);
+    }
+  });
+  EXPECT_EQ(kept, 1u);
+  EXPECT_GT(trimmed, 0u);
+}
+
+TEST_F(ViewQlTest, UpdateDirectionAttribute) {
+  MustExec(R"(
+    all = SELECT * FROM *
+    UPDATE all WITH direction: vertical
+  )");
+  graph_->ForEachBox([&](const viewcl::VBox& box) {
+    EXPECT_EQ(box.attrs().at("direction"), "vertical");
+  });
+}
+
+TEST_F(ViewQlTest, MultipleAttrsInOneUpdate) {
+  MustExec(R"(
+    t = SELECT task_struct FROM * WHERE pid == 1
+    UPDATE t WITH collapsed: true, view: show_mm
+  )");
+  const viewcl::VBox* box = graph_->box(*engine_->FindSet("t")->begin());
+  EXPECT_TRUE(box->AttrBool("collapsed"));
+  EXPECT_EQ(box->attrs().at("view"), "show_mm");
+}
+
+TEST_F(ViewQlTest, ParseErrorsSurface) {
+  EXPECT_FALSE(engine_->Execute("SELECT FROM").ok());
+  EXPECT_FALSE(engine_->Execute("x = SELECT task_struct").ok());
+  EXPECT_FALSE(engine_->Execute("UPDATE x WITH").ok());
+  EXPECT_FALSE(engine_->Execute("x = SELECT t FROM * WHERE a ==").ok());
+  // Unknown set names are runtime errors.
+  EXPECT_FALSE(engine_->Execute("UPDATE no_such_set WITH collapsed: true").ok());
+}
+
+TEST_F(ViewQlTest, CheckOnlyValidation) {
+  EXPECT_TRUE(CheckViewQl("a = SELECT x FROM * WHERE y == 1 UPDATE a WITH v: w").ok());
+  EXPECT_FALSE(CheckViewQl("definitely not viewql ((").ok());
+}
+
+TEST_F(ViewQlTest, KeywordsAreCaseInsensitive) {
+  MustExec("a = select task_struct from * where pid == 1");
+  EXPECT_EQ(SetSize("a"), 1u);
+}
+
+}  // namespace
+}  // namespace viewql
