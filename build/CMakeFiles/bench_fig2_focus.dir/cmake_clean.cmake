@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_focus.dir/bench/bench_fig2_focus.cc.o"
+  "CMakeFiles/bench_fig2_focus.dir/bench/bench_fig2_focus.cc.o.d"
+  "bench/bench_fig2_focus"
+  "bench/bench_fig2_focus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_focus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

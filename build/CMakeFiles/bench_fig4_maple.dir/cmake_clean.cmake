@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_maple.dir/bench/bench_fig4_maple.cc.o"
+  "CMakeFiles/bench_fig4_maple.dir/bench/bench_fig4_maple.cc.o.d"
+  "bench/bench_fig4_maple"
+  "bench/bench_fig4_maple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_maple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_stackrot.dir/bench/bench_fig5_stackrot.cc.o"
+  "CMakeFiles/bench_fig5_stackrot.dir/bench/bench_fig5_stackrot.cc.o.d"
+  "bench/bench_fig5_stackrot"
+  "bench/bench_fig5_stackrot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_stackrot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

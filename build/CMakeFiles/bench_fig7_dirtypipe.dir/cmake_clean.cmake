@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_dirtypipe.dir/bench/bench_fig7_dirtypipe.cc.o"
+  "CMakeFiles/bench_fig7_dirtypipe.dir/bench/bench_fig7_dirtypipe.cc.o.d"
+  "bench/bench_fig7_dirtypipe"
+  "bench/bench_fig7_dirtypipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dirtypipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

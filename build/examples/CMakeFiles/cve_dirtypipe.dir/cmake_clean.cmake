@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cve_dirtypipe.dir/cve_dirtypipe.cpp.o"
+  "CMakeFiles/cve_dirtypipe.dir/cve_dirtypipe.cpp.o.d"
+  "cve_dirtypipe"
+  "cve_dirtypipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cve_dirtypipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cve_dirtypipe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cve_stackrot.dir/cve_stackrot.cpp.o"
+  "CMakeFiles/cve_stackrot.dir/cve_stackrot.cpp.o.d"
+  "cve_stackrot"
+  "cve_stackrot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cve_stackrot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

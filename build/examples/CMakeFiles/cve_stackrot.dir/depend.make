@@ -1,0 +1,2 @@
+# Empty dependencies file for cve_stackrot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_debugger.dir/interactive_debugger.cpp.o"
+  "CMakeFiles/interactive_debugger.dir/interactive_debugger.cpp.o.d"
+  "interactive_debugger"
+  "interactive_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maple_tree_explorer.dir/maple_tree_explorer.cpp.o"
+  "CMakeFiles/maple_tree_explorer.dir/maple_tree_explorer.cpp.o.d"
+  "maple_tree_explorer"
+  "maple_tree_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maple_tree_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

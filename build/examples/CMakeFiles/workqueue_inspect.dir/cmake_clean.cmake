@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workqueue_inspect.dir/workqueue_inspect.cpp.o"
+  "CMakeFiles/workqueue_inspect.dir/workqueue_inspect.cpp.o.d"
+  "workqueue_inspect"
+  "workqueue_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workqueue_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

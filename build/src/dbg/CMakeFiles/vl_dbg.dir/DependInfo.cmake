@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbg/expr.cc" "src/dbg/CMakeFiles/vl_dbg.dir/expr.cc.o" "gcc" "src/dbg/CMakeFiles/vl_dbg.dir/expr.cc.o.d"
+  "/root/repo/src/dbg/kernel_introspect.cc" "src/dbg/CMakeFiles/vl_dbg.dir/kernel_introspect.cc.o" "gcc" "src/dbg/CMakeFiles/vl_dbg.dir/kernel_introspect.cc.o.d"
+  "/root/repo/src/dbg/target.cc" "src/dbg/CMakeFiles/vl_dbg.dir/target.cc.o" "gcc" "src/dbg/CMakeFiles/vl_dbg.dir/target.cc.o.d"
+  "/root/repo/src/dbg/type.cc" "src/dbg/CMakeFiles/vl_dbg.dir/type.cc.o" "gcc" "src/dbg/CMakeFiles/vl_dbg.dir/type.cc.o.d"
+  "/root/repo/src/dbg/value.cc" "src/dbg/CMakeFiles/vl_dbg.dir/value.cc.o" "gcc" "src/dbg/CMakeFiles/vl_dbg.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vkern/CMakeFiles/vl_vkern.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

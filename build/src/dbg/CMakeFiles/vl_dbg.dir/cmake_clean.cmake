@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_dbg.dir/expr.cc.o"
+  "CMakeFiles/vl_dbg.dir/expr.cc.o.d"
+  "CMakeFiles/vl_dbg.dir/kernel_introspect.cc.o"
+  "CMakeFiles/vl_dbg.dir/kernel_introspect.cc.o.d"
+  "CMakeFiles/vl_dbg.dir/target.cc.o"
+  "CMakeFiles/vl_dbg.dir/target.cc.o.d"
+  "CMakeFiles/vl_dbg.dir/type.cc.o"
+  "CMakeFiles/vl_dbg.dir/type.cc.o.d"
+  "CMakeFiles/vl_dbg.dir/value.cc.o"
+  "CMakeFiles/vl_dbg.dir/value.cc.o.d"
+  "libvl_dbg.a"
+  "libvl_dbg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_dbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_support.dir/json.cc.o"
+  "CMakeFiles/vl_support.dir/json.cc.o.d"
+  "CMakeFiles/vl_support.dir/status.cc.o"
+  "CMakeFiles/vl_support.dir/status.cc.o.d"
+  "CMakeFiles/vl_support.dir/str.cc.o"
+  "CMakeFiles/vl_support.dir/str.cc.o.d"
+  "libvl_support.a"
+  "libvl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viewcl/decorate.cc" "src/viewcl/CMakeFiles/vl_viewcl.dir/decorate.cc.o" "gcc" "src/viewcl/CMakeFiles/vl_viewcl.dir/decorate.cc.o.d"
+  "/root/repo/src/viewcl/graph.cc" "src/viewcl/CMakeFiles/vl_viewcl.dir/graph.cc.o" "gcc" "src/viewcl/CMakeFiles/vl_viewcl.dir/graph.cc.o.d"
+  "/root/repo/src/viewcl/interp.cc" "src/viewcl/CMakeFiles/vl_viewcl.dir/interp.cc.o" "gcc" "src/viewcl/CMakeFiles/vl_viewcl.dir/interp.cc.o.d"
+  "/root/repo/src/viewcl/lexer.cc" "src/viewcl/CMakeFiles/vl_viewcl.dir/lexer.cc.o" "gcc" "src/viewcl/CMakeFiles/vl_viewcl.dir/lexer.cc.o.d"
+  "/root/repo/src/viewcl/parser.cc" "src/viewcl/CMakeFiles/vl_viewcl.dir/parser.cc.o" "gcc" "src/viewcl/CMakeFiles/vl_viewcl.dir/parser.cc.o.d"
+  "/root/repo/src/viewcl/synthesize.cc" "src/viewcl/CMakeFiles/vl_viewcl.dir/synthesize.cc.o" "gcc" "src/viewcl/CMakeFiles/vl_viewcl.dir/synthesize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbg/CMakeFiles/vl_dbg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vkern/CMakeFiles/vl_vkern.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_viewcl.dir/decorate.cc.o"
+  "CMakeFiles/vl_viewcl.dir/decorate.cc.o.d"
+  "CMakeFiles/vl_viewcl.dir/graph.cc.o"
+  "CMakeFiles/vl_viewcl.dir/graph.cc.o.d"
+  "CMakeFiles/vl_viewcl.dir/interp.cc.o"
+  "CMakeFiles/vl_viewcl.dir/interp.cc.o.d"
+  "CMakeFiles/vl_viewcl.dir/lexer.cc.o"
+  "CMakeFiles/vl_viewcl.dir/lexer.cc.o.d"
+  "CMakeFiles/vl_viewcl.dir/parser.cc.o"
+  "CMakeFiles/vl_viewcl.dir/parser.cc.o.d"
+  "CMakeFiles/vl_viewcl.dir/synthesize.cc.o"
+  "CMakeFiles/vl_viewcl.dir/synthesize.cc.o.d"
+  "libvl_viewcl.a"
+  "libvl_viewcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_viewcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

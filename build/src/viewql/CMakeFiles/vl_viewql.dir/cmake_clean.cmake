@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_viewql.dir/query.cc.o"
+  "CMakeFiles/vl_viewql.dir/query.cc.o.d"
+  "libvl_viewql.a"
+  "libvl_viewql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_viewql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vl_vision.dir/figures.cc.o"
+  "CMakeFiles/vl_vision.dir/figures.cc.o.d"
+  "CMakeFiles/vl_vision.dir/panes.cc.o"
+  "CMakeFiles/vl_vision.dir/panes.cc.o.d"
+  "CMakeFiles/vl_vision.dir/render.cc.o"
+  "CMakeFiles/vl_vision.dir/render.cc.o.d"
+  "CMakeFiles/vl_vision.dir/shell.cc.o"
+  "CMakeFiles/vl_vision.dir/shell.cc.o.d"
+  "CMakeFiles/vl_vision.dir/vchat.cc.o"
+  "CMakeFiles/vl_vision.dir/vchat.cc.o.d"
+  "libvl_vision.a"
+  "libvl_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vl_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

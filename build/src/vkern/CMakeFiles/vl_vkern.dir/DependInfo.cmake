@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vkern/arena.cc" "src/vkern/CMakeFiles/vl_vkern.dir/arena.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/arena.cc.o.d"
+  "/root/repo/src/vkern/buddy.cc" "src/vkern/CMakeFiles/vl_vkern.dir/buddy.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/buddy.cc.o.d"
+  "/root/repo/src/vkern/faults.cc" "src/vkern/CMakeFiles/vl_vkern.dir/faults.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/faults.cc.o.d"
+  "/root/repo/src/vkern/fs.cc" "src/vkern/CMakeFiles/vl_vkern.dir/fs.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/fs.cc.o.d"
+  "/root/repo/src/vkern/ipc.cc" "src/vkern/CMakeFiles/vl_vkern.dir/ipc.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/ipc.cc.o.d"
+  "/root/repo/src/vkern/irq.cc" "src/vkern/CMakeFiles/vl_vkern.dir/irq.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/irq.cc.o.d"
+  "/root/repo/src/vkern/kernel.cc" "src/vkern/CMakeFiles/vl_vkern.dir/kernel.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/kernel.cc.o.d"
+  "/root/repo/src/vkern/kobject.cc" "src/vkern/CMakeFiles/vl_vkern.dir/kobject.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/kobject.cc.o.d"
+  "/root/repo/src/vkern/maple.cc" "src/vkern/CMakeFiles/vl_vkern.dir/maple.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/maple.cc.o.d"
+  "/root/repo/src/vkern/net.cc" "src/vkern/CMakeFiles/vl_vkern.dir/net.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/net.cc.o.d"
+  "/root/repo/src/vkern/process.cc" "src/vkern/CMakeFiles/vl_vkern.dir/process.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/process.cc.o.d"
+  "/root/repo/src/vkern/radix.cc" "src/vkern/CMakeFiles/vl_vkern.dir/radix.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/radix.cc.o.d"
+  "/root/repo/src/vkern/rbtree.cc" "src/vkern/CMakeFiles/vl_vkern.dir/rbtree.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/rbtree.cc.o.d"
+  "/root/repo/src/vkern/rcu.cc" "src/vkern/CMakeFiles/vl_vkern.dir/rcu.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/rcu.cc.o.d"
+  "/root/repo/src/vkern/sched.cc" "src/vkern/CMakeFiles/vl_vkern.dir/sched.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/sched.cc.o.d"
+  "/root/repo/src/vkern/slab.cc" "src/vkern/CMakeFiles/vl_vkern.dir/slab.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/slab.cc.o.d"
+  "/root/repo/src/vkern/swap.cc" "src/vkern/CMakeFiles/vl_vkern.dir/swap.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/swap.cc.o.d"
+  "/root/repo/src/vkern/timer.cc" "src/vkern/CMakeFiles/vl_vkern.dir/timer.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/timer.cc.o.d"
+  "/root/repo/src/vkern/workload.cc" "src/vkern/CMakeFiles/vl_vkern.dir/workload.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/workload.cc.o.d"
+  "/root/repo/src/vkern/workqueue.cc" "src/vkern/CMakeFiles/vl_vkern.dir/workqueue.cc.o" "gcc" "src/vkern/CMakeFiles/vl_vkern.dir/workqueue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbg_test.dir/dbg_test.cc.o"
+  "CMakeFiles/dbg_test.dir/dbg_test.cc.o.d"
+  "dbg_test"
+  "dbg_test.pdb"
+  "dbg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maple_test.dir/maple_test.cc.o"
+  "CMakeFiles/maple_test.dir/maple_test.cc.o.d"
+  "maple_test"
+  "maple_test.pdb"
+  "maple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

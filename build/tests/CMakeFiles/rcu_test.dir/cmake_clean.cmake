@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcu_test.dir/rcu_test.cc.o"
+  "CMakeFiles/rcu_test.dir/rcu_test.cc.o.d"
+  "rcu_test"
+  "rcu_test.pdb"
+  "rcu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

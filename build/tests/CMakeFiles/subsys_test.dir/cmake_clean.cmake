@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsys_test.dir/subsys_test.cc.o"
+  "CMakeFiles/subsys_test.dir/subsys_test.cc.o.d"
+  "subsys_test"
+  "subsys_test.pdb"
+  "subsys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewcl_test.dir/viewcl_test.cc.o"
+  "CMakeFiles/viewcl_test.dir/viewcl_test.cc.o.d"
+  "viewcl_test"
+  "viewcl_test.pdb"
+  "viewcl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewcl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

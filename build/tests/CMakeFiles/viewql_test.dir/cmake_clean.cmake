@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewql_test.dir/viewql_test.cc.o"
+  "CMakeFiles/viewql_test.dir/viewql_test.cc.o.d"
+  "viewql_test"
+  "viewql_test.pdb"
+  "viewql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/rbtree_test[1]_include.cmake")
+include("/root/repo/build/tests/buddy_test[1]_include.cmake")
+include("/root/repo/build/tests/slab_test[1]_include.cmake")
+include("/root/repo/build/tests/radix_test[1]_include.cmake")
+include("/root/repo/build/tests/rcu_test[1]_include.cmake")
+include("/root/repo/build/tests/maple_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/process_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/subsys_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")
+include("/root/repo/build/tests/dbg_test[1]_include.cmake")
+include("/root/repo/build/tests/viewcl_test[1]_include.cmake")
+include("/root/repo/build/tests/viewql_test[1]_include.cmake")
+include("/root/repo/build/tests/figures_test[1]_include.cmake")
+include("/root/repo/build/tests/vision_test[1]_include.cmake")
+include("/root/repo/build/tests/list_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/render_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_fuzz_test[1]_include.cmake")
