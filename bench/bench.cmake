@@ -14,6 +14,7 @@ vl_add_bench(bench_fig4_maple)
 vl_add_bench(bench_fig5_stackrot)
 vl_add_bench(bench_fig7_dirtypipe)
 vl_add_bench(bench_ablation)
+vl_add_bench(bench_report)
 
 add_executable(bench_micro bench/bench_micro.cc)
 set_target_properties(bench_micro PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

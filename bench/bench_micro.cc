@@ -2,10 +2,23 @@
 // data structures, the debugger's C-expression engine, and ViewCL/ViewQL
 // evaluation. These quantify the *host-side* costs the paper's Table 4
 // footnote calls negligible next to transport latency.
+//
+// After the benchmarks, main() runs a tracing-overhead guard: with tracing
+// disabled, the instrumented Target read path (one cached relaxed atomic flag
+// load + branch) must stay within 1% of an uninstrumented replica.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
 #include "bench/bench_util.h"
+#include "src/dbg/target.h"
+#include "src/support/str.h"
+#include "src/support/trace.h"
 #include "src/viewcl/interp.h"
 #include "src/viewql/query.h"
 
@@ -126,6 +139,125 @@ void BM_TargetRead(benchmark::State& state) {
 }
 BENCHMARK(BM_TargetRead);
 
+// --- tracing-overhead guard -------------------------------------------------
+
+// A flat buffer standing in for the kernel arena.
+class FlatMemory : public dbg::MemoryDomain {
+ public:
+  explicit FlatMemory(size_t size) : bytes_(size, 0xab) {}
+  bool ReadBytes(uint64_t addr, void* out, size_t len) const override {
+    if (addr + len > bytes_.size()) {
+      return false;
+    }
+    std::memcpy(out, bytes_.data() + addr, len);
+    return true;
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// Replica of the pre-instrumentation read path: the same two-level
+// ReadUnsigned → ReadBytes → Charge structure and Status plumbing as
+// dbg::Target, minus the tracing flag check. noinline mirrors the real
+// methods being out-of-line in the library.
+struct BaselineTarget {
+  const dbg::MemoryDomain* memory;
+  dbg::LatencyModel model;
+  vl::VirtualClock clock;
+  uint64_t reads = 0;
+  uint64_t bytes_read = 0;
+
+  void Charge(size_t len) {
+    clock.AdvanceNanos(model.per_access_ns + model.per_byte_ns * len);
+    reads++;
+    bytes_read += len;
+  }
+
+  __attribute__((noinline)) vl::Status ReadBytes(uint64_t addr, void* out,
+                                                 size_t len) {
+    if (!memory->ReadBytes(addr, out, len)) {
+      return vl::MemoryFaultError(
+          vl::StrFormat("cannot read %zu bytes at 0x%llx", len,
+                        static_cast<unsigned long long>(addr)));
+    }
+    Charge(len);
+    return vl::Status::Ok();
+  }
+
+  __attribute__((noinline)) vl::StatusOr<uint64_t> ReadUnsigned(uint64_t addr,
+                                                                size_t size) {
+    if (size == 0 || size > 8) {
+      return vl::InvalidArgumentError(vl::StrFormat("bad scalar width %zu", size));
+    }
+    uint64_t value = 0;
+    VL_RETURN_IF_ERROR(ReadBytes(addr, &value, size));
+    return value;
+  }
+};
+
+// Returns the best-of-trials seconds for `iters` calls of `read(addr)`.
+template <typename Fn>
+double TimeReads(int trials, int iters, uint64_t addr_mask, Fn&& read) {
+  double best = 1e100;
+  for (int t = 0; t < trials; ++t) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      uint64_t addr = (static_cast<uint64_t>(i) * 64) & addr_mask;
+      benchmark::DoNotOptimize(read(addr));
+    }
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    best = std::min(best, seconds);
+  }
+  return best;
+}
+
+// Asserts that with tracing disabled the instrumented read path is within 1%
+// of the uninstrumented replica. Returns 0 on success.
+int CheckTracingOverhead() {
+  constexpr size_t kBufBytes = 1 << 20;
+  constexpr uint64_t kAddrMask = kBufBytes - 64;
+  constexpr int kTrials = 12;
+  constexpr int kIters = 2'000'000;
+
+  FlatMemory memory(kBufBytes);
+  dbg::Target target(&memory, dbg::LatencyModel::Free());
+  BaselineTarget baseline{&memory, dbg::LatencyModel::Free()};
+  vl::Tracer::Instance().Disable();
+
+  // Warm up both paths, then take best-of-trials to shed scheduler noise.
+  TimeReads(1, kIters, kAddrMask,
+            [&](uint64_t addr) { return baseline.ReadUnsigned(addr, 8); });
+  TimeReads(1, kIters, kAddrMask,
+            [&](uint64_t addr) { return target.ReadUnsigned(addr, 8); });
+  double baseline_s = TimeReads(
+      kTrials, kIters, kAddrMask,
+      [&](uint64_t addr) { return baseline.ReadUnsigned(addr, 8); });
+  double traced_off_s = TimeReads(
+      kTrials, kIters, kAddrMask,
+      [&](uint64_t addr) { return target.ReadUnsigned(addr, 8); });
+
+  double ratio = traced_off_s / baseline_s;
+  std::printf("tracing-overhead guard: baseline %.2f ns/read, instrumented "
+              "(tracing off) %.2f ns/read, ratio %.4f (budget 1.01)\n",
+              baseline_s / kIters * 1e9, traced_off_s / kIters * 1e9, ratio);
+  if (ratio > 1.01) {
+    std::printf("FAIL: tracing-disabled overhead exceeds 1%%\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return CheckTracingOverhead();
+}

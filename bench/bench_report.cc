@@ -1,0 +1,160 @@
+// Observability report: re-runs the Table 4 per-figure extraction and the
+// Figure 2 focus workflow with the deterministic tracer enabled, and emits
+// machine-readable BENCH_observability.json — per-figure span aggregates,
+// read-size/latency histograms, per-transport attribution, and ViewQL
+// execution stats. Timestamps are virtual nanoseconds, so two runs of this
+// binary produce identical JSON.
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
+#include "src/viewcl/interp.h"
+#include "src/vision/panes.h"
+
+namespace {
+
+vl::Json SpanStatsToJson(const vl::Tracer& tracer) {
+  vl::Json spans = vl::Json::Object();
+  for (const auto& [name, stats] : tracer.stats()) {
+    vl::Json s = vl::Json::Object();
+    s["count"] = vl::Json::Int(static_cast<int64_t>(stats.count));
+    s["total_ns"] = vl::Json::Int(static_cast<int64_t>(stats.total_ns));
+    s["self_ns"] = vl::Json::Int(static_cast<int64_t>(stats.self_ns));
+    spans[name] = std::move(s);
+  }
+  return spans;
+}
+
+// One traced figure extraction on one transport.
+vl::Json MeasureFigure(vlbench::BenchEnv& env, const vision::FigureDef& figure,
+                       const dbg::LatencyModel& model) {
+  vl::Tracer& tracer = vl::Tracer::Instance();
+  tracer.Clear();
+  vl::MetricsRegistry::Instance().Reset();
+  env.debugger->target().set_model(model);
+  env.debugger->target().ResetStats();
+
+  vl::Json j = vl::Json::Object();
+  j["figure"] = vl::Json::Str(figure.id);
+  j["model"] = vl::Json::Str(model.name);
+  uint64_t objects = 0;
+  {
+    vl::ScopedSpan span("bench.figure");
+    viewcl::Interpreter interp(env.debugger.get());
+    auto graph = interp.RunProgram(figure.viewcl);
+    if (!graph.ok()) {
+      j["ok"] = vl::Json::Bool(false);
+      return j;
+    }
+    objects = vlbench::CountObjects(**graph);
+  }
+  const dbg::Target& target = env.debugger->target();
+  j["ok"] = vl::Json::Bool(true);
+  j["objects"] = vl::Json::Int(static_cast<int64_t>(objects));
+  j["clock_ns"] = vl::Json::Int(static_cast<int64_t>(target.clock().nanos()));
+  j["reads"] = vl::Json::Int(static_cast<int64_t>(target.reads()));
+  j["bytes"] = vl::Json::Int(static_cast<int64_t>(target.bytes_read()));
+  j["trace_self_ns"] = vl::Json::Int(static_cast<int64_t>(tracer.TotalSelfNanos()));
+  j["spans"] = SpanStatsToJson(tracer);
+  j["metrics"] = vl::MetricsRegistry::Instance().ToJson();
+  return j;
+}
+
+// The Figure 2 focus workflow: two panes, a ViewQL refinement, focus searches.
+vl::Json MeasureFig2Focus(vlbench::BenchEnv& env) {
+  vl::Tracer& tracer = vl::Tracer::Instance();
+  tracer.Clear();
+  vl::MetricsRegistry::Instance().Reset();
+  env.debugger->target().set_model(dbg::LatencyModel::GdbQemu());
+  env.debugger->target().ResetStats();
+
+  vl::Json j = vl::Json::Object();
+  vision::PaneManager panes(env.debugger.get());
+  int focused = 0;
+  int both = 0;
+  {
+    vl::ScopedSpan span("bench.fig2_focus");
+    viewcl::Interpreter interp(env.debugger.get());
+    auto tree = interp.RunProgram(vision::FindFigure("fig3_4")->viewcl);
+    auto rq = interp.RunProgram(vision::FindFigure("fig7_1")->viewcl);
+    if (!tree.ok() || !rq.ok()) {
+      j["ok"] = vl::Json::Bool(false);
+      return j;
+    }
+    (void)panes.Split(1, 'h');
+    (void)panes.SetGraph(1, std::move(tree).value(), "fig3_4");
+    (void)panes.SetGraph(2, std::move(rq).value(), "fig7_1");
+    (void)panes.ApplyViewQl(1,
+                            "a = SELECT task_struct FROM * WHERE mm != NULL\n"
+                            "UPDATE a WITH collapsed: true");
+    for (int cpu = 0; cpu < vkern::kNrCpus; ++cpu) {
+      env.kernel->sched().ForEachQueued(cpu, [&](vkern::task_struct* task) {
+        auto hits = panes.FocusAddress(reinterpret_cast<uint64_t>(task));
+        std::set<int> pane_hits;
+        for (const vision::FocusHit& hit : hits) {
+          pane_hits.insert(hit.pane_id);
+        }
+        ++focused;
+        if (pane_hits.count(1) != 0 && pane_hits.count(2) != 0) {
+          ++both;
+        }
+      });
+    }
+    panes.RenderPane(1);
+    panes.RenderPane(2);
+  }
+  j["ok"] = vl::Json::Bool(true);
+  j["focused"] = vl::Json::Int(focused);
+  j["found_in_both"] = vl::Json::Int(both);
+  j["clock_ns"] =
+      vl::Json::Int(static_cast<int64_t>(env.debugger->target().clock().nanos()));
+  j["trace_self_ns"] = vl::Json::Int(static_cast<int64_t>(tracer.TotalSelfNanos()));
+  if (const viewql::ExecStats* stats = panes.exec_stats(1)) {
+    j["pane1_exec"] = stats->ToJson();
+  }
+  j["spans"] = SpanStatsToJson(tracer);
+  j["session"] = panes.SaveState();
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_observability.json";
+  std::printf("=== observability report: traced table4 + fig2-focus workloads ===\n");
+  vlbench::BenchEnv env;
+  vl::Tracer::Instance().Enable();
+
+  vl::Json report = vl::Json::Object();
+  vl::Json figures = vl::Json::Array();
+  for (const vision::FigureDef& figure : vision::AllFigures()) {
+    if (std::string(figure.id) == "fig19_2") {
+      continue;  // merged with fig19_1, as in bench_table4
+    }
+    for (const dbg::LatencyModel& model :
+         {dbg::LatencyModel::GdbQemu(), dbg::LatencyModel::KgdbRpi400()}) {
+      vl::Json cell = MeasureFigure(env, figure, model);
+      const vl::Json* ok = cell.Find("ok");
+      std::printf("  %-12s %-16s %s\n", figure.id, model.name.c_str(),
+                  ok != nullptr && ok->AsBool() ? "ok" : "FAILED");
+      figures.Append(std::move(cell));
+    }
+  }
+  report["table4"] = std::move(figures);
+  report["fig2_focus"] = MeasureFig2Focus(env);
+  report["per_model"] = env.debugger->target().StatsToJson();
+
+  std::ofstream file(out_path);
+  if (!file) {
+    std::printf("error: cannot open %s\n", out_path);
+    return 1;
+  }
+  file << report.Dump(2) << "\n";
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

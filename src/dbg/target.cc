@@ -2,9 +2,66 @@
 
 #include <cstring>
 
+#include "src/support/metrics.h"
 #include "src/support/str.h"
+#include "src/support/trace.h"
 
 namespace dbg {
+
+Target::Target(const MemoryDomain* memory, LatencyModel model)
+    : memory_(memory),
+      model_(std::move(model)),
+      trace_flag_(vl::Tracer::Instance().enabled_flag()) {
+  // The most recently created target drives trace timestamps.
+  vl::Tracer::Instance().SetClock(&clock_);
+}
+
+Target::~Target() { vl::Tracer::Instance().ClearClockIf(&clock_); }
+
+void Target::set_model(LatencyModel model) {
+  FlushModelStats();
+  model_ = std::move(model);
+}
+
+void Target::FlushModelStats() const {
+  TransportStats& stats = by_model_[model_.name];
+  stats.nanos += clock_.nanos() - model_nanos_base_;
+  stats.reads += reads_ - model_reads_base_;
+  stats.bytes += bytes_read_ - model_bytes_base_;
+  model_nanos_base_ = clock_.nanos();
+  model_reads_base_ = reads_;
+  model_bytes_base_ = bytes_read_;
+}
+
+void Target::RecordRead(size_t len, uint64_t cost) {
+  vl::MetricsRegistry& metrics = vl::MetricsRegistry::Instance();
+  metrics.GetHistogram("dbg.read.bytes")->Record(len);
+  metrics.GetHistogram("dbg.read.latency_ns")->Record(cost);
+  const char* tag = read_tag_ != nullptr ? read_tag_ : "untyped";
+  metrics.GetCounter(std::string("dbg.read.by_type.") + tag)->Add();
+  metrics.GetCounter(std::string("dbg.read.bytes.by_type.") + tag)->Add(len);
+  vl::Tracer::Instance().CompleteEvent(
+      "dbg.read", clock_.nanos() - cost, cost,
+      {{"bytes", static_cast<int64_t>(len)}});
+}
+
+vl::Json Target::StatsToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["clock_ns"] = vl::Json::Int(static_cast<int64_t>(clock_.nanos()));
+  j["reads"] = vl::Json::Int(static_cast<int64_t>(reads_));
+  j["bytes"] = vl::Json::Int(static_cast<int64_t>(bytes_read_));
+  j["model"] = vl::Json::Str(model_.name);
+  vl::Json per_model = vl::Json::Object();
+  for (const auto& [name, stats] : per_model_stats()) {
+    vl::Json m = vl::Json::Object();
+    m["nanos"] = vl::Json::Int(static_cast<int64_t>(stats.nanos));
+    m["reads"] = vl::Json::Int(static_cast<int64_t>(stats.reads));
+    m["bytes"] = vl::Json::Int(static_cast<int64_t>(stats.bytes));
+    per_model[name] = std::move(m);
+  }
+  j["per_model"] = std::move(per_model);
+  return j;
+}
 
 vl::Status Target::ReadBytes(uint64_t addr, void* out, size_t len) {
   if (!memory_->ReadBytes(addr, out, len)) {

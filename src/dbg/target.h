@@ -3,13 +3,23 @@
 // Every read models one debugger transport round trip (a GDB remote-protocol
 // `m` packet) plus per-byte transfer cost, charged to a virtual clock. Two
 // calibrated presets mirror the paper's Table 4 platforms.
+//
+// Charges are attributed to the latency model that incurred them, so a run
+// that swaps models mid-flight (bench_table4 measures both transports on one
+// target) can still report time per transport. When tracing is enabled
+// (support/trace.h) each read additionally emits a `dbg.read` leaf span and
+// feeds size/latency histograms plus per-struct-type counters; the disabled
+// fast path is one relaxed atomic flag load.
 
 #ifndef SRC_DBG_TARGET_H_
 #define SRC_DBG_TARGET_H_
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <string>
 
+#include "src/support/json.h"
 #include "src/support/status.h"
 #include "src/support/vclock.h"
 
@@ -41,10 +51,20 @@ struct LatencyModel {
   static LatencyModel Free() { return {"free", 0, 0}; }
 };
 
+// Accumulated charges for one latency model (transport).
+struct TransportStats {
+  uint64_t nanos = 0;
+  uint64_t reads = 0;
+  uint64_t bytes = 0;
+};
+
 class Target {
  public:
-  Target(const MemoryDomain* memory, LatencyModel model)
-      : memory_(memory), model_(std::move(model)) {}
+  Target(const MemoryDomain* memory, LatencyModel model);
+  ~Target();
+
+  Target(const Target&) = delete;
+  Target& operator=(const Target&) = delete;
 
   // --- raw reads (each charges one transport round trip) ---
   vl::Status ReadBytes(uint64_t addr, void* out, size_t len);
@@ -61,23 +81,71 @@ class Target {
     clock_.Reset();
     reads_ = 0;
     bytes_read_ = 0;
+    by_model_.clear();
+    model_nanos_base_ = model_reads_base_ = model_bytes_base_ = 0;
   }
 
+  // Charges attributed per latency-model name. Charges since the last model
+  // swap are folded in lazily, so this is always current.
+  const std::map<std::string, TransportStats>& per_model_stats() const {
+    FlushModelStats();
+    return by_model_;
+  }
+
+  // {"clock_ns", "reads", "bytes", "model", "per_model": {name: {...}}}
+  vl::Json StatsToJson() const;
+
   const LatencyModel& model() const { return model_; }
-  void set_model(LatencyModel model) { model_ = std::move(model); }
+  // Swapping the latency model closes out the outgoing model's charge window
+  // (totals stay on the shared clock, per-model attribution stays correct).
+  void set_model(LatencyModel model);
+
+  // --- read attribution tag (per-struct-type counters when tracing) ---
+  // The interpreter tags reads with the kernel type being instantiated; the
+  // tag feeds `dbg.read.by_type.<tag>` counters on the tracing slow path.
+  class TagScope {
+   public:
+    TagScope(Target* target, const char* tag) : target_(target), prev_(target->read_tag_) {
+      target_->read_tag_ = tag;
+    }
+    ~TagScope() { target_->read_tag_ = prev_; }
+    TagScope(const TagScope&) = delete;
+    TagScope& operator=(const TagScope&) = delete;
+
+   private:
+    Target* target_;
+    const char* prev_;
+  };
+  const char* read_tag() const { return read_tag_; }
 
  private:
   void Charge(size_t len) {
-    clock_.AdvanceNanos(model_.per_access_ns + model_.per_byte_ns * len);
+    uint64_t cost = model_.per_access_ns + model_.per_byte_ns * len;
+    clock_.AdvanceNanos(cost);
     reads_++;
     bytes_read_ += len;
+    if (trace_flag_->load(std::memory_order_relaxed)) {
+      RecordRead(len, cost);  // tracing slow path, out of line
+    }
   }
+  void RecordRead(size_t len, uint64_t cost);
+  // Attributes charges since the last swap/flush to the current model.
+  void FlushModelStats() const;
 
   const MemoryDomain* memory_;
   LatencyModel model_;
   vl::VirtualClock clock_;
   uint64_t reads_ = 0;
   uint64_t bytes_read_ = 0;
+  const std::atomic<bool>* trace_flag_;  // Tracer's enabled flag (cached)
+  const char* read_tag_ = nullptr;
+
+  // Per-model attribution: totals snapshotted at the last model swap; the
+  // delta since then belongs to the current model. Zero cost on the read path.
+  mutable std::map<std::string, TransportStats> by_model_;
+  mutable uint64_t model_nanos_base_ = 0;
+  mutable uint64_t model_reads_base_ = 0;
+  mutable uint64_t model_bytes_base_ = 0;
 };
 
 }  // namespace dbg

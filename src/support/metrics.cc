@@ -1,0 +1,88 @@
+#include "src/support/metrics.h"
+
+#include "src/support/str.h"
+
+namespace vl {
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, counter] : counters_) {
+    counter.Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge.Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram.Reset();
+  }
+}
+
+Json MetricsRegistry::ToJson() const {
+  Json root = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = Json::Int(static_cast<int64_t>(counter.value()));
+  }
+  root["counters"] = std::move(counters);
+  Json gauges = Json::Object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges[name] = Json::Int(gauge.value());
+  }
+  root["gauges"] = std::move(gauges);
+  Json histograms = Json::Object();
+  for (const auto& [name, histogram] : histograms_) {
+    Json h = Json::Object();
+    h["count"] = Json::Int(static_cast<int64_t>(histogram.count()));
+    h["sum"] = Json::Int(static_cast<int64_t>(histogram.sum()));
+    h["min"] = Json::Int(static_cast<int64_t>(histogram.min()));
+    h["max"] = Json::Int(static_cast<int64_t>(histogram.max()));
+    Json buckets = Json::Array();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (histogram.bucket(i) == 0) {
+        continue;
+      }
+      Json pair = Json::Array();
+      pair.Append(Json::Int(static_cast<int64_t>(Histogram::BucketUpperEdge(i))));
+      pair.Append(Json::Int(static_cast<int64_t>(histogram.bucket(i))));
+      buckets.Append(std::move(pair));
+    }
+    h["buckets"] = std::move(buckets);
+    histograms[name] = std::move(h);
+  }
+  root["histograms"] = std::move(histograms);
+  return root;
+}
+
+std::string MetricsRegistry::TextReport() const {
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    if (counter.value() == 0) {
+      continue;
+    }
+    out += StrFormat("counter   %-36s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(counter.value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    if (gauge.value() == 0) {
+      continue;
+    }
+    out += StrFormat("gauge     %-36s %lld\n", name.c_str(),
+                     static_cast<long long>(gauge.value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    if (histogram.count() == 0) {
+      continue;
+    }
+    out += StrFormat("histogram %-36s count=%llu mean=%.1f min=%llu max=%llu\n",
+                     name.c_str(), static_cast<unsigned long long>(histogram.count()),
+                     histogram.mean(), static_cast<unsigned long long>(histogram.min()),
+                     static_cast<unsigned long long>(histogram.max()));
+  }
+  return out;
+}
+
+}  // namespace vl

@@ -1,0 +1,174 @@
+#include "src/support/trace.h"
+
+#include <algorithm>
+
+#include "src/support/str.h"
+
+namespace vl {
+
+Tracer& Tracer::Instance() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::BeginSpan(std::string name) {
+  OpenSpan span;
+  span.name = std::move(name);
+  span.start_ns = NowNanos();
+  span.seq = seq_++;
+  stack_.push_back(std::move(span));
+}
+
+void Tracer::EndSpan() {
+  if (stack_.empty()) {
+    return;  // unbalanced EndSpan; tolerate rather than crash the debugger
+  }
+  OpenSpan span = std::move(stack_.back());
+  stack_.pop_back();
+  uint64_t end_ns = NowNanos();
+  uint64_t dur = end_ns - span.start_ns;
+  uint64_t self = dur - std::min(dur, span.child_ns);
+  if (!stack_.empty()) {
+    stack_.back().child_ns += dur;
+  }
+  seq_++;  // end transitions count toward the total order too
+  SpanStats& agg = stats_[span.name];
+  agg.count++;
+  agg.total_ns += dur;
+  agg.self_ns += self;
+
+  TraceEvent event;
+  event.ts_ns = span.start_ns;
+  event.dur_ns = dur;
+  event.self_ns = self;
+  event.seq = span.seq;
+  event.depth = static_cast<int>(stack_.size());
+  event.name = std::move(span.name);
+  Push(std::move(event));
+}
+
+void Tracer::CompleteEvent(std::string name, uint64_t ts_ns, uint64_t dur_ns,
+                           std::vector<std::pair<std::string, int64_t>> args) {
+  if (!stack_.empty()) {
+    stack_.back().child_ns += dur_ns;
+  }
+  SpanStats& agg = stats_[name];
+  agg.count++;
+  agg.total_ns += dur_ns;
+  agg.self_ns += dur_ns;  // leaves have no children
+
+  TraceEvent event;
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.self_ns = dur_ns;
+  event.seq = seq_++;
+  event.depth = static_cast<int>(stack_.size());
+  event.name = std::move(name);
+  event.args = std::move(args);
+  Push(std::move(event));
+}
+
+void Tracer::Push(TraceEvent event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[next_slot_] = std::move(event);
+  next_slot_ = (next_slot_ + 1) % capacity_;
+  dropped_++;
+}
+
+void Tracer::Clear() {
+  stack_.clear();
+  ring_.clear();
+  next_slot_ = 0;
+  dropped_ = 0;
+  seq_ = 0;
+  stats_.clear();
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  capacity_ = std::max<size_t>(1, capacity);
+  ring_.clear();
+  next_slot_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // next_slot_ is the oldest entry once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_slot_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t Tracer::TotalSelfNanos() const {
+  uint64_t total = 0;
+  for (const auto& [name, agg] : stats_) {
+    total += agg.self_ns;
+  }
+  return total;
+}
+
+Json Tracer::ToChromeJson() const {
+  Json root = Json::Object();
+  Json events = Json::Array();
+  for (const TraceEvent& event : Snapshot()) {
+    Json e = Json::Object();
+    e["name"] = Json::Str(event.name);
+    e["cat"] = Json::Str("vtrace");
+    e["ph"] = Json::Str("X");
+    e["ts"] = Json::Int(static_cast<int64_t>(event.ts_ns));
+    e["dur"] = Json::Int(static_cast<int64_t>(event.dur_ns));
+    e["pid"] = Json::Int(1);
+    e["tid"] = Json::Int(1);
+    Json args = Json::Object();
+    args["seq"] = Json::Int(static_cast<int64_t>(event.seq));
+    args["depth"] = Json::Int(event.depth);
+    args["self_ns"] = Json::Int(static_cast<int64_t>(event.self_ns));
+    for (const auto& [key, value] : event.args) {
+      args[key] = Json::Int(value);
+    }
+    e["args"] = std::move(args);
+    events.Append(std::move(e));
+  }
+  root["traceEvents"] = std::move(events);
+  root["displayTimeUnit"] = Json::Str("ns");
+  Json meta = Json::Object();
+  meta["clock"] = Json::Str("virtual");
+  meta["dropped"] = Json::Int(static_cast<int64_t>(dropped_));
+  root["metadata"] = std::move(meta);
+  return root;
+}
+
+std::string Tracer::TextReport(size_t top_n) const {
+  // Sort by self time (desc), then name for a deterministic total order.
+  std::vector<std::pair<std::string, SpanStats>> rows(stats_.begin(), stats_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.self_ns != b.second.self_ns) {
+      return a.second.self_ns > b.second.self_ns;
+    }
+    return a.first < b.first;
+  });
+  if (top_n > 0 && rows.size() > top_n) {
+    rows.resize(top_n);
+  }
+  uint64_t total_self = TotalSelfNanos();
+  std::string out = StrFormat("%-28s %10s %14s %14s %7s\n", "span", "count", "total ms",
+                              "self ms", "self%");
+  for (const auto& [name, agg] : rows) {
+    double pct = total_self > 0
+                     ? 100.0 * static_cast<double>(agg.self_ns) / static_cast<double>(total_self)
+                     : 0.0;
+    out += StrFormat("%-28s %10llu %14.3f %14.3f %6.1f%%\n", name.c_str(),
+                     static_cast<unsigned long long>(agg.count),
+                     static_cast<double>(agg.total_ns) / 1e6,
+                     static_cast<double>(agg.self_ns) / 1e6, pct);
+  }
+  out += StrFormat("%-28s %10s %14s %14.3f %6.1f%%\n", "(total self)", "", "",
+                   static_cast<double>(total_self) / 1e6, total_self > 0 ? 100.0 : 0.0);
+  return out;
+}
+
+}  // namespace vl

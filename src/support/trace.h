@@ -1,0 +1,158 @@
+// Deterministic hierarchical span tracing for the extract→query→render
+// pipeline.
+//
+// Spans are stamped with *virtual* time (the debugger target's VirtualClock,
+// the same clock Table 4 reports) plus a monotonic sequence number, never with
+// wall-clock time — so two identical runs produce byte-identical traces, in
+// the spirit of rr's deterministic event recording. Completed spans land in a
+// bounded ring buffer (oldest evicted first); per-name aggregates (count,
+// total, self time) are kept separately and never evicted, which is what the
+// `vprof` self-time breakdown and the text report consume.
+//
+// The fast path when tracing is off is a single relaxed atomic flag load:
+//
+//   if (tracer->enabled()) { ...slow path... }
+//
+// Self time is computed at record time: every open span accumulates the
+// duration of its direct children, and EndSpan charges `dur - children` to the
+// span's own name. Summed over all spans, self times exactly partition the
+// root spans' durations — which is how `vprof` reconciles its breakdown
+// against Target::clock() to the nanosecond.
+
+#ifndef SRC_SUPPORT_TRACE_H_
+#define SRC_SUPPORT_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/support/json.h"
+#include "src/support/vclock.h"
+
+namespace vl {
+
+// One completed span, as stored in the ring buffer.
+struct TraceEvent {
+  std::string name;
+  uint64_t ts_ns = 0;    // virtual time at span begin
+  uint64_t dur_ns = 0;   // virtual duration
+  uint64_t self_ns = 0;  // dur_ns minus direct children
+  uint64_t seq = 0;      // sequence number assigned at begin (total order)
+  int depth = 0;         // nesting depth at begin (0 = root)
+  std::vector<std::pair<std::string, int64_t>> args;
+};
+
+// Per-name aggregate, never evicted.
+struct SpanStats {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t self_ns = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& Instance();
+
+  // --- control ---
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  // The raw flag, for instrumentation sites that cache a pointer to avoid the
+  // function-local-static guard on every check (the Target read fast path).
+  const std::atomic<bool>* enabled_flag() const { return &enabled_; }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  // The time source: the active debugger target's virtual clock. Registered
+  // by Target's constructor (last target created wins), cleared by its
+  // destructor. With no clock, timestamps read 0 and only sequence numbers
+  // order events.
+  void SetClock(const VirtualClock* clock) { clock_ = clock; }
+  void ClearClockIf(const VirtualClock* clock) {
+    if (clock_ == clock) {
+      clock_ = nullptr;
+    }
+  }
+  const VirtualClock* clock() const { return clock_; }
+  uint64_t NowNanos() const { return clock_ != nullptr ? clock_->nanos() : 0; }
+
+  // --- recording ---
+  void BeginSpan(std::string name);
+  void EndSpan();
+  // Records an already-timed leaf span (e.g. one dbg.read, whose duration is
+  // the charge it put on the clock). Attributed as a child of the open span.
+  void CompleteEvent(std::string name, uint64_t ts_ns, uint64_t dur_ns,
+                     std::vector<std::pair<std::string, int64_t>> args = {});
+
+  // Drops all events, aggregates, open spans; resets the sequence counter.
+  // Does not touch the enabled flag or the clock registration.
+  void Clear();
+  void SetCapacity(size_t capacity);
+
+  // --- inspection ---
+  size_t open_spans() const { return stack_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t recorded() const { return seq_; }
+  // Buffered events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+  const std::map<std::string, SpanStats>& stats() const { return stats_; }
+  // Sum of self times across all completed spans == sum of root durations.
+  uint64_t TotalSelfNanos() const;
+
+  // --- exporters ---
+  // Chrome trace_event JSON (chrome://tracing / Perfetto). Timestamps are
+  // virtual nanoseconds emitted as integer `ts`/`dur` fields.
+  Json ToChromeJson() const;
+  // Flat per-name table sorted by self time, top `top_n` rows (0 = all).
+  std::string TextReport(size_t top_n = 0) const;
+
+ private:
+  Tracer() { ring_.reserve(kDefaultCapacity); }
+
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  struct OpenSpan {
+    std::string name;
+    uint64_t start_ns = 0;
+    uint64_t seq = 0;
+    uint64_t child_ns = 0;
+  };
+
+  void Push(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  const VirtualClock* clock_ = nullptr;
+  std::vector<OpenSpan> stack_;
+  std::vector<TraceEvent> ring_;  // circular once size() == capacity_
+  size_t capacity_ = kDefaultCapacity;
+  size_t next_slot_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t seq_ = 0;
+  std::map<std::string, SpanStats> stats_;
+};
+
+// RAII span. Captures the enabled flag at construction so a toggle mid-span
+// cannot unbalance the tracer's stack.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : active_(Tracer::Instance().enabled()) {
+    if (active_) {
+      Tracer::Instance().BeginSpan(name);
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) {
+      Tracer::Instance().EndSpan();
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+};
+
+}  // namespace vl
+
+#endif  // SRC_SUPPORT_TRACE_H_

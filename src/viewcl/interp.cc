@@ -1,8 +1,11 @@
 #include "src/viewcl/interp.h"
 
 #include <cassert>
+#include <optional>
 
+#include "src/support/metrics.h"
 #include "src/support/str.h"
+#include "src/support/trace.h"
 #include "src/viewcl/parser.h"
 
 namespace viewcl {
@@ -88,6 +91,7 @@ class Interpreter::RunState {
   }
 
   vl::StatusOr<std::unique_ptr<ViewGraph>> Run() {
+    vl::ScopedSpan span("viewcl.eval");
     Scope global;
     for (const Binding& binding : in_->bindings_) {
       auto value = EvalExpr(binding.value.get(), &global, 0);
@@ -122,6 +126,11 @@ class Interpreter::RunState {
         default:
           Warn("plot produced no boxes");
       }
+    }
+    if (vl::Tracer::Instance().enabled()) {
+      vl::MetricsRegistry& metrics = vl::MetricsRegistry::Instance();
+      metrics.GetCounter("graph.nodes")->Add(graph_->size());
+      metrics.GetCounter("graph.bytes")->Add(graph_->TotalObjectBytes());
     }
     return std::move(graph_);
   }
@@ -407,6 +416,7 @@ class Interpreter::RunState {
   }
 
   vl::StatusOr<std::vector<Value>> WalkList(const std::vector<VclValue>& args) {
+    vl::ScopedSpan span("viewcl.adapter.list");
     VL_ASSIGN_OR_RETURN(uint64_t head, ArgAddr(args, "List"));
     std::vector<Value> out;
     const Type* node_type = dbg_->types().FindByName("list_head");
@@ -419,6 +429,7 @@ class Interpreter::RunState {
   }
 
   vl::StatusOr<std::vector<Value>> WalkHList(const std::vector<VclValue>& args) {
+    vl::ScopedSpan span("viewcl.adapter.hlist");
     VL_ASSIGN_OR_RETURN(uint64_t head, ArgAddr(args, "HList"));
     std::vector<Value> out;
     const Type* node_type = dbg_->types().FindByName("hlist_node");
@@ -431,6 +442,7 @@ class Interpreter::RunState {
   }
 
   vl::StatusOr<std::vector<Value>> WalkRbTree(const std::vector<VclValue>& args) {
+    vl::ScopedSpan span("viewcl.adapter.rbtree");
     if (args.empty() || args[0].kind != VclValue::Kind::kDbg) {
       return vl::EvalError("RBTree: expected a root argument");
     }
@@ -472,6 +484,7 @@ class Interpreter::RunState {
   }
 
   vl::StatusOr<std::vector<Value>> WalkArray(const std::vector<VclValue>& args) {
+    vl::ScopedSpan span("viewcl.adapter.array");
     if (args.empty() || args[0].kind != VclValue::Kind::kDbg) {
       return vl::EvalError("Array: expected an array argument");
     }
@@ -532,6 +545,7 @@ class Interpreter::RunState {
   }
 
   vl::StatusOr<std::vector<Value>> WalkRadix(const std::vector<VclValue>& args) {
+    vl::ScopedSpan span("viewcl.adapter.xarray");
     VL_ASSIGN_OR_RETURN(uint64_t root, ArgAddr(args, "XArray"));
     std::vector<Value> out;
     VL_ASSIGN_OR_RETURN(uint64_t rnode, ReadPtr(root + off_radix_rnode_));
@@ -581,6 +595,7 @@ class Interpreter::RunState {
   }
 
   vl::StatusOr<std::vector<Value>> WalkMaple(const std::vector<VclValue>& args) {
+    vl::ScopedSpan span("viewcl.adapter.mapletree");
     VL_ASSIGN_OR_RETURN(uint64_t tree, ArgAddr(args, "MapleTree"));
     std::vector<Value> out;
     VL_ASSIGN_OR_RETURN(uint64_t root, ReadPtr(tree + off_mt_root_));
@@ -690,6 +705,12 @@ class Interpreter::RunState {
     VBox* box = graph_->NewBox(decl->name, decl->kernel_type, addr, object_size);
     if (!is_virtual && in_->limits_.intern_boxes) {
       interned_[std::make_pair(decl, addr)] = box->id();
+    }
+    // Attribute every read below to the kernel type being instantiated
+    // (virtual boxes keep the enclosing box's tag).
+    std::optional<dbg::Target::TagScope> read_tag;
+    if (!is_virtual) {
+      read_tag.emplace(&dbg_->target(), decl->kernel_type.c_str());
     }
 
     // Box scope: @this plus box-level where bindings.
@@ -913,6 +934,7 @@ Interpreter::Interpreter(dbg::KernelDebugger* debugger, InterpLimits limits)
     : debugger_(debugger), limits_(limits) {}
 
 vl::Status Interpreter::Load(std::string_view source) {
+  vl::ScopedSpan span("viewcl.parse");
   VL_ASSIGN_OR_RETURN(Program program, ParseViewCl(source));
   for (std::unique_ptr<BoxDecl>& decl : program.defines) {
     defines_[decl->name] = decl.get();

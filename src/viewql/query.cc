@@ -3,8 +3,21 @@
 #include <cctype>
 
 #include "src/support/str.h"
+#include "src/support/trace.h"
 
 namespace viewql {
+
+vl::Json ExecStats::ToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["statements"] = vl::Json::Int(statements);
+  j["selects"] = vl::Json::Int(selects);
+  j["updates"] = vl::Json::Int(updates);
+  j["last_selected"] = vl::Json::Int(static_cast<int64_t>(last_selected));
+  j["boxes_updated"] = vl::Json::Int(static_cast<int64_t>(boxes_updated));
+  j["select_ns"] = vl::Json::Int(static_cast<int64_t>(select_ns));
+  j["update_ns"] = vl::Json::Int(static_cast<int64_t>(update_ns));
+  return j;
+}
 
 namespace {
 
@@ -474,16 +487,27 @@ class ExecState {
   vl::Status Execute(const std::vector<Statement>& stmts) {
     for (const Statement& stmt : stmts) {
       engine_->stats_.statements++;
+      uint64_t before = TargetNanos();
       if (stmt.kind == Statement::Kind::kSelect) {
+        vl::ScopedSpan span("viewql.select");
         VL_RETURN_IF_ERROR(ExecSelect(stmt.select));
+        engine_->stats_.select_ns += TargetNanos() - before;
       } else {
+        vl::ScopedSpan span("viewql.update");
         VL_RETURN_IF_ERROR(ExecUpdate(stmt.update));
+        engine_->stats_.update_ns += TargetNanos() - before;
       }
     }
     return vl::Status::Ok();
   }
 
  private:
+  uint64_t TargetNanos() const {
+    return engine_->debugger_ != nullptr
+               ? engine_->debugger_->target().clock().nanos()
+               : 0;
+  }
+
   BoxSet AllBoxes() const {
     BoxSet out;
     for (uint64_t id = 0; id < graph_->size(); ++id) {
@@ -739,9 +763,13 @@ class ExecState {
 };
 
 vl::Status QueryEngine::Execute(std::string_view program) {
-  VL_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(program));
-  Parser parser(std::move(toks));
-  VL_ASSIGN_OR_RETURN(std::vector<Statement> stmts, parser.Run());
+  std::vector<Statement> stmts;
+  {
+    vl::ScopedSpan span("viewql.parse");
+    VL_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(program));
+    Parser parser(std::move(toks));
+    VL_ASSIGN_OR_RETURN(stmts, parser.Run());
+  }
   ExecState state(this);
   return state.Execute(stmts);
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/dbg/kernel_introspect.h"
+#include "src/support/json.h"
 #include "src/support/status.h"
 #include "src/viewcl/graph.h"
 
@@ -39,6 +40,23 @@ struct ExecStats {
   int updates = 0;
   uint64_t last_selected = 0;   // size of the most recent SELECT result
   uint64_t boxes_updated = 0;   // total boxes touched by UPDATEs
+  // Virtual nanoseconds charged to the debugger target while executing
+  // (raw-field WHERE fallbacks are the only ViewQL path that reads memory).
+  uint64_t select_ns = 0;
+  uint64_t update_ns = 0;
+
+  // Folds another run's stats into this one (last_selected takes the newer).
+  void Merge(const ExecStats& other) {
+    statements += other.statements;
+    selects += other.selects;
+    updates += other.updates;
+    last_selected = other.last_selected;
+    boxes_updated += other.boxes_updated;
+    select_ns += other.select_ns;
+    update_ns += other.update_ns;
+  }
+
+  vl::Json ToJson() const;
 };
 
 class QueryEngine {

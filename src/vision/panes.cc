@@ -1,6 +1,7 @@
 #include "src/vision/panes.h"
 
 #include "src/support/str.h"
+#include "src/support/trace.h"
 
 namespace vision {
 
@@ -74,6 +75,7 @@ vl::Status PaneManager::SetGraph(int pane_id, std::unique_ptr<viewcl::ViewGraph>
   pane->graph = std::move(graph);
   pane->program_text = std::move(program_text);
   pane->viewql_history.clear();
+  pane->viewql_stats = viewql::ExecStats{};
   return vl::Status::Ok();
 }
 
@@ -153,7 +155,13 @@ vl::Status PaneManager::ApplyViewQl(int pane_id, std::string_view program) {
   VL_RETURN_IF_ERROR(engine.Execute(program));
   Pane* pane = FindPane(pane_id);
   pane->viewql_history.push_back(std::string(program));
+  pane->viewql_stats.Merge(engine.stats());
   return vl::Status::Ok();
+}
+
+const viewql::ExecStats* PaneManager::exec_stats(int pane_id) const {
+  const Pane* pane = FindPane(pane_id);
+  return pane != nullptr ? &pane->viewql_stats : nullptr;
 }
 
 std::vector<FocusHit> PaneManager::FocusAddress(uint64_t addr) const {
@@ -201,6 +209,7 @@ std::vector<FocusHit> PaneManager::FocusMember(const std::string& member, int64_
 }
 
 std::string PaneManager::RenderPane(int pane_id, const RenderOptions& options) {
+  vl::ScopedSpan span("render.pane");
   Pane* pane = FindPane(pane_id);
   if (pane == nullptr) {
     return "(no such pane)\n";
@@ -273,10 +282,17 @@ vl::Json PaneManager::SaveState() const {
         history.Append(vl::Json::Str(entry));
       }
       jpane["viewql"] = std::move(history);
+      if (pane->viewql_stats.statements > 0) {
+        jpane["exec"] = pane->viewql_stats.ToJson();
+      }
     }
     panes.Append(std::move(jpane));
   }
   state["panes"] = std::move(panes);
+  // Extraction cost profile (ignored by LoadState; sessions stay replayable).
+  if (debugger_ != nullptr) {
+    state["stats"] = debugger_->target().StatsToJson();
+  }
   return state;
 }
 

@@ -59,6 +59,8 @@ class PaneManager {
   const std::vector<int>& pane_ids() const { return pane_order_; }
   bool is_secondary(int pane_id) const;
   std::string pane_title(int pane_id) const;
+  // Accumulated ViewQL execution stats for a pane (null if no such pane).
+  const viewql::ExecStats* exec_stats(int pane_id) const;
 
   // Renders one pane (secondary panes render their subset only).
   std::string RenderPane(int pane_id, const RenderOptions& options = RenderOptions{});
@@ -82,6 +84,7 @@ class PaneManager {
     std::unique_ptr<viewcl::ViewGraph> graph;  // primary panes
     std::string program_text;                  // ViewCL source (primary)
     std::vector<std::string> viewql_history;
+    viewql::ExecStats viewql_stats;            // accumulated over the history
     int source_pane = 0;                       // secondary panes
     std::vector<uint64_t> subset;              // secondary panes
   };

@@ -1,6 +1,10 @@
 #include "src/vision/shell.h"
 
+#include <fstream>
+
+#include "src/support/metrics.h"
 #include "src/support/str.h"
+#include "src/support/trace.h"
 #include "src/viewcl/synthesize.h"
 
 namespace vision {
@@ -34,9 +38,13 @@ std::string DebuggerShell::Execute(const std::string& line) {
   if (command == "vchat") {
     return CmdVchat(args);
   }
+  if (command == "vprof") {
+    return CmdVprof(args);
+  }
   if (command == "help" || command.empty()) {
     return "commands: vplot <pane> [--auto <type> <expr>] <viewcl> | "
-           "vctrl split|apply|focus|view|dot|json|layout|save | "
+           "vctrl split|apply|focus|view|dot|json|layout|save|stats|trace | "
+           "vprof <pane> <viewcl> | "
            "vchat <pane> <request>\n";
   }
   return "error: unknown command '" + command + "' (try 'help')\n";
@@ -171,7 +179,139 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
   if (sub == "save") {
     return panes_.SaveState().Dump(2) + "\n";
   }
-  return "usage: vctrl split|apply|focus|view|layout|save ...\n";
+  if (sub == "stats") {
+    return CmdStats();
+  }
+  if (sub == "trace") {
+    return CmdTrace(rest);
+  }
+  return "usage: vctrl split|apply|focus|view|layout|save|stats|trace ...\n";
+}
+
+std::string DebuggerShell::CmdStats() {
+  std::string out;
+  if (debugger_ != nullptr) {
+    const dbg::Target& target = debugger_->target();
+    out += vl::StrFormat("target: model=%s clock=%llu ns (%.3f ms) reads=%llu bytes=%llu\n",
+                         target.model().name.c_str(),
+                         static_cast<unsigned long long>(target.clock().nanos()),
+                         target.clock().millis(),
+                         static_cast<unsigned long long>(target.reads()),
+                         static_cast<unsigned long long>(target.bytes_read()));
+    for (const auto& [name, stats] : target.per_model_stats()) {
+      out += vl::StrFormat("  %-16s %llu ns, %llu reads, %llu bytes\n", name.c_str(),
+                           static_cast<unsigned long long>(stats.nanos),
+                           static_cast<unsigned long long>(stats.reads),
+                           static_cast<unsigned long long>(stats.bytes));
+    }
+  }
+  for (int id : panes_.pane_ids()) {
+    const viewql::ExecStats* stats = panes_.exec_stats(id);
+    if (stats == nullptr || stats->statements == 0) {
+      continue;
+    }
+    out += vl::StrFormat(
+        "pane %d: %d viewql statements (%d select, %d update), "
+        "%llu boxes updated, %llu ns select, %llu ns update\n",
+        id, stats->statements, stats->selects, stats->updates,
+        static_cast<unsigned long long>(stats->boxes_updated),
+        static_cast<unsigned long long>(stats->select_ns),
+        static_cast<unsigned long long>(stats->update_ns));
+  }
+  vl::Tracer& tracer = vl::Tracer::Instance();
+  out += vl::StrFormat("tracer: %s, %llu spans recorded, %llu dropped\n",
+                       tracer.enabled() ? "on" : "off",
+                       static_cast<unsigned long long>(tracer.recorded()),
+                       static_cast<unsigned long long>(tracer.dropped()));
+  std::string metrics = vl::MetricsRegistry::Instance().TextReport();
+  if (!metrics.empty()) {
+    out += metrics;
+  }
+  return out;
+}
+
+std::string DebuggerShell::CmdTrace(const std::string& args) {
+  auto [verb, rest] = SplitFirst(args);
+  vl::Tracer& tracer = vl::Tracer::Instance();
+  if (verb == "on") {
+    tracer.Enable();
+    return "tracing on\n";
+  }
+  if (verb == "off") {
+    tracer.Disable();
+    return "tracing off\n";
+  }
+  if (verb == "clear") {
+    tracer.Clear();
+    vl::MetricsRegistry::Instance().Reset();
+    return "trace cleared\n";
+  }
+  if (verb == "dump") {
+    if (rest.empty()) {
+      return "usage: vctrl trace dump <file>\n";
+    }
+    std::ofstream file(rest);
+    if (!file) {
+      return "error: cannot open '" + rest + "'\n";
+    }
+    file << tracer.ToChromeJson().Dump(2) << "\n";
+    return vl::StrFormat("wrote %llu spans to %s\n",
+                         static_cast<unsigned long long>(tracer.Snapshot().size()),
+                         rest.c_str());
+  }
+  return "usage: vctrl trace on|off|clear|dump <file>\n";
+}
+
+std::string DebuggerShell::CmdVprof(const std::string& args) {
+  auto [pane_text, program] = SplitFirst(args);
+  int64_t pane_id = 0;
+  if (!vl::ParseInt64(pane_text, &pane_id) || program.empty()) {
+    return "usage: vprof <pane> <viewcl program>\n";
+  }
+  vl::Tracer& tracer = vl::Tracer::Instance();
+  bool was_enabled = tracer.enabled();
+  tracer.Clear();
+  vl::MetricsRegistry::Instance().Reset();
+  tracer.Enable();
+  if (debugger_ != nullptr) {
+    debugger_->target().ResetStats();
+  }
+
+  vl::Status run_status = vl::Status::Ok();
+  size_t boxes = 0;
+  {
+    // Everything inside this root span: after it closes, the self times of
+    // all spans sum exactly to its duration — the target clock delta.
+    vl::ScopedSpan root("vprof");
+    auto graph = interp_.RunProgram(program);
+    if (!graph.ok()) {
+      run_status = graph.status();
+    } else {
+      boxes = (*graph)->size();
+      run_status =
+          panes_.SetGraph(static_cast<int>(pane_id), std::move(graph).value(), program);
+      if (run_status.ok()) {
+        panes_.RenderPane(static_cast<int>(pane_id));  // profile render too
+      }
+    }
+  }
+  if (!was_enabled) {
+    tracer.Disable();
+  }
+  if (!run_status.ok()) {
+    return "error: " + run_status.ToString() + "\n";
+  }
+
+  uint64_t clock_ns = debugger_ != nullptr ? debugger_->target().clock().nanos() : 0;
+  uint64_t self_ns = tracer.TotalSelfNanos();
+  std::string out = vl::StrFormat("vprof pane %d: %zu boxes\n",
+                                  static_cast<int>(pane_id), boxes);
+  out += tracer.TextReport(10);
+  out += vl::StrFormat("clock: %llu virtual ns, trace self total: %llu ns%s\n",
+                       static_cast<unsigned long long>(clock_ns),
+                       static_cast<unsigned long long>(self_ns),
+                       clock_ns == self_ns ? " (exact)" : " (MISMATCH)");
+  return out;
 }
 
 std::string DebuggerShell::CmdVchat(const std::string& args) {

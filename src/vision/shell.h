@@ -28,6 +28,9 @@ class DebuggerShell {
   //   vctrl view <pane>                     render a pane (ASCII)
   //   vctrl layout                          show the pane tree
   //   vctrl save                            dump the session state as JSON
+  //   vctrl stats                           target/pane/metrics cost report
+  //   vctrl trace on|off|clear|dump <file>  control the deterministic tracer
+  //   vprof <pane> <viewcl program...>      traced run + self-time breakdown
   //   vchat <pane> <natural language...>    synthesize + apply ViewQL
   //   help
   std::string Execute(const std::string& line);
@@ -40,6 +43,9 @@ class DebuggerShell {
   std::string CmdVplot(const std::string& args);
   std::string CmdVctrl(const std::string& args);
   std::string CmdVchat(const std::string& args);
+  std::string CmdVprof(const std::string& args);
+  std::string CmdStats();
+  std::string CmdTrace(const std::string& args);
 
   dbg::KernelDebugger* debugger_;
   viewcl::Interpreter interp_;

@@ -1,0 +1,373 @@
+// Tests for the deterministic tracing/metrics layer (support/trace.h,
+// support/metrics.h) and its integration: span nesting and self-time
+// accounting, run-to-run byte-identical Chrome trace JSON, histogram bucket
+// edges, per-transport charge attribution, and the vctrl stats / vctrl trace /
+// vprof shell commands.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
+#include "src/support/vclock.h"
+#include "src/viewcl/interp.h"
+#include "src/vision/figures.h"
+#include "src/vision/shell.h"
+#include "tests/test_util.h"
+
+namespace vl {
+namespace {
+
+// The tracer and metrics registry are process-wide; every test starts and
+// finishes with both quiesced so ordering cannot leak state.
+void Quiesce() {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Disable();
+  tracer.Clear();
+  tracer.SetCapacity(1 << 16);
+  MetricsRegistry::Instance().Reset();
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Quiesce(); }
+  void TearDown() override { Quiesce(); }
+};
+
+// Registers a local clock with the tracer for clock-only unit tests and
+// always un-registers it (the pointer would otherwise dangle).
+class ClockGuard {
+ public:
+  ClockGuard() { Tracer::Instance().SetClock(&clock_); }
+  ~ClockGuard() { Tracer::Instance().ClearClockIf(&clock_); }
+  VirtualClock& clock() { return clock_; }
+
+ private:
+  VirtualClock clock_;
+};
+
+TEST_F(TraceTest, HistogramBucketEdges) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Histogram::BucketOf(7), 3);
+  EXPECT_EQ(Histogram::BucketOf(8), 4);
+  EXPECT_EQ(Histogram::BucketOf(1ull << 20), 21);
+  EXPECT_EQ(Histogram::BucketOf(~0ull), 64);
+
+  EXPECT_EQ(Histogram::BucketUpperEdge(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperEdge(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperEdge(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperEdge(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperEdge(64), ~0ull);
+
+  Histogram h;
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 1ull << 20}) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.bucket(0), 1u);  // 0
+  EXPECT_EQ(h.bucket(1), 1u);  // 1
+  EXPECT_EQ(h.bucket(2), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket(3), 1u);  // 4
+  EXPECT_EQ(h.bucket(21), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 10u + (1ull << 20));
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1ull << 20);
+}
+
+TEST_F(TraceTest, SpanNestingSelfTimeAndOrdering) {
+  ClockGuard guard;
+  Tracer& tracer = Tracer::Instance();
+  tracer.Enable();
+
+  tracer.BeginSpan("outer");
+  guard.clock().AdvanceNanos(10);
+  tracer.BeginSpan("inner");
+  guard.clock().AdvanceNanos(5);
+  tracer.EndSpan();
+  guard.clock().AdvanceNanos(3);
+  tracer.EndSpan();
+
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // inner completes first (recorded at EndSpan).
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].ts_ns, 10u);
+  EXPECT_EQ(events[0].dur_ns, 5u);
+  EXPECT_EQ(events[0].self_ns, 5u);
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].ts_ns, 0u);
+  EXPECT_EQ(events[1].dur_ns, 18u);
+  EXPECT_EQ(events[1].self_ns, 13u);  // 18 minus inner's 5
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_LT(events[1].seq, events[0].seq);  // outer began first
+
+  // Self times partition the root's duration.
+  EXPECT_EQ(tracer.TotalSelfNanos(), 18u);
+}
+
+TEST_F(TraceTest, CompleteEventChargesParent) {
+  ClockGuard guard;
+  Tracer& tracer = Tracer::Instance();
+  tracer.Enable();
+
+  tracer.BeginSpan("parent");
+  guard.clock().AdvanceNanos(7);
+  tracer.CompleteEvent("leaf", 0, 7, {{"bytes", 8}});
+  guard.clock().AdvanceNanos(2);
+  tracer.EndSpan();
+
+  const auto& stats = tracer.stats();
+  ASSERT_EQ(stats.count("parent"), 1u);
+  ASSERT_EQ(stats.count("leaf"), 1u);
+  EXPECT_EQ(stats.at("parent").total_ns, 9u);
+  EXPECT_EQ(stats.at("parent").self_ns, 2u);
+  EXPECT_EQ(stats.at("leaf").self_ns, 7u);
+  EXPECT_EQ(tracer.TotalSelfNanos(), 9u);
+}
+
+TEST_F(TraceTest, RingEvictsOldestAndCountsDropped) {
+  ClockGuard guard;
+  Tracer& tracer = Tracer::Instance();
+  tracer.Enable();
+  tracer.SetCapacity(4);
+
+  for (int i = 0; i < 10; ++i) {
+    tracer.CompleteEvent("e", i, 1);
+  }
+  EXPECT_EQ(tracer.dropped(), 6u);
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);  // oldest first
+  }
+  EXPECT_EQ(events.back().ts_ns, 9u);
+  // Aggregates survive eviction.
+  EXPECT_EQ(tracer.stats().at("e").count, 10u);
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  ClockGuard guard;
+  Tracer& tracer = Tracer::Instance();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    ScopedSpan span("ignored");
+    guard.clock().AdvanceNanos(5);
+  }
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_TRUE(tracer.stats().empty());
+}
+
+class TraceKernelTest : public vltest::WorkloadKernelTest {
+ protected:
+  void SetUp() override {
+    Quiesce();
+    vltest::WorkloadKernelTest::SetUp();
+    // GdbQemu so reads actually advance the virtual clock.
+    debugger_ = std::make_unique<dbg::KernelDebugger>(kernel_.get(),
+                                                      dbg::LatencyModel::GdbQemu());
+    vision::RegisterFigureSymbols(debugger_.get(), workload_.get());
+  }
+  void TearDown() override {
+    debugger_.reset();
+    Quiesce();
+  }
+
+  // One traced extraction from a clean slate; returns the Chrome JSON dump.
+  std::string TracedRun(const char* figure_id) {
+    Tracer& tracer = Tracer::Instance();
+    tracer.Clear();
+    MetricsRegistry::Instance().Reset();
+    debugger_->target().ResetStats();
+    tracer.Enable();
+    viewcl::Interpreter interp(debugger_.get());
+    auto graph = interp.RunProgram(vision::FindFigure(figure_id)->viewcl);
+    EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+    tracer.Disable();
+    return tracer.ToChromeJson().Dump(2);
+  }
+
+  std::unique_ptr<dbg::KernelDebugger> debugger_;
+};
+
+TEST_F(TraceKernelTest, TwoRunsProduceByteIdenticalTraces) {
+  std::string first = TracedRun("fig7_1");
+  std::string second = TracedRun("fig7_1");
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(TraceKernelTest, ChromeJsonRoundTripsThroughParser) {
+  std::string dump = TracedRun("fig7_1");
+  auto parsed = Json::Parse(dump);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GT(events->size(), 0u);
+  const Json& first = events->at(0);
+  EXPECT_EQ(first.Find("ph")->AsString(), "X");
+  EXPECT_EQ(first.Find("cat")->AsString(), "vtrace");
+  EXPECT_NE(first.Find("ts"), nullptr);
+  EXPECT_NE(first.Find("dur"), nullptr);
+  EXPECT_NE(first.Find("args")->Find("seq"), nullptr);
+  EXPECT_EQ(parsed->Find("metadata")->Find("clock")->AsString(), "virtual");
+}
+
+TEST_F(TraceKernelTest, SelfTimesPartitionTheTargetClock) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Clear();
+  debugger_->target().ResetStats();
+  tracer.Enable();
+  {
+    ScopedSpan root("root");
+    viewcl::Interpreter interp(debugger_.get());
+    auto graph = interp.RunProgram(vision::FindFigure("fig7_1")->viewcl);
+    ASSERT_TRUE(graph.ok());
+  }
+  tracer.Disable();
+  EXPECT_GT(debugger_->target().clock().nanos(), 0u);
+  EXPECT_EQ(tracer.TotalSelfNanos(), debugger_->target().clock().nanos());
+}
+
+TEST_F(TraceKernelTest, ReadsAreTaggedByKernelType) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Enable();
+  viewcl::Interpreter interp(debugger_.get());
+  auto graph = interp.RunProgram(vision::FindFigure("fig7_1")->viewcl);
+  ASSERT_TRUE(graph.ok());
+  tracer.Disable();
+
+  const auto& counters = MetricsRegistry::Instance().counters();
+  uint64_t typed = 0;
+  for (const auto& [name, counter] : counters) {
+    if (name.rfind("dbg.read.by_type.", 0) == 0 &&
+        name.rfind("dbg.read.by_type.untyped", 0) != 0) {
+      typed += counter.value();
+    }
+  }
+  EXPECT_GT(typed, 0u);
+  EXPECT_GT(MetricsRegistry::Instance().histograms().at("dbg.read.bytes").count(), 0u);
+}
+
+TEST_F(TraceKernelTest, PerModelAttributionSumsToTotals) {
+  dbg::Target& target = debugger_->target();
+  uint64_t addr = reinterpret_cast<uint64_t>(kernel_->procs().init_task());
+  target.ResetStats();
+  target.set_model(dbg::LatencyModel::GdbQemu());
+  ASSERT_TRUE(target.ReadUnsigned(addr, 8).ok());
+  target.set_model(dbg::LatencyModel::KgdbRpi400());
+  ASSERT_TRUE(target.ReadUnsigned(addr, 8).ok());
+
+  const auto& per_model = target.per_model_stats();
+  uint64_t nanos = 0;
+  uint64_t reads = 0;
+  uint64_t bytes = 0;
+  for (const auto& [name, stats] : per_model) {
+    nanos += stats.nanos;
+    reads += stats.reads;
+    bytes += stats.bytes;
+  }
+  EXPECT_EQ(nanos, target.clock().nanos());
+  EXPECT_EQ(reads, target.reads());
+  EXPECT_EQ(bytes, target.bytes_read());
+  ASSERT_EQ(per_model.count("GDB (QEMU)"), 1u);
+  ASSERT_EQ(per_model.count("KGDB (rpi-400)"), 1u);
+  EXPECT_GT(per_model.at("KGDB (rpi-400)").nanos, per_model.at("GDB (QEMU)").nanos);
+
+  target.ResetStats();
+  EXPECT_TRUE(target.per_model_stats().at(target.model().name).reads == 0);
+}
+
+class TraceShellTest : public TraceKernelTest {
+ protected:
+  void SetUp() override {
+    TraceKernelTest::SetUp();
+    shell_ = std::make_unique<vision::DebuggerShell>(debugger_.get());
+  }
+  void TearDown() override {
+    shell_.reset();
+    TraceKernelTest::TearDown();
+  }
+
+  std::unique_ptr<vision::DebuggerShell> shell_;
+};
+
+TEST_F(TraceShellTest, VctrlStatsReportsTargetAndTracer) {
+  std::string plot = shell_->Execute(
+      std::string("vplot 1 ") + vision::FindFigure("fig7_1")->viewcl);
+  ASSERT_NE(plot.find("plotted"), std::string::npos) << plot;
+  std::string out = shell_->Execute("vctrl stats");
+  EXPECT_NE(out.find("target: model="), std::string::npos) << out;
+  EXPECT_NE(out.find("reads="), std::string::npos);
+  EXPECT_NE(out.find("tracer: off"), std::string::npos);
+}
+
+TEST_F(TraceShellTest, VctrlTraceOnOffDump) {
+  EXPECT_NE(shell_->Execute("vctrl trace on").find("tracing on"), std::string::npos);
+  EXPECT_TRUE(Tracer::Instance().enabled());
+  std::string plot = shell_->Execute(
+      std::string("vplot 1 ") + vision::FindFigure("fig7_1")->viewcl);
+  ASSERT_NE(plot.find("plotted"), std::string::npos) << plot;
+
+  std::string path = ::testing::TempDir() + "/vtrace_dump.json";
+  std::string out = shell_->Execute("vctrl trace dump " + path);
+  EXPECT_NE(out.find("wrote"), std::string::npos) << out;
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  auto parsed = Json::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_GT(parsed->Find("traceEvents")->size(), 0u);
+
+  EXPECT_NE(shell_->Execute("vctrl trace off").find("tracing off"), std::string::npos);
+  EXPECT_FALSE(Tracer::Instance().enabled());
+}
+
+TEST_F(TraceShellTest, VprofBreakdownReconcilesWithClockExactly) {
+  std::string out = shell_->Execute(
+      std::string("vprof 1 ") + vision::FindFigure("fig7_1")->viewcl);
+  EXPECT_NE(out.find("vprof pane 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("dbg.read"), std::string::npos) << out;
+  EXPECT_NE(out.find("(exact)"), std::string::npos) << out;
+  EXPECT_EQ(out.find("MISMATCH"), std::string::npos) << out;
+  // vprof leaves the tracer the way it found it (off).
+  EXPECT_FALSE(Tracer::Instance().enabled());
+  // The profiled graph landed in the pane.
+  EXPECT_NE(shell_->panes().graph(1), nullptr);
+}
+
+TEST_F(TraceShellTest, SessionSaveIncludesStats) {
+  std::string plot = shell_->Execute(
+      std::string("vplot 1 ") + vision::FindFigure("fig3_4")->viewcl);
+  ASSERT_NE(plot.find("plotted"), std::string::npos) << plot;
+  ASSERT_EQ(shell_->Execute("vctrl apply 1 a = SELECT task_struct FROM *\n"
+                            "UPDATE a WITH collapsed: true"),
+            "applied\n");
+  std::string saved = shell_->Execute("vctrl save");
+  auto parsed = Json::Parse(saved);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json* stats = parsed->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->Find("clock_ns")->AsInt(), 0);
+  EXPECT_NE(stats->Find("per_model"), nullptr);
+  const Json* panes = parsed->Find("panes");
+  ASSERT_NE(panes, nullptr);
+  const Json* exec = panes->at(0).Find("exec");
+  ASSERT_NE(exec, nullptr);
+  EXPECT_EQ(exec->Find("statements")->AsInt(), 2);
+  EXPECT_EQ(exec->Find("selects")->AsInt(), 1);
+  EXPECT_EQ(exec->Find("updates")->AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace vl
