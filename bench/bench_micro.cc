@@ -250,6 +250,53 @@ int CheckTracingOverhead() {
   return 0;
 }
 
+// --- cache-speedup guard ----------------------------------------------------
+
+// Asserts the ReadSession block cache pays for itself where it matters most:
+// a repeated figure extraction over serial KGDB must cost at least 2x less
+// virtual transport time cached than uncached. Returns 0 on success.
+int CheckCacheSpeedup() {
+  constexpr int kRefreshes = 3;
+  vlbench::BenchEnv* env = Env();
+  const vision::FigureDef* figure = vision::FindFigure("fig7_1");
+
+  dbg::KernelDebugger cached(env->kernel.get(), dbg::LatencyModel::KgdbRpi400());
+  dbg::KernelDebugger uncached(env->kernel.get(), dbg::LatencyModel::KgdbRpi400(),
+                               dbg::CacheConfig::Disabled());
+  vision::RegisterFigureSymbols(&cached, env->workload.get());
+  vision::RegisterFigureSymbols(&uncached, env->workload.get());
+  cached.target().ResetStats();
+  uncached.target().ResetStats();
+
+  for (int i = 0; i < kRefreshes; ++i) {
+    viewcl::Interpreter interp_cached(&cached);
+    if (!interp_cached.RunProgram(figure->viewcl).ok()) {
+      std::printf("FAIL: cached extraction errored\n");
+      return 1;
+    }
+    viewcl::Interpreter interp_uncached(&uncached);
+    if (!interp_uncached.RunProgram(figure->viewcl).ok()) {
+      std::printf("FAIL: uncached extraction errored\n");
+      return 1;
+    }
+  }
+
+  uint64_t cached_ns = cached.target().clock().nanos();
+  uint64_t uncached_ns = uncached.target().clock().nanos();
+  double speedup = cached_ns > 0
+                       ? static_cast<double>(uncached_ns) / static_cast<double>(cached_ns)
+                       : 1e100;
+  std::printf("cache-speedup guard: KGDB %dx fig7_1 refresh, uncached %.1f ms, "
+              "cached %.1f ms, speedup %.1fx (floor 2x), hit rate %.1f%%\n",
+              kRefreshes, uncached_ns / 1e6, cached_ns / 1e6, speedup,
+              cached.session().cache_stats().HitRate() * 100.0);
+  if (speedup < 2.0) {
+    std::printf("FAIL: cached repeated extraction is less than 2x faster\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,5 +306,5 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return CheckTracingOverhead();
+  return CheckTracingOverhead() + CheckCacheSpeedup();
 }

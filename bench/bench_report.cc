@@ -122,10 +122,62 @@ vl::Json MeasureFig2Focus(vlbench::BenchEnv& env) {
   return j;
 }
 
+// Repeated pane-refresh workflow on one transport, cache on vs off: the
+// developer re-renders the same figures after every breakpoint stop. Records
+// charged-ns/read counts for both sessions, the cache's hit accounting, and
+// verifies every refresh rendered byte-identically.
+vl::Json MeasureCacheWorkflow(vlbench::BenchEnv& env, const dbg::LatencyModel& model) {
+  constexpr int kRefreshes = 3;
+  const char* kFigures[] = {"fig3_4", "fig7_1"};
+
+  dbg::KernelDebugger cached(env.kernel.get(), model);
+  dbg::KernelDebugger uncached(env.kernel.get(), model, dbg::CacheConfig::Disabled());
+  vision::RegisterFigureSymbols(&cached, env.workload.get());
+  vision::RegisterFigureSymbols(&uncached, env.workload.get());
+  cached.target().ResetStats();
+  uncached.target().ResetStats();
+
+  vl::Json j = vl::Json::Object();
+  j["model"] = vl::Json::Str(model.name);
+  j["refreshes"] = vl::Json::Int(kRefreshes);
+  bool ok = true;
+  bool identical = true;
+  vision::AsciiRenderer renderer;
+  for (int i = 0; i < kRefreshes; ++i) {
+    for (const char* id : kFigures) {
+      const vision::FigureDef* figure = vision::FindFigure(id);
+      viewcl::Interpreter interp_cached(&cached);
+      auto graph_cached = interp_cached.RunProgram(figure->viewcl);
+      viewcl::Interpreter interp_uncached(&uncached);
+      auto graph_uncached = interp_uncached.RunProgram(figure->viewcl);
+      if (!graph_cached.ok() || !graph_uncached.ok()) {
+        ok = false;
+        continue;
+      }
+      if (renderer.Render(**graph_cached) != renderer.Render(**graph_uncached)) {
+        identical = false;
+      }
+    }
+  }
+
+  uint64_t cached_ns = cached.target().clock().nanos();
+  uint64_t uncached_ns = uncached.target().clock().nanos();
+  j["ok"] = vl::Json::Bool(ok);
+  j["renders_identical"] = vl::Json::Bool(identical);
+  j["cached"] = cached.target().StatsToJson();
+  j["cached"]["cache"] = cached.session().StatsToJson();
+  j["uncached"] = uncached.target().StatsToJson();
+  j["speedup"] = vl::Json::Number(
+      cached_ns > 0 ? static_cast<double>(uncached_ns) / static_cast<double>(cached_ns)
+                    : 0.0);
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* out_path = argc > 1 ? argv[1] : "BENCH_observability.json";
+  const char* cache_path = argc > 2 ? argv[2] : "BENCH_cache.json";
   std::printf("=== observability report: traced table4 + fig2-focus workloads ===\n");
   vlbench::BenchEnv env;
   vl::Tracer::Instance().Enable();
@@ -156,5 +208,30 @@ int main(int argc, char** argv) {
   }
   file << report.Dump(2) << "\n";
   std::printf("wrote %s\n", out_path);
+
+  // Cache on/off comparison (tracing off: we want pure transport accounting).
+  vl::Tracer::Instance().Disable();
+  vl::Json cache_report = vl::Json::Object();
+  vl::Json transports = vl::Json::Array();
+  for (const dbg::LatencyModel& model :
+       {dbg::LatencyModel::GdbQemu(), dbg::LatencyModel::KgdbRpi400()}) {
+    vl::Json cell = MeasureCacheWorkflow(env, model);
+    const vl::Json* speedup = cell.Find("speedup");
+    const vl::Json* identical = cell.Find("renders_identical");
+    std::printf("  cache %-16s speedup %.1fx renders_identical=%s\n",
+                model.name.c_str(), speedup != nullptr ? speedup->AsNumber() : 0.0,
+                identical != nullptr && identical->AsBool() ? "true" : "false");
+    transports.Append(std::move(cell));
+  }
+  cache_report["workflow"] = vl::Json::Str("repeated pane refresh: fig3_4 + fig7_1 x3");
+  cache_report["transports"] = std::move(transports);
+
+  std::ofstream cache_file(cache_path);
+  if (!cache_file) {
+    std::printf("error: cannot open %s\n", cache_path);
+    return 1;
+  }
+  cache_file << cache_report.Dump(2) << "\n";
+  std::printf("wrote %s\n", cache_path);
   return 0;
 }

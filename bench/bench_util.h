@@ -29,7 +29,13 @@ struct BenchEnv {
     // Keep mm_percpu_wq lively so the workqueue figure is non-trivial.
     kernel->QueueMmPercpuWork(0);
     kernel->QueueMmPercpuWork(1);
-    debugger = std::make_unique<dbg::KernelDebugger>(kernel.get(), std::move(model));
+    // The shared debugger reads uncached: the paper-reproduction benches
+    // (table4, ablation) measure raw transport traffic and swap latency
+    // models mid-run, which a warm block cache would silently zero out.
+    // Cache experiments (bench_report, bench_micro's guard) construct their
+    // own KernelDebugger with the cache enabled.
+    debugger = std::make_unique<dbg::KernelDebugger>(kernel.get(), std::move(model),
+                                                     dbg::CacheConfig::Disabled());
     vision::RegisterFigureSymbols(debugger.get(), workload.get());
   }
 };

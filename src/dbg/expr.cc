@@ -511,13 +511,13 @@ class Evaluator {
         return EvalCall(node);
       case Node::kMember: {
         VL_ASSIGN_OR_RETURN(Value base, Eval(node->kids[0].get()));
-        return base.Member(ctx_->target(), ctx_->types(), node->text);
+        return base.Member(ctx_->session(), ctx_->types(), node->text);
       }
       case Node::kIndex: {
         VL_ASSIGN_OR_RETURN(Value base, Eval(node->kids[0].get()));
         VL_ASSIGN_OR_RETURN(Value index, Eval(node->kids[1].get()));
-        VL_ASSIGN_OR_RETURN(index, index.Load(ctx_->target()));
-        return base.Index(ctx_->target(), ctx_->types(), index.AsSigned());
+        VL_ASSIGN_OR_RETURN(index, index.Load(ctx_->session()));
+        return base.Index(ctx_->session(), ctx_->types(), index.AsSigned());
       }
       case Node::kCast:
         return EvalCast(node);
@@ -569,12 +569,12 @@ class Evaluator {
     VL_ASSIGN_OR_RETURN(Value operand, Eval(node->kids[0].get()));
     const std::string& op = node->text;
     if (op == "*") {
-      return operand.Deref(ctx_->target(), ctx_->types());
+      return operand.Deref(ctx_->session(), ctx_->types());
     }
     if (op == "&") {
       return operand.AddressOf(ctx_->types());
     }
-    VL_ASSIGN_OR_RETURN(Value loaded, operand.Load(ctx_->target()));
+    VL_ASSIGN_OR_RETURN(Value loaded, operand.Load(ctx_->session()));
     if (op == "!") {
       return Value::MakeInt(ctx_->types()->IntType(4, true), loaded.bits() == 0 ? 1 : 0);
     }
@@ -593,7 +593,7 @@ class Evaluator {
     // Short-circuit logical operators.
     if (op == "&&" || op == "||") {
       VL_ASSIGN_OR_RETURN(Value lhs, Eval(node->kids[0].get()));
-      VL_ASSIGN_OR_RETURN(bool lb, lhs.ToBool(ctx_->target()));
+      VL_ASSIGN_OR_RETURN(bool lb, lhs.ToBool(ctx_->session()));
       if (op == "&&" && !lb) {
         return Value::MakeInt(ctx_->types()->IntType(4, true), 0);
       }
@@ -601,14 +601,14 @@ class Evaluator {
         return Value::MakeInt(ctx_->types()->IntType(4, true), 1);
       }
       VL_ASSIGN_OR_RETURN(Value rhs, Eval(node->kids[1].get()));
-      VL_ASSIGN_OR_RETURN(bool rb, rhs.ToBool(ctx_->target()));
+      VL_ASSIGN_OR_RETURN(bool rb, rhs.ToBool(ctx_->session()));
       return Value::MakeInt(ctx_->types()->IntType(4, true), rb ? 1 : 0);
     }
 
     VL_ASSIGN_OR_RETURN(Value lhs_raw, Eval(node->kids[0].get()));
     VL_ASSIGN_OR_RETURN(Value rhs_raw, Eval(node->kids[1].get()));
-    VL_ASSIGN_OR_RETURN(Value lhs, lhs_raw.Load(ctx_->target()));
-    VL_ASSIGN_OR_RETURN(Value rhs, rhs_raw.Load(ctx_->target()));
+    VL_ASSIGN_OR_RETURN(Value lhs, lhs_raw.Load(ctx_->session()));
+    VL_ASSIGN_OR_RETURN(Value rhs, rhs_raw.Load(ctx_->session()));
 
     // Pointer arithmetic: ptr +/- int is scaled by the pointee size.
     if (lhs.type() != nullptr && lhs.type()->kind == TypeKind::kPointer &&
@@ -673,7 +673,7 @@ class Evaluator {
 
   vl::StatusOr<Value> EvalTernary(const Node* node) {
     VL_ASSIGN_OR_RETURN(Value cond, Eval(node->kids[0].get()));
-    VL_ASSIGN_OR_RETURN(bool b, cond.ToBool(ctx_->target()));
+    VL_ASSIGN_OR_RETURN(bool b, cond.ToBool(ctx_->session()));
     return Eval(node->kids[b ? 1 : 2].get());
   }
 
@@ -715,7 +715,7 @@ class Evaluator {
       return vl::EvalError("cast to unknown type '" + node->text + "'");
     }
     VL_ASSIGN_OR_RETURN(Value operand, Eval(node->kids[0].get()));
-    VL_ASSIGN_OR_RETURN(Value loaded, operand.Load(ctx_->target()));
+    VL_ASSIGN_OR_RETURN(Value loaded, operand.Load(ctx_->session()));
     if (loaded.is_lvalue()) {
       // Aggregate reinterpretation: retype the location.
       return Value::MakeLValue(target_type, loaded.addr());

@@ -18,8 +18,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/dbg/read_session.h"
 #include "src/dbg/symbols.h"
-#include "src/dbg/target.h"
 #include "src/dbg/type.h"
 #include "src/dbg/value.h"
 #include "src/support/status.h"
@@ -47,20 +47,23 @@ class HelperRegistry {
 // Name -> value bindings for @refs (ViewCL scope variables).
 using Environment = std::map<std::string, Value, std::less<>>;
 
+// Everything an expression evaluation needs. Reads flow through a
+// ReadSession (the block-cached front-end API); code that needs raw,
+// per-request-accounted access goes to session()->target() explicitly.
 class EvalContext {
  public:
-  EvalContext(TypeRegistry* types, Target* target, const SymbolTable* symbols,
+  EvalContext(TypeRegistry* types, ReadSession* session, const SymbolTable* symbols,
               const HelperRegistry* helpers)
-      : types_(types), target_(target), symbols_(symbols), helpers_(helpers) {}
+      : types_(types), session_(session), symbols_(symbols), helpers_(helpers) {}
 
   TypeRegistry* types() { return types_; }
-  Target* target() { return target_; }
+  ReadSession* session() { return session_; }
   const SymbolTable* symbols() const { return symbols_; }
   const HelperRegistry* helpers() const { return helpers_; }
 
  private:
   TypeRegistry* types_;
-  Target* target_;
+  ReadSession* session_;
   const SymbolTable* symbols_;
   const HelperRegistry* helpers_;
 };

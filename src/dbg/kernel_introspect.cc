@@ -155,15 +155,21 @@ bool KernelDebugger::ArenaMemory::ReadBytes(uint64_t addr, void* out, size_t len
   return true;
 }
 
-KernelDebugger::KernelDebugger(vkern::Kernel* kernel, LatencyModel model)
-    : kernel_(kernel), memory_(&kernel->arena()) {
+uint64_t KernelDebugger::ArenaMemory::generation() const {
+  return kernel_->generation();
+}
+
+KernelDebugger::KernelDebugger(vkern::Kernel* kernel, LatencyModel model,
+                               CacheConfig cache)
+    : kernel_(kernel), memory_(&kernel->arena(), kernel) {
   target_ = std::make_unique<Target>(&memory_, std::move(model));
+  session_ = std::make_unique<ReadSession>(target_.get(), cache);
   RegisterTypes();
   RegisterEnums();
   BuildStateStringTable();
   RegisterSymbols();
   RegisterHelpers();
-  context_ = std::make_unique<EvalContext>(&types_, target_.get(), &symbols_, &helpers_);
+  context_ = std::make_unique<EvalContext>(&types_, session_.get(), &symbols_, &helpers_);
 }
 
 void KernelDebugger::RegisterTypes() {
@@ -842,7 +848,7 @@ void KernelDebugger::RegisterHelpers() {
   TypeRegistry* reg = &types_;
 
   auto scalar = [](EvalContext* ctx, Value v) -> vl::StatusOr<uint64_t> {
-    VL_ASSIGN_OR_RETURN(Value loaded, v.Load(ctx->target()));
+    VL_ASSIGN_OR_RETURN(Value loaded, v.Load(ctx->session()));
     if (loaded.is_lvalue()) {
       // An aggregate argument decays to its address.
       return loaded.addr();
@@ -929,12 +935,12 @@ void KernelDebugger::RegisterHelpers() {
       return vl::EvalError("task_state(task) takes one argument");
     }
     Value task = args[0];
-    VL_ASSIGN_OR_RETURN(Value state_field, task.Member(ctx->target(), ctx->types(), "__state"));
-    VL_ASSIGN_OR_RETURN(Value state, state_field.Load(ctx->target()));
-    VL_ASSIGN_OR_RETURN(Value flags_field, task.Member(ctx->target(), ctx->types(), "flags"));
-    VL_ASSIGN_OR_RETURN(Value flags, flags_field.Load(ctx->target()));
-    VL_ASSIGN_OR_RETURN(Value exit_field, task.Member(ctx->target(), ctx->types(), "exit_state"));
-    VL_ASSIGN_OR_RETURN(Value exit_state, exit_field.Load(ctx->target()));
+    VL_ASSIGN_OR_RETURN(Value state_field, task.Member(ctx->session(), ctx->types(), "__state"));
+    VL_ASSIGN_OR_RETURN(Value state, state_field.Load(ctx->session()));
+    VL_ASSIGN_OR_RETURN(Value flags_field, task.Member(ctx->session(), ctx->types(), "flags"));
+    VL_ASSIGN_OR_RETURN(Value flags, flags_field.Load(ctx->session()));
+    VL_ASSIGN_OR_RETURN(Value exit_field, task.Member(ctx->session(), ctx->types(), "exit_state"));
+    VL_ASSIGN_OR_RETURN(Value exit_state, exit_field.Load(ctx->session()));
     int idx;
     if (exit_state.bits() != 0) {
       idx = 4;  // zombie

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "src/dbg/expr.h"
+#include "src/dbg/read_session.h"
 #include "src/dbg/symbols.h"
 #include "src/dbg/target.h"
 #include "src/dbg/type.h"
@@ -22,7 +23,8 @@ namespace dbg {
 class KernelDebugger {
  public:
   explicit KernelDebugger(vkern::Kernel* kernel,
-                          LatencyModel model = LatencyModel::Free());
+                          LatencyModel model = LatencyModel::Free(),
+                          CacheConfig cache = CacheConfig{});
 
   KernelDebugger(const KernelDebugger&) = delete;
   KernelDebugger& operator=(const KernelDebugger&) = delete;
@@ -30,6 +32,8 @@ class KernelDebugger {
   vkern::Kernel* kernel() { return kernel_; }
   TypeRegistry& types() { return types_; }
   Target& target() { return *target_; }
+  // The cached read front-end every extract-pipeline consumer goes through.
+  ReadSession& session() { return *session_; }
   SymbolTable& symbols() { return symbols_; }
   HelperRegistry& helpers() { return helpers_; }
   EvalContext& context() { return *context_; }
@@ -42,11 +46,16 @@ class KernelDebugger {
  private:
   class ArenaMemory : public MemoryDomain {
    public:
-    explicit ArenaMemory(vkern::Arena* arena) : arena_(arena) {}
+    ArenaMemory(vkern::Arena* arena, const vkern::Kernel* kernel)
+        : arena_(arena), kernel_(kernel) {}
     bool ReadBytes(uint64_t addr, void* out, size_t len) const override;
+    // The kernel bumps its generation on every mutation entry point; caching
+    // sessions invalidate when this moves.
+    uint64_t generation() const override;
 
    private:
     vkern::Arena* arena_;
+    const vkern::Kernel* kernel_;
   };
 
   void RegisterTypes();
@@ -61,6 +70,7 @@ class KernelDebugger {
   SymbolTable symbols_;
   HelperRegistry helpers_;
   std::unique_ptr<Target> target_;
+  std::unique_ptr<ReadSession> session_;
   std::unique_ptr<EvalContext> context_;
   // In-arena C strings for the task_state() helper.
   uint64_t state_string_addrs_[8] = {};

@@ -1,0 +1,227 @@
+#include "src/dbg/read_session.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/support/str.h"
+
+namespace dbg {
+
+namespace {
+
+// Smallest power of two >= n (n > 0), capped to keep shifts sane.
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n && p < (size_t{1} << 30)) {
+    p <<= 1;
+  }
+  return p;
+}
+
+size_t Log2(size_t pow2) {
+  size_t shift = 0;
+  while ((size_t{1} << shift) < pow2) {
+    ++shift;
+  }
+  return shift;
+}
+
+}  // namespace
+
+vl::Json CacheStats::ToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["hits"] = vl::Json::Int(static_cast<int64_t>(hits));
+  j["misses"] = vl::Json::Int(static_cast<int64_t>(misses));
+  j["hit_bytes"] = vl::Json::Int(static_cast<int64_t>(hit_bytes));
+  j["miss_bytes"] = vl::Json::Int(static_cast<int64_t>(miss_bytes));
+  j["block_fetches"] = vl::Json::Int(static_cast<int64_t>(block_fetches));
+  j["fetched_bytes"] = vl::Json::Int(static_cast<int64_t>(fetched_bytes));
+  j["evictions"] = vl::Json::Int(static_cast<int64_t>(evictions));
+  j["invalidations"] = vl::Json::Int(static_cast<int64_t>(invalidations));
+  j["uncached_reads"] = vl::Json::Int(static_cast<int64_t>(uncached_reads));
+  j["prefetches"] = vl::Json::Int(static_cast<int64_t>(prefetches));
+  return j;
+}
+
+ReadSession::ReadSession(Target* target, CacheConfig config) : target_(target) {
+  Reconfigure(config);
+  epoch_ = target_->memory_generation();
+}
+
+void ReadSession::Reconfigure(CacheConfig config) {
+  if (config.block_bytes != 0) {
+    config.block_bytes = RoundUpPow2(config.block_bytes);
+    if (config.capacity_blocks == 0) {
+      config.capacity_blocks = 1;
+    }
+  }
+  config_ = config;
+  block_shift_ = config_.block_bytes != 0 ? Log2(config_.block_bytes) : 0;
+  blocks_.clear();
+  lru_.clear();
+}
+
+void ReadSession::InvalidateAll() {
+  blocks_.clear();
+  lru_.clear();
+}
+
+void ReadSession::CheckEpoch() {
+  uint64_t now = target_->memory_generation();
+  if (now != epoch_) {
+    epoch_ = now;
+    if (!blocks_.empty()) {
+      stats_.invalidations++;
+      InvalidateAll();
+    }
+  }
+}
+
+const ReadSession::Block* ReadSession::LookupOrFetch(uint64_t base, bool* hit) {
+  auto it = blocks_.find(base);
+  if (it != blocks_.end()) {
+    *hit = true;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // move to front
+    return &it->second;
+  }
+  *hit = false;
+  // One transport round trip for the whole aligned block. If the block runs
+  // off the edge of readable memory the caller falls back to a direct read.
+  std::vector<uint8_t> bytes(config_.block_bytes);
+  if (!target_->ReadBytes(base, bytes.data(), bytes.size()).ok()) {
+    return nullptr;
+  }
+  stats_.block_fetches++;
+  stats_.fetched_bytes += bytes.size();
+  while (blocks_.size() >= config_.capacity_blocks && !lru_.empty()) {
+    blocks_.erase(lru_.back());
+    lru_.pop_back();
+    stats_.evictions++;
+  }
+  lru_.push_front(base);
+  Block& block = blocks_[base];
+  block.bytes = std::move(bytes);
+  block.lru_it = lru_.begin();
+  return &block;
+}
+
+vl::Status ReadSession::ReadBytes(uint64_t addr, void* out, size_t len) {
+  if (!cache_enabled() || len == 0) {
+    return target_->ReadBytes(addr, out, len);
+  }
+  CheckEpoch();
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  uint64_t pos = addr;
+  size_t remaining = len;
+  while (remaining > 0) {
+    uint64_t base = (pos >> block_shift_) << block_shift_;
+    size_t offset = static_cast<size_t>(pos - base);
+    size_t take = std::min(remaining, config_.block_bytes - offset);
+    bool hit = false;
+    const Block* block = LookupOrFetch(base, &hit);
+    if (block == nullptr) {
+      // The aligned block straddles unreadable memory (e.g. the arena edge);
+      // fall through to an exact-range read, charged like a raw Target read.
+      stats_.uncached_reads++;
+      VL_RETURN_IF_ERROR(target_->ReadBytes(pos, dst, take));
+    } else {
+      std::memcpy(dst, block->bytes.data() + offset, take);
+      if (hit) {
+        stats_.hits++;
+        stats_.hit_bytes += take;
+      } else {
+        stats_.misses++;
+        stats_.miss_bytes += take;
+      }
+    }
+    dst += take;
+    pos += take;
+    remaining -= take;
+  }
+  return vl::Status::Ok();
+}
+
+vl::StatusOr<uint64_t> ReadSession::ReadUnsigned(uint64_t addr, size_t size) {
+  if (size == 0 || size > 8) {
+    return vl::InvalidArgumentError(vl::StrFormat("bad scalar width %zu", size));
+  }
+  uint64_t value = 0;
+  VL_RETURN_IF_ERROR(ReadBytes(addr, &value, size));  // little-endian host
+  return value;
+}
+
+vl::StatusOr<int64_t> ReadSession::ReadSigned(uint64_t addr, size_t size) {
+  VL_ASSIGN_OR_RETURN(uint64_t raw, ReadUnsigned(addr, size));
+  if (size < 8) {
+    uint64_t sign_bit = 1ull << (size * 8 - 1);
+    if ((raw & sign_bit) != 0) {
+      raw |= ~((sign_bit << 1) - 1);
+    }
+  }
+  return static_cast<int64_t>(raw);
+}
+
+vl::StatusOr<std::string> ReadSession::ReadCString(uint64_t addr, size_t max_len) {
+  if (!cache_enabled()) {
+    return target_->ReadCString(addr, max_len);
+  }
+  // Same chunked contract as Target::ReadCString (64-byte chunks, byte-wise
+  // retry at unreadable boundaries), but each chunk flows through the block
+  // cache so repeated name fetches are free.
+  std::string out;
+  char chunk[64];
+  while (out.size() < max_len) {
+    size_t want = std::min(sizeof(chunk), max_len - out.size());
+    if (!ReadBytes(addr + out.size(), chunk, want).ok()) {
+      size_t ok = 0;
+      while (ok < want && ReadBytes(addr + out.size() + ok, chunk + ok, 1).ok()) {
+        ++ok;
+      }
+      if (ok == 0) {
+        return vl::MemoryFaultError(vl::StrFormat(
+            "cannot read string at 0x%llx", static_cast<unsigned long long>(addr)));
+      }
+      want = ok;
+    }
+    for (size_t i = 0; i < want; ++i) {
+      if (chunk[i] == '\0') {
+        return out;
+      }
+      out.push_back(chunk[i]);
+    }
+  }
+  return out;
+}
+
+void ReadSession::Prefetch(uint64_t addr, size_t len) {
+  if (!cache_enabled() || len == 0) {
+    return;
+  }
+  CheckEpoch();
+  uint64_t base = (addr >> block_shift_) << block_shift_;
+  uint64_t end = addr + len;
+  for (uint64_t b = base; b < end; b += config_.block_bytes) {
+    bool hit = false;
+    (void)LookupOrFetch(b, &hit);  // best effort; failures fall back at read
+  }
+}
+
+void ReadSession::PrefetchObject(uint64_t addr, const Type* type) {
+  if (type == nullptr || type->size == 0) {
+    return;
+  }
+  stats_.prefetches++;
+  Prefetch(addr, type->size);
+}
+
+vl::Json ReadSession::StatsToJson() const {
+  vl::Json j = stats_.ToJson();
+  j["enabled"] = vl::Json::Bool(cache_enabled());
+  j["block_bytes"] = vl::Json::Int(static_cast<int64_t>(config_.block_bytes));
+  j["capacity_blocks"] = vl::Json::Int(static_cast<int64_t>(config_.capacity_blocks));
+  j["cached_blocks"] = vl::Json::Int(static_cast<int64_t>(blocks_.size()));
+  j["hit_rate"] = vl::Json::Number(stats_.HitRate());
+  return j;
+}
+
+}  // namespace dbg

@@ -1,0 +1,149 @@
+// ReadSession: the debugger front-end's read API, with a transport-aware
+// block cache.
+//
+// The paper's central cost model is that every target round trip is brutally
+// expensive (a single uint64 over serial KGDB costs ~5 ms), yet the extract
+// pipeline naturally reads one field at a time. A ReadSession amortizes those
+// round trips: on a miss it fetches a whole aligned block (default 256 B), so
+// neighboring struct fields ride one transport request, and repeated pane
+// refreshes over unchanged memory cost nothing at all.
+//
+// Correctness contract (epoch invalidation): the MemoryDomain under the
+// Target reports a monotonically increasing `generation()`; the simulated
+// kernel bumps it on every mutation entry point (`TickCpu`, workload steps,
+// `QueueMmPercpuWork`). A ReadSession revalidates the generation before every
+// read and drops all cached blocks when it changed, so a pane refresh after a
+// kernel step never renders stale memory. Code that mutates kernel memory
+// out-of-band (tests poking subsystems directly) must either bump the kernel
+// generation or call InvalidateAll(). See docs/caching.md.
+//
+// All extract-pipeline consumers (ViewCL interpreter, ViewQL raw-field WHERE
+// fallback, the C-expression engine, decorators) read through a ReadSession;
+// Target's raw API remains for tests and benches that need exact per-request
+// accounting.
+
+#ifndef SRC_DBG_READ_SESSION_H_
+#define SRC_DBG_READ_SESSION_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dbg/target.h"
+#include "src/dbg/type.h"
+#include "src/support/json.h"
+#include "src/support/status.h"
+
+namespace dbg {
+
+struct CacheConfig {
+  // Aligned fetch granularity in bytes (rounded up to a power of two).
+  // 0 disables caching entirely: the session becomes a passthrough whose
+  // charges are identical to raw Target reads.
+  size_t block_bytes = 256;
+  // LRU capacity in blocks (default 4096 blocks = 1 MiB at 256 B).
+  size_t capacity_blocks = 4096;
+
+  static CacheConfig Disabled() { return CacheConfig{0, 0}; }
+};
+
+// Byte-level hit/miss accounting for one session. Field names follow the
+// stats schema in docs/observability.md: `*_ns`, `reads`, `bytes`, `hits`,
+// `misses`.
+struct CacheStats {
+  uint64_t hits = 0;            // block lookups served from cache
+  uint64_t misses = 0;          // block lookups that issued a transport fetch
+  uint64_t hit_bytes = 0;       // requested bytes served without a round trip
+  uint64_t miss_bytes = 0;      // requested bytes that triggered the fetch
+  uint64_t block_fetches = 0;   // transport round trips issued for blocks
+  uint64_t fetched_bytes = 0;   // bytes pulled over the transport for blocks
+  uint64_t evictions = 0;       // blocks dropped by LRU pressure
+  uint64_t invalidations = 0;   // whole-cache epoch flushes
+  uint64_t uncached_reads = 0;  // direct fallback reads (unreadable blocks)
+  uint64_t prefetches = 0;      // PrefetchObject calls
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+
+  // {"hits", "misses", "hit_bytes", "miss_bytes", "block_fetches",
+  //  "fetched_bytes", "evictions", "invalidations", "uncached_reads",
+  //  "prefetches"}
+  vl::Json ToJson() const;
+};
+
+class ReadSession {
+ public:
+  explicit ReadSession(Target* target, CacheConfig config = CacheConfig{});
+
+  ReadSession(const ReadSession&) = delete;
+  ReadSession& operator=(const ReadSession&) = delete;
+
+  // --- reads (mirror Target's API; blocks are fetched on miss) ---
+  vl::Status ReadBytes(uint64_t addr, void* out, size_t len);
+  vl::StatusOr<uint64_t> ReadUnsigned(uint64_t addr, size_t size);
+  vl::StatusOr<int64_t> ReadSigned(uint64_t addr, size_t size);
+  // Reads a NUL-terminated string of at most max_len bytes.
+  vl::StatusOr<std::string> ReadCString(uint64_t addr, size_t max_len = 256);
+
+  // Prefetch hint: pulls the whole object into the cache in
+  // ceil(size/block) aligned requests before the interpreter walks its
+  // members. Failures are ignored (partially readable objects still
+  // benefit); a no-op when caching is disabled.
+  void PrefetchObject(uint64_t addr, const Type* type);
+  void Prefetch(uint64_t addr, size_t len);
+
+  // Drops every cached block (does not touch stats counters except nothing).
+  void InvalidateAll();
+  // Swaps the cache configuration, dropping all cached blocks.
+  void Reconfigure(CacheConfig config);
+
+  bool cache_enabled() const { return config_.block_bytes != 0; }
+  const CacheConfig& config() const { return config_; }
+  size_t cached_blocks() const { return blocks_.size(); }
+  Target* target() const { return target_; }
+
+  const CacheStats& cache_stats() const { return stats_; }
+  void ResetCacheStats() { stats_ = CacheStats{}; }
+  // Cache-side stats only; Target::StatsToJson() has the transport side.
+  vl::Json StatsToJson() const;
+
+  // Read attribution: forwards to Target's tag so per-type counters keep
+  // working (block fetches are charged to the type whose walk misses).
+  class TagScope {
+   public:
+    TagScope(ReadSession* session, const char* tag)
+        : inner_(session->target(), tag) {}
+
+   private:
+    Target::TagScope inner_;
+  };
+
+ private:
+  struct Block {
+    std::vector<uint8_t> bytes;
+    std::list<uint64_t>::iterator lru_it;  // position in lru_ (front = hottest)
+  };
+
+  // Drops the cache if the memory domain's generation moved.
+  void CheckEpoch();
+  // Returns the cached block with base address `base`, fetching it on miss.
+  // nullptr if the block cannot be read as a whole (caller falls back to a
+  // direct ranged read). `hit` reports whether the block was already present.
+  const Block* LookupOrFetch(uint64_t base, bool* hit);
+
+  Target* target_;
+  CacheConfig config_;
+  size_t block_shift_ = 0;
+  uint64_t epoch_ = 0;
+  CacheStats stats_;
+  std::unordered_map<uint64_t, Block> blocks_;  // keyed by block base address
+  std::list<uint64_t> lru_;                     // front = most recently used
+};
+
+}  // namespace dbg
+
+#endif  // SRC_DBG_READ_SESSION_H_

@@ -23,9 +23,21 @@ void Target::set_model(LatencyModel model) {
   model_ = std::move(model);
 }
 
+void Target::ResetStats() {
+  clock_.Reset();
+  reads_ = 0;
+  bytes_read_ = 0;
+  by_model_.clear();
+  model_nanos_base_ = model_reads_base_ = model_bytes_base_ = 0;
+  // The dbg.read.* histograms and per-type counters fed by RecordRead are
+  // logically part of this target's read stats; clear them together so
+  // back-to-back bench phases start from zero.
+  vl::MetricsRegistry::Instance().ResetPrefix("dbg.read");
+}
+
 void Target::FlushModelStats() const {
   TransportStats& stats = by_model_[model_.name];
-  stats.nanos += clock_.nanos() - model_nanos_base_;
+  stats.charged_ns += clock_.nanos() - model_nanos_base_;
   stats.reads += reads_ - model_reads_base_;
   stats.bytes += bytes_read_ - model_bytes_base_;
   model_nanos_base_ = clock_.nanos();
@@ -45,19 +57,23 @@ void Target::RecordRead(size_t len, uint64_t cost) {
       {{"bytes", static_cast<int64_t>(len)}});
 }
 
+vl::Json TransportStats::ToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["charged_ns"] = vl::Json::Int(static_cast<int64_t>(charged_ns));
+  j["reads"] = vl::Json::Int(static_cast<int64_t>(reads));
+  j["bytes"] = vl::Json::Int(static_cast<int64_t>(bytes));
+  return j;
+}
+
 vl::Json Target::StatsToJson() const {
   vl::Json j = vl::Json::Object();
-  j["clock_ns"] = vl::Json::Int(static_cast<int64_t>(clock_.nanos()));
+  j["charged_ns"] = vl::Json::Int(static_cast<int64_t>(clock_.nanos()));
   j["reads"] = vl::Json::Int(static_cast<int64_t>(reads_));
   j["bytes"] = vl::Json::Int(static_cast<int64_t>(bytes_read_));
   j["model"] = vl::Json::Str(model_.name);
   vl::Json per_model = vl::Json::Object();
   for (const auto& [name, stats] : per_model_stats()) {
-    vl::Json m = vl::Json::Object();
-    m["nanos"] = vl::Json::Int(static_cast<int64_t>(stats.nanos));
-    m["reads"] = vl::Json::Int(static_cast<int64_t>(stats.reads));
-    m["bytes"] = vl::Json::Int(static_cast<int64_t>(stats.bytes));
-    per_model[name] = std::move(m);
+    per_model[name] = stats.ToJson();
   }
   j["per_model"] = std::move(per_model);
   return j;

@@ -32,6 +32,11 @@ class MemoryDomain {
   virtual ~MemoryDomain() = default;
   // Copies len bytes at addr into out; false if out of bounds.
   virtual bool ReadBytes(uint64_t addr, void* out, size_t len) const = 0;
+  // Monotonic mutation epoch of the underlying memory. Caching layers
+  // (dbg::ReadSession) drop stale data whenever this moves. The default (a
+  // constant) means "never changes"; the simulated kernel's arena overrides
+  // it with the kernel's generation counter.
+  virtual uint64_t generation() const { return 0; }
 };
 
 // Per-access cost model for a debugger transport.
@@ -53,9 +58,12 @@ struct LatencyModel {
 
 // Accumulated charges for one latency model (transport).
 struct TransportStats {
-  uint64_t nanos = 0;
+  uint64_t charged_ns = 0;
   uint64_t reads = 0;
   uint64_t bytes = 0;
+
+  // {"charged_ns", "reads", "bytes"} — see docs/observability.md#stats-schema.
+  vl::Json ToJson() const;
 };
 
 class Target {
@@ -77,13 +85,10 @@ class Target {
   const vl::VirtualClock& clock() const { return clock_; }
   uint64_t reads() const { return reads_; }
   uint64_t bytes_read() const { return bytes_read_; }
-  void ResetStats() {
-    clock_.Reset();
-    reads_ = 0;
-    bytes_read_ = 0;
-    by_model_.clear();
-    model_nanos_base_ = model_reads_base_ = model_bytes_base_ = 0;
-  }
+  // Resets clock, totals, per-model attribution, AND the `dbg.read.*`
+  // tracing metrics recorded via RecordRead, so back-to-back bench phases
+  // can't leak counts into each other.
+  void ResetStats();
 
   // Charges attributed per latency-model name. Charges since the last model
   // swap are folded in lazily, so this is always current.
@@ -92,10 +97,12 @@ class Target {
     return by_model_;
   }
 
-  // {"clock_ns", "reads", "bytes", "model", "per_model": {name: {...}}}
+  // {"charged_ns", "reads", "bytes", "model", "per_model": {name: {...}}}
   vl::Json StatsToJson() const;
 
   const LatencyModel& model() const { return model_; }
+  // The memory domain's mutation epoch (see MemoryDomain::generation).
+  uint64_t memory_generation() const { return memory_->generation(); }
   // Swapping the latency model closes out the outgoing model's charge window
   // (totals stay on the shared clock, per-model attribution stays correct).
   void set_model(LatencyModel model);

@@ -4,7 +4,7 @@
 
 namespace dbg {
 
-vl::StatusOr<Value> Value::Load(Target* target) const {
+vl::StatusOr<Value> Value::Load(ReadSession* session) const {
   if (type_ == nullptr) {
     return vl::EvalError("load of an untyped value");
   }
@@ -15,19 +15,19 @@ vl::StatusOr<Value> Value::Load(Target* target) const {
     return *this;  // aggregates stay in place
   }
   if (type_->is_signed) {
-    VL_ASSIGN_OR_RETURN(int64_t v, target->ReadSigned(addr_, type_->size));
+    VL_ASSIGN_OR_RETURN(int64_t v, session->ReadSigned(addr_, type_->size));
     return MakeInt(type_, static_cast<uint64_t>(v));
   }
-  VL_ASSIGN_OR_RETURN(uint64_t v, target->ReadUnsigned(addr_, type_->size));
+  VL_ASSIGN_OR_RETURN(uint64_t v, session->ReadUnsigned(addr_, type_->size));
   return MakeInt(type_, v);
 }
 
-vl::StatusOr<Value> Value::Member(Target* target, const TypeRegistry* types,
+vl::StatusOr<Value> Value::Member(ReadSession* session, const TypeRegistry* types,
                                   std::string_view field) const {
   Value base = *this;
   // Auto-deref pointer chains (a.b works when a is a pointer, like GDB).
   while (base.type_ != nullptr && base.type_->kind == TypeKind::kPointer) {
-    VL_ASSIGN_OR_RETURN(base, base.Deref(target, types));
+    VL_ASSIGN_OR_RETURN(base, base.Deref(session, types));
   }
   if (base.type_ == nullptr || !base.type_->IsAggregate()) {
     return vl::EvalError(vl::StrFormat("member '%.*s' on non-aggregate value",
@@ -45,10 +45,10 @@ vl::StatusOr<Value> Value::Member(Target* target, const TypeRegistry* types,
   return MakeLValue(f->type, base.addr_ + f->offset);
 }
 
-vl::StatusOr<Value> Value::Deref(Target* target, const TypeRegistry* types) const {
+vl::StatusOr<Value> Value::Deref(ReadSession* session, const TypeRegistry* types) const {
   Value v = *this;
   if (v.is_lvalue_) {
-    VL_ASSIGN_OR_RETURN(v, v.Load(target));
+    VL_ASSIGN_OR_RETURN(v, v.Load(session));
   }
   if (v.type_ == nullptr || v.type_->kind != TypeKind::kPointer) {
     return vl::EvalError("dereference of a non-pointer value");
@@ -59,7 +59,7 @@ vl::StatusOr<Value> Value::Deref(Target* target, const TypeRegistry* types) cons
   return MakeLValue(v.type_->pointee, v.bits_);
 }
 
-vl::StatusOr<Value> Value::Index(Target* target, const TypeRegistry* types,
+vl::StatusOr<Value> Value::Index(ReadSession* session, const TypeRegistry* types,
                                  int64_t index) const {
   if (type_ == nullptr) {
     return vl::EvalError("index of an untyped value");
@@ -74,7 +74,7 @@ vl::StatusOr<Value> Value::Index(Target* target, const TypeRegistry* types,
   if (type_->kind == TypeKind::kPointer) {
     Value loaded = *this;
     if (is_lvalue_) {
-      VL_ASSIGN_OR_RETURN(loaded, Load(target));
+      VL_ASSIGN_OR_RETURN(loaded, Load(session));
     }
     const Type* elem = loaded.type_->pointee;
     if (elem->size == 0) {
@@ -92,13 +92,13 @@ vl::StatusOr<Value> Value::AddressOf(const TypeRegistry* types) const {
   return MakePointer(const_cast<TypeRegistry*>(types)->PointerTo(type_), addr_);
 }
 
-vl::StatusOr<bool> Value::ToBool(Target* target) const {
+vl::StatusOr<bool> Value::ToBool(ReadSession* session) const {
   Value v = *this;
   if (v.is_lvalue_) {
     if (v.type_->IsAggregate() || v.type_->kind == TypeKind::kArray) {
       return true;  // an aggregate lvalue "exists"
     }
-    VL_ASSIGN_OR_RETURN(v, v.Load(target));
+    VL_ASSIGN_OR_RETURN(v, v.Load(session));
   }
   return v.bits_ != 0;
 }

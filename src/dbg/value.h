@@ -2,7 +2,8 @@
 //
 // A Value is either an *lvalue* (a typed location in target memory) or an
 // *rvalue* (a loaded scalar). Aggregates stay lvalues; loading a scalar
-// lvalue costs a target read.
+// lvalue reads through the caller's ReadSession (one cached block lookup,
+// a transport round trip only on miss).
 
 #ifndef SRC_DBG_VALUE_H_
 #define SRC_DBG_VALUE_H_
@@ -10,7 +11,7 @@
 #include <cstdint>
 #include <string>
 
-#include "src/dbg/target.h"
+#include "src/dbg/read_session.h"
 #include "src/dbg/type.h"
 #include "src/support/status.h"
 
@@ -51,24 +52,24 @@ class Value {
 
   // Loads a scalar lvalue into an rvalue (no-op for rvalues; error for
   // aggregates). Sign-extends according to the type.
-  vl::StatusOr<Value> Load(Target* target) const;
+  vl::StatusOr<Value> Load(ReadSession* session) const;
 
   // Field access: `value.field`. Pointers are auto-dereferenced first (GDB's
   // permissive behaviour, which ViewCL's dot-paths rely on for flattening).
-  vl::StatusOr<Value> Member(Target* target, const TypeRegistry* types,
+  vl::StatusOr<Value> Member(ReadSession* session, const TypeRegistry* types,
                              std::string_view field) const;
 
   // `*value`.
-  vl::StatusOr<Value> Deref(Target* target, const TypeRegistry* types) const;
+  vl::StatusOr<Value> Deref(ReadSession* session, const TypeRegistry* types) const;
 
   // `value[index]` on arrays and pointers.
-  vl::StatusOr<Value> Index(Target* target, const TypeRegistry* types, int64_t index) const;
+  vl::StatusOr<Value> Index(ReadSession* session, const TypeRegistry* types, int64_t index) const;
 
   // Address-of: `&value` (lvalues only).
   vl::StatusOr<Value> AddressOf(const TypeRegistry* types) const;
 
   // Truthiness for logical operators (loads scalars as needed).
-  vl::StatusOr<bool> ToBool(Target* target) const;
+  vl::StatusOr<bool> ToBool(ReadSession* session) const;
 
   // Debug rendering ("(task_struct *) 0xffff..." style).
   std::string ToString() const;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "src/support/json.h"
 
@@ -115,6 +116,8 @@ class MetricsRegistry {
 
   // Zeroes every metric (names persist so pointers stay valid).
   void Reset();
+  // Zeroes every metric whose name starts with prefix (e.g. "dbg.read").
+  void ResetPrefix(std::string_view prefix);
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
   // min, max, buckets: [[upper_edge, count], ...]}}}

@@ -37,14 +37,14 @@ vl::StatusOr<std::string> ReadString(dbg::EvalContext* ctx, Value value) {
   if (value.is_lvalue() && value.type() != nullptr &&
       value.type()->kind == TypeKind::kArray) {
     size_t max = value.type()->array_len;
-    VL_ASSIGN_OR_RETURN(std::string s, ctx->target()->ReadCString(value.addr(), max));
+    VL_ASSIGN_OR_RETURN(std::string s, ctx->session()->ReadCString(value.addr(), max));
     return s;
   }
-  VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+  VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->session()));
   if (loaded.bits() == 0) {
     return std::string("<null>");
   }
-  return ctx->target()->ReadCString(loaded.bits());
+  return ctx->session()->ReadCString(loaded.bits());
 }
 
 // Default (spec-less) rendering, directed by the value's type.
@@ -66,7 +66,7 @@ vl::StatusOr<DecoratedText> FormatDefault(dbg::EvalContext* ctx, Value value) {
     return Text(vl::StrFormat("[%zu x %s]", type->array_len, type->element->name.c_str()),
                 false);
   }
-  VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+  VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->session()));
   if (type->kind == TypeKind::kPointer) {
     return Scalar(vl::FormatUnsigned(loaded.bits(), 16), loaded.bits());
   }
@@ -118,20 +118,20 @@ vl::StatusOr<DecoratedText> FormatDecorated(dbg::EvalContext* ctx, const EmojiRe
     return Text(std::move(s), true);
   }
   if (head == "bool") {
-    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->session()));
     return Scalar(loaded.bits() != 0 ? "true" : "false", loaded.bits());
   }
   if (head == "char") {
-    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->session()));
     char c = static_cast<char>(loaded.bits());
     return Scalar(vl::StrFormat("'%c'", c), loaded.bits());
   }
   if (head == "raw_ptr") {
-    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->session()));
     return Scalar(vl::FormatUnsigned(loaded.bits(), 16), loaded.bits());
   }
   if (head == "fptr") {
-    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->session()));
     std::string name = ctx->symbols() != nullptr
                            ? ctx->symbols()->FunctionName(loaded.bits())
                            : std::string();
@@ -146,7 +146,7 @@ vl::StatusOr<DecoratedText> FormatDecorated(dbg::EvalContext* ctx, const EmojiRe
     return out;
   }
   if (head == "enum") {
-    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->session()));
     const Type* enum_type = ctx->types()->FindByName(arg);
     if (enum_type != nullptr && enum_type->kind == TypeKind::kEnum) {
       for (const auto& [name, v] : enum_type->enumerators) {
@@ -163,7 +163,7 @@ vl::StatusOr<DecoratedText> FormatDecorated(dbg::EvalContext* ctx, const EmojiRe
     return Scalar(vl::FormatUnsigned(loaded.bits(), 10), loaded.bits());
   }
   if (head == "flag") {
-    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->session()));
     const Type* enum_type = ctx->types()->FindByName(arg);
     std::string names;
     if (enum_type != nullptr && enum_type->kind == TypeKind::kEnum) {
@@ -188,7 +188,7 @@ vl::StatusOr<DecoratedText> FormatDecorated(dbg::EvalContext* ctx, const EmojiRe
     return out;
   }
   if (head == "emoji") {
-    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->session()));
     const EmojiRegistry::Renderer* renderer =
         emoji != nullptr ? emoji->Find(arg) : nullptr;
     if (renderer == nullptr) {
@@ -205,7 +205,7 @@ vl::StatusOr<DecoratedText> FormatDecorated(dbg::EvalContext* ctx, const EmojiRe
   // "<int-type>[:<base>]": u8..u64/s8..s64/int/long..., reinterpreted.
   const Type* int_type = ctx->types()->FindByName(head);
   if (int_type != nullptr && int_type->IsScalar()) {
-    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->target()));
+    VL_ASSIGN_OR_RETURN(Value loaded, value.Load(ctx->session()));
     uint64_t bits = loaded.bits();
     if (int_type->size < 8) {
       uint64_t mask = (1ull << (int_type->size * 8)) - 1;

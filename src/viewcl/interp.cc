@@ -171,7 +171,7 @@ class Interpreter::RunState {
   vl::StatusOr<uint64_t> ObjectAddr(const Value& v) {
     if (v.is_lvalue()) {
       if (v.type() != nullptr && v.type()->kind == TypeKind::kPointer) {
-        VL_ASSIGN_OR_RETURN(Value loaded, v.Load(&dbg_->target()));
+        VL_ASSIGN_OR_RETURN(Value loaded, v.Load(&dbg_->session()));
         return loaded.bits();
       }
       return v.addr();
@@ -180,14 +180,14 @@ class Interpreter::RunState {
   }
 
   vl::StatusOr<uint64_t> ScalarBits(const Value& v) {
-    VL_ASSIGN_OR_RETURN(Value loaded, v.Load(&dbg_->target()));
+    VL_ASSIGN_OR_RETURN(Value loaded, v.Load(&dbg_->session()));
     if (loaded.is_lvalue()) {
       return loaded.addr();  // aggregates decay to their address
     }
     return loaded.bits();
   }
 
-  vl::StatusOr<uint64_t> ReadPtr(uint64_t addr) { return dbg_->target().ReadUnsigned(addr, 8); }
+  vl::StatusOr<uint64_t> ReadPtr(uint64_t addr) { return dbg_->session().ReadUnsigned(addr, 8); }
 
   // Builds the C-expression environment from the lexical scope chain.
   dbg::Environment BuildEnv(const Scope* scope) {
@@ -248,7 +248,7 @@ class Interpreter::RunState {
         }
         Value v = self->dbg;
         for (const std::string& field : expr->path) {
-          VL_ASSIGN_OR_RETURN(v, v.Member(&dbg_->target(), &dbg_->types(), field));
+          VL_ASSIGN_OR_RETURN(v, v.Member(&dbg_->session(), &dbg_->types(), field));
         }
         return VclValue::Dbg(v);
       }
@@ -451,7 +451,7 @@ class Interpreter::RunState {
     // Accept rb_root, rb_root_cached, or a pointer to either.
     Value cursor = root;
     if (cursor.type() != nullptr && cursor.type()->kind == TypeKind::kPointer) {
-      VL_ASSIGN_OR_RETURN(cursor, cursor.Deref(&dbg_->target(), &dbg_->types()));
+      VL_ASSIGN_OR_RETURN(cursor, cursor.Deref(&dbg_->session(), &dbg_->types()));
     }
     if (cursor.type() != nullptr && cursor.type()->name == "rb_root_cached") {
       root_addr = cursor.addr() + off_rbcached_root_;
@@ -508,7 +508,7 @@ class Interpreter::RunState {
       if (args.size() < 2 || args[1].kind != VclValue::Kind::kDbg) {
         return vl::EvalError("Array(pointer) requires an element count");
       }
-      VL_ASSIGN_OR_RETURN(Value base, arr.Load(&dbg_->target()));
+      VL_ASSIGN_OR_RETURN(Value base, arr.Load(&dbg_->session()));
       VL_ASSIGN_OR_RETURN(uint64_t n, ScalarBits(args[1].dbg));
       n = std::min<uint64_t>(n, in_->limits_.max_container_elems);
       const Type* elem = base.type()->pointee;
@@ -524,7 +524,7 @@ class Interpreter::RunState {
   }
 
   vl::Status WalkRadixNode(uint64_t node, std::vector<Value>* out) {
-    VL_ASSIGN_OR_RETURN(uint64_t shift, dbg_->target().ReadUnsigned(node + off_radix_shift_, 1));
+    VL_ASSIGN_OR_RETURN(uint64_t shift, dbg_->session().ReadUnsigned(node + off_radix_shift_, 1));
     for (int i = 0; i < vkern::kRadixTreeMapSize; ++i) {
       if (out->size() >= in_->limits_.max_container_elems) {
         return vl::Status::Ok();
@@ -571,7 +571,7 @@ class Interpreter::RunState {
       uint64_t slot_max = max;
       if (i < pivots) {
         VL_ASSIGN_OR_RETURN(slot_max,
-                            dbg_->target().ReadUnsigned(node + pivot_off + i * 8ull, 8));
+                            dbg_->session().ReadUnsigned(node + pivot_off + i * 8ull, 8));
         if (slot_max == 0 || slot_max >= max) {
           slot_max = max;  // terminator: this is the last slot
         }
@@ -626,7 +626,7 @@ class Interpreter::RunState {
     } else if (source.kind == VclValue::Kind::kDbg) {
       Value v = source.dbg;
       if (v.type() != nullptr && v.type()->kind == TypeKind::kPointer) {
-        VL_ASSIGN_OR_RETURN(v, v.Deref(&dbg_->target(), &dbg_->types()));
+        VL_ASSIGN_OR_RETURN(v, v.Deref(&dbg_->session(), &dbg_->types()));
       }
       addr = v.addr();
       type_name = v.type() != nullptr ? v.type()->name : "";
@@ -707,10 +707,13 @@ class Interpreter::RunState {
       interned_[std::make_pair(decl, addr)] = box->id();
     }
     // Attribute every read below to the kernel type being instantiated
-    // (virtual boxes keep the enclosing box's tag).
-    std::optional<dbg::Target::TagScope> read_tag;
+    // (virtual boxes keep the enclosing box's tag), and pull the whole
+    // object into the block cache up front: the member walk below then
+    // rides ceil(size/block) transport round trips instead of one per field.
+    std::optional<dbg::ReadSession::TagScope> read_tag;
     if (!is_virtual) {
-      read_tag.emplace(&dbg_->target(), decl->kernel_type.c_str());
+      read_tag.emplace(&dbg_->session(), decl->kernel_type.c_str());
+      dbg_->session().PrefetchObject(addr, type);
     }
 
     // Box scope: @this plus box-level where bindings.

@@ -668,12 +668,12 @@ class ExecState {
         std::string c_expr = "@this." + joined;
         auto value = engine_->debugger_->Eval(c_expr, &env);
         if (value.ok()) {
-          auto loaded = value->Load(&engine_->debugger_->target());
+          auto loaded = value->Load(&engine_->debugger_->session());
           if (loaded.ok()) {
             if (loaded->is_lvalue() && loaded->type() != nullptr &&
                 loaded->type()->kind == dbg::TypeKind::kArray &&
                 loaded->type()->element->kind == dbg::TypeKind::kChar) {
-              auto text = engine_->debugger_->target().ReadCString(
+              auto text = engine_->debugger_->session().ReadCString(
                   loaded->addr(), loaded->type()->array_len);
               if (text.ok()) {
                 return CompareString(*text, expr);

@@ -208,7 +208,8 @@ std::vector<FocusHit> PaneManager::FocusMember(const std::string& member, int64_
   return hits;
 }
 
-std::string PaneManager::RenderPane(int pane_id, const RenderOptions& options) {
+std::string PaneManager::RenderPane(int pane_id, const RenderOptions& options,
+                                    std::string_view backend) {
   vl::ScopedSpan span("render.pane");
   Pane* pane = FindPane(pane_id);
   if (pane == nullptr) {
@@ -218,14 +219,17 @@ std::string PaneManager::RenderPane(int pane_id, const RenderOptions& options) {
   if (g == nullptr) {
     return "(empty pane)\n";
   }
-  AsciiRenderer renderer(options);
+  std::unique_ptr<Renderer> renderer = MakeRenderer(backend, options);
+  if (renderer == nullptr) {
+    return "(unknown render backend: " + std::string(backend) + ")\n";
+  }
   if (!pane->secondary) {
-    return renderer.Render(*g);
+    return renderer->Render(*g);
   }
   // Secondary panes display the subset as roots.
   std::vector<uint64_t> saved = g->roots();
   g->roots() = pane->subset;
-  std::string out = renderer.Render(*g);
+  std::string out = renderer->Render(*g);
   g->roots() = saved;
   return out;
 }
@@ -292,6 +296,7 @@ vl::Json PaneManager::SaveState() const {
   // Extraction cost profile (ignored by LoadState; sessions stay replayable).
   if (debugger_ != nullptr) {
     state["stats"] = debugger_->target().StatsToJson();
+    state["cache"] = debugger_->session().StatsToJson();
   }
   return state;
 }

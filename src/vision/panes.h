@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/dbg/kernel_introspect.h"
@@ -62,8 +63,10 @@ class PaneManager {
   // Accumulated ViewQL execution stats for a pane (null if no such pane).
   const viewql::ExecStats* exec_stats(int pane_id) const;
 
-  // Renders one pane (secondary panes render their subset only).
-  std::string RenderPane(int pane_id, const RenderOptions& options = RenderOptions{});
+  // Renders one pane (secondary panes render their subset only) with the
+  // named back-end ("ascii", "dot", "json" — see MakeRenderer).
+  std::string RenderPane(int pane_id, const RenderOptions& options = RenderOptions{},
+                         std::string_view backend = "ascii");
   // ASCII sketch of the split layout.
   std::string LayoutAscii() const;
 

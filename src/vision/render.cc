@@ -281,4 +281,24 @@ vl::Json JsonRenderer::ToJson(const ViewGraph& graph) const {
   return root;
 }
 
+const std::vector<std::string>& RendererBackends() {
+  static const std::vector<std::string>* backends =
+      new std::vector<std::string>{"ascii", "dot", "json"};
+  return *backends;
+}
+
+std::unique_ptr<Renderer> MakeRenderer(std::string_view backend,
+                                       RenderOptions options) {
+  if (backend == "ascii") {
+    return std::make_unique<AsciiRenderer>(options);
+  }
+  if (backend == "dot") {
+    return std::make_unique<DotRenderer>(options);
+  }
+  if (backend == "json") {
+    return std::make_unique<JsonRenderer>();
+  }
+  return nullptr;
+}
+
 }  // namespace vision

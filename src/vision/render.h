@@ -9,13 +9,17 @@
 //
 // AsciiRenderer produces terminal box diagrams, DotRenderer produces Graphviz
 // input, and JsonRenderer produces the wire format the paper's TypeScript
-// front-end would receive over HTTP.
+// front-end would receive over HTTP. All three implement the abstract
+// `Renderer` interface; callers that select a back-end at runtime (the shell's
+// `vctrl view <pane> <backend>`, pane rendering) go through `MakeRenderer`.
 
 #ifndef SRC_VISION_RENDER_H_
 #define SRC_VISION_RENDER_H_
 
+#include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/support/json.h"
@@ -33,32 +37,54 @@ struct RenderOptions {
   int max_container_preview = 12;  // elements shown before "... (+N more)"
 };
 
-class AsciiRenderer {
+// A rendering back-end: turns a ViewGraph into one output document.
+class Renderer {
+ public:
+  virtual ~Renderer() = default;
+  virtual std::string Render(const viewcl::ViewGraph& graph) const = 0;
+  // The factory name this back-end answers to ("ascii", "dot", "json").
+  virtual const char* name() const = 0;
+};
+
+class AsciiRenderer : public Renderer {
  public:
   explicit AsciiRenderer(RenderOptions options = RenderOptions{}) : options_(options) {}
-  std::string Render(const viewcl::ViewGraph& graph) const;
+  std::string Render(const viewcl::ViewGraph& graph) const override;
+  const char* name() const override { return "ascii"; }
 
  private:
   RenderOptions options_;
 };
 
-class DotRenderer {
+class DotRenderer : public Renderer {
  public:
   explicit DotRenderer(RenderOptions options = RenderOptions{}) : options_(options) {}
-  std::string Render(const viewcl::ViewGraph& graph) const;
+  std::string Render(const viewcl::ViewGraph& graph) const override;
+  const char* name() const override { return "dot"; }
 
  private:
   RenderOptions options_;
 };
 
-class JsonRenderer {
+class JsonRenderer : public Renderer {
  public:
   // Serializes the full graph (all boxes, views, members, attributes, roots).
   vl::Json ToJson(const viewcl::ViewGraph& graph) const;
-  std::string Render(const viewcl::ViewGraph& graph, int indent = 2) const {
+  std::string Render(const viewcl::ViewGraph& graph, int indent) const {
     return ToJson(graph).Dump(indent);
   }
+  std::string Render(const viewcl::ViewGraph& graph) const override {
+    return Render(graph, 2);
+  }
+  const char* name() const override { return "json"; }
 };
+
+// Back-end names MakeRenderer accepts, in display order.
+const std::vector<std::string>& RendererBackends();
+
+// Creates the named back-end ("ascii", "dot", "json"); nullptr if unknown.
+std::unique_ptr<Renderer> MakeRenderer(std::string_view backend,
+                                       RenderOptions options = RenderOptions{});
 
 }  // namespace vision
 

@@ -145,33 +145,27 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
     return out;
   }
   if (sub == "view") {
+    auto [pane_text, backend] = SplitFirst(rest);
     int64_t pane_id = 0;
-    if (!vl::ParseInt64(rest, &pane_id)) {
-      return "usage: vctrl view <pane>\n";
+    if (!vl::ParseInt64(pane_text, &pane_id)) {
+      return "usage: vctrl view <pane> [" + vl::StrJoin(RendererBackends(), "|") + "]\n";
     }
-    return panes_.RenderPane(static_cast<int>(pane_id));
+    if (backend.empty()) {
+      backend = "ascii";
+    }
+    return panes_.RenderPane(static_cast<int>(pane_id), RenderOptions{}, backend);
   }
-  if (sub == "dot") {
+  // `vctrl dot|json <pane>` are kept as aliases for `vctrl view <pane> <backend>`.
+  if (sub == "dot" || sub == "json") {
     int64_t pane_id = 0;
     if (!vl::ParseInt64(rest, &pane_id)) {
-      return "usage: vctrl dot <pane>\n";
+      return "usage: vctrl " + sub + " <pane>\n";
     }
-    viewcl::ViewGraph* graph = panes_.graph(static_cast<int>(pane_id));
-    if (graph == nullptr) {
-      return "(empty pane)\n";
+    std::string out = panes_.RenderPane(static_cast<int>(pane_id), RenderOptions{}, sub);
+    if (sub == "json" && !out.empty() && out.back() != '\n') {
+      out += "\n";
     }
-    return DotRenderer().Render(*graph);
-  }
-  if (sub == "json") {
-    int64_t pane_id = 0;
-    if (!vl::ParseInt64(rest, &pane_id)) {
-      return "usage: vctrl json <pane>\n";
-    }
-    viewcl::ViewGraph* graph = panes_.graph(static_cast<int>(pane_id));
-    if (graph == nullptr) {
-      return "(empty pane)\n";
-    }
-    return JsonRenderer().Render(*graph) + "\n";
+    return out;
   }
   if (sub == "layout") {
     return panes_.LayoutAscii();
@@ -180,7 +174,7 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
     return panes_.SaveState().Dump(2) + "\n";
   }
   if (sub == "stats") {
-    return CmdStats();
+    return CmdStats(rest);
   }
   if (sub == "trace") {
     return CmdTrace(rest);
@@ -188,7 +182,34 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
   return "usage: vctrl split|apply|focus|view|layout|save|stats|trace ...\n";
 }
 
-std::string DebuggerShell::CmdStats() {
+vl::Json DebuggerShell::StatsJson() const {
+  vl::Json j = vl::Json::Object();
+  if (debugger_ != nullptr) {
+    j["target"] = debugger_->target().StatsToJson();
+    j["cache"] = debugger_->session().StatsToJson();
+  }
+  vl::Json panes = vl::Json::Object();
+  for (int id : panes_.pane_ids()) {
+    const viewql::ExecStats* stats = panes_.exec_stats(id);
+    if (stats != nullptr && stats->statements > 0) {
+      panes[vl::StrFormat("%d", id)] = stats->ToJson();
+    }
+  }
+  j["panes"] = std::move(panes);
+  vl::Tracer& tracer = vl::Tracer::Instance();
+  vl::Json jtracer = vl::Json::Object();
+  jtracer["enabled"] = vl::Json::Bool(tracer.enabled());
+  jtracer["recorded"] = vl::Json::Int(static_cast<int64_t>(tracer.recorded()));
+  jtracer["dropped"] = vl::Json::Int(static_cast<int64_t>(tracer.dropped()));
+  j["tracer"] = std::move(jtracer);
+  j["metrics"] = vl::MetricsRegistry::Instance().ToJson();
+  return j;
+}
+
+std::string DebuggerShell::CmdStats(const std::string& args) {
+  if (vl::StrTrim(args) == "json") {
+    return StatsJson().Dump(2) + "\n";
+  }
   std::string out;
   if (debugger_ != nullptr) {
     const dbg::Target& target = debugger_->target();
@@ -200,10 +221,21 @@ std::string DebuggerShell::CmdStats() {
                          static_cast<unsigned long long>(target.bytes_read()));
     for (const auto& [name, stats] : target.per_model_stats()) {
       out += vl::StrFormat("  %-16s %llu ns, %llu reads, %llu bytes\n", name.c_str(),
-                           static_cast<unsigned long long>(stats.nanos),
+                           static_cast<unsigned long long>(stats.charged_ns),
                            static_cast<unsigned long long>(stats.reads),
                            static_cast<unsigned long long>(stats.bytes));
     }
+    const dbg::ReadSession& session = debugger_->session();
+    const dbg::CacheStats& cache = session.cache_stats();
+    out += vl::StrFormat(
+        "cache: %s block=%zu B, %llu hits / %llu misses (%.1f%% hit rate), "
+        "%llu blocks cached, %llu evictions, %llu invalidations\n",
+        session.cache_enabled() ? "on" : "off", session.config().block_bytes,
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses), cache.HitRate() * 100.0,
+        static_cast<unsigned long long>(session.cached_blocks()),
+        static_cast<unsigned long long>(cache.evictions),
+        static_cast<unsigned long long>(cache.invalidations));
   }
   for (int id : panes_.pane_ids()) {
     const viewql::ExecStats* stats = panes_.exec_stats(id);

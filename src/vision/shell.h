@@ -25,10 +25,10 @@ class DebuggerShell {
   //   vctrl apply <pane> <viewql...>        refine a pane with ViewQL
   //   vctrl focus addr <hex>                search all panes for an object
   //   vctrl focus <member> <value>          search by member value (e.g. pid 2)
-  //   vctrl view <pane>                     render a pane (ASCII)
+  //   vctrl view <pane> [ascii|dot|json]    render a pane with a back-end
   //   vctrl layout                          show the pane tree
   //   vctrl save                            dump the session state as JSON
-  //   vctrl stats                           target/pane/metrics cost report
+  //   vctrl stats [json]                    merged target/cache/pane cost report
   //   vctrl trace on|off|clear|dump <file>  control the deterministic tracer
   //   vprof <pane> <viewcl program...>      traced run + self-time breakdown
   //   vchat <pane> <natural language...>    synthesize + apply ViewQL
@@ -44,7 +44,10 @@ class DebuggerShell {
   std::string CmdVctrl(const std::string& args);
   std::string CmdVchat(const std::string& args);
   std::string CmdVprof(const std::string& args);
-  std::string CmdStats();
+  std::string CmdStats(const std::string& args);
+  // The merged stats object: {"target", "cache", "panes", "tracer", "metrics"}
+  // — one place for every stats shape (docs/observability.md#stats-schema).
+  vl::Json StatsJson() const;
   std::string CmdTrace(const std::string& args);
 
   dbg::KernelDebugger* debugger_;

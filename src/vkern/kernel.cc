@@ -133,6 +133,7 @@ void Kernel::BootWorkqueues() {
 }
 
 void Kernel::QueueMmPercpuWork(int cpu) {
+  BumpGeneration();
   auto* vw = slabs_->AllocAs<vmstat_work_item>(wq_item_cache_);
   vw->cpu = cpu;
   wqs_->InitWork(&vw->dw.work, &VmstatUpdate);
@@ -182,6 +183,7 @@ void Kernel::BootKthreads() {
 }
 
 void Kernel::TickCpu(int cpu) {
+  BumpGeneration();
   sched_->Tick(cpu);
   timers_->Advance(cpu, 1);
   wqs_->ProcessPending(cpu, 1);

@@ -123,6 +123,16 @@ class Kernel {
   // Total jiffies ticked so far (per CPU 0's base).
   uint64_t jiffies() const { return timer_bases_[0].clk; }
 
+  // --- memory mutation epoch ---
+  // Monotonic counter bumped on every mutation entry point (TickCpu, workload
+  // steps, QueueMmPercpuWork). Debugger-side caches (dbg::ReadSession) compare
+  // it between reads and drop stale blocks when it moves. Code that mutates
+  // kernel memory through subsystem internals (tests poking allocators
+  // directly) must call BumpGeneration() — or the reader must invalidate —
+  // for cached sessions to notice. See docs/caching.md.
+  uint64_t generation() const { return generation_; }
+  void BumpGeneration() { ++generation_; }
+
  private:
   void BootFilesystems();
   void BootDeviceModel();
@@ -172,6 +182,8 @@ class Kernel {
   kmem_cache* wq_item_cache_ = nullptr;  // heterogeneous mm_percpu_wq items
 
   std::map<uint64_t, std::string> func_symbols_;
+
+  uint64_t generation_ = 0;
 };
 
 // Well-known host functions usable as "user" callbacks by workloads; their

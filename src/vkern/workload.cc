@@ -18,6 +18,7 @@ file* Workload::OpenScratchFile(const char* prefix, int idx) {
 }
 
 void Workload::SpawnPopulation() {
+  kernel_->BumpGeneration();
   task_struct* init = kernel_->procs().FindTaskByPid(1);
   shared_sem_ = kernel_->ipc().SemGet(0x5eed, 4);
   shared_msq_ = kernel_->ipc().MsgGet(0xfeed);
@@ -214,6 +215,7 @@ void Workload::DoRandomOp(ThreadState* ts) {
 }
 
 void Workload::Step() {
+  kernel_->BumpGeneration();  // DoRandomOp mutates before the TickCpu bumps
   for (ThreadState& ts : states_) {
     DoRandomOp(&ts);
   }

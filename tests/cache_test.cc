@@ -1,0 +1,292 @@
+// ReadSession block-cache correctness: hit/miss accounting, LRU eviction,
+// block-boundary reads, epoch invalidation on kernel mutation, fallback at
+// unreadable boundaries, and the determinism contract — cached and uncached
+// extractions must produce byte-identical render output.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/dbg/read_session.h"
+#include "src/viewcl/interp.h"
+#include "src/vision/figures.h"
+#include "src/vision/render.h"
+#include "src/vkern/kernel.h"
+#include "tests/test_util.h"
+
+namespace dbg {
+namespace {
+
+// A flat buffer memory domain with a controllable generation counter.
+class FlatMemory : public MemoryDomain {
+ public:
+  explicit FlatMemory(size_t size) : bytes_(size) {
+    for (size_t i = 0; i < size; ++i) {
+      bytes_[i] = static_cast<uint8_t>(i * 31 + 7);
+    }
+  }
+  bool ReadBytes(uint64_t addr, void* out, size_t len) const override {
+    if (addr + len > bytes_.size()) {
+      return false;
+    }
+    std::memcpy(out, bytes_.data() + addr, len);
+    return true;
+  }
+  uint64_t generation() const override { return generation_; }
+
+  void Poke(uint64_t addr, uint8_t value) { bytes_[addr] = value; }
+  void Bump() { ++generation_; }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t generation_ = 0;
+};
+
+class CacheTest : public ::testing::Test {
+ protected:
+  CacheTest() : memory_(1 << 16), target_(&memory_, LatencyModel::GdbQemu()) {}
+
+  FlatMemory memory_;
+  Target target_;
+};
+
+TEST_F(CacheTest, MissFetchesBlockThenHitsAreFree) {
+  ReadSession session(&target_, CacheConfig{256, 64});
+  uint64_t before = target_.clock().nanos();
+
+  // First read: one 256-byte block fetch (one transport round trip).
+  auto v1 = session.ReadUnsigned(0x100, 8);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(target_.reads(), 1u);
+  EXPECT_EQ(target_.bytes_read(), 256u);
+  uint64_t after_miss = target_.clock().nanos();
+  EXPECT_GT(after_miss, before);
+
+  // Every field in the same block [0x100, 0x200): zero additional charges.
+  for (uint64_t off = 0; off < 256; off += 8) {
+    ASSERT_TRUE(session.ReadUnsigned(0x100 + off, 8).ok());
+  }
+  EXPECT_EQ(target_.reads(), 1u);
+  EXPECT_EQ(target_.clock().nanos(), after_miss);
+
+  const CacheStats& stats = session.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 32u);
+  EXPECT_EQ(stats.hit_bytes, 32u * 8u);
+  EXPECT_EQ(stats.block_fetches, 1u);
+  EXPECT_EQ(stats.fetched_bytes, 256u);
+}
+
+TEST_F(CacheTest, CachedBytesMatchDirectReads) {
+  ReadSession session(&target_, CacheConfig{256, 64});
+  for (uint64_t addr : {0ull, 1ull, 255ull, 256ull, 300ull, 511ull, 1000ull}) {
+    for (size_t len : {1, 2, 4, 8}) {
+      uint64_t via_cache = 0;
+      uint64_t direct = 0;
+      ASSERT_TRUE(session.ReadBytes(addr, &via_cache, len).ok());
+      ASSERT_TRUE(target_.ReadBytes(addr, &direct, len).ok());
+      EXPECT_EQ(via_cache, direct) << "addr=" << addr << " len=" << len;
+    }
+  }
+}
+
+TEST_F(CacheTest, BlockBoundaryReadSpansTwoBlocks) {
+  ReadSession session(&target_, CacheConfig{256, 64});
+  uint8_t buf[16];
+  // [0xf8, 0x108) straddles the 0x100 block boundary.
+  ASSERT_TRUE(session.ReadBytes(0xf8, buf, sizeof(buf)).ok());
+  EXPECT_EQ(target_.reads(), 2u);  // one fetch per block
+  EXPECT_EQ(session.cache_stats().misses, 2u);
+  uint8_t direct[16];
+  ASSERT_TRUE(target_.ReadBytes(0xf8, direct, sizeof(direct)).ok());
+  EXPECT_EQ(std::memcmp(buf, direct, sizeof(buf)), 0);
+}
+
+TEST_F(CacheTest, LruEvictsColdestBlockAtCapacity) {
+  ReadSession session(&target_, CacheConfig{256, 2});
+  ASSERT_TRUE(session.ReadUnsigned(0 * 256, 8).ok());    // block 0
+  ASSERT_TRUE(session.ReadUnsigned(1 * 256, 8).ok());    // block 1
+  EXPECT_EQ(session.cached_blocks(), 2u);
+  ASSERT_TRUE(session.ReadUnsigned(0 * 256, 8).ok());    // touch 0: 1 is coldest
+  ASSERT_TRUE(session.ReadUnsigned(2 * 256, 8).ok());    // block 2 evicts 1
+  EXPECT_EQ(session.cached_blocks(), 2u);
+  EXPECT_EQ(session.cache_stats().evictions, 1u);
+
+  uint64_t reads_before = target_.reads();
+  ASSERT_TRUE(session.ReadUnsigned(0 * 256, 8).ok());    // still cached
+  EXPECT_EQ(target_.reads(), reads_before);
+  ASSERT_TRUE(session.ReadUnsigned(1 * 256, 8).ok());    // was evicted: refetch
+  EXPECT_EQ(target_.reads(), reads_before + 1);
+}
+
+TEST_F(CacheTest, EpochBumpDropsStaleBlocks) {
+  ReadSession session(&target_, CacheConfig{256, 64});
+  ASSERT_TRUE(session.ReadUnsigned(0x40, 1).ok());
+  memory_.Poke(0x40, 0xEE);
+
+  // Without a generation bump the stale cached byte is served (the contract:
+  // out-of-band mutators must bump or invalidate).
+  auto stale = session.ReadUnsigned(0x40, 1);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_NE(*stale, 0xEEu);
+
+  memory_.Bump();
+  auto fresh = session.ReadUnsigned(0x40, 1);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*fresh, 0xEEu);
+  EXPECT_EQ(session.cache_stats().invalidations, 1u);
+  EXPECT_EQ(session.cached_blocks(), 1u);  // refetched after the flush
+}
+
+TEST_F(CacheTest, UnreadableBlockFallsBackToDirectRead) {
+  // 1000 bytes of memory: the block containing the tail ([768, 1024)) runs
+  // off the edge, so the block fetch fails and the session must fall back to
+  // an exact-range read.
+  FlatMemory memory(1000);
+  Target target(&memory, LatencyModel::GdbQemu());
+  ReadSession session(&target, CacheConfig{256, 64});
+  auto v = session.ReadUnsigned(992, 8);
+  ASSERT_TRUE(v.ok());
+  uint64_t direct = 0;
+  ASSERT_TRUE(target.ReadBytes(992, &direct, 8).ok());
+  EXPECT_EQ(*v, direct);
+  EXPECT_EQ(session.cache_stats().uncached_reads, 1u);
+  EXPECT_EQ(session.cached_blocks(), 0u);
+  // Fully out-of-bounds reads still error.
+  EXPECT_FALSE(session.ReadUnsigned(4096, 8).ok());
+}
+
+TEST_F(CacheTest, DisabledConfigIsPassthrough) {
+  ReadSession session(&target_, CacheConfig::Disabled());
+  EXPECT_FALSE(session.cache_enabled());
+  ASSERT_TRUE(session.ReadUnsigned(0x100, 8).ok());
+  ASSERT_TRUE(session.ReadUnsigned(0x100, 8).ok());
+  EXPECT_EQ(target_.reads(), 2u);          // every read hits the transport
+  EXPECT_EQ(target_.bytes_read(), 16u);    // exact sizes, no block rounding
+  EXPECT_EQ(session.cache_stats().hits, 0u);
+  EXPECT_EQ(session.cache_stats().misses, 0u);
+}
+
+TEST_F(CacheTest, ReconfigureSwapsGranularityAndDropsBlocks) {
+  ReadSession session(&target_, CacheConfig{256, 64});
+  ASSERT_TRUE(session.ReadUnsigned(0x100, 8).ok());
+  EXPECT_EQ(session.cached_blocks(), 1u);
+  session.Reconfigure(CacheConfig{64, 8});
+  EXPECT_EQ(session.cached_blocks(), 0u);
+  ASSERT_TRUE(session.ReadUnsigned(0x100, 8).ok());
+  EXPECT_EQ(target_.bytes_read(), 256u + 64u);
+  // Non-power-of-two block sizes round up.
+  session.Reconfigure(CacheConfig{100, 8});
+  EXPECT_EQ(session.config().block_bytes, 128u);
+}
+
+TEST_F(CacheTest, PrefetchObjectPullsWholeStructInBlockRequests) {
+  vkern::Kernel kernel;
+  KernelDebugger debugger(&kernel, LatencyModel::GdbQemu());
+  const Type* task = debugger.types().FindByName("task_struct");
+  ASSERT_NE(task, nullptr);
+  uint64_t addr = reinterpret_cast<uint64_t>(kernel.procs().init_task());
+
+  debugger.target().ResetStats();
+  debugger.session().InvalidateAll();
+  debugger.session().PrefetchObject(addr, task);
+  size_t block = debugger.session().config().block_bytes;
+  size_t expected = (addr + task->size + block - 1) / block - addr / block;
+  EXPECT_EQ(debugger.target().reads(), expected);  // ceil over spanned blocks
+
+  // Walking every scalar field afterwards costs nothing extra.
+  uint64_t reads_after_prefetch = debugger.target().reads();
+  for (const Field& field : task->fields) {
+    if (field.type->IsScalar()) {
+      ASSERT_TRUE(debugger.session().ReadUnsigned(addr + field.offset,
+                                                  field.type->size).ok());
+    }
+  }
+  EXPECT_EQ(debugger.target().reads(), reads_after_prefetch);
+  EXPECT_EQ(debugger.session().cache_stats().prefetches, 1u);
+}
+
+TEST_F(CacheTest, CStringReadsThroughCache) {
+  vkern::Kernel kernel;
+  KernelDebugger debugger(&kernel, LatencyModel::GdbQemu());
+  vkern::task_struct* init = kernel.procs().init_task();
+  uint64_t comm_addr = reinterpret_cast<uint64_t>(init->comm);
+
+  auto direct = debugger.target().ReadCString(comm_addr, sizeof(init->comm));
+  ASSERT_TRUE(direct.ok());
+  auto cached = debugger.session().ReadCString(comm_addr, sizeof(init->comm));
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(*cached, *direct);
+
+  // Re-reading the same string is free.
+  uint64_t reads_before = debugger.target().reads();
+  ASSERT_TRUE(debugger.session().ReadCString(comm_addr, sizeof(init->comm)).ok());
+  EXPECT_EQ(debugger.target().reads(), reads_before);
+}
+
+// --- end-to-end: cache on vs off over real extractions ----------------------
+
+class CacheKernelTest : public vltest::WorkloadKernelTest {};
+
+// The determinism contract in one assertion: for every figure, a cached
+// extraction renders byte-identically to an uncached one.
+TEST_F(CacheKernelTest, CachedAndUncachedRendersAreByteIdentical) {
+  KernelDebugger cached(kernel_.get(), LatencyModel::GdbQemu());
+  KernelDebugger uncached(kernel_.get(), LatencyModel::GdbQemu(),
+                          CacheConfig::Disabled());
+  vision::RegisterFigureSymbols(&cached, workload_.get());
+  vision::RegisterFigureSymbols(&uncached, workload_.get());
+  vision::AsciiRenderer renderer;
+
+  for (const vision::FigureDef& figure : vision::AllFigures()) {
+    viewcl::Interpreter interp_cached(&cached);
+    auto graph_cached = interp_cached.RunProgram(figure.viewcl);
+    viewcl::Interpreter interp_uncached(&uncached);
+    auto graph_uncached = interp_uncached.RunProgram(figure.viewcl);
+    ASSERT_EQ(graph_cached.ok(), graph_uncached.ok()) << figure.id;
+    if (!graph_cached.ok()) {
+      continue;
+    }
+    EXPECT_EQ(renderer.Render(**graph_cached), renderer.Render(**graph_uncached))
+        << figure.id;
+  }
+  EXPECT_GT(cached.session().cache_stats().hits, 0u);
+  EXPECT_LT(cached.target().clock().nanos(), uncached.target().clock().nanos());
+}
+
+// A pane refresh after TickCpu must not render stale memory: the kernel's
+// generation bump flushes the cache.
+TEST_F(CacheKernelTest, TickCpuInvalidatesCachedExtraction) {
+  KernelDebugger debugger(kernel_.get(), LatencyModel::Free());
+  vision::RegisterFigureSymbols(&debugger, workload_.get());
+  const vision::FigureDef* figure = vision::FindFigure("fig7_1");
+  ASSERT_NE(figure, nullptr);
+
+  viewcl::Interpreter interp1(&debugger);
+  ASSERT_TRUE(interp1.RunProgram(figure->viewcl).ok());
+  ASSERT_GT(debugger.session().cached_blocks(), 0u);
+
+  // Mutate through the kernel's official entry point...
+  for (int cpu = 0; cpu < vkern::kNrCpus; ++cpu) {
+    kernel_->TickCpu(cpu);
+  }
+  // ...and verify the refreshed extraction matches a cold-cache debugger's.
+  viewcl::Interpreter interp2(&debugger);
+  auto refreshed = interp2.RunProgram(figure->viewcl);
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_GT(debugger.session().cache_stats().invalidations, 0u);
+
+  KernelDebugger fresh(kernel_.get(), LatencyModel::Free());
+  vision::RegisterFigureSymbols(&fresh, workload_.get());
+  viewcl::Interpreter interp3(&fresh);
+  auto cold = interp3.RunProgram(figure->viewcl);
+  ASSERT_TRUE(cold.ok());
+  vision::AsciiRenderer renderer;
+  EXPECT_EQ(renderer.Render(**refreshed), renderer.Render(**cold));
+}
+
+}  // namespace
+}  // namespace dbg

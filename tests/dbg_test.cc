@@ -22,7 +22,7 @@ class DbgTest : public vltest::WorkloadKernelTest {
     if (!result.ok()) {
       return ~0ull;
     }
-    auto loaded = result->Load(&debugger_->target());
+    auto loaded = result->Load(&debugger_->session());
     EXPECT_TRUE(loaded.ok()) << expr << ": " << loaded.status().ToString();
     return loaded.ok() ? loaded->bits() : ~0ull;
   }

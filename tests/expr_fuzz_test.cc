@@ -126,7 +126,7 @@ TEST_F(ExprFuzzTest, RandomExpressionsMatchOracle) {
     ExprGen::Node node = gen.Gen(5);
     auto result = debugger_->Eval(node.text);
     ASSERT_TRUE(result.ok()) << node.text << ": " << result.status().ToString();
-    auto loaded = result->Load(&debugger_->target());
+    auto loaded = result->Load(&debugger_->session());
     ASSERT_TRUE(loaded.ok()) << node.text;
     EXPECT_EQ(loaded->bits(), node.value) << node.text;
   }

@@ -224,11 +224,12 @@ TEST_F(ExtensionsTest, ExpressionErrorsOnFaultedMemory) {
   FlakyMemory memory(&kernel_->arena(), reinterpret_cast<uint64_t>(init),
                      sizeof(vkern::task_struct));
   dbg::Target target(&memory, dbg::LatencyModel::Free());
-  dbg::EvalContext ctx(&debugger_->types(), &target, &debugger_->symbols(),
+  dbg::ReadSession session(&target);
+  dbg::EvalContext ctx(&debugger_->types(), &session, &debugger_->symbols(),
                        &debugger_->helpers());
   auto result = dbg::EvalCExpression(&ctx, "init_task.pid", nullptr);
   ASSERT_TRUE(result.ok());  // the lvalue forms fine...
-  auto loaded = result->Load(&target);
+  auto loaded = result->Load(&session);
   EXPECT_FALSE(loaded.ok());  // ...but loading it faults
 }
 

@@ -188,6 +188,10 @@ class TraceKernelTest : public vltest::WorkloadKernelTest {
     tracer.Clear();
     MetricsRegistry::Instance().Reset();
     debugger_->target().ResetStats();
+    // A clean slate includes an empty read cache: a warm cache elides
+    // transport reads (and their spans) entirely.
+    debugger_->session().InvalidateAll();
+    debugger_->session().ResetCacheStats();
     tracer.Enable();
     viewcl::Interpreter interp(debugger_.get());
     auto graph = interp.RunProgram(vision::FindFigure(figure_id)->viewcl);
@@ -258,6 +262,33 @@ TEST_F(TraceKernelTest, ReadsAreTaggedByKernelType) {
   EXPECT_GT(MetricsRegistry::Instance().histograms().at("dbg.read.bytes").count(), 0u);
 }
 
+// ResetStats must also clear the dbg.read.* histograms and per-type counters
+// fed by RecordRead, or back-to-back bench phases leak counts into each other.
+TEST_F(TraceKernelTest, ResetStatsClearsReadMetrics) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Enable();
+  viewcl::Interpreter interp(debugger_.get());
+  ASSERT_TRUE(interp.RunProgram(vision::FindFigure("fig7_1")->viewcl).ok());
+  tracer.Disable();
+
+  MetricsRegistry& metrics = MetricsRegistry::Instance();
+  ASSERT_GT(metrics.histograms().at("dbg.read.bytes").count(), 0u);
+  ASSERT_GT(metrics.histograms().at("dbg.read.latency_ns").count(), 0u);
+  // An unrelated metric must survive the targeted reset.
+  metrics.GetCounter("unrelated.counter")->Add(7);
+
+  debugger_->target().ResetStats();
+  EXPECT_EQ(debugger_->target().reads(), 0u);
+  EXPECT_EQ(metrics.histograms().at("dbg.read.bytes").count(), 0u);
+  EXPECT_EQ(metrics.histograms().at("dbg.read.latency_ns").count(), 0u);
+  for (const auto& [name, counter] : metrics.counters()) {
+    if (name.rfind("dbg.read.", 0) == 0) {
+      EXPECT_EQ(counter.value(), 0u) << name;
+    }
+  }
+  EXPECT_EQ(metrics.counters().at("unrelated.counter").value(), 7u);
+}
+
 TEST_F(TraceKernelTest, PerModelAttributionSumsToTotals) {
   dbg::Target& target = debugger_->target();
   uint64_t addr = reinterpret_cast<uint64_t>(kernel_->procs().init_task());
@@ -272,7 +303,7 @@ TEST_F(TraceKernelTest, PerModelAttributionSumsToTotals) {
   uint64_t reads = 0;
   uint64_t bytes = 0;
   for (const auto& [name, stats] : per_model) {
-    nanos += stats.nanos;
+    nanos += stats.charged_ns;
     reads += stats.reads;
     bytes += stats.bytes;
   }
@@ -281,7 +312,7 @@ TEST_F(TraceKernelTest, PerModelAttributionSumsToTotals) {
   EXPECT_EQ(bytes, target.bytes_read());
   ASSERT_EQ(per_model.count("GDB (QEMU)"), 1u);
   ASSERT_EQ(per_model.count("KGDB (rpi-400)"), 1u);
-  EXPECT_GT(per_model.at("KGDB (rpi-400)").nanos, per_model.at("GDB (QEMU)").nanos);
+  EXPECT_GT(per_model.at("KGDB (rpi-400)").charged_ns, per_model.at("GDB (QEMU)").charged_ns);
 
   target.ResetStats();
   EXPECT_TRUE(target.per_model_stats().at(target.model().name).reads == 0);
@@ -308,7 +339,23 @@ TEST_F(TraceShellTest, VctrlStatsReportsTargetAndTracer) {
   std::string out = shell_->Execute("vctrl stats");
   EXPECT_NE(out.find("target: model="), std::string::npos) << out;
   EXPECT_NE(out.find("reads="), std::string::npos);
+  EXPECT_NE(out.find("cache: on"), std::string::npos) << out;
+  EXPECT_NE(out.find("hit rate"), std::string::npos);
   EXPECT_NE(out.find("tracer: off"), std::string::npos);
+
+  // `vctrl stats json` merges every stats shape into one object.
+  auto merged = Json::Parse(shell_->Execute("vctrl stats json"));
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const Json* target = merged->Find("target");
+  ASSERT_NE(target, nullptr);
+  EXPECT_NE(target->Find("charged_ns"), nullptr);
+  const Json* cache = merged->Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_NE(cache->Find("hits"), nullptr);
+  EXPECT_NE(cache->Find("hit_rate"), nullptr);
+  EXPECT_NE(merged->Find("panes"), nullptr);
+  EXPECT_NE(merged->Find("tracer"), nullptr);
+  EXPECT_NE(merged->Find("metrics"), nullptr);
 }
 
 TEST_F(TraceShellTest, VctrlTraceOnOffDump) {
@@ -358,8 +405,12 @@ TEST_F(TraceShellTest, SessionSaveIncludesStats) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   const Json* stats = parsed->Find("stats");
   ASSERT_NE(stats, nullptr);
-  EXPECT_GT(stats->Find("clock_ns")->AsInt(), 0);
+  EXPECT_GT(stats->Find("charged_ns")->AsInt(), 0);
   EXPECT_NE(stats->Find("per_model"), nullptr);
+  const Json* cache = parsed->Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_NE(cache->Find("hits"), nullptr);
+  EXPECT_NE(cache->Find("misses"), nullptr);
   const Json* panes = parsed->Find("panes");
   ASSERT_NE(panes, nullptr);
   const Json* exec = panes->at(0).Find("exec");

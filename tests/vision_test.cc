@@ -303,7 +303,7 @@ TEST_F(VisionTest, ShellDotAndJsonOutput) {
   auto parsed = vl::Json::Parse(json);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_GE(parsed->Find("boxes")->size(), 1u);
-  EXPECT_NE(shell.Execute("vctrl dot 9").find("empty pane"), std::string::npos);
+  EXPECT_NE(shell.Execute("vctrl dot 9").find("no such pane"), std::string::npos);
 }
 
 TEST_F(VisionTest, ShellReportsErrors) {
