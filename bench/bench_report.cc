@@ -2,7 +2,9 @@
 // Figure 2 focus workflow with the deterministic tracer enabled, and emits
 // machine-readable BENCH_observability.json — per-figure span aggregates,
 // read-size/latency histograms, per-transport attribution, and ViewQL
-// execution stats. Timestamps are virtual nanoseconds, so two runs of this
+// execution stats — plus BENCH_explain.json, the per-figure refresh
+// attribution trees (each reconciled against the virtual clock to the
+// nanosecond). Timestamps are virtual nanoseconds, so two runs of this
 // binary produce identical JSON.
 
 #include <cstdio>
@@ -122,6 +124,53 @@ vl::Json MeasureFig2Focus(vlbench::BenchEnv& env) {
   return j;
 }
 
+// One tree-mode traced pane refresh of a figure: the full explain tree
+// (ViewQL statement → ViewCL definition → adapter → struct type, with cache
+// hit/miss byte attribution), verified to reconcile with the target clock to
+// the nanosecond.
+vl::Json MeasureExplain(vlbench::BenchEnv& env, const vision::FigureDef& figure,
+                        const dbg::LatencyModel& model) {
+  vl::Tracer& tracer = vl::Tracer::Instance();
+  env.debugger->target().set_model(model);
+
+  vl::Json j = vl::Json::Object();
+  j["figure"] = vl::Json::Str(figure.id);
+  j["model"] = vl::Json::Str(model.name);
+
+  // Seed the pane outside the measured window, then attribute one refresh.
+  vision::PaneManager panes(env.debugger.get());
+  viewcl::Interpreter interp(env.debugger.get());
+  auto seed = interp.RunProgram(figure.viewcl);
+  if (!seed.ok() ||
+      !panes.SetGraph(1, std::move(seed).value(), figure.viewcl).ok()) {
+    j["ok"] = vl::Json::Bool(false);
+    return j;
+  }
+
+  tracer.Clear();
+  tracer.SetTreeEnabled(true);
+  uint64_t before = env.debugger->target().clock().nanos();
+  auto result = panes.RefreshPane(
+      1, [&](const std::string& program) { return interp.RunProgram(program); });
+  uint64_t clock_delta = env.debugger->target().clock().nanos() - before;
+  tracer.SetTreeEnabled(false);
+  if (!result.ok()) {
+    j["ok"] = vl::Json::Bool(false);
+    return j;
+  }
+  uint64_t tree_total = 0;
+  for (const auto& [name, node] : tracer.tree_root().children) {
+    tree_total += node.total_ns;
+  }
+  j["ok"] = vl::Json::Bool(true);
+  j["boxes"] = vl::Json::Int(static_cast<int64_t>(result->boxes));
+  j["clock_ns"] = vl::Json::Int(static_cast<int64_t>(clock_delta));
+  j["tree_total_ns"] = vl::Json::Int(static_cast<int64_t>(tree_total));
+  j["reconciled"] = vl::Json::Bool(tree_total == clock_delta);
+  j["tree"] = tracer.TreeToJson();
+  return j;
+}
+
 // Repeated pane-refresh workflow on one transport, cache on vs off: the
 // developer re-renders the same figures after every breakpoint stop. Records
 // charged-ns/read counts for both sessions, the cache's hit accounting, and
@@ -178,6 +227,7 @@ vl::Json MeasureCacheWorkflow(vlbench::BenchEnv& env, const dbg::LatencyModel& m
 int main(int argc, char** argv) {
   const char* out_path = argc > 1 ? argv[1] : "BENCH_observability.json";
   const char* cache_path = argc > 2 ? argv[2] : "BENCH_cache.json";
+  const char* explain_path = argc > 3 ? argv[3] : "BENCH_explain.json";
   std::printf("=== observability report: traced table4 + fig2-focus workloads ===\n");
   vlbench::BenchEnv env;
   vl::Tracer::Instance().Enable();
@@ -208,6 +258,38 @@ int main(int argc, char** argv) {
   }
   file << report.Dump(2) << "\n";
   std::printf("wrote %s\n", out_path);
+
+  // Per-figure refresh attribution: every paper figure, both transports, each
+  // refresh's explain tree reconciled against the virtual clock.
+  vl::Json explain_report = vl::Json::Object();
+  vl::Json explains = vl::Json::Array();
+  bool all_reconciled = true;
+  for (const vision::FigureDef& figure : vision::AllFigures()) {
+    if (std::string(figure.id) == "fig19_2") {
+      continue;  // merged with fig19_1, as in bench_table4
+    }
+    for (const dbg::LatencyModel& model :
+         {dbg::LatencyModel::GdbQemu(), dbg::LatencyModel::KgdbRpi400()}) {
+      vl::Json cell = MeasureExplain(env, figure, model);
+      const vl::Json* ok = cell.Find("ok");
+      const vl::Json* reconciled = cell.Find("reconciled");
+      bool cell_ok = ok != nullptr && ok->AsBool() && reconciled != nullptr &&
+                     reconciled->AsBool();
+      all_reconciled = all_reconciled && cell_ok;
+      std::printf("  explain %-12s %-16s %s\n", figure.id, model.name.c_str(),
+                  cell_ok ? "reconciled" : "MISMATCH");
+      explains.Append(std::move(cell));
+    }
+  }
+  explain_report["figures"] = std::move(explains);
+  explain_report["all_reconciled"] = vl::Json::Bool(all_reconciled);
+  std::ofstream explain_file(explain_path);
+  if (!explain_file) {
+    std::printf("error: cannot open %s\n", explain_path);
+    return 1;
+  }
+  explain_file << explain_report.Dump(2) << "\n";
+  std::printf("wrote %s\n", explain_path);
 
   // Cache on/off comparison (tracing off: we want pure transport accounting).
   vl::Tracer::Instance().Disable();

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/support/str.h"
+#include "src/support/trace.h"
 
 namespace dbg {
 
@@ -43,7 +44,8 @@ vl::Json CacheStats::ToJson() const {
   return j;
 }
 
-ReadSession::ReadSession(Target* target, CacheConfig config) : target_(target) {
+ReadSession::ReadSession(Target* target, CacheConfig config)
+    : target_(target), trace_flag_(vl::Tracer::Instance().enabled_flag()) {
   Reconfigure(config);
   epoch_ = target_->memory_generation();
 }
@@ -124,6 +126,10 @@ vl::Status ReadSession::ReadBytes(uint64_t addr, void* out, size_t len) {
       // fall through to an exact-range read, charged like a raw Target read.
       stats_.uncached_reads++;
       VL_RETURN_IF_ERROR(target_->ReadBytes(pos, dst, take));
+      if (trace_flag_->load(std::memory_order_relaxed)) {
+        vl::Tracer::Instance().Annotate("cache.miss_bytes",
+                                        static_cast<int64_t>(take));
+      }
     } else {
       std::memcpy(dst, block->bytes.data() + offset, take);
       if (hit) {
@@ -132,6 +138,10 @@ vl::Status ReadSession::ReadBytes(uint64_t addr, void* out, size_t len) {
       } else {
         stats_.misses++;
         stats_.miss_bytes += take;
+      }
+      if (trace_flag_->load(std::memory_order_relaxed)) {
+        vl::Tracer::Instance().Annotate(hit ? "cache.hit_bytes" : "cache.miss_bytes",
+                                        static_cast<int64_t>(take));
       }
     }
     dst += take;

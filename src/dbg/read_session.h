@@ -25,6 +25,7 @@
 #ifndef SRC_DBG_READ_SESSION_H_
 #define SRC_DBG_READ_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <string>
@@ -136,6 +137,7 @@ class ReadSession {
   const Block* LookupOrFetch(uint64_t base, bool* hit);
 
   Target* target_;
+  const std::atomic<bool>* trace_flag_;  // Tracer's enabled flag (cached)
   CacheConfig config_;
   size_t block_shift_ = 0;
   uint64_t epoch_ = 0;

@@ -1,0 +1,93 @@
+#include "src/support/budget.h"
+
+#include <algorithm>
+
+#include "src/support/str.h"
+
+namespace vl {
+
+const uint64_t* BudgetRegistry::Find(const std::string& key) const {
+  auto it = budgets_.find(key);
+  return it != budgets_.end() ? &it->second : nullptr;
+}
+
+void BudgetRegistry::SetCapacity(size_t capacity) {
+  capacity_ = std::max<size_t>(1, capacity);
+  while (violations_.size() > capacity_) {
+    violations_.pop_front();
+    dropped_++;
+  }
+}
+
+void BudgetRegistry::RecordViolation(const std::string& key, uint64_t budget_ns,
+                                     uint64_t actual_ns, uint64_t epoch,
+                                     Json explain) {
+  BudgetViolation violation;
+  violation.seq = next_seq_++;
+  violation.key = key;
+  violation.budget_ns = budget_ns;
+  violation.actual_ns = actual_ns;
+  violation.epoch = epoch;
+  violation.explain = std::move(explain);
+  violations_.push_back(std::move(violation));
+  while (violations_.size() > capacity_) {
+    violations_.pop_front();
+    dropped_++;
+  }
+}
+
+void BudgetRegistry::ClearViolations() {
+  violations_.clear();
+  next_seq_ = 0;
+  dropped_ = 0;
+}
+
+Json BudgetRegistry::ReportJson() const {
+  Json root = Json::Object();
+  root["enabled"] = Json::Bool(enabled_);
+  Json budgets = Json::Object();
+  for (const auto& [key, budget_ns] : budgets_) {
+    budgets[key] = Json::Int(static_cast<int64_t>(budget_ns));
+  }
+  root["budgets"] = std::move(budgets);
+  root["dropped"] = Json::Int(static_cast<int64_t>(dropped_));
+  Json violations = Json::Array();
+  for (const BudgetViolation& violation : violations_) {
+    Json v = Json::Object();
+    v["seq"] = Json::Int(static_cast<int64_t>(violation.seq));
+    v["key"] = Json::Str(violation.key);
+    v["budget_ns"] = Json::Int(static_cast<int64_t>(violation.budget_ns));
+    v["actual_ns"] = Json::Int(static_cast<int64_t>(violation.actual_ns));
+    v["epoch"] = Json::Int(static_cast<int64_t>(violation.epoch));
+    v["explain"] = violation.explain;
+    violations.Append(std::move(v));
+  }
+  root["violations"] = std::move(violations);
+  return root;
+}
+
+std::string BudgetRegistry::ReportText() const {
+  std::string out = StrFormat("budgets (%s):\n", enabled_ ? "enabled" : "disabled");
+  if (budgets_.empty()) {
+    out += "  (none)\n";
+  }
+  for (const auto& [key, budget_ns] : budgets_) {
+    out += StrFormat("  %-24s %llu ns\n", key.c_str(),
+                     static_cast<unsigned long long>(budget_ns));
+  }
+  out += StrFormat("violations: %zu (%llu dropped)\n", violations_.size(),
+                   static_cast<unsigned long long>(dropped_));
+  for (const BudgetViolation& violation : violations_) {
+    out += StrFormat("  #%llu %-24s budget %llu ns, actual %llu ns (+%llu ns) epoch %llu\n",
+                     static_cast<unsigned long long>(violation.seq),
+                     violation.key.c_str(),
+                     static_cast<unsigned long long>(violation.budget_ns),
+                     static_cast<unsigned long long>(violation.actual_ns),
+                     static_cast<unsigned long long>(violation.actual_ns -
+                                                     violation.budget_ns),
+                     static_cast<unsigned long long>(violation.epoch));
+  }
+  return out;
+}
+
+}  // namespace vl

@@ -1,0 +1,83 @@
+// Latency budgets and violation records for the vexplain monitoring layer.
+//
+// A BudgetRegistry maps budget keys — pane identities ("pane.3") or pipeline
+// phase span names ("viewcl.eval", "dbg.read") — to nanosecond ceilings on
+// the deterministic virtual clock. The vision layer checks every armed budget
+// after each pane refresh: pane budgets against the refresh's clock delta,
+// phase budgets against that phase's total span time within the refresh.
+//
+// A violation is a structured event carrying the offending refresh's full
+// explain tree (the tracer's calling-context tree serialized to JSON), so a
+// budget report answers not just "what was slow" but "which statement /
+// definition / adapter / struct type the time was charged to". Violations are
+// bounded (oldest shed first, counted), and — like everything in this layer —
+// byte-reproducible: identical runs produce identical reports.
+
+#ifndef SRC_SUPPORT_BUDGET_H_
+#define SRC_SUPPORT_BUDGET_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "src/support/json.h"
+
+namespace vl {
+
+struct BudgetViolation {
+  uint64_t seq = 0;        // registry-wide monotonic sequence number
+  std::string key;         // the violated budget's key
+  uint64_t budget_ns = 0;  // the configured ceiling
+  uint64_t actual_ns = 0;  // the charged time that breached it
+  uint64_t epoch = 0;      // kernel mutation epoch of the offending refresh
+  Json explain;            // explain tree of the offending refresh
+};
+
+class BudgetRegistry {
+ public:
+  // The master switch: budgets stay configured while disabled, but the
+  // watchdog does not check them (and pane refreshes skip the tree-mode
+  // tracing needed to attach explain trees).
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  // True when the watchdog has any work to do on a refresh.
+  bool armed() const { return enabled_ && !budgets_.empty(); }
+
+  void Set(const std::string& key, uint64_t budget_ns) { budgets_[key] = budget_ns; }
+  void Remove(const std::string& key) { budgets_.erase(key); }
+  void ClearBudgets() { budgets_.clear(); }
+  const std::map<std::string, uint64_t>& budgets() const { return budgets_; }
+  // Null if no budget is set for key.
+  const uint64_t* Find(const std::string& key) const;
+
+  // Max violations retained; shrinking sheds oldest (counted as dropped).
+  void SetCapacity(size_t capacity);
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const { return dropped_; }
+
+  void RecordViolation(const std::string& key, uint64_t budget_ns,
+                       uint64_t actual_ns, uint64_t epoch, Json explain);
+  const std::deque<BudgetViolation>& violations() const { return violations_; }
+  void ClearViolations();
+
+  // {"enabled": ..., "budgets": {key: ns}, "dropped": n, "violations":
+  //  [{"seq", "key", "budget_ns", "actual_ns", "epoch", "explain"}, ...]}
+  Json ReportJson() const;
+  // Configured budgets plus one line per violation, oldest first.
+  std::string ReportText() const;
+
+ private:
+  bool enabled_ = true;
+  size_t capacity_ = 64;
+  uint64_t next_seq_ = 0;
+  uint64_t dropped_ = 0;
+  std::map<std::string, uint64_t> budgets_;
+  std::deque<BudgetViolation> violations_;
+};
+
+}  // namespace vl
+
+#endif  // SRC_SUPPORT_BUDGET_H_

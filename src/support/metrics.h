@@ -86,6 +86,12 @@ class Histogram {
   uint64_t max() const { return max_; }
   double mean() const { return count_ > 0 ? static_cast<double>(sum_) / count_ : 0.0; }
 
+  // Approximate quantile (q in [0, 1]) by linear interpolation inside the
+  // log2 bucket holding the q-th rank, clamped to the observed [min, max].
+  // Exact when the bucket holds one distinct value; otherwise within the
+  // bucket's span (a factor of 2).
+  double ApproxQuantile(double q) const;
+
   void Reset() {
     for (uint64_t& b : buckets_) {
       b = 0;
@@ -120,11 +126,17 @@ class MetricsRegistry {
   void ResetPrefix(std::string_view prefix);
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
-  // min, max, buckets: [[upper_edge, count], ...]}}}
+  // min, max, p50, p90, p99, buckets: [[upper_edge, count], ...]}}}
   Json ToJson() const;
 
   // Human-readable dump, one metric per line, sorted by name.
   std::string TextReport() const;
+
+  // Prometheus text exposition (version 0.0.4): counters as `vl_<name>_total`,
+  // gauges as `vl_<name>`, histograms as `vl_<name>_bucket{le="..."}` with
+  // cumulative buckets plus `_sum`/`_count`. Names are sanitized to
+  // [a-zA-Z0-9_:]; output is deterministic (sorted by name).
+  std::string ToPrometheus() const;
 
  private:
   MetricsRegistry() = default;

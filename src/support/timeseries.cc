@@ -1,0 +1,165 @@
+#include "src/support/timeseries.h"
+
+#include <algorithm>
+
+#include "src/support/str.h"
+
+namespace vl {
+
+namespace {
+
+// Eight-level sparkline glyphs, lowest to highest.
+const char* const kSparkLevels[] = {"▁", "▂", "▃", "▄",
+                                    "▅", "▆", "▇", "█"};
+
+}  // namespace
+
+void TimeSeriesRecorder::SetCapacity(size_t capacity) {
+  capacity_ = std::max<size_t>(1, capacity);
+  for (auto& [name, series] : series_) {
+    while (series.samples.size() > capacity_) {
+      series.samples.pop_front();
+      series.dropped++;
+    }
+  }
+}
+
+void TimeSeriesRecorder::Record(const std::string& series_name,
+                                std::map<std::string, int64_t> values) {
+  Series& series = series_[series_name];
+  TimeSample sample;
+  sample.seq = next_seq_++;
+  sample.values = std::move(values);
+  series.samples.push_back(std::move(sample));
+  while (series.samples.size() > capacity_) {
+    series.samples.pop_front();
+    series.dropped++;
+  }
+}
+
+const std::deque<TimeSample>* TimeSeriesRecorder::Find(const std::string& series) const {
+  auto it = series_.find(series);
+  return it != series_.end() ? &it->second.samples : nullptr;
+}
+
+uint64_t TimeSeriesRecorder::dropped(const std::string& series) const {
+  auto it = series_.find(series);
+  return it != series_.end() ? it->second.dropped : 0;
+}
+
+std::vector<std::string> TimeSeriesRecorder::SeriesNames() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, series] : series_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+void TimeSeriesRecorder::Clear() {
+  series_.clear();
+  next_seq_ = 0;
+}
+
+Json TimeSeriesRecorder::SeriesToJson(const std::string& series_name) const {
+  Json j = Json::Object();
+  auto it = series_.find(series_name);
+  if (it == series_.end()) {
+    j["dropped"] = Json::Int(0);
+    j["samples"] = Json::Array();
+    return j;
+  }
+  j["dropped"] = Json::Int(static_cast<int64_t>(it->second.dropped));
+  Json samples = Json::Array();
+  for (const TimeSample& sample : it->second.samples) {
+    Json s = Json::Object();
+    s["seq"] = Json::Int(static_cast<int64_t>(sample.seq));
+    Json values = Json::Object();
+    for (const auto& [key, value] : sample.values) {
+      values[key] = Json::Int(value);
+    }
+    s["values"] = std::move(values);
+    samples.Append(std::move(s));
+  }
+  j["samples"] = std::move(samples);
+  return j;
+}
+
+Json TimeSeriesRecorder::ToJson() const {
+  Json j = Json::Object();
+  j["enabled"] = Json::Bool(enabled_);
+  j["capacity"] = Json::Int(static_cast<int64_t>(capacity_));
+  Json all = Json::Object();
+  for (const auto& [name, series] : series_) {
+    all[name] = SeriesToJson(name);
+  }
+  j["series"] = std::move(all);
+  return j;
+}
+
+std::string TimeSeriesRecorder::Sparkline(const std::string& series_name,
+                                          const std::string& key) const {
+  auto it = series_.find(series_name);
+  if (it == series_.end() || it->second.samples.empty()) {
+    return "";
+  }
+  std::vector<int64_t> values;
+  values.reserve(it->second.samples.size());
+  for (const TimeSample& sample : it->second.samples) {
+    auto found = sample.values.find(key);
+    values.push_back(found != sample.values.end() ? found->second : 0);
+  }
+  int64_t lo = *std::min_element(values.begin(), values.end());
+  int64_t hi = *std::max_element(values.begin(), values.end());
+  std::string out;
+  for (int64_t v : values) {
+    size_t level = 0;
+    if (hi > lo) {
+      level = static_cast<size_t>(((v - lo) * 7) / (hi - lo));
+    }
+    out += kSparkLevels[level];
+  }
+  return out;
+}
+
+std::string TimeSeriesRecorder::TextReport(const std::string& series_name) const {
+  auto it = series_.find(series_name);
+  if (it == series_.end() || it->second.samples.empty()) {
+    return "(no samples for series '" + series_name + "')\n";
+  }
+  const Series& series = it->second;
+  std::string out = StrFormat("series %s: %zu samples (%llu dropped)\n",
+                              series_name.c_str(), series.samples.size(),
+                              static_cast<unsigned long long>(series.dropped));
+  // Union of keys across samples, sorted (map order).
+  std::map<std::string, bool> keys;
+  for (const TimeSample& sample : series.samples) {
+    for (const auto& [key, value] : sample.values) {
+      keys[key] = true;
+    }
+  }
+  for (const auto& [key, present] : keys) {
+    int64_t last = 0;
+    int64_t lo = 0;
+    int64_t hi = 0;
+    bool first = true;
+    for (const TimeSample& sample : series.samples) {
+      auto found = sample.values.find(key);
+      int64_t v = found != sample.values.end() ? found->second : 0;
+      if (first || v < lo) {
+        lo = v;
+      }
+      if (first || v > hi) {
+        hi = v;
+      }
+      last = v;
+      first = false;
+    }
+    out += StrFormat("  %-14s %s last=%lld min=%lld max=%lld\n", key.c_str(),
+                     Sparkline(series_name, key).c_str(), static_cast<long long>(last),
+                     static_cast<long long>(lo), static_cast<long long>(hi));
+  }
+  return out;
+}
+
+}  // namespace vl

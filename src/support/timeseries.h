@@ -1,0 +1,79 @@
+// Bounded refresh time-series for the vexplain monitoring layer.
+//
+// A TimeSeriesRecorder holds named series of samples; each sample is a sorted
+// {key -> int64} map stamped with a process-monotonic sequence number. The
+// vision layer records one sample per pane refresh (per-refresh deltas of the
+// transport/cache/ViewQL stats) and one per render (cumulative snapshots), so
+// cost drift across kernel mutation epochs becomes visible with `vctrl watch`.
+//
+// Every value derives from the deterministic virtual clock and object
+// counters — never wall-clock time — so two identical runs record identical
+// series. Each series is bounded (oldest samples shed first, counted per
+// series), and recording is a no-op unless the recorder is enabled, keeping
+// the disabled cost to one branch (guarded in bench_micro).
+
+#ifndef SRC_SUPPORT_TIMESERIES_H_
+#define SRC_SUPPORT_TIMESERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+
+namespace vl {
+
+struct TimeSample {
+  uint64_t seq = 0;  // recorder-wide monotonic sequence number
+  std::map<std::string, int64_t> values;
+};
+
+class TimeSeriesRecorder {
+ public:
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  // Max samples retained per series; shrinking sheds oldest samples (counted
+  // as dropped for their series).
+  void SetCapacity(size_t capacity);
+  size_t capacity() const { return capacity_; }
+
+  // Appends a sample (regardless of the enabled flag — instrumentation sites
+  // gate on enabled() themselves, mirroring the tracer convention).
+  void Record(const std::string& series, std::map<std::string, int64_t> values);
+
+  // Null if the series has never been recorded.
+  const std::deque<TimeSample>* Find(const std::string& series) const;
+  uint64_t dropped(const std::string& series) const;
+  std::vector<std::string> SeriesNames() const;
+
+  void Clear();
+
+  // {"enabled": ..., "capacity": ..., "series": {name: {"dropped": n,
+  //  "samples": [{"seq": ..., "values": {...}}, ...]}}}
+  Json ToJson() const;
+  Json SeriesToJson(const std::string& series) const;
+
+  // One line per key: "key [sparkline] last=.. min=.. max=..", keys sorted.
+  std::string TextReport(const std::string& series) const;
+  // Sparkline (block glyphs, one per sample, oldest first) for one key.
+  std::string Sparkline(const std::string& series, const std::string& key) const;
+
+ private:
+  struct Series {
+    std::deque<TimeSample> samples;
+    uint64_t dropped = 0;
+  };
+
+  bool enabled_ = false;
+  size_t capacity_ = 256;
+  uint64_t next_seq_ = 0;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace vl
+
+#endif  // SRC_SUPPORT_TIMESERIES_H_

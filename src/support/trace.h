@@ -52,6 +52,20 @@ struct SpanStats {
   uint64_t self_ns = 0;
 };
 
+// One node of the calling-context tree built in tree mode: spans with the
+// same name under the same ancestor path merge into one node, so the tree
+// stays bounded no matter how many reads a refresh issues. `args` holds the
+// node's own annotation sums (e.g. cache.hit_bytes); serialization rolls
+// descendants' args up so every node carries its subtree's bytes and
+// hit/miss split.
+struct TreeNode {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t self_ns = 0;
+  std::map<std::string, int64_t> args;
+  std::map<std::string, TreeNode> children;
+};
+
 class Tracer {
  public:
   static Tracer& Instance();
@@ -84,11 +98,33 @@ class Tracer {
   // the charge it put on the clock). Attributed as a child of the open span.
   void CompleteEvent(std::string name, uint64_t ts_ns, uint64_t dur_ns,
                      std::vector<std::pair<std::string, int64_t>> args = {});
+  // Accumulates `delta` into the innermost open span's `key` argument (a
+  // no-op with no open span). ReadSession uses this to attribute cache
+  // hit/miss bytes to whatever the pipeline was doing at the time.
+  void Annotate(const char* key, int64_t delta);
 
-  // Drops all events, aggregates, open spans; resets the sequence counter.
-  // Does not touch the enabled flag or the clock registration.
+  // Drops all events, aggregates, open spans, and the attribution tree;
+  // resets the sequence counter. Does not touch the enabled flag, the clock
+  // registration, or tree mode.
   void Clear();
+  // Resizes the ring. The newest min(buffered, capacity) events survive in
+  // order; events shed by a shrink count toward dropped().
   void SetCapacity(size_t capacity);
+
+  // --- attribution tree (vexplain) ---
+  // While tree mode is on, every recorded span/leaf also merges into a
+  // calling-context tree keyed by the span-name path. Enabling resets the
+  // tree; disabling freezes it for inspection. Toggle only while no spans
+  // are open (e.g. right after Clear()) or paths will misattribute.
+  void SetTreeEnabled(bool on);
+  bool tree_enabled() const { return tree_enabled_; }
+  const TreeNode& tree_root() const { return tree_root_; }
+  // Deterministic serializations of the tree. Each node carries count,
+  // total_ns, self_ns, and rolled-up annotation args (own + descendants);
+  // children are keyed by span name in sorted order.
+  Json TreeToJson() const;
+  // Indented text rendering, children sorted by total time (desc) then name.
+  std::string TreeText() const;
 
   // --- inspection ---
   size_t open_spans() const { return stack_.size(); }
@@ -106,6 +142,10 @@ class Tracer {
   Json ToChromeJson() const;
   // Flat per-name table sorted by self time, top `top_n` rows (0 = all).
   std::string TextReport(size_t top_n = 0) const;
+  // Folded-stack flamegraph lines ("root;child;leaf self_ns\n", sorted) from
+  // the buffered ring. Stacks are reconstructed from begin order + depth;
+  // ancestors evicted from the ring appear as "?" frames.
+  std::string ToFolded() const;
 
  private:
   Tracer() { ring_.reserve(kDefaultCapacity); }
@@ -117,9 +157,11 @@ class Tracer {
     uint64_t start_ns = 0;
     uint64_t seq = 0;
     uint64_t child_ns = 0;
+    std::map<std::string, int64_t> args;  // Annotate() accumulations
   };
 
   void Push(TraceEvent event);
+  void ResetTree();
 
   std::atomic<bool> enabled_{false};
   const VirtualClock* clock_ = nullptr;
@@ -130,6 +172,12 @@ class Tracer {
   uint64_t dropped_ = 0;
   uint64_t seq_ = 0;
   std::map<std::string, SpanStats> stats_;
+  bool tree_enabled_ = false;
+  TreeNode tree_root_;
+  // Mirrors stack_ while tree mode is on; front is always &tree_root_.
+  // Map nodes are address-stable, so raw pointers stay valid as siblings
+  // are inserted.
+  std::vector<TreeNode*> tree_stack_;
 };
 
 // RAII span. Captures the enabled flag at construction so a toggle mid-span
@@ -148,6 +196,28 @@ class ScopedSpan {
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+};
+
+// RAII span with a computed name (e.g. "viewcl.box.task_struct"). Callers
+// should gate construction on Tracer::enabled() so the name string is never
+// built when tracing is off.
+class ScopedNamedSpan {
+ public:
+  explicit ScopedNamedSpan(std::string name) : active_(Tracer::Instance().enabled()) {
+    if (active_) {
+      Tracer::Instance().BeginSpan(std::move(name));
+    }
+  }
+  ~ScopedNamedSpan() {
+    if (active_) {
+      Tracer::Instance().EndSpan();
+    }
+  }
+  ScopedNamedSpan(const ScopedNamedSpan&) = delete;
+  ScopedNamedSpan& operator=(const ScopedNamedSpan&) = delete;
 
  private:
   bool active_;

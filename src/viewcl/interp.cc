@@ -710,8 +710,14 @@ class Interpreter::RunState {
     // (virtual boxes keep the enclosing box's tag), and pull the whole
     // object into the block cache up front: the member walk below then
     // rides ceil(size/block) transport round trips instead of one per field.
+    // Under tracing, a per-kernel-type span ("viewcl.box.task_struct") makes
+    // the member walk attributable in the explain tree.
+    std::optional<vl::ScopedNamedSpan> box_span;
     std::optional<dbg::ReadSession::TagScope> read_tag;
     if (!is_virtual) {
+      if (vl::Tracer::Instance().enabled()) {
+        box_span.emplace("viewcl.box." + decl->kernel_type);
+      }
       read_tag.emplace(&dbg_->session(), decl->kernel_type.c_str());
       dbg_->session().PrefetchObject(addr, type);
     }

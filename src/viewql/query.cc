@@ -571,9 +571,16 @@ class ExecState {
     return vl::InternalError("unhandled set expression");
   }
 
+  // Statement-level entry into set evaluation: one "viewql.set" span per
+  // FROM/target clause so set algebra shows up as its own explain-tree node.
+  vl::StatusOr<BoxSet> EvalSetRoot(const SetExpr* expr) {
+    vl::ScopedSpan span("viewql.set");
+    return EvalSet(expr);
+  }
+
   vl::Status ExecSelect(const SelectStmt& stmt) {
     engine_->stats_.selects++;
-    VL_ASSIGN_OR_RETURN(BoxSet source, EvalSet(stmt.source.get()));
+    VL_ASSIGN_OR_RETURN(BoxSet source, EvalSetRoot(stmt.source.get()));
     BoxSet result;
     for (uint64_t id : source) {
       const viewcl::VBox* box = graph_->box(id);
@@ -624,6 +631,9 @@ class ExecState {
     if (!stmt.has_where) {
       return true;
     }
+    // WHERE evaluation can fall back to raw-field target reads; its own span
+    // separates that cost from the set algebra above it.
+    vl::ScopedSpan span("viewql.where");
     for (const std::vector<CondExpr>& clause : stmt.where.clauses) {
       bool all = true;
       for (const CondExpr& expr : clause) {
@@ -744,7 +754,7 @@ class ExecState {
 
   vl::Status ExecUpdate(const UpdateStmt& stmt) {
     engine_->stats_.updates++;
-    VL_ASSIGN_OR_RETURN(BoxSet targets, EvalSet(stmt.target.get()));
+    VL_ASSIGN_OR_RETURN(BoxSet targets, EvalSetRoot(stmt.target.get()));
     for (uint64_t id : targets) {
       viewcl::VBox* box = graph_->box(id);
       if (box == nullptr) {

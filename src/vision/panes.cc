@@ -164,6 +164,157 @@ const viewql::ExecStats* PaneManager::exec_stats(int pane_id) const {
   return pane != nullptr ? &pane->viewql_stats : nullptr;
 }
 
+void PaneManager::AttachObservers(vl::TimeSeriesRecorder* recorder,
+                                  vl::BudgetRegistry* budgets) {
+  recorder_ = recorder;
+  budgets_ = budgets;
+}
+
+vl::StatusOr<RefreshResult> PaneManager::RefreshPane(int pane_id, const ReplotFn& replot) {
+  Pane* pane = FindPane(pane_id);
+  if (pane == nullptr) {
+    return vl::NotFoundError(vl::StrFormat("no pane %d", pane_id));
+  }
+  if (pane->secondary) {
+    return vl::FailedPreconditionError("cannot refresh a secondary pane");
+  }
+  if (pane->program_text.empty()) {
+    return vl::FailedPreconditionError("pane has no program to refresh");
+  }
+  if (replot == nullptr) {
+    return vl::InvalidArgumentError("refresh needs a replot callback");
+  }
+
+  // Arm tree-mode tracing for the watchdog unless the caller already did
+  // (the `vctrl explain` path clears + enables before calling us).
+  vl::Tracer& tracer = vl::Tracer::Instance();
+  bool armed = budgets_ != nullptr && budgets_->armed();
+  bool was_enabled = tracer.enabled();
+  bool own_tracing = armed && !(was_enabled && tracer.tree_enabled());
+  if (own_tracing) {
+    tracer.Clear();
+    tracer.SetTreeEnabled(true);
+    tracer.Enable();
+  }
+
+  uint64_t clock_before = 0;
+  uint64_t reads_before = 0;
+  uint64_t bytes_before = 0;
+  uint64_t hit_before = 0;
+  uint64_t miss_before = 0;
+  if (debugger_ != nullptr) {
+    clock_before = debugger_->target().clock().nanos();
+    reads_before = debugger_->target().reads();
+    bytes_before = debugger_->target().bytes_read();
+    hit_before = debugger_->session().cache_stats().hit_bytes;
+    miss_before = debugger_->session().cache_stats().miss_bytes;
+  }
+
+  vl::Status refresh_status = vl::Status::Ok();
+  {
+    vl::ScopedSpan span("pane.refresh");
+    refresh_status = [&]() -> vl::Status {
+      std::string program = pane->program_text;
+      std::vector<std::string> history = pane->viewql_history;
+      VL_ASSIGN_OR_RETURN(std::unique_ptr<viewcl::ViewGraph> new_graph, replot(program));
+      VL_RETURN_IF_ERROR(SetGraph(pane_id, std::move(new_graph), std::move(program)));
+      for (const std::string& entry : history) {
+        VL_RETURN_IF_ERROR(ApplyViewQl(pane_id, entry));
+      }
+      (void)RenderPane(pane_id);
+      return vl::Status::Ok();
+    }();
+  }
+
+  RefreshResult result;
+  if (debugger_ != nullptr) {
+    result.refresh_ns = debugger_->target().clock().nanos() - clock_before;
+    result.epoch = debugger_->target().memory_generation();
+  }
+  viewcl::ViewGraph* g = graph(pane_id);
+  result.boxes = g != nullptr ? g->size() : 0;
+
+  if (refresh_status.ok() && recorder_ != nullptr && recorder_->enabled()) {
+    // One sample per refresh: the refresh's own cost deltas. ViewQL stats
+    // were reset by SetGraph, so the pane's accumulated stats ARE this
+    // refresh's share.
+    std::map<std::string, int64_t> values;
+    values["refresh_ns"] = static_cast<int64_t>(result.refresh_ns);
+    values["epoch"] = static_cast<int64_t>(result.epoch);
+    values["boxes"] = static_cast<int64_t>(result.boxes);
+    if (debugger_ != nullptr) {
+      values["reads"] = static_cast<int64_t>(debugger_->target().reads() - reads_before);
+      values["bytes"] =
+          static_cast<int64_t>(debugger_->target().bytes_read() - bytes_before);
+      const dbg::CacheStats& cache = debugger_->session().cache_stats();
+      values["hit_bytes"] = static_cast<int64_t>(cache.hit_bytes - hit_before);
+      values["miss_bytes"] = static_cast<int64_t>(cache.miss_bytes - miss_before);
+    }
+    values["select_ns"] = static_cast<int64_t>(pane->viewql_stats.select_ns);
+    values["update_ns"] = static_cast<int64_t>(pane->viewql_stats.update_ns);
+    recorder_->Record(vl::StrFormat("pane.%d", pane_id), std::move(values));
+  }
+
+  // Watchdog: pane budgets check the refresh's clock delta; any other key is
+  // a phase budget checked against that span's total time in this refresh.
+  if (refresh_status.ok() && armed) {
+    std::string pane_key = vl::StrFormat("pane.%d", pane_id);
+    for (const auto& [key, budget_ns] : budgets_->budgets()) {
+      uint64_t actual = 0;
+      if (key == pane_key) {
+        actual = result.refresh_ns;
+      } else if (key.rfind("pane.", 0) == 0) {
+        continue;  // another pane's budget; not this refresh's business
+      } else {
+        auto it = tracer.stats().find(key);
+        if (it == tracer.stats().end()) {
+          continue;
+        }
+        actual = it->second.total_ns;
+      }
+      if (actual > budget_ns) {
+        budgets_->RecordViolation(key, budget_ns, actual, result.epoch,
+                                  tracer.TreeToJson());
+        result.violations.push_back(key);
+      }
+    }
+  }
+
+  if (own_tracing) {
+    tracer.SetTreeEnabled(false);  // freeze the tree for inspection
+    if (!was_enabled) {
+      tracer.Disable();
+    }
+  }
+  if (!refresh_status.ok()) {
+    return refresh_status;
+  }
+  return result;
+}
+
+void PaneManager::RecordRenderSample(int pane_id) {
+  const Pane* pane = FindPane(pane_id);
+  if (pane == nullptr || recorder_ == nullptr) {
+    return;
+  }
+  std::map<std::string, int64_t> values;
+  if (debugger_ != nullptr) {
+    values["clock_ns"] = static_cast<int64_t>(debugger_->target().clock().nanos());
+    values["reads"] = static_cast<int64_t>(debugger_->target().reads());
+    values["bytes"] = static_cast<int64_t>(debugger_->target().bytes_read());
+    const dbg::CacheStats& cache = debugger_->session().cache_stats();
+    values["hit_bytes"] = static_cast<int64_t>(cache.hit_bytes);
+    values["miss_bytes"] = static_cast<int64_t>(cache.miss_bytes);
+    values["epoch"] = static_cast<int64_t>(debugger_->target().memory_generation());
+  }
+  viewcl::ViewGraph* g = graph(pane_id);
+  values["boxes"] = static_cast<int64_t>(g != nullptr ? g->size() : 0);
+  values["statements"] = pane->viewql_stats.statements;
+  values["select_ns"] = static_cast<int64_t>(pane->viewql_stats.select_ns);
+  values["update_ns"] = static_cast<int64_t>(pane->viewql_stats.update_ns);
+  recorder_->Record(vl::StrFormat("pane.%d.render", pane_id), std::move(values));
+}
+
 std::vector<FocusHit> PaneManager::FocusAddress(uint64_t addr) const {
   std::vector<FocusHit> hits;
   for (int id : pane_order_) {
@@ -223,14 +374,21 @@ std::string PaneManager::RenderPane(int pane_id, const RenderOptions& options,
   if (renderer == nullptr) {
     return "(unknown render backend: " + std::string(backend) + ")\n";
   }
+  std::string out;
   if (!pane->secondary) {
-    return renderer->Render(*g);
+    out = renderer->Render(*g);
+  } else {
+    // Secondary panes display the subset as roots.
+    std::vector<uint64_t> saved = g->roots();
+    g->roots() = pane->subset;
+    out = renderer->Render(*g);
+    g->roots() = saved;
   }
-  // Secondary panes display the subset as roots.
-  std::vector<uint64_t> saved = g->roots();
-  g->roots() = pane->subset;
-  std::string out = renderer->Render(*g);
-  g->roots() = saved;
+  // The disabled cost of the watch hook is this one branch (bench_micro
+  // guards it alongside the tracing-off fast path).
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    RecordRenderSample(pane_id);
+  }
   return out;
 }
 

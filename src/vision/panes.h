@@ -8,6 +8,7 @@
 #ifndef SRC_VISION_PANES_H_
 #define SRC_VISION_PANES_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,7 +16,9 @@
 #include <vector>
 
 #include "src/dbg/kernel_introspect.h"
+#include "src/support/budget.h"
 #include "src/support/json.h"
+#include "src/support/timeseries.h"
 #include "src/viewcl/graph.h"
 #include "src/viewql/query.h"
 #include "src/vision/render.h"
@@ -25,6 +28,16 @@ namespace vision {
 struct FocusHit {
   int pane_id = 0;
   uint64_t box_id = viewcl::kNoBox;
+};
+
+// What one pane refresh cost, on the deterministic virtual clock.
+struct RefreshResult {
+  uint64_t refresh_ns = 0;  // clock delta across replot + ViewQL + render
+  uint64_t epoch = 0;       // kernel mutation epoch the refresh observed
+  size_t boxes = 0;         // graph size after the refresh
+  // Budget keys the watchdog flagged on this refresh (details, including the
+  // explain tree, land in the attached BudgetRegistry).
+  std::vector<std::string> violations;
 };
 
 class PaneManager {
@@ -49,6 +62,29 @@ class PaneManager {
 
   // Applies a ViewQL program to the pane's graph (the refine operation).
   vl::Status ApplyViewQl(int pane_id, std::string_view program);
+
+  // Rebuilds a primary pane's graph from its ViewCL program text — shared by
+  // LoadState (session replay) and RefreshPane (live re-extraction).
+  using ReplotFn =
+      std::function<vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>>(const std::string&)>;
+
+  // --- vexplain: refresh accounting, time-series, budgets ---
+  // Wires the monitoring side-cars in (raw observers; caller keeps ownership,
+  // null detaches). The recorder gets one sample per refresh and — when
+  // enabled — one cumulative snapshot per render; the budget registry's
+  // watchdog runs after every RefreshPane.
+  void AttachObservers(vl::TimeSeriesRecorder* recorder, vl::BudgetRegistry* budgets);
+  vl::TimeSeriesRecorder* recorder() const { return recorder_; }
+  vl::BudgetRegistry* budgets() const { return budgets_; }
+
+  // Re-extracts a primary pane end to end — replot its ViewCL program,
+  // re-apply its ViewQL history, render — under one "pane.refresh" span, and
+  // measures the whole thing on Target::clock(). While budgets are armed the
+  // refresh runs with the tracer in tree mode (cleared first) so violations
+  // carry the refresh's explain tree; tracer state is restored afterwards
+  // (the tree stays frozen for inspection). With tracing already on in tree
+  // mode (the `vctrl explain` path) the caller's setup is left untouched.
+  vl::StatusOr<RefreshResult> RefreshPane(int pane_id, const ReplotFn& replot);
 
   // --- focus: search all panes for an object ---
   std::vector<FocusHit> FocusAddress(uint64_t addr) const;
@@ -76,8 +112,6 @@ class PaneManager {
   vl::Json SaveState() const;
   // Restores layout + programs from `state`; `replot` is called to rebuild
   // each primary pane's graph from its program text.
-  using ReplotFn =
-      std::function<vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>>(const std::string&)>;
   vl::Status LoadState(const vl::Json& state, const ReplotFn& replot);
 
  private:
@@ -101,12 +135,16 @@ class PaneManager {
 
   Pane* FindPane(int pane_id);
   const Pane* FindPane(int pane_id) const;
+  // Appends a cumulative stats snapshot to series "pane.<id>.render".
+  void RecordRenderSample(int pane_id);
   LayoutNode* FindLeaf(LayoutNode* node, int pane_id);
   void LayoutToAscii(const LayoutNode* node, int depth, std::string* out) const;
   vl::Json LayoutToJson(const LayoutNode* node) const;
   vl::StatusOr<std::unique_ptr<LayoutNode>> LayoutFromJson(const vl::Json& node);
 
   dbg::KernelDebugger* debugger_;
+  vl::TimeSeriesRecorder* recorder_ = nullptr;  // not owned; null = detached
+  vl::BudgetRegistry* budgets_ = nullptr;       // not owned; null = detached
   std::map<int, Pane> panes_;
   std::vector<int> pane_order_;
   std::unique_ptr<LayoutNode> layout_;

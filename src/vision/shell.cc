@@ -25,7 +25,13 @@ std::pair<std::string, std::string> SplitFirst(std::string_view text) {
 }  // namespace
 
 DebuggerShell::DebuggerShell(dbg::KernelDebugger* debugger)
-    : debugger_(debugger), interp_(debugger), panes_(debugger) {}
+    : debugger_(debugger), interp_(debugger), panes_(debugger) {
+  panes_.AttachObservers(&recorder_, &budgets_);
+}
+
+PaneManager::ReplotFn DebuggerShell::MakeReplotFn() {
+  return [this](const std::string& program) { return interp_.RunProgram(program); };
+}
 
 std::string DebuggerShell::Execute(const std::string& line) {
   auto [command, args] = SplitFirst(line);
@@ -43,7 +49,8 @@ std::string DebuggerShell::Execute(const std::string& line) {
   }
   if (command == "help" || command.empty()) {
     return "commands: vplot <pane> [--auto <type> <expr>] <viewcl> | "
-           "vctrl split|apply|focus|view|dot|json|layout|save|stats|trace | "
+           "vctrl split|apply|focus|view|dot|json|layout|save|stats|trace|"
+           "explain|refresh|watch|budget|export | "
            "vprof <pane> <viewcl> | "
            "vchat <pane> <request>\n";
   }
@@ -179,7 +186,23 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
   if (sub == "trace") {
     return CmdTrace(rest);
   }
-  return "usage: vctrl split|apply|focus|view|layout|save|stats|trace ...\n";
+  if (sub == "explain") {
+    return CmdExplain(rest);
+  }
+  if (sub == "refresh") {
+    return CmdRefresh(rest);
+  }
+  if (sub == "watch") {
+    return CmdWatch(rest);
+  }
+  if (sub == "budget") {
+    return CmdBudget(rest);
+  }
+  if (sub == "export") {
+    return CmdExport(rest);
+  }
+  return "usage: vctrl split|apply|focus|view|layout|save|stats|trace|"
+         "explain|refresh|watch|budget|export ...\n";
 }
 
 vl::Json DebuggerShell::StatsJson() const {
@@ -292,6 +315,202 @@ std::string DebuggerShell::CmdTrace(const std::string& args) {
                          rest.c_str());
   }
   return "usage: vctrl trace on|off|clear|dump <file>\n";
+}
+
+std::string DebuggerShell::CmdExplain(const std::string& args) {
+  auto [pane_text, mode] = SplitFirst(args);
+  int64_t pane_id = 0;
+  if (!vl::ParseInt64(pane_text, &pane_id)) {
+    return "usage: vctrl explain <pane> [json]\n";
+  }
+
+  // Fresh tree-mode trace around one full refresh: afterwards the tree's
+  // root totals partition the refresh's clock delta exactly (the vprof
+  // reconciliation invariant, extended to per-node attribution).
+  vl::Tracer& tracer = vl::Tracer::Instance();
+  bool was_enabled = tracer.enabled();
+  tracer.Clear();
+  tracer.SetTreeEnabled(true);
+  tracer.Enable();
+  uint64_t clock_before = debugger_ != nullptr ? debugger_->target().clock().nanos() : 0;
+  auto result = panes_.RefreshPane(static_cast<int>(pane_id), MakeReplotFn());
+  uint64_t clock_after = debugger_ != nullptr ? debugger_->target().clock().nanos() : 0;
+  tracer.SetTreeEnabled(false);  // freeze the tree for rendering below
+  if (!was_enabled) {
+    tracer.Disable();
+  }
+  if (!result.ok()) {
+    return "error: " + result.status().ToString() + "\n";
+  }
+
+  uint64_t clock_delta = clock_after - clock_before;
+  uint64_t tree_total = 0;
+  for (const auto& [name, node] : tracer.tree_root().children) {
+    tree_total += node.total_ns;
+  }
+  bool reconciled = tree_total == clock_delta;
+
+  if (vl::StrTrim(mode) == "json") {
+    vl::Json j = vl::Json::Object();
+    j["pane"] = vl::Json::Int(pane_id);
+    j["boxes"] = vl::Json::Int(static_cast<int64_t>(result->boxes));
+    j["epoch"] = vl::Json::Int(static_cast<int64_t>(result->epoch));
+    j["clock_ns"] = vl::Json::Int(static_cast<int64_t>(clock_delta));
+    j["reconciled"] = vl::Json::Bool(reconciled);
+    j["tree"] = tracer.TreeToJson();
+    return j.Dump(2) + "\n";
+  }
+  std::string out = vl::StrFormat("explain pane %d: %zu boxes, epoch %llu\n",
+                                  static_cast<int>(pane_id), result->boxes,
+                                  static_cast<unsigned long long>(result->epoch));
+  out += tracer.TreeText();
+  out += vl::StrFormat("clock: %llu virtual ns, tree total: %llu ns%s\n",
+                       static_cast<unsigned long long>(clock_delta),
+                       static_cast<unsigned long long>(tree_total),
+                       reconciled ? " (exact)" : " (MISMATCH)");
+  for (const std::string& key : result->violations) {
+    out += "budget violation: " + key + "\n";
+  }
+  return out;
+}
+
+std::string DebuggerShell::CmdRefresh(const std::string& args) {
+  int64_t pane_id = 0;
+  if (!vl::ParseInt64(vl::StrTrim(args), &pane_id)) {
+    return "usage: vctrl refresh <pane>\n";
+  }
+  auto result = panes_.RefreshPane(static_cast<int>(pane_id), MakeReplotFn());
+  if (!result.ok()) {
+    return "error: " + result.status().ToString() + "\n";
+  }
+  std::string out = vl::StrFormat(
+      "refreshed pane %d: %zu boxes, %llu virtual ns, epoch %llu\n",
+      static_cast<int>(pane_id), result->boxes,
+      static_cast<unsigned long long>(result->refresh_ns),
+      static_cast<unsigned long long>(result->epoch));
+  for (const std::string& key : result->violations) {
+    out += "budget violation: " + key + "\n";
+  }
+  return out;
+}
+
+std::string DebuggerShell::CmdWatch(const std::string& args) {
+  auto [what, mode] = SplitFirst(args);
+  if (what == "on") {
+    recorder_.Enable();
+    return "watch on\n";
+  }
+  if (what == "off") {
+    recorder_.Disable();
+    return "watch off\n";
+  }
+  if (what == "clear") {
+    recorder_.Clear();
+    return "watch cleared\n";
+  }
+  int64_t pane_id = 0;
+  if (!vl::ParseInt64(what, &pane_id)) {
+    return "usage: vctrl watch on|off|clear|<pane> [json]\n";
+  }
+  std::string refresh_key = vl::StrFormat("pane.%d", static_cast<int>(pane_id));
+  std::string render_key = refresh_key + ".render";
+  if (vl::StrTrim(mode) == "json") {
+    vl::Json j = vl::Json::Object();
+    if (recorder_.Find(refresh_key) != nullptr) {
+      j[refresh_key] = recorder_.SeriesToJson(refresh_key);
+    }
+    if (recorder_.Find(render_key) != nullptr) {
+      j[render_key] = recorder_.SeriesToJson(render_key);
+    }
+    return j.Dump(2) + "\n";
+  }
+  std::string out;
+  if (recorder_.Find(refresh_key) != nullptr) {
+    out += recorder_.TextReport(refresh_key);
+  }
+  if (recorder_.Find(render_key) != nullptr) {
+    out += recorder_.TextReport(render_key);
+  }
+  if (out.empty()) {
+    out = vl::StrFormat("(no samples for pane %d; is watch on?)\n",
+                        static_cast<int>(pane_id));
+  }
+  return out;
+}
+
+std::string DebuggerShell::CmdBudget(const std::string& args) {
+  auto [verb, rest] = SplitFirst(args);
+  if (verb == "set") {
+    auto [key_text, ns_text] = SplitFirst(rest);
+    int64_t budget_ns = 0;
+    if (key_text.empty() || !vl::ParseInt64(ns_text, &budget_ns) || budget_ns < 0) {
+      return "usage: vctrl budget set <pane#|span-name> <ns>\n";
+    }
+    // A bare pane number means "budget that pane's whole refresh".
+    int64_t pane_id = 0;
+    std::string key = vl::ParseInt64(key_text, &pane_id)
+                          ? vl::StrFormat("pane.%d", static_cast<int>(pane_id))
+                          : key_text;
+    budgets_.Set(key, static_cast<uint64_t>(budget_ns));
+    return vl::StrFormat("budget %s = %llu ns\n", key.c_str(),
+                         static_cast<unsigned long long>(budget_ns));
+  }
+  if (verb == "clear") {
+    budgets_.ClearBudgets();
+    budgets_.ClearViolations();
+    return "budgets cleared\n";
+  }
+  if (verb == "list") {
+    std::string out = vl::StrFormat("budgets (%s):\n",
+                                    budgets_.enabled() ? "enabled" : "disabled");
+    if (budgets_.budgets().empty()) {
+      out += "  (none)\n";
+    }
+    for (const auto& [key, budget_ns] : budgets_.budgets()) {
+      out += vl::StrFormat("  %-24s %llu ns\n", key.c_str(),
+                           static_cast<unsigned long long>(budget_ns));
+    }
+    return out;
+  }
+  if (verb == "report") {
+    if (vl::StrTrim(rest) == "json") {
+      return budgets_.ReportJson().Dump(2) + "\n";
+    }
+    return budgets_.ReportText();
+  }
+  if (verb == "on") {
+    budgets_.Enable();
+    return "budgets on\n";
+  }
+  if (verb == "off") {
+    budgets_.Disable();
+    return "budgets off\n";
+  }
+  return "usage: vctrl budget set <pane#|span-name> <ns> | clear | list | "
+         "report [json] | on | off\n";
+}
+
+std::string DebuggerShell::CmdExport(const std::string& args) {
+  auto [format, path] = SplitFirst(args);
+  std::string content;
+  if (format == "prom") {
+    content = vl::MetricsRegistry::Instance().ToPrometheus();
+  } else if (format == "folded") {
+    content = vl::Tracer::Instance().ToFolded();
+  } else if (format == "chrome") {
+    content = vl::Tracer::Instance().ToChromeJson().Dump(2) + "\n";
+  } else {
+    return "usage: vctrl export prom|folded|chrome [path]\n";
+  }
+  if (path.empty()) {
+    return content;
+  }
+  std::ofstream file(path);
+  if (!file) {
+    return "error: cannot open '" + path + "'\n";
+  }
+  file << content;
+  return vl::StrFormat("wrote %zu bytes to %s\n", content.size(), path.c_str());
 }
 
 std::string DebuggerShell::CmdVprof(const std::string& args) {

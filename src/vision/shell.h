@@ -9,6 +9,8 @@
 #include <string>
 
 #include "src/dbg/kernel_introspect.h"
+#include "src/support/budget.h"
+#include "src/support/timeseries.h"
 #include "src/viewcl/interp.h"
 #include "src/vision/panes.h"
 #include "src/vision/vchat.h"
@@ -30,6 +32,11 @@ class DebuggerShell {
   //   vctrl save                            dump the session state as JSON
   //   vctrl stats [json]                    merged target/cache/pane cost report
   //   vctrl trace on|off|clear|dump <file>  control the deterministic tracer
+  //   vctrl explain <pane> [json]           refresh + per-node cost attribution
+  //   vctrl refresh <pane>                  re-extract a pane, report its cost
+  //   vctrl watch on|off|clear|<pane> [json]  refresh time-series (sparklines)
+  //   vctrl budget set|clear|list|report|on|off  latency budgets + violations
+  //   vctrl export prom|folded|chrome [path]  standard exporters
   //   vprof <pane> <viewcl program...>      traced run + self-time breakdown
   //   vchat <pane> <natural language...>    synthesize + apply ViewQL
   //   help
@@ -38,6 +45,8 @@ class DebuggerShell {
   PaneManager& panes() { return panes_; }
   viewcl::Interpreter& interp() { return interp_; }
   VchatSynthesizer& vchat() { return vchat_; }
+  vl::TimeSeriesRecorder& recorder() { return recorder_; }
+  vl::BudgetRegistry& budgets() { return budgets_; }
 
  private:
   std::string CmdVplot(const std::string& args);
@@ -49,11 +58,20 @@ class DebuggerShell {
   // — one place for every stats shape (docs/observability.md#stats-schema).
   vl::Json StatsJson() const;
   std::string CmdTrace(const std::string& args);
+  std::string CmdExplain(const std::string& args);
+  std::string CmdRefresh(const std::string& args);
+  std::string CmdWatch(const std::string& args);
+  std::string CmdBudget(const std::string& args);
+  std::string CmdExport(const std::string& args);
+  // Replots a primary pane's graph through the shell's interpreter.
+  PaneManager::ReplotFn MakeReplotFn();
 
   dbg::KernelDebugger* debugger_;
   viewcl::Interpreter interp_;
   PaneManager panes_;
   VchatSynthesizer vchat_;
+  vl::TimeSeriesRecorder recorder_;  // fed by panes_ (attached in the ctor)
+  vl::BudgetRegistry budgets_;       // checked by panes_'s refresh watchdog
 };
 
 }  // namespace vision

@@ -167,6 +167,195 @@ TEST_F(TraceTest, DisabledRecordsNothing) {
   EXPECT_TRUE(tracer.stats().empty());
 }
 
+TEST_F(TraceTest, ApproxQuantileOnKnownDistributions) {
+  Histogram uniform;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    uniform.Record(v);
+  }
+  // Linear interpolation inside a log2 bucket: exact to within the bucket's
+  // factor-of-two span, always clamped to the observed [min, max].
+  EXPECT_NEAR(uniform.ApproxQuantile(0.50), 500.0, 16.0);
+  EXPECT_NEAR(uniform.ApproxQuantile(0.90), 900.0, 60.0);
+  EXPECT_NEAR(uniform.ApproxQuantile(0.99), 990.0, 15.0);
+  EXPECT_EQ(uniform.ApproxQuantile(0.0), 1.0);
+  EXPECT_EQ(uniform.ApproxQuantile(1.0), 1000.0);
+  // Out-of-range q clamps to the extremes.
+  EXPECT_EQ(uniform.ApproxQuantile(-0.5), uniform.ApproxQuantile(0.0));
+  EXPECT_EQ(uniform.ApproxQuantile(1.5), uniform.ApproxQuantile(1.0));
+  // Monotone in q.
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    double v = uniform.ApproxQuantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+
+  // One distinct value: the [min, max] clamp makes every quantile exact.
+  Histogram single;
+  for (int i = 0; i < 4; ++i) {
+    single.Record(8);
+  }
+  EXPECT_EQ(single.ApproxQuantile(0.0), 8.0);
+  EXPECT_EQ(single.ApproxQuantile(0.5), 8.0);
+  EXPECT_EQ(single.ApproxQuantile(0.99), 8.0);
+
+  Histogram empty;
+  EXPECT_EQ(empty.ApproxQuantile(0.5), 0.0);
+}
+
+TEST_F(TraceTest, MetricsReportQuantiles) {
+  MetricsRegistry& metrics = MetricsRegistry::Instance();
+  Histogram* h = metrics.GetHistogram("test.quantiles");
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h->Record(v);
+  }
+  Json j = metrics.ToJson();
+  const Json* hist = j.Find("histograms")->Find("test.quantiles");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_NE(hist->Find("p50"), nullptr);
+  ASSERT_NE(hist->Find("p90"), nullptr);
+  ASSERT_NE(hist->Find("p99"), nullptr);
+  EXPECT_NEAR(hist->Find("p50")->AsNumber(), 50.0, 8.0);
+  EXPECT_NE(metrics.TextReport().find("p50="), std::string::npos);
+}
+
+TEST_F(TraceTest, AnnotateAccumulatesIntoInnermostSpan) {
+  ClockGuard guard;
+  Tracer& tracer = Tracer::Instance();
+  tracer.Enable();
+
+  tracer.Annotate("cache.hit_bytes", 4);  // no open span: dropped
+  tracer.BeginSpan("outer");
+  tracer.BeginSpan("inner");
+  tracer.Annotate("cache.hit_bytes", 8);
+  tracer.Annotate("cache.hit_bytes", 8);
+  tracer.Annotate("cache.miss_bytes", 16);
+  guard.clock().AdvanceNanos(2);
+  tracer.EndSpan();
+  tracer.EndSpan();
+
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  ASSERT_EQ(events[0].name, "inner");
+  // Annotations accumulate per key, sorted; they do not leak to the parent.
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].first, "cache.hit_bytes");
+  EXPECT_EQ(events[0].args[0].second, 16);
+  EXPECT_EQ(events[0].args[1].first, "cache.miss_bytes");
+  EXPECT_EQ(events[0].args[1].second, 16);
+  EXPECT_TRUE(events[1].args.empty());
+}
+
+TEST_F(TraceTest, TreeModeBuildsCallingContextTreeWithRolledUpArgs) {
+  ClockGuard guard;
+  Tracer& tracer = Tracer::Instance();
+  tracer.SetTreeEnabled(true);
+  tracer.Enable();
+
+  // Two identical refresh-shaped passes: same-path spans merge into one node.
+  for (int i = 0; i < 2; ++i) {
+    tracer.BeginSpan("a");
+    guard.clock().AdvanceNanos(10);
+    tracer.BeginSpan("b");
+    guard.clock().AdvanceNanos(5);
+    tracer.Annotate("cache.hit_bytes", 8);
+    tracer.EndSpan();
+    tracer.CompleteEvent("read", tracer.NowNanos(), 3, {{"bytes", 4}});
+    guard.clock().AdvanceNanos(3);
+    tracer.EndSpan();
+  }
+  tracer.SetTreeEnabled(false);  // freeze for inspection
+
+  const TreeNode& root = tracer.tree_root();
+  ASSERT_EQ(root.children.count("a"), 1u);
+  const TreeNode& a = root.children.at("a");
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_EQ(a.total_ns, 36u);
+  EXPECT_EQ(a.self_ns, 20u);
+  ASSERT_EQ(a.children.count("b"), 1u);
+  ASSERT_EQ(a.children.count("read"), 1u);
+  EXPECT_EQ(a.children.at("b").total_ns, 10u);
+  EXPECT_EQ(a.children.at("b").args.at("cache.hit_bytes"), 16);
+  EXPECT_EQ(a.children.at("read").total_ns, 6u);
+
+  // Serialization rolls descendants' args up: node "a" reports its subtree's
+  // bytes and cache split even though the annotations landed on children.
+  Json j = tracer.TreeToJson();
+  EXPECT_EQ(j.Find("total_ns")->AsInt(), 36);
+  const Json* ja = j.Find("children")->Find("a");
+  ASSERT_NE(ja, nullptr);
+  EXPECT_EQ(ja->Find("total_ns")->AsInt(), 36);
+  EXPECT_EQ(ja->Find("args")->Find("cache.hit_bytes")->AsInt(), 16);
+  EXPECT_EQ(ja->Find("args")->Find("bytes")->AsInt(), 8);
+
+  std::string text = tracer.TreeText();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("cache.hit_bytes=16"), std::string::npos);
+
+  // Re-enabling resets the tree for the next refresh.
+  tracer.SetTreeEnabled(true);
+  EXPECT_TRUE(tracer.tree_root().children.empty());
+  tracer.SetTreeEnabled(false);
+}
+
+TEST_F(TraceTest, FoldedStacksReconstructFromRing) {
+  ClockGuard guard;
+  Tracer& tracer = Tracer::Instance();
+  tracer.Enable();
+
+  for (int i = 0; i < 2; ++i) {
+    tracer.BeginSpan("a");
+    guard.clock().AdvanceNanos(10);
+    tracer.BeginSpan("b");
+    guard.clock().AdvanceNanos(5);
+    tracer.EndSpan();
+    tracer.CompleteEvent("read", tracer.NowNanos(), 3);
+    guard.clock().AdvanceNanos(3);
+    tracer.EndSpan();
+  }
+  EXPECT_EQ(tracer.ToFolded(), "a 20\na;b 10\na;read 6\n");
+}
+
+// Shrinking the ring while it has wrapped must keep the newest events (in
+// order) and charge the shed ones to dropped(); the ring must keep working
+// at the new capacity afterwards.
+TEST_F(TraceTest, SetCapacityShrinkWhileWrappedKeepsNewest) {
+  ClockGuard guard;
+  Tracer& tracer = Tracer::Instance();
+  tracer.Enable();
+  tracer.SetCapacity(8);
+  for (int i = 0; i < 10; ++i) {
+    tracer.CompleteEvent("e", i, 1);
+  }
+  ASSERT_EQ(tracer.dropped(), 2u);  // ring wrapped: ts 0 and 1 evicted
+
+  tracer.SetCapacity(4);
+  EXPECT_EQ(tracer.dropped(), 6u);  // shrink shed ts 2..5
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_ns, 6u + i);  // newest four, oldest first
+    if (i > 0) {
+      EXPECT_LT(events[i - 1].seq, events[i].seq);
+    }
+  }
+
+  // The ring wraps correctly at the new capacity.
+  tracer.CompleteEvent("e", 10, 1);
+  events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().ts_ns, 7u);
+  EXPECT_EQ(events.back().ts_ns, 10u);
+  EXPECT_EQ(tracer.dropped(), 7u);
+
+  // Growing keeps everything buffered and the dropped count.
+  tracer.SetCapacity(16);
+  EXPECT_EQ(tracer.Snapshot().size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 7u);
+  // Aggregates were never touched by the resizes.
+  EXPECT_EQ(tracer.stats().at("e").count, 11u);
+}
+
 class TraceKernelTest : public vltest::WorkloadKernelTest {
  protected:
   void SetUp() override {
