@@ -7,12 +7,14 @@
 // nanosecond). Timestamps are virtual nanoseconds, so two runs of this
 // binary produce identical JSON.
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <set>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "src/analysis/lint.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
 #include "src/viewcl/interp.h"
@@ -222,6 +224,58 @@ vl::Json MeasureCacheWorkflow(vlbench::BenchEnv& env, const dbg::LatencyModel& m
   return j;
 }
 
+// Static-analysis sweep: vlint over every paper figure + objective. The
+// whole point of the analyzer is that it consults only the type registry, so
+// the report asserts transport charged-ns and read-bytes deltas are exactly
+// zero across the sweep.
+vl::Json MeasureLint(vlbench::BenchEnv& env) {
+  viewcl::EmojiRegistry emoji;
+  analysis::Linter linter(&env.debugger->types(), &env.debugger->symbols(),
+                          &env.debugger->helpers(), &emoji);
+
+  const dbg::Target& target = env.debugger->target();
+  uint64_t ns_before = target.clock().nanos();
+  uint64_t reads_before = target.reads();
+  uint64_t bytes_before = target.bytes_read();
+
+  int programs = 0;
+  uint64_t errors = 0;
+  uint64_t warnings = 0;
+  auto wall_start = std::chrono::steady_clock::now();
+  for (const vision::FigureDef& figure : vision::AllFigures()) {
+    analysis::LintResult result = linter.LintViewCl(figure.viewcl);
+    ++programs;
+    errors += result.diagnostics.errors();
+    warnings += result.diagnostics.warnings();
+  }
+  for (const vision::ObjectiveDef& objective : vision::AllObjectives()) {
+    const vision::FigureDef* figure = vision::FindFigure(objective.figure_id);
+    analysis::ProgramSummary summary =
+        linter.SummarizeViewCl(figure != nullptr ? figure->viewcl : "");
+    analysis::LintResult result = linter.LintViewQl(objective.viewql, &summary);
+    ++programs;
+    errors += result.diagnostics.errors();
+    warnings += result.diagnostics.warnings();
+  }
+  auto wall_end = std::chrono::steady_clock::now();
+
+  uint64_t charged_ns = target.clock().nanos() - ns_before;
+  uint64_t reads = target.reads() - reads_before;
+  uint64_t bytes = target.bytes_read() - bytes_before;
+  vl::Json j = vl::Json::Object();
+  j["programs"] = vl::Json::Int(programs);
+  j["errors"] = vl::Json::Int(static_cast<int64_t>(errors));
+  j["warnings"] = vl::Json::Int(static_cast<int64_t>(warnings));
+  j["wall_ns"] = vl::Json::Int(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end - wall_start)
+          .count());
+  j["transport_charged_ns"] = vl::Json::Int(static_cast<int64_t>(charged_ns));
+  j["transport_reads"] = vl::Json::Int(static_cast<int64_t>(reads));
+  j["transport_bytes_read"] = vl::Json::Int(static_cast<int64_t>(bytes));
+  j["zero_read"] = vl::Json::Bool(charged_ns == 0 && reads == 0 && bytes == 0);
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -315,5 +369,26 @@ int main(int argc, char** argv) {
   }
   cache_file << cache_report.Dump(2) << "\n";
   std::printf("wrote %s\n", cache_path);
+
+  // Zero-read static analysis sweep over the full paper corpus.
+  const char* lint_path = argc > 4 ? argv[4] : "BENCH_lint.json";
+  vl::Json lint_report = MeasureLint(env);
+  const vl::Json* zero_read = lint_report.Find("zero_read");
+  const vl::Json* lint_errors = lint_report.Find("errors");
+  std::printf("  lint %s program(s), %s error(s), zero_read=%s\n",
+              lint_report.Find("programs")->Dump(0).c_str(),
+              lint_errors != nullptr ? lint_errors->Dump(0).c_str() : "?",
+              zero_read != nullptr && zero_read->AsBool() ? "true" : "false");
+  std::ofstream lint_file(lint_path);
+  if (!lint_file) {
+    std::printf("error: cannot open %s\n", lint_path);
+    return 1;
+  }
+  lint_file << lint_report.Dump(2) << "\n";
+  std::printf("wrote %s\n", lint_path);
+  if (zero_read == nullptr || !zero_read->AsBool()) {
+    std::printf("error: lint sweep charged transport time — zero-read violated\n");
+    return 1;
+  }
   return 0;
 }

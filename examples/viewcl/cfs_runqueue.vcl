@@ -1,0 +1,14 @@
+// The paper's §1 motivating program: CPU 0's CFS run queue as a red-black
+// tree of task boxes. Lints clean against the standard kernel registries:
+//   vctrl lint examples/viewcl/cfs_runqueue.vcl
+define Task as Box<task_struct> [
+  Text pid, comm
+  Text ppid: ${@this.parent != NULL ? @this.parent->pid : 0}
+  Text<string> state: ${task_state(@this)}
+  Text se.vruntime
+]
+root = ${cpu_rq(0)->cfs.tasks_timeline}
+sched_tree = RBTree(@root).forEach |node| {
+  yield Task<task_struct.se.run_node>(@node)
+}
+plot @sched_tree

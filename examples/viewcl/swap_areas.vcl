@@ -1,0 +1,13 @@
+// Swap area descriptors (paper Fig 17-6 territory): the swap_info table with
+// a flag decorator, demonstrating Array over a fixed-size pointer table.
+define SwapArea as Box<swap_info_struct> [
+  Text<flag:swap_flag_bits> flags
+  Text prio, pages, inuse_pages
+]
+areas = Array(${swap_info}).forEach |si| {
+  yield switch ${@si == NULL} {
+    case ${1}: NULL
+    otherwise: SwapArea(@si)
+  }
+}
+plot @areas

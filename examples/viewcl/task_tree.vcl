@@ -1,0 +1,10 @@
+// The process tree from init_task, following the children/sibling lists —
+// a distilled version of the paper's Fig 3-4 program.
+define Task as Box<task_struct> [
+  Text pid, comm
+  Link parent -> Task(${@this.parent})
+  Container children: List(children).forEach |child| {
+    yield Task<task_struct.sibling>(@child)
+  }
+]
+plot Task(${&init_task})

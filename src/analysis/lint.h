@@ -1,0 +1,124 @@
+// vlint: a zero-read static analyzer for ViewCL and ViewQL programs.
+//
+// The analyzer resolves every field access, adapter application, decorator,
+// and view/definition reference against the debugger's TypeRegistry, symbol
+// table, and helper registry — without a single Target memory read. Bad
+// programs are rejected before they charge any transport nanoseconds.
+//
+// Rule catalog (docs/linting.md has one example each):
+//   ViewCL
+//     VL001  unknown kernel type in a define
+//     VL002  duplicate definition in one program
+//     VL003  reference to an undefined Box
+//     VL004  unknown field in a bare field path
+//     VL005  bad anchored-constructor path (container_of anchor)
+//     VL006  container adapter applied to a mismatched node type
+//     VL007  unknown decorator head
+//     VL008  bad decorator argument (non-enum enum:/flag: arg, unknown emoji)
+//     VL009  view inherits an unknown parent view
+//     VL010  duplicate view name in one box (warning)
+//     VL011  unbound @ref
+//     VL012  unknown identifier in a ${...} C-expression
+//     VL013  C-expression syntax error
+//     VL014  dead definition: box unreachable from any plot (warning)
+//     VL015  container adapter arity error
+//   ViewQL
+//     VL101  unknown set name
+//     VL102  duplicate set name (warning)
+//     VL103  unknown SELECT type
+//     VL104  UPDATE view: names an undeclared view
+//     VL105  unknown display attribute (warning)
+//     VL106  bad display-attribute value
+//     VL107  unknown WHERE member (warning)
+//     VL108  REACHABLE/MEMBERS over '*' is pointless (warning)
+//     VL109  unknown enumerator in a comparison
+//     VL110  unknown item path in SELECT type.item (warning)
+
+#ifndef SRC_ANALYSIS_LINT_H_
+#define SRC_ANALYSIS_LINT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/dbg/expr.h"
+#include "src/dbg/symbols.h"
+#include "src/dbg/type.h"
+#include "src/support/diag.h"
+#include "src/viewcl/ast.h"
+#include "src/viewcl/decorate.h"
+
+namespace analysis {
+
+// What the ViewQL checker needs to know about the ViewCL program behind a
+// pane: which boxes exist, their kernel types, views, and displayed members.
+struct BoxSummary {
+  std::string kernel_type;           // empty => virtual box
+  std::vector<std::string> views;    // declared view names
+  std::vector<std::string> members;  // item names (Text/Link/Container)
+};
+
+struct ProgramSummary {
+  bool valid = false;  // true when the source parsed cleanly
+  std::map<std::string, BoxSummary> boxes;
+};
+
+struct LintResult {
+  vl::DiagnosticList diagnostics;
+  bool parse_ok = false;  // false => the single diagnostic is the parse error
+};
+
+// The analyzer. Holds registry pointers only — linting performs no reads, so
+// the Target transport clock and byte counters are untouched by construction.
+class Linter {
+ public:
+  Linter(const dbg::TypeRegistry* types, const dbg::SymbolTable* symbols,
+         const dbg::HelperRegistry* helpers, const viewcl::EmojiRegistry* emoji)
+      : types_(types), symbols_(symbols), helpers_(helpers), emoji_(emoji) {}
+
+  // Checks a ViewCL program (VL001–VL015). Emits a "vlint" trace span and
+  // bumps lint.* counters when tracing is enabled.
+  LintResult LintViewCl(std::string_view source) const;
+
+  // Checks an already-parsed program (the Interp::Load fail-fast hook re-uses
+  // the parse Load just did).
+  LintResult LintViewCl(const viewcl::Program& program, std::string_view source) const;
+
+  // Checks a ViewQL program (VL101–VL110). `summary` supplies the declared
+  // boxes/views/members (may be null: view/type checks degrade to registry
+  // lookups); `known_sets` seeds set names defined by earlier statements
+  // (e.g. a pane's ViewQL history).
+  LintResult LintViewQl(std::string_view source, const ProgramSummary* summary = nullptr,
+                        const std::vector<std::string>& known_sets = {}) const;
+
+  // Summarizes a ViewCL program for LintViewQl. Invalid programs produce
+  // {valid = false} and the ViewQL checker skips summary-dependent rules.
+  ProgramSummary SummarizeViewCl(std::string_view source) const;
+
+  // Adapts the analyzer into viewcl::Interpreter::SetLoadValidator — the
+  // fail-fast lint mode. Any lint *error* refuses the chunk, with the
+  // rendered diagnostics as the Status message; warnings pass. The Linter
+  // must outlive the interpreter holding the validator.
+  std::function<vl::Status(const viewcl::Program&, std::string_view)> MakeLoadValidator() const;
+
+  const dbg::TypeRegistry* types() const { return types_; }
+
+ private:
+  class ViewClChecker;
+  class ViewQlChecker;
+
+  const dbg::TypeRegistry* types_;
+  const dbg::SymbolTable* symbols_;
+  const dbg::HelperRegistry* helpers_;
+  const viewcl::EmojiRegistry* emoji_;
+};
+
+// Nearest-name suggestion (Levenshtein distance <= 2, lexicographic
+// tie-break); empty when nothing is close. Exposed for tests.
+std::string NearestName(const std::string& name, const std::vector<std::string>& candidates);
+
+}  // namespace analysis
+
+#endif  // SRC_ANALYSIS_LINT_H_

@@ -39,6 +39,16 @@ class HelperRegistry {
     return it != fns_.end() ? &it->second : nullptr;
   }
   size_t size() const { return fns_.size(); }
+  // Registered helper names, sorted — the static analyzer's identifier
+  // universe for C-expression call heads.
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(fns_.size());
+    for (const auto& [name, fn] : fns_) {
+      out.push_back(name);
+    }
+    return out;
+  }
 
  private:
   std::map<std::string, HelperFn, std::less<>> fns_;

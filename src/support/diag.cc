@@ -1,0 +1,173 @@
+#include "src/support/diag.h"
+
+#include <algorithm>
+
+#include "src/support/str.h"
+
+namespace vl {
+
+std::string_view SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Diagnostic& DiagnosticList::AddRule(std::string rule, Severity severity, Span span,
+                                    std::string message) {
+  Diagnostic d;
+  d.rule = std::move(rule);
+  d.severity = severity;
+  d.span = span;
+  d.message = std::move(message);
+  diags_.push_back(std::move(d));
+  return diags_.back();
+}
+
+void DiagnosticList::Sort() {
+  std::stable_sort(diags_.begin(), diags_.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.span.offset != b.span.offset) {
+      return a.span.offset < b.span.offset;
+    }
+    if (a.rule != b.rule) {
+      return a.rule < b.rule;
+    }
+    return a.message < b.message;
+  });
+}
+
+size_t DiagnosticList::Count(Severity s) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == s) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+// The 1-based source line containing `line` (without its trailing newline).
+std::string_view SourceLine(std::string_view source, int line) {
+  int current = 1;
+  size_t start = 0;
+  for (size_t i = 0; i <= source.size(); ++i) {
+    if (i == source.size() || source[i] == '\n') {
+      if (current == line) {
+        return source.substr(start, i - start);
+      }
+      ++current;
+      start = i + 1;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string DiagnosticList::RenderText(std::string_view source, std::string_view name) const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += StrFormat("%s:%d:%d: %s[%s]: %s\n", std::string(name).c_str(), d.span.line,
+                     d.span.col, std::string(SeverityName(d.severity)).c_str(), d.rule.c_str(),
+                     d.message.c_str());
+    if (!d.span.valid()) {
+      continue;
+    }
+    std::string_view text = SourceLine(source, d.span.line);
+    std::string gutter = StrFormat("%4d", d.span.line);
+    out += StrFormat("%s | %s\n", gutter.c_str(), std::string(text).c_str());
+    // Caret line: expand tabs the same way (tabs copied through so columns
+    // stay aligned in terminals).
+    std::string underline;
+    int col = d.span.col > 0 ? d.span.col : 1;
+    for (int i = 1; i < col && static_cast<size_t>(i) <= text.size() + 1; ++i) {
+      underline += text[static_cast<size_t>(i - 1)] == '\t' ? '\t' : ' ';
+    }
+    underline += '^';
+    size_t tail = d.span.length > 0 ? d.span.length - 1 : 0;
+    // Never underline past the end of the visible line.
+    size_t remaining = text.size() > static_cast<size_t>(col) ? text.size() - col : 0;
+    underline.append(std::min(tail, remaining), '~');
+    out += StrFormat("     | %s\n", underline.c_str());
+    if (d.has_fixit) {
+      out += StrFormat("     | fix-it: replace with '%s'\n", d.fixit.replacement.c_str());
+    }
+  }
+  out += StrFormat("%s: %zu error(s), %zu warning(s), %zu note(s)\n",
+                   std::string(name).c_str(), errors(), warnings(), Count(Severity::kNote));
+  return out;
+}
+
+namespace {
+
+Json SpanJson(const Span& s) {
+  Json j = Json::Object();
+  j["line"] = Json::Int(s.line);
+  j["col"] = Json::Int(s.col);
+  j["offset"] = Json::Int(static_cast<int64_t>(s.offset));
+  j["length"] = Json::Int(static_cast<int64_t>(s.length));
+  return j;
+}
+
+}  // namespace
+
+Json DiagnosticList::ToJson(std::string_view name) const {
+  Json root = Json::Object();
+  root["name"] = Json::Str(std::string(name));
+  Json arr = Json::Array();
+  for (const Diagnostic& d : diags_) {
+    Json j = Json::Object();
+    j["rule"] = Json::Str(d.rule);
+    j["severity"] = Json::Str(std::string(SeverityName(d.severity)));
+    j["span"] = SpanJson(d.span);
+    j["message"] = Json::Str(d.message);
+    if (d.has_fixit) {
+      Json f = SpanJson(d.fixit.span);
+      f["replacement"] = Json::Str(d.fixit.replacement);
+      j["fixit"] = std::move(f);
+    }
+    arr.Append(std::move(j));
+  }
+  root["diagnostics"] = std::move(arr);
+  root["errors"] = Json::Int(static_cast<int64_t>(errors()));
+  root["warnings"] = Json::Int(static_cast<int64_t>(warnings()));
+  root["notes"] = Json::Int(static_cast<int64_t>(Count(Severity::kNote)));
+  return root;
+}
+
+std::string ApplyFixIts(std::string_view source, const std::vector<Diagnostic>& diags) {
+  struct Patch {
+    size_t offset;
+    size_t length;
+    const std::string* replacement;
+  };
+  std::vector<Patch> patches;
+  for (const Diagnostic& d : diags) {
+    if (d.has_fixit && d.fixit.span.offset + d.fixit.span.length <= source.size()) {
+      patches.push_back({d.fixit.span.offset, d.fixit.span.length, &d.fixit.replacement});
+    }
+  }
+  std::stable_sort(patches.begin(), patches.end(),
+                   [](const Patch& a, const Patch& b) { return a.offset < b.offset; });
+  std::string out;
+  size_t cursor = 0;
+  for (const Patch& p : patches) {
+    if (p.offset < cursor) {
+      continue;  // overlaps an already-applied patch
+    }
+    out.append(source.substr(cursor, p.offset - cursor));
+    out.append(*p.replacement);
+    cursor = p.offset + p.length;
+  }
+  out.append(source.substr(cursor));
+  return out;
+}
+
+}  // namespace vl

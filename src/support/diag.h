@@ -1,0 +1,93 @@
+// Diagnostic engine for the ViewCL/ViewQL front-ends (vlint, paper §2.2's
+// "declarative specification" pitch demands pre-execution checking).
+//
+// A Diagnostic carries a stable rule ID ("VL001"), a severity, a source Span
+// (line/col/byte offset/length), a message, and an optional fix-it. Rendering
+// is deterministic: the same source + diagnostics always produce byte-stable
+// text (with caret underlines) and JSON.
+
+#ifndef SRC_SUPPORT_DIAG_H_
+#define SRC_SUPPORT_DIAG_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/json.h"
+
+namespace vl {
+
+// A half-open byte range [offset, offset+length) plus its 1-based line/col.
+// A zero-length span points at a position (caret with no underline tail).
+struct Span {
+  int line = 0;
+  int col = 0;
+  size_t offset = 0;
+  size_t length = 0;
+
+  bool valid() const { return line > 0; }
+};
+
+enum class Severity { kNote, kWarning, kError };
+
+std::string_view SeverityName(Severity s);
+
+// A suggested textual replacement for span (empty replacement = deletion).
+struct FixIt {
+  Span span;
+  std::string replacement;
+};
+
+struct Diagnostic {
+  std::string rule;  // stable ID, e.g. "VL001"
+  Severity severity = Severity::kError;
+  Span span;
+  std::string message;
+  bool has_fixit = false;
+  FixIt fixit;
+};
+
+// An ordered collection of diagnostics with rendering helpers. Order is
+// source order (byte offset, then rule ID) after Sort(); producers append in
+// discovery order and call Sort() once before rendering.
+class DiagnosticList {
+ public:
+  void Add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  Diagnostic& AddRule(std::string rule, Severity severity, Span span, std::string message);
+
+  void Sort();
+
+  const std::vector<Diagnostic>& diags() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  size_t size() const { return diags_.size(); }
+
+  size_t Count(Severity s) const;
+  size_t errors() const { return Count(Severity::kError); }
+  size_t warnings() const { return Count(Severity::kWarning); }
+
+  // Deterministic human-readable rendering:
+  //   <name>:<line>:<col>: error[VL003]: unknown Box 'Tsk'
+  //     3 |   yield Tsk<task_struct.se.run_node>(@node)
+  //       |         ^~~
+  //       | fix-it: replace with 'Task'
+  // followed by a one-line summary. `name` labels the program (file or pane).
+  std::string RenderText(std::string_view source, std::string_view name) const;
+
+  // {"name":..., "diagnostics":[{rule,severity,line,col,offset,length,message,
+  //  fixit?:{line,col,offset,length,replacement}}...], "errors":N,
+  //  "warnings":N, "notes":N}
+  Json ToJson(std::string_view name) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+// Applies every fix-it in `diags` to `source` and returns the patched text.
+// Fix-its are applied right-to-left by byte offset; overlapping ones after
+// the first are skipped so the result is always well-defined.
+std::string ApplyFixIts(std::string_view source, const std::vector<Diagnostic>& diags);
+
+}  // namespace vl
+
+#endif  // SRC_SUPPORT_DIAG_H_

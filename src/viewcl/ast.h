@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "src/support/diag.h"
+
 namespace viewcl {
 
 struct Expr;
@@ -20,6 +22,7 @@ struct Binding {
   std::string name;
   ExprPtr value;
   int line = 0;
+  vl::Span span;  // the bound name
 };
 
 struct ItemDecl {
@@ -29,6 +32,8 @@ struct ItemDecl {
   std::string decorator;  // raw spec between <>, e.g. "u64:x", "flag:vm"
   ExprPtr value;          // text value / link target / container content
   int line = 0;
+  vl::Span span;            // the item name (or first path segment)
+  vl::Span decorator_span;  // the spec between <>, when present
 };
 
 struct ViewDecl {
@@ -36,6 +41,8 @@ struct ViewDecl {
   std::string parent;        // inherited view name; empty if none
   std::vector<ItemDecl> items;
   std::vector<Binding> where;
+  vl::Span span;         // the :name token (or the '[' of the anonymous view)
+  vl::Span parent_span;  // the inherited :name token, when present
 };
 
 struct BoxDecl {
@@ -44,6 +51,8 @@ struct BoxDecl {
   std::vector<ViewDecl> views;
   std::vector<Binding> where;  // box-level where, shared by all views
   int line = 0;
+  vl::Span span;       // the definition name
+  vl::Span type_span;  // the kernel type between <>, when present
 };
 
 struct ForEachClause {
@@ -81,12 +90,21 @@ struct Expr {
   std::unique_ptr<ForEachClause> for_each;  // kContainerCtor
   std::unique_ptr<BoxDecl> inline_box;      // kInlineBox
   int line = 0;
+  vl::Span span;  // the expression's head token
 };
 
 inline ExprPtr NewExpr(Expr::Kind kind, int line) {
   auto e = std::make_unique<Expr>();
   e->kind = kind;
   e->line = line;
+  return e;
+}
+
+inline ExprPtr NewExpr(Expr::Kind kind, vl::Span span) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->line = span.line;
+  e->span = span;
   return e;
 }
 

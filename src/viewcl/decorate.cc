@@ -225,4 +225,46 @@ vl::StatusOr<DecoratedText> FormatDecorated(dbg::EvalContext* ctx, const EmojiRe
   return vl::EvalError("unknown decorator '" + spec + "'");
 }
 
+DecoratorIssue CheckDecoratorSpec(const dbg::TypeRegistry& types, const EmojiRegistry* emoji,
+                                  const std::string& spec, std::string* detail) {
+  if (spec.empty()) {
+    return DecoratorIssue::kNone;
+  }
+  std::vector<std::string> parts = vl::StrSplit(spec, ':');
+  const std::string& head = parts[0];
+  const std::string arg = parts.size() > 1 ? parts[1] : "";
+
+  if (head == "string" || head == "bool" || head == "char" || head == "raw_ptr" ||
+      head == "fptr") {
+    return DecoratorIssue::kNone;
+  }
+  if (head == "enum" || head == "flag") {
+    const Type* enum_type = types.FindByName(arg);
+    if (enum_type == nullptr || enum_type->kind != TypeKind::kEnum) {
+      if (detail != nullptr) {
+        *detail = "'" + arg + "' is not a registered enum type";
+      }
+      return DecoratorIssue::kBadArgument;
+    }
+    return DecoratorIssue::kNone;
+  }
+  if (head == "emoji") {
+    if (emoji == nullptr || emoji->Find(arg) == nullptr) {
+      if (detail != nullptr) {
+        *detail = "unknown emoji set '" + arg + "'";
+      }
+      return DecoratorIssue::kBadArgument;
+    }
+    return DecoratorIssue::kNone;
+  }
+  const Type* int_type = types.FindByName(head);
+  if (int_type != nullptr && int_type->IsScalar()) {
+    return DecoratorIssue::kNone;  // "<int-type>[:<base>]"; any suffix is legal
+  }
+  if (detail != nullptr) {
+    *detail = "unknown decorator '" + spec + "'";
+  }
+  return DecoratorIssue::kUnknownHead;
+}
+
 }  // namespace viewcl

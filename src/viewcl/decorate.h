@@ -48,6 +48,18 @@ struct DecoratedText {
 vl::StatusOr<DecoratedText> FormatDecorated(dbg::EvalContext* ctx, const EmojiRegistry* emoji,
                                             const std::string& spec, dbg::Value value);
 
+// Structural validation of a decorator spec — the zero-read counterpart of
+// FormatDecorated, shared by Interp::Load and the static analyzer.
+enum class DecoratorIssue {
+  kNone,
+  kUnknownHead,   // head names neither a builtin decorator nor a scalar type
+  kBadArgument,   // enum:/flag: arg is not an enum type; emoji: set unknown
+};
+
+// `detail` (optional) receives a human-readable description of the problem.
+DecoratorIssue CheckDecoratorSpec(const dbg::TypeRegistry& types, const EmojiRegistry* emoji,
+                                  const std::string& spec, std::string* detail = nullptr);
+
 }  // namespace viewcl
 
 #endif  // SRC_VIEWCL_DECORATE_H_

@@ -942,9 +942,99 @@ class Interpreter::RunState {
 Interpreter::Interpreter(dbg::KernelDebugger* debugger, InterpLimits limits)
     : debugger_(debugger), limits_(limits) {}
 
+namespace {
+
+// Walks an expression tree collecting every inline box declaration, so the
+// Load-time decorator audit sees `Box [ Text<bogus> x ]` too.
+void CollectInlineBoxes(const Expr* e, std::vector<const BoxDecl*>* out);
+
+void CollectBoxDecls(const BoxDecl* decl, std::vector<const BoxDecl*>* out) {
+  out->push_back(decl);
+  for (const ViewDecl& view : decl->views) {
+    for (const ItemDecl& item : view.items) {
+      CollectInlineBoxes(item.value.get(), out);
+    }
+    for (const Binding& binding : view.where) {
+      CollectInlineBoxes(binding.value.get(), out);
+    }
+  }
+  for (const Binding& binding : decl->where) {
+    CollectInlineBoxes(binding.value.get(), out);
+  }
+}
+
+void CollectInlineBoxes(const Expr* e, std::vector<const BoxDecl*>* out) {
+  if (e == nullptr) {
+    return;
+  }
+  if (e->kind == Expr::Kind::kInlineBox && e->inline_box != nullptr) {
+    CollectBoxDecls(e->inline_box.get(), out);
+    return;
+  }
+  for (const ExprPtr& kid : e->kids) {
+    CollectInlineBoxes(kid.get(), out);
+  }
+  for (const SwitchCase& sc : e->cases) {
+    for (const ExprPtr& label : sc.labels) {
+      CollectInlineBoxes(label.get(), out);
+    }
+    CollectInlineBoxes(sc.body.get(), out);
+  }
+  CollectInlineBoxes(e->otherwise.get(), out);
+  if (e->for_each != nullptr) {
+    for (const Binding& binding : e->for_each->bindings) {
+      CollectInlineBoxes(binding.value.get(), out);
+    }
+    CollectInlineBoxes(e->for_each->yield.get(), out);
+  }
+}
+
+}  // namespace
+
 vl::Status Interpreter::Load(std::string_view source) {
   vl::ScopedSpan span("viewcl.parse");
   VL_ASSIGN_OR_RETURN(Program program, ParseViewCl(source));
+
+  // Structured errors instead of the old silent behaviors: a duplicate
+  // definition inside one chunk used to be last-writer-wins, and an unknown
+  // decorator head only surfaced as a per-item eval warning.
+  std::vector<const BoxDecl*> decls;
+  std::map<std::string, int> chunk_lines;
+  for (const std::unique_ptr<BoxDecl>& decl : program.defines) {
+    auto [it, inserted] = chunk_lines.emplace(decl->name, decl->line);
+    if (!inserted) {
+      return vl::ParseError(vl::StrFormat("duplicate definition of '%s' at %d:%d (first "
+                                          "defined at line %d)",
+                                          decl->name.c_str(), decl->span.line, decl->span.col,
+                                          it->second));
+    }
+    CollectBoxDecls(decl.get(), &decls);
+  }
+  for (const Binding& binding : program.bindings) {
+    CollectInlineBoxes(binding.value.get(), &decls);
+  }
+  for (const ExprPtr& plot : program.plots) {
+    CollectInlineBoxes(plot.get(), &decls);
+  }
+  for (const BoxDecl* decl : decls) {
+    for (const ViewDecl& view : decl->views) {
+      for (const ItemDecl& item : view.items) {
+        // Only unknown heads are rejected here: argument problems (e.g. an
+        // emoji set registered after Load) stay legal until lint/eval.
+        if (CheckDecoratorSpec(debugger_->types(), &emoji_, item.decorator) ==
+            DecoratorIssue::kUnknownHead) {
+          return vl::ParseError(vl::StrFormat("unknown decorator '%s' at %d:%d",
+                                              item.decorator.c_str(),
+                                              item.decorator_span.line,
+                                              item.decorator_span.col));
+        }
+      }
+    }
+  }
+  if (load_validator_ != nullptr) {
+    VL_RETURN_IF_ERROR(load_validator_(program, source));
+  }
+
   for (std::unique_ptr<BoxDecl>& decl : program.defines) {
     defines_[decl->name] = decl.get();
     owned_decls_.push_back(std::move(decl));

@@ -10,6 +10,7 @@
 #ifndef SRC_VIEWCL_INTERP_H_
 #define SRC_VIEWCL_INTERP_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -38,7 +39,17 @@ class Interpreter {
 
   // Parses and accumulates a program chunk (definitions are remembered across
   // Load calls, so a prelude can be loaded before a figure program).
+  // Duplicate definitions *within* one chunk and unknown decorator heads are
+  // structured parse errors; redefining a box from an earlier chunk stays
+  // legal so panes can replay programs through a shared interpreter.
   vl::Status Load(std::string_view source);
+
+  // Optional fail-fast hook: when set, Load() runs the validator over each
+  // successfully parsed chunk and refuses the chunk if it returns an error.
+  // The static analyzer plugs in here (`vlint`'s fail-fast lint mode).
+  using LoadValidator = std::function<vl::Status(const Program& program,
+                                                 std::string_view source)>;
+  void SetLoadValidator(LoadValidator validator) { load_validator_ = std::move(validator); }
 
   // Evaluates all pending top-level bindings and plot statements against the
   // current kernel state, producing a fresh graph. Can be called repeatedly;
@@ -64,6 +75,7 @@ class Interpreter {
   InterpLimits limits_;
   EmojiRegistry emoji_;
 
+  LoadValidator load_validator_;
   std::map<std::string, const BoxDecl*> defines_;
   std::vector<std::unique_ptr<BoxDecl>> owned_decls_;
   std::vector<Binding> bindings_;

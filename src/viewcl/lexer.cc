@@ -16,6 +16,7 @@ class LexerImpl {
     std::vector<Token> out;
     while (true) {
       SkipSpaceAndComments();
+      MarkStart();
       if (pos_ >= src_.size()) {
         out.push_back(Make(TokKind::kEnd, ""));
         return out;
@@ -45,12 +46,23 @@ class LexerImpl {
   }
 
  private:
+  // Records the position of the next token's first character; Make() stamps
+  // every token with this START position (not the end, which is what error
+  // messages used to point at) plus the consumed byte range.
+  void MarkStart() {
+    start_pos_ = pos_;
+    start_line_ = line_;
+    start_col_ = col_;
+  }
+
   Token Make(TokKind kind, std::string text) {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
-    t.line = line_;
-    t.col = col_;
+    t.line = start_line_;
+    t.col = start_col_;
+    t.offset = start_pos_;
+    t.length = pos_ - start_pos_;
     return t;
   }
 
@@ -116,7 +128,7 @@ class LexerImpl {
       any = true;
     }
     if (!any) {
-      return vl::ParseError(vl::StrFormat("bad number at %d:%d", line_, col_));
+      return vl::ParseError(vl::StrFormat("bad number at %d:%d", start_line_, start_col_));
     }
     Token t = Make(TokKind::kInt, std::string(src_.substr(start, pos_ - start)));
     t.ival = value;
@@ -127,8 +139,8 @@ class LexerImpl {
     Bump();  // consume the prefix character
     if (pos_ >= src_.size() || (!std::isalpha(static_cast<unsigned char>(src_[pos_])) &&
                                 src_[pos_] != '_')) {
-      return vl::ParseError(
-          vl::StrFormat("'%c' must be followed by a name at %d:%d", prefix, line_, col_));
+      return vl::ParseError(vl::StrFormat("'%c' must be followed by a name at %d:%d", prefix,
+                                          start_line_, start_col_));
     }
     size_t start = pos_;
     while (pos_ < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
@@ -156,7 +168,8 @@ class LexerImpl {
       }
       Bump();
     }
-    return vl::ParseError(vl::StrFormat("unterminated ${...} starting at line %d", line_));
+    return vl::ParseError(vl::StrFormat("unterminated ${...} starting at %d:%d", start_line_,
+                                        start_col_));
   }
 
   vl::StatusOr<Token> LexPunct() {
@@ -183,6 +196,9 @@ class LexerImpl {
   size_t pos_ = 0;
   int line_ = 1;
   int col_ = 1;
+  size_t start_pos_ = 0;
+  int start_line_ = 1;
+  int start_col_ = 1;
 };
 
 }  // namespace

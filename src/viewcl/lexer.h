@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/support/diag.h"
 #include "src/support/status.h"
 
 namespace viewcl {
@@ -30,8 +31,14 @@ struct Token {
   TokKind kind = TokKind::kEnd;
   std::string text;
   uint64_t ival = 0;
+  // Start position of the token's first source character (1-based line/col)
+  // plus its byte extent — `${...}` and prefixed tokens include the sigils.
   int line = 0;
   int col = 0;
+  size_t offset = 0;
+  size_t length = 0;
+
+  vl::Span span() const { return vl::Span{line, col, offset, length}; }
 };
 
 // Tokenizes `source`; `//` comments run to end of line.

@@ -33,6 +33,7 @@ class ParserImpl {
         Binding binding;
         binding.name = Cur().text;
         binding.line = Cur().line;
+        binding.span = Cur().span();
         Advance();
         Advance();  // '='
         VL_ASSIGN_OR_RETURN(binding.value, ParseExpr());
@@ -76,6 +77,18 @@ class ParserImpl {
       return true;
     }
     return false;
+  }
+
+  // Extends `start` to cover everything up to the last consumed token.
+  vl::Span SpanFrom(vl::Span start) const {
+    if (idx_ > 0) {
+      const Token& prev = toks_[idx_ - 1];
+      size_t end = prev.offset + prev.length;
+      if (end > start.offset) {
+        start.length = end - start.offset;
+      }
+    }
+    return start;
   }
 
   vl::Status Err(std::string_view message) const {
@@ -126,6 +139,7 @@ class ParserImpl {
   vl::StatusOr<std::unique_ptr<BoxDecl>> ParseDefine() {
     int line = Cur().line;
     Advance();  // 'define'
+    vl::Span name_span = Cur().span();
     VL_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
     defined_boxes_.insert(name);
     if (!EatIdent("as")) {
@@ -137,9 +151,11 @@ class ParserImpl {
     auto decl = std::make_unique<BoxDecl>();
     decl->name = name;
     decl->line = line;
+    decl->span = name_span;
     if (EatPunct("<")) {
       // Kernel type name, possibly "struct foo".
       std::string type_name;
+      vl::Span type_span = Cur().span();
       while (Cur().kind == TokKind::kIdent) {
         if (!type_name.empty()) {
           type_name += " ";
@@ -147,6 +163,7 @@ class ParserImpl {
         type_name += Cur().text;
         Advance();
       }
+      decl->type_span = SpanFrom(type_span);
       VL_RETURN_IF_ERROR(ExpectPunct(">"));
       decl->kernel_type = type_name;
     }
@@ -159,6 +176,7 @@ class ParserImpl {
       // Single anonymous view: it becomes "default".
       ViewDecl view;
       view.name = "default";
+      view.span = Cur().span();
       VL_RETURN_IF_ERROR(ParseViewBody(&view));
       if (IsIdent("where")) {
         VL_RETURN_IF_ERROR(ParseWhere(&view.where));
@@ -175,16 +193,20 @@ class ParserImpl {
       }
       ViewDecl view;
       std::string first = Cur().text;
+      vl::Span first_span = Cur().span();
       Advance();
       if (EatPunct("=>")) {
         if (Cur().kind != TokKind::kViewName) {
           return Err("expected a view name after '=>'");
         }
         view.parent = first;
+        view.parent_span = first_span;
         view.name = Cur().text;
+        view.span = Cur().span();
         Advance();
       } else {
         view.name = first;
+        view.span = first_span;
       }
       VL_RETURN_IF_ERROR(ParseViewBody(&view));
       if (IsIdent("where")) {
@@ -211,14 +233,18 @@ class ParserImpl {
     int line = Cur().line;
     if (EatIdent("Text")) {
       std::string decorator;
+      vl::Span decorator_span;
       if (EatPunct("<")) {
+        decorator_span = Cur().span();
         VL_ASSIGN_OR_RETURN(decorator, ParseDecoratorSpec());
+        decorator_span = SpanFrom(decorator_span);
         VL_RETURN_IF_ERROR(ExpectPunct(">"));
       }
       while (true) {
         ItemDecl item;
         item.kind = ItemDecl::Kind::kText;
         item.decorator = decorator;
+        item.decorator_span = decorator_span;
         item.line = line;
         VL_RETURN_IF_ERROR(ParseTextDecl(&item));
         view->items.push_back(std::move(item));
@@ -232,6 +258,7 @@ class ParserImpl {
       ItemDecl item;
       item.kind = ItemDecl::Kind::kLink;
       item.line = line;
+      item.span = Cur().span();
       VL_ASSIGN_OR_RETURN(item.name, ExpectIdent());
       VL_RETURN_IF_ERROR(ExpectPunct("->"));
       VL_ASSIGN_OR_RETURN(item.value, ParseExpr());
@@ -242,6 +269,7 @@ class ParserImpl {
       ItemDecl item;
       item.kind = ItemDecl::Kind::kContainer;
       item.line = line;
+      item.span = Cur().span();
       VL_ASSIGN_OR_RETURN(item.name, ExpectIdent());
       VL_RETURN_IF_ERROR(ExpectColon());
       VL_ASSIGN_OR_RETURN(item.value, ParseExpr());
@@ -272,7 +300,8 @@ class ParserImpl {
     if (Cur().kind == TokKind::kAtIdent) {
       // `Text @last_ma_min`: the item shows a where-clause variable.
       item->name = Cur().text;
-      item->value = NewExpr(Expr::Kind::kAtRef, Cur().line);
+      item->span = Cur().span();
+      item->value = NewExpr(Expr::Kind::kAtRef, Cur().span());
       item->value->text = Cur().text;
       Advance();
       return vl::Status::Ok();
@@ -283,20 +312,22 @@ class ParserImpl {
     // Either `name : expr` or a bare (dotted) field path.
     std::vector<std::string> path;
     path.push_back(Cur().text);
-    int line = Cur().line;
+    vl::Span span = Cur().span();
     Advance();
     while (IsPunct(".")) {
       Advance();
       VL_ASSIGN_OR_RETURN(std::string part, ExpectIdent());
       path.push_back(std::move(part));
     }
+    span = SpanFrom(span);
+    item->span = span;
     if (path.size() == 1 && EatColon()) {
       item->name = path[0];
       VL_ASSIGN_OR_RETURN(item->value, ParseExpr());
       return vl::Status::Ok();
     }
     item->name = vl::StrJoin(path, ".");
-    item->value = NewExpr(Expr::Kind::kFieldPath, line);
+    item->value = NewExpr(Expr::Kind::kFieldPath, span);
     item->value->path = std::move(path);
     return vl::Status::Ok();
   }
@@ -307,6 +338,7 @@ class ParserImpl {
     while (!IsPunct("}")) {
       Binding binding;
       binding.line = Cur().line;
+      binding.span = Cur().span();
       VL_ASSIGN_OR_RETURN(binding.name, ExpectIdent());
       VL_RETURN_IF_ERROR(ExpectPunct("="));
       VL_ASSIGN_OR_RETURN(binding.value, ParseExpr());
@@ -318,22 +350,22 @@ class ParserImpl {
   // --- expressions ---
 
   vl::StatusOr<ExprPtr> ParseExpr() {
-    int line = Cur().line;
+    vl::Span span = Cur().span();
     switch (Cur().kind) {
       case TokKind::kCExpr: {
-        ExprPtr e = NewExpr(Expr::Kind::kCExpr, line);
+        ExprPtr e = NewExpr(Expr::Kind::kCExpr, span);
         e->text = Cur().text;
         Advance();
         return e;
       }
       case TokKind::kAtIdent: {
-        ExprPtr e = NewExpr(Expr::Kind::kAtRef, line);
+        ExprPtr e = NewExpr(Expr::Kind::kAtRef, span);
         e->text = Cur().text;
         Advance();
         return e;
       }
       case TokKind::kInt: {
-        ExprPtr e = NewExpr(Expr::Kind::kInt, line);
+        ExprPtr e = NewExpr(Expr::Kind::kInt, span);
         e->ival = Cur().ival;
         Advance();
         return e;
@@ -347,7 +379,7 @@ class ParserImpl {
     const std::string& head = Cur().text;
     if (head == "NULL" || head == "null") {
       Advance();
-      return NewExpr(Expr::Kind::kNull, line);
+      return NewExpr(Expr::Kind::kNull, span);
     }
     if (head == "switch") {
       return ParseSwitch();
@@ -361,10 +393,12 @@ class ParserImpl {
       Advance();  // .
       Advance();  // selectFrom
       VL_RETURN_IF_ERROR(ExpectPunct("("));
-      ExprPtr e = NewExpr(Expr::Kind::kSelectFrom, line);
+      ExprPtr e = NewExpr(Expr::Kind::kSelectFrom, span);
       VL_ASSIGN_OR_RETURN(ExprPtr source, ParseExpr());
       e->kids.push_back(std::move(source));
       VL_RETURN_IF_ERROR(ExpectPunct(","));
+      // The span names the element box: that is the reference lint checks.
+      e->span = Cur().span();
       VL_ASSIGN_OR_RETURN(e->text, ExpectIdent());
       VL_RETURN_IF_ERROR(ExpectPunct(")"));
       return e;
@@ -378,7 +412,7 @@ class ParserImpl {
       return ParseBoxCtor();
     }
     // Bare field path relative to @this.
-    ExprPtr e = NewExpr(Expr::Kind::kFieldPath, line);
+    ExprPtr e = NewExpr(Expr::Kind::kFieldPath, span);
     e->path.push_back(head);
     Advance();
     while (IsPunct(".")) {
@@ -386,13 +420,14 @@ class ParserImpl {
       VL_ASSIGN_OR_RETURN(std::string part, ExpectIdent());
       e->path.push_back(std::move(part));
     }
+    e->span = SpanFrom(e->span);
     return e;
   }
 
   vl::StatusOr<ExprPtr> ParseSwitch() {
-    int line = Cur().line;
+    vl::Span span = Cur().span();
     Advance();  // 'switch'
-    ExprPtr e = NewExpr(Expr::Kind::kSwitch, line);
+    ExprPtr e = NewExpr(Expr::Kind::kSwitch, span);
     VL_ASSIGN_OR_RETURN(ExprPtr scrutinee, ParseExpr());
     e->kids.push_back(std::move(scrutinee));
     VL_RETURN_IF_ERROR(ExpectPunct("{"));
@@ -421,24 +456,26 @@ class ParserImpl {
   }
 
   vl::StatusOr<ExprPtr> ParseInlineBox() {
-    int line = Cur().line;
+    vl::Span span = Cur().span();
+    int line = span.line;
     Advance();  // 'Box'
     auto decl = std::make_unique<BoxDecl>();
     decl->name = vl::StrFormat("<inline:%d>", line);
     decl->line = line;
+    decl->span = span;
     if (EatPunct("<")) {
+      decl->type_span = Cur().span();
       VL_ASSIGN_OR_RETURN(decl->kernel_type, ExpectIdent());
       VL_RETURN_IF_ERROR(ExpectPunct(">"));
     }
     VL_RETURN_IF_ERROR(ParseBoxBody(decl.get()));
-    ExprPtr e = NewExpr(Expr::Kind::kInlineBox, line);
+    ExprPtr e = NewExpr(Expr::Kind::kInlineBox, span);
     e->inline_box = std::move(decl);
     return e;
   }
 
   vl::StatusOr<ExprPtr> ParseContainerCtor() {
-    int line = Cur().line;
-    ExprPtr e = NewExpr(Expr::Kind::kContainerCtor, line);
+    ExprPtr e = NewExpr(Expr::Kind::kContainerCtor, Cur().span());
     e->text = Cur().text;
     Advance();  // kind
     VL_RETURN_IF_ERROR(ExpectPunct("("));
@@ -467,6 +504,7 @@ class ParserImpl {
         }
         Binding binding;
         binding.line = Cur().line;
+        binding.span = Cur().span();
         VL_ASSIGN_OR_RETURN(binding.name, ExpectIdent());
         VL_RETURN_IF_ERROR(ExpectPunct("="));
         VL_ASSIGN_OR_RETURN(binding.value, ParseExpr());
@@ -481,8 +519,7 @@ class ParserImpl {
   }
 
   vl::StatusOr<ExprPtr> ParseBoxCtor() {
-    int line = Cur().line;
-    ExprPtr e = NewExpr(Expr::Kind::kBoxCtor, line);
+    ExprPtr e = NewExpr(Expr::Kind::kBoxCtor, Cur().span());
     e->text = Cur().text;
     Advance();  // box name
     if (EatPunct("<")) {

@@ -1,0 +1,449 @@
+#include "src/viewql/parse.h"
+
+#include <cctype>
+
+#include "src/support/str.h"
+
+namespace viewql {
+
+vl::StatusOr<std::vector<Token>> LexViewQl(std::string_view src) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  int line = 1;
+  size_t line_start = 0;  // byte offset of the current line's first character
+  auto col_of = [&](size_t p) { return static_cast<int>(p - line_start) + 1; };
+  size_t tok_start = 0;
+  auto push = [&](Tok kind, std::string text, int64_t ival = 0) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.ival = ival;
+    t.line = line;
+    t.col = col_of(tok_start);
+    t.offset = tok_start;
+    t.length = pos - tok_start;
+    out.push_back(std::move(t));
+  };
+  while (pos < src.size()) {
+    char c = src[pos];
+    if (c == '\n') {
+      ++line;
+      ++pos;
+      line_start = pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '/' && pos + 1 < src.size() && src[pos + 1] == '/') {
+      while (pos < src.size() && src[pos] != '\n') {
+        ++pos;
+      }
+      continue;
+    }
+    if (c == '-' && pos + 1 < src.size() && src[pos + 1] == '-') {  // SQL comment
+      while (pos < src.size() && src[pos] != '\n') {
+        ++pos;
+      }
+      continue;
+    }
+    tok_start = pos;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos;
+      while (pos < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[pos])) || src[pos] == '_')) {
+        ++pos;
+      }
+      push(Tok::kIdent, std::string(src.substr(start, pos - start)));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos;
+      int base = 10;
+      if (c == '0' && pos + 1 < src.size() && (src[pos + 1] == 'x' || src[pos + 1] == 'X')) {
+        base = 16;
+        pos += 2;
+      }
+      int64_t value = 0;
+      while (pos < src.size()) {
+        char d = static_cast<char>(std::tolower(static_cast<unsigned char>(src[pos])));
+        int digit;
+        if (d >= '0' && d <= '9') {
+          digit = d - '0';
+        } else if (base == 16 && d >= 'a' && d <= 'f') {
+          digit = d - 'a' + 10;
+        } else {
+          break;
+        }
+        value = value * base + digit;
+        ++pos;
+      }
+      push(Tok::kInt, std::string(src.substr(start, pos - start)), value);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++pos;
+      size_t start = pos;
+      while (pos < src.size() && src[pos] != quote) {
+        ++pos;
+      }
+      if (pos >= src.size()) {
+        return vl::ParseError(vl::StrFormat("unterminated string at %d:%d", line,
+                                            col_of(tok_start)));
+      }
+      std::string text(src.substr(start, pos - start));
+      ++pos;  // closing quote (included in the token's span)
+      push(Tok::kString, std::move(text));
+      continue;
+    }
+    // Angle-bracket placeholders like <fetched_node_address> are template
+    // holes; reject with a clear message.
+    for (std::string_view two : {"==", "!=", "<=", ">=", "->"}) {
+      if (src.substr(pos, 2) == two) {
+        pos += 2;
+        push(Tok::kPunct, std::string(two));
+        goto next;
+      }
+    }
+    {
+      static const std::string_view kOne = "=<>*\\&|(),:.";
+      if (kOne.find(c) == std::string_view::npos) {
+        return vl::ParseError(vl::StrFormat("unexpected character '%c' at %d:%d", c, line,
+                                            col_of(pos)));
+      }
+      ++pos;
+      push(Tok::kPunct, std::string(1, c));
+    }
+  next:;
+  }
+  tok_start = pos;
+  push(Tok::kEnd, "");
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  vl::StatusOr<std::vector<Statement>> Run() {
+    std::vector<Statement> out;
+    while (!AtEnd()) {
+      if (IsKeyword("UPDATE")) {
+        Statement stmt;
+        stmt.kind = Statement::Kind::kUpdate;
+        VL_RETURN_IF_ERROR(ParseUpdate(&stmt.update));
+        out.push_back(std::move(stmt));
+      } else if (Cur().kind == Tok::kIdent && Peek(1).kind == Tok::kPunct &&
+                 Peek(1).text == "=") {
+        Statement stmt;
+        stmt.kind = Statement::Kind::kSelect;
+        stmt.select.result_name = Cur().text;
+        stmt.select.result_span = Cur().span();
+        Advance();
+        Advance();  // '='
+        VL_RETURN_IF_ERROR(ParseSelect(&stmt.select));
+        out.push_back(std::move(stmt));
+      } else {
+        return Err("expected 'name = SELECT ...' or 'UPDATE ...'");
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[idx_]; }
+  const Token& Peek(size_t n) const {
+    size_t i = idx_ + n;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool AtEnd() const { return Cur().kind == Tok::kEnd; }
+  void Advance() {
+    if (!AtEnd()) {
+      ++idx_;
+    }
+  }
+  bool IsKeyword(std::string_view kw) const {
+    return Cur().kind == Tok::kIdent && vl::StrLower(Cur().text) == vl::StrLower(kw);
+  }
+  bool EatKeyword(std::string_view kw) {
+    if (IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool IsPunct(std::string_view text) const {
+    return Cur().kind == Tok::kPunct && Cur().text == text;
+  }
+  bool EatPunct(std::string_view text) {
+    if (IsPunct(text)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  vl::Status Err(std::string_view message) const {
+    return vl::ParseError(vl::StrFormat("%.*s at %d:%d (near '%s')",
+                                        static_cast<int>(message.size()), message.data(),
+                                        Cur().line, Cur().col, Cur().text.c_str()));
+  }
+
+  // Extends `start` to cover everything up to the last consumed token.
+  vl::Span SpanFrom(vl::Span start) const {
+    if (idx_ > 0) {
+      const Token& prev = toks_[idx_ - 1];
+      size_t end = prev.offset + prev.length;
+      if (end > start.offset) {
+        start.length = end - start.offset;
+      }
+    }
+    return start;
+  }
+
+  vl::Status ParseSelect(SelectStmt* stmt) {
+    if (!EatKeyword("SELECT")) {
+      return Err("expected SELECT");
+    }
+    stmt->type_span = Cur().span();
+    if (EatPunct("*")) {
+      // select everything from the source
+    } else {
+      if (Cur().kind != Tok::kIdent) {
+        return Err("expected a type name");
+      }
+      stmt->type_name = Cur().text;
+      Advance();
+      if (IsPunct(".") || IsPunct("->")) {
+        stmt->item_span = Peek(1).span();
+      }
+      while (EatPunct(".") || EatPunct("->")) {
+        if (Cur().kind != Tok::kIdent) {
+          return Err("expected an item name");
+        }
+        stmt->item_path.push_back(Cur().text);
+        Advance();
+        stmt->item_span = SpanFrom(stmt->item_span);
+      }
+    }
+    if (!EatKeyword("FROM")) {
+      return Err("expected FROM");
+    }
+    VL_ASSIGN_OR_RETURN(stmt->source, ParseSetExpr());
+    if (EatKeyword("AS")) {
+      if (Cur().kind != Tok::kIdent) {
+        return Err("expected an alias name");
+      }
+      stmt->alias = Cur().text;
+      Advance();
+    }
+    if (EatKeyword("WHERE")) {
+      stmt->has_where = true;
+      VL_RETURN_IF_ERROR(ParseCondition(&stmt->where));
+    }
+    return vl::Status::Ok();
+  }
+
+  vl::Status ParseUpdate(UpdateStmt* stmt) {
+    Advance();  // UPDATE
+    VL_ASSIGN_OR_RETURN(stmt->target, ParseSetExpr());
+    if (!EatKeyword("WITH")) {
+      return Err("expected WITH");
+    }
+    while (true) {
+      if (Cur().kind != Tok::kIdent) {
+        return Err("expected an attribute name");
+      }
+      UpdateAttr attr;
+      attr.name = Cur().text;
+      attr.name_span = Cur().span();
+      Advance();
+      if (!EatPunct(":")) {
+        return Err("expected ':' after attribute name");
+      }
+      attr.value_span = Cur().span();
+      if (Cur().kind == Tok::kIdent || Cur().kind == Tok::kString) {
+        attr.value = Cur().text;
+        Advance();
+      } else if (Cur().kind == Tok::kInt) {
+        attr.value = Cur().text;
+        Advance();
+      } else {
+        return Err("expected an attribute value");
+      }
+      stmt->attrs.push_back(std::move(attr));
+      if (!EatPunct(",")) {
+        break;
+      }
+    }
+    return vl::Status::Ok();
+  }
+
+  vl::StatusOr<std::unique_ptr<SetExpr>> ParseSetExpr() {
+    VL_ASSIGN_OR_RETURN(std::unique_ptr<SetExpr> lhs, ParseSetTerm());
+    while (IsPunct("\\") || IsPunct("&") || IsPunct("|")) {
+      char op = Cur().text[0];
+      vl::Span op_span = Cur().span();
+      Advance();
+      VL_ASSIGN_OR_RETURN(std::unique_ptr<SetExpr> rhs, ParseSetTerm());
+      auto node = std::make_unique<SetExpr>();
+      node->kind = SetExpr::Kind::kBinary;
+      node->op = op;
+      node->span = op_span;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  vl::StatusOr<std::unique_ptr<SetExpr>> ParseSetTerm() {
+    auto node = std::make_unique<SetExpr>();
+    node->span = Cur().span();
+    if (EatPunct("*")) {
+      node->kind = SetExpr::Kind::kAll;
+      return node;
+    }
+    if (IsKeyword("REACHABLE") || IsKeyword("MEMBERS")) {
+      bool reachable = IsKeyword("REACHABLE");
+      Advance();
+      if (!EatPunct("(")) {
+        return Err("expected '(' after REACHABLE/MEMBERS");
+      }
+      node->kind = reachable ? SetExpr::Kind::kReachable : SetExpr::Kind::kMembers;
+      VL_ASSIGN_OR_RETURN(node->arg, ParseSetExpr());
+      if (!EatPunct(")")) {
+        return Err("expected ')'");
+      }
+      return node;
+    }
+    if (EatPunct("(")) {
+      VL_ASSIGN_OR_RETURN(std::unique_ptr<SetExpr> inner, ParseSetExpr());
+      if (!EatPunct(")")) {
+        return Err("expected ')'");
+      }
+      return inner;
+    }
+    if (Cur().kind != Tok::kIdent) {
+      return Err("expected a set name");
+    }
+    node->kind = SetExpr::Kind::kName;
+    node->name = Cur().text;
+    Advance();
+    return node;
+  }
+
+  vl::Status ParseCondition(Condition* cond) {
+    // OR-of-ANDs; parentheses group sub-conditions which are inlined into DNF.
+    VL_ASSIGN_OR_RETURN(std::vector<std::vector<CondExpr>> lhs, ParseAnd());
+    cond->clauses = std::move(lhs);
+    while (IsKeyword("OR")) {
+      Advance();
+      VL_ASSIGN_OR_RETURN(std::vector<std::vector<CondExpr>> rhs, ParseAnd());
+      for (auto& clause : rhs) {
+        cond->clauses.push_back(std::move(clause));
+      }
+    }
+    return vl::Status::Ok();
+  }
+
+  // Returns a DNF fragment (list of conjunctions).
+  vl::StatusOr<std::vector<std::vector<CondExpr>>> ParseAnd() {
+    VL_ASSIGN_OR_RETURN(std::vector<std::vector<CondExpr>> acc, ParsePrimaryCond());
+    while (IsKeyword("AND")) {
+      Advance();
+      VL_ASSIGN_OR_RETURN(std::vector<std::vector<CondExpr>> rhs, ParsePrimaryCond());
+      // (A1|A2) AND (B1|B2) => distribute.
+      std::vector<std::vector<CondExpr>> merged;
+      for (const auto& a : acc) {
+        for (const auto& b : rhs) {
+          std::vector<CondExpr> clause = a;
+          clause.insert(clause.end(), b.begin(), b.end());
+          merged.push_back(std::move(clause));
+        }
+      }
+      acc = std::move(merged);
+    }
+    return acc;
+  }
+
+  vl::StatusOr<std::vector<std::vector<CondExpr>>> ParsePrimaryCond() {
+    if (EatPunct("(")) {
+      Condition inner;
+      VL_RETURN_IF_ERROR(ParseCondition(&inner));
+      if (!EatPunct(")")) {
+        return Err("expected ')'");
+      }
+      return inner.clauses;
+    }
+    CondExpr expr;
+    if (Cur().kind != Tok::kIdent) {
+      return Err("expected a member name");
+    }
+    expr.member.push_back(Cur().text);
+    expr.member_span = Cur().span();
+    Advance();
+    while (EatPunct(".") || EatPunct("->")) {
+      if (Cur().kind != Tok::kIdent) {
+        return Err("expected a member name after '.'");
+      }
+      expr.member.push_back(Cur().text);
+      Advance();
+      expr.member_span = SpanFrom(expr.member_span);
+    }
+    if (IsKeyword("contains")) {
+      expr.op = "contains";
+      Advance();
+    } else if (Cur().kind == Tok::kPunct &&
+               (Cur().text == "==" || Cur().text == "!=" || Cur().text == "<" ||
+                Cur().text == "<=" || Cur().text == ">" || Cur().text == ">=" ||
+                Cur().text == "=")) {
+      expr.op = Cur().text == "=" ? "==" : Cur().text;
+      Advance();
+    } else {
+      return Err("expected a comparison operator");
+    }
+    // Value.
+    expr.val_span = Cur().span();
+    if (Cur().kind == Tok::kInt) {
+      expr.val_kind = CondExpr::ValKind::kInt;
+      expr.int_val = Cur().ival;
+      Advance();
+    } else if (Cur().kind == Tok::kString) {
+      expr.val_kind = CondExpr::ValKind::kString;
+      expr.str_val = Cur().text;
+      Advance();
+    } else if (IsKeyword("NULL")) {
+      expr.val_kind = CondExpr::ValKind::kNull;
+      Advance();
+    } else if (IsKeyword("true") || IsKeyword("false")) {
+      expr.val_kind = CondExpr::ValKind::kBool;
+      expr.int_val = IsKeyword("true") ? 1 : 0;
+      Advance();
+    } else if (Cur().kind == Tok::kIdent) {
+      expr.val_kind = CondExpr::ValKind::kIdent;  // enumerator, resolved at exec
+      expr.str_val = Cur().text;
+      Advance();
+    } else {
+      return Err("expected a comparison value");
+    }
+    std::vector<std::vector<CondExpr>> out;
+    out.push_back({std::move(expr)});
+    return out;
+  }
+
+  std::vector<Token> toks_;
+  size_t idx_ = 0;
+};
+
+}  // namespace
+
+vl::StatusOr<std::vector<Statement>> ParseViewQlProgram(std::string_view source) {
+  VL_ASSIGN_OR_RETURN(std::vector<Token> toks, LexViewQl(source));
+  return Parser(std::move(toks)).Run();
+}
+
+}  // namespace viewql

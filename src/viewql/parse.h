@@ -1,0 +1,101 @@
+// ViewQL lexer, AST, and parser (paper §2.3's SQL-like refinement language),
+// split out of the query engine so the static analyzer (vlint) can inspect
+// programs without executing them. Every AST node carries a vl::Span.
+
+#ifndef SRC_VIEWQL_PARSE_H_
+#define SRC_VIEWQL_PARSE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/diag.h"
+#include "src/support/status.h"
+
+namespace viewql {
+
+enum class Tok { kEnd, kIdent, kInt, kString, kPunct };
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  int64_t ival = 0;
+  // Start position of the token (1-based line/col) and its byte extent;
+  // strings include the quotes.
+  int line = 1;
+  int col = 1;
+  size_t offset = 0;
+  size_t length = 0;
+
+  vl::Span span() const { return vl::Span{line, col, offset, length}; }
+};
+
+// `//` and `--` comments run to end of line.
+vl::StatusOr<std::vector<Token>> LexViewQl(std::string_view source);
+
+struct CondExpr {  // member op value
+  std::vector<std::string> member;  // path; may be the alias alone
+  std::string op;
+  enum class ValKind { kInt, kString, kNull, kBool, kIdent } val_kind = ValKind::kInt;
+  int64_t int_val = 0;
+  std::string str_val;
+  vl::Span member_span;  // the full dotted member path
+  vl::Span val_span;     // the comparison value
+};
+
+struct Condition {  // OR of ANDs of (possibly grouped) conditions
+  // Disjunctive normal form: clauses[i] is a conjunction.
+  std::vector<std::vector<CondExpr>> clauses;
+};
+
+struct SetExpr {
+  enum class Kind { kName, kAll, kReachable, kMembers, kBinary };
+  Kind kind = Kind::kName;
+  std::string name;
+  char op = 0;  // '\\', '&', '|'
+  std::unique_ptr<SetExpr> lhs, rhs;
+  std::unique_ptr<SetExpr> arg;  // REACHABLE / MEMBERS
+  vl::Span span;                 // the head token (name, '*', or keyword)
+};
+
+struct SelectStmt {
+  std::string result_name;
+  std::string type_name;               // empty => '*'
+  std::vector<std::string> item_path;  // maple_node.slots => {"slots"}
+  std::unique_ptr<SetExpr> source;
+  std::string alias;
+  Condition where;
+  bool has_where = false;
+  vl::Span result_span;  // the bound result name
+  vl::Span type_span;    // the selected type (or '*')
+  vl::Span item_span;    // the dotted item path after the type, when present
+};
+
+struct UpdateAttr {
+  std::string name;
+  std::string value;
+  vl::Span name_span;
+  vl::Span value_span;
+};
+
+struct UpdateStmt {
+  std::unique_ptr<SetExpr> target;
+  std::vector<UpdateAttr> attrs;
+};
+
+struct Statement {
+  enum class Kind { kSelect, kUpdate };
+  Kind kind = Kind::kSelect;
+  SelectStmt select;
+  UpdateStmt update;
+};
+
+// Lex + parse; the building block behind QueryEngine::Execute, CheckViewQl,
+// and the ViewQL half of vlint.
+vl::StatusOr<std::vector<Statement>> ParseViewQlProgram(std::string_view source);
+
+}  // namespace viewql
+
+#endif  // SRC_VIEWQL_PARSE_H_

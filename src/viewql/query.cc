@@ -1,9 +1,8 @@
 #include "src/viewql/query.h"
 
-#include <cctype>
-
 #include "src/support/str.h"
 #include "src/support/trace.h"
+#include "src/viewql/parse.h"
 
 namespace viewql {
 
@@ -18,463 +17,6 @@ vl::Json ExecStats::ToJson() const {
   j["update_ns"] = vl::Json::Int(static_cast<int64_t>(update_ns));
   return j;
 }
-
-namespace {
-
-// ---------------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------------
-
-enum class Tok { kEnd, kIdent, kInt, kString, kPunct };
-
-struct Token {
-  Tok kind = Tok::kEnd;
-  std::string text;
-  int64_t ival = 0;
-  int line = 1;
-};
-
-vl::StatusOr<std::vector<Token>> Lex(std::string_view src) {
-  std::vector<Token> out;
-  size_t pos = 0;
-  int line = 1;
-  auto push = [&](Tok kind, std::string text, int64_t ival = 0) {
-    out.push_back(Token{kind, std::move(text), ival, line});
-  };
-  while (pos < src.size()) {
-    char c = src[pos];
-    if (c == '\n') {
-      ++line;
-      ++pos;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++pos;
-      continue;
-    }
-    if (c == '/' && pos + 1 < src.size() && src[pos + 1] == '/') {
-      while (pos < src.size() && src[pos] != '\n') {
-        ++pos;
-      }
-      continue;
-    }
-    if (c == '-' && pos + 1 < src.size() && src[pos + 1] == '-') {  // SQL comment
-      while (pos < src.size() && src[pos] != '\n') {
-        ++pos;
-      }
-      continue;
-    }
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      size_t start = pos;
-      while (pos < src.size() &&
-             (std::isalnum(static_cast<unsigned char>(src[pos])) || src[pos] == '_')) {
-        ++pos;
-      }
-      push(Tok::kIdent, std::string(src.substr(start, pos - start)));
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      size_t start = pos;
-      int base = 10;
-      if (c == '0' && pos + 1 < src.size() && (src[pos + 1] == 'x' || src[pos + 1] == 'X')) {
-        base = 16;
-        pos += 2;
-      }
-      int64_t value = 0;
-      while (pos < src.size()) {
-        char d = static_cast<char>(std::tolower(static_cast<unsigned char>(src[pos])));
-        int digit;
-        if (d >= '0' && d <= '9') {
-          digit = d - '0';
-        } else if (base == 16 && d >= 'a' && d <= 'f') {
-          digit = d - 'a' + 10;
-        } else {
-          break;
-        }
-        value = value * base + digit;
-        ++pos;
-      }
-      push(Tok::kInt, std::string(src.substr(start, pos - start)), value);
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      char quote = c;
-      ++pos;
-      size_t start = pos;
-      while (pos < src.size() && src[pos] != quote) {
-        ++pos;
-      }
-      if (pos >= src.size()) {
-        return vl::ParseError(vl::StrFormat("unterminated string on line %d", line));
-      }
-      push(Tok::kString, std::string(src.substr(start, pos - start)));
-      ++pos;
-      continue;
-    }
-    // Angle-bracket placeholders like <fetched_node_address> are template
-    // holes; reject with a clear message.
-    for (std::string_view two : {"==", "!=", "<=", ">=", "->"}) {
-      if (src.substr(pos, 2) == two) {
-        push(Tok::kPunct, std::string(two));
-        pos += 2;
-        goto next;
-      }
-    }
-    {
-      static const std::string_view kOne = "=<>*\\&|(),:.";
-      if (kOne.find(c) == std::string_view::npos) {
-        return vl::ParseError(vl::StrFormat("unexpected character '%c' on line %d", c, line));
-      }
-      push(Tok::kPunct, std::string(1, c));
-      ++pos;
-    }
-  next:;
-  }
-  push(Tok::kEnd, "");
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// AST
-// ---------------------------------------------------------------------------
-
-struct CondExpr {  // member op value
-  std::vector<std::string> member;  // path; may be the alias alone
-  std::string op;
-  enum class ValKind { kInt, kString, kNull, kBool, kIdent } val_kind = ValKind::kInt;
-  int64_t int_val = 0;
-  std::string str_val;
-};
-
-struct Condition {  // OR of ANDs of (possibly grouped) conditions
-  // Disjunctive normal form: clauses[i] is a conjunction.
-  std::vector<std::vector<CondExpr>> clauses;
-};
-
-struct SetExpr {
-  enum class Kind { kName, kAll, kReachable, kMembers, kBinary };
-  Kind kind = Kind::kName;
-  std::string name;
-  char op = 0;  // '\\', '&', '|'
-  std::unique_ptr<SetExpr> lhs, rhs;
-  std::unique_ptr<SetExpr> arg;  // REACHABLE / MEMBERS
-};
-
-struct SelectStmt {
-  std::string result_name;
-  std::string type_name;                 // empty => '*'
-  std::vector<std::string> item_path;    // maple_node.slots => {"slots"}
-  std::unique_ptr<SetExpr> source;
-  std::string alias;
-  Condition where;
-  bool has_where = false;
-};
-
-struct UpdateStmt {
-  std::unique_ptr<SetExpr> target;
-  std::vector<std::pair<std::string, std::string>> attrs;
-};
-
-struct Statement {
-  enum class Kind { kSelect, kUpdate };
-  Kind kind;
-  SelectStmt select;
-  UpdateStmt update;
-};
-
-// ---------------------------------------------------------------------------
-// Parser
-// ---------------------------------------------------------------------------
-
-class Parser {
- public:
-  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
-
-  vl::StatusOr<std::vector<Statement>> Run() {
-    std::vector<Statement> out;
-    while (!AtEnd()) {
-      if (IsKeyword("UPDATE")) {
-        Statement stmt;
-        stmt.kind = Statement::Kind::kUpdate;
-        VL_RETURN_IF_ERROR(ParseUpdate(&stmt.update));
-        out.push_back(std::move(stmt));
-      } else if (Cur().kind == Tok::kIdent && Peek(1).kind == Tok::kPunct &&
-                 Peek(1).text == "=") {
-        Statement stmt;
-        stmt.kind = Statement::Kind::kSelect;
-        stmt.select.result_name = Cur().text;
-        Advance();
-        Advance();  // '='
-        VL_RETURN_IF_ERROR(ParseSelect(&stmt.select));
-        out.push_back(std::move(stmt));
-      } else {
-        return Err("expected 'name = SELECT ...' or 'UPDATE ...'");
-      }
-    }
-    return out;
-  }
-
- private:
-  const Token& Cur() const { return toks_[idx_]; }
-  const Token& Peek(size_t n) const {
-    size_t i = idx_ + n;
-    return i < toks_.size() ? toks_[i] : toks_.back();
-  }
-  bool AtEnd() const { return Cur().kind == Tok::kEnd; }
-  void Advance() {
-    if (!AtEnd()) {
-      ++idx_;
-    }
-  }
-  bool IsKeyword(std::string_view kw) const {
-    return Cur().kind == Tok::kIdent && vl::StrLower(Cur().text) == vl::StrLower(kw);
-  }
-  bool EatKeyword(std::string_view kw) {
-    if (IsKeyword(kw)) {
-      Advance();
-      return true;
-    }
-    return false;
-  }
-  bool IsPunct(std::string_view text) const {
-    return Cur().kind == Tok::kPunct && Cur().text == text;
-  }
-  bool EatPunct(std::string_view text) {
-    if (IsPunct(text)) {
-      Advance();
-      return true;
-    }
-    return false;
-  }
-  vl::Status Err(std::string_view message) const {
-    return vl::ParseError(vl::StrFormat("%.*s on line %d (near '%s')",
-                                        static_cast<int>(message.size()), message.data(),
-                                        Cur().line, Cur().text.c_str()));
-  }
-
-  vl::Status ParseSelect(SelectStmt* stmt) {
-    if (!EatKeyword("SELECT")) {
-      return Err("expected SELECT");
-    }
-    if (EatPunct("*")) {
-      // select everything from the source
-    } else {
-      if (Cur().kind != Tok::kIdent) {
-        return Err("expected a type name");
-      }
-      stmt->type_name = Cur().text;
-      Advance();
-      while (EatPunct(".") || EatPunct("->")) {
-        if (Cur().kind != Tok::kIdent) {
-          return Err("expected an item name");
-        }
-        stmt->item_path.push_back(Cur().text);
-        Advance();
-      }
-    }
-    if (!EatKeyword("FROM")) {
-      return Err("expected FROM");
-    }
-    VL_ASSIGN_OR_RETURN(stmt->source, ParseSetExpr());
-    if (EatKeyword("AS")) {
-      if (Cur().kind != Tok::kIdent) {
-        return Err("expected an alias name");
-      }
-      stmt->alias = Cur().text;
-      Advance();
-    }
-    if (EatKeyword("WHERE")) {
-      stmt->has_where = true;
-      VL_RETURN_IF_ERROR(ParseCondition(&stmt->where));
-    }
-    return vl::Status::Ok();
-  }
-
-  vl::Status ParseUpdate(UpdateStmt* stmt) {
-    Advance();  // UPDATE
-    VL_ASSIGN_OR_RETURN(stmt->target, ParseSetExpr());
-    if (!EatKeyword("WITH")) {
-      return Err("expected WITH");
-    }
-    while (true) {
-      if (Cur().kind != Tok::kIdent) {
-        return Err("expected an attribute name");
-      }
-      std::string attr = Cur().text;
-      Advance();
-      if (!EatPunct(":")) {
-        return Err("expected ':' after attribute name");
-      }
-      std::string value;
-      if (Cur().kind == Tok::kIdent || Cur().kind == Tok::kString) {
-        value = Cur().text;
-        Advance();
-      } else if (Cur().kind == Tok::kInt) {
-        value = Cur().text;
-        Advance();
-      } else {
-        return Err("expected an attribute value");
-      }
-      stmt->attrs.emplace_back(std::move(attr), std::move(value));
-      if (!EatPunct(",")) {
-        break;
-      }
-    }
-    return vl::Status::Ok();
-  }
-
-  vl::StatusOr<std::unique_ptr<SetExpr>> ParseSetExpr() {
-    VL_ASSIGN_OR_RETURN(std::unique_ptr<SetExpr> lhs, ParseSetTerm());
-    while (IsPunct("\\") || IsPunct("&") || IsPunct("|")) {
-      char op = Cur().text[0];
-      Advance();
-      VL_ASSIGN_OR_RETURN(std::unique_ptr<SetExpr> rhs, ParseSetTerm());
-      auto node = std::make_unique<SetExpr>();
-      node->kind = SetExpr::Kind::kBinary;
-      node->op = op;
-      node->lhs = std::move(lhs);
-      node->rhs = std::move(rhs);
-      lhs = std::move(node);
-    }
-    return lhs;
-  }
-
-  vl::StatusOr<std::unique_ptr<SetExpr>> ParseSetTerm() {
-    auto node = std::make_unique<SetExpr>();
-    if (EatPunct("*")) {
-      node->kind = SetExpr::Kind::kAll;
-      return node;
-    }
-    if (IsKeyword("REACHABLE") || IsKeyword("MEMBERS")) {
-      bool reachable = IsKeyword("REACHABLE");
-      Advance();
-      if (!EatPunct("(")) {
-        return Err("expected '(' after REACHABLE/MEMBERS");
-      }
-      node->kind = reachable ? SetExpr::Kind::kReachable : SetExpr::Kind::kMembers;
-      VL_ASSIGN_OR_RETURN(node->arg, ParseSetExpr());
-      if (!EatPunct(")")) {
-        return Err("expected ')'");
-      }
-      return node;
-    }
-    if (EatPunct("(")) {
-      VL_ASSIGN_OR_RETURN(std::unique_ptr<SetExpr> inner, ParseSetExpr());
-      if (!EatPunct(")")) {
-        return Err("expected ')'");
-      }
-      return inner;
-    }
-    if (Cur().kind != Tok::kIdent) {
-      return Err("expected a set name");
-    }
-    node->kind = SetExpr::Kind::kName;
-    node->name = Cur().text;
-    Advance();
-    return node;
-  }
-
-  vl::Status ParseCondition(Condition* cond) {
-    // OR-of-ANDs; parentheses group sub-conditions which are inlined into DNF.
-    VL_ASSIGN_OR_RETURN(std::vector<std::vector<CondExpr>> lhs, ParseAnd());
-    cond->clauses = std::move(lhs);
-    while (IsKeyword("OR")) {
-      Advance();
-      VL_ASSIGN_OR_RETURN(std::vector<std::vector<CondExpr>> rhs, ParseAnd());
-      for (auto& clause : rhs) {
-        cond->clauses.push_back(std::move(clause));
-      }
-    }
-    return vl::Status::Ok();
-  }
-
-  // Returns a DNF fragment (list of conjunctions).
-  vl::StatusOr<std::vector<std::vector<CondExpr>>> ParseAnd() {
-    VL_ASSIGN_OR_RETURN(std::vector<std::vector<CondExpr>> acc, ParsePrimaryCond());
-    while (IsKeyword("AND")) {
-      Advance();
-      VL_ASSIGN_OR_RETURN(std::vector<std::vector<CondExpr>> rhs, ParsePrimaryCond());
-      // (A1|A2) AND (B1|B2) => distribute.
-      std::vector<std::vector<CondExpr>> merged;
-      for (const auto& a : acc) {
-        for (const auto& b : rhs) {
-          std::vector<CondExpr> clause = a;
-          clause.insert(clause.end(), b.begin(), b.end());
-          merged.push_back(std::move(clause));
-        }
-      }
-      acc = std::move(merged);
-    }
-    return acc;
-  }
-
-  vl::StatusOr<std::vector<std::vector<CondExpr>>> ParsePrimaryCond() {
-    if (EatPunct("(")) {
-      Condition inner;
-      VL_RETURN_IF_ERROR(ParseCondition(&inner));
-      if (!EatPunct(")")) {
-        return Err("expected ')'");
-      }
-      return inner.clauses;
-    }
-    CondExpr expr;
-    if (Cur().kind != Tok::kIdent) {
-      return Err("expected a member name");
-    }
-    expr.member.push_back(Cur().text);
-    Advance();
-    while (EatPunct(".") || EatPunct("->")) {
-      if (Cur().kind != Tok::kIdent) {
-        return Err("expected a member name after '.'");
-      }
-      expr.member.push_back(Cur().text);
-      Advance();
-    }
-    if (IsKeyword("contains")) {
-      expr.op = "contains";
-      Advance();
-    } else if (Cur().kind == Tok::kPunct &&
-               (Cur().text == "==" || Cur().text == "!=" || Cur().text == "<" ||
-                Cur().text == "<=" || Cur().text == ">" || Cur().text == ">=" ||
-                Cur().text == "=")) {
-      expr.op = Cur().text == "=" ? "==" : Cur().text;
-      Advance();
-    } else {
-      return Err("expected a comparison operator");
-    }
-    // Value.
-    if (Cur().kind == Tok::kInt) {
-      expr.val_kind = CondExpr::ValKind::kInt;
-      expr.int_val = Cur().ival;
-      Advance();
-    } else if (Cur().kind == Tok::kString) {
-      expr.val_kind = CondExpr::ValKind::kString;
-      expr.str_val = Cur().text;
-      Advance();
-    } else if (IsKeyword("NULL")) {
-      expr.val_kind = CondExpr::ValKind::kNull;
-      Advance();
-    } else if (IsKeyword("true") || IsKeyword("false")) {
-      expr.val_kind = CondExpr::ValKind::kBool;
-      expr.int_val = IsKeyword("true") ? 1 : 0;
-      Advance();
-    } else if (Cur().kind == Tok::kIdent) {
-      expr.val_kind = CondExpr::ValKind::kIdent;  // enumerator, resolved at exec
-      expr.str_val = Cur().text;
-      Advance();
-    } else {
-      return Err("expected a comparison value");
-    }
-    std::vector<std::vector<CondExpr>> out;
-    out.push_back({std::move(expr)});
-    return out;
-  }
-
-  std::vector<Token> toks_;
-  size_t idx_ = 0;
-};
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Execution
@@ -760,8 +302,8 @@ class ExecState {
       if (box == nullptr) {
         continue;
       }
-      for (const auto& [attr, value] : stmt.attrs) {
-        box->attrs()[attr] = value;
+      for (const UpdateAttr& attr : stmt.attrs) {
+        box->attrs()[attr.name] = attr.value;
       }
       engine_->stats_.boxes_updated++;
     }
@@ -776,18 +318,14 @@ vl::Status QueryEngine::Execute(std::string_view program) {
   std::vector<Statement> stmts;
   {
     vl::ScopedSpan span("viewql.parse");
-    VL_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(program));
-    Parser parser(std::move(toks));
-    VL_ASSIGN_OR_RETURN(stmts, parser.Run());
+    VL_ASSIGN_OR_RETURN(stmts, ParseViewQlProgram(program));
   }
   ExecState state(this);
   return state.Execute(stmts);
 }
 
 vl::Status CheckViewQl(std::string_view program) {
-  VL_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(program));
-  Parser parser(std::move(toks));
-  auto stmts = parser.Run();
+  auto stmts = ParseViewQlProgram(program);
   return stmts.ok() ? vl::Status::Ok() : stmts.status();
 }
 

@@ -164,6 +164,16 @@ const viewql::ExecStats* PaneManager::exec_stats(int pane_id) const {
   return pane != nullptr ? &pane->viewql_stats : nullptr;
 }
 
+std::string PaneManager::program_text(int pane_id) const {
+  const Pane* pane = FindPane(pane_id);
+  return pane != nullptr ? pane->program_text : std::string();
+}
+
+const std::vector<std::string>* PaneManager::viewql_history(int pane_id) const {
+  const Pane* pane = FindPane(pane_id);
+  return pane != nullptr ? &pane->viewql_history : nullptr;
+}
+
 void PaneManager::AttachObservers(vl::TimeSeriesRecorder* recorder,
                                   vl::BudgetRegistry* budgets) {
   recorder_ = recorder;

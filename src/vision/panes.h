@@ -98,6 +98,10 @@ class PaneManager {
   std::string pane_title(int pane_id) const;
   // Accumulated ViewQL execution stats for a pane (null if no such pane).
   const viewql::ExecStats* exec_stats(int pane_id) const;
+  // The pane's ViewCL source (empty for secondary panes / unknown ids) and
+  // the ViewQL programs applied to it, in order — the lint gate's inputs.
+  std::string program_text(int pane_id) const;
+  const std::vector<std::string>* viewql_history(int pane_id) const;
 
   // Renders one pane (secondary panes render their subset only) with the
   // named back-end ("ascii", "dot", "json" — see MakeRenderer).

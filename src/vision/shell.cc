@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "src/analysis/lint.h"
 #include "src/support/metrics.h"
 #include "src/support/str.h"
 #include "src/support/trace.h"
@@ -49,7 +50,7 @@ std::string DebuggerShell::Execute(const std::string& line) {
   }
   if (command == "help" || command.empty()) {
     return "commands: vplot <pane> [--auto <type> <expr>] <viewcl> | "
-           "vctrl split|apply|focus|view|dot|json|layout|save|stats|trace|"
+           "vctrl split|apply|lint|focus|view|dot|json|layout|save|stats|trace|"
            "explain|refresh|watch|budget|export | "
            "vprof <pane> <viewcl> | "
            "vchat <pane> <request>\n";
@@ -124,6 +125,9 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
       return "error: " + status.ToString() + "\n";
     }
     return "applied\n";
+  }
+  if (sub == "lint") {
+    return CmdLint(rest);
   }
   if (sub == "focus") {
     auto [what, value_text] = SplitFirst(rest);
@@ -565,6 +569,72 @@ std::string DebuggerShell::CmdVprof(const std::string& args) {
   return out;
 }
 
+// vctrl lint <file|pane> [json] — static-check a ViewCL file (.vql = ViewQL)
+// or a pane's accumulated programs without touching target memory.
+std::string DebuggerShell::CmdLint(const std::string& args) {
+  auto [target, mode] = SplitFirst(args);
+  if (target.empty() || (!mode.empty() && mode != "json")) {
+    return "usage: vctrl lint <file|pane> [json]\n";
+  }
+  bool json = mode == "json";
+  analysis::Linter linter(&debugger_->types(), &debugger_->symbols(), &debugger_->helpers(),
+                          &interp_.emoji());
+
+  struct LintJob {
+    std::string name;
+    std::string source;
+    bool is_viewql = false;
+  };
+  std::vector<LintJob> jobs;
+  analysis::ProgramSummary summary;
+
+  int64_t pane_id = 0;
+  if (vl::ParseInt64(target, &pane_id)) {
+    std::string program = panes_.program_text(static_cast<int>(pane_id));
+    if (program.empty()) {
+      return vl::StrFormat("error: pane %d has no ViewCL program to lint\n",
+                           static_cast<int>(pane_id));
+    }
+    jobs.push_back({vl::StrFormat("pane %d", static_cast<int>(pane_id)), program, false});
+    summary = linter.SummarizeViewCl(program);
+    const std::vector<std::string>* history =
+        panes_.viewql_history(static_cast<int>(pane_id));
+    if (history != nullptr) {
+      for (size_t i = 0; i < history->size(); ++i) {
+        jobs.push_back({vl::StrFormat("pane %d viewql[%zu]", static_cast<int>(pane_id), i),
+                        (*history)[i], true});
+      }
+    }
+  } else {
+    std::ifstream in(target, std::ios::binary);
+    if (!in) {
+      return "error: cannot read '" + target + "'\n";
+    }
+    std::string source{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+    bool is_viewql = target.size() > 4 && target.compare(target.size() - 4, 4, ".vql") == 0;
+    jobs.push_back({target, std::move(source), is_viewql});
+  }
+
+  std::string out;
+  vl::Json report = vl::Json::Array();
+  size_t errors = 0;
+  for (const LintJob& job : jobs) {
+    analysis::LintResult result =
+        job.is_viewql ? linter.LintViewQl(job.source, summary.valid ? &summary : nullptr)
+                      : linter.LintViewCl(job.source);
+    errors += result.diagnostics.errors();
+    if (json) {
+      report.Append(result.diagnostics.ToJson(job.name));
+    } else {
+      out += result.diagnostics.RenderText(job.source, job.name);
+    }
+  }
+  if (json) {
+    return report.Dump(2) + "\n";
+  }
+  return out;
+}
+
 std::string DebuggerShell::CmdVchat(const std::string& args) {
   auto [pane_text, request] = SplitFirst(args);
   int64_t pane_id = 0;
@@ -575,8 +645,38 @@ std::string DebuggerShell::CmdVchat(const std::string& args) {
   if (!program.ok()) {
     return "error: " + program.status().ToString() + "\n";
   }
-  std::string out = "synthesized ViewQL:\n" + *program;
-  vl::Status status = panes_.ApplyViewQl(static_cast<int>(pane_id), *program);
+  std::string viewql = *program;
+  std::string out = "synthesized ViewQL:\n" + viewql;
+
+  // Gate the synthesized program through the linter before touching the
+  // pane: a clean program applies as before; fixable mistakes are patched
+  // via fix-its and re-checked once; anything still broken is refused with
+  // the diagnostics as the retry hint.
+  analysis::Linter linter(&debugger_->types(), &debugger_->symbols(), &debugger_->helpers(),
+                          &interp_.emoji());
+  analysis::ProgramSummary summary =
+      linter.SummarizeViewCl(panes_.program_text(static_cast<int>(pane_id)));
+  analysis::LintResult lint =
+      linter.LintViewQl(viewql, summary.valid ? &summary : nullptr);
+  if (lint.diagnostics.errors() > 0) {
+    std::string patched = vl::ApplyFixIts(viewql, lint.diagnostics.diags());
+    if (patched != viewql) {
+      analysis::LintResult relint =
+          linter.LintViewQl(patched, summary.valid ? &summary : nullptr);
+      if (relint.diagnostics.errors() == 0) {
+        out += "lint: applied fix-its:\n" + patched;
+        viewql = std::move(patched);
+        lint = std::move(relint);
+      }
+    }
+  }
+  if (lint.diagnostics.errors() > 0) {
+    return out + "lint rejected the synthesized ViewQL:\n" +
+           lint.diagnostics.RenderText(viewql, "vchat") +
+           "hint: rephrase the request or apply a corrected program with vctrl apply\n";
+  }
+
+  vl::Status status = panes_.ApplyViewQl(static_cast<int>(pane_id), viewql);
   if (!status.ok()) {
     return out + "error applying: " + status.ToString() + "\n";
   }

@@ -25,6 +25,7 @@ class DebuggerShell {
   //   vplot <pane> <viewcl program...>      extract a graph into a pane
   //   vctrl split <pane> h|v                split a pane
   //   vctrl apply <pane> <viewql...>        refine a pane with ViewQL
+  //   vctrl lint <file|pane> [json]         static-check ViewCL/ViewQL (vlint)
   //   vctrl focus addr <hex>                search all panes for an object
   //   vctrl focus <member> <value>          search by member value (e.g. pid 2)
   //   vctrl view <pane> [ascii|dot|json]    render a pane with a back-end
@@ -51,6 +52,7 @@ class DebuggerShell {
  private:
   std::string CmdVplot(const std::string& args);
   std::string CmdVctrl(const std::string& args);
+  std::string CmdLint(const std::string& args);
   std::string CmdVchat(const std::string& args);
   std::string CmdVprof(const std::string& args);
   std::string CmdStats(const std::string& args);

@@ -1,0 +1,149 @@
+// vlint: command-line front-end for the static analyzer.
+//
+//   vlint [--json] [--figures] [file...]
+//
+// Files ending in .vql are checked as ViewQL (each against a summary built
+// from a same-named .vcl sibling when one exists); everything else is ViewCL.
+// --figures lints the paper's entire figure + objective corpus. The exit code
+// is the number of programs with errors (capped at 125 so it stays a valid
+// exit status). After linting, the tool asserts the zero-read guarantee: the
+// Target transport must have charged exactly 0 ns and 0 bytes.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/dbg/kernel_introspect.h"
+#include "src/viewcl/decorate.h"
+#include "src/vision/figures.h"
+#include "src/vkern/kernel.h"
+#include "src/vkern/workload.h"
+
+namespace {
+
+struct NamedProgram {
+  std::string name;
+  std::string source;
+  bool is_viewql = false;
+  std::string viewcl_context;  // summary source for ViewQL programs
+};
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool figures = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--figures") == 0) {
+      figures = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: vlint [--json] [--figures] [file...]\n");
+      return 0;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (!figures && files.empty()) {
+    std::fprintf(stderr, "vlint: nothing to lint (try --figures or a file)\n");
+    return 2;
+  }
+
+  // Boot the kernel so the registries match what a debugging session sees.
+  // Linting itself never reads target memory — asserted below.
+  vkern::Kernel kernel;
+  vkern::Workload workload(&kernel);
+  workload.Run();
+  dbg::KernelDebugger debugger(&kernel);
+  vision::RegisterFigureSymbols(&debugger, &workload);
+  viewcl::EmojiRegistry emoji;
+
+  analysis::Linter linter(&debugger.types(), &debugger.symbols(), &debugger.helpers(), &emoji);
+
+  std::vector<NamedProgram> programs;
+  if (figures) {
+    for (const vision::FigureDef& fig : vision::AllFigures()) {
+      programs.push_back({fig.id, fig.viewcl, false, ""});
+    }
+    for (const vision::ObjectiveDef& obj : vision::AllObjectives()) {
+      const vision::FigureDef* fig = vision::FindFigure(obj.figure_id);
+      programs.push_back({std::string("objective:") + obj.figure_id, obj.viewql, true,
+                          fig != nullptr ? fig->viewcl : ""});
+    }
+  }
+  for (const std::string& path : files) {
+    NamedProgram p;
+    p.name = path;
+    if (!ReadFile(path, &p.source)) {
+      std::fprintf(stderr, "vlint: cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    if (path.size() > 4 && path.compare(path.size() - 4, 4, ".vql") == 0) {
+      p.is_viewql = true;
+      std::string sibling = path.substr(0, path.size() - 4) + ".vcl";
+      ReadFile(sibling, &p.viewcl_context);  // optional
+    }
+    programs.push_back(std::move(p));
+  }
+
+  uint64_t ns_before = debugger.target().clock().nanos();
+  uint64_t bytes_before = debugger.target().bytes_read();
+
+  int failed = 0;
+  size_t total_diags = 0;
+  for (const NamedProgram& p : programs) {
+    analysis::LintResult result;
+    if (p.is_viewql) {
+      analysis::ProgramSummary summary;
+      if (!p.viewcl_context.empty()) {
+        summary = linter.SummarizeViewCl(p.viewcl_context);
+      }
+      result = linter.LintViewQl(p.source, p.viewcl_context.empty() ? nullptr : &summary);
+    } else {
+      result = linter.LintViewCl(p.source);
+    }
+    total_diags += result.diagnostics.size();
+    if (json) {
+      std::printf("%s\n", result.diagnostics.ToJson(p.name).Dump(2).c_str());
+    } else if (!result.diagnostics.empty()) {
+      std::printf("%s", result.diagnostics.RenderText(p.source, p.name).c_str());
+    } else {
+      std::printf("%s: clean\n", p.name.c_str());
+    }
+    if (result.diagnostics.errors() > 0) {
+      ++failed;
+    }
+  }
+
+  uint64_t ns_charged = debugger.target().clock().nanos() - ns_before;
+  uint64_t bytes_read = debugger.target().bytes_read() - bytes_before;
+  if (!json) {
+    std::printf("vlint: %zu program(s), %zu diagnostic(s), %d with errors\n", programs.size(),
+                total_diags, failed);
+    std::printf("vlint: transport charged %llu ns, read %llu bytes (zero-read guarantee)\n",
+                static_cast<unsigned long long>(ns_charged),
+                static_cast<unsigned long long>(bytes_read));
+  }
+  if (ns_charged != 0 || bytes_read != 0) {
+    std::fprintf(stderr, "vlint: FATAL: zero-read guarantee violated\n");
+    return 120;
+  }
+  return failed > 125 ? 125 : failed;
+}
