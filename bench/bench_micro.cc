@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -303,6 +304,79 @@ int CheckCacheSpeedup() {
   return 0;
 }
 
+// --- incremental-refresh guard ----------------------------------------------
+
+// Asserts the incremental path (dirty-log delta invalidation + memoized
+// re-extraction) beats full re-extraction by at least 3x in charged
+// transport ns on a steady-state loop: one small mutation batch (a single
+// CPU tick — the breakpoint-stepping scenario) between refreshes of fig7_1
+// over the default workload's kernel, on the GDB/QEMU transport.
+int CheckIncrementalSpeedup() {
+  constexpr int kRefreshes = 3;
+  // Same dashboard shape as bench_report: scheduler panes a tick dirties
+  // plus mm/VFS panes whose pages stay clean between refreshes.
+  const char* kFigures[] = {"fig3_4", "fig7_1", "fig8_2",
+                            "fig12_3", "fig14_3", "fig15_1"};
+  vlbench::BenchEnv* env = Env();
+
+  dbg::KernelDebugger full(env->kernel.get(), dbg::LatencyModel::GdbQemu());
+  dbg::KernelDebugger delta(env->kernel.get(), dbg::LatencyModel::GdbQemu(),
+                            dbg::CacheConfig::Incremental());
+  vision::RegisterFigureSymbols(&full, env->workload.get());
+  vision::RegisterFigureSymbols(&delta, env->workload.get());
+  std::vector<std::unique_ptr<viewcl::Interpreter>> delta_interps;
+  for (const char* id : kFigures) {
+    const vision::FigureDef* figure = vision::FindFigure(id);
+    auto interp = std::make_unique<viewcl::Interpreter>(&delta);
+    if (!interp->Load(figure->viewcl).ok()) {
+      std::printf("FAIL: incremental guard load errored (%s)\n", id);
+      return 1;
+    }
+    delta_interps.push_back(std::move(interp));
+  }
+
+  // Warm both: the steady state under test starts after one full extraction.
+  for (size_t f = 0; f < delta_interps.size(); ++f) {
+    viewcl::Interpreter warm(&full);
+    if (!warm.RunProgram(vision::FindFigure(kFigures[f])->viewcl).ok() ||
+        !delta_interps[f]->Run().ok()) {
+      std::printf("FAIL: incremental guard warmup errored\n");
+      return 1;
+    }
+  }
+
+  uint64_t full_before = full.target().clock().nanos();
+  uint64_t delta_before = delta.target().clock().nanos();
+  for (int i = 0; i < kRefreshes; ++i) {
+    env->kernel->TickCpu(i % vkern::kNrCpus);
+    for (size_t f = 0; f < delta_interps.size(); ++f) {
+      viewcl::Interpreter interp_full(&full);
+      if (!interp_full.RunProgram(vision::FindFigure(kFigures[f])->viewcl).ok() ||
+          !delta_interps[f]->Run().ok()) {
+        std::printf("FAIL: incremental guard refresh errored\n");
+        return 1;
+      }
+    }
+  }
+  uint64_t full_ns = full.target().clock().nanos() - full_before;
+  uint64_t delta_ns = delta.target().clock().nanos() - delta_before;
+  double speedup = delta_ns > 0
+                       ? static_cast<double>(full_ns) / static_cast<double>(delta_ns)
+                       : 1e100;
+  uint64_t replays = 0;
+  for (const auto& interp : delta_interps) replays += interp->memo_replays();
+  std::printf("incremental guard: GDB/QEMU %dx 6-pane steady-state refresh, "
+              "full %.2f ms, delta %.2f ms, speedup %.1fx (floor 3x), "
+              "%llu memo replays\n",
+              kRefreshes, full_ns / 1e6, delta_ns / 1e6, speedup,
+              static_cast<unsigned long long>(replays));
+  if (speedup < 3.0) {
+    std::printf("FAIL: incremental refresh is less than 3x cheaper than full\n");
+    return 1;
+  }
+  return 0;
+}
+
 // --- disabled-observability guard -------------------------------------------
 
 // Asserts that attaching the vexplain side-cars (time-series recorder +
@@ -402,6 +476,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return CheckTracingOverhead() + CheckCacheSpeedup() +
+  return CheckTracingOverhead() + CheckCacheSpeedup() + CheckIncrementalSpeedup() +
          CheckDisabledObservabilityOverhead();
 }

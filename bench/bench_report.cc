@@ -10,6 +10,8 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -224,6 +226,106 @@ vl::Json MeasureCacheWorkflow(vlbench::BenchEnv& env, const dbg::LatencyModel& m
   return j;
 }
 
+// Steady-state incremental refresh: one small mutation batch (a single CPU
+// tick — the breakpoint-stepping scenario) between pane refreshes. The
+// "full" path is the classic cache (whole-cache
+// flush per epoch, fresh re-extraction each refresh); the "delta" path
+// layers dirty-log delta invalidation and memoized re-extraction on top
+// (CacheConfig::Incremental + a persistent interpreter per figure). Both
+// render after every refresh and must stay byte-identical.
+vl::Json MeasureIncremental(vlbench::BenchEnv& env, const dbg::LatencyModel& model) {
+  constexpr int kRefreshes = 4;
+  // A multi-pane dashboard mixing the scheduler figures (whose pages a CPU
+  // tick dirties) with mm/VFS figures (whose pages stay clean): the full
+  // path refetches every pane, the delta path only the scheduler's pages.
+  const char* kFigures[] = {"fig3_4", "fig7_1", "fig8_2",
+                            "fig12_3", "fig14_3", "fig15_1"};
+
+  dbg::KernelDebugger full(env.kernel.get(), model);
+  dbg::KernelDebugger delta(env.kernel.get(), model, dbg::CacheConfig::Incremental());
+  vision::RegisterFigureSymbols(&full, env.workload.get());
+  vision::RegisterFigureSymbols(&delta, env.workload.get());
+
+  vl::Json j = vl::Json::Object();
+  j["model"] = vl::Json::Str(model.name);
+  j["refreshes"] = vl::Json::Int(kRefreshes);
+  bool ok = true;
+  bool identical = true;
+  vision::AsciiRenderer renderer;
+
+  std::map<std::string, std::unique_ptr<viewcl::Interpreter>> delta_interps;
+  for (const char* id : kFigures) {
+    const vision::FigureDef* figure = vision::FindFigure(id);
+    auto interp = std::make_unique<viewcl::Interpreter>(&delta);
+    ok = ok && interp->Load(figure->viewcl).ok();
+    delta_interps[id] = std::move(interp);
+  }
+
+  // Warm both paths: steady state starts after the first full extraction.
+  for (const char* id : kFigures) {
+    const vision::FigureDef* figure = vision::FindFigure(id);
+    viewcl::Interpreter warm_full(&full);
+    ok = ok && warm_full.RunProgram(figure->viewcl).ok();
+    ok = ok && delta_interps[id]->Run().ok();
+  }
+
+  vl::Json per_refresh = vl::Json::Array();
+  uint64_t full_total = 0;
+  uint64_t delta_total = 0;
+  for (int i = 0; i < kRefreshes && ok; ++i) {
+    env.kernel->TickCpu(i % vkern::kNrCpus);
+    uint64_t full_before = full.target().clock().nanos();
+    uint64_t delta_before = delta.target().clock().nanos();
+    uint64_t full_reads_before = full.target().reads();
+    uint64_t delta_reads_before = delta.target().reads();
+    for (const char* id : kFigures) {
+      const vision::FigureDef* figure = vision::FindFigure(id);
+      viewcl::Interpreter interp_full(&full);
+      auto graph_full = interp_full.RunProgram(figure->viewcl);
+      auto graph_delta = delta_interps[id]->Run();
+      if (!graph_full.ok() || !graph_delta.ok()) {
+        ok = false;
+        continue;
+      }
+      if (renderer.Render(**graph_full) != renderer.Render(**graph_delta)) {
+        identical = false;
+      }
+    }
+    uint64_t full_ns = full.target().clock().nanos() - full_before;
+    uint64_t delta_ns = delta.target().clock().nanos() - delta_before;
+    full_total += full_ns;
+    delta_total += delta_ns;
+    vl::Json round = vl::Json::Object();
+    round["full_ns"] = vl::Json::Int(static_cast<int64_t>(full_ns));
+    round["delta_ns"] = vl::Json::Int(static_cast<int64_t>(delta_ns));
+    round["full_reads"] =
+        vl::Json::Int(static_cast<int64_t>(full.target().reads() - full_reads_before));
+    round["delta_reads"] =
+        vl::Json::Int(static_cast<int64_t>(delta.target().reads() - delta_reads_before));
+    per_refresh.Append(std::move(round));
+  }
+
+  uint64_t memo_replays = 0;
+  uint64_t memo_misses = 0;
+  for (const auto& [id, interp] : delta_interps) {
+    memo_replays += interp->memo_replays();
+    memo_misses += interp->memo_misses();
+  }
+  j["ok"] = vl::Json::Bool(ok);
+  j["renders_identical"] = vl::Json::Bool(identical);
+  j["per_refresh"] = std::move(per_refresh);
+  j["full_ns"] = vl::Json::Int(static_cast<int64_t>(full_total));
+  j["delta_ns"] = vl::Json::Int(static_cast<int64_t>(delta_total));
+  j["speedup"] = vl::Json::Number(
+      delta_total > 0 ? static_cast<double>(full_total) / static_cast<double>(delta_total)
+                      : 0.0);
+  j["delta_cache"] = delta.session().StatsToJson();
+  j["dirty"] = delta.target().dirty_stats().ToJson();
+  j["memo_replays"] = vl::Json::Int(static_cast<int64_t>(memo_replays));
+  j["memo_misses"] = vl::Json::Int(static_cast<int64_t>(memo_misses));
+  return j;
+}
+
 // Static-analysis sweep: vlint over every paper figure + objective. The
 // whole point of the analyzer is that it consults only the type registry, so
 // the report asserts transport charged-ns and read-bytes deltas are exactly
@@ -388,6 +490,42 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", lint_path);
   if (zero_read == nullptr || !zero_read->AsBool()) {
     std::printf("error: lint sweep charged transport time — zero-read violated\n");
+    return 1;
+  }
+
+  // Incremental refresh: full vs delta charged ns on a steady-state
+  // small-mutation loop (last: it steps the shared workload).
+  const char* incremental_path = argc > 5 ? argv[5] : "BENCH_incremental.json";
+  vl::Json incremental_report = vl::Json::Object();
+  vl::Json inc_transports = vl::Json::Array();
+  bool inc_ok = true;
+  for (const dbg::LatencyModel& model :
+       {dbg::LatencyModel::GdbQemu(), dbg::LatencyModel::KgdbRpi400()}) {
+    vl::Json cell = MeasureIncremental(env, model);
+    const vl::Json* ok = cell.Find("ok");
+    const vl::Json* speedup = cell.Find("speedup");
+    const vl::Json* identical = cell.Find("renders_identical");
+    bool cell_ok = ok != nullptr && ok->AsBool() && identical != nullptr &&
+                   identical->AsBool();
+    inc_ok = inc_ok && cell_ok;
+    std::printf("  incremental %-16s speedup %.1fx renders_identical=%s\n",
+                model.name.c_str(), speedup != nullptr ? speedup->AsNumber() : 0.0,
+                identical != nullptr && identical->AsBool() ? "true" : "false");
+    inc_transports.Append(std::move(cell));
+  }
+  incremental_report["workflow"] =
+      vl::Json::Str("steady-state: one cpu tick between refreshes of a 6-pane "
+                    "dashboard (fig3_4 fig7_1 fig8_2 fig12_3 fig14_3 fig15_1)");
+  incremental_report["transports"] = std::move(inc_transports);
+  std::ofstream incremental_file(incremental_path);
+  if (!incremental_file) {
+    std::printf("error: cannot open %s\n", incremental_path);
+    return 1;
+  }
+  incremental_file << incremental_report.Dump(2) << "\n";
+  std::printf("wrote %s\n", incremental_path);
+  if (!inc_ok) {
+    std::printf("error: incremental refresh diverged from full re-extraction\n");
     return 1;
   }
   return 0;

@@ -9,6 +9,7 @@
 //
 //   $ ./interactive_debugger --demo
 //   $ ./interactive_debugger            # type 'help' for commands
+//   $ ./interactive_debugger --incremental   # delta cache invalidation on
 
 #include <cstdio>
 #include <cstring>
@@ -70,11 +71,19 @@ int main(int argc, char** argv) {
   vkern::Kernel kernel;
   vkern::Workload workload(&kernel);
   workload.Run();
-  dbg::KernelDebugger debugger(&kernel);
+  bool demo = false;
+  bool incremental = false;
+  for (int i = 1; i < argc; ++i) {
+    demo = demo || std::strcmp(argv[i], "--demo") == 0;
+    incremental = incremental || std::strcmp(argv[i], "--incremental") == 0;
+  }
+  dbg::KernelDebugger debugger(&kernel, dbg::LatencyModel::Free(),
+                               incremental ? dbg::CacheConfig::Incremental()
+                                           : dbg::CacheConfig());
   vision::RegisterFigureSymbols(&debugger, &workload);
   vision::DebuggerShell shell(&debugger);
 
-  if (argc > 1 && std::strcmp(argv[1], "--demo") == 0) {
+  if (demo) {
     return Demo(shell, kernel);
   }
 
@@ -88,6 +97,14 @@ int main(int argc, char** argv) {
     }
     if (line == "quit" || line == "exit") {
       break;
+    }
+    if (line == "step") {
+      // Let the inferior run one workload step, then hand control back —
+      // the next vplot/vctrl refresh sees the new mutation epoch.
+      workload.Step();
+      std::printf("stepped workload (epoch %llu)\n",
+                  static_cast<unsigned long long>(kernel.generation()));
+      continue;
     }
     if (line.empty()) {
       continue;

@@ -159,6 +159,28 @@ uint64_t KernelDebugger::ArenaMemory::generation() const {
   return kernel_->generation();
 }
 
+DirtyPageInfo KernelDebugger::ArenaMemory::DirtyPagesSince(uint64_t since_generation) const {
+  uint64_t hashed_before = journal_ != nullptr ? journal_->pages_hashed() : 0;
+  if (journal_ == nullptr) {
+    // Lazily baseline at the current generation: every page starts marked
+    // dirty at this epoch, so a first query over an older epoch safely
+    // degenerates to "everything dirty".
+    journal_ = std::make_unique<vkern::PageJournal>(arena_, kernel_->generation());
+  }
+  std::vector<uint32_t> pages =
+      journal_->DirtyPagesSince(since_generation, kernel_->generation());
+  DirtyPageInfo info;
+  info.supported = true;
+  info.page_size = vkern::kPageSize;
+  info.pages_total = journal_->page_count();
+  info.pages_scanned = journal_->pages_hashed() - hashed_before;
+  info.dirty_pages.reserve(pages.size());
+  for (uint32_t p : pages) {
+    info.dirty_pages.push_back(arena_->base_addr() + uint64_t{p} * vkern::kPageSize);
+  }
+  return info;
+}
+
 KernelDebugger::KernelDebugger(vkern::Kernel* kernel, LatencyModel model,
                                CacheConfig cache)
     : kernel_(kernel), memory_(&kernel->arena(), kernel) {

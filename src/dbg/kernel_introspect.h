@@ -17,6 +17,7 @@
 #include "src/dbg/target.h"
 #include "src/dbg/type.h"
 #include "src/vkern/kernel.h"
+#include "src/vkern/page_journal.h"
 
 namespace dbg {
 
@@ -52,10 +53,14 @@ class KernelDebugger {
     // The kernel bumps its generation on every mutation entry point; caching
     // sessions invalidate when this moves.
     uint64_t generation() const override;
+    // Dirty-page log over the arena, backed by a lazily built PageJournal so
+    // sessions that never query it pay no hashing cost.
+    DirtyPageInfo DirtyPagesSince(uint64_t since_generation) const override;
 
    private:
     vkern::Arena* arena_;
     const vkern::Kernel* kernel_;
+    mutable std::unique_ptr<vkern::PageJournal> journal_;  // lazy
   };
 
   void RegisterTypes();

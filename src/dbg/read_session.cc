@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/support/metrics.h"
 #include "src/support/str.h"
 #include "src/support/trace.h"
 
@@ -41,13 +42,17 @@ vl::Json CacheStats::ToJson() const {
   j["invalidations"] = vl::Json::Int(static_cast<int64_t>(invalidations));
   j["uncached_reads"] = vl::Json::Int(static_cast<int64_t>(uncached_reads));
   j["prefetches"] = vl::Json::Int(static_cast<int64_t>(prefetches));
+  j["delta_invalidations"] = vl::Json::Int(static_cast<int64_t>(delta_invalidations));
+  j["invalidated_bytes_full"] = vl::Json::Int(static_cast<int64_t>(invalidated_bytes_full));
+  j["invalidated_bytes_delta"] = vl::Json::Int(static_cast<int64_t>(invalidated_bytes_delta));
+  j["delta_prefetches"] = vl::Json::Int(static_cast<int64_t>(delta_prefetches));
   return j;
 }
 
 ReadSession::ReadSession(Target* target, CacheConfig config)
     : target_(target), trace_flag_(vl::Tracer::Instance().enabled_flag()) {
-  Reconfigure(config);
   epoch_ = target_->memory_generation();
+  Reconfigure(config);
 }
 
 void ReadSession::Reconfigure(CacheConfig config) {
@@ -61,6 +66,16 @@ void ReadSession::Reconfigure(CacheConfig config) {
   block_shift_ = config_.block_bytes != 0 ? Log2(config_.block_bytes) : 0;
   blocks_.clear();
   lru_.clear();
+  page_last_dirty_.clear();
+  prefetched_.clear();
+  dirty_floor_ = epoch_;
+  if (delta_enabled()) {
+    // Prime the domain's dirty log (QEMU: enabling dirty logging at attach).
+    // This baselines page tracking at the current epoch, so the first epoch
+    // change reports only genuinely-dirtied pages instead of "history
+    // unknown, everything dirty" — which would force a full flush.
+    (void)target_->DirtyPagesSince(epoch_);
+  }
 }
 
 void ReadSession::InvalidateAll() {
@@ -68,14 +83,138 @@ void ReadSession::InvalidateAll() {
   lru_.clear();
 }
 
+void ReadSession::FullInvalidate() {
+  if (blocks_.empty()) {
+    return;
+  }
+  stats_.invalidations++;
+  uint64_t bytes = static_cast<uint64_t>(blocks_.size()) * config_.block_bytes;
+  stats_.invalidated_bytes_full += bytes;
+  if (trace_flag_->load(std::memory_order_relaxed)) {
+    vl::MetricsRegistry::Instance().GetCounter("cache.invalidate.full")->Add(bytes);
+  }
+  InvalidateAll();
+}
+
 void ReadSession::CheckEpoch() {
   uint64_t now = target_->memory_generation();
-  if (now != epoch_) {
-    epoch_ = now;
-    if (!blocks_.empty()) {
-      stats_.invalidations++;
-      InvalidateAll();
+  if (now == epoch_) {
+    return;
+  }
+  uint64_t since = epoch_;
+  epoch_ = now;
+  if (config_.delta_invalidation) {
+    DirtyPageInfo info = target_->DirtyPagesSince(since);
+    if (info.supported) {
+      ApplyDirtyInfo(info, now);
+      return;
     }
+  }
+  // Classic contract: no dirty log, so the whole cache is presumed stale and
+  // this transition leaves no per-page history behind.
+  dirty_floor_ = now;
+  FullInvalidate();
+}
+
+void ReadSession::ApplyDirtyInfo(const DirtyPageInfo& info, uint64_t now) {
+  // Page history first: memoization validity survives even a ratio fallback
+  // below, because we know exactly which pages moved.
+  uint64_t page_size = info.page_size != 0 ? info.page_size : kPageGranule;
+  for (uint64_t page : info.dirty_pages) {
+    uint64_t first = page & ~(kPageGranule - 1);
+    for (uint64_t granule = first; granule < page + page_size; granule += kPageGranule) {
+      uint64_t& last = page_last_dirty_[granule];
+      if (last < now) {
+        last = now;
+      }
+    }
+  }
+  double ratio = info.pages_total != 0
+                     ? static_cast<double>(info.dirty_pages.size()) /
+                           static_cast<double>(info.pages_total)
+                     : 1.0;
+  if (ratio > config_.max_dirty_ratio) {
+    // Too much moved: block-wise eviction would walk most of the cache for
+    // nothing. One flush is cheaper and just as correct.
+    FullInvalidate();
+    return;
+  }
+  stats_.delta_invalidations++;
+  if (blocks_.empty()) {
+    return;
+  }
+  size_t dropped = 0;
+  for (uint64_t page : info.dirty_pages) {
+    uint64_t first_block = (page >> block_shift_) << block_shift_;
+    for (uint64_t base = first_block; base < page + page_size; base += config_.block_bytes) {
+      auto it = blocks_.find(base);
+      if (it == blocks_.end()) {
+        continue;
+      }
+      lru_.erase(it->second.lru_it);
+      blocks_.erase(it);
+      ++dropped;
+    }
+  }
+  uint64_t bytes = static_cast<uint64_t>(dropped) * config_.block_bytes;
+  stats_.invalidated_bytes_delta += bytes;
+  if (dropped != 0 && trace_flag_->load(std::memory_order_relaxed)) {
+    vl::MetricsRegistry::Instance().GetCounter("cache.invalidate.delta")->Add(bytes);
+  }
+}
+
+uint64_t ReadSession::SyncEpoch() {
+  if (cache_enabled()) {
+    CheckEpoch();
+  } else {
+    epoch_ = target_->memory_generation();
+  }
+  return epoch_;
+}
+
+bool ReadSession::RangeCleanSince(uint64_t addr, size_t len, uint64_t epoch) const {
+  if (epoch == epoch_) {
+    return true;  // nothing has moved since
+  }
+  if (epoch < dirty_floor_) {
+    return false;  // history not observed — presume dirty
+  }
+  uint64_t first = addr & ~(kPageGranule - 1);
+  for (uint64_t granule = first; granule < addr + len; granule += kPageGranule) {
+    auto it = page_last_dirty_.find(granule);
+    if (it != page_last_dirty_.end() && it->second > epoch) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ReadSession::PushPageScope() { page_scopes_.emplace_back(); }
+
+std::vector<uint64_t> ReadSession::PopPageScope() {
+  std::unordered_set<uint64_t> top = std::move(page_scopes_.back());
+  page_scopes_.pop_back();
+  if (!page_scopes_.empty()) {
+    page_scopes_.back().insert(top.begin(), top.end());
+  }
+  return std::vector<uint64_t>(top.begin(), top.end());
+}
+
+void ReadSession::NotePages(const std::vector<uint64_t>& pages) {
+  if (page_scopes_.empty()) {
+    return;
+  }
+  page_scopes_.back().insert(pages.begin(), pages.end());
+}
+
+void ReadSession::RecordPages(uint64_t addr, size_t len) {
+  if (len == 0) {
+    return;
+  }
+  std::unordered_set<uint64_t>& top = page_scopes_.back();
+  uint64_t first = addr & ~(kPageGranule - 1);
+  for (uint64_t granule = first; granule < addr + len; granule += kPageGranule) {
+    top.insert(granule);
   }
 }
 
@@ -108,6 +247,9 @@ const ReadSession::Block* ReadSession::LookupOrFetch(uint64_t base, bool* hit) {
 }
 
 vl::Status ReadSession::ReadBytes(uint64_t addr, void* out, size_t len) {
+  if (!page_scopes_.empty()) {
+    RecordPages(addr, len);
+  }
   if (!cache_enabled() || len == 0) {
     return target_->ReadBytes(addr, out, len);
   }
@@ -221,6 +363,32 @@ void ReadSession::PrefetchObject(uint64_t addr, const Type* type) {
     return;
   }
   stats_.prefetches++;
+  if (cache_enabled() && config_.delta_invalidation) {
+    CheckEpoch();
+    auto it = prefetched_.find(addr);
+    if (it != prefetched_.end() && it->second.bytes == type->size) {
+      // Re-prefetch of a known object: warm only the granules dirtied since
+      // the last prefetch. Clean granules are either still cached or not
+      // worth a speculative fetch (a read faults them in on demand).
+      stats_.delta_prefetches++;
+      uint64_t end = addr + type->size;
+      uint64_t first = addr & ~(kPageGranule - 1);
+      for (uint64_t granule = first; granule < end; granule += kPageGranule) {
+        if (RangeCleanSince(granule, kPageGranule, it->second.epoch)) {
+          continue;
+        }
+        uint64_t lo = std::max(granule, addr);
+        uint64_t hi = std::min(granule + kPageGranule, end);
+        Prefetch(lo, static_cast<size_t>(hi - lo));
+      }
+      it->second.epoch = epoch_;
+      return;
+    }
+    if (prefetched_.size() >= (size_t{1} << 16)) {
+      prefetched_.clear();  // bound the registry; worst case we re-warm fully
+    }
+    prefetched_[addr] = PrefetchedObject{type->size, epoch_};
+  }
   Prefetch(addr, type->size);
 }
 
@@ -231,6 +399,7 @@ vl::Json ReadSession::StatsToJson() const {
   j["capacity_blocks"] = vl::Json::Int(static_cast<int64_t>(config_.capacity_blocks));
   j["cached_blocks"] = vl::Json::Int(static_cast<int64_t>(blocks_.size()));
   j["hit_rate"] = vl::Json::Number(stats_.HitRate());
+  j["delta_enabled"] = vl::Json::Bool(delta_enabled());
   return j;
 }
 

@@ -30,6 +30,7 @@
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/dbg/target.h"
@@ -46,8 +47,26 @@ struct CacheConfig {
   size_t block_bytes = 256;
   // LRU capacity in blocks (default 4096 blocks = 1 MiB at 256 B).
   size_t capacity_blocks = 4096;
+  // Delta invalidation (docs/caching.md#incremental-invalidation): on an
+  // epoch change, query the target's dirty-page log and evict only the
+  // blocks overlapping dirty pages. Falls back to a whole-cache flush when
+  // the domain has no dirty log or the dirty ratio exceeds max_dirty_ratio.
+  // Off by default, so the classic contract (full flush per epoch) stays
+  // exact for existing sessions. NOTE: code that mutates target memory
+  // out-of-band must bump the memory generation — a bare InvalidateAll() is
+  // not enough once page-epoch consumers (viewcl memoization) are attached.
+  bool delta_invalidation = false;
+  // Above this fraction of dirty pages, block-wise eviction walks most of
+  // the cache for nothing; one flush is cheaper and just as correct.
+  double max_dirty_ratio = 0.5;
 
   static CacheConfig Disabled() { return CacheConfig{0, 0}; }
+  // Block cache + dirty-log delta invalidation (incremental refresh).
+  static CacheConfig Incremental() {
+    CacheConfig config;
+    config.delta_invalidation = true;
+    return config;
+  }
 };
 
 // Byte-level hit/miss accounting for one session. Field names follow the
@@ -64,6 +83,11 @@ struct CacheStats {
   uint64_t invalidations = 0;   // whole-cache epoch flushes
   uint64_t uncached_reads = 0;  // direct fallback reads (unreadable blocks)
   uint64_t prefetches = 0;      // PrefetchObject calls
+  // Incremental-refresh accounting (docs/caching.md#incremental-invalidation).
+  uint64_t delta_invalidations = 0;      // epoch changes absorbed block-wise
+  uint64_t invalidated_bytes_full = 0;   // cached bytes dropped by full flushes
+  uint64_t invalidated_bytes_delta = 0;  // cached bytes dropped by delta eviction
+  uint64_t delta_prefetches = 0;         // re-prefetches narrowed to dirty pages
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -72,7 +96,8 @@ struct CacheStats {
 
   // {"hits", "misses", "hit_bytes", "miss_bytes", "block_fetches",
   //  "fetched_bytes", "evictions", "invalidations", "uncached_reads",
-  //  "prefetches"}
+  //  "prefetches", "delta_invalidations", "invalidated_bytes_full",
+  //  "invalidated_bytes_delta", "delta_prefetches"}
   vl::Json ToJson() const;
 };
 
@@ -102,6 +127,30 @@ class ReadSession {
   // Swaps the cache configuration, dropping all cached blocks.
   void Reconfigure(CacheConfig config);
 
+  // --- incremental refresh (delta invalidation + page epochs) ---
+  // Revalidates the epoch now, running the same delta/full invalidation a
+  // read would trigger, and returns the current epoch. Memoization layers
+  // call this before consulting RangeCleanSince.
+  uint64_t SyncEpoch();
+  uint64_t epoch() const { return epoch_; }
+  // True when this session is configured for dirty-log delta invalidation.
+  bool delta_enabled() const { return config_.delta_invalidation && cache_enabled(); }
+  // True iff no byte of [addr, addr+len) has been reported dirty after
+  // `epoch` by the target's dirty log. Conservative: history this session
+  // has not observed (epochs before its first dirty query, or any epoch
+  // transition handled by a blind full flush) reports dirty.
+  bool RangeCleanSince(uint64_t addr, size_t len, uint64_t epoch) const;
+
+  // Page-access scopes (viewcl memoization): while at least one scope is
+  // open, every byte range read through this session is recorded
+  // page-granularly into the innermost scope. PopPageScope returns the
+  // scope's pages and merges them into the parent scope, so a box's scope
+  // ends up covering its whole subtree. NotePages merges replayed pages
+  // (from a memo hit, which performs no reads) into the open scope.
+  void PushPageScope();
+  std::vector<uint64_t> PopPageScope();
+  void NotePages(const std::vector<uint64_t>& pages);
+
   bool cache_enabled() const { return config_.block_bytes != 0; }
   const CacheConfig& config() const { return config_; }
   size_t cached_blocks() const { return blocks_.size(); }
@@ -129,8 +178,22 @@ class ReadSession {
     std::list<uint64_t>::iterator lru_it;  // position in lru_ (front = hottest)
   };
 
-  // Drops the cache if the memory domain's generation moved.
+  // Granularity of page-epoch bookkeeping (RangeCleanSince, page scopes).
+  // Dirty pages a domain reports at another page size are expanded/aligned
+  // to these granules.
+  static constexpr uint64_t kPageGranule = 4096;
+
+  // Invalidates stale cache state if the memory domain's generation moved:
+  // delta (dirty-page) eviction when configured and supported, else a full
+  // flush.
   void CheckEpoch();
+  // Delta path: records dirty-page epochs, then evicts block-wise (or falls
+  // back to a full flush past the dirty-ratio threshold).
+  void ApplyDirtyInfo(const DirtyPageInfo& info, uint64_t now);
+  // Full flush with accounting (the classic epoch contract).
+  void FullInvalidate();
+  // Records the granules of [addr, addr+len) into the innermost page scope.
+  void RecordPages(uint64_t addr, size_t len);
   // Returns the cached block with base address `base`, fetching it on miss.
   // nullptr if the block cannot be read as a whole (caller falls back to a
   // direct ranged read). `hit` reports whether the block was already present.
@@ -144,6 +207,23 @@ class ReadSession {
   CacheStats stats_;
   std::unordered_map<uint64_t, Block> blocks_;  // keyed by block base address
   std::list<uint64_t> lru_;                     // front = most recently used
+
+  // --- incremental refresh state ---
+  // Last epoch each granule was reported dirty at (granule base -> epoch).
+  std::unordered_map<uint64_t, uint64_t> page_last_dirty_;
+  // Epochs below this have unknown page history (RangeCleanSince reports
+  // dirty): the session's start epoch, raised past any transition handled
+  // without dirty info.
+  uint64_t dirty_floor_ = 0;
+  // Open page-access scopes (innermost last).
+  std::vector<std::unordered_set<uint64_t>> page_scopes_;
+  // Objects PrefetchObject has warmed: object addr -> {size, epoch}. Lets a
+  // re-prefetch warm only granules dirtied since the last one.
+  struct PrefetchedObject {
+    size_t bytes = 0;
+    uint64_t epoch = 0;
+  };
+  std::unordered_map<uint64_t, PrefetchedObject> prefetched_;
 };
 
 }  // namespace dbg

@@ -18,12 +18,25 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/support/json.h"
 #include "src/support/status.h"
 #include "src/support/vclock.h"
 
 namespace dbg {
+
+// Result of one dirty-page query (MemoryDomain::DirtyPagesSince). Models
+// QEMU's live-migration dirty log: the domain reports which pages changed
+// after the caller's epoch so caching layers can invalidate block-wise
+// instead of flushing everything (docs/caching.md#incremental-invalidation).
+struct DirtyPageInfo {
+  bool supported = false;      // domain has no dirty log → treat all as dirty
+  uint64_t page_size = 0;      // dirty granule in bytes
+  uint64_t pages_total = 0;    // pages in the tracked region
+  uint64_t pages_scanned = 0;  // pages the domain hashed to answer (host work)
+  std::vector<uint64_t> dirty_pages;  // base addresses of dirty pages
+};
 
 // Abstracts "the machine being debugged" — implemented by the simulated
 // kernel's arena.
@@ -37,6 +50,12 @@ class MemoryDomain {
   // constant) means "never changes"; the simulated kernel's arena overrides
   // it with the kernel's generation counter.
   virtual uint64_t generation() const { return 0; }
+  // Dirty-page log: pages whose content changed after `since_generation`.
+  // The default is unsupported — callers must assume every page is dirty.
+  virtual DirtyPageInfo DirtyPagesSince(uint64_t since_generation) const {
+    (void)since_generation;
+    return {};
+  }
 };
 
 // Per-access cost model for a debugger transport.
@@ -44,16 +63,22 @@ struct LatencyModel {
   std::string name;
   uint64_t per_access_ns = 0;  // round-trip cost of one memory request
   uint64_t per_byte_ns = 0;    // payload transfer cost
+  // One dirty-log round trip (QEMU: a KVM_GET_DIRTY_LOG-style sync+fetch
+  // behind a monitor command). The dirty bitmap payload is charged on top at
+  // per_byte_ns, one bit per tracked page.
+  uint64_t dirty_query_ns = 0;
 
   // Localhost GDB-remote into QEMU (TCG): ~100 us per request round trip
   // (packet handling + TCG pause), calibrated so the KGDB/QEMU per-object
   // gap matches the paper's ~50x.
-  static LatencyModel GdbQemu() { return {"GDB (QEMU)", 100'000, 15}; }
+  static LatencyModel GdbQemu() { return {"GDB (QEMU)", 100'000, 15, 100'000}; }
   // Serial KGDB on a Raspberry Pi 400: ~5 ms per request (the paper reports a
-  // single uint64 fetch costing ~5 ms), slow per-byte transfer.
-  static LatencyModel KgdbRpi400() { return {"KGDB (rpi-400)", 5'000'000, 2'000}; }
+  // single uint64 fetch costing ~5 ms), slow per-byte transfer. KGDB has no
+  // dirty log; the cost stands in for one extra serial round trip when a
+  // harness layers page tracking on top.
+  static LatencyModel KgdbRpi400() { return {"KGDB (rpi-400)", 5'000'000, 2'000, 5'000'000}; }
   // No accounting (unit tests).
-  static LatencyModel Free() { return {"free", 0, 0}; }
+  static LatencyModel Free() { return {"free", 0, 0, 0}; }
 };
 
 // Accumulated charges for one latency model (transport).
@@ -80,6 +105,27 @@ class Target {
   vl::StatusOr<int64_t> ReadSigned(uint64_t addr, size_t size);
   // Reads a NUL-terminated string of at most max_len bytes.
   vl::StatusOr<std::string> ReadCString(uint64_t addr, size_t max_len = 256);
+
+  // --- dirty-page log (incremental refresh) ---
+  // Queries the memory domain for pages changed after `since_generation`.
+  // Supported domains charge one dirty-log round trip
+  // (model().dirty_query_ns) plus the bitmap payload (one bit per tracked
+  // page at per_byte_ns) to the virtual clock; the advance lands inside
+  // whatever trace span is open, so explain trees keep reconciling exactly.
+  // Unsupported domains return {supported: false} and charge nothing.
+  DirtyPageInfo DirtyPagesSince(uint64_t since_generation);
+
+  // Accumulated dirty-log accounting for this target.
+  struct DirtyStats {
+    uint64_t queries = 0;
+    uint64_t pages_scanned = 0;  // host-side pages hashed by the domain
+    uint64_t pages_dirty = 0;    // dirty pages reported across all queries
+    uint64_t charged_ns = 0;     // transport ns charged for the queries
+
+    // {"queries", "pages_scanned", "pages_dirty", "charged_ns"}
+    vl::Json ToJson() const;
+  };
+  const DirtyStats& dirty_stats() const { return dirty_stats_; }
 
   // --- accounting ---
   const vl::VirtualClock& clock() const { return clock_; }
@@ -136,6 +182,7 @@ class Target {
     }
   }
   void RecordRead(size_t len, uint64_t cost);
+  void RecordDirtyQuery(const DirtyPageInfo& info, uint64_t cost);
   // Attributes charges since the last swap/flush to the current model.
   void FlushModelStats() const;
 
@@ -144,6 +191,7 @@ class Target {
   vl::VirtualClock clock_;
   uint64_t reads_ = 0;
   uint64_t bytes_read_ = 0;
+  DirtyStats dirty_stats_;
   const std::atomic<bool>* trace_flag_;  // Tracer's enabled flag (cached)
   const char* read_tag_ = nullptr;
 

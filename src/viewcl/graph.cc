@@ -1,8 +1,43 @@
 #include "src/viewcl/graph.h"
 
+#include <cstdint>
 #include <set>
 
 namespace viewcl {
+
+namespace {
+
+// SplitMix64-style accumulator (same mixing constants as vl::Rng):
+// order-sensitive, deterministic, seed-free.
+struct DigestAcc {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+
+  void Mix(uint64_t v) {
+    uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    h = z ^ (z >> 31);
+  }
+
+  void MixStr(const std::string& s) {
+    Mix(s.size());
+    uint64_t word = 0;
+    size_t filled = 0;
+    for (char c : s) {
+      word = (word << 8) | static_cast<uint8_t>(c);
+      if (++filled == 8) {
+        Mix(word);
+        word = 0;
+        filled = 0;
+      }
+    }
+    if (filled != 0) {
+      Mix(word);
+    }
+  }
+};
+
+}  // namespace
 
 std::vector<uint64_t> ViewGraph::Neighbors(uint64_t id) const {
   std::vector<uint64_t> out;
@@ -43,6 +78,56 @@ std::vector<uint64_t> ViewGraph::Reachable(const std::vector<uint64_t>& from) co
     }
   }
   return out;
+}
+
+uint64_t ViewGraph::Digest() const {
+  DigestAcc acc;
+  acc.Mix(boxes_.size());
+  for (const auto& box : boxes_) {
+    acc.MixStr(box->decl_name());
+    acc.MixStr(box->kernel_type());
+    acc.Mix(box->addr());
+    acc.Mix(box->object_size());
+    acc.Mix(box->views().size());
+    for (const ViewInstance& view : box->views()) {
+      acc.MixStr(view.name);
+      acc.Mix(view.texts.size());
+      for (const TextItem& text : view.texts) {
+        acc.MixStr(text.name);
+        acc.MixStr(text.display);
+      }
+      acc.Mix(view.links.size());
+      for (const LinkItem& link : view.links) {
+        acc.MixStr(link.name);
+        acc.Mix(link.target);
+      }
+      acc.Mix(view.containers.size());
+      for (const ContainerItem& container : view.containers) {
+        acc.MixStr(container.name);
+        acc.Mix(container.members.size());
+        for (uint64_t member : container.members) {
+          acc.Mix(member);
+        }
+      }
+    }
+    acc.Mix(box->members().size());
+    for (const auto& [name, value] : box->members()) {
+      acc.MixStr(name);
+      acc.Mix(static_cast<uint64_t>(value.kind));
+      acc.Mix(static_cast<uint64_t>(value.num));
+      acc.MixStr(value.str);
+    }
+    acc.Mix(box->attrs().size());
+    for (const auto& [key, value] : box->attrs()) {
+      acc.MixStr(key);
+      acc.MixStr(value);
+    }
+  }
+  acc.Mix(roots_.size());
+  for (uint64_t root : roots_) {
+    acc.Mix(root);
+  }
+  return acc.h;
 }
 
 }  // namespace viewcl

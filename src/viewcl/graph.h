@@ -155,6 +155,13 @@ class ViewGraph {
   // All boxes reachable from `from` (inclusive) following edges.
   std::vector<uint64_t> Reachable(const std::vector<uint64_t>& from) const;
 
+  // Order-sensitive structural digest of everything a renderer consumes:
+  // boxes (names, addresses, views, members, attrs) and roots. Two graphs
+  // with equal digests render byte-identically on any back-end; pane refresh
+  // uses this to skip re-rendering unchanged graphs
+  // (docs/caching.md#incremental-invalidation).
+  uint64_t Digest() const;
+
   // Total bytes of underlying kernel objects (Table 4's per-KB metric).
   uint64_t TotalObjectBytes() const {
     uint64_t total = 0;

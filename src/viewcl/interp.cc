@@ -674,6 +674,38 @@ class Interpreter::RunState {
 
   // --- box instantiation ---
 
+  // Opens a ReadSession page scope for a memo capture; pops it on every exit
+  // path so error returns inside the instantiation can't leak a scope.
+  class PageScopeGuard {
+   public:
+    explicit PageScopeGuard(dbg::ReadSession* session) : session_(session) {
+      session_->PushPageScope();
+    }
+    ~PageScopeGuard() {
+      if (session_ != nullptr) {
+        (void)session_->PopPageScope();
+      }
+    }
+    PageScopeGuard(const PageScopeGuard&) = delete;
+    PageScopeGuard& operator=(const PageScopeGuard&) = delete;
+    // Closes the scope and hands back its pages (subtree read coverage).
+    std::vector<uint64_t> Finish() {
+      dbg::ReadSession* session = session_;
+      session_ = nullptr;
+      return session->PopPageScope();
+    }
+
+   private:
+    dbg::ReadSession* session_;
+  };
+
+  // Memoization engages only when the session's dirty log can prove a
+  // snapshot is still valid; default sessions keep exact classic behavior.
+  bool MemoEnabled() const {
+    return in_->limits_.memoize_boxes && in_->limits_.intern_boxes &&
+           dbg_->session().delta_enabled();
+  }
+
   vl::StatusOr<VclValue> InstantiateBox(const BoxDecl* decl, Value object, Scope* lexical,
                                         int depth) {
     if (depth > in_->limits_.max_depth) {
@@ -702,9 +734,40 @@ class Interpreter::RunState {
       }
     }
 
+    bool memoize = !is_virtual && MemoEnabled();
+    if (memoize) {
+      auto key = std::make_pair(decl, addr);
+      auto found = in_->memo_.find(key);
+      if (found != in_->memo_.end()) {
+        uint64_t id = TryReplayMemo(found->second);
+        if (id != kNoBox) {
+          in_->memo_replays_++;
+          if (vl::Tracer::Instance().enabled()) {
+            vl::MetricsRegistry::Instance().GetCounter("viewcl.memo.replays")->Add();
+          }
+          return VclValue::Box(id);
+        }
+        // Stale or no longer replayable: fall through to re-extract (which
+        // recaptures a fresh snapshot below).
+        in_->memo_.erase(found);
+      }
+      in_->memo_misses_++;
+      if (vl::Tracer::Instance().enabled()) {
+        vl::MetricsRegistry::Instance().GetCounter("viewcl.memo.misses")->Add();
+      }
+    }
+    size_t window_start = graph_->size();
+    uint64_t capture_epoch = 0;
+    std::optional<PageScopeGuard> memo_scope;
+    if (memoize) {
+      capture_epoch = dbg_->session().SyncEpoch();
+      memo_scope.emplace(&dbg_->session());
+    }
+
     VBox* box = graph_->NewBox(decl->name, decl->kernel_type, addr, object_size);
     if (!is_virtual && in_->limits_.intern_boxes) {
       interned_[std::make_pair(decl, addr)] = box->id();
+      intern_by_id_[box->id()] = std::make_pair(decl, addr);
     }
     // Attribute every read below to the kernel type being instantiated
     // (virtual boxes keep the enclosing box's tag), and pull the whole
@@ -746,7 +809,142 @@ class Interpreter::RunState {
           EvalViewInto(decl, &view_decl, &view_scope, box, &view, depth));
       box->views().push_back(std::move(view));
     }
+    if (memoize) {
+      CaptureMemo(decl, addr, window_start, capture_epoch, memo_scope->Finish());
+    }
     return VclValue::Box(box->id());
+  }
+
+  // --- box memoization (incremental refresh) ---
+
+  // Replays a memoized subtree into the current graph: copies the snapshot
+  // boxes, remaps window-local references by offset and external references
+  // through the current run's intern map. Returns the new root id, or kNoBox
+  // when the snapshot is stale (a touched page is dirty) or no longer
+  // replayable (evaluation drift changed what is interned when).
+  uint64_t TryReplayMemo(const BoxMemo& memo) {
+    dbg::ReadSession& session = dbg_->session();
+    (void)session.SyncEpoch();
+    for (uint64_t page : memo.pages) {
+      if (!session.RangeCleanSince(page, 1, memo.epoch)) {
+        return kNoBox;
+      }
+    }
+    if (graph_->size() + memo.boxes.size() > in_->limits_.max_boxes) {
+      return kNoBox;
+    }
+    std::map<uint64_t, uint64_t> externals;  // capture-run id -> current id
+    for (const auto& [orig, key] : memo.externals) {
+      auto it = interned_.find(key);
+      if (it == interned_.end()) {
+        return kNoBox;
+      }
+      externals[orig] = it->second;
+    }
+    for (const auto& [local, key] : memo.interns) {
+      // The root (local 0) is known un-interned — the caller's intern lookup
+      // just missed. A non-root key already interned means this run built
+      // the shared box elsewhere first; replaying would duplicate it.
+      if (local != 0 && interned_.find(key) != interned_.end()) {
+        return kNoBox;
+      }
+    }
+    uint64_t new_base = graph_->size();
+    for (const BoxMemo::BoxSnap& snap : memo.boxes) {
+      VBox* box = graph_->NewBox(snap.decl_name, snap.kernel_type, snap.addr,
+                                 snap.object_size);
+      box->members() = snap.members;
+      box->views() = snap.views;
+      for (ViewInstance& view : box->views()) {
+        for (LinkItem& link : view.links) {
+          link.target = RemapMemoId(memo, externals, new_base, link.target);
+        }
+        for (ContainerItem& container : view.containers) {
+          for (uint64_t& member : container.members) {
+            member = RemapMemoId(memo, externals, new_base, member);
+          }
+        }
+      }
+    }
+    for (const auto& [local, key] : memo.interns) {
+      interned_[key] = new_base + local;
+      intern_by_id_[new_base + local] = key;
+    }
+    // The replay performed no reads; its page coverage still belongs to any
+    // enclosing capture in progress.
+    session.NotePages(memo.pages);
+    return new_base;
+  }
+
+  uint64_t RemapMemoId(const BoxMemo& memo, const std::map<uint64_t, uint64_t>& externals,
+                       uint64_t new_base, uint64_t id) const {
+    if (id == kNoBox) {
+      return kNoBox;
+    }
+    if (id >= memo.base && id < memo.base + memo.boxes.size()) {
+      return new_base + (id - memo.base);
+    }
+    auto it = externals.find(id);
+    return it != externals.end() ? it->second : kNoBox;
+  }
+
+  // Snapshots the boxes created in [window_start, graph size) as the memo
+  // for (decl, addr). Gives up (storing nothing) if the subtree references
+  // an out-of-window box that carries no intern key — such a reference could
+  // not be resolved in a future run.
+  void CaptureMemo(const BoxDecl* decl, uint64_t addr, size_t window_start,
+                   uint64_t epoch, std::vector<uint64_t> pages) {
+    BoxMemo memo;
+    memo.epoch = epoch;
+    memo.base = window_start;
+    memo.pages = std::move(pages);
+    size_t end = graph_->size();
+    memo.boxes.reserve(end - window_start);
+    for (size_t id = window_start; id < end; ++id) {
+      const VBox* box = graph_->box(id);
+      BoxMemo::BoxSnap snap;
+      snap.decl_name = box->decl_name();
+      snap.kernel_type = box->kernel_type();
+      snap.addr = box->addr();
+      snap.object_size = box->object_size();
+      snap.views = box->views();
+      snap.members = box->members();
+      for (const ViewInstance& view : snap.views) {
+        for (const LinkItem& link : view.links) {
+          if (!NoteMemoRef(&memo, link.target, window_start, end)) {
+            return;
+          }
+        }
+        for (const ContainerItem& container : view.containers) {
+          for (uint64_t member : container.members) {
+            if (!NoteMemoRef(&memo, member, window_start, end)) {
+              return;
+            }
+          }
+        }
+      }
+      memo.boxes.push_back(std::move(snap));
+      auto it = intern_by_id_.find(id);
+      if (it != intern_by_id_.end()) {
+        memo.interns.emplace_back(id - window_start, it->second);
+      }
+    }
+    in_->memo_[std::make_pair(decl, addr)] = std::move(memo);
+  }
+
+  bool NoteMemoRef(BoxMemo* memo, uint64_t target, size_t start, size_t end) {
+    if (target == kNoBox) {
+      return true;
+    }
+    if (target >= start && target < end) {
+      return true;
+    }
+    auto it = intern_by_id_.find(target);
+    if (it == intern_by_id_.end()) {
+      return false;
+    }
+    memo->externals[target] = it->second;
+    return true;
   }
 
   // Evaluates a view (after resolving its inheritance chain) into `out`.
@@ -917,6 +1115,9 @@ class Interpreter::RunState {
   dbg::EvalContext* ctx_;
   std::unique_ptr<ViewGraph> graph_;
   std::map<std::pair<const BoxDecl*, uint64_t>, uint64_t> interned_;
+  // Reverse intern map (box id -> key), so memo capture can name the shared
+  // boxes a snapshot references and a future replay can resolve them.
+  std::map<uint64_t, std::pair<const BoxDecl*, uint64_t>> intern_by_id_;
 
   size_t off_list_next_ = 0;
   size_t off_hlist_first_ = 0;
@@ -1045,6 +1246,9 @@ vl::Status Interpreter::Load(std::string_view source) {
   for (ExprPtr& plot : program.plots) {
     plots_.push_back(std::move(plot));
   }
+  // A new chunk can redefine declarations out from under the snapshots;
+  // memoization restarts from the next Run.
+  memo_.clear();
   return vl::Status::Ok();
 }
 

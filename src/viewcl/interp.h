@@ -31,6 +31,12 @@ struct InterpLimits {
   // bench_ablation experiment) makes shared/cyclic structures blow up until
   // the depth/box limits bite.
   bool intern_boxes = true;
+  // Memoizes per-box extraction across Run() calls, replaying structurally
+  // unchanged subtrees without re-walking them. Only engages when the
+  // debugger's ReadSession runs dirty-log delta invalidation (the page
+  // epochs that prove a memo is still valid come from there), so default
+  // sessions keep their exact classic behavior. Requires intern_boxes.
+  bool memoize_boxes = true;
 };
 
 class Interpreter {
@@ -66,10 +72,45 @@ class Interpreter {
   EmojiRegistry& emoji() { return emoji_; }
   dbg::KernelDebugger* debugger() { return debugger_; }
 
+  // Memoization counters (how many boxes were replayed vs re-extracted
+  // across this interpreter's lifetime; see docs/caching.md#incremental).
+  uint64_t memo_replays() const { return memo_replays_; }
+  uint64_t memo_misses() const { return memo_misses_; }
+
  private:
   struct VclValue;
   class Scope;
   class RunState;
+
+  // Memoized extraction of one box subtree: a structural snapshot of the
+  // boxes created while instantiating a (declaration, address) pair, plus
+  // the pages its reads touched. Replayable while every touched page is
+  // clean per the session's dirty log (ReadSession::RangeCleanSince).
+  struct BoxMemo {
+    struct BoxSnap {
+      std::string decl_name;
+      std::string kernel_type;
+      uint64_t addr = 0;
+      size_t object_size = 0;
+      // Link targets / container members still carry capture-run box ids;
+      // the replay remaps window-local ids by offset and external ids
+      // through `externals`.
+      std::vector<ViewInstance> views;
+      std::map<std::string, MemberValue> members;
+    };
+    using InternKey = std::pair<const BoxDecl*, uint64_t>;
+
+    uint64_t epoch = 0;  // extraction epoch (session epoch at capture)
+    uint64_t base = 0;   // capture-run id of the subtree root
+    std::vector<BoxSnap> boxes;  // window [base, base + boxes.size())
+    // Capture-run id -> intern key of a referenced box outside the window
+    // (shared structure instantiated earlier in the run).
+    std::map<uint64_t, InternKey> externals;
+    // Window-local id -> intern key to re-register on replay.
+    std::vector<std::pair<uint64_t, InternKey>> interns;
+    // Page bases (ReadSession granules) the subtree's reads touched.
+    std::vector<uint64_t> pages;
+  };
 
   dbg::KernelDebugger* debugger_;
   InterpLimits limits_;
@@ -81,6 +122,12 @@ class Interpreter {
   std::vector<Binding> bindings_;
   std::vector<ExprPtr> plots_;
   std::vector<std::string> warnings_;
+
+  // Memo store, persisted across Run() calls (cleared on Load: a new chunk
+  // can redefine declarations out from under the snapshots).
+  std::map<BoxMemo::InternKey, BoxMemo> memo_;
+  uint64_t memo_replays_ = 0;
+  uint64_t memo_misses_ = 0;
 };
 
 }  // namespace viewcl

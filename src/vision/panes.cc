@@ -1,5 +1,6 @@
 #include "src/vision/panes.h"
 
+#include "src/support/metrics.h"
 #include "src/support/str.h"
 #include "src/support/trace.h"
 
@@ -221,6 +222,7 @@ vl::StatusOr<RefreshResult> PaneManager::RefreshPane(int pane_id, const ReplotFn
   }
 
   vl::Status refresh_status = vl::Status::Ok();
+  bool render_reused = false;
   {
     vl::ScopedSpan span("pane.refresh");
     refresh_status = [&]() -> vl::Status {
@@ -231,7 +233,9 @@ vl::StatusOr<RefreshResult> PaneManager::RefreshPane(int pane_id, const ReplotFn
       for (const std::string& entry : history) {
         VL_RETURN_IF_ERROR(ApplyViewQl(pane_id, entry));
       }
+      uint64_t hits_before = render_digest_hits_;
       (void)RenderPane(pane_id);
+      render_reused = render_digest_hits_ > hits_before;
       return vl::Status::Ok();
     }();
   }
@@ -243,6 +247,7 @@ vl::StatusOr<RefreshResult> PaneManager::RefreshPane(int pane_id, const ReplotFn
   }
   viewcl::ViewGraph* g = graph(pane_id);
   result.boxes = g != nullptr ? g->size() : 0;
+  result.render_reused = render_reused;
 
   if (refresh_status.ok() && recorder_ != nullptr && recorder_->enabled()) {
     // One sample per refresh: the refresh's own cost deltas. ViewQL stats
@@ -384,15 +389,43 @@ std::string PaneManager::RenderPane(int pane_id, const RenderOptions& options,
   if (renderer == nullptr) {
     return "(unknown render backend: " + std::string(backend) + ")\n";
   }
+
+  // Digest cache: anything a back-end consumes is folded into the digest, so
+  // same digest + same (backend, options) key => byte-identical output. For
+  // secondary panes the digest is taken with the subset installed as roots,
+  // so it also covers subset membership and order.
+  std::string cache_key =
+      vl::StrFormat("%s|%d%d|%d", std::string(backend).c_str(),
+                    options.show_addresses ? 1 : 0, options.show_attributes ? 1 : 0,
+                    options.max_container_preview);
   std::string out;
-  if (!pane->secondary) {
-    out = renderer->Render(*g);
-  } else {
-    // Secondary panes display the subset as roots.
-    std::vector<uint64_t> saved = g->roots();
+  bool reused = false;
+  std::vector<uint64_t> saved;
+  if (pane->secondary) {
+    saved = g->roots();
     g->roots() = pane->subset;
+  }
+  uint64_t digest = g->Digest();
+  auto cached = pane->render_cache.find(cache_key);
+  if (cached != pane->render_cache.end() && cached->second.first == digest) {
+    out = cached->second.second;
+    reused = true;
+  } else {
     out = renderer->Render(*g);
+    pane->render_cache[cache_key] = {digest, out};
+  }
+  if (pane->secondary) {
     g->roots() = saved;
+  }
+  if (reused) {
+    ++render_digest_hits_;
+  } else {
+    ++render_digest_misses_;
+  }
+  if (vl::Tracer::Instance().enabled()) {
+    vl::MetricsRegistry::Instance()
+        .GetCounter(reused ? "render.digest.hits" : "render.digest.misses")
+        ->Add(1);
   }
   // The disabled cost of the watch hook is this one branch (bench_micro
   // guards it alongside the tracing-off fast path).

@@ -35,6 +35,9 @@ struct RefreshResult {
   uint64_t refresh_ns = 0;  // clock delta across replot + ViewQL + render
   uint64_t epoch = 0;       // kernel mutation epoch the refresh observed
   size_t boxes = 0;         // graph size after the refresh
+  // True when the graph digest matched the previous render and the cached
+  // output was served instead of re-rendering (see ViewGraph::Digest).
+  bool render_reused = false;
   // Budget keys the watchdog flagged on this refresh (details, including the
   // explain tree, land in the attached BudgetRegistry).
   std::vector<std::string> violations;
@@ -104,9 +107,17 @@ class PaneManager {
   const std::vector<std::string>* viewql_history(int pane_id) const;
 
   // Renders one pane (secondary panes render their subset only) with the
-  // named back-end ("ascii", "dot", "json" — see MakeRenderer).
+  // named back-end ("ascii", "dot", "json" — see MakeRenderer). Rendering is
+  // digest-cached per (backend, options): when the graph's structural digest
+  // matches the previous render under the same key, the cached output is
+  // returned without re-running the renderer. The cache deliberately survives
+  // SetGraph — an incremental refresh that reproduces the same graph skips
+  // the re-render entirely.
   std::string RenderPane(int pane_id, const RenderOptions& options = RenderOptions{},
                          std::string_view backend = "ascii");
+  // How many RenderPane calls were served from the digest cache vs rendered.
+  uint64_t render_digest_hits() const { return render_digest_hits_; }
+  uint64_t render_digest_misses() const { return render_digest_misses_; }
   // ASCII sketch of the split layout.
   std::string LayoutAscii() const;
 
@@ -128,6 +139,8 @@ class PaneManager {
     viewql::ExecStats viewql_stats;            // accumulated over the history
     int source_pane = 0;                       // secondary panes
     std::vector<uint64_t> subset;              // secondary panes
+    // Digest-keyed render memo: "backend|options" -> (graph digest, output).
+    std::map<std::string, std::pair<uint64_t, std::string>> render_cache;
   };
 
   struct LayoutNode {
@@ -153,6 +166,8 @@ class PaneManager {
   std::vector<int> pane_order_;
   std::unique_ptr<LayoutNode> layout_;
   int next_pane_id_ = 1;
+  uint64_t render_digest_hits_ = 0;
+  uint64_t render_digest_misses_ = 0;
 };
 
 }  // namespace vision

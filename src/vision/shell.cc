@@ -263,6 +263,24 @@ std::string DebuggerShell::CmdStats(const std::string& args) {
         static_cast<unsigned long long>(session.cached_blocks()),
         static_cast<unsigned long long>(cache.evictions),
         static_cast<unsigned long long>(cache.invalidations));
+    const dbg::Target::DirtyStats& dirty = target.dirty_stats();
+    if (session.delta_enabled() || dirty.queries > 0) {
+      out += vl::StrFormat(
+          "  delta: %s, %llu delta / %llu full invalidations "
+          "(%llu B delta, %llu B full), %llu delta prefetches\n",
+          session.delta_enabled() ? "on" : "off",
+          static_cast<unsigned long long>(cache.delta_invalidations),
+          static_cast<unsigned long long>(cache.invalidations),
+          static_cast<unsigned long long>(cache.invalidated_bytes_delta),
+          static_cast<unsigned long long>(cache.invalidated_bytes_full),
+          static_cast<unsigned long long>(cache.delta_prefetches));
+      out += vl::StrFormat(
+          "  dirty-log: %llu queries, %llu pages scanned, %llu dirty, %llu ns charged\n",
+          static_cast<unsigned long long>(dirty.queries),
+          static_cast<unsigned long long>(dirty.pages_scanned),
+          static_cast<unsigned long long>(dirty.pages_dirty),
+          static_cast<unsigned long long>(dirty.charged_ns));
+    }
   }
   for (int id : panes_.pane_ids()) {
     const viewql::ExecStats* stats = panes_.exec_stats(id);

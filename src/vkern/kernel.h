@@ -131,7 +131,30 @@ class Kernel {
   // directly) must call BumpGeneration() — or the reader must invalidate —
   // for cached sessions to notice. See docs/caching.md.
   uint64_t generation() const { return generation_; }
-  void BumpGeneration() { ++generation_; }
+  void BumpGeneration() {
+    if (batch_depth_ == 0) {
+      ++generation_;
+    }
+  }
+
+  // Coalesces every BumpGeneration() inside its scope into the single bump
+  // taken on entry, so one logical mutation batch (e.g. a Workload step that
+  // runs many ops and then ticks every CPU) costs one epoch instead of one
+  // per entry point. Nests: only the outermost batch bumps.
+  class MutationBatch {
+   public:
+    explicit MutationBatch(Kernel* kernel) : kernel_(kernel) {
+      if (kernel_->batch_depth_++ == 0) {
+        ++kernel_->generation_;
+      }
+    }
+    ~MutationBatch() { --kernel_->batch_depth_; }
+    MutationBatch(const MutationBatch&) = delete;
+    MutationBatch& operator=(const MutationBatch&) = delete;
+
+   private:
+    Kernel* kernel_;
+  };
 
  private:
   void BootFilesystems();
@@ -184,6 +207,7 @@ class Kernel {
   std::map<uint64_t, std::string> func_symbols_;
 
   uint64_t generation_ = 0;
+  int batch_depth_ = 0;  // >0 while a MutationBatch is open
 };
 
 // Well-known host functions usable as "user" callbacks by workloads; their

@@ -1,0 +1,67 @@
+// Page-hash journal over an Arena: the dirty-page log primitive behind
+// incremental refresh (docs/caching.md#incremental-invalidation).
+//
+// QEMU's live-migration dirty log flags guest pages written since the last
+// sync; debuggers can query it instead of re-reading everything. The
+// simulated kernel has no write interception, so we model the same contract
+// with lazy per-page checksums: a scan hashes every 4 KiB page at most once
+// per generation and stamps pages whose hash moved with the scanning
+// generation. Writes that landed between two scans are attributed to the
+// later scan's generation — conservative (a page is never reported clean
+// while holding unseen writes), which is exactly what cache invalidation
+// and memoization need.
+
+#ifndef SRC_VKERN_PAGE_JOURNAL_H_
+#define SRC_VKERN_PAGE_JOURNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/vkern/arena.h"
+
+namespace vkern {
+
+class PageJournal {
+ public:
+  // Baselines every page's hash at `generation`. Every page starts marked
+  // "changed at `generation`", so a first query against an older epoch
+  // degenerates to all-dirty (safe) rather than all-clean (wrong).
+  PageJournal(const Arena* arena, uint64_t generation);
+
+  PageJournal(const PageJournal&) = delete;
+  PageJournal& operator=(const PageJournal&) = delete;
+
+  // Indices of pages whose content changed after `since_generation`
+  // (page base = arena base + index * kPageSize; the arena base itself need
+  // not be host-page-aligned, pages are arena-relative). Lazily rescans when
+  // `current_generation` differs from the last scanned generation, so
+  // repeated queries within one generation are free.
+  std::vector<uint32_t> DirtyPagesSince(uint64_t since_generation,
+                                        uint64_t current_generation);
+
+  size_t page_count() const { return last_changed_.size(); }
+  // Generation the page hashes are current for.
+  uint64_t scanned_generation() const { return scanned_gen_; }
+  // Generation at which `page` was last seen to change (the baseline
+  // generation if it never changed under this journal).
+  uint64_t last_changed(size_t page) const { return last_changed_[page]; }
+
+  // Host-side scan work: full-arena scans run and pages hashed in total.
+  uint64_t scans() const { return scans_; }
+  uint64_t pages_hashed() const { return pages_hashed_; }
+
+ private:
+  void Rescan(uint64_t current_generation);
+
+  const Arena* arena_;
+  uint64_t scanned_gen_;
+  std::vector<uint64_t> hashes_;        // per-page content hash
+  std::vector<uint64_t> last_changed_;  // per-page last-changed generation
+  uint64_t scans_ = 0;
+  uint64_t pages_hashed_ = 0;
+};
+
+}  // namespace vkern
+
+#endif  // SRC_VKERN_PAGE_JOURNAL_H_

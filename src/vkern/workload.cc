@@ -18,7 +18,7 @@ file* Workload::OpenScratchFile(const char* prefix, int idx) {
 }
 
 void Workload::SpawnPopulation() {
-  kernel_->BumpGeneration();
+  Kernel::MutationBatch batch(kernel_);
   task_struct* init = kernel_->procs().FindTaskByPid(1);
   shared_sem_ = kernel_->ipc().SemGet(0x5eed, 4);
   shared_msq_ = kernel_->ipc().MsgGet(0xfeed);
@@ -215,7 +215,9 @@ void Workload::DoRandomOp(ThreadState* ts) {
 }
 
 void Workload::Step() {
-  kernel_->BumpGeneration();  // DoRandomOp mutates before the TickCpu bumps
+  // One step = one mutation batch = one epoch: the batch absorbs the bumps
+  // the per-CPU TickCpu calls would otherwise each take.
+  Kernel::MutationBatch batch(kernel_);
   for (ThreadState& ts : states_) {
     DoRandomOp(&ts);
   }

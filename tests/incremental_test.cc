@@ -1,0 +1,500 @@
+// Incremental refresh correctness: the dirty-page journal over the arena,
+// Target's charged dirty-log queries, ReadSession delta invalidation (with
+// the all-dirty fallback), dirty-aware prefetch, viewcl memo replay, the
+// pane render-digest cache — and the end-to-end contract that incremental
+// refreshes render byte-identically to cold-cache extractions for every
+// figure, across epoch skew.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/dbg/read_session.h"
+#include "src/dbg/target.h"
+#include "src/viewcl/interp.h"
+#include "src/vision/figures.h"
+#include "src/vision/panes.h"
+#include "src/vision/render.h"
+#include "src/vkern/kernel.h"
+#include "src/vkern/page_journal.h"
+#include "src/vkern/workload.h"
+#include "tests/test_util.h"
+
+namespace dbg {
+namespace {
+
+constexpr uint64_t kPage = 4096;
+
+// --- the page-hash journal over the kernel arena ----------------------------
+
+TEST(PageJournalTest, CleanAtAttachDirtyAfterMutation) {
+  vkern::Kernel kernel;
+  vkern::PageJournal journal(&kernel.arena(), kernel.generation());
+  EXPECT_GT(journal.page_count(), 0u);
+
+  // Attaching baselines every page at the attach generation: nothing is
+  // dirty relative to it.
+  EXPECT_TRUE(journal.DirtyPagesSince(kernel.generation(), kernel.generation()).empty());
+
+  uint64_t attach_gen = kernel.generation();
+  for (int cpu = 0; cpu < vkern::kNrCpus; ++cpu) {
+    kernel.TickCpu(cpu);
+  }
+  std::vector<uint32_t> dirty = journal.DirtyPagesSince(attach_gen, kernel.generation());
+  EXPECT_GT(dirty.size(), 0u) << "a tick mutates scheduler/timer pages";
+  EXPECT_LT(dirty.size(), journal.page_count()) << "a tick must not touch everything";
+}
+
+TEST(PageJournalTest, RescansLazilyOncePerGeneration) {
+  vkern::Kernel kernel;
+  vkern::PageJournal journal(&kernel.arena(), kernel.generation());
+  uint64_t scans_after_attach = journal.scans();
+
+  // Same generation: answers come from the existing hashes, no rescan.
+  (void)journal.DirtyPagesSince(0, kernel.generation());
+  (void)journal.DirtyPagesSince(0, kernel.generation());
+  EXPECT_EQ(journal.scans(), scans_after_attach);
+
+  uint64_t attach_gen = kernel.generation();
+  kernel.TickCpu(0);
+  (void)journal.DirtyPagesSince(attach_gen, kernel.generation());
+  EXPECT_EQ(journal.scans(), scans_after_attach + 1);
+  (void)journal.DirtyPagesSince(attach_gen, kernel.generation());
+  EXPECT_EQ(journal.scans(), scans_after_attach + 1);
+}
+
+// --- a flat memory domain with an exact dirty log ---------------------------
+
+// FlatMemory plus a precise per-page dirty log, so delta invalidation can be
+// unit-tested without a kernel: Mutate() is one epoch + one dirtied page.
+class FlatDirtyMemory : public MemoryDomain {
+ public:
+  explicit FlatDirtyMemory(size_t size) : bytes_(size) {
+    for (size_t i = 0; i < size; ++i) {
+      bytes_[i] = static_cast<uint8_t>(i * 31 + 7);
+    }
+  }
+  bool ReadBytes(uint64_t addr, void* out, size_t len) const override {
+    if (addr + len > bytes_.size()) {
+      return false;
+    }
+    std::memcpy(out, bytes_.data() + addr, len);
+    return true;
+  }
+  uint64_t generation() const override { return generation_; }
+  DirtyPageInfo DirtyPagesSince(uint64_t since_generation) const override {
+    DirtyPageInfo info;
+    info.supported = true;
+    info.page_size = kPage;
+    info.pages_total = bytes_.size() / kPage;
+    info.pages_scanned = info.pages_total;
+    for (const auto& [page, gen] : dirty_) {
+      if (gen > since_generation) {
+        info.dirty_pages.push_back(page * kPage);
+      }
+    }
+    return info;
+  }
+
+  void Mutate(uint64_t addr, uint8_t value) {
+    ++generation_;
+    bytes_[addr] = value;
+    dirty_[addr / kPage] = generation_;
+  }
+  void MutateAllPages() {
+    ++generation_;
+    for (uint64_t page = 0; page < bytes_.size() / kPage; ++page) {
+      bytes_[page * kPage] ^= 0xFF;
+      dirty_[page] = generation_;
+    }
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t generation_ = 0;
+  std::map<uint64_t, uint64_t> dirty_;  // page index -> last dirty generation
+};
+
+TEST(DeltaInvalidationTest, EvictsOnlyBlocksOnDirtyPages) {
+  FlatDirtyMemory memory(16 * kPage);
+  Target target(&memory, LatencyModel::Free());
+  ReadSession session(&target, CacheConfig::Incremental());
+  ASSERT_TRUE(session.delta_enabled());
+
+  ASSERT_TRUE(session.ReadUnsigned(0, 8).ok());          // page 0
+  ASSERT_TRUE(session.ReadUnsigned(2 * kPage, 8).ok());  // page 2
+  EXPECT_EQ(target.reads(), 2u);
+
+  memory.Mutate(0, 0xEE);
+
+  // The clean page survives the epoch change: no refetch.
+  ASSERT_TRUE(session.ReadUnsigned(2 * kPage, 8).ok());
+  EXPECT_EQ(target.reads(), 2u);
+  EXPECT_EQ(session.cache_stats().delta_invalidations, 1u);
+  EXPECT_EQ(session.cache_stats().invalidations, 0u);
+  EXPECT_GT(session.cache_stats().invalidated_bytes_delta, 0u);
+  EXPECT_EQ(session.cache_stats().invalidated_bytes_full, 0u);
+
+  // The dirty page was evicted: refetch sees the new byte.
+  auto fresh = session.ReadUnsigned(0, 1);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*fresh, 0xEEu);
+  EXPECT_EQ(target.reads(), 3u);
+}
+
+TEST(DeltaInvalidationTest, AllPagesDirtyFallsBackToFullFlush) {
+  FlatDirtyMemory memory(16 * kPage);
+  Target target(&memory, LatencyModel::Free());
+  ReadSession session(&target, CacheConfig::Incremental());
+
+  for (uint64_t page = 0; page < 16; ++page) {
+    ASSERT_TRUE(session.ReadUnsigned(page * kPage, 8).ok());
+  }
+  memory.MutateAllPages();
+
+  // Dirty ratio 1.0 > max_dirty_ratio: one flush, not 16 pages of block
+  // walking — and the legacy `invalidations` counter keeps its meaning.
+  ASSERT_TRUE(session.ReadUnsigned(0, 1).ok());
+  EXPECT_EQ(session.cache_stats().invalidations, 1u);
+  EXPECT_EQ(session.cache_stats().delta_invalidations, 0u);
+  EXPECT_GT(session.cache_stats().invalidated_bytes_full, 0u);
+
+  // Every page refetches fresh bytes.
+  auto v = session.ReadUnsigned(5 * kPage, 1);
+  ASSERT_TRUE(v.ok());
+  uint64_t direct = 0;
+  ASSERT_TRUE(target.ReadBytes(5 * kPage, &direct, 1).ok());
+  EXPECT_EQ(*v, direct);
+}
+
+TEST(DeltaInvalidationTest, DomainWithoutDirtyLogFallsBackToFullFlush) {
+  // FlatDirtyMemory minus the override: DirtyPagesSince is unsupported.
+  class PlainMemory : public MemoryDomain {
+   public:
+    bool ReadBytes(uint64_t addr, void* out, size_t len) const override {
+      std::memset(out, static_cast<int>(addr & 0xFF), len);
+      return true;
+    }
+    uint64_t generation() const override { return generation_; }
+    void Bump() { ++generation_; }
+
+   private:
+    uint64_t generation_ = 0;
+  };
+
+  PlainMemory memory;
+  Target target(&memory, LatencyModel::Free());
+  ReadSession session(&target, CacheConfig::Incremental());
+  ASSERT_TRUE(session.ReadUnsigned(0, 8).ok());
+  memory.Bump();
+  ASSERT_TRUE(session.ReadUnsigned(0, 8).ok());
+  EXPECT_EQ(session.cache_stats().invalidations, 1u);
+  EXPECT_EQ(session.cache_stats().delta_invalidations, 0u);
+}
+
+TEST(DeltaInvalidationTest, RangeCleanSinceTracksDirtyHistory) {
+  FlatDirtyMemory memory(16 * kPage);
+  Target target(&memory, LatencyModel::Free());
+  ReadSession session(&target, CacheConfig::Incremental());
+  uint64_t attach_epoch = session.epoch();
+
+  memory.Mutate(3 * kPage + 100, 0xAB);
+  EXPECT_EQ(session.SyncEpoch(), memory.generation());
+
+  EXPECT_FALSE(session.RangeCleanSince(3 * kPage, 8, attach_epoch));
+  EXPECT_TRUE(session.RangeCleanSince(5 * kPage, 8, attach_epoch));
+  // A range straddling into the dirty page is dirty.
+  EXPECT_FALSE(session.RangeCleanSince(3 * kPage - 4, 8, attach_epoch));
+  // Relative to the current epoch everything is clean again.
+  EXPECT_TRUE(session.RangeCleanSince(3 * kPage, 8, session.epoch()));
+}
+
+TEST(DeltaInvalidationTest, DirtyAwarePrefetchWarmsOnlyDirtyPages) {
+  FlatDirtyMemory memory(16 * kPage);
+  Target target(&memory, LatencyModel::Free());
+  ReadSession session(&target, CacheConfig::Incremental());
+
+  // A fake 2-page object type.
+  Type object;
+  object.name = "two_pages";
+  object.size = 2 * kPage;
+
+  session.PrefetchObject(0, &object);
+  uint64_t reads_cold = target.reads();
+  EXPECT_GT(reads_cold, 0u);
+
+  // Dirty only the second page, then re-prefetch: only that page's blocks
+  // refetch.
+  memory.Mutate(kPage + 8, 0x55);
+  session.PrefetchObject(0, &object);
+  uint64_t blocks_per_page = kPage / session.config().block_bytes;
+  EXPECT_EQ(target.reads(), reads_cold + blocks_per_page);
+  EXPECT_EQ(session.cache_stats().delta_prefetches, 1u);
+
+  // Clean re-prefetch: free.
+  session.PrefetchObject(0, &object);
+  EXPECT_EQ(target.reads(), reads_cold + blocks_per_page);
+}
+
+// --- charged dirty-log queries ----------------------------------------------
+
+TEST(DirtyQueryTest, ChargesModelCostWithoutCountingReads) {
+  FlatDirtyMemory memory(16 * kPage);
+  LatencyModel model{"test", 1000, 10, 50'000};
+  Target target(&memory, model);
+
+  uint64_t before = target.clock().nanos();
+  DirtyPageInfo info = target.DirtyPagesSince(0);
+  ASSERT_TRUE(info.supported);
+  EXPECT_EQ(info.pages_total, 16u);
+
+  // One dirty-log round trip plus the bitmap payload (one bit per page).
+  uint64_t bitmap_bytes = (info.pages_total + 7) / 8;
+  EXPECT_EQ(target.clock().nanos() - before,
+            model.dirty_query_ns + model.per_byte_ns * bitmap_bytes);
+  EXPECT_EQ(target.reads(), 0u) << "dirty queries are not memory reads";
+  EXPECT_EQ(target.dirty_stats().queries, 1u);
+  EXPECT_EQ(target.dirty_stats().charged_ns,
+            model.dirty_query_ns + model.per_byte_ns * bitmap_bytes);
+}
+
+TEST(DirtyQueryTest, UnsupportedDomainChargesNothing) {
+  class PlainMemory : public MemoryDomain {
+   public:
+    bool ReadBytes(uint64_t, void* out, size_t len) const override {
+      std::memset(out, 0, len);
+      return true;
+    }
+    uint64_t generation() const override { return 0; }
+  };
+  PlainMemory memory;
+  Target target(&memory, LatencyModel::GdbQemu());
+  DirtyPageInfo info = target.DirtyPagesSince(0);
+  EXPECT_FALSE(info.supported);
+  EXPECT_EQ(target.clock().nanos(), 0u);
+  EXPECT_EQ(target.dirty_stats().queries, 0u);
+}
+
+// --- workload epoch coalescing ----------------------------------------------
+
+TEST(MutationBatchTest, OneWorkloadStepCostsOneEpoch) {
+  vkern::Kernel kernel;
+  vkern::WorkloadConfig config;
+  config.steps = 1;
+  vkern::Workload workload(&kernel, config);
+  workload.Run();  // spawn + one step
+
+  uint64_t before = kernel.generation();
+  workload.Step();
+  EXPECT_EQ(kernel.generation(), before + 1)
+      << "a step's ops + per-CPU ticks must coalesce into one epoch";
+
+  // Standalone TickCpu still bumps (the classic cache contract).
+  before = kernel.generation();
+  kernel.TickCpu(0);
+  EXPECT_EQ(kernel.generation(), before + 1);
+}
+
+// --- end-to-end: incremental refresh vs cold cache --------------------------
+
+class IncrementalKernelTest : public vltest::WorkloadKernelTest {};
+
+// The headline contract: a long-lived incremental debugger (delta
+// invalidation + memo replay), refreshed across workload steps, renders
+// byte-identically to a cold-cache extraction — for every figure.
+TEST_F(IncrementalKernelTest, IncrementalRendersMatchColdCacheForAllFigures) {
+  KernelDebugger incremental(kernel_.get(), LatencyModel::Free(),
+                             CacheConfig::Incremental());
+  vision::RegisterFigureSymbols(&incremental, workload_.get());
+  vision::AsciiRenderer renderer;
+
+  // One persistent interpreter per figure, so memo snapshots carry across
+  // refreshes exactly like a pane's shared interpreter does.
+  std::map<std::string, std::unique_ptr<viewcl::Interpreter>> interps;
+  for (const vision::FigureDef& figure : vision::AllFigures()) {
+    auto interp = std::make_unique<viewcl::Interpreter>(&incremental);
+    ASSERT_TRUE(interp->Load(figure.viewcl).ok()) << figure.id;
+    interps[figure.id] = std::move(interp);
+  }
+
+  for (int round = 0; round < 2; ++round) {
+    if (round > 0) {
+      workload_->Step();
+    }
+    KernelDebugger cold(kernel_.get(), LatencyModel::Free(), CacheConfig::Disabled());
+    vision::RegisterFigureSymbols(&cold, workload_.get());
+    for (const vision::FigureDef& figure : vision::AllFigures()) {
+      auto inc_graph = interps[figure.id]->Run();
+      viewcl::Interpreter cold_interp(&cold);
+      auto cold_graph = cold_interp.RunProgram(figure.viewcl);
+      ASSERT_EQ(inc_graph.ok(), cold_graph.ok()) << figure.id << " round " << round;
+      if (!inc_graph.ok()) {
+        continue;
+      }
+      EXPECT_EQ(renderer.Render(**inc_graph), renderer.Render(**cold_graph))
+          << figure.id << " round " << round;
+    }
+  }
+  // The steady-state rounds must actually exercise the incremental paths.
+  EXPECT_GT(incremental.session().cache_stats().delta_invalidations, 0u);
+  EXPECT_EQ(incremental.session().cache_stats().invalidations, 0u)
+      << "a workload step dirties a small fraction of the arena";
+}
+
+TEST_F(IncrementalKernelTest, MemoReplaysCleanSubtreesOnRefresh) {
+  KernelDebugger debugger(kernel_.get(), LatencyModel::Free(),
+                          CacheConfig::Incremental());
+  vision::RegisterFigureSymbols(&debugger, workload_.get());
+  const vision::FigureDef* figure = vision::FindFigure("fig3_4");
+  ASSERT_NE(figure, nullptr);
+
+  viewcl::Interpreter interp(&debugger);
+  ASSERT_TRUE(interp.Load(figure->viewcl).ok());
+  auto first = interp.Run();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(interp.memo_replays(), 0u);
+  EXPECT_GT(interp.memo_misses(), 0u);
+
+  // Nothing mutated: the whole graph replays from memo snapshots.
+  auto second = interp.Run();
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(interp.memo_replays(), 0u);
+  vision::AsciiRenderer renderer;
+  EXPECT_EQ(renderer.Render(**first), renderer.Render(**second));
+}
+
+// Epoch skew: multiple mutation epochs between refreshes (a pane left unre-
+// freshed while the kernel runs) must still converge to the cold render.
+TEST_F(IncrementalKernelTest, RefreshAfterMultipleEpochBumpsMatchesCold) {
+  KernelDebugger debugger(kernel_.get(), LatencyModel::Free(),
+                          CacheConfig::Incremental());
+  vision::RegisterFigureSymbols(&debugger, workload_.get());
+  const vision::FigureDef* figure = vision::FindFigure("fig7_1");
+  ASSERT_NE(figure, nullptr);
+
+  viewcl::Interpreter interp(&debugger);
+  ASSERT_TRUE(interp.Load(figure->viewcl).ok());
+  ASSERT_TRUE(interp.Run().ok());
+
+  uint64_t epoch_before = debugger.target().memory_generation();
+  for (int i = 0; i < 3; ++i) {
+    workload_->Step();
+  }
+  ASSERT_EQ(debugger.target().memory_generation(), epoch_before + 3);
+
+  auto refreshed = interp.Run();
+  ASSERT_TRUE(refreshed.ok());
+
+  KernelDebugger cold(kernel_.get(), LatencyModel::Free(), CacheConfig::Disabled());
+  vision::RegisterFigureSymbols(&cold, workload_.get());
+  viewcl::Interpreter cold_interp(&cold);
+  auto cold_graph = cold_interp.RunProgram(figure->viewcl);
+  ASSERT_TRUE(cold_graph.ok());
+  vision::AsciiRenderer renderer;
+  EXPECT_EQ(renderer.Render(**refreshed), renderer.Render(**cold_graph));
+}
+
+// --- pane render-digest cache -----------------------------------------------
+
+class RenderDigestTest : public vltest::WorkloadKernelTest {
+ protected:
+  void SetUp() override {
+    vltest::WorkloadKernelTest::SetUp();
+    debugger_ = std::make_unique<KernelDebugger>(kernel_.get());
+    vision::RegisterFigureSymbols(debugger_.get(), workload_.get());
+    interp_ = std::make_unique<viewcl::Interpreter>(debugger_.get());
+  }
+
+  std::unique_ptr<KernelDebugger> debugger_;
+  std::unique_ptr<viewcl::Interpreter> interp_;
+};
+
+TEST_F(RenderDigestTest, UnchangedGraphSkipsReRender) {
+  vision::PaneManager panes(debugger_.get());
+  const vision::FigureDef* figure = vision::FindFigure("fig3_4");
+  ASSERT_NE(figure, nullptr);
+  ASSERT_TRUE(interp_->Load(figure->viewcl).ok());
+  auto graph = interp_->Run();
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(panes.SetGraph(1, std::move(graph).value(), figure->viewcl).ok());
+
+  auto replot = [this](const std::string& source)
+      -> vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>> {
+    viewcl::Interpreter fresh(debugger_.get());
+    return fresh.RunProgram(source);
+  };
+
+  // First refresh renders (empty cache); the second reproduces the same
+  // graph, so its digest matches and the cached output is reused.
+  auto r1 = panes.RefreshPane(1, replot);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1->render_reused);
+  auto r2 = panes.RefreshPane(1, replot);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->render_reused);
+  EXPECT_EQ(panes.render_digest_hits(), 1u);
+
+  // Identical output either way.
+  std::string direct = panes.RenderPane(1);
+  EXPECT_TRUE(panes.render_digest_hits() >= 2u);
+  EXPECT_NE(direct.find("pid ="), std::string::npos);
+}
+
+TEST_F(RenderDigestTest, ViewQlUpdateChangesDigestAndReRenders) {
+  vision::PaneManager panes(debugger_.get());
+  const vision::FigureDef* figure = vision::FindFigure("fig3_4");
+  ASSERT_NE(figure, nullptr);
+  ASSERT_TRUE(interp_->Load(figure->viewcl).ok());
+  auto graph = interp_->Run();
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(panes.SetGraph(1, std::move(graph).value(), figure->viewcl).ok());
+
+  (void)panes.RenderPane(1);
+  uint64_t misses_before = panes.render_digest_misses();
+
+  // Mutating display attributes through ViewQL changes the digest: the next
+  // render must not serve the stale cached output.
+  ASSERT_TRUE(panes
+                  .ApplyViewQl(1,
+                               "a = SELECT task_struct FROM * WHERE pid == 1\n"
+                               "UPDATE a WITH collapsed: true")
+                  .ok());
+  (void)panes.RenderPane(1);
+  EXPECT_EQ(panes.render_digest_misses(), misses_before + 1);
+
+  // Unchanged again: cached.
+  uint64_t hits_before = panes.render_digest_hits();
+  (void)panes.RenderPane(1);
+  EXPECT_EQ(panes.render_digest_hits(), hits_before + 1);
+}
+
+TEST_F(RenderDigestTest, DifferentBackendsAndOptionsCacheSeparately) {
+  vision::PaneManager panes(debugger_.get());
+  const vision::FigureDef* figure = vision::FindFigure("fig3_4");
+  ASSERT_NE(figure, nullptr);
+  ASSERT_TRUE(interp_->Load(figure->viewcl).ok());
+  auto graph = interp_->Run();
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(panes.SetGraph(1, std::move(graph).value(), figure->viewcl).ok());
+
+  std::string ascii = panes.RenderPane(1);
+  std::string dot = panes.RenderPane(1, vision::RenderOptions{}, "dot");
+  vision::RenderOptions with_addrs;
+  with_addrs.show_addresses = true;
+  std::string addrs = panes.RenderPane(1, with_addrs);
+  EXPECT_EQ(panes.render_digest_misses(), 3u) << "three distinct cache keys";
+  EXPECT_NE(ascii, dot);
+  EXPECT_NE(ascii, addrs);
+
+  // Each key replays from its own slot.
+  EXPECT_EQ(panes.RenderPane(1), ascii);
+  EXPECT_EQ(panes.RenderPane(1, vision::RenderOptions{}, "dot"), dot);
+  EXPECT_EQ(panes.render_digest_hits(), 2u);
+}
+
+}  // namespace
+}  // namespace dbg
