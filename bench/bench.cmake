@@ -3,7 +3,7 @@
 function(vl_add_bench name)
   add_executable(${name} bench/${name}.cc)
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
-  target_link_libraries(${name} PRIVATE vl_vision vl_viewql vl_viewcl vl_dbg vl_vkern vl_support)
+  target_link_libraries(${name} PRIVATE vl_serve vl_vision vl_viewql vl_viewcl vl_dbg vl_vkern vl_support)
 endfunction()
 
 vl_add_bench(bench_table2)
@@ -18,4 +18,4 @@ vl_add_bench(bench_report)
 
 add_executable(bench_micro bench/bench_micro.cc)
 set_target_properties(bench_micro PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
-target_link_libraries(bench_micro PRIVATE vl_vision vl_viewql vl_viewcl vl_dbg vl_vkern vl_support benchmark::benchmark)
+target_link_libraries(bench_micro PRIVATE vl_serve vl_vision vl_viewql vl_viewcl vl_dbg vl_vkern vl_support benchmark::benchmark)

@@ -17,6 +17,7 @@
 
 #include "bench/bench_util.h"
 #include "src/analysis/lint.h"
+#include "src/serve/server.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
 #include "src/viewcl/interp.h"
@@ -378,6 +379,154 @@ vl::Json MeasureLint(vlbench::BenchEnv& env) {
   return j;
 }
 
+// ---------------------------------------------------------------------------
+// vserve: aggregate work served vs charged transport time as overlapping
+// clients pile onto one shard. Every server in this section boots an
+// identical deterministic kernel and steps it in lockstep, so a fleet
+// client's render bytes must equal the single-session reference exactly.
+
+constexpr int kServeRounds = 3;
+
+const char* ServeFigure(size_t client, int overlap_pct) {
+  // 100%: everyone refreshes fig3_4. 50%: odd clients refresh fig7_1.
+  return (overlap_pct == 100 || client % 2 == 0) ? "fig3_4" : "fig7_1";
+}
+
+// Single-session mode: one server, one client, `rounds` step+refresh cycles.
+// Returns the render bytes per round (the byte-identity reference).
+std::vector<std::string> ServeSingleSessionRenders(const char* figure_id, int rounds) {
+  vserve::Server server;
+  if (!server.BootShard("serve", dbg::LatencyModel::GdbQemu()).ok()) {
+    return {};
+  }
+  auto client = server.Connect();
+  if (!client.ok() || !(*client)->Plot(1, vision::FindFigure(figure_id)->viewcl).ok()) {
+    return {};
+  }
+  std::vector<std::string> renders;
+  for (int round = 0; round < rounds; ++round) {
+    server.shard_workload("serve")->Step();
+    auto result = (*client)->Refresh(1);
+    if (!result.ok()) {
+      return {};
+    }
+    renders.push_back(result->render);
+  }
+  return renders;
+}
+
+vl::Json MeasureServeCell(size_t clients, int overlap_pct,
+                          const std::map<std::string, std::vector<std::string>>& reference) {
+  vl::Json j = vl::Json::Object();
+  j["clients"] = vl::Json::Int(static_cast<int64_t>(clients));
+  j["overlap_pct"] = vl::Json::Int(overlap_pct);
+  j["rounds"] = vl::Json::Int(kServeRounds);
+  j["ok"] = vl::Json::Bool(false);
+
+  vserve::Server server;
+  if (!server.BootShard("serve", dbg::LatencyModel::GdbQemu()).ok()) {
+    return j;
+  }
+  std::vector<vl::StatusOr<vserve::Client>> fleet;
+  for (size_t i = 0; i < clients; ++i) {
+    fleet.push_back(server.Connect());
+    if (!fleet.back().ok() ||
+        !(*fleet.back())
+             ->Plot(1, vision::FindFigure(ServeFigure(i, overlap_pct))->viewcl)
+             .ok()) {
+      return j;
+    }
+  }
+
+  bool renders_identical = true;
+  uint64_t refreshes = 0;
+  for (int round = 0; round < kServeRounds; ++round) {
+    server.shard_workload("serve")->Step();
+    for (size_t i = 0; i < clients; ++i) {
+      auto result = (*fleet[i])->Refresh(1);
+      if (!result.ok()) {
+        return j;
+      }
+      refreshes++;
+      const std::vector<std::string>& expect = reference.at(ServeFigure(i, overlap_pct));
+      renders_identical =
+          renders_identical && result->render == expect[static_cast<size_t>(round)];
+    }
+  }
+
+  uint64_t charged_ns = 0;
+  uint64_t deduped = 0;
+  for (auto& client : fleet) {
+    charged_ns += (*client)->charged_ns();
+    deduped += (*client)->deduped();
+  }
+  j["ok"] = vl::Json::Bool(true);
+  j["refreshes_served"] = vl::Json::Int(static_cast<int64_t>(refreshes));
+  j["aggregate_charged_ns"] = vl::Json::Int(static_cast<int64_t>(charged_ns));
+  j["dedup_hits"] = vl::Json::Int(static_cast<int64_t>(deduped));
+  j["renders_identical"] = vl::Json::Bool(renders_identical);
+  return j;
+}
+
+vl::Json MeasureServe() {
+  std::map<std::string, std::vector<std::string>> reference;
+  for (const char* figure_id : {"fig3_4", "fig7_1"}) {
+    reference[figure_id] = ServeSingleSessionRenders(figure_id, kServeRounds);
+    if (reference[figure_id].empty()) {
+      vl::Json failed = vl::Json::Object();
+      failed["passed"] = vl::Json::Bool(false);
+      return failed;
+    }
+  }
+
+  vl::Json report = vl::Json::Object();
+  report["workload"] = vl::Json::Str(
+      "N clients on one GDB/QEMU shard; per round: one workload step, then "
+      "every client refreshes its pane; 100% overlap = all fig3_4, 50% = odd "
+      "clients fig7_1");
+  vl::Json cells = vl::Json::Array();
+  bool passed = true;
+  for (int overlap_pct : {100, 50}) {
+    uint64_t single_charged = 0;
+    for (size_t clients : {1u, 2u, 4u, 8u}) {
+      vl::Json cell = MeasureServeCell(clients, overlap_pct, reference);
+      const vl::Json* ok = cell.Find("ok");
+      if (ok == nullptr || !ok->AsBool()) {
+        passed = false;
+        cells.Append(std::move(cell));
+        continue;
+      }
+      uint64_t charged =
+          static_cast<uint64_t>(cell.Find("aggregate_charged_ns")->AsNumber());
+      uint64_t refreshes =
+          static_cast<uint64_t>(cell.Find("refreshes_served")->AsNumber());
+      if (clients == 1) {
+        single_charged = charged;
+      }
+      bool identical = cell.Find("renders_identical")->AsBool();
+      double work_vs_single = static_cast<double>(refreshes) / kServeRounds;
+      double charged_vs_single =
+          single_charged > 0 ? static_cast<double>(charged) / single_charged : 0.0;
+      cell["work_vs_single"] = vl::Json::Number(work_vs_single);
+      cell["charged_vs_single"] = vl::Json::Number(charged_vs_single);
+      passed = passed && identical;
+      // The acceptance gate: a fully-overlapping 8-client fleet serves >= 6x
+      // the work of one client for < 2x the charged transport time.
+      if (overlap_pct == 100 && clients == 8) {
+        passed = passed && work_vs_single >= 6.0 && charged_vs_single < 2.0;
+      }
+      std::printf("  serve %zu client(s) %3d%% overlap: %5.1fx work, %4.2fx charged, "
+                  "renders_identical=%s\n",
+                  clients, overlap_pct, work_vs_single, charged_vs_single,
+                  identical ? "true" : "false");
+      cells.Append(std::move(cell));
+    }
+  }
+  report["cells"] = std::move(cells);
+  report["passed"] = vl::Json::Bool(passed);
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -526,6 +675,23 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", incremental_path);
   if (!inc_ok) {
     std::printf("error: incremental refresh diverged from full re-extraction\n");
+    return 1;
+  }
+
+  // Multi-session serving: throughput and dedup accounting as overlapping
+  // clients share one shard.
+  const char* serve_path = argc > 6 ? argv[6] : "BENCH_serve.json";
+  vl::Json serve_report = MeasureServe();
+  const vl::Json* serve_passed = serve_report.Find("passed");
+  std::ofstream serve_file(serve_path);
+  if (!serve_file) {
+    std::printf("error: cannot open %s\n", serve_path);
+    return 1;
+  }
+  serve_file << serve_report.Dump(2) << "\n";
+  std::printf("wrote %s\n", serve_path);
+  if (serve_passed == nullptr || !serve_passed->AsBool()) {
+    std::printf("error: serve fleet missed its dedup/byte-identity gates\n");
     return 1;
   }
   return 0;

@@ -1,6 +1,9 @@
 // The panel-based interactive debugger (paper §2.4, Figure 2).
 //
-// Runs the v-command shell over a live simulated kernel. With --demo, a
+// Runs the v-command shell over a live simulated kernel, connected through
+// the vserve serving layer: a Server boots the kernel as a shard, Connect
+// attaches a session, and the shell drives that session (single-user mode is
+// literally a one-session server — see docs/serving.md). With --demo, a
 // scripted session reproduces Figure 2's workflow: two primary panes (the
 // process parenthood tree and the CFS scheduling tree), a "focus" search
 // that finds the same task_struct in both, a secondary pane for the focused
@@ -9,26 +12,27 @@
 //
 //   $ ./interactive_debugger --demo
 //   $ ./interactive_debugger            # type 'help' for commands
-//   $ ./interactive_debugger --incremental   # delta cache invalidation on
+//   $ ./interactive_debugger --classic  # classic full-flush cache invalidation
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "src/serve/server.h"
+#include "src/serve/shell.h"
 #include "src/support/str.h"
 #include "src/vision/figures.h"
-#include "src/vision/shell.h"
 #include "src/vkern/kernel.h"
 #include "src/vkern/workload.h"
 
 namespace {
 
-void Run(vision::DebuggerShell& shell, const std::string& line) {
+void Run(vserve::DebuggerShell& shell, const std::string& line) {
   std::printf("(vdb) %s\n%s\n", line.c_str(), shell.Execute(line).c_str());
 }
 
-int Demo(vision::DebuggerShell& shell, vkern::Kernel& kernel) {
+int Demo(vserve::DebuggerShell& shell, vkern::Kernel& kernel) {
   std::printf("--- scripted demo: the paper's Figure 2 workflow ---\n\n");
 
   // Pane 1: the process parenthood tree; pane 2: the CFS scheduling tree.
@@ -68,20 +72,34 @@ int Demo(vision::DebuggerShell& shell, vkern::Kernel& kernel) {
 int main(int argc, char** argv) {
   std::printf("=== Visualinux-CPP interactive debugger ===\n");
   std::printf("booting the kernel and running the workload...\n\n");
-  vkern::Kernel kernel;
-  vkern::Workload workload(&kernel);
-  workload.Run();
   bool demo = false;
-  bool incremental = false;
+  bool classic = false;
   for (int i = 1; i < argc; ++i) {
     demo = demo || std::strcmp(argv[i], "--demo") == 0;
-    incremental = incremental || std::strcmp(argv[i], "--incremental") == 0;
+    classic = classic || std::strcmp(argv[i], "--classic") == 0;
   }
-  dbg::KernelDebugger debugger(&kernel, dbg::LatencyModel::Free(),
-                               incremental ? dbg::CacheConfig::Incremental()
-                                           : dbg::CacheConfig());
-  vision::RegisterFigureSymbols(&debugger, &workload);
-  vision::DebuggerShell shell(&debugger);
+
+  // The vserve front end: boot the simulated kernel as a shard, then attach
+  // one session. More clients could Connect to the same server and share its
+  // block cache, engines, and refresh dedup.
+  vserve::Server server;
+  vl::Status booted = server.BootShard("local", dbg::LatencyModel::Free());
+  if (!booted.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n", booted.ToString().c_str());
+    return 1;
+  }
+  vserve::SessionOptions options;  // serving defaults: incremental + dedup
+  if (classic) {
+    options = vserve::SessionOptions::Classic();
+  }
+  auto client = server.Connect(options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  vserve::DebuggerShell shell(client->session());
+  vkern::Kernel& kernel = *server.shard_kernel("local");
+  vkern::Workload& workload = *server.shard_workload("local");
 
   if (demo) {
     return Demo(shell, kernel);

@@ -21,6 +21,11 @@
 
 namespace dbg {
 
+// The per-kernel debugger bundle (types + symbols + target + read session).
+// For multi-client or serving use, don't hold one of these directly — boot it
+// as a vserve shard (vserve::Server::BootShard/AddShard, src/serve/server.h)
+// and attach sessions via Server::Connect, so the block cache, extraction
+// engines, and refresh dedup are shared safely across clients.
 class KernelDebugger {
  public:
   explicit KernelDebugger(vkern::Kernel* kernel,

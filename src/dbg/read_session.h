@@ -40,6 +40,12 @@
 
 namespace dbg {
 
+// NOTE: for client-facing code this struct is superseded by
+// vserve::SessionOptions (src/serve/options.h), which consolidates the cache
+// fields with the render/engine/dedup/admission knobs and validates the
+// combination fail-fast. CacheConfig remains the dbg-layer carrier that
+// SessionOptions lowers to (ToCacheConfig/FromCacheConfig); construct it
+// directly only when wiring a bare KernelDebugger without the serving layer.
 struct CacheConfig {
   // Aligned fetch granularity in bytes (rounded up to a power of two).
   // 0 disables caching entirely: the session becomes a passthrough whose

@@ -19,14 +19,16 @@ Target::Target(const MemoryDomain* memory, LatencyModel model)
 Target::~Target() { vl::Tracer::Instance().ClearClockIf(&clock_); }
 
 void Target::set_model(LatencyModel model) {
-  FlushModelStats();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  FlushModelStatsLocked();
   model_ = std::move(model);
 }
 
 void Target::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   clock_.Reset();
-  reads_ = 0;
-  bytes_read_ = 0;
+  reads_.store(0, std::memory_order_relaxed);
+  bytes_read_.store(0, std::memory_order_relaxed);
   dirty_stats_ = DirtyStats{};
   by_model_.clear();
   model_nanos_base_ = model_reads_base_ = model_bytes_base_ = 0;
@@ -47,10 +49,13 @@ DirtyPageInfo Target::DirtyPagesSince(uint64_t since_generation) {
   uint64_t bitmap_bytes = (info.pages_total + 7) / 8;
   uint64_t cost = model_.dirty_query_ns + model_.per_byte_ns * bitmap_bytes;
   clock_.AdvanceNanos(cost);
-  dirty_stats_.queries++;
-  dirty_stats_.pages_scanned += info.pages_scanned;
-  dirty_stats_.pages_dirty += info.dirty_pages.size();
-  dirty_stats_.charged_ns += cost;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    dirty_stats_.queries++;
+    dirty_stats_.pages_scanned += info.pages_scanned;
+    dirty_stats_.pages_dirty += info.dirty_pages.size();
+    dirty_stats_.charged_ns += cost;
+  }
   if (trace_flag_->load(std::memory_order_relaxed)) {
     RecordDirtyQuery(info, cost);  // tracing slow path, out of line
   }
@@ -82,14 +87,25 @@ vl::Json Target::DirtyStats::ToJson() const {
   return j;
 }
 
-void Target::FlushModelStats() const {
+Target::DirtyStats Target::dirty_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return dirty_stats_;
+}
+
+std::map<std::string, TransportStats> Target::per_model_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  FlushModelStatsLocked();
+  return by_model_;
+}
+
+void Target::FlushModelStatsLocked() const {
   TransportStats& stats = by_model_[model_.name];
   stats.charged_ns += clock_.nanos() - model_nanos_base_;
-  stats.reads += reads_ - model_reads_base_;
-  stats.bytes += bytes_read_ - model_bytes_base_;
+  stats.reads += reads() - model_reads_base_;
+  stats.bytes += bytes_read() - model_bytes_base_;
   model_nanos_base_ = clock_.nanos();
-  model_reads_base_ = reads_;
-  model_bytes_base_ = bytes_read_;
+  model_reads_base_ = reads();
+  model_bytes_base_ = bytes_read();
 }
 
 void Target::RecordRead(size_t len, uint64_t cost) {
@@ -113,14 +129,16 @@ vl::Json TransportStats::ToJson() const {
 }
 
 vl::Json Target::StatsToJson() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  FlushModelStatsLocked();
   vl::Json j = vl::Json::Object();
   j["charged_ns"] = vl::Json::Int(static_cast<int64_t>(clock_.nanos()));
-  j["reads"] = vl::Json::Int(static_cast<int64_t>(reads_));
-  j["bytes"] = vl::Json::Int(static_cast<int64_t>(bytes_read_));
+  j["reads"] = vl::Json::Int(static_cast<int64_t>(reads()));
+  j["bytes"] = vl::Json::Int(static_cast<int64_t>(bytes_read()));
   j["model"] = vl::Json::Str(model_.name);
   j["dirty"] = dirty_stats_.ToJson();
   vl::Json per_model = vl::Json::Object();
-  for (const auto& [name, stats] : per_model_stats()) {
+  for (const auto& [name, stats] : by_model_) {
     per_model[name] = stats.ToJson();
   }
   j["per_model"] = std::move(per_model);

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -125,23 +126,24 @@ class Target {
     // {"queries", "pages_scanned", "pages_dirty", "charged_ns"}
     vl::Json ToJson() const;
   };
-  const DirtyStats& dirty_stats() const { return dirty_stats_; }
+  // Snapshot (by value): safe to call while another thread is mid-refresh.
+  DirtyStats dirty_stats() const;
 
   // --- accounting ---
   const vl::VirtualClock& clock() const { return clock_; }
-  uint64_t reads() const { return reads_; }
-  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t bytes_read() const { return bytes_read_.load(std::memory_order_relaxed); }
   // Resets clock, totals, per-model attribution, AND the `dbg.read.*`
   // tracing metrics recorded via RecordRead, so back-to-back bench phases
-  // can't leak counts into each other.
+  // can't leak counts into each other. Safe to call while readers snapshot
+  // stats concurrently (they see either pre- or post-reset values, never a
+  // torn map).
   void ResetStats();
 
-  // Charges attributed per latency-model name. Charges since the last model
-  // swap are folded in lazily, so this is always current.
-  const std::map<std::string, TransportStats>& per_model_stats() const {
-    FlushModelStats();
-    return by_model_;
-  }
+  // Charges attributed per latency-model name, snapshotted by value so a
+  // concurrent ResetStats()/set_model() can't invalidate the result under the
+  // caller. Charges since the last model swap are folded in lazily.
+  std::map<std::string, TransportStats> per_model_stats() const;
 
   // {"charged_ns", "reads", "bytes", "model", "per_model": {name: {...}}}
   vl::Json StatsToJson() const;
@@ -172,11 +174,16 @@ class Target {
   const char* read_tag() const { return read_tag_; }
 
  private:
+  // Single-writer counters: reads are serialized by the target's owner (the
+  // shard extraction mutex in vserve), so relaxed load+store compiles to a
+  // plain add — no locked RMW — while concurrent stat snapshots stay
+  // race-free (ThreadSanitizer-clean).
   void Charge(size_t len) {
     uint64_t cost = model_.per_access_ns + model_.per_byte_ns * len;
     clock_.AdvanceNanos(cost);
-    reads_++;
-    bytes_read_ += len;
+    reads_.store(reads_.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    bytes_read_.store(bytes_read_.load(std::memory_order_relaxed) + len,
+                      std::memory_order_relaxed);
     if (trace_flag_->load(std::memory_order_relaxed)) {
       RecordRead(len, cost);  // tracing slow path, out of line
     }
@@ -184,16 +191,21 @@ class Target {
   void RecordRead(size_t len, uint64_t cost);
   void RecordDirtyQuery(const DirtyPageInfo& info, uint64_t cost);
   // Attributes charges since the last swap/flush to the current model.
-  void FlushModelStats() const;
+  // Caller must hold stats_mu_.
+  void FlushModelStatsLocked() const;
 
   const MemoryDomain* memory_;
   LatencyModel model_;
   vl::VirtualClock clock_;
-  uint64_t reads_ = 0;
-  uint64_t bytes_read_ = 0;
-  DirtyStats dirty_stats_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  DirtyStats dirty_stats_;  // guarded by stats_mu_ (cold path only)
   const std::atomic<bool>* trace_flag_;  // Tracer's enabled flag (cached)
   const char* read_tag_ = nullptr;
+
+  // Guards dirty_stats_, by_model_, and the model bases so stat snapshots and
+  // ResetStats() can interleave with an in-flight refresh.
+  mutable std::mutex stats_mu_;
 
   // Per-model attribution: totals snapshotted at the last model swap; the
   // delta since then belongs to the current model. Zero cost on the read path.

@@ -1,0 +1,99 @@
+// vserve session configuration (the serving layer's half of the API redesign).
+//
+// Before vserve there were three separate knobs controlling what a client's
+// refreshes cost: dbg::CacheConfig (block cache), CacheConfig::Incremental()
+// (dirty-log delta invalidation), and the pane layer's render digest cache.
+// SessionOptions consolidates all of them into one validated struct that a
+// client hands to Server::Connect. Validation is vlint-style fail-fast: every
+// invalid combination gets a stable rule ID (VS001...) and a one-line
+// diagnostic, and Connect refuses the session instead of silently "fixing"
+// the options.
+
+#ifndef SRC_SERVE_OPTIONS_H_
+#define SRC_SERVE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/dbg/read_session.h"
+#include "src/support/diag.h"
+
+namespace vserve {
+
+struct SessionOptions {
+  // --- shared extraction cache (replaces direct dbg::CacheConfig use) ---
+  // Aligned fetch granularity of the shard's ReadSession; 0 disables block
+  // caching entirely (every read is a raw transport round trip).
+  size_t block_bytes = 256;
+  // LRU capacity in blocks.
+  size_t capacity_blocks = 4096;
+  // Dirty-log delta invalidation (the old CacheConfig::Incremental()): on a
+  // kernel mutation epoch, evict only blocks overlapping dirty pages. This is
+  // the serving default — multi-client dashboards live on incremental
+  // refresh.
+  bool incremental = true;
+  // Above this fraction of dirty pages a full flush is cheaper than
+  // block-wise eviction.
+  double max_dirty_ratio = 0.5;
+
+  // --- render ---
+  // Digest-keyed render memo per pane (the old per-pane render-cache
+  // behavior, now a session-level switch).
+  bool render_cache = true;
+
+  // --- extraction engines & request dedup ---
+  // Per-program shard engines: ViewCL programs are loaded once per shard and
+  // re-Run() on refresh, so interning/memo snapshots persist across refreshes
+  // and are shared by every session plotting the same figure. false restores
+  // the classic single-user semantics (a private interpreter that re-loads
+  // the program on every replot) — the compat path for pre-vserve shells.
+  bool shared_engines = true;
+  // Coalesce identical concurrent work: refreshes of the same (figure,
+  // epoch, backend) are served once and fanned out from the shard's result
+  // cache. false restores classic always-re-extract semantics.
+  bool coalesce = true;
+
+  // --- placement & admission control ---
+  // Shard to attach to; "" picks one round-robin across the server's shards.
+  std::string shard;
+  // Latency budget for the whole session on the virtual clock; once the
+  // session's charged nanoseconds reach it, further refreshes are rejected
+  // with RESOURCE_EXHAUSTED (and a budget violation is recorded). 0 means
+  // unlimited.
+  uint64_t session_budget_ns = 0;
+  // Async refresh requests a session may have queued before SubmitRefresh
+  // rejects with RESOURCE_EXHAUSTED.
+  size_t max_queued = 16;
+
+  // The pre-vserve single-user defaults (classic CacheConfig, private
+  // engine, no dedup) — what DebuggerShell's compat constructor uses.
+  static SessionOptions Classic();
+  // Adopts a live ReadSession's CacheConfig (plus classic engine/dedup
+  // semantics), so attaching to an existing debugger never reconfigures it.
+  static SessionOptions FromCacheConfig(const dbg::CacheConfig& config);
+  // The cache fields as the dbg layer's config struct.
+  dbg::CacheConfig ToCacheConfig() const;
+  // True when both sets of cache fields agree — the requirement for two
+  // sessions to share one shard ReadSession.
+  bool CacheCompatibleWith(const SessionOptions& other) const;
+
+  // Fail-fast diagnostics, stable rule IDs:
+  //   VS001 error   incremental refresh requires a block cache (block_bytes>0)
+  //   VS002 error   a block cache needs capacity_blocks > 0
+  //   VS003 error   max_dirty_ratio outside [0, 1]
+  //   VS004 error   max_queued must be >= 1
+  //   VS005 error   shard names may not contain '|' or whitespace
+  //   VS006 warning block_bytes is rounded up to a power of two
+  vl::DiagnosticList Validate() const;
+  // "" when there are no errors; else one rendered diagnostic per line
+  // ("error[VS003]: ...").
+  std::string ValidationText() const;
+};
+
+// True when the two dbg-layer configs describe the same cache behavior.
+bool SameCacheConfig(const dbg::CacheConfig& a, const dbg::CacheConfig& b);
+
+}  // namespace vserve
+
+#endif  // SRC_SERVE_OPTIONS_H_

@@ -1,0 +1,706 @@
+#include "src/serve/server.h"
+
+#include <utility>
+
+#include "src/support/metrics.h"
+#include "src/support/str.h"
+#include "src/vision/figures.h"
+
+namespace vserve {
+
+namespace internal {
+
+// One simulated kernel behind the front end, plus everything its sessions
+// share: the debugger (whose ReadSession block cache is the shared extraction
+// cache), the per-program ViewCL engines, and the refresh result cache.
+struct Shard {
+  explicit Shard(size_t cache_entries) : cache(cache_entries) {}
+
+  std::string name;
+  dbg::KernelDebugger* debugger = nullptr;  // owned_debugger.get() or borrowed
+  std::unique_ptr<vkern::Kernel> kernel;        // BootShard shards only
+  std::unique_ptr<vkern::Workload> workload;    // BootShard shards only
+  std::unique_ptr<dbg::KernelDebugger> owned_debugger;
+
+  // Serializes extraction on this shard and guards `engines`.
+  std::mutex mu;
+  // Shared per-program engines: Load once, Run per refresh, so interning and
+  // memo snapshots persist across refreshes and across sessions.
+  std::map<std::string, std::unique_ptr<viewcl::Interpreter>> engines;
+
+  // Guards `cache` and `dedup_hits`. Lock order: mu before cache_mu.
+  mutable std::mutex cache_mu;
+  ResultCache cache;
+  uint64_t dedup_hits = 0;
+
+  uint64_t extractions = 0;  // guarded by mu
+  size_t sessions = 0;       // guarded by the server mutex
+};
+
+}  // namespace internal
+
+namespace {
+
+vl::Status ValidateShardName(const std::string& name) {
+  if (name.empty()) {
+    return vl::InvalidArgumentError("shard name must be non-empty");
+  }
+  if (name.find('|') != std::string::npos ||
+      name.find_first_of(" \t\n") != std::string::npos) {
+    return vl::InvalidArgumentError(vl::StrFormat(
+        "shard name '%s' may not contain '|' or whitespace", name.c_str()));
+  }
+  return vl::Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Ticket
+
+bool Ticket::done() const {
+  if (state_ == nullptr) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->result.has_value();
+}
+
+vl::StatusOr<ServeResult> Ticket::Wait() const {
+  if (state_ == nullptr) {
+    return vl::FailedPreconditionError("waiting on an empty ticket");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->result.has_value(); });
+  return *state_->result;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+
+Session::Session(Server* server, internal::Shard* shard, SessionOptions options, int id)
+    : server_(server),
+      shard_(shard),
+      options_(std::move(options)),
+      id_(id),
+      debugger_(shard->debugger),
+      panes_(shard->debugger) {
+  panes_.AttachObservers(&recorder_, &budgets_);
+  panes_.set_render_cache_enabled(options_.render_cache);
+}
+
+Session::~Session() { server_->CancelSession(this); }
+
+const std::string& Session::shard_name() const { return shard_->name; }
+
+viewcl::Interpreter* Session::classic_engine() {
+  if (classic_engine_ == nullptr) {
+    classic_engine_ = std::make_unique<viewcl::Interpreter>(debugger_);
+  }
+  return classic_engine_.get();
+}
+
+viewcl::EmojiRegistry& Session::emoji() { return classic_engine()->emoji(); }
+
+vl::StatusOr<Session::PlotResult> Session::Plot(int pane, const std::string& program) {
+  std::unique_ptr<viewcl::ViewGraph> graph;
+  {
+    std::lock_guard<std::mutex> lock(shard_->mu);
+    VL_ASSIGN_OR_RETURN(graph, server_->ReplotLocked(this, program));
+  }
+  PlotResult out;
+  out.boxes = graph->size();
+  out.warnings = last_warnings_;
+  VL_RETURN_IF_ERROR(panes_.SetGraph(pane, std::move(graph), program));
+  return out;
+}
+
+vl::Status Session::Apply(int pane, std::string_view viewql) {
+  return panes_.ApplyViewQl(pane, viewql);
+}
+
+vl::StatusOr<int> Session::Split(int pane, char direction) {
+  return panes_.Split(pane, direction);
+}
+
+std::string Session::Render(int pane, const vision::RenderOptions& options,
+                            std::string_view backend) {
+  return panes_.RenderPane(pane, options, backend);
+}
+
+vl::StatusOr<ServeResult> Session::Refresh(int pane, const std::string& backend,
+                                           const vision::RenderOptions& options) {
+  VL_ASSIGN_OR_RETURN(Ticket ticket, SubmitRefresh(pane, backend, options));
+  return ticket.Wait();
+}
+
+vl::StatusOr<Ticket> Session::SubmitRefresh(int pane, const std::string& backend,
+                                            const vision::RenderOptions& options) {
+  return server_->Submit(this, pane, backend, options);
+}
+
+vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>> Session::RunProgram(
+    const std::string& program, std::vector<std::string>* warnings) {
+  std::lock_guard<std::mutex> lock(shard_->mu);
+  auto result = server_->ReplotLocked(this, program);
+  if (warnings != nullptr) {
+    warnings->insert(warnings->end(), last_warnings_.begin(), last_warnings_.end());
+  }
+  return result;
+}
+
+vision::PaneManager::ReplotFn Session::MakeReplotFn() {
+  return [this](const std::string& program) {
+    std::lock_guard<std::mutex> lock(shard_->mu);
+    return server_->ReplotLocked(this, program);
+  };
+}
+
+vl::Json Session::StatsToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["id"] = vl::Json::Int(id_);
+  j["shard"] = vl::Json::Str(shard_->name);
+  j["charged_ns"] = vl::Json::Int(static_cast<int64_t>(charged_ns()));
+  j["requests"] = vl::Json::Int(static_cast<int64_t>(requests()));
+  j["executed"] = vl::Json::Int(static_cast<int64_t>(executed()));
+  j["deduped"] = vl::Json::Int(static_cast<int64_t>(deduped()));
+  j["rejected"] = vl::Json::Int(static_cast<int64_t>(rejected()));
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+vl::StatusOr<Client> Client::Connect(Server* server, SessionOptions options) {
+  return server->Connect(std::move(options));
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+Server::Server(ServerConfig config) : config_(config) {
+  workers_.reserve(config_.workers);
+  for (size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back(&Server::WorkerLoop, this);
+  }
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  std::deque<Request> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(queue_);
+    for (Request& req : leftovers) {
+      req.session->queued_--;
+    }
+  }
+  for (Request& req : leftovers) {
+    Fulfill(req.ticket, vl::FailedPreconditionError("server destroyed"));
+  }
+}
+
+vl::Status Server::AddShard(const std::string& name, dbg::KernelDebugger* debugger) {
+  VL_RETURN_IF_ERROR(ValidateShardName(name));
+  if (debugger == nullptr) {
+    return vl::InvalidArgumentError("shard debugger must be non-null");
+  }
+  auto shard = std::make_unique<internal::Shard>(config_.result_cache_entries);
+  shard->name = name;
+  shard->debugger = debugger;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (FindShard(name) != nullptr) {
+    return vl::FailedPreconditionError(
+        vl::StrFormat("shard '%s' already registered", name.c_str()));
+  }
+  shards_.push_back(std::move(shard));
+  return vl::Status::Ok();
+}
+
+vl::Status Server::BootShard(const std::string& name, const dbg::LatencyModel& model,
+                             int workload_steps) {
+  VL_RETURN_IF_ERROR(ValidateShardName(name));
+  auto shard = std::make_unique<internal::Shard>(config_.result_cache_entries);
+  shard->name = name;
+  shard->kernel = std::make_unique<vkern::Kernel>();
+  vkern::WorkloadConfig workload_config;
+  workload_config.steps = workload_steps;
+  shard->workload = std::make_unique<vkern::Workload>(shard->kernel.get(), workload_config);
+  shard->workload->Run();
+  shard->owned_debugger = std::make_unique<dbg::KernelDebugger>(shard->kernel.get(), model);
+  shard->debugger = shard->owned_debugger.get();
+  vision::RegisterFigureSymbols(shard->debugger, shard->workload.get());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (FindShard(name) != nullptr) {
+    return vl::FailedPreconditionError(
+        vl::StrFormat("shard '%s' already registered", name.c_str()));
+  }
+  shards_.push_back(std::move(shard));
+  return vl::Status::Ok();
+}
+
+internal::Shard* Server::FindShard(const std::string& name) const {
+  for (const auto& shard : shards_) {
+    if (shard->name == name) {
+      return shard.get();
+    }
+  }
+  return nullptr;
+}
+
+size_t Server::shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+size_t Server::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+dbg::KernelDebugger* Server::shard_debugger(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  internal::Shard* shard = FindShard(name);
+  return shard != nullptr ? shard->debugger : nullptr;
+}
+
+vkern::Kernel* Server::shard_kernel(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  internal::Shard* shard = FindShard(name);
+  return shard != nullptr ? shard->kernel.get() : nullptr;
+}
+
+vkern::Workload* Server::shard_workload(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  internal::Shard* shard = FindShard(name);
+  return shard != nullptr ? shard->workload.get() : nullptr;
+}
+
+vl::StatusOr<Client> Server::Connect(SessionOptions options) {
+  vl::DiagnosticList diags = options.Validate();
+  if (diags.errors() > 0) {
+    return vl::InvalidArgumentError("invalid session options:\n" + options.ValidationText());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shards_.empty()) {
+    return vl::FailedPreconditionError("no shards registered; AddShard/BootShard first");
+  }
+  internal::Shard* shard = nullptr;
+  if (!options.shard.empty()) {
+    shard = FindShard(options.shard);
+    if (shard == nullptr) {
+      return vl::NotFoundError(vl::StrFormat("no such shard '%s'", options.shard.c_str()));
+    }
+  } else {
+    shard = shards_[round_robin_ % shards_.size()].get();
+    round_robin_++;
+  }
+  // Sessions sharing a shard share its ReadSession, so their cache configs
+  // must agree. An empty shard adopts the newcomer's config; an occupied one
+  // refuses a mismatch (reconfiguring would flush caches out from under the
+  // sessions relying on them).
+  dbg::CacheConfig want = options.ToCacheConfig();
+  if (!SameCacheConfig(shard->debugger->session().config(), want)) {
+    if (shard->sessions > 0) {
+      return vl::FailedPreconditionError(vl::StrFormat(
+          "cache config conflicts with %zu active session(s) on shard '%s'; "
+          "use matching SessionOptions or another shard",
+          shard->sessions, shard->name.c_str()));
+    }
+    shard->debugger->session().Reconfigure(want);
+  }
+  std::unique_ptr<Session> session(
+      new Session(this, shard, std::move(options), next_session_id_++));
+  sessions_.push_back(session.get());
+  shard->sessions++;
+  return Client(std::move(session));
+}
+
+void Server::CancelSession(Session* session) {
+  std::vector<std::shared_ptr<Ticket::State>> orphans;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->session == session) {
+        orphans.push_back(std::move(it->ticket));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    session->queued_ = 0;
+    drained_cv_.wait(lock, [&] { return !session->in_flight_; });
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (*it == session) {
+        sessions_.erase(it);
+        break;
+      }
+    }
+    session->shard_->sessions--;
+  }
+  for (const auto& ticket : orphans) {
+    Fulfill(ticket, vl::FailedPreconditionError("session closed"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+void Server::Fulfill(const std::shared_ptr<Ticket::State>& ticket,
+                     vl::StatusOr<ServeResult> result) {
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu);
+    ticket->result.emplace(std::move(result));
+  }
+  ticket->cv.notify_all();
+}
+
+std::deque<Server::Request>::iterator Server::FirstEligibleLocked() {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (!it->session->in_flight_) {
+      return it;
+    }
+  }
+  return queue_.end();
+}
+
+vl::StatusOr<Ticket> Server::Submit(Session* session, int pane, const std::string& backend,
+                                    const vision::RenderOptions& options) {
+  Ticket ticket;
+  ticket.state_ = std::make_shared<Ticket::State>();
+  bool drain = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return vl::FailedPreconditionError("server is shutting down");
+    }
+    if (session->queued_ >= session->options_.max_queued) {
+      session->rejected_.fetch_add(1, std::memory_order_relaxed);
+      return vl::ResourceExhaustedError(vl::StrFormat(
+          "session %d refresh queue full (%zu queued, max_queued=%zu)", session->id_,
+          session->queued_, session->options_.max_queued));
+    }
+    queue_.push_back(Request{session, pane, backend, options, ticket.state_});
+    session->queued_++;
+    drain = workers_.empty() && !paused_;
+  }
+  work_cv_.notify_one();
+  if (drain) {
+    DrainInline();
+  }
+  return ticket;
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [&] {
+      return stop_ || (!paused_ && FirstEligibleLocked() != queue_.end());
+    });
+    if (stop_) {
+      return;
+    }
+    auto it = FirstEligibleLocked();
+    Request req = std::move(*it);
+    queue_.erase(it);
+    req.session->queued_--;
+    req.session->in_flight_ = true;
+    active_++;
+    lock.unlock();
+
+    vl::StatusOr<ServeResult> result =
+        ExecuteRefresh(req.session, req.pane, req.backend, req.options);
+    Fulfill(req.ticket, std::move(result));
+
+    lock.lock();
+    req.session->in_flight_ = false;
+    active_--;
+    drained_cv_.notify_all();
+    // The session's next queued request (if any) just became eligible.
+    work_cv_.notify_all();
+  }
+}
+
+void Server::DrainInline() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!queue_.empty()) {
+    auto it = FirstEligibleLocked();
+    if (it == queue_.end()) {
+      // Every queued request belongs to a session another thread is serving;
+      // wait for one to finish.
+      drained_cv_.wait(lock);
+      continue;
+    }
+    Request req = std::move(*it);
+    queue_.erase(it);
+    req.session->queued_--;
+    req.session->in_flight_ = true;
+    active_++;
+    lock.unlock();
+
+    vl::StatusOr<ServeResult> result =
+        ExecuteRefresh(req.session, req.pane, req.backend, req.options);
+    Fulfill(req.ticket, std::move(result));
+
+    lock.lock();
+    req.session->in_flight_ = false;
+    active_--;
+    drained_cv_.notify_all();
+  }
+}
+
+void Server::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Server::Resume() {
+  bool drain = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+    drain = workers_.empty();
+  }
+  work_cv_.notify_all();
+  if (drain) {
+    DrainInline();
+  }
+}
+
+void Server::Drain() {
+  if (workers_.empty()) {
+    DrainInline();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+// ---------------------------------------------------------------------------
+// The refresh data path
+
+std::string Server::DedupKey(Session* session, int pane, const std::string& backend,
+                             const vision::RenderOptions& options) const {
+  std::string program = session->panes_.program_text(pane);
+  if (program.empty()) {
+    return "";  // nothing to coalesce (empty or secondary pane)
+  }
+  std::string key = vl::StrFormat(
+      "%llu|%s|%d%d%d|se%d|",
+      static_cast<unsigned long long>(session->debugger_->kernel()->generation()),
+      backend.c_str(), options.show_addresses ? 1 : 0, options.show_attributes ? 1 : 0,
+      options.max_container_preview, session->options_.shared_engines ? 1 : 0);
+  key += program;
+  key += '\x1e';
+  const std::vector<std::string>* history = session->panes_.viewql_history(pane);
+  if (history != nullptr) {
+    for (const std::string& entry : *history) {
+      key += entry;
+      key += '\x1f';
+    }
+  }
+  return key;
+}
+
+ServeResult Server::ServeFromCacheLocked(Session* session, internal::Shard* shard,
+                                         const ServeResult& hit) {
+  ServeResult out = hit;
+  out.deduped = true;
+  out.refresh_ns = 0;  // the whole point: the duplicate is charged nothing
+  out.violations.clear();
+  out.sequence = NextSequence();
+  shard->dedup_hits++;
+  session->deduped_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>> Server::ReplotLocked(
+    Session* session, const std::string& program) {
+  session->last_warnings_.clear();
+  if (!session->options_.shared_engines) {
+    // Classic semantics: one private interpreter that re-loads the program on
+    // every replot (exactly the pre-vserve DebuggerShell behavior, including
+    // binding accumulation across panes).
+    viewcl::Interpreter* engine = session->classic_engine();
+    auto result = engine->RunProgram(program);
+    session->last_warnings_ = engine->warnings();
+    return result;
+  }
+  internal::Shard* shard = session->shard_;
+  std::unique_ptr<viewcl::Interpreter>& slot = shard->engines[program];
+  if (slot == nullptr) {
+    slot = std::make_unique<viewcl::Interpreter>(shard->debugger);
+    vl::Status loaded = slot->Load(program);
+    if (!loaded.ok()) {
+      shard->engines.erase(program);
+      return loaded;
+    }
+  }
+  // Load() once, Run() per refresh: the engine's interning and memo
+  // snapshots persist across refreshes and across every session plotting
+  // this program.
+  auto result = slot->Run();
+  session->last_warnings_ = slot->warnings();
+  return result;
+}
+
+vl::StatusOr<ServeResult> Server::ExecuteRefresh(Session* session, int pane,
+                                                 const std::string& backend,
+                                                 const vision::RenderOptions& options) {
+  session->requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Admission: a session over its latency budget gets rejected up front.
+  uint64_t budget = session->options_.session_budget_ns;
+  if (budget > 0 && session->charged_ns() >= budget) {
+    session->rejected_.fetch_add(1, std::memory_order_relaxed);
+    vl::Json explain = vl::Json::Object();
+    explain["reason"] = vl::Json::Str("admission");
+    explain["pane"] = vl::Json::Int(pane);
+    explain["charged_ns"] = vl::Json::Int(static_cast<int64_t>(session->charged_ns()));
+    session->budgets_.RecordViolation(
+        vl::StrFormat("serve.session.%d", session->id_), budget, session->charged_ns(),
+        session->debugger_->kernel()->generation(), std::move(explain));
+    return vl::ResourceExhaustedError(vl::StrFormat(
+        "session %d over latency budget (%llu ns charged, budget %llu ns); "
+        "refresh rejected",
+        session->id_, static_cast<unsigned long long>(session->charged_ns()),
+        static_cast<unsigned long long>(budget)));
+  }
+
+  internal::Shard* shard = session->shard_;
+  std::string key;
+  if (session->options_.coalesce) {
+    key = DedupKey(session, pane, backend, options);
+    if (!key.empty()) {
+      std::lock_guard<std::mutex> cache_lock(shard->cache_mu);
+      if (const ServeResult* hit = shard->cache.Find(key)) {
+        return ServeFromCacheLocked(session, shard, *hit);
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(shard->mu);
+  if (!key.empty()) {
+    // Re-check: a concurrent duplicate may have extracted while we waited on
+    // the shard — this re-check IS the request coalescing.
+    std::lock_guard<std::mutex> cache_lock(shard->cache_mu);
+    if (const ServeResult* hit = shard->cache.Find(key)) {
+      return ServeFromCacheLocked(session, shard, *hit);
+    }
+  }
+
+  uint64_t before = session->debugger_->target().clock().nanos();
+  vision::PaneManager::ReplotFn replot = [this, session](const std::string& program) {
+    return ReplotLocked(session, program);
+  };
+  auto refreshed = session->panes_.RefreshPane(pane, replot);
+  if (!refreshed.ok()) {
+    return refreshed.status();
+  }
+  ServeResult out;
+  out.boxes = refreshed->boxes;
+  out.epoch = refreshed->epoch;
+  out.render_reused = refreshed->render_reused;
+  out.violations = refreshed->violations;
+  if (session->options_.coalesce) {
+    // Capture the render so a coalesced duplicate can be served bytes, not
+    // just accounting. Classic sessions skip this to keep their render
+    // digest counters exactly as the pre-vserve shell left them.
+    out.render = session->panes_.RenderPane(pane, options, backend);
+  }
+  uint64_t after = session->debugger_->target().clock().nanos();
+  out.refresh_ns = after - before;
+  out.sequence = NextSequence();
+
+  session->charged_ns_.fetch_add(out.refresh_ns, std::memory_order_relaxed);
+  session->executed_.fetch_add(1, std::memory_order_relaxed);
+  shard->extractions++;
+
+  if (!key.empty()) {
+    std::lock_guard<std::mutex> cache_lock(shard->cache_mu);
+    shard->cache.Insert(key, out);
+  }
+  if (session->recorder_.enabled()) {
+    session->recorder_.Record(
+        "serve.refresh",
+        {{"pane", pane},
+         {"refresh_ns", static_cast<int64_t>(out.refresh_ns)},
+         {"charged_ns", static_cast<int64_t>(session->charged_ns())},
+         {"deduped", 0}});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+vl::Json Server::StatsToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  vl::Json j = vl::Json::Object();
+  j["sessions"] = vl::Json::Int(static_cast<int64_t>(sessions_.size()));
+  j["shard_count"] = vl::Json::Int(static_cast<int64_t>(shards_.size()));
+  j["workers"] = vl::Json::Int(static_cast<int64_t>(workers_.size()));
+  j["queued"] = vl::Json::Int(static_cast<int64_t>(queue_.size()));
+  vl::Json shards = vl::Json::Object();
+  for (const auto& shard : shards_) {
+    vl::Json s = vl::Json::Object();
+    s["sessions"] = vl::Json::Int(static_cast<int64_t>(shard->sessions));
+    {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      s["extractions"] = vl::Json::Int(static_cast<int64_t>(shard->extractions));
+      s["engines"] = vl::Json::Int(static_cast<int64_t>(shard->engines.size()));
+    }
+    {
+      std::lock_guard<std::mutex> cache_lock(shard->cache_mu);
+      s["dedup_hits"] = vl::Json::Int(static_cast<int64_t>(shard->dedup_hits));
+      s["result_cache"] = shard->cache.StatsToJson();
+    }
+    s["target_charged_ns"] =
+        vl::Json::Int(static_cast<int64_t>(shard->debugger->target().clock().nanos()));
+    shards[shard->name] = std::move(s);
+  }
+  j["shards"] = std::move(shards);
+  vl::Json sessions = vl::Json::Array();
+  for (const Session* session : sessions_) {
+    sessions.Append(session->StatsToJson());
+  }
+  j["per_session"] = std::move(sessions);
+  return j;
+}
+
+void Server::PublishMetrics() const {
+  vl::MetricsRegistry& metrics = vl::MetricsRegistry::Instance();
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics.GetGauge("serve.sessions")->Set(static_cast<int64_t>(sessions_.size()));
+  metrics.GetGauge("serve.queued")->Set(static_cast<int64_t>(queue_.size()));
+  for (const auto& shard : shards_) {
+    const std::string prefix = "serve.shard." + shard->name;
+    metrics.GetGauge(prefix + ".sessions")->Set(static_cast<int64_t>(shard->sessions));
+    {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      metrics.GetGauge(prefix + ".extractions")
+          ->Set(static_cast<int64_t>(shard->extractions));
+    }
+    {
+      std::lock_guard<std::mutex> cache_lock(shard->cache_mu);
+      metrics.GetGauge(prefix + ".dedup_hits")
+          ->Set(static_cast<int64_t>(shard->dedup_hits));
+    }
+  }
+  for (const Session* session : sessions_) {
+    const std::string prefix = vl::StrFormat("serve.session.%d", session->id());
+    metrics.GetGauge(prefix + ".charged_ns")
+        ->Set(static_cast<int64_t>(session->charged_ns()));
+    metrics.GetGauge(prefix + ".executed")->Set(static_cast<int64_t>(session->executed()));
+    metrics.GetGauge(prefix + ".deduped")->Set(static_cast<int64_t>(session->deduped()));
+    metrics.GetGauge(prefix + ".rejected")->Set(static_cast<int64_t>(session->rejected()));
+  }
+}
+
+}  // namespace vserve

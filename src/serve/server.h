@@ -1,0 +1,324 @@
+// vserve: the multi-session serving layer (the PR's tentpole).
+//
+// A Server fronts a fleet of simulated kernels ("shards"). Each shard is one
+// dbg::KernelDebugger — its ReadSession block cache, its per-program ViewCL
+// engines (with their memo snapshots), and its refresh result cache are
+// SHARED by every session attached to the shard, so overlapping clients reuse
+// each other's work. Sessions are the per-client view: a private PaneManager
+// (layout, ViewQL refinements, render digests), private vexplain side-cars
+// (TimeSeriesRecorder + BudgetRegistry), and private accounting of what the
+// client was actually charged on the virtual clock.
+//
+// Request flow for Refresh:
+//   1. admission — a session over its latency budget is rejected with
+//      RESOURCE_EXHAUSTED (and the violation recorded for vexplain);
+//   2. dedup — with coalescing on, the shard result cache is consulted for an
+//      identical (program+history, epoch, backend) refresh; a hit is served
+//      with zero charge;
+//   3. extraction — otherwise the refresh runs under the shard lock through
+//      PaneManager::RefreshPane (so a concurrent duplicate blocks, and finds
+//      the freshly inserted result on the re-check — that is the coalescing).
+//
+// SubmitRefresh is the async path: requests queue FIFO and a worker pool
+// (ServerConfig::workers) drains them, never running two requests of the same
+// session concurrently (per-session FIFO order is preserved; results carry a
+// server-wide completion sequence). With workers == 0 the server runs inline:
+// SubmitRefresh executes on the calling thread unless the server is Paused,
+// in which case requests queue until Resume()/Drain().
+//
+// Threading contract: Refresh/SubmitRefresh/Wait are safe from any thread.
+// Everything else — pane surgery (Plot/Apply/Split), kernel mutation,
+// Connect/shard management, stats snapshots — is control-plane and must not
+// overlap in-flight refreshes of the affected shard (call Drain() first).
+// The global Tracer is single-threaded; keep tracing off while multiple
+// workers serve budget-armed sessions on different shards.
+
+#ifndef SRC_SERVE_SERVER_H_
+#define SRC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/serve/options.h"
+#include "src/serve/result_cache.h"
+#include "src/support/budget.h"
+#include "src/support/status.h"
+#include "src/support/timeseries.h"
+#include "src/viewcl/interp.h"
+#include "src/vision/panes.h"
+#include "src/vision/render.h"
+#include "src/vkern/kernel.h"
+#include "src/vkern/workload.h"
+
+namespace vserve {
+
+class Server;
+class Session;
+
+namespace internal {
+struct Shard;  // one simulated kernel + everything its sessions share
+}  // namespace internal
+
+struct ServerConfig {
+  // Async refresh workers; 0 = inline execution on the submitting thread.
+  size_t workers = 0;
+  // Per-shard refresh result cache capacity (dedup window).
+  size_t result_cache_entries = 256;
+};
+
+// Handle to an async refresh submitted with Session::SubmitRefresh.
+class Ticket {
+ public:
+  Ticket() = default;
+  bool valid() const { return state_ != nullptr; }
+  bool done() const;
+  // Blocks until the refresh completes (or the server/session shuts down,
+  // which fails pending tickets). Safe to call repeatedly.
+  vl::StatusOr<ServeResult> Wait() const;
+
+ private:
+  friend class Server;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<vl::StatusOr<ServeResult>> result;
+  };
+  std::shared_ptr<State> state_;
+};
+
+// One client's attachment to a shard: the unified vserve entry point
+// (attach -> plot -> refresh -> render). Created only via Server::Connect.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  int id() const { return id_; }
+  const SessionOptions& options() const { return options_; }
+  const std::string& shard_name() const;
+
+  // --- figure lifecycle (control-plane) ---
+  struct PlotResult {
+    size_t boxes = 0;
+    std::vector<std::string> warnings;
+  };
+  // Extracts `program` through the shard engine (or this session's classic
+  // engine, per options) and installs the graph into `pane`.
+  vl::StatusOr<PlotResult> Plot(int pane, const std::string& program);
+  // Applies a ViewQL refinement to the pane (recorded; replayed on refresh).
+  vl::Status Apply(int pane, std::string_view viewql);
+  vl::StatusOr<int> Split(int pane, char direction);
+  // Renders the pane's current graph without refreshing.
+  std::string Render(int pane, const vision::RenderOptions& options = {},
+                     std::string_view backend = "ascii");
+
+  // --- refresh (data-plane) ---
+  // Synchronous refresh: admission -> dedup -> extraction (see file header).
+  vl::StatusOr<ServeResult> Refresh(int pane, const std::string& backend = "ascii",
+                                    const vision::RenderOptions& options = {});
+  // Async refresh via the scheduler. Rejects with RESOURCE_EXHAUSTED once
+  // this session has options().max_queued requests pending.
+  vl::StatusOr<Ticket> SubmitRefresh(int pane, const std::string& backend = "ascii",
+                                     const vision::RenderOptions& options = {});
+
+  // --- escape hatches for the shell & tools ---
+  // Runs a ViewCL program through this session's engine without touching any
+  // pane (the vprof path). Appends engine warnings to `warnings` if non-null.
+  vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>> RunProgram(
+      const std::string& program, std::vector<std::string>* warnings = nullptr);
+  // Replot function wired to this session's engine, for direct PaneManager
+  // calls (session load, `vctrl explain`). Takes the shard lock per call —
+  // never use it inside a refresh already holding the shard.
+  vision::PaneManager::ReplotFn MakeReplotFn();
+
+  dbg::KernelDebugger* debugger() const { return debugger_; }
+  vision::PaneManager& panes() { return panes_; }
+  vl::TimeSeriesRecorder& recorder() { return recorder_; }
+  vl::BudgetRegistry& budgets() { return budgets_; }
+  // Emoji registry backing lint / vchat for this session.
+  viewcl::EmojiRegistry& emoji();
+
+  // Virtual nanoseconds this session was actually charged (deduped refreshes
+  // charge nothing — that is the point).
+  uint64_t charged_ns() const { return charged_ns_.load(std::memory_order_relaxed); }
+  uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  uint64_t executed() const { return executed_.load(std::memory_order_relaxed); }
+  uint64_t deduped() const { return deduped_.load(std::memory_order_relaxed); }
+  uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  vl::Json StatsToJson() const;
+
+ private:
+  friend class Server;
+
+  Session(Server* server, internal::Shard* shard, SessionOptions options, int id);
+  viewcl::Interpreter* classic_engine();
+
+  Server* server_;
+  internal::Shard* shard_;
+  SessionOptions options_;
+  int id_;
+  dbg::KernelDebugger* debugger_;
+
+  vl::TimeSeriesRecorder recorder_;
+  vl::BudgetRegistry budgets_;
+  vision::PaneManager panes_;
+  // Private interpreter for classic (non-shared-engine) sessions; also backs
+  // emoji() lazily for shared-engine sessions.
+  std::unique_ptr<viewcl::Interpreter> classic_engine_;
+  // Engine warnings from the most recent replot through this session.
+  std::vector<std::string> last_warnings_;
+
+  // Stats. Writers are serialized (shard lock / server lock); readers are
+  // any thread, hence relaxed atomics with single-writer load+store updates.
+  std::atomic<uint64_t> charged_ns_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> deduped_{0};
+  std::atomic<uint64_t> rejected_{0};
+
+  // Scheduler state, guarded by the server mutex.
+  size_t queued_ = 0;
+  bool in_flight_ = false;
+};
+
+// Owning handle to a Session. Movable; the session disconnects (failing its
+// queued work, waiting out its in-flight request) when the handle goes away.
+class Client {
+ public:
+  // Validates `options` (fail-fast, see SessionOptions::Validate), picks a
+  // shard, and attaches a new session to it.
+  static vl::StatusOr<Client> Connect(Server* server, SessionOptions options = SessionOptions{});
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  Session* session() { return session_.get(); }
+  Session* operator->() { return session_.get(); }
+
+ private:
+  friend class Server;
+  explicit Client(std::unique_ptr<Session> session) : session_(std::move(session)) {}
+  std::unique_ptr<Session> session_;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = ServerConfig{});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // --- shard management (control-plane) ---
+  // Registers an externally owned debugger as a shard.
+  vl::Status AddShard(const std::string& name, dbg::KernelDebugger* debugger);
+  // Boots a self-contained shard: fresh Kernel + Workload (run for
+  // `workload_steps`), a KernelDebugger over it, figure symbols registered.
+  vl::Status BootShard(const std::string& name,
+                       const dbg::LatencyModel& model = dbg::LatencyModel::Free(),
+                       int workload_steps = 60);
+  size_t shard_count() const;
+  size_t session_count() const;
+  dbg::KernelDebugger* shard_debugger(const std::string& name) const;
+  vkern::Kernel* shard_kernel(const std::string& name) const;      // BootShard shards only
+  vkern::Workload* shard_workload(const std::string& name) const;  // BootShard shards only
+
+  // Connects a new session; SessionOptions::shard picks the shard ("" =
+  // round-robin). The shard's ReadSession must agree with the session's cache
+  // config: a mismatch reconfigures the shard only while it has no other
+  // sessions, else Connect fails with FAILED_PRECONDITION.
+  vl::StatusOr<Client> Connect(SessionOptions options = SessionOptions{});
+
+  // --- scheduler control ---
+  // Pause() holds queued refreshes (they still enqueue, up to max_queued);
+  // Resume() releases them — inline servers drain on the resuming thread.
+  void Pause();
+  void Resume();
+  // Blocks until no refresh is queued or in flight.
+  void Drain();
+
+  const ServerConfig& config() const { return config_; }
+
+  // Aggregate + per-shard + per-session stats (the `vctrl stats` "serve"
+  // section and the Prometheus export's source of truth).
+  vl::Json StatsToJson() const;
+  // Publishes serve.shard.* / serve.session.* gauges to the global
+  // MetricsRegistry (not thread-safe — call from the control plane, drained).
+  void PublishMetrics() const;
+
+ private:
+  friend class Session;
+
+  struct Request {
+    Session* session = nullptr;
+    int pane = 0;
+    std::string backend;
+    vision::RenderOptions options;
+    std::shared_ptr<Ticket::State> ticket;
+  };
+
+  internal::Shard* FindShard(const std::string& name) const;
+
+  // The refresh data path (admission -> dedup -> extraction). Thread-safe.
+  vl::StatusOr<ServeResult> ExecuteRefresh(Session* session, int pane,
+                                           const std::string& backend,
+                                           const vision::RenderOptions& options);
+  // SubmitRefresh's implementation (Ticket::State is private to Ticket and
+  // Server is its only friend, so the queue path lives here).
+  vl::StatusOr<Ticket> Submit(Session* session, int pane, const std::string& backend,
+                              const vision::RenderOptions& options);
+  // Replot through the session's engine. Caller holds the shard lock.
+  vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>> ReplotLocked(Session* session,
+                                                                const std::string& program);
+  // Serves a result-cache hit: stamps dedup accounting and a fresh sequence
+  // number. Caller holds the shard's cache lock.
+  ServeResult ServeFromCacheLocked(Session* session, internal::Shard* shard,
+                                   const ServeResult& hit);
+  std::string DedupKey(Session* session, int pane, const std::string& backend,
+                       const vision::RenderOptions& options) const;
+  uint64_t NextSequence() { return sequence_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  static void Fulfill(const std::shared_ptr<Ticket::State>& ticket,
+                      vl::StatusOr<ServeResult> result);
+  void WorkerLoop();
+  // Drains the queue on the calling thread (inline mode / Resume). Caller
+  // must NOT hold the server mutex.
+  void DrainInline();
+  // First queued request whose session has nothing in flight (FIFO scan, so
+  // per-session order is preserved); queue_.end() if none.
+  std::deque<Request>::iterator FirstEligibleLocked();
+  // Session teardown: drop its queued work, wait out its in-flight request,
+  // unregister it from its shard.
+  void CancelSession(Session* session);
+
+  ServerConfig config_;
+
+  mutable std::mutex mu_;  // shards_ / sessions_ / queue_ / scheduler state
+  std::condition_variable work_cv_;     // workers wait here
+  std::condition_variable drained_cv_;  // Drain()/CancelSession wait here
+  std::vector<std::unique_ptr<internal::Shard>> shards_;
+  std::vector<Session*> sessions_;
+  std::deque<Request> queue_;
+  size_t round_robin_ = 0;
+  int next_session_id_ = 1;
+  size_t active_ = 0;  // refreshes currently executing
+  bool paused_ = false;
+  bool stop_ = false;
+
+  std::atomic<uint64_t> sequence_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vserve
+
+#endif  // SRC_SERVE_SERVER_H_

@@ -1,5 +1,6 @@
-#include "src/vision/shell.h"
+#include "src/serve/shell.h"
 
+#include <cassert>
 #include <fstream>
 
 #include "src/analysis/lint.h"
@@ -8,7 +9,7 @@
 #include "src/support/trace.h"
 #include "src/viewcl/synthesize.h"
 
-namespace vision {
+namespace vserve {
 
 namespace {
 
@@ -25,13 +26,20 @@ std::pair<std::string, std::string> SplitFirst(std::string_view text) {
 
 }  // namespace
 
-DebuggerShell::DebuggerShell(dbg::KernelDebugger* debugger)
-    : debugger_(debugger), interp_(debugger), panes_(debugger) {
-  panes_.AttachObservers(&recorder_, &budgets_);
-}
+DebuggerShell::DebuggerShell(Session* session) : session_(session) {}
 
-PaneManager::ReplotFn DebuggerShell::MakeReplotFn() {
-  return [this](const std::string& program) { return interp_.RunProgram(program); };
+DebuggerShell::DebuggerShell(dbg::KernelDebugger* debugger)
+    : owned_server_(std::make_unique<Server>()) {
+  vl::Status added = owned_server_->AddShard("local", debugger);
+  assert(added.ok());
+  (void)added;
+  // Adopt the debugger's existing cache config (classic engine, no dedup) so
+  // the shim changes nothing about single-user behavior.
+  auto client =
+      owned_server_->Connect(SessionOptions::FromCacheConfig(debugger->session().config()));
+  assert(client.ok());
+  owned_client_.emplace(std::move(client).value());
+  session_ = owned_client_->session();
 }
 
 std::string DebuggerShell::Execute(const std::string& line) {
@@ -73,7 +81,7 @@ std::string DebuggerShell::CmdVplot(const std::string& args) {
     if (type_name.empty() || root_expr.empty()) {
       return "usage: vplot <pane> --auto <type> <root c-expression>\n";
     }
-    auto generated = viewcl::SynthesizeViewCl(debugger_->types(), type_name, root_expr);
+    auto generated = viewcl::SynthesizeViewCl(dbg()->types(), type_name, root_expr);
     if (!generated.ok()) {
       return "error: " + generated.status().ToString() + "\n";
     }
@@ -81,20 +89,14 @@ std::string DebuggerShell::CmdVplot(const std::string& args) {
     program = *generated;
   }
   (void)synthesized_note;
-  auto graph = interp_.RunProgram(program);
-  if (!graph.ok()) {
-    return "error: " + graph.status().ToString() + "\n";
-  }
-  size_t boxes = (*graph)->size();
-  vl::Status status =
-      panes_.SetGraph(static_cast<int>(pane_id), std::move(graph).value(), program);
-  if (!status.ok()) {
-    return "error: " + status.ToString() + "\n";
+  auto plotted = session_->Plot(static_cast<int>(pane_id), program);
+  if (!plotted.ok()) {
+    return "error: " + plotted.status().ToString() + "\n";
   }
   std::string out = synthesized_note +
-                    vl::StrFormat("plotted %zu boxes into pane %d\n", boxes,
+                    vl::StrFormat("plotted %zu boxes into pane %d\n", plotted->boxes,
                                   static_cast<int>(pane_id));
-  for (const std::string& warning : interp_.warnings()) {
+  for (const std::string& warning : plotted->warnings) {
     out += "warning: " + warning + "\n";
   }
   return out;
@@ -108,7 +110,7 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
     if (!vl::ParseInt64(pane_text, &pane_id) || dir_text.empty()) {
       return "usage: vctrl split <pane> h|v\n";
     }
-    auto new_id = panes_.Split(static_cast<int>(pane_id), dir_text[0]);
+    auto new_id = session_->Split(static_cast<int>(pane_id), dir_text[0]);
     if (!new_id.ok()) {
       return "error: " + new_id.status().ToString() + "\n";
     }
@@ -120,7 +122,7 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
     if (!vl::ParseInt64(pane_text, &pane_id) || viewql.empty()) {
       return "usage: vctrl apply <pane> <viewql>\n";
     }
-    vl::Status status = panes_.ApplyViewQl(static_cast<int>(pane_id), viewql);
+    vl::Status status = session_->Apply(static_cast<int>(pane_id), viewql);
     if (!status.ok()) {
       return "error: " + status.ToString() + "\n";
     }
@@ -131,25 +133,25 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
   }
   if (sub == "focus") {
     auto [what, value_text] = SplitFirst(rest);
-    std::vector<FocusHit> hits;
+    std::vector<vision::FocusHit> hits;
     if (what == "addr") {
       int64_t addr = 0;
       if (!vl::ParseInt64(value_text, &addr)) {
         return "usage: vctrl focus addr <hex address>\n";
       }
-      hits = panes_.FocusAddress(static_cast<uint64_t>(addr));
+      hits = panes().FocusAddress(static_cast<uint64_t>(addr));
     } else {
       int64_t value = 0;
       if (what.empty() || !vl::ParseInt64(value_text, &value)) {
         return "usage: vctrl focus <member> <value>\n";
       }
-      hits = panes_.FocusMember(what, value);
+      hits = panes().FocusMember(what, value);
     }
     if (hits.empty()) {
       return "no matches\n";
     }
     std::string out;
-    for (const FocusHit& hit : hits) {
+    for (const vision::FocusHit& hit : hits) {
       out += vl::StrFormat("pane %d: box #%llu\n", hit.pane_id,
                            static_cast<unsigned long long>(hit.box_id));
     }
@@ -159,12 +161,13 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
     auto [pane_text, backend] = SplitFirst(rest);
     int64_t pane_id = 0;
     if (!vl::ParseInt64(pane_text, &pane_id)) {
-      return "usage: vctrl view <pane> [" + vl::StrJoin(RendererBackends(), "|") + "]\n";
+      return "usage: vctrl view <pane> [" +
+             vl::StrJoin(vision::RendererBackends(), "|") + "]\n";
     }
     if (backend.empty()) {
       backend = "ascii";
     }
-    return panes_.RenderPane(static_cast<int>(pane_id), RenderOptions{}, backend);
+    return session_->Render(static_cast<int>(pane_id), vision::RenderOptions{}, backend);
   }
   // `vctrl dot|json <pane>` are kept as aliases for `vctrl view <pane> <backend>`.
   if (sub == "dot" || sub == "json") {
@@ -172,17 +175,18 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
     if (!vl::ParseInt64(rest, &pane_id)) {
       return "usage: vctrl " + sub + " <pane>\n";
     }
-    std::string out = panes_.RenderPane(static_cast<int>(pane_id), RenderOptions{}, sub);
+    std::string out =
+        session_->Render(static_cast<int>(pane_id), vision::RenderOptions{}, sub);
     if (sub == "json" && !out.empty() && out.back() != '\n') {
       out += "\n";
     }
     return out;
   }
   if (sub == "layout") {
-    return panes_.LayoutAscii();
+    return panes().LayoutAscii();
   }
   if (sub == "save") {
-    return panes_.SaveState().Dump(2) + "\n";
+    return panes().SaveState().Dump(2) + "\n";
   }
   if (sub == "stats") {
     return CmdStats(rest);
@@ -211,18 +215,19 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
 
 vl::Json DebuggerShell::StatsJson() const {
   vl::Json j = vl::Json::Object();
-  if (debugger_ != nullptr) {
-    j["target"] = debugger_->target().StatsToJson();
-    j["cache"] = debugger_->session().StatsToJson();
+  if (dbg() != nullptr) {
+    j["target"] = dbg()->target().StatsToJson();
+    j["cache"] = dbg()->session().StatsToJson();
   }
-  vl::Json panes = vl::Json::Object();
-  for (int id : panes_.pane_ids()) {
-    const viewql::ExecStats* stats = panes_.exec_stats(id);
+  vision::PaneManager& panes = session_->panes();
+  vl::Json jpanes = vl::Json::Object();
+  for (int id : panes.pane_ids()) {
+    const viewql::ExecStats* stats = panes.exec_stats(id);
     if (stats != nullptr && stats->statements > 0) {
-      panes[vl::StrFormat("%d", id)] = stats->ToJson();
+      jpanes[vl::StrFormat("%d", id)] = stats->ToJson();
     }
   }
-  j["panes"] = std::move(panes);
+  j["panes"] = std::move(jpanes);
   vl::Tracer& tracer = vl::Tracer::Instance();
   vl::Json jtracer = vl::Json::Object();
   jtracer["enabled"] = vl::Json::Bool(tracer.enabled());
@@ -230,6 +235,7 @@ vl::Json DebuggerShell::StatsJson() const {
   jtracer["dropped"] = vl::Json::Int(static_cast<int64_t>(tracer.dropped()));
   j["tracer"] = std::move(jtracer);
   j["metrics"] = vl::MetricsRegistry::Instance().ToJson();
+  j["serve"] = session_->StatsToJson();
   return j;
 }
 
@@ -238,8 +244,8 @@ std::string DebuggerShell::CmdStats(const std::string& args) {
     return StatsJson().Dump(2) + "\n";
   }
   std::string out;
-  if (debugger_ != nullptr) {
-    const dbg::Target& target = debugger_->target();
+  if (dbg() != nullptr) {
+    const dbg::Target& target = dbg()->target();
     out += vl::StrFormat("target: model=%s clock=%llu ns (%.3f ms) reads=%llu bytes=%llu\n",
                          target.model().name.c_str(),
                          static_cast<unsigned long long>(target.clock().nanos()),
@@ -252,7 +258,7 @@ std::string DebuggerShell::CmdStats(const std::string& args) {
                            static_cast<unsigned long long>(stats.reads),
                            static_cast<unsigned long long>(stats.bytes));
     }
-    const dbg::ReadSession& session = debugger_->session();
+    const dbg::ReadSession& session = dbg()->session();
     const dbg::CacheStats& cache = session.cache_stats();
     out += vl::StrFormat(
         "cache: %s block=%zu B, %llu hits / %llu misses (%.1f%% hit rate), "
@@ -263,7 +269,7 @@ std::string DebuggerShell::CmdStats(const std::string& args) {
         static_cast<unsigned long long>(session.cached_blocks()),
         static_cast<unsigned long long>(cache.evictions),
         static_cast<unsigned long long>(cache.invalidations));
-    const dbg::Target::DirtyStats& dirty = target.dirty_stats();
+    const dbg::Target::DirtyStats dirty = target.dirty_stats();
     if (session.delta_enabled() || dirty.queries > 0) {
       out += vl::StrFormat(
           "  delta: %s, %llu delta / %llu full invalidations "
@@ -282,8 +288,8 @@ std::string DebuggerShell::CmdStats(const std::string& args) {
           static_cast<unsigned long long>(dirty.charged_ns));
     }
   }
-  for (int id : panes_.pane_ids()) {
-    const viewql::ExecStats* stats = panes_.exec_stats(id);
+  for (int id : panes().pane_ids()) {
+    const viewql::ExecStats* stats = panes().exec_stats(id);
     if (stats == nullptr || stats->statements == 0) {
       continue;
     }
@@ -300,6 +306,15 @@ std::string DebuggerShell::CmdStats(const std::string& args) {
                        tracer.enabled() ? "on" : "off",
                        static_cast<unsigned long long>(tracer.recorded()),
                        static_cast<unsigned long long>(tracer.dropped()));
+  out += vl::StrFormat(
+      "serve: session %d on shard %s, %llu requests "
+      "(%llu executed, %llu deduped, %llu rejected), %llu ns charged\n",
+      session_->id(), session_->shard_name().c_str(),
+      static_cast<unsigned long long>(session_->requests()),
+      static_cast<unsigned long long>(session_->executed()),
+      static_cast<unsigned long long>(session_->deduped()),
+      static_cast<unsigned long long>(session_->rejected()),
+      static_cast<unsigned long long>(session_->charged_ns()));
   std::string metrics = vl::MetricsRegistry::Instance().TextReport();
   if (!metrics.empty()) {
     out += metrics;
@@ -348,15 +363,18 @@ std::string DebuggerShell::CmdExplain(const std::string& args) {
 
   // Fresh tree-mode trace around one full refresh: afterwards the tree's
   // root totals partition the refresh's clock delta exactly (the vprof
-  // reconciliation invariant, extended to per-node attribution).
+  // reconciliation invariant, extended to per-node attribution). This
+  // deliberately calls RefreshPane directly (not Session::Refresh): the
+  // serve dedup path could satisfy the refresh from cache, which would
+  // attribute nothing.
   vl::Tracer& tracer = vl::Tracer::Instance();
   bool was_enabled = tracer.enabled();
   tracer.Clear();
   tracer.SetTreeEnabled(true);
   tracer.Enable();
-  uint64_t clock_before = debugger_ != nullptr ? debugger_->target().clock().nanos() : 0;
-  auto result = panes_.RefreshPane(static_cast<int>(pane_id), MakeReplotFn());
-  uint64_t clock_after = debugger_ != nullptr ? debugger_->target().clock().nanos() : 0;
+  uint64_t clock_before = dbg() != nullptr ? dbg()->target().clock().nanos() : 0;
+  auto result = panes().RefreshPane(static_cast<int>(pane_id), session_->MakeReplotFn());
+  uint64_t clock_after = dbg() != nullptr ? dbg()->target().clock().nanos() : 0;
   tracer.SetTreeEnabled(false);  // freeze the tree for rendering below
   if (!was_enabled) {
     tracer.Disable();
@@ -401,15 +419,16 @@ std::string DebuggerShell::CmdRefresh(const std::string& args) {
   if (!vl::ParseInt64(vl::StrTrim(args), &pane_id)) {
     return "usage: vctrl refresh <pane>\n";
   }
-  auto result = panes_.RefreshPane(static_cast<int>(pane_id), MakeReplotFn());
+  auto result = session_->Refresh(static_cast<int>(pane_id));
   if (!result.ok()) {
     return "error: " + result.status().ToString() + "\n";
   }
   std::string out = vl::StrFormat(
-      "refreshed pane %d: %zu boxes, %llu virtual ns, epoch %llu\n",
+      "refreshed pane %d: %zu boxes, %llu virtual ns, epoch %llu%s\n",
       static_cast<int>(pane_id), result->boxes,
       static_cast<unsigned long long>(result->refresh_ns),
-      static_cast<unsigned long long>(result->epoch));
+      static_cast<unsigned long long>(result->epoch),
+      result->deduped ? " (deduped)" : "");
   for (const std::string& key : result->violations) {
     out += "budget violation: " + key + "\n";
   }
@@ -419,15 +438,15 @@ std::string DebuggerShell::CmdRefresh(const std::string& args) {
 std::string DebuggerShell::CmdWatch(const std::string& args) {
   auto [what, mode] = SplitFirst(args);
   if (what == "on") {
-    recorder_.Enable();
+    recorder().Enable();
     return "watch on\n";
   }
   if (what == "off") {
-    recorder_.Disable();
+    recorder().Disable();
     return "watch off\n";
   }
   if (what == "clear") {
-    recorder_.Clear();
+    recorder().Clear();
     return "watch cleared\n";
   }
   int64_t pane_id = 0;
@@ -438,20 +457,20 @@ std::string DebuggerShell::CmdWatch(const std::string& args) {
   std::string render_key = refresh_key + ".render";
   if (vl::StrTrim(mode) == "json") {
     vl::Json j = vl::Json::Object();
-    if (recorder_.Find(refresh_key) != nullptr) {
-      j[refresh_key] = recorder_.SeriesToJson(refresh_key);
+    if (recorder().Find(refresh_key) != nullptr) {
+      j[refresh_key] = recorder().SeriesToJson(refresh_key);
     }
-    if (recorder_.Find(render_key) != nullptr) {
-      j[render_key] = recorder_.SeriesToJson(render_key);
+    if (recorder().Find(render_key) != nullptr) {
+      j[render_key] = recorder().SeriesToJson(render_key);
     }
     return j.Dump(2) + "\n";
   }
   std::string out;
-  if (recorder_.Find(refresh_key) != nullptr) {
-    out += recorder_.TextReport(refresh_key);
+  if (recorder().Find(refresh_key) != nullptr) {
+    out += recorder().TextReport(refresh_key);
   }
-  if (recorder_.Find(render_key) != nullptr) {
-    out += recorder_.TextReport(render_key);
+  if (recorder().Find(render_key) != nullptr) {
+    out += recorder().TextReport(render_key);
   }
   if (out.empty()) {
     out = vl::StrFormat("(no samples for pane %d; is watch on?)\n",
@@ -473,22 +492,22 @@ std::string DebuggerShell::CmdBudget(const std::string& args) {
     std::string key = vl::ParseInt64(key_text, &pane_id)
                           ? vl::StrFormat("pane.%d", static_cast<int>(pane_id))
                           : key_text;
-    budgets_.Set(key, static_cast<uint64_t>(budget_ns));
+    budgets().Set(key, static_cast<uint64_t>(budget_ns));
     return vl::StrFormat("budget %s = %llu ns\n", key.c_str(),
                          static_cast<unsigned long long>(budget_ns));
   }
   if (verb == "clear") {
-    budgets_.ClearBudgets();
-    budgets_.ClearViolations();
+    budgets().ClearBudgets();
+    budgets().ClearViolations();
     return "budgets cleared\n";
   }
   if (verb == "list") {
     std::string out = vl::StrFormat("budgets (%s):\n",
-                                    budgets_.enabled() ? "enabled" : "disabled");
-    if (budgets_.budgets().empty()) {
+                                    budgets().enabled() ? "enabled" : "disabled");
+    if (budgets().budgets().empty()) {
       out += "  (none)\n";
     }
-    for (const auto& [key, budget_ns] : budgets_.budgets()) {
+    for (const auto& [key, budget_ns] : budgets().budgets()) {
       out += vl::StrFormat("  %-24s %llu ns\n", key.c_str(),
                            static_cast<unsigned long long>(budget_ns));
     }
@@ -496,16 +515,16 @@ std::string DebuggerShell::CmdBudget(const std::string& args) {
   }
   if (verb == "report") {
     if (vl::StrTrim(rest) == "json") {
-      return budgets_.ReportJson().Dump(2) + "\n";
+      return budgets().ReportJson().Dump(2) + "\n";
     }
-    return budgets_.ReportText();
+    return budgets().ReportText();
   }
   if (verb == "on") {
-    budgets_.Enable();
+    budgets().Enable();
     return "budgets on\n";
   }
   if (verb == "off") {
-    budgets_.Disable();
+    budgets().Disable();
     return "budgets off\n";
   }
   return "usage: vctrl budget set <pane#|span-name> <ns> | clear | list | "
@@ -546,8 +565,8 @@ std::string DebuggerShell::CmdVprof(const std::string& args) {
   tracer.Clear();
   vl::MetricsRegistry::Instance().Reset();
   tracer.Enable();
-  if (debugger_ != nullptr) {
-    debugger_->target().ResetStats();
+  if (dbg() != nullptr) {
+    dbg()->target().ResetStats();
   }
 
   vl::Status run_status = vl::Status::Ok();
@@ -556,15 +575,15 @@ std::string DebuggerShell::CmdVprof(const std::string& args) {
     // Everything inside this root span: after it closes, the self times of
     // all spans sum exactly to its duration — the target clock delta.
     vl::ScopedSpan root("vprof");
-    auto graph = interp_.RunProgram(program);
+    auto graph = session_->RunProgram(program);
     if (!graph.ok()) {
       run_status = graph.status();
     } else {
       boxes = (*graph)->size();
       run_status =
-          panes_.SetGraph(static_cast<int>(pane_id), std::move(graph).value(), program);
+          panes().SetGraph(static_cast<int>(pane_id), std::move(graph).value(), program);
       if (run_status.ok()) {
-        panes_.RenderPane(static_cast<int>(pane_id));  // profile render too
+        panes().RenderPane(static_cast<int>(pane_id));  // profile render too
       }
     }
   }
@@ -575,7 +594,7 @@ std::string DebuggerShell::CmdVprof(const std::string& args) {
     return "error: " + run_status.ToString() + "\n";
   }
 
-  uint64_t clock_ns = debugger_ != nullptr ? debugger_->target().clock().nanos() : 0;
+  uint64_t clock_ns = dbg() != nullptr ? dbg()->target().clock().nanos() : 0;
   uint64_t self_ns = tracer.TotalSelfNanos();
   std::string out = vl::StrFormat("vprof pane %d: %zu boxes\n",
                                   static_cast<int>(pane_id), boxes);
@@ -595,8 +614,8 @@ std::string DebuggerShell::CmdLint(const std::string& args) {
     return "usage: vctrl lint <file|pane> [json]\n";
   }
   bool json = mode == "json";
-  analysis::Linter linter(&debugger_->types(), &debugger_->symbols(), &debugger_->helpers(),
-                          &interp_.emoji());
+  analysis::Linter linter(&dbg()->types(), &dbg()->symbols(), &dbg()->helpers(),
+                          &session_->emoji());
 
   struct LintJob {
     std::string name;
@@ -608,7 +627,7 @@ std::string DebuggerShell::CmdLint(const std::string& args) {
 
   int64_t pane_id = 0;
   if (vl::ParseInt64(target, &pane_id)) {
-    std::string program = panes_.program_text(static_cast<int>(pane_id));
+    std::string program = panes().program_text(static_cast<int>(pane_id));
     if (program.empty()) {
       return vl::StrFormat("error: pane %d has no ViewCL program to lint\n",
                            static_cast<int>(pane_id));
@@ -616,7 +635,7 @@ std::string DebuggerShell::CmdLint(const std::string& args) {
     jobs.push_back({vl::StrFormat("pane %d", static_cast<int>(pane_id)), program, false});
     summary = linter.SummarizeViewCl(program);
     const std::vector<std::string>* history =
-        panes_.viewql_history(static_cast<int>(pane_id));
+        panes().viewql_history(static_cast<int>(pane_id));
     if (history != nullptr) {
       for (size_t i = 0; i < history->size(); ++i) {
         jobs.push_back({vl::StrFormat("pane %d viewql[%zu]", static_cast<int>(pane_id), i),
@@ -670,10 +689,10 @@ std::string DebuggerShell::CmdVchat(const std::string& args) {
   // pane: a clean program applies as before; fixable mistakes are patched
   // via fix-its and re-checked once; anything still broken is refused with
   // the diagnostics as the retry hint.
-  analysis::Linter linter(&debugger_->types(), &debugger_->symbols(), &debugger_->helpers(),
-                          &interp_.emoji());
+  analysis::Linter linter(&dbg()->types(), &dbg()->symbols(), &dbg()->helpers(),
+                          &session_->emoji());
   analysis::ProgramSummary summary =
-      linter.SummarizeViewCl(panes_.program_text(static_cast<int>(pane_id)));
+      linter.SummarizeViewCl(panes().program_text(static_cast<int>(pane_id)));
   analysis::LintResult lint =
       linter.LintViewQl(viewql, summary.valid ? &summary : nullptr);
   if (lint.diagnostics.errors() > 0) {
@@ -694,11 +713,11 @@ std::string DebuggerShell::CmdVchat(const std::string& args) {
            "hint: rephrase the request or apply a corrected program with vctrl apply\n";
   }
 
-  vl::Status status = panes_.ApplyViewQl(static_cast<int>(pane_id), viewql);
+  vl::Status status = session_->Apply(static_cast<int>(pane_id), viewql);
   if (!status.ok()) {
     return out + "error applying: " + status.ToString() + "\n";
   }
   return out + "applied\n";
 }
 
-}  // namespace vision
+}  // namespace vserve

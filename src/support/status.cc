@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "EVAL_ERROR";
     case StatusCode::kMemoryFault:
       return "MEMORY_FAULT";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -64,6 +66,9 @@ Status EvalError(std::string message) {
 }
 Status MemoryFaultError(std::string message) {
   return Status(StatusCode::kMemoryFault, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 }  // namespace vl

@@ -26,6 +26,7 @@ enum class StatusCode {
   kParseError,
   kEvalError,
   kMemoryFault,
+  kResourceExhausted,
 };
 
 // Human-readable name of a status code ("OK", "PARSE_ERROR", ...).
@@ -60,6 +61,7 @@ Status InternalError(std::string message);
 Status ParseError(std::string message);
 Status EvalError(std::string message);
 Status MemoryFaultError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 // A value or an error. Modeled after absl::StatusOr but minimal.
 template <typename T>

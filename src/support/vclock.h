@@ -10,22 +10,35 @@
 #ifndef SRC_SUPPORT_VCLOCK_H_
 #define SRC_SUPPORT_VCLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace vl {
 
+// Single-writer clock: advances are serialized externally (one target owner,
+// or the owning shard's extraction mutex in vserve), but nanos() may be read
+// concurrently by stats snapshots. Relaxed load+store keeps the write path a
+// plain add — no locked RMW on the hot Charge() path.
 class VirtualClock {
  public:
   VirtualClock() = default;
+  VirtualClock(const VirtualClock& other)
+      : nanos_(other.nanos_.load(std::memory_order_relaxed)) {}
+  VirtualClock& operator=(const VirtualClock& other) {
+    nanos_.store(other.nanos_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
 
-  void AdvanceNanos(uint64_t nanos) { nanos_ += nanos; }
-  void Reset() { nanos_ = 0; }
+  void AdvanceNanos(uint64_t nanos) {
+    nanos_.store(nanos_.load(std::memory_order_relaxed) + nanos, std::memory_order_relaxed);
+  }
+  void Reset() { nanos_.store(0, std::memory_order_relaxed); }
 
-  uint64_t nanos() const { return nanos_; }
-  double millis() const { return static_cast<double>(nanos_) / 1e6; }
+  uint64_t nanos() const { return nanos_.load(std::memory_order_relaxed); }
+  double millis() const { return static_cast<double>(nanos()) / 1e6; }
 
  private:
-  uint64_t nanos_ = 0;
+  std::atomic<uint64_t> nanos_{0};
 };
 
 }  // namespace vl

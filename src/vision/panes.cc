@@ -406,13 +406,16 @@ std::string PaneManager::RenderPane(int pane_id, const RenderOptions& options,
     g->roots() = pane->subset;
   }
   uint64_t digest = g->Digest();
-  auto cached = pane->render_cache.find(cache_key);
+  auto cached = render_cache_enabled_ ? pane->render_cache.find(cache_key)
+                                      : pane->render_cache.end();
   if (cached != pane->render_cache.end() && cached->second.first == digest) {
     out = cached->second.second;
     reused = true;
   } else {
     out = renderer->Render(*g);
-    pane->render_cache[cache_key] = {digest, out};
+    if (render_cache_enabled_) {
+      pane->render_cache[cache_key] = {digest, out};
+    }
   }
   if (pane->secondary) {
     g->roots() = saved;

@@ -1,81 +1,14 @@
-// The v-command shell (paper §4): vplot, vctrl, and vchat as CLI-style
-// commands a developer invokes at a breakpoint. This is the programmatic core
-// behind the interactive example binary and the shell tests.
+// DEPRECATED forwarding header: DebuggerShell moved to the vserve serving
+// layer (src/serve/shell.h) as part of the multi-session redesign. This
+// header remains so existing includes keep compiling; it will be removed
+// once all callers include src/serve/shell.h directly.
+//
+// vision::DebuggerShell is an alias for vserve::DebuggerShell (declared in
+// src/serve/shell.h).
 
 #ifndef SRC_VISION_SHELL_H_
 #define SRC_VISION_SHELL_H_
 
-#include <memory>
-#include <string>
-
-#include "src/dbg/kernel_introspect.h"
-#include "src/support/budget.h"
-#include "src/support/timeseries.h"
-#include "src/viewcl/interp.h"
-#include "src/vision/panes.h"
-#include "src/vision/vchat.h"
-
-namespace vision {
-
-class DebuggerShell {
- public:
-  explicit DebuggerShell(dbg::KernelDebugger* debugger);
-
-  // Executes one command line and returns its textual output. Commands:
-  //   vplot <pane> <viewcl program...>      extract a graph into a pane
-  //   vctrl split <pane> h|v                split a pane
-  //   vctrl apply <pane> <viewql...>        refine a pane with ViewQL
-  //   vctrl lint <file|pane> [json]         static-check ViewCL/ViewQL (vlint)
-  //   vctrl focus addr <hex>                search all panes for an object
-  //   vctrl focus <member> <value>          search by member value (e.g. pid 2)
-  //   vctrl view <pane> [ascii|dot|json]    render a pane with a back-end
-  //   vctrl layout                          show the pane tree
-  //   vctrl save                            dump the session state as JSON
-  //   vctrl stats [json]                    merged target/cache/pane cost report
-  //   vctrl trace on|off|clear|dump <file>  control the deterministic tracer
-  //   vctrl explain <pane> [json]           refresh + per-node cost attribution
-  //   vctrl refresh <pane>                  re-extract a pane, report its cost
-  //   vctrl watch on|off|clear|<pane> [json]  refresh time-series (sparklines)
-  //   vctrl budget set|clear|list|report|on|off  latency budgets + violations
-  //   vctrl export prom|folded|chrome [path]  standard exporters
-  //   vprof <pane> <viewcl program...>      traced run + self-time breakdown
-  //   vchat <pane> <natural language...>    synthesize + apply ViewQL
-  //   help
-  std::string Execute(const std::string& line);
-
-  PaneManager& panes() { return panes_; }
-  viewcl::Interpreter& interp() { return interp_; }
-  VchatSynthesizer& vchat() { return vchat_; }
-  vl::TimeSeriesRecorder& recorder() { return recorder_; }
-  vl::BudgetRegistry& budgets() { return budgets_; }
-
- private:
-  std::string CmdVplot(const std::string& args);
-  std::string CmdVctrl(const std::string& args);
-  std::string CmdLint(const std::string& args);
-  std::string CmdVchat(const std::string& args);
-  std::string CmdVprof(const std::string& args);
-  std::string CmdStats(const std::string& args);
-  // The merged stats object: {"target", "cache", "panes", "tracer", "metrics"}
-  // — one place for every stats shape (docs/observability.md#stats-schema).
-  vl::Json StatsJson() const;
-  std::string CmdTrace(const std::string& args);
-  std::string CmdExplain(const std::string& args);
-  std::string CmdRefresh(const std::string& args);
-  std::string CmdWatch(const std::string& args);
-  std::string CmdBudget(const std::string& args);
-  std::string CmdExport(const std::string& args);
-  // Replots a primary pane's graph through the shell's interpreter.
-  PaneManager::ReplotFn MakeReplotFn();
-
-  dbg::KernelDebugger* debugger_;
-  viewcl::Interpreter interp_;
-  PaneManager panes_;
-  VchatSynthesizer vchat_;
-  vl::TimeSeriesRecorder recorder_;  // fed by panes_ (attached in the ctor)
-  vl::BudgetRegistry budgets_;       // checked by panes_'s refresh watchdog
-};
-
-}  // namespace vision
+#include "src/serve/shell.h"  // IWYU pragma: export
 
 #endif  // SRC_VISION_SHELL_H_

@@ -1,0 +1,448 @@
+// vserve serving-layer tests: SessionOptions validation, request dedup
+// (one extraction serves every overlapping client), per-session view
+// isolation, byte-identical renders vs single-session mode, admission
+// control, shard routing, the async scheduler, and the Target stats
+// snapshot race fixed alongside this layer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/serve/options.h"
+#include "src/serve/server.h"
+#include "src/serve/shell.h"
+#include "src/support/metrics.h"
+#include "src/support/str.h"
+#include "src/vision/figures.h"
+#include "src/vkern/kernel.h"
+#include "src/vkern/workload.h"
+
+namespace vserve {
+namespace {
+
+const char* Fig(const char* id) { return vision::FindFigure(id)->viewcl; }
+
+// ---------------------------------------------------------------------------
+// SessionOptions (the consolidated-config satellite)
+
+TEST(SessionOptionsTest, DefaultsValidateClean) {
+  SessionOptions options;
+  vl::DiagnosticList diags = options.Validate();
+  EXPECT_EQ(diags.errors(), 0);
+  EXPECT_EQ(options.ValidationText(), "");
+}
+
+TEST(SessionOptionsTest, FailFastDiagnosticsCarryRuleIds) {
+  SessionOptions options;
+  options.block_bytes = 0;  // VS001: incremental needs a block cache
+  EXPECT_GT(options.Validate().errors(), 0);
+  EXPECT_NE(options.ValidationText().find("VS001"), std::string::npos);
+
+  options = SessionOptions{};
+  options.capacity_blocks = 0;  // VS002
+  EXPECT_NE(options.ValidationText().find("VS002"), std::string::npos);
+
+  options = SessionOptions{};
+  options.max_dirty_ratio = 1.5;  // VS003
+  EXPECT_NE(options.ValidationText().find("VS003"), std::string::npos);
+
+  options = SessionOptions{};
+  options.max_queued = 0;  // VS004
+  EXPECT_NE(options.ValidationText().find("VS004"), std::string::npos);
+
+  options = SessionOptions{};
+  options.shard = "bad shard";  // VS005
+  EXPECT_NE(options.ValidationText().find("VS005"), std::string::npos);
+
+  // VS006 is a warning: still zero errors, so the session is admissible.
+  options = SessionOptions{};
+  options.block_bytes = 300;
+  EXPECT_EQ(options.Validate().errors(), 0);
+}
+
+TEST(SessionOptionsTest, CacheConfigRoundTrip) {
+  dbg::CacheConfig config;
+  config.block_bytes = 512;
+  config.capacity_blocks = 64;
+  config.delta_invalidation = true;
+  config.max_dirty_ratio = 0.25;
+  SessionOptions options = SessionOptions::FromCacheConfig(config);
+  EXPECT_TRUE(SameCacheConfig(options.ToCacheConfig(), config));
+  // The compat conversion preserves classic single-user semantics.
+  EXPECT_FALSE(options.shared_engines);
+  EXPECT_FALSE(options.coalesce);
+  EXPECT_TRUE(SameCacheConfig(SessionOptions::Classic().ToCacheConfig(),
+                              dbg::CacheConfig{}));
+}
+
+// ---------------------------------------------------------------------------
+// Serving
+
+class ServeTest : public ::testing::Test {
+ protected:
+  // One booted shard on the GDB/QEMU latency model so refreshes have a real
+  // (virtual) cost to account.
+  void Boot(Server& server, const std::string& name = "k0",
+            dbg::LatencyModel model = dbg::LatencyModel::GdbQemu()) {
+    ASSERT_TRUE(server.BootShard(name, model).ok());
+  }
+};
+
+TEST_F(ServeTest, DedupServesSecondClientFromOneExtraction) {
+  Server server;
+  Boot(server);
+  auto a = server.Connect();
+  auto b = server.Connect();
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  ASSERT_TRUE((*a)->Plot(1, Fig("fig3_4")).ok());
+  ASSERT_TRUE((*b)->Plot(1, Fig("fig3_4")).ok());
+
+  auto first = (*a)->Refresh(1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->deduped);
+  EXPECT_EQ((*a)->executed(), 1u);
+
+  uint64_t charged_before = (*b)->charged_ns();
+  auto second = (*b)->Refresh(1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->deduped);
+  EXPECT_EQ(second->refresh_ns, 0u);  // the duplicate is charged nothing
+  EXPECT_EQ((*b)->charged_ns(), charged_before);
+  EXPECT_EQ((*b)->deduped(), 1u);
+  EXPECT_EQ((*b)->executed(), 0u);
+  // ...and it is served real bytes, not just accounting.
+  EXPECT_FALSE(second->render.empty());
+  EXPECT_EQ(second->render, first->render);
+  // Completion sequences are server-wide and monotonic.
+  EXPECT_GT(second->sequence, first->sequence);
+}
+
+TEST_F(ServeTest, KernelMutationInvalidatesDedup) {
+  Server server;
+  Boot(server);
+  auto a = server.Connect();
+  auto b = server.Connect();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*a)->Plot(1, Fig("fig3_4")).ok());
+  ASSERT_TRUE((*b)->Plot(1, Fig("fig3_4")).ok());
+  ASSERT_TRUE((*a)->Refresh(1).ok());
+
+  // Advance the kernel: the dedup key embeds the mutation generation, so the
+  // stale cached result must not be served.
+  server.shard_workload("k0")->Step();
+  auto fresh = (*b)->Refresh(1);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->deduped);
+  EXPECT_EQ((*b)->executed(), 1u);
+}
+
+TEST_F(ServeTest, PerSessionViewIsolation) {
+  Server server;
+  Boot(server);
+  auto a = server.Connect();
+  auto b = server.Connect();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*a)->Plot(1, Fig("fig3_4")).ok());
+  ASSERT_TRUE((*b)->Plot(1, Fig("fig3_4")).ok());
+  EXPECT_EQ((*a)->Render(1), (*b)->Render(1));
+
+  // A ViewQL refinement in one session must not leak into the other, even
+  // though both share the shard's block cache and engines.
+  ASSERT_TRUE((*a)->Apply(1,
+                          "a = SELECT task_struct FROM *\n"
+                          "UPDATE a WITH collapsed: true")
+                  .ok());
+  EXPECT_NE((*a)->Render(1), (*b)->Render(1));
+
+  // And the refinement changes A's dedup key, so A's next refresh is a real
+  // extraction, not B's cached result.
+  ASSERT_TRUE((*b)->Refresh(1).ok());
+  auto refined = (*a)->Refresh(1);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_FALSE(refined->deduped);
+}
+
+TEST_F(ServeTest, RendersByteIdenticalToSingleSessionMode) {
+  // Serving path: a session on a booted shard.
+  Server server;
+  Boot(server, "k0", dbg::LatencyModel::Free());
+  auto client = server.Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Plot(1, Fig("fig3_4")).ok());
+  auto served = (*client)->Refresh(1);
+  ASSERT_TRUE(served.ok());
+
+  // Classic path: the same deterministic kernel driven by the pre-vserve
+  // shell (compat constructor = one-session server, classic options).
+  vkern::Kernel kernel;
+  vkern::WorkloadConfig config;
+  config.steps = 60;
+  vkern::Workload workload(&kernel, config);
+  workload.Run();
+  dbg::KernelDebugger debugger(&kernel);
+  vision::RegisterFigureSymbols(&debugger, &workload);
+  DebuggerShell shell(&debugger);
+  shell.Execute(std::string("vplot 1 ") + Fig("fig3_4"));
+
+  // Note: no classic `vctrl refresh` here — the classic engine re-loads and
+  // accumulates the program per replot (a second `plot` section), which is
+  // preserved compat behavior, not the canonical figure bytes.
+  EXPECT_EQ(served->render, shell.Execute("vctrl view 1"));
+  // And a serve refresh is idempotent on an unchanged kernel.
+  auto again = (*client)->Refresh(1);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->render, served->render);
+}
+
+TEST_F(ServeTest, AdmissionRejectsSessionOverBudget) {
+  Server server;
+  Boot(server);
+  // No block cache: every refresh pays raw transport costs, so the first
+  // refresh is guaranteed to charge > 0 virtual ns.
+  SessionOptions options;
+  options.block_bytes = 0;
+  options.capacity_blocks = 0;
+  options.incremental = false;
+  options.session_budget_ns = 1;
+  auto client = server.Connect(options);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Plot(1, Fig("fig3_4")).ok());
+
+  auto first = (*client)->Refresh(1);
+  ASSERT_TRUE(first.ok());
+  ASSERT_GT((*client)->charged_ns(), 0u);
+
+  auto second = (*client)->Refresh(1);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), vl::StatusCode::kResourceExhausted);
+  EXPECT_EQ((*client)->rejected(), 1u);
+  // The rejection is recorded as a budget violation for vexplain.
+  ASSERT_FALSE((*client)->budgets().violations().empty());
+  const vl::BudgetViolation& violation = (*client)->budgets().violations().back();
+  EXPECT_EQ(violation.key, vl::StrFormat("serve.session.%d", (*client)->id()));
+  EXPECT_EQ(violation.budget_ns, 1u);
+}
+
+TEST_F(ServeTest, ShardRoutingNamedAndRoundRobin) {
+  Server server;
+  Boot(server, "k0", dbg::LatencyModel::Free());
+  Boot(server, "k1", dbg::LatencyModel::Free());
+  EXPECT_EQ(server.shard_count(), 2u);
+
+  SessionOptions named;
+  named.shard = "k1";
+  auto pinned = server.Connect(named);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ((*pinned)->shard_name(), "k1");
+
+  SessionOptions missing;
+  missing.shard = "nope";
+  auto not_found = server.Connect(missing);
+  ASSERT_FALSE(not_found.ok());
+  EXPECT_EQ(not_found.status().code(), vl::StatusCode::kNotFound);
+
+  // "" spreads sessions round-robin across the fleet.
+  auto c1 = server.Connect();
+  auto c2 = server.Connect();
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE((*c1)->shard_name(), (*c2)->shard_name());
+  EXPECT_EQ(server.session_count(), 3u);
+}
+
+TEST_F(ServeTest, ConnectRefusesCacheConfigConflictWhileOccupied) {
+  Server server;
+  Boot(server, "k0", dbg::LatencyModel::Free());
+  SessionOptions big;
+  big.block_bytes = 512;
+  {
+    auto first = server.Connect();  // adopts the default incremental config
+    ASSERT_TRUE(first.ok());
+    auto conflicting = server.Connect(big);
+    ASSERT_FALSE(conflicting.ok());
+    EXPECT_EQ(conflicting.status().code(), vl::StatusCode::kFailedPrecondition);
+    // A matching config can still share the shard.
+    auto matching = server.Connect();
+    EXPECT_TRUE(matching.ok());
+  }
+  // Once the shard is empty again it adopts the newcomer's config.
+  auto retry = server.Connect(big);
+  EXPECT_TRUE(retry.ok());
+}
+
+TEST_F(ServeTest, SchedulerQueuesUnderPauseAndPreservesFifo) {
+  Server server;  // inline mode: workers == 0
+  Boot(server, "k0", dbg::LatencyModel::Free());
+  SessionOptions options;
+  options.max_queued = 2;
+  auto client = server.Connect(options);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Plot(1, Fig("fig3_4")).ok());
+
+  server.Pause();
+  auto t1 = (*client)->SubmitRefresh(1);
+  auto t2 = (*client)->SubmitRefresh(1);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_FALSE(t1->done());
+
+  // Admission control on queue depth: the third submit is rejected.
+  auto t3 = (*client)->SubmitRefresh(1);
+  ASSERT_FALSE(t3.ok());
+  EXPECT_EQ(t3.status().code(), vl::StatusCode::kResourceExhausted);
+  EXPECT_EQ((*client)->rejected(), 1u);
+
+  server.Resume();  // inline server: drains on this thread
+  auto r1 = t1->Wait();
+  auto r2 = t2->Wait();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_LT(r1->sequence, r2->sequence);  // per-session FIFO preserved
+  EXPECT_TRUE(r2->deduped);               // same figure, same epoch: coalesced
+  server.Drain();
+}
+
+TEST_F(ServeTest, WorkerPoolServesConcurrentClients) {
+  ServerConfig config;
+  config.workers = 2;
+  Server server(config);
+  Boot(server, "k0", dbg::LatencyModel::Free());
+
+  std::vector<vl::StatusOr<Client>> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(server.Connect());
+    ASSERT_TRUE(clients.back().ok());
+    ASSERT_TRUE((*clients.back())->Plot(1, Fig("fig3_4")).ok());
+  }
+  std::vector<Ticket> tickets;
+  for (auto& client : clients) {
+    auto ticket = (*client)->SubmitRefresh(1);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+  server.Drain();
+  std::string render;
+  for (Ticket& ticket : tickets) {
+    auto result = ticket.Wait();
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(result->render.empty());
+    if (render.empty()) {
+      render = result->render;
+    }
+    EXPECT_EQ(result->render, render);  // every client sees the same bytes
+  }
+  // The overlapping fleet coalesced: exactly one client paid for extraction.
+  uint64_t executed = 0;
+  for (auto& client : clients) {
+    executed += (*client)->executed();
+  }
+  EXPECT_EQ(executed, 1u);
+}
+
+TEST_F(ServeTest, CompatShellIsOneSessionServer) {
+  vkern::Kernel kernel;
+  vkern::WorkloadConfig config;
+  config.steps = 60;
+  vkern::Workload workload(&kernel, config);
+  workload.Run();
+  dbg::KernelDebugger debugger(&kernel);
+  vision::RegisterFigureSymbols(&debugger, &workload);
+
+  DebuggerShell shell(&debugger);
+  EXPECT_EQ(shell.session().shard_name(), "local");
+  // Classic options: the shim must never reconfigure the caller's debugger.
+  EXPECT_FALSE(shell.session().options().coalesce);
+
+  std::string out = shell.Execute(std::string("vplot 1 ") + Fig("fig3_4"));
+  EXPECT_NE(out.find("plotted"), std::string::npos);
+  out = shell.Execute("vctrl refresh 1");
+  EXPECT_NE(out.find("refreshed pane 1"), std::string::npos);
+  EXPECT_EQ(out.find("(deduped)"), std::string::npos);
+  // The merged stats report now carries the serve section.
+  EXPECT_NE(shell.Execute("vctrl stats").find("serve: session"), std::string::npos);
+  EXPECT_NE(shell.Execute("vctrl stats json").find("\"serve\""), std::string::npos);
+}
+
+TEST_F(ServeTest, ServerStatsExposeShardsAndSessions) {
+  Server server;
+  Boot(server, "k0", dbg::LatencyModel::Free());
+  auto a = server.Connect();
+  auto b = server.Connect();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*a)->Plot(1, Fig("fig3_4")).ok());
+  ASSERT_TRUE((*b)->Plot(1, Fig("fig3_4")).ok());
+  ASSERT_TRUE((*a)->Refresh(1).ok());
+  ASSERT_TRUE((*b)->Refresh(1).ok());
+
+  std::string stats = server.StatsToJson().Dump(2);
+  EXPECT_NE(stats.find("\"shards\""), std::string::npos);
+  EXPECT_NE(stats.find("\"k0\""), std::string::npos);
+  EXPECT_NE(stats.find("\"dedup_hits\": 1"), std::string::npos);
+  EXPECT_NE(stats.find("\"per_session\""), std::string::npos);
+
+  vl::MetricsRegistry::Instance().Reset();
+  server.PublishMetrics();
+  std::string prom = vl::MetricsRegistry::Instance().ToPrometheus();
+  EXPECT_NE(prom.find("serve_sessions"), std::string::npos);
+  EXPECT_NE(prom.find("serve_shard_k0_dedup_hits"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The Target::ResetStats race fix
+
+TEST(TargetStatsRaceTest, ResetRacesWithSnapshotReaders) {
+  vkern::Kernel kernel;
+  vkern::WorkloadConfig config;
+  config.steps = 30;
+  vkern::Workload workload(&kernel, config);
+  workload.Run();
+  dbg::KernelDebugger debugger(&kernel, dbg::LatencyModel::GdbQemu());
+  dbg::Target& target = debugger.target();
+
+  // One thread generating charges, one hammering ResetStats, two taking the
+  // snapshot accessors. Pre-fix, per_model_stats()/dirty_stats() returned
+  // references into state ResetStats concurrently cleared; the snapshots are
+  // now taken by value under the stats lock. TSan (the build-tsan preset) is
+  // the real assertion here; the invariants below catch torn reads anywhere.
+  std::atomic<bool> stop{false};
+  std::thread charger([&] {
+    uint8_t buffer[64];
+    uint64_t addr = reinterpret_cast<uint64_t>(kernel.procs().init_task());
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)debugger.session().ReadBytes(addr, buffer, sizeof(buffer));
+    }
+  });
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      target.ResetStats();
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto per_model = target.per_model_stats();
+      for (const auto& [name, stats] : per_model) {
+        ASSERT_FALSE(name.empty());
+        ASSERT_GE(stats.bytes, stats.reads);  // every read is >= 1 byte
+      }
+      auto dirty = target.dirty_stats();
+      ASSERT_GE(dirty.pages_scanned, dirty.pages_dirty);
+    }
+  });
+  std::thread json_reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_FALSE(target.StatsToJson().Dump(0).empty());
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true, std::memory_order_relaxed);
+  charger.join();
+  resetter.join();
+  reader.join();
+  json_reader.join();
+}
+
+}  // namespace
+}  // namespace vserve
