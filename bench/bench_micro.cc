@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -573,6 +574,96 @@ int CheckServeDedup() {
   return 0;
 }
 
+// vflight overhead guard: the recorder must stay invisible on the serve hot
+// path. A disabled-recorder server and an enabled one run the same steady
+// dedup-hit refresh loop (no kernel steps, so after the first extraction
+// every refresh is a result-cache hit — the cheapest, most stamp-sensitive
+// path); the paired-trial median ratio between them must stay inside the
+// same coarse noise-floor budget CheckTracingOverhead uses. Two-sided,
+// because either direction drifting past 25% means a slow path appeared
+// (stamping while disabled, or Finish() growing a lock walk while enabled).
+int CheckFlightOverhead() {
+  constexpr int kTrials = 12;
+  constexpr int kIters = 4'000;
+  constexpr double kBudget = 1.25;
+
+  struct Rig {
+    std::unique_ptr<vserve::Server> server;
+    std::optional<vserve::Client> client;
+  };
+  auto make_rig = [](bool recorder) -> Rig {
+    vserve::ServerConfig config;
+    config.flight_recorder = recorder;
+    Rig rig;
+    rig.server = std::make_unique<vserve::Server>(config);
+    if (!rig.server->BootShard("serve", dbg::LatencyModel::GdbQemu()).ok()) {
+      return {};
+    }
+    auto client = rig.server->Connect();
+    if (!client.ok() ||
+        !(*client)->Plot(1, vision::FindFigure("fig3_4")->viewcl).ok() ||
+        !(*client)->Refresh(1).ok()) {  // prime the result cache
+      return {};
+    }
+    rig.client = std::move(*client);
+    return rig;
+  };
+  Rig off = make_rig(false);
+  Rig on = make_rig(true);
+  if (!off.client || !on.client) {
+    std::printf("FAIL: flight-overhead guard could not boot its servers\n");
+    return 1;
+  }
+  auto time_refreshes = [](Rig& rig) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      if (!(*rig.client)->Refresh(1).ok()) {
+        return -1.0;
+      }
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  // Warm both paths, then paired alternating trials, median of per-pair
+  // ratios (the CheckTracingOverhead methodology — see its comment for why).
+  time_refreshes(off);
+  time_refreshes(on);
+  double off_s = 1e100;
+  double on_s = 1e100;
+  std::vector<double> ratios;
+  ratios.reserve(kTrials);
+  for (int t = 0; t < kTrials; ++t) {
+    double d, e;
+    if (t % 2 == 0) {
+      d = time_refreshes(off);
+      e = time_refreshes(on);
+    } else {
+      e = time_refreshes(on);
+      d = time_refreshes(off);
+    }
+    if (d <= 0.0 || e <= 0.0) {
+      std::printf("FAIL: flight-overhead guard refresh loop errored\n");
+      return 1;
+    }
+    ratios.push_back(e / d);
+    off_s = std::min(off_s, d);
+    on_s = std::min(on_s, e);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  double ratio = (ratios[kTrials / 2 - 1] + ratios[kTrials / 2]) / 2.0;
+  double sided = std::max(ratio, 1.0 / ratio);
+  std::printf("flight-overhead guard: recorder off %.2f us/refresh, on %.2f "
+              "us/refresh, median paired ratio %.4f (two-sided budget %.2f)\n",
+              off_s / kIters * 1e6, on_s / kIters * 1e6, ratio, kBudget);
+  if (sided > kBudget) {
+    std::printf("FAIL: flight recorder overhead exceeds the noise-floor "
+                "budget on the dedup hot path\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -583,5 +674,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return CheckTracingOverhead() + CheckCacheSpeedup() + CheckIncrementalSpeedup() +
-         CheckDisabledObservabilityOverhead() + CheckServeDedup();
+         CheckDisabledObservabilityOverhead() + CheckServeDedup() +
+         CheckFlightOverhead();
 }

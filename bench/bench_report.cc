@@ -527,6 +527,110 @@ vl::Json MeasureServe() {
   return report;
 }
 
+// ---------------------------------------------------------------------------
+// vflight: queue/service decomposition across the overlap x clients grid.
+// Each round pauses the scheduler, submits the whole fleet's refreshes at one
+// virtual instant, and resumes — so requests genuinely queue behind each
+// other and the recorder's queue_ns/service_ns split carries signal. The gate
+// is reconciliation: summed flight service_ns + control_ns must equal the
+// shard's charged-ns exactly, per cell.
+
+vl::Json MeasureFlightCell(size_t clients, int overlap_pct) {
+  vl::Json j = vl::Json::Object();
+  j["clients"] = vl::Json::Int(static_cast<int64_t>(clients));
+  j["overlap_pct"] = vl::Json::Int(overlap_pct);
+  j["rounds"] = vl::Json::Int(kServeRounds);
+  j["ok"] = vl::Json::Bool(false);
+
+  vserve::Server server;
+  if (!server.BootShard("serve", dbg::LatencyModel::GdbQemu()).ok()) {
+    return j;
+  }
+  std::vector<vl::StatusOr<vserve::Client>> fleet;
+  for (size_t i = 0; i < clients; ++i) {
+    fleet.push_back(server.Connect());
+    if (!fleet.back().ok() ||
+        !(*fleet.back())
+             ->Plot(1, vision::FindFigure(ServeFigure(i, overlap_pct))->viewcl)
+             .ok()) {
+      return j;
+    }
+  }
+
+  for (int round = 0; round < kServeRounds; ++round) {
+    server.shard_workload("serve")->Step();
+    server.Pause();
+    std::vector<vserve::Ticket> tickets;
+    for (auto& client : fleet) {
+      auto ticket = (*client)->SubmitRefresh(1);
+      if (!ticket.ok()) {
+        server.Resume();
+        return j;
+      }
+      tickets.push_back(*ticket);
+    }
+    server.Resume();
+    for (vserve::Ticket& ticket : tickets) {
+      if (!ticket.Wait().ok()) {
+        return j;
+      }
+    }
+  }
+
+  vserve::FlightStats stats = server.flights().ShardStats("serve");
+  vl::Json doc = server.ExportFlights();
+  const vl::Json* shard = doc.Find("metadata")->Find("shards")->Find("serve");
+  bool reconciled = shard != nullptr && shard->Find("reconciled")->AsBool();
+
+  j["completed"] = vl::Json::Int(static_cast<int64_t>(stats.completed));
+  j["executed"] = vl::Json::Int(static_cast<int64_t>(stats.executed));
+  j["dedup_hits"] = vl::Json::Int(static_cast<int64_t>(stats.dedup_hits));
+  j["queue_ns"] = stats.queue_ns.ToJson();
+  j["service_ns"] = stats.service_ns.ToJson();
+  j["total_ns"] = stats.total_ns.ToJson();
+  j["flight_service_ns"] = vl::Json::Int(static_cast<int64_t>(stats.service_sum_ns));
+  if (shard != nullptr) {
+    j["charged_ns"] = *shard->Find("charged_ns");
+    j["control_ns"] = *shard->Find("control_ns");
+  }
+  j["reconciled"] = vl::Json::Bool(reconciled);
+  j["ok"] = vl::Json::Bool(
+      reconciled && stats.completed == clients * static_cast<size_t>(kServeRounds));
+  return j;
+}
+
+vl::Json MeasureFlight() {
+  vl::Json report = vl::Json::Object();
+  report["workload"] = vl::Json::Str(
+      "N clients on one GDB/QEMU shard; per round: one workload step, then "
+      "the whole fleet's refreshes submitted under Pause() and released at "
+      "once — queue_ns/service_ns decomposition from the flight recorder, "
+      "gated on exact service-vs-charged reconciliation");
+  vl::Json cells = vl::Json::Array();
+  bool passed = true;
+  for (int overlap_pct : {100, 50}) {
+    for (size_t clients : {1u, 2u, 4u, 8u}) {
+      vl::Json cell = MeasureFlightCell(clients, overlap_pct);
+      const vl::Json* ok = cell.Find("ok");
+      bool cell_ok = ok != nullptr && ok->AsBool();
+      passed = passed && cell_ok;
+      if (cell_ok) {
+        std::printf(
+            "  flight %zu client(s) %3d%% overlap: queue p99 %.0f ns, "
+            "service p99 %.0f ns, %lld dedup, reconciled=%s\n",
+            clients, overlap_pct, cell.Find("queue_ns")->Find("p99")->AsNumber(),
+            cell.Find("service_ns")->Find("p99")->AsNumber(),
+            static_cast<long long>(cell.Find("dedup_hits")->AsInt()),
+            cell.Find("reconciled")->AsBool() ? "true" : "false");
+      }
+      cells.Append(std::move(cell));
+    }
+  }
+  report["cells"] = std::move(cells);
+  report["passed"] = vl::Json::Bool(passed);
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -692,6 +796,22 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", serve_path);
   if (serve_passed == nullptr || !serve_passed->AsBool()) {
     std::printf("error: serve fleet missed its dedup/byte-identity gates\n");
+    return 1;
+  }
+
+  // Flight recorder: queue/service decomposition + reconciliation per cell.
+  const char* flight_path = argc > 7 ? argv[7] : "BENCH_flight.json";
+  vl::Json flight_report = MeasureFlight();
+  const vl::Json* flight_passed = flight_report.Find("passed");
+  std::ofstream flight_file(flight_path);
+  if (!flight_file) {
+    std::printf("error: cannot open %s\n", flight_path);
+    return 1;
+  }
+  flight_file << flight_report.Dump(2) << "\n";
+  std::printf("wrote %s\n", flight_path);
+  if (flight_passed == nullptr || !flight_passed->AsBool()) {
+    std::printf("error: flight decomposition failed to reconcile\n");
     return 1;
   }
   return 0;

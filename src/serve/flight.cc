@@ -1,0 +1,300 @@
+#include "src/serve/flight.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/support/str.h"
+
+namespace vserve {
+
+namespace {
+
+// The SLO budget key for a ceiling kind; empty for unknown kinds. Returns
+// interned strings — this runs per completed flight (CheckSloLocked), where
+// rebuilding the key would put three heap allocations on the serve hot path.
+const std::string& SloKey(const std::string& kind) {
+  static const std::string kQueue = "serve.slo.queue_ns";
+  static const std::string kService = "serve.slo.service_ns";
+  static const std::string kTotal = "serve.slo.total_ns";
+  static const std::string kNone;
+  if (kind == "queue") return kQueue;
+  if (kind == "service") return kService;
+  if (kind == "total") return kTotal;
+  return kNone;
+}
+
+// One rolling-window sample per kWindowSampleEvery completed flights per
+// shard (the first flight always samples). The window tracks decomposition
+// drift, not individual requests — sampling keeps the per-flight cost of
+// Finish() inside bench_micro's flight-overhead budget, since each sample
+// builds a string-keyed map for the TimeSeriesRecorder.
+constexpr uint64_t kWindowSampleEvery = 16;
+
+}  // namespace
+
+const char* FlightOutcomeName(FlightOutcome outcome) {
+  switch (outcome) {
+    case FlightOutcome::kCold:
+      return "cold";
+    case FlightOutcome::kMemoReplay:
+      return "memo-replay";
+    case FlightOutcome::kRenderReused:
+      return "render-reused";
+    case FlightOutcome::kDedupHit:
+      return "dedup-hit";
+    case FlightOutcome::kAdmissionRejected:
+      return "admission-rejected";
+    case FlightOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+vl::Json FlightRecord::ToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["request_id"] = vl::Json::Int(static_cast<int64_t>(request_id));
+  j["session"] = vl::Json::Int(session_id);
+  j["shard"] = vl::Json::Str(shard);
+  j["pane"] = vl::Json::Int(pane);
+  j["backend"] = vl::Json::Str(backend);
+  j["worker"] = vl::Json::Int(static_cast<int64_t>(worker));
+  j["outcome"] = vl::Json::Str(FlightOutcomeName(outcome));
+  if (outcome == FlightOutcome::kDedupHit) {
+    j["leader_request_id"] = vl::Json::Int(static_cast<int64_t>(leader_request_id));
+  }
+  if (outcome == FlightOutcome::kAdmissionRejected) {
+    j["admission_rule"] = vl::Json::Str(admission_rule);
+  }
+  j["epoch"] = vl::Json::Int(static_cast<int64_t>(epoch));
+  j["boxes"] = vl::Json::Int(static_cast<int64_t>(boxes));
+  j["submitted_ns"] = vl::Json::Int(static_cast<int64_t>(submitted_ns));
+  j["admitted_ns"] = vl::Json::Int(static_cast<int64_t>(admitted_ns));
+  j["dequeued_ns"] = vl::Json::Int(static_cast<int64_t>(dequeued_ns));
+  j["executing_ns"] = vl::Json::Int(static_cast<int64_t>(executing_ns));
+  j["finished_ns"] = vl::Json::Int(static_cast<int64_t>(finished_ns));
+  j["queue_ns"] = vl::Json::Int(static_cast<int64_t>(queue_ns()));
+  j["service_ns"] = vl::Json::Int(static_cast<int64_t>(service_ns));
+  j["total_ns"] = vl::Json::Int(static_cast<int64_t>(total_ns()));
+  return j;
+}
+
+void FlightStats::Record(const FlightRecord& record) {
+  if (record.outcome == FlightOutcome::kAdmissionRejected) {
+    rejected++;
+    return;
+  }
+  completed++;
+  queue_ns.Record(record.queue_ns());
+  service_ns.Record(record.service_ns);
+  total_ns.Record(record.total_ns());
+  service_sum_ns += record.service_ns;
+  if (record.outcome == FlightOutcome::kDedupHit) {
+    dedup_hits++;
+  } else {
+    executed++;
+    if (record.outcome == FlightOutcome::kFailed) {
+      failed++;
+    }
+  }
+}
+
+vl::Json FlightStats::ToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["completed"] = vl::Json::Int(static_cast<int64_t>(completed));
+  j["executed"] = vl::Json::Int(static_cast<int64_t>(executed));
+  j["dedup_hits"] = vl::Json::Int(static_cast<int64_t>(dedup_hits));
+  j["rejected"] = vl::Json::Int(static_cast<int64_t>(rejected));
+  j["failed"] = vl::Json::Int(static_cast<int64_t>(failed));
+  j["service_sum_ns"] = vl::Json::Int(static_cast<int64_t>(service_sum_ns));
+  j["queue_ns"] = queue_ns.ToJson();
+  j["service_ns"] = service_ns.ToJson();
+  j["total_ns"] = total_ns.ToJson();
+  return j;
+}
+
+void FlightRecorder::Finish(FlightRecord record) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  recorded_++;
+  by_session_[record.session_id].Record(record);
+  FlightStats& shard_stats = by_shard_[record.shard];
+  shard_stats.Record(record);
+  if (record.outcome != FlightOutcome::kAdmissionRejected) {
+    if (shard_stats.completed % kWindowSampleEvery == 1) {
+      window_.Record("serve.shard." + record.shard,
+                     {{"queue_ns", static_cast<int64_t>(record.queue_ns())},
+                      {"service_ns", static_cast<int64_t>(record.service_ns)},
+                      {"total_ns", static_cast<int64_t>(record.total_ns())}});
+    }
+    CheckSloLocked(record);
+  }
+  ring_.push_back(std::move(record));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    dropped_++;
+  }
+}
+
+void FlightRecorder::CheckSloLocked(const FlightRecord& record) {
+  if (!slo_.armed()) {
+    return;
+  }
+  struct Component {
+    const char* kind;
+    uint64_t actual;
+  };
+  const Component components[] = {
+      {"queue", record.queue_ns()},
+      {"service", record.service_ns},
+      {"total", record.total_ns()},
+  };
+  for (const Component& c : components) {
+    const std::string& key = SloKey(c.kind);
+    const uint64_t* budget = slo_.Find(key);
+    if (budget != nullptr && c.actual > *budget) {
+      slo_.RecordViolation(key, *budget, c.actual, record.epoch, record.ToJson());
+    }
+  }
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<FlightRecord>(ring_.begin(), ring_.end());
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+  by_session_.clear();
+  by_shard_.clear();
+  window_.Clear();
+  slo_.ClearViolations();
+}
+
+void FlightRecorder::SetSlo(const std::string& kind, uint64_t budget_ns) {
+  std::string key = SloKey(kind);
+  if (key.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  slo_.Set(key, budget_ns);
+}
+
+void FlightRecorder::RemoveSlo(const std::string& kind) {
+  std::string key = SloKey(kind);
+  if (key.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  slo_.Remove(key);
+}
+
+void FlightRecorder::ClearSlo() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slo_.ClearBudgets();
+  slo_.ClearViolations();
+}
+
+uint64_t FlightRecorder::slo_violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slo_.violations().size() + slo_.dropped();
+}
+
+vl::Json FlightRecorder::SloReportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slo_.ReportJson();
+}
+
+std::string FlightRecorder::SloReportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slo_.ReportText();
+}
+
+FlightStats FlightRecorder::SessionStats(int session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_session_.find(session_id);
+  return it != by_session_.end() ? it->second : FlightStats();
+}
+
+FlightStats FlightRecorder::ShardStats(const std::string& shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_shard_.find(shard);
+  return it != by_shard_.end() ? it->second : FlightStats();
+}
+
+uint64_t FlightRecorder::shard_service_ns(const std::string& shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_shard_.find(shard);
+  return it != by_shard_.end() ? it->second.service_sum_ns : 0;
+}
+
+vl::Json FlightRecorder::ToJson(size_t last_n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  vl::Json j = vl::Json::Object();
+  j["enabled"] = vl::Json::Bool(enabled());
+  j["capacity"] = vl::Json::Int(static_cast<int64_t>(capacity_));
+  j["recorded"] = vl::Json::Int(static_cast<int64_t>(recorded_));
+  j["dropped"] = vl::Json::Int(static_cast<int64_t>(dropped_));
+  j["slo"] = slo_.ReportJson();
+  vl::Json window = vl::Json::Object();
+  for (const std::string& series : window_.SeriesNames()) {
+    window[series] = window_.SeriesToJson(series);
+  }
+  j["window"] = std::move(window);
+  vl::Json flights = vl::Json::Array();
+  size_t start = ring_.size() > last_n ? ring_.size() - last_n : 0;
+  for (size_t i = start; i < ring_.size(); ++i) {
+    flights.Append(ring_[i].ToJson());
+  }
+  j["flights"] = std::move(flights);
+  return j;
+}
+
+std::string FlightRecorder::Table(size_t last_n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = vl::StrFormat("%-6s %-4s %-10s %-4s %-18s %12s %12s %12s\n",
+                                  "req", "sess", "shard", "pane", "outcome",
+                                  "queue_ns", "service_ns", "total_ns");
+  size_t start = ring_.size() > last_n ? ring_.size() - last_n : 0;
+  for (size_t i = start; i < ring_.size(); ++i) {
+    const FlightRecord& r = ring_[i];
+    std::string outcome = FlightOutcomeName(r.outcome);
+    if (r.outcome == FlightOutcome::kDedupHit) {
+      outcome += vl::StrFormat("->%llu",
+                               static_cast<unsigned long long>(r.leader_request_id));
+    } else if (r.outcome == FlightOutcome::kAdmissionRejected) {
+      outcome += ":" + r.admission_rule;
+    }
+    out += vl::StrFormat(
+        "%-6llu %-4d %-10s %-4d %-18s %12llu %12llu %12llu\n",
+        static_cast<unsigned long long>(r.request_id), r.session_id, r.shard.c_str(),
+        r.pane, outcome.c_str(), static_cast<unsigned long long>(r.queue_ns()),
+        static_cast<unsigned long long>(r.service_ns),
+        static_cast<unsigned long long>(r.total_ns()));
+  }
+  if (ring_.empty()) {
+    out += "(no flights recorded)\n";
+  }
+  return out;
+}
+
+}  // namespace vserve

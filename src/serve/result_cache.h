@@ -37,6 +37,11 @@ struct ServeResult {
   bool deduped = false;
   bool render_reused = false;  // render digest cache hit inside the extraction
   std::vector<std::string> violations;  // budget keys flagged by the watchdog
+  // Flight-recorder identity: this refresh's request id (0 when the recorder
+  // is off) and — for deduped results — the id of the extracting request
+  // whose cached output was served (the dedup leader).
+  uint64_t request_id = 0;
+  uint64_t leader_request_id = 0;
 };
 
 // Bounded LRU of ServeResults. Not internally synchronized — the owning
@@ -58,6 +63,9 @@ class ResultCache {
   // over capacity.
   void Insert(const std::string& key, ServeResult result);
   void Clear();
+  // Zeroes the counters without touching cached entries (Server::ResetStats:
+  // results stay servable, ratios restart).
+  void ResetStats() { stats_ = Stats{}; }
 
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }

@@ -35,6 +35,14 @@ struct Shard {
 
   uint64_t extractions = 0;  // guarded by mu
   size_t sessions = 0;       // guarded by the server mutex
+
+  // Flight reconciliation baseline (guarded by mu): charged-ns attribution
+  // starts at clock0 (the clock reading when the shard was registered or
+  // stats were last reset), and control_ns accumulates virtual time charged
+  // by control-plane replots (Plot / RunProgram / explain) — everything else
+  // the clock advanced belongs to flights' service_ns.
+  uint64_t clock0 = 0;
+  uint64_t control_ns = 0;
 };
 
 }  // namespace internal
@@ -106,7 +114,16 @@ vl::StatusOr<Session::PlotResult> Session::Plot(int pane, const std::string& pro
   std::unique_ptr<viewcl::ViewGraph> graph;
   {
     std::lock_guard<std::mutex> lock(shard_->mu);
-    VL_ASSIGN_OR_RETURN(graph, server_->ReplotLocked(this, program));
+    // Control-plane charge: attributed to the shard's control_ns so flight
+    // reconciliation can tell it apart from serving time. Accounted even on
+    // failure — a failed extraction still advanced the clock.
+    uint64_t before = debugger_->target().clock().nanos();
+    auto replotted = server_->ReplotLocked(this, program);
+    shard_->control_ns += debugger_->target().clock().nanos() - before;
+    if (!replotted.ok()) {
+      return replotted.status();
+    }
+    graph = std::move(*replotted);
   }
   PlotResult out;
   out.boxes = graph->size();
@@ -142,7 +159,9 @@ vl::StatusOr<Ticket> Session::SubmitRefresh(int pane, const std::string& backend
 vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>> Session::RunProgram(
     const std::string& program, std::vector<std::string>* warnings) {
   std::lock_guard<std::mutex> lock(shard_->mu);
+  uint64_t before = debugger_->target().clock().nanos();
   auto result = server_->ReplotLocked(this, program);
+  shard_->control_ns += debugger_->target().clock().nanos() - before;
   if (warnings != nullptr) {
     warnings->insert(warnings->end(), last_warnings_.begin(), last_warnings_.end());
   }
@@ -152,7 +171,10 @@ vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>> Session::RunProgram(
 vision::PaneManager::ReplotFn Session::MakeReplotFn() {
   return [this](const std::string& program) {
     std::lock_guard<std::mutex> lock(shard_->mu);
-    return server_->ReplotLocked(this, program);
+    uint64_t before = debugger_->target().clock().nanos();
+    auto result = server_->ReplotLocked(this, program);
+    shard_->control_ns += debugger_->target().clock().nanos() - before;
+    return result;
   };
 }
 
@@ -165,6 +187,7 @@ vl::Json Session::StatsToJson() const {
   j["executed"] = vl::Json::Int(static_cast<int64_t>(executed()));
   j["deduped"] = vl::Json::Int(static_cast<int64_t>(deduped()));
   j["rejected"] = vl::Json::Int(static_cast<int64_t>(rejected()));
+  j["flights"] = server_->flights().SessionStats(id_).ToJson();
   return j;
 }
 
@@ -178,10 +201,14 @@ vl::StatusOr<Client> Client::Connect(Server* server, SessionOptions options) {
 // ---------------------------------------------------------------------------
 // Server
 
-Server::Server(ServerConfig config) : config_(config) {
+Server::Server(ServerConfig config) : config_(config), flights_(config.flight_records) {
+  if (!config_.flight_recorder) {
+    flights_.Disable();
+  }
   workers_.reserve(config_.workers);
   for (size_t i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back(&Server::WorkerLoop, this);
+    // Worker slots are 1-based in flight records; 0 means inline execution.
+    workers_.emplace_back(&Server::WorkerLoop, this, i + 1);
   }
 }
 
@@ -215,6 +242,9 @@ vl::Status Server::AddShard(const std::string& name, dbg::KernelDebugger* debugg
   auto shard = std::make_unique<internal::Shard>(config_.result_cache_entries);
   shard->name = name;
   shard->debugger = debugger;
+  // An adopted debugger may already have charged time; flights only account
+  // for what happens from registration on.
+  shard->clock0 = debugger->target().clock().nanos();
   std::lock_guard<std::mutex> lock(mu_);
   if (FindShard(name) != nullptr) {
     return vl::FailedPreconditionError(
@@ -237,6 +267,7 @@ vl::Status Server::BootShard(const std::string& name, const dbg::LatencyModel& m
   shard->owned_debugger = std::make_unique<dbg::KernelDebugger>(shard->kernel.get(), model);
   shard->debugger = shard->owned_debugger.get();
   vision::RegisterFigureSymbols(shard->debugger, shard->workload.get());
+  shard->clock0 = shard->debugger->target().clock().nanos();
   std::lock_guard<std::mutex> lock(mu_);
   if (FindShard(name) != nullptr) {
     return vl::FailedPreconditionError(
@@ -314,7 +345,13 @@ vl::StatusOr<Client> Server::Connect(SessionOptions options) {
           "use matching SessionOptions or another shard",
           shard->sessions, shard->name.c_str()));
     }
+    // Reconfiguring reads through the target (cache re-prime), so it charges
+    // the shard clock: attribute it as control-plane work, like Plot, so
+    // flight reconciliation stays exact.
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    uint64_t before = shard->debugger->target().clock().nanos();
     shard->debugger->session().Reconfigure(want);
+    shard->control_ns += shard->debugger->target().clock().nanos() - before;
   }
   std::unique_ptr<Session> session(
       new Session(this, shard, std::move(options), next_session_id_++));
@@ -375,6 +412,11 @@ vl::StatusOr<Ticket> Server::Submit(Session* session, int pane, const std::strin
                                     const vision::RenderOptions& options) {
   Ticket ticket;
   ticket.state_ = std::make_shared<Ticket::State>();
+  Request req{session, pane, backend, options, ticket.state_};
+  if (flights_.enabled()) {
+    req.request_id = flights_.NextRequestId();
+    req.submitted_ns = session->debugger_->target().clock().nanos();
+  }
   bool drain = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -383,11 +425,28 @@ vl::StatusOr<Ticket> Server::Submit(Session* session, int pane, const std::strin
     }
     if (session->queued_ >= session->options_.max_queued) {
       session->rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (req.request_id != 0) {
+        FlightRecord flight;
+        flight.request_id = req.request_id;
+        flight.session_id = session->id_;
+        flight.shard = session->shard_->name;
+        flight.pane = pane;
+        flight.backend = backend;
+        flight.outcome = FlightOutcome::kAdmissionRejected;
+        flight.admission_rule = "max_queued";
+        flight.epoch = session->debugger_->kernel()->generation();
+        flight.submitted_ns = req.submitted_ns;
+        // Never admitted: the remaining stamps collapse onto submit.
+        flight.dequeued_ns = req.submitted_ns;
+        flight.finished_ns = session->debugger_->target().clock().nanos();
+        flights_.Finish(std::move(flight));
+      }
       return vl::ResourceExhaustedError(vl::StrFormat(
           "session %d refresh queue full (%zu queued, max_queued=%zu)", session->id_,
           session->queued_, session->options_.max_queued));
     }
-    queue_.push_back(Request{session, pane, backend, options, ticket.state_});
+    req.admitted_ns = req.submitted_ns;
+    queue_.push_back(std::move(req));
     session->queued_++;
     drain = workers_.empty() && !paused_;
   }
@@ -398,7 +457,7 @@ vl::StatusOr<Ticket> Server::Submit(Session* session, int pane, const std::strin
   return ticket;
 }
 
-void Server::WorkerLoop() {
+void Server::WorkerLoop(size_t worker) {
   for (;;) {
     std::unique_lock<std::mutex> lock(mu_);
     work_cv_.wait(lock, [&] {
@@ -415,8 +474,12 @@ void Server::WorkerLoop() {
     active_++;
     lock.unlock();
 
-    vl::StatusOr<ServeResult> result =
-        ExecuteRefresh(req.session, req.pane, req.backend, req.options);
+    if (req.request_id != 0) {
+      // Lock-free clock read: queue_ns ends here.
+      req.dequeued_ns = req.session->debugger_->target().clock().nanos();
+      req.worker = worker;
+    }
+    vl::StatusOr<ServeResult> result = ExecuteRefresh(req);
     Fulfill(req.ticket, std::move(result));
 
     lock.lock();
@@ -445,8 +508,11 @@ void Server::DrainInline() {
     active_++;
     lock.unlock();
 
-    vl::StatusOr<ServeResult> result =
-        ExecuteRefresh(req.session, req.pane, req.backend, req.options);
+    if (req.request_id != 0) {
+      req.dequeued_ns = req.session->debugger_->target().clock().nanos();
+      req.worker = 0;  // inline execution
+    }
+    vl::StatusOr<ServeResult> result = ExecuteRefresh(req);
     Fulfill(req.ticket, std::move(result));
 
     lock.lock();
@@ -509,12 +575,16 @@ std::string Server::DedupKey(Session* session, int pane, const std::string& back
 }
 
 ServeResult Server::ServeFromCacheLocked(Session* session, internal::Shard* shard,
-                                         const ServeResult& hit) {
+                                         const ServeResult& hit, uint64_t request_id) {
   ServeResult out = hit;
   out.deduped = true;
   out.refresh_ns = 0;  // the whole point: the duplicate is charged nothing
   out.violations.clear();
   out.sequence = NextSequence();
+  // The cached result carries the extracting request's id — that request is
+  // this one's dedup leader.
+  out.leader_request_id = hit.request_id;
+  out.request_id = request_id;
   shard->dedup_hits++;
   session->deduped_.fetch_add(1, std::memory_order_relaxed);
   return out;
@@ -528,8 +598,10 @@ vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>> Server::ReplotLocked(
     // every replot (exactly the pre-vserve DebuggerShell behavior, including
     // binding accumulation across panes).
     viewcl::Interpreter* engine = session->classic_engine();
+    uint64_t memo_before = engine->memo_replays();
     auto result = engine->RunProgram(program);
     session->last_warnings_ = engine->warnings();
+    session->last_memo_replays_ = engine->memo_replays() - memo_before;
     return result;
   }
   internal::Shard* shard = session->shard_;
@@ -545,15 +617,36 @@ vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>> Server::ReplotLocked(
   // Load() once, Run() per refresh: the engine's interning and memo
   // snapshots persist across refreshes and across every session plotting
   // this program.
+  uint64_t memo_before = slot->memo_replays();
   auto result = slot->Run();
   session->last_warnings_ = slot->warnings();
+  session->last_memo_replays_ = slot->memo_replays() - memo_before;
   return result;
 }
 
-vl::StatusOr<ServeResult> Server::ExecuteRefresh(Session* session, int pane,
-                                                 const std::string& backend,
-                                                 const vision::RenderOptions& options) {
+vl::StatusOr<ServeResult> Server::ExecuteRefresh(const Request& req) {
+  Session* session = req.session;
+  const int pane = req.pane;
+  const std::string& backend = req.backend;
+  const vision::RenderOptions& options = req.options;
   session->requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // The flight rides with the request; every exit below completes it.
+  const bool record = req.request_id != 0 && flights_.enabled();
+  FlightRecord flight;
+  if (record) {
+    flight.request_id = req.request_id;
+    flight.session_id = session->id_;
+    flight.shard = session->shard_->name;
+    flight.pane = pane;
+    flight.backend = backend;
+    flight.worker = req.worker;
+    flight.submitted_ns = req.submitted_ns;
+    flight.admitted_ns = req.admitted_ns;
+    flight.dequeued_ns = req.dequeued_ns;
+    flight.epoch = session->debugger_->kernel()->generation();
+  }
+  auto clock_now = [session] { return session->debugger_->target().clock().nanos(); };
 
   // Admission: a session over its latency budget gets rejected up front.
   uint64_t budget = session->options_.session_budget_ns;
@@ -566,6 +659,12 @@ vl::StatusOr<ServeResult> Server::ExecuteRefresh(Session* session, int pane,
     session->budgets_.RecordViolation(
         vl::StrFormat("serve.session.%d", session->id_), budget, session->charged_ns(),
         session->debugger_->kernel()->generation(), std::move(explain));
+    if (record) {
+      flight.outcome = FlightOutcome::kAdmissionRejected;
+      flight.admission_rule = "session_budget_ns";
+      flight.finished_ns = clock_now();
+      flights_.Finish(std::move(flight));
+    }
     return vl::ResourceExhaustedError(vl::StrFormat(
         "session %d over latency budget (%llu ns charged, budget %llu ns); "
         "refresh rejected",
@@ -580,7 +679,16 @@ vl::StatusOr<ServeResult> Server::ExecuteRefresh(Session* session, int pane,
     if (!key.empty()) {
       std::lock_guard<std::mutex> cache_lock(shard->cache_mu);
       if (const ServeResult* hit = shard->cache.Find(key)) {
-        return ServeFromCacheLocked(session, shard, *hit);
+        ServeResult out = ServeFromCacheLocked(session, shard, *hit, req.request_id);
+        if (record) {
+          flight.outcome = FlightOutcome::kDedupHit;
+          flight.leader_request_id = out.leader_request_id;
+          flight.epoch = out.epoch;
+          flight.boxes = out.boxes;
+          flight.finished_ns = clock_now();
+          flights_.Finish(std::move(flight));
+        }
+        return out;
       }
     }
   }
@@ -591,16 +699,37 @@ vl::StatusOr<ServeResult> Server::ExecuteRefresh(Session* session, int pane,
     // the shard — this re-check IS the request coalescing.
     std::lock_guard<std::mutex> cache_lock(shard->cache_mu);
     if (const ServeResult* hit = shard->cache.Find(key)) {
-      return ServeFromCacheLocked(session, shard, *hit);
+      ServeResult out = ServeFromCacheLocked(session, shard, *hit, req.request_id);
+      if (record) {
+        flight.outcome = FlightOutcome::kDedupHit;
+        flight.leader_request_id = out.leader_request_id;
+        flight.epoch = out.epoch;
+        flight.boxes = out.boxes;
+        flight.finished_ns = clock_now();
+        flights_.Finish(std::move(flight));
+      }
+      return out;
     }
   }
 
-  uint64_t before = session->debugger_->target().clock().nanos();
+  uint64_t before = clock_now();
+  if (record) {
+    flight.executing_ns = before;
+  }
+  session->last_memo_replays_ = 0;  // set by ReplotLocked under this lock
   vision::PaneManager::ReplotFn replot = [this, session](const std::string& program) {
     return ReplotLocked(session, program);
   };
   auto refreshed = session->panes_.RefreshPane(pane, replot);
   if (!refreshed.ok()) {
+    if (record) {
+      // A failed refresh may still have charged the clock before erroring —
+      // count the partial charge so reconciliation stays exact.
+      flight.outcome = FlightOutcome::kFailed;
+      flight.finished_ns = clock_now();
+      flight.service_ns = flight.finished_ns - before;
+      flights_.Finish(std::move(flight));
+    }
     return refreshed.status();
   }
   ServeResult out;
@@ -614,9 +743,10 @@ vl::StatusOr<ServeResult> Server::ExecuteRefresh(Session* session, int pane,
     // digest counters exactly as the pre-vserve shell left them.
     out.render = session->panes_.RenderPane(pane, options, backend);
   }
-  uint64_t after = session->debugger_->target().clock().nanos();
+  uint64_t after = clock_now();
   out.refresh_ns = after - before;
   out.sequence = NextSequence();
+  out.request_id = req.request_id;
 
   session->charged_ns_.fetch_add(out.refresh_ns, std::memory_order_relaxed);
   session->executed_.fetch_add(1, std::memory_order_relaxed);
@@ -633,6 +763,16 @@ vl::StatusOr<ServeResult> Server::ExecuteRefresh(Session* session, int pane,
          {"refresh_ns", static_cast<int64_t>(out.refresh_ns)},
          {"charged_ns", static_cast<int64_t>(session->charged_ns())},
          {"deduped", 0}});
+  }
+  if (record) {
+    flight.outcome = out.render_reused ? FlightOutcome::kRenderReused
+                     : session->last_memo_replays_ > 0 ? FlightOutcome::kMemoReplay
+                                                       : FlightOutcome::kCold;
+    flight.epoch = out.epoch;
+    flight.boxes = out.boxes;
+    flight.service_ns = out.refresh_ns;
+    flight.finished_ns = after;
+    flights_.Finish(std::move(flight));
   }
   return out;
 }
@@ -655,6 +795,7 @@ vl::Json Server::StatsToJson() const {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
       s["extractions"] = vl::Json::Int(static_cast<int64_t>(shard->extractions));
       s["engines"] = vl::Json::Int(static_cast<int64_t>(shard->engines.size()));
+      s["control_ns"] = vl::Json::Int(static_cast<int64_t>(shard->control_ns));
     }
     {
       std::lock_guard<std::mutex> cache_lock(shard->cache_mu);
@@ -663,9 +804,17 @@ vl::Json Server::StatsToJson() const {
     }
     s["target_charged_ns"] =
         vl::Json::Int(static_cast<int64_t>(shard->debugger->target().clock().nanos()));
+    s["flights"] = flights_.ShardStats(shard->name).ToJson();
     shards[shard->name] = std::move(s);
   }
   j["shards"] = std::move(shards);
+  vl::Json fl = vl::Json::Object();
+  fl["enabled"] = vl::Json::Bool(flights_.enabled());
+  fl["capacity"] = vl::Json::Int(static_cast<int64_t>(flights_.capacity()));
+  fl["recorded"] = vl::Json::Int(static_cast<int64_t>(flights_.recorded()));
+  fl["dropped"] = vl::Json::Int(static_cast<int64_t>(flights_.dropped()));
+  fl["slo_violations"] = vl::Json::Int(static_cast<int64_t>(flights_.slo_violations()));
+  j["flights"] = std::move(fl);
   vl::Json sessions = vl::Json::Array();
   for (const Session* session : sessions_) {
     sessions.Append(session->StatsToJson());
@@ -679,9 +828,29 @@ void Server::PublishMetrics() const {
   std::lock_guard<std::mutex> lock(mu_);
   metrics.GetGauge("serve.sessions")->Set(static_cast<int64_t>(sessions_.size()));
   metrics.GetGauge("serve.queued")->Set(static_cast<int64_t>(queue_.size()));
+  metrics.GetGauge("serve.flights.recorded")
+      ->Set(static_cast<int64_t>(flights_.recorded()));
+  metrics.GetGauge("serve.flights.dropped")
+      ->Set(static_cast<int64_t>(flights_.dropped()));
+  metrics.GetGauge("serve.flights.slo_violations")
+      ->Set(static_cast<int64_t>(flights_.slo_violations()));
   for (const auto& shard : shards_) {
     const std::string prefix = "serve.shard." + shard->name;
     metrics.GetGauge(prefix + ".sessions")->Set(static_cast<int64_t>(shard->sessions));
+    size_t depth = 0;
+    size_t inflight = 0;
+    for (const Request& request : queue_) {
+      if (request.session->shard_ == shard.get()) {
+        depth++;
+      }
+    }
+    for (const Session* session : sessions_) {
+      if (session->shard_ == shard.get() && session->in_flight_) {
+        inflight++;
+      }
+    }
+    metrics.GetGauge(prefix + ".queue_depth")->Set(static_cast<int64_t>(depth));
+    metrics.GetGauge(prefix + ".inflight")->Set(static_cast<int64_t>(inflight));
     {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
       metrics.GetGauge(prefix + ".extractions")
@@ -692,6 +861,11 @@ void Server::PublishMetrics() const {
       metrics.GetGauge(prefix + ".dedup_hits")
           ->Set(static_cast<int64_t>(shard->dedup_hits));
     }
+    FlightStats stats = flights_.ShardStats(shard->name);
+    metrics.GetGauge(prefix + ".p99_service_ns")
+        ->Set(static_cast<int64_t>(stats.service_ns.ApproxQuantile(0.99)));
+    metrics.GetGauge(prefix + ".p99_queue_ns")
+        ->Set(static_cast<int64_t>(stats.queue_ns.ApproxQuantile(0.99)));
   }
   for (const Session* session : sessions_) {
     const std::string prefix = vl::StrFormat("serve.session.%d", session->id());
@@ -701,6 +875,284 @@ void Server::PublishMetrics() const {
     metrics.GetGauge(prefix + ".deduped")->Set(static_cast<int64_t>(session->deduped()));
     metrics.GetGauge(prefix + ".rejected")->Set(static_cast<int64_t>(session->rejected()));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Flight export, fleet snapshot, reset
+
+vl::Json Server::ExportFlights() const {
+  // Phase 1: shard charged-ns snapshot (under the server + shard locks).
+  struct ShardCharge {
+    int pid = 0;
+    uint64_t charged_ns = 0;
+    uint64_t control_ns = 0;
+  };
+  std::map<std::string, ShardCharge> charges;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int index = 0;
+    for (const auto& shard : shards_) {
+      ShardCharge charge;
+      // Tracks get pids disjoint from the span tracer's pid 1, so a merged
+      // `vctrl export chrome` renders flights as separate processes.
+      charge.pid = 100 + index++;
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      charge.charged_ns = shard->debugger->target().clock().nanos() - shard->clock0;
+      charge.control_ns = shard->control_ns;
+      charges[shard->name] = charge;
+    }
+  }
+  // Phase 2: flights (recorder leaf lock only; no server locks held).
+  std::vector<FlightRecord> flights = flights_.Snapshot();
+
+  vl::Json root = vl::Json::Object();
+  vl::Json events = vl::Json::Array();
+  std::map<uint64_t, const FlightRecord*> by_id;
+  for (const FlightRecord& flight : flights) {
+    by_id[flight.request_id] = &flight;
+  }
+  auto pid_of = [&charges](const std::string& shard) {
+    auto it = charges.find(shard);
+    return it != charges.end() ? it->second.pid : 0;
+  };
+  // Track metadata: one process per shard, one thread per (shard, worker).
+  std::map<std::string, std::map<size_t, bool>> tracks;
+  for (const FlightRecord& flight : flights) {
+    tracks[flight.shard][flight.worker] = true;
+  }
+  for (const auto& [shard, workers] : tracks) {
+    vl::Json process = vl::Json::Object();
+    process["name"] = vl::Json::Str("process_name");
+    process["ph"] = vl::Json::Str("M");
+    process["pid"] = vl::Json::Int(pid_of(shard));
+    process["tid"] = vl::Json::Int(0);
+    vl::Json pargs = vl::Json::Object();
+    pargs["name"] = vl::Json::Str("shard " + shard);
+    process["args"] = std::move(pargs);
+    events.Append(std::move(process));
+    for (const auto& [worker, unused] : workers) {
+      vl::Json thread = vl::Json::Object();
+      thread["name"] = vl::Json::Str("thread_name");
+      thread["ph"] = vl::Json::Str("M");
+      thread["pid"] = vl::Json::Int(pid_of(shard));
+      thread["tid"] = vl::Json::Int(static_cast<int64_t>(worker));
+      vl::Json targs = vl::Json::Object();
+      targs["name"] = vl::Json::Str(
+          worker == 0 ? "inline" : vl::StrFormat("worker %zu", worker));
+      thread["args"] = std::move(targs);
+      events.Append(std::move(thread));
+    }
+  }
+  for (const FlightRecord& flight : flights) {
+    vl::Json e = vl::Json::Object();
+    e["name"] = vl::Json::Str(vl::StrFormat(
+        "req %llu %s", static_cast<unsigned long long>(flight.request_id),
+        FlightOutcomeName(flight.outcome)));
+    e["cat"] = vl::Json::Str("vflight");
+    e["ph"] = vl::Json::Str("X");
+    // Executed flights span their service window; instant outcomes (dedup,
+    // rejection) get a zero-duration slice at completion.
+    bool executed = FlightExecuted(flight.outcome) && flight.executing_ns != 0;
+    e["ts"] = vl::Json::Int(
+        static_cast<int64_t>(executed ? flight.executing_ns : flight.finished_ns));
+    e["dur"] = vl::Json::Int(static_cast<int64_t>(executed ? flight.service_ns : 0));
+    e["pid"] = vl::Json::Int(pid_of(flight.shard));
+    e["tid"] = vl::Json::Int(static_cast<int64_t>(flight.worker));
+    vl::Json args = vl::Json::Object();
+    args["request_id"] = vl::Json::Int(static_cast<int64_t>(flight.request_id));
+    args["session"] = vl::Json::Int(flight.session_id);
+    args["pane"] = vl::Json::Int(flight.pane);
+    args["outcome"] = vl::Json::Str(FlightOutcomeName(flight.outcome));
+    args["queue_ns"] = vl::Json::Int(static_cast<int64_t>(flight.queue_ns()));
+    args["service_ns"] = vl::Json::Int(static_cast<int64_t>(flight.service_ns));
+    args["total_ns"] = vl::Json::Int(static_cast<int64_t>(flight.total_ns()));
+    if (flight.outcome == FlightOutcome::kDedupHit) {
+      args["leader_request_id"] =
+          vl::Json::Int(static_cast<int64_t>(flight.leader_request_id));
+    }
+    if (flight.outcome == FlightOutcome::kAdmissionRejected) {
+      args["admission_rule"] = vl::Json::Str(flight.admission_rule);
+    }
+    e["args"] = std::move(args);
+    events.Append(std::move(e));
+
+    if (flight.outcome != FlightOutcome::kDedupHit) {
+      continue;
+    }
+    // Causal link: a flow arrow from the leader's completion to this
+    // coalesced follower. If the leader has already been evicted from the
+    // ring, anchor the arrow at the follower's own submit instead — one flow
+    // pair per dedup hit either way.
+    auto leader = by_id.find(flight.leader_request_id);
+    const FlightRecord* from = leader != by_id.end() ? leader->second : &flight;
+    uint64_t from_ts = leader != by_id.end() ? from->finished_ns : flight.submitted_ns;
+    vl::Json s = vl::Json::Object();
+    s["name"] = vl::Json::Str("dedup");
+    s["cat"] = vl::Json::Str("vflight");
+    s["ph"] = vl::Json::Str("s");
+    s["id"] = vl::Json::Int(static_cast<int64_t>(flight.request_id));
+    s["ts"] = vl::Json::Int(static_cast<int64_t>(from_ts));
+    s["pid"] = vl::Json::Int(pid_of(from->shard));
+    s["tid"] = vl::Json::Int(static_cast<int64_t>(from->worker));
+    events.Append(std::move(s));
+    vl::Json f = vl::Json::Object();
+    f["name"] = vl::Json::Str("dedup");
+    f["cat"] = vl::Json::Str("vflight");
+    f["ph"] = vl::Json::Str("f");
+    f["bp"] = vl::Json::Str("e");
+    f["id"] = vl::Json::Int(static_cast<int64_t>(flight.request_id));
+    f["ts"] = vl::Json::Int(static_cast<int64_t>(flight.finished_ns));
+    f["pid"] = vl::Json::Int(pid_of(flight.shard));
+    f["tid"] = vl::Json::Int(static_cast<int64_t>(flight.worker));
+    events.Append(std::move(f));
+  }
+  root["traceEvents"] = std::move(events);
+  root["displayTimeUnit"] = vl::Json::Str("ns");
+
+  vl::Json meta = vl::Json::Object();
+  meta["clock"] = vl::Json::Str("virtual");
+  vl::Json shard_meta = vl::Json::Object();
+  for (const auto& [name, charge] : charges) {
+    uint64_t service = flights_.shard_service_ns(name);
+    vl::Json s = vl::Json::Object();
+    s["pid"] = vl::Json::Int(charge.pid);
+    s["charged_ns"] = vl::Json::Int(static_cast<int64_t>(charge.charged_ns));
+    s["control_ns"] = vl::Json::Int(static_cast<int64_t>(charge.control_ns));
+    s["flight_service_ns"] = vl::Json::Int(static_cast<int64_t>(service));
+    // Honest accounting: charges the flight/control split does not explain
+    // (e.g. decorate/ViewQL work in `vctrl explain` outside the replot).
+    s["unattributed_ns"] = vl::Json::Int(static_cast<int64_t>(charge.charged_ns) -
+                                         static_cast<int64_t>(charge.control_ns) -
+                                         static_cast<int64_t>(service));
+    s["reconciled"] =
+        vl::Json::Bool(charge.charged_ns == charge.control_ns + service);
+    shard_meta[name] = std::move(s);
+  }
+  meta["shards"] = std::move(shard_meta);
+  vl::Json fl = vl::Json::Object();
+  fl["recorded"] = vl::Json::Int(static_cast<int64_t>(flights_.recorded()));
+  fl["dropped"] = vl::Json::Int(static_cast<int64_t>(flights_.dropped()));
+  meta["flights"] = std::move(fl);
+  root["metadata"] = std::move(meta);
+  return root;
+}
+
+vl::Json Server::TopJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  vl::Json j = vl::Json::Object();
+  j["sessions"] = vl::Json::Int(static_cast<int64_t>(sessions_.size()));
+  j["queued"] = vl::Json::Int(static_cast<int64_t>(queue_.size()));
+  j["inflight"] = vl::Json::Int(static_cast<int64_t>(active_));
+  j["workers"] = vl::Json::Int(static_cast<int64_t>(workers_.size()));
+  j["paused"] = vl::Json::Bool(paused_);
+  vl::Json shards = vl::Json::Object();
+  for (const auto& shard : shards_) {
+    size_t depth = 0;
+    size_t inflight = 0;
+    for (const Request& request : queue_) {
+      if (request.session->shard_ == shard.get()) {
+        depth++;
+      }
+    }
+    for (const Session* session : sessions_) {
+      if (session->shard_ == shard.get() && session->in_flight_) {
+        inflight++;
+      }
+    }
+    uint64_t extractions = 0;
+    double block_hit_rate = 0.0;
+    {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      extractions = shard->extractions;
+      block_hit_rate = shard->debugger->session().cache_stats().HitRate();
+    }
+    uint64_t dedup_hits = 0;
+    double result_hit_rate = 0.0;
+    {
+      std::lock_guard<std::mutex> cache_lock(shard->cache_mu);
+      dedup_hits = shard->dedup_hits;
+      const ResultCache::Stats& rc = shard->cache.stats();
+      uint64_t lookups = rc.hits + rc.misses;
+      result_hit_rate =
+          lookups > 0 ? static_cast<double>(rc.hits) / static_cast<double>(lookups) : 0.0;
+    }
+    FlightStats stats = flights_.ShardStats(shard->name);
+    uint64_t served = extractions + dedup_hits;
+    vl::Json s = vl::Json::Object();
+    s["sessions"] = vl::Json::Int(static_cast<int64_t>(shard->sessions));
+    s["queue_depth"] = vl::Json::Int(static_cast<int64_t>(depth));
+    s["inflight"] = vl::Json::Int(static_cast<int64_t>(inflight));
+    s["extractions"] = vl::Json::Int(static_cast<int64_t>(extractions));
+    s["dedup_hits"] = vl::Json::Int(static_cast<int64_t>(dedup_hits));
+    s["dedup_ratio"] = vl::Json::Number(
+        served > 0 ? static_cast<double>(dedup_hits) / static_cast<double>(served) : 0.0);
+    s["result_cache_hit_rate"] = vl::Json::Number(result_hit_rate);
+    s["block_cache_hit_rate"] = vl::Json::Number(block_hit_rate);
+    s["p99_queue_ns"] = vl::Json::Number(stats.queue_ns.ApproxQuantile(0.99));
+    s["p99_service_ns"] = vl::Json::Number(stats.service_ns.ApproxQuantile(0.99));
+    shards[shard->name] = std::move(s);
+  }
+  j["shards"] = std::move(shards);
+  return j;
+}
+
+std::string Server::TopText() const {
+  vl::Json top = TopJson();
+  std::string out = vl::StrFormat(
+      "sessions=%lld queued=%lld inflight=%lld workers=%lld%s\n",
+      static_cast<long long>(top.Find("sessions")->AsInt()),
+      static_cast<long long>(top.Find("queued")->AsInt()),
+      static_cast<long long>(top.Find("inflight")->AsInt()),
+      static_cast<long long>(top.Find("workers")->AsInt()),
+      top.Find("paused")->AsBool() ? " PAUSED" : "");
+  out += vl::StrFormat("%-10s %5s %5s %8s %8s %6s %6s %6s %14s %14s\n", "shard", "sess",
+                       "queue", "inflight", "extract", "dedup", "rcache", "bcache",
+                       "p99_queue_ns", "p99_service_ns");
+  const vl::Json* shards = top.Find("shards");
+  for (const auto& [name, s] : shards->entries()) {
+    out += vl::StrFormat(
+        "%-10s %5lld %5lld %8lld %8lld %5.0f%% %5.0f%% %5.0f%% %14.0f %14.0f\n",
+        name.c_str(), static_cast<long long>(s.Find("sessions")->AsInt()),
+        static_cast<long long>(s.Find("queue_depth")->AsInt()),
+        static_cast<long long>(s.Find("inflight")->AsInt()),
+        static_cast<long long>(s.Find("extractions")->AsInt()),
+        s.Find("dedup_ratio")->AsNumber() * 100.0,
+        s.Find("result_cache_hit_rate")->AsNumber() * 100.0,
+        s.Find("block_cache_hit_rate")->AsNumber() * 100.0,
+        s.Find("p99_queue_ns")->AsNumber(), s.Find("p99_service_ns")->AsNumber());
+  }
+  return out;
+}
+
+void Server::ResetStats() {
+  Drain();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    // Target::ResetStats zeroes the virtual clock itself, so the charged-ns
+    // baseline re-reads it afterwards and reconciliation restarts from zero.
+    shard->debugger->target().ResetStats();
+    {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      shard->extractions = 0;
+      shard->control_ns = 0;
+      shard->clock0 = shard->debugger->target().clock().nanos();
+    }
+    {
+      std::lock_guard<std::mutex> cache_lock(shard->cache_mu);
+      shard->dedup_hits = 0;
+      // Stats only — cached results stay valid (their epochs still match),
+      // so dedup keeps working across a reset.
+      shard->cache.ResetStats();
+    }
+  }
+  for (Session* session : sessions_) {
+    session->charged_ns_.store(0, std::memory_order_relaxed);
+    session->requests_.store(0, std::memory_order_relaxed);
+    session->executed_.store(0, std::memory_order_relaxed);
+    session->deduped_.store(0, std::memory_order_relaxed);
+    session->rejected_.store(0, std::memory_order_relaxed);
+  }
+  flights_.Clear();
 }
 
 }  // namespace vserve

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "src/dbg/kernel_introspect.h"
+#include "src/serve/flight.h"
 #include "src/serve/options.h"
 #include "src/serve/result_cache.h"
 #include "src/support/budget.h"
@@ -74,6 +75,13 @@ struct ServerConfig {
   size_t workers = 0;
   // Per-shard refresh result cache capacity (dedup window).
   size_t result_cache_entries = 256;
+  // Flight-recorder ring capacity (completed per-request records retained).
+  size_t flight_records = 512;
+  // Start with the flight recorder on. The recorder is bounded and cheap
+  // (one relaxed-atomic check on the data path when off; see bench_micro's
+  // overhead guard), so it defaults on; Server::flights().Disable() or this
+  // flag turn all stamping off.
+  bool flight_recorder = true;
 };
 
 // Handle to an async refresh submitted with Session::SubmitRefresh.
@@ -107,6 +115,7 @@ class Session {
   int id() const { return id_; }
   const SessionOptions& options() const { return options_; }
   const std::string& shard_name() const;
+  Server* server() const { return server_; }
 
   // --- figure lifecycle (control-plane) ---
   struct PlotResult {
@@ -178,6 +187,10 @@ class Session {
   std::unique_ptr<viewcl::Interpreter> classic_engine_;
   // Engine warnings from the most recent replot through this session.
   std::vector<std::string> last_warnings_;
+  // Memo replays observed by the most recent replot (guarded by the shard
+  // lock, like the replot itself) — distinguishes memo-replay flights from
+  // cold ones.
+  uint64_t last_memo_replays_ = 0;
 
   // Stats. Writers are serialized (shard lock / server lock); readers are
   // any thread, hence relaxed atomics with single-writer load+store updates.
@@ -252,9 +265,31 @@ class Server {
   // Aggregate + per-shard + per-session stats (the `vctrl stats` "serve"
   // section and the Prometheus export's source of truth).
   vl::Json StatsToJson() const;
-  // Publishes serve.shard.* / serve.session.* gauges to the global
-  // MetricsRegistry (not thread-safe — call from the control plane, drained).
+  // Publishes serve.shard.* / serve.session.* / serve.flights.* gauges to the
+  // global MetricsRegistry (not thread-safe — call from the control plane,
+  // drained). `vctrl export prom` calls this itself (publish-on-export).
   void PublishMetrics() const;
+
+  // The per-request flight recorder (see flight.h).
+  FlightRecorder& flights() { return flights_; }
+  const FlightRecorder& flights() const { return flights_; }
+
+  // Chrome-trace JSON of the recorded flights: one track per (shard, worker),
+  // flow arrows from each dedup-coalesced request to its leader, and metadata
+  // reconciling summed flight service_ns against each shard's charged-ns.
+  vl::Json ExportFlights() const;
+
+  // Fleet snapshot for `vctrl top`: per-shard queue depth, inflight, dedup
+  // ratio, cache hit rate, p99 service_ns.
+  vl::Json TopJson() const;
+  std::string TopText() const;
+
+  // Coherently zeroes serve accounting: drains, then resets per-shard
+  // transport stats (Target::ResetStats), extraction/dedup counters, result
+  // cache stats, control-plane charges, session counters, and the flight
+  // recorder — so post-reset ratios and reconciliation start from a clean
+  // epoch. Configured SLO ceilings and cache *contents* persist.
+  void ResetStats();
 
  private:
   friend class Session;
@@ -265,14 +300,20 @@ class Server {
     std::string backend;
     vision::RenderOptions options;
     std::shared_ptr<Ticket::State> ticket;
+    // Flight stamps (virtual-clock readings of the session's shard). A
+    // request id of 0 means the recorder was off at submit — no stamping.
+    uint64_t request_id = 0;
+    uint64_t submitted_ns = 0;
+    uint64_t admitted_ns = 0;
+    uint64_t dequeued_ns = 0;
+    size_t worker = 0;  // worker slot executing it; 0 = inline
   };
 
   internal::Shard* FindShard(const std::string& name) const;
 
   // The refresh data path (admission -> dedup -> extraction). Thread-safe.
-  vl::StatusOr<ServeResult> ExecuteRefresh(Session* session, int pane,
-                                           const std::string& backend,
-                                           const vision::RenderOptions& options);
+  // Flight stamps ride on the request; completes the flight on every exit.
+  vl::StatusOr<ServeResult> ExecuteRefresh(const Request& request);
   // SubmitRefresh's implementation (Ticket::State is private to Ticket and
   // Server is its only friend, so the queue path lives here).
   vl::StatusOr<Ticket> Submit(Session* session, int pane, const std::string& backend,
@@ -280,17 +321,18 @@ class Server {
   // Replot through the session's engine. Caller holds the shard lock.
   vl::StatusOr<std::unique_ptr<viewcl::ViewGraph>> ReplotLocked(Session* session,
                                                                 const std::string& program);
-  // Serves a result-cache hit: stamps dedup accounting and a fresh sequence
-  // number. Caller holds the shard's cache lock.
+  // Serves a result-cache hit: stamps dedup accounting, a fresh sequence
+  // number, and the follower/leader request ids. Caller holds the shard's
+  // cache lock.
   ServeResult ServeFromCacheLocked(Session* session, internal::Shard* shard,
-                                   const ServeResult& hit);
+                                   const ServeResult& hit, uint64_t request_id);
   std::string DedupKey(Session* session, int pane, const std::string& backend,
                        const vision::RenderOptions& options) const;
   uint64_t NextSequence() { return sequence_.fetch_add(1, std::memory_order_relaxed) + 1; }
 
   static void Fulfill(const std::shared_ptr<Ticket::State>& ticket,
                       vl::StatusOr<ServeResult> result);
-  void WorkerLoop();
+  void WorkerLoop(size_t worker);
   // Drains the queue on the calling thread (inline mode / Resume). Caller
   // must NOT hold the server mutex.
   void DrainInline();
@@ -317,6 +359,7 @@ class Server {
 
   std::atomic<uint64_t> sequence_{0};
   std::vector<std::thread> workers_;
+  FlightRecorder flights_;
 };
 
 }  // namespace vserve

@@ -59,7 +59,7 @@ std::string DebuggerShell::Execute(const std::string& line) {
   if (command == "help" || command.empty()) {
     return "commands: vplot <pane> [--auto <type> <expr>] <viewcl> | "
            "vctrl split|apply|lint|focus|view|dot|json|layout|save|stats|trace|"
-           "explain|refresh|watch|budget|export | "
+           "explain|refresh|watch|budget|flights|top|slo|export | "
            "vprof <pane> <viewcl> | "
            "vchat <pane> <request>\n";
   }
@@ -209,8 +209,17 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
   if (sub == "export") {
     return CmdExport(rest);
   }
+  if (sub == "flights") {
+    return CmdFlights(rest);
+  }
+  if (sub == "top") {
+    return CmdTop(rest);
+  }
+  if (sub == "slo") {
+    return CmdSlo(rest);
+  }
   return "usage: vctrl split|apply|focus|view|layout|save|stats|trace|"
-         "explain|refresh|watch|budget|export ...\n";
+         "explain|refresh|watch|budget|flights|top|slo|export ...\n";
 }
 
 vl::Json DebuggerShell::StatsJson() const {
@@ -236,6 +245,9 @@ vl::Json DebuggerShell::StatsJson() const {
   j["tracer"] = std::move(jtracer);
   j["metrics"] = vl::MetricsRegistry::Instance().ToJson();
   j["serve"] = session_->StatsToJson();
+  // The server-wide view: per-shard extraction/dedup counters, control_ns,
+  // and the per-shard queue/service/total flight decomposition.
+  j["fleet"] = session_->server()->StatsToJson();
   return j;
 }
 
@@ -315,6 +327,17 @@ std::string DebuggerShell::CmdStats(const std::string& args) {
       static_cast<unsigned long long>(session_->deduped()),
       static_cast<unsigned long long>(session_->rejected()),
       static_cast<unsigned long long>(session_->charged_ns()));
+  FlightStats flights = session_->server()->flights().SessionStats(session_->id());
+  if (flights.completed > 0 || flights.rejected > 0) {
+    out += vl::StrFormat(
+        "flights: %llu completed (%llu rejected), queue p50=%.0f p99=%.0f ns, "
+        "service p50=%.0f p99=%.0f ns\n",
+        static_cast<unsigned long long>(flights.completed),
+        static_cast<unsigned long long>(flights.rejected),
+        flights.queue_ns.ApproxQuantile(0.50), flights.queue_ns.ApproxQuantile(0.99),
+        flights.service_ns.ApproxQuantile(0.50),
+        flights.service_ns.ApproxQuantile(0.99));
+  }
   std::string metrics = vl::MetricsRegistry::Instance().TextReport();
   if (!metrics.empty()) {
     out += metrics;
@@ -535,13 +558,31 @@ std::string DebuggerShell::CmdExport(const std::string& args) {
   auto [format, path] = SplitFirst(args);
   std::string content;
   if (format == "prom") {
+    // Publish-on-export: the serve gauges are refreshed right here, so the
+    // exposition always carries current vl_serve_* values without the caller
+    // having to remember Server::PublishMetrics().
+    session_->server()->PublishMetrics();
     content = vl::MetricsRegistry::Instance().ToPrometheus();
   } else if (format == "folded") {
     content = vl::Tracer::Instance().ToFolded();
   } else if (format == "chrome") {
-    content = vl::Tracer::Instance().ToChromeJson().Dump(2) + "\n";
+    // The merged timeline: the span tracer's pid-1 track plus one process
+    // per shard of flight tracks, with dedup flow arrows.
+    vl::Json doc = vl::Tracer::Instance().ToChromeJson();
+    vl::Json flights = session_->server()->ExportFlights();
+    if (const vl::Json* events = flights.Find("traceEvents")) {
+      for (const vl::Json& event : events->items()) {
+        doc["traceEvents"].Append(event);
+      }
+    }
+    if (const vl::Json* meta = flights.Find("metadata")) {
+      doc["metadata"]["serve"] = *meta;
+    }
+    content = doc.Dump(2) + "\n";
+  } else if (format == "flights") {
+    content = session_->server()->ExportFlights().Dump(2) + "\n";
   } else {
-    return "usage: vctrl export prom|folded|chrome [path]\n";
+    return "usage: vctrl export prom|folded|chrome|flights [path]\n";
   }
   if (path.empty()) {
     return content;
@@ -552,6 +593,65 @@ std::string DebuggerShell::CmdExport(const std::string& args) {
   }
   file << content;
   return vl::StrFormat("wrote %zu bytes to %s\n", content.size(), path.c_str());
+}
+
+// vctrl flights [n] [json] — the most recent n flight records (default 16).
+std::string DebuggerShell::CmdFlights(const std::string& args) {
+  auto [first, second] = SplitFirst(args);
+  int64_t n = 16;
+  bool json = false;
+  for (const std::string& word : {first, second}) {
+    if (word.empty()) {
+      continue;
+    }
+    if (word == "json") {
+      json = true;
+    } else if (!vl::ParseInt64(word, &n) || n <= 0) {
+      return "usage: vctrl flights [n] [json]\n";
+    }
+  }
+  FlightRecorder& flights = session_->server()->flights();
+  if (json) {
+    return flights.ToJson(static_cast<size_t>(n)).Dump(2) + "\n";
+  }
+  return flights.Table(static_cast<size_t>(n));
+}
+
+std::string DebuggerShell::CmdTop(const std::string& args) {
+  if (vl::StrTrim(args) == "json") {
+    return session_->server()->TopJson().Dump(2) + "\n";
+  }
+  return session_->server()->TopText();
+}
+
+// vctrl slo set queue|service|total <ns> | report [json] | clear — fleet SLO
+// ceilings on the flight decomposition (distinct from `vctrl budget`, which
+// watches this session's pane refreshes).
+std::string DebuggerShell::CmdSlo(const std::string& args) {
+  auto [verb, rest] = SplitFirst(args);
+  FlightRecorder& flights = session_->server()->flights();
+  if (verb == "set") {
+    auto [kind, ns_text] = SplitFirst(rest);
+    int64_t slo_ns = 0;
+    if ((kind != "queue" && kind != "service" && kind != "total") ||
+        !vl::ParseInt64(ns_text, &slo_ns) || slo_ns < 0) {
+      return "usage: vctrl slo set queue|service|total <ns>\n";
+    }
+    flights.SetSlo(kind, static_cast<uint64_t>(slo_ns));
+    return vl::StrFormat("slo %s_ns = %llu ns\n", kind.c_str(),
+                         static_cast<unsigned long long>(slo_ns));
+  }
+  if (verb == "report") {
+    if (vl::StrTrim(rest) == "json") {
+      return flights.SloReportJson().Dump(2) + "\n";
+    }
+    return flights.SloReportText();
+  }
+  if (verb == "clear") {
+    flights.ClearSlo();
+    return "slo ceilings cleared\n";
+  }
+  return "usage: vctrl slo set queue|service|total <ns> | report [json] | clear\n";
 }
 
 std::string DebuggerShell::CmdVprof(const std::string& args) {

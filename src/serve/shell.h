@@ -53,7 +53,12 @@ class DebuggerShell {
   //   vctrl refresh <pane>                  re-extract a pane, report its cost
   //   vctrl watch on|off|clear|<pane> [json]  refresh time-series (sparklines)
   //   vctrl budget set|clear|list|report|on|off  latency budgets + violations
-  //   vctrl export prom|folded|chrome [path]  standard exporters
+  //   vctrl flights [n] [json]              recent-request flight records
+  //   vctrl top [json]                      fleet snapshot (queues, dedup, p99)
+  //   vctrl slo set|report|clear            queue/service/total SLO ceilings
+  //   vctrl export prom|folded|chrome|flights [path]  standard exporters
+  //     (prom publishes serve gauges itself; chrome merges flight tracks +
+  //      dedup flow arrows into the span trace)
   //   vprof <pane> <viewcl program...>      traced run + self-time breakdown
   //   vchat <pane> <natural language...>    synthesize + apply ViewQL
   //   help
@@ -73,7 +78,7 @@ class DebuggerShell {
   std::string CmdVprof(const std::string& args);
   std::string CmdStats(const std::string& args);
   // The merged stats object: {"target", "cache", "panes", "tracer",
-  // "metrics", "serve"} — one place for every stats shape
+  // "metrics", "serve", "fleet"} — one place for every stats shape
   // (docs/observability.md#stats-schema).
   vl::Json StatsJson() const;
   std::string CmdTrace(const std::string& args);
@@ -82,6 +87,9 @@ class DebuggerShell {
   std::string CmdWatch(const std::string& args);
   std::string CmdBudget(const std::string& args);
   std::string CmdExport(const std::string& args);
+  std::string CmdFlights(const std::string& args);
+  std::string CmdTop(const std::string& args);
+  std::string CmdSlo(const std::string& args);
 
   dbg::KernelDebugger* dbg() const { return session_->debugger(); }
 

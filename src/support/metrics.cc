@@ -80,6 +80,29 @@ void MetricsRegistry::ResetPrefix(std::string_view prefix) {
   }
 }
 
+Json Histogram::ToJson() const {
+  Json h = Json::Object();
+  h["count"] = Json::Int(static_cast<int64_t>(count()));
+  h["sum"] = Json::Int(static_cast<int64_t>(sum()));
+  h["min"] = Json::Int(static_cast<int64_t>(min()));
+  h["max"] = Json::Int(static_cast<int64_t>(max()));
+  h["p50"] = Json::Number(ApproxQuantile(0.50));
+  h["p90"] = Json::Number(ApproxQuantile(0.90));
+  h["p99"] = Json::Number(ApproxQuantile(0.99));
+  Json buckets = Json::Array();
+  for (int i = 0; i < kBuckets; ++i) {
+    if (bucket(i) == 0) {
+      continue;
+    }
+    Json pair = Json::Array();
+    pair.Append(Json::Int(static_cast<int64_t>(BucketUpperEdge(i))));
+    pair.Append(Json::Int(static_cast<int64_t>(bucket(i))));
+    buckets.Append(std::move(pair));
+  }
+  h["buckets"] = std::move(buckets);
+  return h;
+}
+
 Json MetricsRegistry::ToJson() const {
   Json root = Json::Object();
   Json counters = Json::Object();
@@ -94,26 +117,7 @@ Json MetricsRegistry::ToJson() const {
   root["gauges"] = std::move(gauges);
   Json histograms = Json::Object();
   for (const auto& [name, histogram] : histograms_) {
-    Json h = Json::Object();
-    h["count"] = Json::Int(static_cast<int64_t>(histogram.count()));
-    h["sum"] = Json::Int(static_cast<int64_t>(histogram.sum()));
-    h["min"] = Json::Int(static_cast<int64_t>(histogram.min()));
-    h["max"] = Json::Int(static_cast<int64_t>(histogram.max()));
-    h["p50"] = Json::Number(histogram.ApproxQuantile(0.50));
-    h["p90"] = Json::Number(histogram.ApproxQuantile(0.90));
-    h["p99"] = Json::Number(histogram.ApproxQuantile(0.99));
-    Json buckets = Json::Array();
-    for (int i = 0; i < Histogram::kBuckets; ++i) {
-      if (histogram.bucket(i) == 0) {
-        continue;
-      }
-      Json pair = Json::Array();
-      pair.Append(Json::Int(static_cast<int64_t>(Histogram::BucketUpperEdge(i))));
-      pair.Append(Json::Int(static_cast<int64_t>(histogram.bucket(i))));
-      buckets.Append(std::move(pair));
-    }
-    h["buckets"] = std::move(buckets);
-    histograms[name] = std::move(h);
+    histograms[name] = histogram.ToJson();
   }
   root["histograms"] = std::move(histograms);
   return root;

@@ -92,6 +92,12 @@ class Histogram {
   // bucket's span (a factor of 2).
   double ApproxQuantile(double q) const;
 
+  // {"count", "sum", "min", "max", "p50", "p90", "p99",
+  //  "buckets": [[upper_edge, count], ...]} — the shape MetricsRegistry uses
+  // for registered histograms, also available to free-standing ones (vflight's
+  // queue/service decomposition).
+  Json ToJson() const;
+
   void Reset() {
     for (uint64_t& b : buckets_) {
       b = 0;

@@ -157,11 +157,14 @@ class ExplainTest : public vltest::WorkloadKernelTest {
   }
 
   // Resets everything a refresh's cost depends on: clock/read stats, the
-  // block cache, the trace ring, and the metrics registry. After this, two
-  // identical refreshes are byte-identical.
+  // block cache, the trace ring, the metrics registry, and the serve-layer
+  // counters/flight ring (`vctrl export prom` publishes those on export, so
+  // they must restart too). After this, two identical refreshes are
+  // byte-identical.
   void ColdState() {
     Tracer::Instance().Clear();
     MetricsRegistry::Instance().Reset();
+    shell_->session().server()->ResetStats();
     debugger_->target().ResetStats();
     debugger_->session().InvalidateAll();
     debugger_->session().ResetCacheStats();
