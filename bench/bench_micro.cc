@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/analysis/check.h"
 #include "src/dbg/target.h"
 #include "src/serve/server.h"
 #include "src/support/budget.h"
@@ -429,6 +430,68 @@ int CheckIncrementalSpeedup() {
   return 0;
 }
 
+// --- invariant-sweep guard --------------------------------------------------
+
+// Asserts the vcheck engine's footprint skipping pays for itself: in the
+// steady state (one CPU tick — a single small mutation batch — between
+// sweeps), an incremental re-sweep on a delta-enabled session must charge at
+// least 3x less virtual transport time than a full sweep re-auditing all
+// eleven rules. Every sweep must reconcile with the virtual clock and stay
+// violation-free, so the speedup never comes from skipping a dirty rule.
+int CheckInvariantSweepSpeedup() {
+  constexpr int kRounds = 3;
+  vlbench::BenchEnv* env = Env();
+
+  dbg::KernelDebugger full(env->kernel.get(), dbg::LatencyModel::GdbQemu());
+  // Constructed second: the delta session's dirty-page journal baselines at
+  // construction and must cover `full`'s in-arena bookkeeping writes.
+  dbg::KernelDebugger delta(env->kernel.get(), dbg::LatencyModel::GdbQemu(),
+                            dbg::CacheConfig::Incremental());
+  vision::RegisterFigureSymbols(&full, env->workload.get());
+  vision::RegisterFigureSymbols(&delta, env->workload.get());
+  analysis::CheckEngine full_engine(&full.types(), &full.symbols(), &full.session());
+  analysis::CheckEngine delta_engine(&delta.types(), &delta.symbols(),
+                                     &delta.session());
+
+  // Warm both engines: the steady state starts after one full audit each.
+  if (full_engine.RunAll().violations() != 0 ||
+      delta_engine.RunAll().violations() != 0) {
+    std::printf("FAIL: invariant-sweep guard found violations at warmup\n");
+    return 1;
+  }
+
+  uint64_t full_ns = 0;
+  uint64_t delta_ns = 0;
+  size_t skipped = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    env->kernel->TickCpu(round % vkern::kNrCpus);
+    analysis::CheckReport f = full_engine.RunAll();
+    analysis::CheckReport d = delta_engine.RunIncremental();
+    if (!f.reconciled || !d.reconciled) {
+      std::printf("FAIL: invariant sweep failed to reconcile with the clock\n");
+      return 1;
+    }
+    if (f.violations() != 0 || d.violations() != 0) {
+      std::printf("FAIL: invariant sweep found violations on a healthy kernel\n");
+      return 1;
+    }
+    full_ns += f.clock_delta_ns;
+    delta_ns += d.clock_delta_ns;
+    skipped += d.rules_skipped();
+  }
+  double speedup = delta_ns > 0
+                       ? static_cast<double>(full_ns) / static_cast<double>(delta_ns)
+                       : 1e100;
+  std::printf("invariant-sweep guard: GDB/QEMU %dx tick+sweep, full %.2f ms, "
+              "incremental %.2f ms, speedup %.1fx (floor 3x), %zu rule skips\n",
+              kRounds, full_ns / 1e6, delta_ns / 1e6, speedup, skipped);
+  if (speedup < 3.0) {
+    std::printf("FAIL: incremental re-check is less than 3x cheaper than full\n");
+    return 1;
+  }
+  return 0;
+}
+
 // --- disabled-observability guard -------------------------------------------
 
 // Asserts that attaching the vexplain side-cars (time-series recorder +
@@ -674,6 +737,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return CheckTracingOverhead() + CheckCacheSpeedup() + CheckIncrementalSpeedup() +
-         CheckDisabledObservabilityOverhead() + CheckServeDedup() +
-         CheckFlightOverhead();
+         CheckInvariantSweepSpeedup() + CheckDisabledObservabilityOverhead() +
+         CheckServeDedup() + CheckFlightOverhead();
 }

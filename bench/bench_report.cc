@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "src/analysis/check.h"
 #include "src/analysis/lint.h"
 #include "src/serve/server.h"
 #include "src/support/metrics.h"
@@ -376,6 +377,93 @@ vl::Json MeasureLint(vlbench::BenchEnv& env) {
   j["transport_reads"] = vl::Json::Int(static_cast<int64_t>(reads));
   j["transport_bytes_read"] = vl::Json::Int(static_cast<int64_t>(bytes));
   j["zero_read"] = vl::Json::Bool(charged_ns == 0 && reads == 0 && bytes == 0);
+  return j;
+}
+
+// vcheck: full vs incremental invariant sweeps across the figure corpus. Two
+// engines audit the same kernel: `full` re-runs all eleven rules per sweep
+// (a CPU tick bumps the generation, so its classic cache flushes and every
+// byte is re-fetched); `delta` rides a delta-enabled session and skips rules
+// whose recorded page footprint stayed clean. Per figure: one CPU tick + one
+// figure extraction (the dashboard refresh a sweep piggybacks on), then both
+// sweeps. Every sweep must reconcile with Target::clock() and stay clean.
+vl::Json MeasureCheck(vlbench::BenchEnv& env) {
+  dbg::KernelDebugger full(env.kernel.get(), dbg::LatencyModel::GdbQemu());
+  // Constructed second: the delta session's dirty-page journal baselines at
+  // construction, and it must cover `full`'s in-arena bookkeeping writes.
+  dbg::KernelDebugger delta(env.kernel.get(), dbg::LatencyModel::GdbQemu(),
+                            dbg::CacheConfig::Incremental());
+  vision::RegisterFigureSymbols(&full, env.workload.get());
+  vision::RegisterFigureSymbols(&delta, env.workload.get());
+  analysis::CheckEngine full_engine(&full.types(), &full.symbols(), &full.session());
+  analysis::CheckEngine delta_engine(&delta.types(), &delta.symbols(),
+                                     &delta.session());
+
+  vl::Json j = vl::Json::Object();
+  j["workload"] = vl::Json::Str(
+      "per figure: one cpu tick + one figure extraction, then a full "
+      "11-rule sweep vs an incremental re-sweep with footprint skipping");
+
+  // Warm both engines: incremental steady state starts after one full audit.
+  bool ok = full_engine.RunAll().reconciled && delta_engine.RunAll().reconciled;
+
+  vl::Json cells = vl::Json::Array();
+  uint64_t full_total = 0;
+  uint64_t delta_total = 0;
+  size_t violations = 0;
+  int tick = 0;
+  for (const vision::FigureDef& figure : vision::AllFigures()) {
+    if (std::string(figure.id) == "fig19_2") {
+      continue;  // merged with fig19_1, as in bench_table4
+    }
+    env.kernel->TickCpu(tick++ % vkern::kNrCpus);
+    viewcl::Interpreter interp(&delta);
+    ok = ok && interp.RunProgram(figure.viewcl).ok();
+
+    analysis::CheckReport full_report = full_engine.RunAll();
+    analysis::CheckReport inc_report = delta_engine.RunIncremental();
+    ok = ok && full_report.reconciled && inc_report.reconciled;
+    violations += full_report.violations() + inc_report.violations();
+    full_total += full_report.clock_delta_ns;
+    delta_total += inc_report.clock_delta_ns;
+
+    vl::Json cell = vl::Json::Object();
+    cell["figure"] = vl::Json::Str(figure.id);
+    cell["full_ns"] = vl::Json::Int(static_cast<int64_t>(full_report.clock_delta_ns));
+    cell["incremental_ns"] =
+        vl::Json::Int(static_cast<int64_t>(inc_report.clock_delta_ns));
+    cell["skipped"] = vl::Json::Int(static_cast<int64_t>(inc_report.rules_skipped()));
+    cell["reran"] = vl::Json::Int(static_cast<int64_t>(inc_report.rules_run()));
+    cell["speedup"] = vl::Json::Number(
+        inc_report.clock_delta_ns > 0
+            ? static_cast<double>(full_report.clock_delta_ns) /
+                  static_cast<double>(inc_report.clock_delta_ns)
+            : 0.0);
+    cell["reconciled"] =
+        vl::Json::Bool(full_report.reconciled && inc_report.reconciled);
+    cells.Append(std::move(cell));
+  }
+
+  // Quiescent re-sweep: no mutation since the last audit, so every rule's
+  // footprint is clean and the whole catalog is skipped. (After a CPU tick
+  // the rules all re-run — every walk crosses a dirtied task/rq page — and
+  // the per-figure speedup above comes from page-level delta cache
+  // retention instead.)
+  analysis::CheckReport quiescent = delta_engine.RunIncremental();
+  ok = ok && quiescent.reconciled &&
+       quiescent.rules_skipped() == analysis::CheckEngine::Catalog().size();
+  j["quiescent_skipped"] = vl::Json::Int(static_cast<int64_t>(quiescent.rules_skipped()));
+  j["quiescent_ns"] = vl::Json::Int(static_cast<int64_t>(quiescent.clock_delta_ns));
+
+  j["figures"] = std::move(cells);
+  j["full_ns"] = vl::Json::Int(static_cast<int64_t>(full_total));
+  j["incremental_ns"] = vl::Json::Int(static_cast<int64_t>(delta_total));
+  j["speedup"] = vl::Json::Number(
+      delta_total > 0 ? static_cast<double>(full_total) / static_cast<double>(delta_total)
+                      : 0.0);
+  j["violations"] = vl::Json::Int(static_cast<int64_t>(violations));
+  j["passed"] =
+      vl::Json::Bool(ok && violations == 0 && delta_total < full_total);
   return j;
 }
 
@@ -779,6 +867,28 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", incremental_path);
   if (!inc_ok) {
     std::printf("error: incremental refresh diverged from full re-extraction\n");
+    return 1;
+  }
+
+  // Invariant sweeps: full vs incremental vcheck charge across the corpus.
+  const char* check_path = argc > 8 ? argv[8] : "BENCH_check.json";
+  vl::Json check_report = MeasureCheck(env);
+  const vl::Json* check_passed = check_report.Find("passed");
+  const vl::Json* check_speedup = check_report.Find("speedup");
+  std::printf("  check full %s ns vs incremental %s ns, speedup %.1fx, passed=%s\n",
+              check_report.Find("full_ns")->Dump(0).c_str(),
+              check_report.Find("incremental_ns")->Dump(0).c_str(),
+              check_speedup != nullptr ? check_speedup->AsNumber() : 0.0,
+              check_passed != nullptr && check_passed->AsBool() ? "true" : "false");
+  std::ofstream check_file(check_path);
+  if (!check_file) {
+    std::printf("error: cannot open %s\n", check_path);
+    return 1;
+  }
+  check_file << check_report.Dump(2) << "\n";
+  std::printf("wrote %s\n", check_path);
+  if (check_passed == nullptr || !check_passed->AsBool()) {
+    std::printf("error: vcheck sweep missed its reconciliation/speedup gates\n");
     return 1;
   }
 

@@ -1,0 +1,1492 @@
+#include "src/analysis/check.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
+
+namespace analysis {
+
+namespace {
+
+// Mirrored vkern constants. The engine deliberately does not include vkern
+// headers: like vlint, it sees the kernel only through TypeRegistry /
+// SymbolTable / ReadSession, so these literals are part of the rule
+// definitions themselves (documented in docs/checking.md).
+constexpr uint8_t kSlabPoison = 0x6b;          // POISON_FREE
+constexpr uint32_t kSlabFreeEnd = 0xffffffffu; // embedded freelist terminator
+constexpr uint32_t kPipeCanMerge = 1u << 4;    // PIPE_BUF_FLAG_CAN_MERGE
+constexpr uint64_t kPgAnon = 1ull << 11;       // PG_anon
+constexpr uint64_t kMtMaxIndex = ~0ull;        // maple-tree index space bound
+constexpr uint64_t kPageSize = 4096;
+
+// Matches ReadSession's page-scope granule.
+constexpr uint64_t kPageGranule = 4096;
+
+// Traversal bounds: a corrupted pointer chain must terminate the walk, not
+// the process.
+constexpr int kMaxListSteps = 4096;
+constexpr int kMaxTreeNodes = 4096;
+constexpr int kMaxTreeDepth = 64;
+constexpr int kMaxHlistSteps = 1024;
+constexpr int kMaxTasks = 4096;
+constexpr size_t kMaxViolationsPerRule = 16;
+constexpr size_t kMaxExplainChildren = 24;
+
+std::string Hex(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+const std::vector<CheckRuleInfo>& CatalogImpl() {
+  static const std::vector<CheckRuleInfo> kCatalog = {
+      {"VC001", "list-integrity",
+       "list_head back-links and cycle/termination bounds on the global lists"},
+      {"VC002", "rbtree-order",
+       "CFS tasks_timeline in-order vruntime ordering and cached leftmost"},
+      {"VC003", "rbtree-color",
+       "red-black invariants: black root, no red-red edge, equal black-height"},
+      {"VC004", "maple-pivots",
+       "maple-tree pivot monotonicity, bounds and parent/type encoding per mm"},
+      {"VC005", "slab-freelist",
+       "slab inuse vs list membership and embedded free-index chain sanity"},
+      {"VC006", "slab-poison",
+       "freed objects keep 0x6b poison; suspect pointers into free objects = UAF"},
+      {"VC007", "task-reachability",
+       "every task on the global list reachable from init_task; parent links"},
+      {"VC008", "rcu-cblist",
+       "per-CPU RCU callback list length/tail consistency and gp_seq bounds"},
+      {"VC009", "pipe-can-merge",
+       "no PIPE_BUF_FLAG_CAN_MERGE on page-cache-backed pipe buffers (DirtyPipe)"},
+      {"VC010", "timer-wheel",
+       "timer-wheel hlist pprev back-link integrity across all wheel buckets"},
+      {"VC011", "workqueue-linkage",
+       "workqueue->pwq back-pointers and worker-pool list/count consistency"},
+  };
+  return kCatalog;
+}
+
+// Per-run traversal context: plumbing (typed reads, offsets, symbols), the
+// explain tree, and the violation sink for one rule body.
+class Checker {
+ public:
+  Checker(const dbg::TypeRegistry* types, const dbg::SymbolTable* symbols,
+          dbg::ReadSession* session, const std::vector<uint64_t>* suspects,
+          CheckRuleReport* report)
+      : types_(types), symbols_(symbols), session_(session), suspects_(suspects),
+        report_(report) {
+    stack_.push_back(&report_->explain);
+  }
+
+  void Run(size_t rule_idx) {
+    switch (rule_idx) {
+      case 0: ListIntegrity(); break;
+      case 1: RbOrder(); break;
+      case 2: RbColor(); break;
+      case 3: MaplePivots(); break;
+      case 4: SlabFreelist(); break;
+      case 5: SlabPoison(); break;
+      case 6: TaskReachability(); break;
+      case 7: RcuCblist(); break;
+      case 8: PipeCanMerge(); break;
+      case 9: TimerWheel(); break;
+      case 10: WorkqueueLinkage(); break;
+      default: break;
+    }
+    if (truncated_) {
+      report_->explain.children.push_back(
+          {"… further violations suppressed (cap " +
+               std::to_string(kMaxViolationsPerRule) + ")",
+           {}});
+    }
+  }
+
+ private:
+  // ---- plumbing -----------------------------------------------------------
+
+  uint64_t Off(const char* type_name, const char* field_name) {
+    const dbg::Type* t = types_->FindByName(type_name);
+    const dbg::Field* f = t != nullptr ? t->FindField(field_name) : nullptr;
+    if (f == nullptr) {
+      MetaMissing(std::string(type_name) + "." + field_name);
+      return 0;
+    }
+    return f->offset;
+  }
+
+  size_t SizeOf(const char* type_name) {
+    const dbg::Type* t = types_->FindByName(type_name);
+    if (t == nullptr) {
+      MetaMissing(type_name);
+      return 0;
+    }
+    return t->size;
+  }
+
+  // Resolves a global symbol; returns its address and (optionally) its type.
+  bool Sym(const char* name, uint64_t* addr, const dbg::Type** type = nullptr) {
+    dbg::Value v;
+    if (!symbols_->FindGlobal(name, &v)) {
+      MetaMissing(std::string("symbol ") + name);
+      return false;
+    }
+    *addr = v.addr();
+    if (type != nullptr) {
+      *type = v.type();
+    }
+    return true;
+  }
+
+  // Array length of a global symbol (runqueues, rcu_data, timer_bases, ...);
+  // falls back to 1 for non-array symbols.
+  size_t SymArrayLen(const dbg::Type* t) const {
+    return (t != nullptr && t->array_len > 0) ? t->array_len : 1;
+  }
+
+  std::optional<uint64_t> RU(uint64_t addr, size_t size, const char* what = nullptr) {
+    vl::StatusOr<uint64_t> v = session_->ReadUnsigned(addr, size);
+    if (!v.ok()) {
+      Violate(addr, std::string("unreadable memory") +
+                        (what != nullptr ? std::string(" (") + what + ")" : ""));
+      return std::nullopt;
+    }
+    return v.value();
+  }
+  std::optional<uint64_t> RPtr(uint64_t addr, const char* what = nullptr) {
+    return RU(addr, 8, what);
+  }
+
+  std::string RStr(uint64_t addr, size_t max_len) {
+    vl::StatusOr<std::string> v = session_->ReadCString(addr, max_len);
+    return v.ok() ? v.value() : std::string("<unreadable>");
+  }
+
+  bool ReadBuf(uint64_t addr, std::vector<uint8_t>* out, size_t len) {
+    out->resize(len);
+    return session_->ReadBytes(addr, out->data(), len).ok();
+  }
+
+  void MetaMissing(const std::string& what) {
+    if (meta_reported_.insert(what).second) {
+      CheckViolation v;
+      v.addr = 0;
+      v.trail = trail_;
+      v.diagnostic.rule = report_->id;
+      v.diagnostic.severity = vl::Severity::kWarning;
+      v.diagnostic.message = "type registry incomplete: missing " + what;
+      report_->violations.push_back(std::move(v));
+    }
+  }
+
+  bool Exhausted() const { return truncated_; }
+
+  void Violate(uint64_t addr, std::string message) {
+    if (report_->violations.size() >= kMaxViolationsPerRule) {
+      truncated_ = true;
+      return;
+    }
+    CheckViolation v;
+    v.addr = addr;
+    v.trail = trail_;
+    v.diagnostic.rule = report_->id;
+    v.diagnostic.severity = vl::Severity::kError;
+    v.diagnostic.message = std::move(message) + " (addr " + Hex(addr) + ")";
+    report_->violations.push_back(std::move(v));
+  }
+
+  // ---- explain tree -------------------------------------------------------
+
+  CheckExplainNode* Enter(std::string label) {
+    CheckExplainNode* parent = stack_.back();
+    CheckExplainNode* node;
+    if (parent->children.size() < kMaxExplainChildren) {
+      parent->children.push_back({label, {}});
+      node = &parent->children.back();
+    } else {
+      if (parent->children.size() == kMaxExplainChildren) {
+        parent->children.push_back({"…", {}});
+      }
+      // Overflowing children still get a live node (for the trail), parked in
+      // a stable side pool so nested Enter/Leave keeps working.
+      scratch_.push_back({label, {}});
+      node = &scratch_.back();
+    }
+    stack_.push_back(node);
+    trail_.push_back(std::move(label));
+    return node;
+  }
+
+  void Leave() {
+    stack_.pop_back();
+    trail_.pop_back();
+  }
+
+  struct ExplainScope {
+    ExplainScope(Checker* c, std::string label) : c_(c) { node = c->Enter(std::move(label)); }
+    ~ExplainScope() { c_->Leave(); }
+    CheckExplainNode* node;
+
+   private:
+    Checker* c_;
+  };
+
+  // ---- shared walks -------------------------------------------------------
+
+  // Walks a circular list_head ring from `head`, checking next/prev
+  // back-links and termination. Returns node addresses (excluding the head).
+  std::vector<uint64_t> WalkList(uint64_t head, const std::string& what) {
+    std::vector<uint64_t> nodes;
+    const uint64_t off_next = Off("list_head", "next");
+    const uint64_t off_prev = Off("list_head", "prev");
+    uint64_t prev = head;
+    std::optional<uint64_t> cur = RPtr(head + off_next, what.c_str());
+    if (!cur) {
+      return nodes;
+    }
+    int steps = 0;
+    while (*cur != head) {
+      if (*cur == 0) {
+        Violate(prev, what + ": null next link");
+        return nodes;
+      }
+      if (++steps > kMaxListSteps) {
+        Violate(head, what + ": unterminated list (no return to head within " +
+                          std::to_string(kMaxListSteps) + " nodes)");
+        return nodes;
+      }
+      std::optional<uint64_t> back = RPtr(*cur + off_prev, what.c_str());
+      if (!back) {
+        return nodes;
+      }
+      if (*back != prev) {
+        Violate(*cur, what + ": broken back-link, node->prev is " + Hex(*back) +
+                          " but the predecessor is " + Hex(prev));
+      }
+      nodes.push_back(*cur);
+      prev = *cur;
+      cur = RPtr(*cur + off_next, what.c_str());
+      if (!cur) {
+        return nodes;
+      }
+    }
+    if (!nodes.empty()) {
+      std::optional<uint64_t> head_prev = RPtr(head + off_prev, what.c_str());
+      if (head_prev && *head_prev != prev) {
+        Violate(head, what + ": head->prev is " + Hex(*head_prev) +
+                          " but the last node is " + Hex(prev));
+      }
+    }
+    return nodes;
+  }
+
+  // Enumerates every task on the global task list (init_task.tasks ring),
+  // including init_task itself. Empty on metadata failure.
+  std::vector<uint64_t> AllTasks() {
+    uint64_t init_task = 0;
+    if (!Sym("init_task", &init_task)) {
+      return {};
+    }
+    const uint64_t off_tasks = Off("task_struct", "tasks");
+    std::vector<uint64_t> tasks = {init_task};
+    const uint64_t off_next = Off("list_head", "next");
+    uint64_t head = init_task + off_tasks;
+    std::optional<uint64_t> cur = RPtr(head + off_next, "task list");
+    int steps = 0;
+    while (cur && *cur != head && *cur != 0 && ++steps <= kMaxTasks) {
+      tasks.push_back(*cur - off_tasks);
+      cur = RPtr(*cur + off_next, "task list");
+    }
+    return tasks;
+  }
+
+  // ---- VC001 list-integrity ----------------------------------------------
+
+  void ListIntegrity() {
+    struct Root {
+      const char* symbol;
+      const char* label;
+    };
+    static const Root kRoots[] = {
+        {"cache_chain", "cache_chain (kmem_cache ring)"},
+        {"super_blocks", "super_blocks (mounted filesystems)"},
+        {"workqueues", "workqueues (global workqueue list)"},
+    };
+    for (const Root& root : kRoots) {
+      if (Exhausted()) return;
+      uint64_t head = 0;
+      if (!Sym(root.symbol, &head)) continue;
+      ExplainScope scope(this, root.label);
+      size_t n = WalkList(head, root.symbol).size();
+      scope.node->label += " — " + std::to_string(n) + " nodes";
+    }
+    uint64_t init_task = 0;
+    if (!Exhausted() && Sym("init_task", &init_task)) {
+      ExplainScope scope(this, "init_task.tasks (global task list)");
+      size_t n = WalkList(init_task + Off("task_struct", "tasks"), "task list").size();
+      scope.node->label += " — " + std::to_string(n) + " nodes";
+    }
+  }
+
+  // ---- VC002 / VC003: CFS red-black trees --------------------------------
+
+  struct RbCtx {
+    uint64_t off_parent_color;
+    uint64_t off_right;
+    uint64_t off_left;
+    bool check_order;       // VC002: in-order vruntime monotonicity
+    bool check_color;       // VC003: red-black structure
+    uint64_t off_vruntime;  // node addr + off => vruntime (check_order)
+    uint64_t prev_vruntime = 0;
+    bool have_prev = false;
+    uint64_t first_inorder = 0;
+    int nodes = 0;
+  };
+
+  // Recursive in-order walk; returns the black-height (-1 on violation or
+  // bound hit, with the violation already recorded).
+  int RbWalk(RbCtx* ctx, uint64_t node, uint64_t parent, bool parent_red, int depth) {
+    if (node == 0) {
+      return 0;
+    }
+    if (depth > kMaxTreeDepth || ++ctx->nodes > kMaxTreeNodes) {
+      Violate(node, "rbtree walk exceeded bounds (cycle or runaway depth)");
+      return -1;
+    }
+    std::optional<uint64_t> pc = RPtr(node + ctx->off_parent_color, "rb_node");
+    if (!pc) return -1;
+    const bool black = (*pc & 1) != 0;
+    if (ctx->check_color) {
+      uint64_t up = *pc & ~3ull;
+      if (up != parent) {
+        Violate(node, "rb_node parent pointer is " + Hex(up) + ", expected " + Hex(parent));
+        return -1;
+      }
+      if (parent_red && !black) {
+        Violate(node, "red node with a red parent (red-red edge)");
+        return -1;
+      }
+    }
+    std::optional<uint64_t> left = RPtr(node + ctx->off_left, "rb_node");
+    std::optional<uint64_t> right = RPtr(node + ctx->off_right, "rb_node");
+    if (!left || !right) return -1;
+
+    int lh = RbWalk(ctx, *left, node, !black, depth + 1);
+    if (lh < 0) return -1;
+    // In-order visit.
+    if (ctx->check_order) {
+      if (ctx->first_inorder == 0) {
+        ctx->first_inorder = node;
+      }
+      std::optional<uint64_t> vr = RU(node + ctx->off_vruntime, 8, "vruntime");
+      if (!vr) return -1;
+      if (ctx->have_prev && *vr < ctx->prev_vruntime) {
+        Violate(node, "tasks_timeline out of order: vruntime " + std::to_string(*vr) +
+                          " follows " + std::to_string(ctx->prev_vruntime));
+      }
+      ctx->prev_vruntime = *vr;
+      ctx->have_prev = true;
+    }
+    int rh = RbWalk(ctx, *right, node, !black, depth + 1);
+    if (rh < 0) return -1;
+    if (ctx->check_color && lh != rh) {
+      Violate(node, "unequal black-heights below node (" + std::to_string(lh) + " vs " +
+                        std::to_string(rh) + ")");
+      return -1;
+    }
+    return lh + (black ? 1 : 0);
+  }
+
+  void CfsTrees(bool check_order, bool check_color) {
+    uint64_t rq_base = 0;
+    const dbg::Type* rq_type = nullptr;
+    if (!Sym("runqueues", &rq_base, &rq_type)) return;
+    const size_t cpus = SymArrayLen(rq_type);
+    const size_t rq_size = SizeOf("rq");
+    const uint64_t off_cfs = Off("rq", "cfs");
+    const uint64_t off_tl = Off("cfs_rq", "tasks_timeline");
+    const uint64_t off_root = Off("rb_root_cached", "rb_root") + Off("rb_root", "rb_node");
+    const uint64_t off_leftmost = Off("rb_root_cached", "rb_leftmost");
+    RbCtx ctx;
+    ctx.off_parent_color = Off("rb_node", "__rb_parent_color");
+    ctx.off_right = Off("rb_node", "rb_right");
+    ctx.off_left = Off("rb_node", "rb_left");
+    ctx.check_order = check_order;
+    ctx.check_color = check_color;
+    // The run_node rb_node is embedded in sched_entity: vruntime is a fixed
+    // delta from the node address.
+    ctx.off_vruntime = Off("sched_entity", "vruntime") - Off("sched_entity", "run_node");
+
+    for (size_t cpu = 0; cpu < cpus; ++cpu) {
+      if (Exhausted()) return;
+      uint64_t tl = rq_base + cpu * rq_size + off_cfs + off_tl;
+      ExplainScope scope(this, "runqueues[" + std::to_string(cpu) + "].cfs.tasks_timeline");
+      std::optional<uint64_t> root = RPtr(tl + off_root, "rb_root");
+      std::optional<uint64_t> leftmost = RPtr(tl + off_leftmost, "rb_leftmost");
+      if (!root || !leftmost) continue;
+      if (check_color && *root != 0) {
+        std::optional<uint64_t> pc = RPtr(*root + ctx.off_parent_color, "rb root");
+        if (pc && (*pc & 1) == 0) {
+          Violate(*root, "rbtree root is red");
+        }
+      }
+      ctx.have_prev = false;
+      ctx.first_inorder = 0;
+      ctx.nodes = 0;
+      RbWalk(&ctx, *root, 0, false, 0);
+      if (check_order && ctx.first_inorder != *leftmost) {
+        Violate(tl + off_leftmost,
+                "rb_leftmost is " + Hex(*leftmost) + " but the leftmost node is " +
+                    Hex(ctx.first_inorder));
+      }
+      scope.node->label += " — " + std::to_string(ctx.nodes) + " nodes";
+    }
+  }
+
+  void RbOrder() { CfsTrees(/*check_order=*/true, /*check_color=*/false); }
+  void RbColor() { CfsTrees(/*check_order=*/false, /*check_color=*/true); }
+
+  // ---- VC004 maple-pivots -------------------------------------------------
+
+  struct MapleCtx {
+    uint64_t tree_addr = 0;
+    int nodes = 0;
+    int leaf_depth = -1;
+  };
+
+  // Mirrors ma_data_end(): the first zero pivot (or one >= max) ends the data.
+  uint32_t MapleDataEnd(const std::vector<uint64_t>& pivots, uint64_t max) const {
+    for (uint32_t i = 0; i < pivots.size(); ++i) {
+      if (pivots[i] == 0 || pivots[i] >= max) {
+        return i;
+      }
+    }
+    return static_cast<uint32_t>(pivots.size());
+  }
+
+  void MapleNodeWalk(MapleCtx* ctx, uint64_t enode, uint64_t min, uint64_t max,
+                     uint64_t parent_node, uint32_t slot_in_parent, int depth) {
+    if (Exhausted()) return;
+    const uint64_t node = enode & ~0xffull;
+    const uint32_t type = static_cast<uint32_t>((enode >> 3) & 0xf);
+    if (depth > kMaxTreeDepth || ++ctx->nodes > kMaxTreeNodes) {
+      Violate(node, "maple walk exceeded bounds (cycle or runaway depth)");
+      return;
+    }
+    // Types: 1 = leaf_64, 2 = range_64, 3 = arange_64 (0 = dense, unused for
+    // VMA trees).
+    if (type < 1 || type > 3) {
+      Violate(node, "maple_enode encodes invalid node type " + std::to_string(type));
+      return;
+    }
+    const bool is_leaf = type == 1;
+    const bool arange = type == 3;
+    const char* tn = arange ? "maple_arange_64" : "maple_range_64";
+    const uint64_t off_parent = Off(tn, "parent");
+    const uint64_t off_pivot = Off(tn, "pivot");
+    const uint64_t off_slot = Off(tn, "slot");
+    const uint32_t n_pivots = arange ? 9 : 15;
+
+    std::optional<uint64_t> parent = RPtr(node + off_parent, "maple parent");
+    if (!parent) return;
+    if (parent_node == 0) {
+      if ((*parent & 1) == 0) {
+        Violate(node, "maple root node lacks the root parent marker");
+      } else if ((*parent & ~1ull) != ctx->tree_addr) {
+        Violate(node, "maple root parent does not point back at the tree " +
+                          Hex(ctx->tree_addr));
+      }
+    } else {
+      if ((*parent & 1) != 0) {
+        Violate(node, "non-root maple node carries the root marker");
+      } else if ((*parent & ~0xffull) != parent_node) {
+        Violate(node, "maple parent encoding points at " + Hex(*parent & ~0xffull) +
+                          ", expected " + Hex(parent_node));
+      } else if (static_cast<uint32_t>((*parent >> 1) & 0xf) != slot_in_parent) {
+        Violate(node, "maple parent slot encoding is " +
+                          std::to_string((*parent >> 1) & 0xf) + ", expected " +
+                          std::to_string(slot_in_parent));
+      }
+    }
+
+    std::vector<uint64_t> pivots(n_pivots);
+    for (uint32_t i = 0; i < n_pivots; ++i) {
+      std::optional<uint64_t> p = RU(node + off_pivot + 8ull * i, 8, "maple pivot");
+      if (!p) return;
+      pivots[i] = *p;
+    }
+    const uint32_t end = MapleDataEnd(pivots, max);
+    uint64_t prev = min;
+    for (uint32_t i = 0; i < end; ++i) {
+      if (pivots[i] < prev || pivots[i] > max) {
+        Violate(node + off_pivot + 8ull * i,
+                "maple pivot[" + std::to_string(i) + "] = " + Hex(pivots[i]) +
+                    " outside [" + Hex(prev) + ", " + Hex(max) + "] (non-monotonic "
+                    "or out of the subtree range)");
+        return;
+      }
+      prev = pivots[i] + 1;
+    }
+
+    if (is_leaf) {
+      if (ctx->leaf_depth < 0) {
+        ctx->leaf_depth = depth;
+      } else if (ctx->leaf_depth != depth) {
+        Violate(node, "maple leaves at different depths (" + std::to_string(depth) +
+                          " vs " + std::to_string(ctx->leaf_depth) + ")");
+      }
+      for (uint32_t i = 0; i <= end && i < n_pivots + 1; ++i) {
+        std::optional<uint64_t> slot = RPtr(node + off_slot + 8ull * i, "maple slot");
+        if (!slot) return;
+        if (*slot != 0 && (*slot & 2) != 0) {
+          Violate(node + off_slot + 8ull * i, "maple leaf slot holds an internal "
+                                              "node pointer " + Hex(*slot));
+        }
+      }
+      return;
+    }
+    uint64_t slot_min = min;
+    for (uint32_t i = 0; i <= end; ++i) {
+      uint64_t slot_max = (i < end) ? pivots[i] : max;
+      std::optional<uint64_t> child = RPtr(node + off_slot + 8ull * i, "maple slot");
+      if (!child) return;
+      if (*child == 0 || (*child & 2) == 0) {
+        Violate(node + off_slot + 8ull * i,
+                "maple internal slot[" + std::to_string(i) + "] does not hold a node (" +
+                    Hex(*child) + ")");
+        return;
+      }
+      MapleNodeWalk(ctx, *child, slot_min, slot_max, node, i, depth + 1);
+      if (slot_max == kMtMaxIndex) break;
+      slot_min = slot_max + 1;
+    }
+  }
+
+  void MaplePivots() {
+    const uint64_t off_mm = Off("task_struct", "mm");
+    const uint64_t off_mt = Off("mm_struct", "mm_mt");
+    const uint64_t off_root = Off("maple_tree", "ma_root");
+    const uint64_t off_comm = Off("task_struct", "comm");
+    std::unordered_set<uint64_t> seen_mm;
+    for (uint64_t task : AllTasks()) {
+      if (Exhausted()) return;
+      std::optional<uint64_t> mm = RPtr(task + off_mm, "task->mm");
+      if (!mm || *mm == 0 || !seen_mm.insert(*mm).second) continue;
+      uint64_t tree = *mm + off_mt;
+      std::optional<uint64_t> root = RPtr(tree + off_root, "ma_root");
+      if (!root) continue;
+      ExplainScope scope(this, RStr(task + off_comm, 16) + ": mm " + Hex(*mm) + " mm_mt");
+      if (*root == 0 || (*root & 2) == 0) {
+        scope.node->label += " (empty/direct)";
+        continue;  // empty tree or direct root entry: nothing structural
+      }
+      MapleCtx ctx;
+      ctx.tree_addr = tree;
+      MapleNodeWalk(&ctx, *root, 0, kMtMaxIndex, 0, 0, 0);
+      scope.node->label += " — " + std::to_string(ctx.nodes) + " nodes";
+    }
+  }
+
+  // ---- VC005 / VC006: slab caches ----------------------------------------
+
+  struct SlabInfo {
+    uint64_t slab_addr = 0;
+    uint64_t s_mem = 0;
+    uint32_t inuse = 0;
+    std::vector<uint32_t> free_chain;  // indexes on the embedded freelist
+    bool chain_ok = false;
+  };
+
+  struct CacheInfo {
+    uint64_t addr = 0;
+    std::string name;
+    uint32_t object_size = 0;
+    uint32_t size = 0;  // aligned stride
+    uint32_t num = 0;
+    std::vector<SlabInfo> slabs;
+  };
+
+  // Reads one slab descriptor and walks its embedded free-index chain.
+  // `expect` classifies the list the slab was found on: 0 = free, 1 =
+  // partial, 2 = full. Emits VC005-style violations when `strict`.
+  SlabInfo ReadSlab(const CacheInfo& cache, uint64_t slab_addr, int expect, bool strict) {
+    SlabInfo info;
+    info.slab_addr = slab_addr;
+    const uint64_t off_cache = Off("slab", "cache");
+    const uint64_t off_smem = Off("slab", "s_mem");
+    const uint64_t off_inuse = Off("slab", "inuse");
+    const uint64_t off_free = Off("slab", "free_idx");
+    std::optional<uint64_t> owner = RPtr(slab_addr + off_cache, "slab->cache");
+    std::optional<uint64_t> smem = RPtr(slab_addr + off_smem, "slab->s_mem");
+    std::optional<uint64_t> inuse = RU(slab_addr + off_inuse, 4, "slab->inuse");
+    std::optional<uint64_t> free_idx = RU(slab_addr + off_free, 4, "slab->free_idx");
+    if (!owner || !smem || !inuse || !free_idx) return info;
+    info.s_mem = *smem;
+    info.inuse = static_cast<uint32_t>(*inuse);
+    if (strict) {
+      if (*owner != cache.addr) {
+        Violate(slab_addr, "slab->cache points at " + Hex(*owner) + ", expected cache '" +
+                               cache.name + "' " + Hex(cache.addr));
+      }
+      if (info.inuse > cache.num) {
+        Violate(slab_addr, "slab inuse " + std::to_string(info.inuse) +
+                               " exceeds objects-per-slab " + std::to_string(cache.num));
+      }
+      bool list_ok = (expect == 0 && info.inuse == 0) ||
+                     (expect == 1 && info.inuse > 0 && info.inuse < cache.num) ||
+                     (expect == 2 && info.inuse == cache.num);
+      if (!list_ok) {
+        static const char* kLists[] = {"slabs_free", "slabs_partial", "slabs_full"};
+        Violate(slab_addr, std::string("slab with inuse ") + std::to_string(info.inuse) +
+                               "/" + std::to_string(cache.num) + " is on the wrong list (" +
+                               kLists[expect] + ")");
+      }
+    }
+    // Walk the embedded free-index chain.
+    std::vector<bool> seen(cache.num, false);
+    uint32_t idx = static_cast<uint32_t>(*free_idx);
+    uint32_t steps = 0;
+    while (idx != kSlabFreeEnd) {
+      if (idx >= cache.num) {
+        if (strict) {
+          Violate(slab_addr, "free-index chain escapes the slab: index " +
+                                 std::to_string(idx) + " >= " + std::to_string(cache.num));
+        }
+        return info;
+      }
+      if (seen[idx] || ++steps > cache.num) {
+        if (strict) {
+          Violate(info.s_mem + static_cast<uint64_t>(idx) * cache.size,
+                  "free-index chain cycles at index " + std::to_string(idx));
+        }
+        return info;
+      }
+      seen[idx] = true;
+      info.free_chain.push_back(idx);
+      std::optional<uint64_t> next =
+          RU(info.s_mem + static_cast<uint64_t>(idx) * cache.size, 4, "freelist word");
+      if (!next) return info;
+      idx = static_cast<uint32_t>(*next);
+    }
+    info.chain_ok = true;
+    if (strict && info.free_chain.size() != cache.num - info.inuse) {
+      Violate(slab_addr, "free-index chain has " + std::to_string(info.free_chain.size()) +
+                             " entries, expected num - inuse = " +
+                             std::to_string(cache.num - info.inuse));
+    }
+    return info;
+  }
+
+  std::vector<CacheInfo> WalkCaches(bool strict) {
+    std::vector<CacheInfo> caches;
+    uint64_t chain = 0;
+    if (!Sym("cache_chain", &chain)) return caches;
+    const uint64_t off_link = Off("kmem_cache", "cache_list");
+    const uint64_t off_name = Off("kmem_cache", "name");
+    const uint64_t off_osize = Off("kmem_cache", "object_size");
+    const uint64_t off_size = Off("kmem_cache", "size");
+    const uint64_t off_num = Off("kmem_cache", "num");
+    const uint64_t off_slab_list = Off("slab", "list");
+    const uint64_t off_active = Off("kmem_cache", "active_objects");
+    const uint64_t off_total = Off("kmem_cache", "total_objects");
+    static const char* kLists[] = {"slabs_free", "slabs_partial", "slabs_full"};
+    for (uint64_t node : WalkList(chain, "cache_chain")) {
+      if (Exhausted()) break;
+      CacheInfo cache;
+      cache.addr = node - off_link;
+      cache.name = RStr(cache.addr + off_name, 32);
+      std::optional<uint64_t> osize = RU(cache.addr + off_osize, 4);
+      std::optional<uint64_t> size = RU(cache.addr + off_size, 4);
+      std::optional<uint64_t> num = RU(cache.addr + off_num, 4);
+      if (!osize || !size || !num || *size == 0 || *num == 0) continue;
+      cache.object_size = static_cast<uint32_t>(*osize);
+      cache.size = static_cast<uint32_t>(*size);
+      cache.num = static_cast<uint32_t>(*num);
+      ExplainScope scope(this, "kmem_cache '" + cache.name + "' " + Hex(cache.addr));
+      uint64_t sum_inuse = 0;
+      uint64_t sum_objects = 0;
+      for (int list = 0; list < 3; ++list) {
+        uint64_t head = cache.addr + Off("kmem_cache", kLists[list]);
+        for (uint64_t slab_node : WalkList(head, kLists[list])) {
+          SlabInfo si = ReadSlab(cache, slab_node - off_slab_list, list, strict);
+          sum_inuse += si.inuse;
+          sum_objects += cache.num;
+          cache.slabs.push_back(std::move(si));
+        }
+      }
+      if (strict) {
+        std::optional<uint64_t> active = RU(cache.addr + off_active, 8);
+        std::optional<uint64_t> total = RU(cache.addr + off_total, 8);
+        if (active && *active != sum_inuse) {
+          Violate(cache.addr + off_active,
+                  "cache '" + cache.name + "' active_objects " + std::to_string(*active) +
+                      " != sum of slab inuse " + std::to_string(sum_inuse));
+        }
+        if (total && *total != sum_objects) {
+          Violate(cache.addr + off_total,
+                  "cache '" + cache.name + "' total_objects " + std::to_string(*total) +
+                      " != objects on its slab lists " + std::to_string(sum_objects));
+        }
+      }
+      scope.node->label += " — " + std::to_string(cache.slabs.size()) + " slabs, " +
+                           std::to_string(sum_inuse) + " live objects";
+      caches.push_back(std::move(cache));
+    }
+    return caches;
+  }
+
+  void SlabFreelist() { WalkCaches(/*strict=*/true); }
+
+  void SlabPoison() {
+    std::vector<CacheInfo> caches = WalkCaches(/*strict=*/false);
+    std::vector<uint8_t> buf;
+    for (const CacheInfo& cache : caches) {
+      if (Exhausted()) return;
+      if (cache.object_size <= sizeof(uint32_t)) continue;
+      ExplainScope scope(this, "poison scan: '" + cache.name + "'");
+      size_t scanned = 0;
+      for (const SlabInfo& sl : cache.slabs) {
+        for (uint32_t idx : sl.free_chain) {
+          uint64_t obj = sl.s_mem + static_cast<uint64_t>(idx) * cache.size;
+          // Skip the embedded freelist word, as IsPoisoned does.
+          if (!ReadBuf(obj + sizeof(uint32_t), &buf, cache.object_size - sizeof(uint32_t))) {
+            Violate(obj, "free object unreadable during poison scan");
+            continue;
+          }
+          ++scanned;
+          for (size_t i = 0; i < buf.size(); ++i) {
+            if (buf[i] != kSlabPoison) {
+              Violate(obj + sizeof(uint32_t) + i,
+                      "free object in cache '" + cache.name + "' lost its 0x6b poison at +" +
+                          std::to_string(sizeof(uint32_t) + i) +
+                          " (write-after-free into " + Hex(obj) + ")");
+              break;
+            }
+          }
+          if (Exhausted()) return;
+        }
+      }
+      scope.node->label += " — " + std::to_string(scanned) + " free objects";
+    }
+    // Suspect audit: a pointer a (crashed) reader still holds. If it resolves
+    // into a *free* slab object, that reader's next dereference is a
+    // use-after-free — this is how StackRot's stale maple node gets named.
+    for (uint64_t suspect : *suspects_) {
+      if (Exhausted()) return;
+      ExplainScope scope(this, "suspect " + Hex(suspect));
+      bool located = false;
+      for (const CacheInfo& cache : caches) {
+        for (const SlabInfo& sl : cache.slabs) {
+          uint64_t span = static_cast<uint64_t>(cache.num) * cache.size;
+          if (suspect < sl.s_mem || suspect >= sl.s_mem + span) continue;
+          located = true;
+          uint32_t idx = static_cast<uint32_t>((suspect - sl.s_mem) / cache.size);
+          uint64_t obj = sl.s_mem + static_cast<uint64_t>(idx) * cache.size;
+          bool is_free = std::find(sl.free_chain.begin(), sl.free_chain.end(), idx) !=
+                         sl.free_chain.end();
+          if (is_free) {
+            Violate(obj, "use-after-free: suspect pointer " + Hex(suspect) +
+                             " names freed object " + std::to_string(idx) + " of cache '" +
+                             cache.name + "' (free-poisoned; any dereference reads 0x6b)");
+            scope.node->label += " — freed object in '" + cache.name + "'";
+          } else {
+            scope.node->label += " — live object in '" + cache.name + "'";
+          }
+          break;
+        }
+        if (located) break;
+      }
+      if (!located) {
+        scope.node->label += " — not a slab object";
+      }
+    }
+  }
+
+  // ---- VC007 task-reachability -------------------------------------------
+
+  void TaskReachability() {
+    uint64_t init_task = 0;
+    if (!Sym("init_task", &init_task)) return;
+    const uint64_t off_children = Off("task_struct", "children");
+    const uint64_t off_sibling = Off("task_struct", "sibling");
+    const uint64_t off_parent = Off("task_struct", "parent");
+    const uint64_t off_real_parent = Off("task_struct", "real_parent");
+    const uint64_t off_signal = Off("task_struct", "signal");
+    const uint64_t off_thread_head = Off("signal_struct", "thread_head");
+    const uint64_t off_thread_node = Off("task_struct", "thread_node");
+    const uint64_t off_pid = Off("task_struct", "pid");
+    const uint64_t off_comm = Off("task_struct", "comm");
+
+    // Roots: init_task plus each runqueue's idle task (swapper/N lives on the
+    // global list but outside the fork tree, exactly as in Linux).
+    std::vector<uint64_t> stack = {init_task};
+    uint64_t rq_base = 0;
+    const dbg::Type* rq_type = nullptr;
+    if (Sym("runqueues", &rq_base, &rq_type)) {
+      const size_t rq_size = SizeOf("rq");
+      const uint64_t off_idle = Off("rq", "idle");
+      for (size_t cpu = 0; cpu < SymArrayLen(rq_type); ++cpu) {
+        std::optional<uint64_t> idle = RPtr(rq_base + cpu * rq_size + off_idle, "rq->idle");
+        if (idle && *idle != 0) stack.push_back(*idle);
+      }
+    }
+
+    std::unordered_set<uint64_t> reachable;
+    ExplainScope scope(this, "fork tree from init_task " + Hex(init_task));
+    while (!stack.empty() && reachable.size() < kMaxTasks) {
+      if (Exhausted()) return;
+      uint64_t task = stack.back();
+      stack.pop_back();
+      if (!reachable.insert(task).second) continue;
+      // Children.
+      for (uint64_t node : WalkList(task + off_children, "children")) {
+        uint64_t child = node - off_sibling;
+        std::optional<uint64_t> parent = RPtr(child + off_parent, "task->parent");
+        std::optional<uint64_t> real_parent = RPtr(child + off_real_parent, "real_parent");
+        if (parent && real_parent && *parent != task && *real_parent != task) {
+          Violate(child, "task on the children list of " + Hex(task) +
+                             " but its parent is " + Hex(*parent));
+        }
+        stack.push_back(child);
+      }
+      // Thread group: every thread hangs off the shared signal_struct.
+      std::optional<uint64_t> signal = RPtr(task + off_signal, "task->signal");
+      if (signal && *signal != 0) {
+        for (uint64_t node : WalkList(*signal + off_thread_head, "thread_head")) {
+          stack.push_back(node - off_thread_node);
+        }
+      }
+    }
+    scope.node->label += " — " + std::to_string(reachable.size()) + " reachable";
+
+    for (uint64_t task : AllTasks()) {
+      if (Exhausted()) return;
+      if (reachable.count(task) != 0) continue;
+      std::optional<uint64_t> pid = RU(task + off_pid, 4);
+      Violate(task, "task pid " + (pid ? std::to_string(static_cast<int>(*pid)) : "?") +
+                        " comm '" + RStr(task + off_comm, 16) +
+                        "' is on the global task list but unreachable from init_task");
+    }
+  }
+
+  // ---- VC008 rcu-cblist ---------------------------------------------------
+
+  void RcuCblist() {
+    uint64_t rdp_base = 0;
+    const dbg::Type* rdp_type = nullptr;
+    if (!Sym("rcu_data", &rdp_base, &rdp_type)) return;
+    uint64_t state = 0;
+    if (!Sym("rcu_state", &state)) return;
+    std::optional<uint64_t> global_seq = RU(state + Off("rcu_state", "gp_seq"), 8);
+    if (!global_seq) return;
+    const size_t rdp_size = SizeOf("rcu_data");
+    const uint64_t off_cpu = Off("rcu_data", "cpu");
+    const uint64_t off_gp = Off("rcu_data", "gp_seq");
+    const uint64_t off_nesting = Off("rcu_data", "nesting");
+    const uint64_t off_head = Off("rcu_data", "cblist_head");
+    const uint64_t off_tail = Off("rcu_data", "cblist_tail");
+    const uint64_t off_len = Off("rcu_data", "cblist_len");
+    const uint64_t off_next = Off("rcu_head", "next");
+    for (size_t cpu = 0; cpu < SymArrayLen(rdp_type); ++cpu) {
+      if (Exhausted()) return;
+      uint64_t rdp = rdp_base + cpu * rdp_size;
+      ExplainScope scope(this, "rcu_data[" + std::to_string(cpu) + "] " + Hex(rdp));
+      std::optional<uint64_t> cpu_field = RU(rdp + off_cpu, 4);
+      if (cpu_field && *cpu_field != cpu) {
+        Violate(rdp, "rcu_data cpu field is " + std::to_string(*cpu_field) + ", expected " +
+                         std::to_string(cpu));
+      }
+      std::optional<uint64_t> nesting = RU(rdp + off_nesting, 4);
+      if (nesting && static_cast<int32_t>(*nesting) < 0) {
+        Violate(rdp + off_nesting, "negative rcu_read_lock nesting depth " +
+                                       std::to_string(static_cast<int32_t>(*nesting)));
+      }
+      std::optional<uint64_t> gp = RU(rdp + off_gp, 8);
+      if (gp && *gp > *global_seq) {
+        Violate(rdp + off_gp, "per-CPU gp_seq " + std::to_string(*gp) +
+                                  " is ahead of the global grace period " +
+                                  std::to_string(*global_seq));
+      }
+      std::optional<uint64_t> len = RU(rdp + off_len, 8);
+      std::optional<uint64_t> tail = RPtr(rdp + off_tail, "cblist_tail");
+      if (!len || !tail) continue;
+      uint64_t link = rdp + off_head;  // address of the pointer we follow
+      std::optional<uint64_t> cur = RPtr(link, "cblist_head");
+      uint64_t count = 0;
+      const uint64_t cap = *len + 16;
+      while (cur && *cur != 0) {
+        if (++count > cap) {
+          Violate(rdp + off_head, "cblist longer than cblist_len + slack (cycle or "
+                                  "unaccounted callbacks)");
+          break;
+        }
+        link = *cur + off_next;
+        cur = RPtr(link, "rcu_head->next");
+      }
+      if (cur && *cur == 0) {
+        if (count != *len) {
+          Violate(rdp + off_len, "cblist_len says " + std::to_string(*len) +
+                                     " callbacks but the chain holds " +
+                                     std::to_string(count));
+        }
+        if (*tail != link) {
+          Violate(rdp + off_tail, "cblist_tail is " + Hex(*tail) +
+                                      " but the last next pointer lives at " + Hex(link));
+        }
+      }
+      scope.node->label += " — " + std::to_string(count) + " callbacks";
+    }
+  }
+
+  // ---- VC009 pipe-can-merge ----------------------------------------------
+
+  void PipeCanMerge() {
+    uint64_t sb_head = 0;
+    if (!Sym("super_blocks", &sb_head)) return;
+    const uint64_t off_s_list = Off("super_block", "s_list");
+    const uint64_t off_s_inodes = Off("super_block", "s_inodes");
+    const uint64_t off_s_id = Off("super_block", "s_id");
+    const uint64_t off_i_sb_list = Off("inode", "i_sb_list");
+    const uint64_t off_i_pipe = Off("inode", "i_pipe");
+    const uint64_t off_i_ino = Off("inode", "i_ino");
+    const uint64_t off_head = Off("pipe_inode_info", "head");
+    const uint64_t off_tail = Off("pipe_inode_info", "tail");
+    const uint64_t off_ring = Off("pipe_inode_info", "ring_size");
+    const uint64_t off_bufs = Off("pipe_inode_info", "bufs");
+    const size_t buf_size = SizeOf("pipe_buffer");
+    const uint64_t off_b_page = Off("pipe_buffer", "page");
+    const uint64_t off_b_off = Off("pipe_buffer", "offset");
+    const uint64_t off_b_len = Off("pipe_buffer", "len");
+    const uint64_t off_b_flags = Off("pipe_buffer", "flags");
+    const uint64_t off_pg_mapping = Off("page", "mapping");
+    const uint64_t off_pg_flags = Off("page", "flags");
+
+    for (uint64_t sb_node : WalkList(sb_head, "super_blocks")) {
+      if (Exhausted()) return;
+      uint64_t sb = sb_node - off_s_list;
+      std::string sid = RStr(sb + off_s_id, 32);
+      size_t pipes = 0;
+      ExplainScope sb_scope(this, "super_block '" + sid + "' " + Hex(sb));
+      for (uint64_t ino_node : WalkList(sb + off_s_inodes, "s_inodes")) {
+        if (Exhausted()) return;
+        uint64_t ino = ino_node - off_i_sb_list;
+        std::optional<uint64_t> pipe = RPtr(ino + off_i_pipe, "i_pipe");
+        if (!pipe || *pipe == 0) continue;
+        ++pipes;
+        std::optional<uint64_t> ino_nr = RU(ino + off_i_ino, 8);
+        ExplainScope scope(this, "pipe " + Hex(*pipe) + " (inode " +
+                                     (ino_nr ? std::to_string(*ino_nr) : "?") + ")");
+        std::optional<uint64_t> head = RU(*pipe + off_head, 4);
+        std::optional<uint64_t> tail = RU(*pipe + off_tail, 4);
+        std::optional<uint64_t> ring = RU(*pipe + off_ring, 4);
+        std::optional<uint64_t> bufs = RPtr(*pipe + off_bufs, "pipe->bufs");
+        if (!head || !tail || !ring || !bufs) continue;
+        uint32_t ring_size = static_cast<uint32_t>(*ring);
+        if (ring_size == 0 || (ring_size & (ring_size - 1)) != 0 || ring_size > 4096) {
+          Violate(*pipe + off_ring, "pipe ring_size " + std::to_string(ring_size) +
+                                        " is not a sane power of two");
+          continue;
+        }
+        uint32_t used = static_cast<uint32_t>(*head) - static_cast<uint32_t>(*tail);
+        if (used > ring_size) {
+          Violate(*pipe, "pipe occupancy head-tail = " + std::to_string(used) +
+                             " exceeds ring_size " + std::to_string(ring_size));
+          continue;
+        }
+        for (uint32_t k = 0; k < used; ++k) {
+          uint32_t idx = (static_cast<uint32_t>(*tail) + k) & (ring_size - 1);
+          uint64_t buf = *bufs + static_cast<uint64_t>(idx) * buf_size;
+          std::optional<uint64_t> flags = RU(buf + off_b_flags, 4);
+          std::optional<uint64_t> page = RPtr(buf + off_b_page, "buf->page");
+          std::optional<uint64_t> blen = RU(buf + off_b_len, 4);
+          std::optional<uint64_t> boff = RU(buf + off_b_off, 4);
+          if (!flags || !page || !blen || !boff) continue;
+          if (*page == 0) {
+            Violate(buf, "occupied pipe slot " + std::to_string(idx) + " has no page");
+            continue;
+          }
+          if (*boff + *blen > kPageSize) {
+            Violate(buf, "pipe buffer slot " + std::to_string(idx) + " spans past its page "
+                         "(offset " + std::to_string(*boff) + " + len " +
+                         std::to_string(*blen) + ")");
+          }
+          if ((*flags & kPipeCanMerge) != 0) {
+            std::optional<uint64_t> mapping = RPtr(*page + off_pg_mapping, "page->mapping");
+            std::optional<uint64_t> pflags = RU(*page + off_pg_flags, 8);
+            if (!mapping || !pflags) continue;
+            bool file_backed =
+                *mapping != 0 && (*mapping & 1) == 0 && (*pflags & kPgAnon) == 0;
+            if (file_backed) {
+              Violate(buf, "PIPE_BUF_FLAG_CAN_MERGE set on ring slot " +
+                               std::to_string(idx) + " whose page " + Hex(*page) +
+                               " is page-cache-backed (mapping " + Hex(*mapping) +
+                               ") — the Dirty Pipe signature: writes merge into the "
+                               "shared file page");
+            }
+          }
+        }
+      }
+      sb_scope.node->label += " — " + std::to_string(pipes) + " pipes";
+    }
+  }
+
+  // ---- VC010 timer-wheel --------------------------------------------------
+
+  void TimerWheel() {
+    uint64_t base_addr = 0;
+    const dbg::Type* base_type = nullptr;
+    if (!Sym("timer_bases", &base_addr, &base_type)) return;
+    const size_t base_size = SizeOf("timer_base");
+    const uint64_t off_cpu = Off("timer_base", "cpu");
+    const uint64_t off_vectors = Off("timer_base", "vectors");
+    const uint64_t off_first = Off("hlist_head", "first");
+    const uint64_t off_next = Off("hlist_node", "next");
+    const uint64_t off_pprev = Off("hlist_node", "pprev");
+    const dbg::Type* tb = types_->FindByName("timer_base");
+    const dbg::Field* vf = tb != nullptr ? tb->FindField("vectors") : nullptr;
+    const size_t slots =
+        (vf != nullptr && vf->type != nullptr && vf->type->array_len > 0)
+            ? vf->type->array_len
+            : 256;
+    const size_t head_size = SizeOf("hlist_head");
+    for (size_t cpu = 0; cpu < SymArrayLen(base_type); ++cpu) {
+      if (Exhausted()) return;
+      uint64_t base = base_addr + cpu * base_size;
+      ExplainScope scope(this, "timer_bases[" + std::to_string(cpu) + "] " + Hex(base));
+      std::optional<uint64_t> cpu_field = RU(base + off_cpu, 4);
+      if (cpu_field && *cpu_field != cpu) {
+        Violate(base + off_cpu, "timer_base cpu field is " + std::to_string(*cpu_field) +
+                                    ", expected " + std::to_string(cpu));
+      }
+      size_t timers = 0;
+      for (size_t s = 0; s < slots; ++s) {
+        uint64_t head = base + off_vectors + s * head_size + off_first;
+        std::optional<uint64_t> cur = RPtr(head, "wheel bucket");
+        uint64_t expected_pprev = head;
+        int steps = 0;
+        while (cur && *cur != 0) {
+          if (++steps > kMaxHlistSteps) {
+            Violate(head, "timer-wheel bucket " + std::to_string(s) +
+                              " does not terminate (cycle)");
+            break;
+          }
+          ++timers;
+          std::optional<uint64_t> pprev = RPtr(*cur + off_pprev, "timer pprev");
+          if (!pprev) break;
+          if (*pprev != expected_pprev) {
+            Violate(*cur, "timer-wheel bucket " + std::to_string(s) +
+                              ": node pprev is " + Hex(*pprev) + ", expected " +
+                              Hex(expected_pprev));
+          }
+          expected_pprev = *cur + off_next;
+          cur = RPtr(*cur + off_next, "timer next");
+          if (Exhausted()) return;
+        }
+      }
+      scope.node->label += " — " + std::to_string(timers) + " pending timers";
+    }
+  }
+
+  // ---- VC011 workqueue-linkage -------------------------------------------
+
+  void WorkqueueLinkage() {
+    uint64_t wq_head = 0;
+    if (Sym("workqueues", &wq_head)) {
+      const uint64_t off_list = Off("workqueue_struct", "list");
+      const uint64_t off_name = Off("workqueue_struct", "name");
+      const uint64_t off_pwqs = Off("workqueue_struct", "pwqs");
+      const uint64_t off_pwq_node = Off("pool_workqueue", "pwqs_node");
+      const uint64_t off_pwq_wq = Off("pool_workqueue", "wq");
+      const uint64_t off_pwq_pool = Off("pool_workqueue", "pool");
+      for (uint64_t node : WalkList(wq_head, "workqueues")) {
+        if (Exhausted()) return;
+        uint64_t wq = node - off_list;
+        ExplainScope scope(this, "workqueue '" + RStr(wq + off_name, 24) + "' " + Hex(wq));
+        size_t pwqs = 0;
+        for (uint64_t pwq_node : WalkList(wq + off_pwqs, "pwqs")) {
+          uint64_t pwq = pwq_node - off_pwq_node;
+          ++pwqs;
+          std::optional<uint64_t> back = RPtr(pwq + off_pwq_wq, "pwq->wq");
+          if (back && *back != wq) {
+            Violate(pwq, "pool_workqueue->wq points at " + Hex(*back) +
+                             ", expected its owning workqueue " + Hex(wq));
+          }
+          std::optional<uint64_t> pool = RPtr(pwq + off_pwq_pool, "pwq->pool");
+          if (pool && *pool == 0) {
+            Violate(pwq, "pool_workqueue without a worker_pool");
+          }
+        }
+        scope.node->label += " — " + std::to_string(pwqs) + " pwqs";
+      }
+    }
+    uint64_t pools = 0;
+    const dbg::Type* pools_type = nullptr;
+    if (!Sym("cpu_worker_pools", &pools, &pools_type)) return;
+    const size_t pool_size = SizeOf("worker_pool");
+    const uint64_t off_pool_cpu = Off("worker_pool", "cpu");
+    const uint64_t off_worklist = Off("worker_pool", "worklist");
+    const uint64_t off_workers = Off("worker_pool", "workers");
+    const uint64_t off_nr_workers = Off("worker_pool", "nr_workers");
+    const uint64_t off_nr_running = Off("worker_pool", "nr_running");
+    const uint64_t off_work_entry = Off("work_struct", "entry");
+    const uint64_t off_work_func = Off("work_struct", "func");
+    for (size_t cpu = 0; cpu < SymArrayLen(pools_type); ++cpu) {
+      if (Exhausted()) return;
+      uint64_t pool = pools + cpu * pool_size;
+      ExplainScope scope(this, "cpu_worker_pools[" + std::to_string(cpu) + "] " + Hex(pool));
+      std::optional<uint64_t> cpu_field = RU(pool + off_pool_cpu, 4);
+      if (cpu_field && *cpu_field != cpu) {
+        Violate(pool + off_pool_cpu, "worker_pool cpu field is " +
+                                         std::to_string(static_cast<int32_t>(*cpu_field)) +
+                                         ", expected " + std::to_string(cpu));
+      }
+      size_t pending = 0;
+      for (uint64_t work_node : WalkList(pool + off_worklist, "worklist")) {
+        uint64_t work = work_node - off_work_entry;
+        ++pending;
+        std::optional<uint64_t> func = RPtr(work + off_work_func, "work->func");
+        if (func && *func == 0) {
+          Violate(work, "pending work_struct with a null function pointer");
+        }
+      }
+      // The boot path counts one conceptual worker per pool without linking
+      // worker structs, so the list may undershoot nr_workers — but never
+      // overshoot it, and nr_running is bounded by nr_workers.
+      size_t workers = WalkList(pool + off_workers, "workers").size();
+      std::optional<uint64_t> nr = RU(pool + off_nr_workers, 4);
+      std::optional<uint64_t> running = RU(pool + off_nr_running, 4);
+      if (nr && workers > *nr) {
+        Violate(pool + off_nr_workers, "worker_pool nr_workers says " + std::to_string(*nr) +
+                                           " but the workers list holds " +
+                                           std::to_string(workers));
+      }
+      if (nr && running && *running > *nr) {
+        Violate(pool + off_nr_workers, "worker_pool nr_running " + std::to_string(*running) +
+                                           " exceeds nr_workers " + std::to_string(*nr));
+      }
+      scope.node->label +=
+          " — " + std::to_string(pending) + " pending, " + std::to_string(workers) + " workers";
+    }
+  }
+
+  const dbg::TypeRegistry* types_;
+  const dbg::SymbolTable* symbols_;
+  dbg::ReadSession* session_;
+  const std::vector<uint64_t>* suspects_;
+  CheckRuleReport* report_;
+  std::vector<CheckExplainNode*> stack_;
+  std::deque<CheckExplainNode> scratch_;
+  std::vector<std::string> trail_;
+  std::unordered_set<std::string> meta_reported_;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+// ---- report types ---------------------------------------------------------
+
+vl::Json CheckExplainNode::ToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["label"] = vl::Json::Str(label);
+  if (!children.empty()) {
+    vl::Json kids = vl::Json::Array();
+    for (const CheckExplainNode& child : children) {
+      kids.Append(child.ToJson());
+    }
+    j["children"] = std::move(kids);
+  }
+  return j;
+}
+
+void CheckExplainNode::Render(std::string* out, int depth) const {
+  for (int i = 0; i < depth; ++i) out->append("  ");
+  out->append(label);
+  out->push_back('\n');
+  for (const CheckExplainNode& child : children) {
+    child.Render(out, depth + 1);
+  }
+}
+
+vl::Json CheckViolation::ToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["rule"] = vl::Json::Str(diagnostic.rule);
+  j["severity"] = vl::Json::Str(std::string(vl::SeverityName(diagnostic.severity)));
+  j["addr"] = vl::Json::Str(Hex(addr));
+  j["message"] = vl::Json::Str(diagnostic.message);
+  vl::Json t = vl::Json::Array();
+  for (const std::string& hop : trail) {
+    t.Append(vl::Json::Str(hop));
+  }
+  j["trail"] = std::move(t);
+  return j;
+}
+
+vl::Json CheckRuleReport::ToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["id"] = vl::Json::Str(id);
+  j["name"] = vl::Json::Str(name);
+  j["ran"] = vl::Json::Bool(ran);
+  j["skipped_clean"] = vl::Json::Bool(skipped_clean);
+  j["reads"] = vl::Json::Int(static_cast<int64_t>(reads));
+  j["bytes"] = vl::Json::Int(static_cast<int64_t>(bytes));
+  j["charged_ns"] = vl::Json::Int(static_cast<int64_t>(charged_ns));
+  j["footprint_pages"] = vl::Json::Int(static_cast<int64_t>(footprint.size()));
+  vl::Json v = vl::Json::Array();
+  for (const CheckViolation& violation : violations) {
+    v.Append(violation.ToJson());
+  }
+  j["violations"] = std::move(v);
+  j["explain"] = explain.ToJson();
+  return j;
+}
+
+size_t CheckReport::violations() const {
+  size_t n = 0;
+  for (const CheckRuleReport& r : rules) n += r.violations.size();
+  return n;
+}
+
+size_t CheckReport::rules_run() const {
+  size_t n = 0;
+  for (const CheckRuleReport& r : rules) n += r.ran ? 1 : 0;
+  return n;
+}
+
+size_t CheckReport::rules_skipped() const {
+  size_t n = 0;
+  for (const CheckRuleReport& r : rules) n += r.skipped_clean ? 1 : 0;
+  return n;
+}
+
+vl::DiagnosticList CheckReport::Diagnostics() const {
+  vl::DiagnosticList list;
+  for (const CheckRuleReport& r : rules) {
+    for (const CheckViolation& v : r.violations) {
+      list.Add(v.diagnostic);
+    }
+  }
+  list.Sort();
+  return list;
+}
+
+vl::Json CheckReport::ToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["incremental"] = vl::Json::Bool(incremental);
+  j["rules_run"] = vl::Json::Int(static_cast<int64_t>(rules_run()));
+  j["rules_skipped"] = vl::Json::Int(static_cast<int64_t>(rules_skipped()));
+  j["violations"] = vl::Json::Int(static_cast<int64_t>(violations()));
+  j["reads"] = vl::Json::Int(static_cast<int64_t>(reads));
+  j["bytes"] = vl::Json::Int(static_cast<int64_t>(bytes));
+  j["charged_ns"] = vl::Json::Int(static_cast<int64_t>(charged_ns));
+  j["sync_ns"] = vl::Json::Int(static_cast<int64_t>(sync_ns));
+  j["clock_delta_ns"] = vl::Json::Int(static_cast<int64_t>(clock_delta_ns));
+  j["reconciled"] = vl::Json::Bool(reconciled);
+  vl::Json rs = vl::Json::Array();
+  for (const CheckRuleReport& r : rules) {
+    rs.Append(r.ToJson());
+  }
+  j["rules"] = std::move(rs);
+  return j;
+}
+
+std::string CheckReport::RenderText() const {
+  std::string out;
+  for (const CheckRuleReport& r : rules) {
+    out += r.id + " " + r.name + ": ";
+    if (r.skipped_clean) {
+      out += "skipped (footprint clean)";
+    } else {
+      out += std::to_string(r.violations.size()) + " violation(s), " +
+             std::to_string(r.reads) + " reads, " + std::to_string(r.charged_ns) + " ns";
+    }
+    out.push_back('\n');
+    for (const CheckViolation& v : r.violations) {
+      out += "  " + std::string(vl::SeverityName(v.diagnostic.severity)) + "[" +
+             v.diagnostic.rule + "]: " + v.diagnostic.message + "\n";
+      if (!v.trail.empty()) {
+        out += "    via: ";
+        for (size_t i = 0; i < v.trail.size(); ++i) {
+          if (i > 0) out += " > ";
+          out += v.trail[i];
+        }
+        out.push_back('\n');
+      }
+    }
+  }
+  out += "vcheck: " + std::to_string(rules_run()) + " rule(s) run, " +
+         std::to_string(rules_skipped()) + " skipped, " + std::to_string(violations()) +
+         " violation(s), " + std::to_string(charged_ns + sync_ns) + " ns charged (" +
+         (reconciled ? "reconciles" : "DOES NOT reconcile") + " with Target::clock())\n";
+  return out;
+}
+
+// ---- engine ---------------------------------------------------------------
+
+CheckEngine::CheckEngine(const dbg::TypeRegistry* types, const dbg::SymbolTable* symbols,
+                         dbg::ReadSession* session)
+    : types_(types), symbols_(symbols), session_(session),
+      states_(CatalogImpl().size()) {}
+
+const std::vector<CheckRuleInfo>& CheckEngine::Catalog() { return CatalogImpl(); }
+
+const CheckRuleInfo* CheckEngine::FindRule(std::string_view id_or_name) {
+  for (const CheckRuleInfo& info : CatalogImpl()) {
+    if (id_or_name == info.id || id_or_name == info.name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+void CheckEngine::AddSuspect(uint64_t addr) {
+  suspects_.push_back(addr);
+  ++suspects_gen_;
+}
+
+void CheckEngine::ClearSuspects() {
+  if (!suspects_.empty()) {
+    ++suspects_gen_;
+  }
+  suspects_.clear();
+}
+
+CheckRuleReport CheckEngine::ExecuteRule(size_t idx) {
+  const CheckRuleInfo& info = CatalogImpl()[idx];
+  CheckRuleReport report;
+  report.id = info.id;
+  report.name = info.name;
+  report.explain.label = std::string(info.id) + " " + info.name;
+  dbg::Target* target = session_->target();
+  const uint64_t ns0 = target->clock().nanos();
+  const uint64_t reads0 = target->reads();
+  const uint64_t bytes0 = target->bytes_read();
+  session_->PushPageScope();
+  {
+    Checker checker(types_, symbols_, session_, &suspects_, &report);
+    checker.Run(idx);
+  }
+  report.footprint = session_->PopPageScope();
+  report.epoch = session_->epoch();
+  report.charged_ns = target->clock().nanos() - ns0;
+  report.reads = target->reads() - reads0;
+  report.bytes = target->bytes_read() - bytes0;
+  report.ran = true;
+
+  RuleState& state = states_[idx];
+  state.has_run = true;
+  state.epoch = report.epoch;
+  state.suspects_gen = suspects_gen_;
+  state.last = report;
+  return report;
+}
+
+bool CheckEngine::CanSkip(size_t idx) const {
+  const RuleState& state = states_[idx];
+  if (!state.has_run || state.suspects_gen != suspects_gen_) {
+    return false;
+  }
+  if (state.last.footprint.empty()) {
+    return false;  // a rule that read nothing proves nothing
+  }
+  for (uint64_t page : state.last.footprint) {
+    if (!session_->RangeCleanSince(page, kPageGranule, state.epoch)) {
+      return false;  // conservative: unknown history also lands here
+    }
+  }
+  return true;
+}
+
+void CheckEngine::FinishSweep(CheckReport* report, uint64_t clock_before,
+                              uint64_t clock_after) const {
+  for (const CheckRuleReport& r : report->rules) {
+    if (!r.ran) continue;
+    report->charged_ns += r.charged_ns;
+    report->reads += r.reads;
+    report->bytes += r.bytes;
+  }
+  report->clock_delta_ns = clock_after - clock_before;
+  report->reconciled = report->clock_delta_ns == report->charged_ns + report->sync_ns;
+
+  vl::MetricsRegistry& metrics = vl::MetricsRegistry::Instance();
+  metrics.GetCounter("check.sweeps")->Add(1);
+  metrics.GetCounter("check.rules.run")->Add(report->rules_run());
+  metrics.GetCounter("check.violations")->Add(report->violations());
+  metrics.GetCounter("check.reads")->Add(report->reads);
+  metrics.GetCounter("check.read_bytes")->Add(report->bytes);
+  metrics.GetCounter("check.charged_ns")->Add(report->charged_ns + report->sync_ns);
+  if (report->incremental) {
+    metrics.GetCounter("check.incremental.sweeps")->Add(1);
+    metrics.GetCounter("check.incremental.skipped")->Add(report->rules_skipped());
+    metrics.GetCounter("check.incremental.reran")->Add(report->rules_run());
+  }
+}
+
+CheckReport CheckEngine::RunAll() {
+  CheckReport report;
+  vl::ScopedSpan span("vcheck");
+  dbg::Target* target = session_->target();
+  const uint64_t clock_before = target->clock().nanos();
+  session_->SyncEpoch();
+  report.sync_ns = target->clock().nanos() - clock_before;
+  for (size_t i = 0; i < CatalogImpl().size(); ++i) {
+    report.rules.push_back(ExecuteRule(i));
+  }
+  FinishSweep(&report, clock_before, target->clock().nanos());
+  return report;
+}
+
+vl::StatusOr<CheckReport> CheckEngine::RunOne(std::string_view id_or_name) {
+  const CheckRuleInfo* info = FindRule(id_or_name);
+  if (info == nullptr) {
+    return vl::Status(vl::StatusCode::kNotFound,
+                      "unknown check rule '" + std::string(id_or_name) + "'");
+  }
+  CheckReport report;
+  vl::ScopedSpan span("vcheck");
+  dbg::Target* target = session_->target();
+  const uint64_t clock_before = target->clock().nanos();
+  session_->SyncEpoch();
+  report.sync_ns = target->clock().nanos() - clock_before;
+  for (size_t i = 0; i < CatalogImpl().size(); ++i) {
+    if (&CatalogImpl()[i] == info) {
+      report.rules.push_back(ExecuteRule(i));
+    }
+  }
+  FinishSweep(&report, clock_before, target->clock().nanos());
+  return report;
+}
+
+CheckReport CheckEngine::RunIncremental() {
+  CheckReport report;
+  report.incremental = true;
+  vl::ScopedSpan span("vcheck");
+  dbg::Target* target = session_->target();
+  const uint64_t clock_before = target->clock().nanos();
+  // One epoch sync primes the session's dirty-page history (charged as
+  // sync_ns); per-rule skip decisions then consult RangeCleanSince for free.
+  session_->SyncEpoch();
+  report.sync_ns = target->clock().nanos() - clock_before;
+  for (size_t i = 0; i < CatalogImpl().size(); ++i) {
+    if (CanSkip(i)) {
+      CheckRuleReport replay = states_[i].last;
+      replay.ran = false;
+      replay.skipped_clean = true;
+      replay.reads = 0;
+      replay.bytes = 0;
+      replay.charged_ns = 0;
+      report.rules.push_back(std::move(replay));
+    } else {
+      report.rules.push_back(ExecuteRule(i));
+    }
+  }
+  FinishSweep(&report, clock_before, target->clock().nanos());
+  return report;
+}
+
+}  // namespace analysis

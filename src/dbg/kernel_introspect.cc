@@ -185,10 +185,15 @@ KernelDebugger::KernelDebugger(vkern::Kernel* kernel, LatencyModel model,
                                CacheConfig cache)
     : kernel_(kernel), memory_(&kernel->arena(), kernel) {
   target_ = std::make_unique<Target>(&memory_, std::move(model));
-  session_ = std::make_unique<ReadSession>(target_.get(), cache);
   RegisterTypes();
   RegisterEnums();
+  // BuildStateStringTable writes the arena (AllocMeta) without a generation
+  // bump, so it must run before the session exists: a delta-enabled session
+  // baselines its dirty-page journal at construction, and any arena write
+  // after that baseline would surface as a spuriously dirty page at the
+  // first epoch sync.
   BuildStateStringTable();
+  session_ = std::make_unique<ReadSession>(target_.get(), cache);
   RegisterSymbols();
   RegisterHelpers();
   context_ = std::make_unique<EvalContext>(&types_, session_.get(), &symbols_, &helpers_);

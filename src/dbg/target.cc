@@ -38,6 +38,10 @@ void Target::ResetStats() {
   // counters fed by RecordDirtyQuery.
   vl::MetricsRegistry::Instance().ResetPrefix("dbg.read");
   vl::MetricsRegistry::Instance().ResetPrefix("dirty.");
+  // check.* counters are fed by sweeps charged on this clock; a reset that
+  // zeroes the clock but kept stale sweep charges would break the stats-schema
+  // invariant that reset zeroes every counter family.
+  vl::MetricsRegistry::Instance().ResetPrefix("check.");
 }
 
 DirtyPageInfo Target::DirtyPagesSince(uint64_t since_generation) {

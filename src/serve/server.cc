@@ -43,6 +43,11 @@ struct Shard {
   // the clock advanced belongs to flights' service_ns.
   uint64_t clock0 = 0;
   uint64_t control_ns = 0;
+
+  // Persistent vcheck engine (guarded by mu; lazily created on the first
+  // Server::Sweep). Persistence is what makes incremental fleet sweeps work:
+  // each rule's footprint/epoch from the last sweep survives here.
+  std::unique_ptr<analysis::CheckEngine> checker;
 };
 
 }  // namespace internal
@@ -834,6 +839,16 @@ void Server::PublishMetrics() const {
       ->Set(static_cast<int64_t>(flights_.dropped()));
   metrics.GetGauge("serve.flights.slo_violations")
       ->Set(static_cast<int64_t>(flights_.slo_violations()));
+  metrics.GetGauge("check.fleet.sweeps")
+      ->Set(static_cast<int64_t>(check_sweeps_.load(std::memory_order_relaxed)));
+  metrics.GetGauge("check.fleet.violations")
+      ->Set(static_cast<int64_t>(check_violations_.load(std::memory_order_relaxed)));
+  metrics.GetGauge("check.fleet.rules_run")
+      ->Set(static_cast<int64_t>(check_rules_run_.load(std::memory_order_relaxed)));
+  metrics.GetGauge("check.fleet.rules_skipped")
+      ->Set(static_cast<int64_t>(check_rules_skipped_.load(std::memory_order_relaxed)));
+  metrics.GetGauge("check.fleet.charged_ns")
+      ->Set(static_cast<int64_t>(check_charged_ns_.load(std::memory_order_relaxed)));
   for (const auto& shard : shards_) {
     const std::string prefix = "serve.shard." + shard->name;
     metrics.GetGauge(prefix + ".sessions")->Set(static_cast<int64_t>(shard->sessions));
@@ -1124,9 +1139,130 @@ std::string Server::TopText() const {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// vcheck fleet sweep
+
+vl::Json Server::ShardSweep::ToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["shard"] = vl::Json::Str(shard);
+  j["charged_ns"] = vl::Json::Int(static_cast<int64_t>(charged_ns));
+  j["report"] = report.ToJson();
+  return j;
+}
+
+size_t Server::SweepResult::violations() const {
+  size_t n = 0;
+  for (const ShardSweep& s : shards) n += s.report.violations();
+  return n;
+}
+
+size_t Server::SweepResult::rules_run() const {
+  size_t n = 0;
+  for (const ShardSweep& s : shards) n += s.report.rules_run();
+  return n;
+}
+
+size_t Server::SweepResult::rules_skipped() const {
+  size_t n = 0;
+  for (const ShardSweep& s : shards) n += s.report.rules_skipped();
+  return n;
+}
+
+bool Server::SweepResult::reconciled() const {
+  for (const ShardSweep& s : shards) {
+    if (!s.report.reconciled) return false;
+  }
+  return true;
+}
+
+vl::Json Server::SweepResult::ToJson() const {
+  vl::Json j = vl::Json::Object();
+  j["violations"] = vl::Json::Int(static_cast<int64_t>(violations()));
+  j["rules_run"] = vl::Json::Int(static_cast<int64_t>(rules_run()));
+  j["rules_skipped"] = vl::Json::Int(static_cast<int64_t>(rules_skipped()));
+  j["reconciled"] = vl::Json::Bool(reconciled());
+  vl::Json arr = vl::Json::Array();
+  for (const ShardSweep& s : shards) arr.Append(s.ToJson());
+  j["shards"] = std::move(arr);
+  return j;
+}
+
+std::string Server::SweepResult::RenderText() const {
+  std::string out;
+  for (const ShardSweep& s : shards) {
+    out += "shard " + s.shard + " (" + std::to_string(s.charged_ns) + " ns):\n";
+    std::string body = s.report.RenderText();
+    size_t pos = 0;
+    while (pos < body.size()) {
+      size_t nl = body.find('\n', pos);
+      if (nl == std::string::npos) nl = body.size();
+      out += "  " + body.substr(pos, nl - pos) + "\n";
+      pos = nl + 1;
+    }
+  }
+  out += vl::StrFormat("sweep: %zu shard(s), %zu rule(s) run, %zu skipped, %zu violation(s)%s\n",
+                       shards.size(), rules_run(), rules_skipped(), violations(),
+                       reconciled() ? "" : " [NOT RECONCILED]");
+  return out;
+}
+
+vl::StatusOr<Server::SweepResult> Server::Sweep(std::string_view rule, bool incremental) {
+  const bool all = rule.empty() || rule == "all";
+  if (!all && analysis::CheckEngine::FindRule(rule) == nullptr) {
+    return vl::InvalidArgumentError(
+        vl::StrFormat("unknown check rule '%s'", std::string(rule).c_str()));
+  }
+  // Collect the fleet under the server lock, then sweep shard-by-shard under
+  // each shard's extraction lock (shards are never destroyed while the server
+  // lives, so the raw pointers stay valid after mu_ is released).
+  std::vector<internal::Shard*> fleet;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& shard : shards_) fleet.push_back(shard.get());
+  }
+  SweepResult result;
+  for (internal::Shard* shard : fleet) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    dbg::KernelDebugger* debugger = shard->debugger;
+    if (shard->checker == nullptr) {
+      shard->checker = std::make_unique<analysis::CheckEngine>(
+          &debugger->types(), &debugger->symbols(), &debugger->session());
+    }
+    ShardSweep sweep;
+    sweep.shard = shard->name;
+    const uint64_t before = debugger->target().clock().nanos();
+    if (all) {
+      sweep.report = incremental ? shard->checker->RunIncremental()
+                                 : shard->checker->RunAll();
+    } else {
+      vl::StatusOr<analysis::CheckReport> one = shard->checker->RunOne(rule);
+      if (!one.ok()) {
+        return one.status();
+      }
+      sweep.report = std::move(one).value();
+    }
+    sweep.charged_ns = debugger->target().clock().nanos() - before;
+    // Sweeps are control-plane work on the shard clock: attribute the charge
+    // so flight reconciliation (charged == control + sum(service)) holds.
+    shard->control_ns += sweep.charged_ns;
+    result.shards.push_back(std::move(sweep));
+  }
+  check_sweeps_.fetch_add(1, std::memory_order_relaxed);
+  check_violations_.store(result.violations(), std::memory_order_relaxed);
+  check_rules_run_.store(result.rules_run(), std::memory_order_relaxed);
+  check_rules_skipped_.store(result.rules_skipped(), std::memory_order_relaxed);
+  uint64_t charged = 0;
+  for (const ShardSweep& s : result.shards) charged += s.charged_ns;
+  check_charged_ns_.fetch_add(charged, std::memory_order_relaxed);
+  return result;
+}
+
 void Server::ResetStats() {
   Drain();
   std::lock_guard<std::mutex> lock(mu_);
+  // Target::ResetStats (below) clears check.* per shard, but a shardless
+  // server must still honor the reset-zeroes-every-family invariant.
+  vl::MetricsRegistry::Instance().ResetPrefix("check.");
   for (const auto& shard : shards_) {
     // Target::ResetStats zeroes the virtual clock itself, so the charged-ns
     // baseline re-reads it afterwards and reconciliation restarts from zero.
@@ -1153,6 +1289,11 @@ void Server::ResetStats() {
     session->rejected_.store(0, std::memory_order_relaxed);
   }
   flights_.Clear();
+  check_sweeps_.store(0, std::memory_order_relaxed);
+  check_violations_.store(0, std::memory_order_relaxed);
+  check_rules_run_.store(0, std::memory_order_relaxed);
+  check_rules_skipped_.store(0, std::memory_order_relaxed);
+  check_charged_ns_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace vserve

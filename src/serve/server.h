@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/analysis/check.h"
 #include "src/dbg/kernel_introspect.h"
 #include "src/serve/flight.h"
 #include "src/serve/options.h"
@@ -270,6 +271,34 @@ class Server {
   // drained). `vctrl export prom` calls this itself (publish-on-export).
   void PublishMetrics() const;
 
+  // --- vcheck fleet sweep (control-plane) ---
+  // One shard's slice of a fleet sweep: the check report plus the charge the
+  // sweep put on that shard's clock (accounted as control-plane, so flight
+  // reconciliation charged_ns == control_ns + sum(service_ns) keeps holding).
+  struct ShardSweep {
+    std::string shard;
+    analysis::CheckReport report;
+    uint64_t charged_ns = 0;
+
+    vl::Json ToJson() const;
+  };
+  struct SweepResult {
+    std::vector<ShardSweep> shards;
+
+    size_t violations() const;
+    size_t rules_run() const;
+    size_t rules_skipped() const;
+    // Every shard's report reconciled with its Target::clock().
+    bool reconciled() const;
+    vl::Json ToJson() const;
+    std::string RenderText() const;
+  };
+  // Runs the vcheck suite across every shard. `rule` selects one rule by ID
+  // or name ("" or "all" = the full catalog); `incremental` re-runs only
+  // rules whose recorded footprint is dirty (per-shard engines persist across
+  // sweeps, so footprints carry over). Control-plane: call drained.
+  vl::StatusOr<SweepResult> Sweep(std::string_view rule = {}, bool incremental = false);
+
   // The per-request flight recorder (see flight.h).
   FlightRecorder& flights() { return flights_; }
   const FlightRecorder& flights() const { return flights_; }
@@ -360,6 +389,14 @@ class Server {
   std::atomic<uint64_t> sequence_{0};
   std::vector<std::thread> workers_;
   FlightRecorder flights_;
+
+  // Fleet-sweep summary for the check.fleet.* gauges (vl_check_fleet_* in the
+  // Prometheus export). Single-writer (Sweep is control-plane), any reader.
+  std::atomic<uint64_t> check_sweeps_{0};
+  std::atomic<uint64_t> check_violations_{0};     // last sweep
+  std::atomic<uint64_t> check_rules_run_{0};      // last sweep
+  std::atomic<uint64_t> check_rules_skipped_{0};  // last sweep
+  std::atomic<uint64_t> check_charged_ns_{0};     // cumulative sweep charge
 };
 
 }  // namespace vserve

@@ -58,7 +58,7 @@ std::string DebuggerShell::Execute(const std::string& line) {
   }
   if (command == "help" || command.empty()) {
     return "commands: vplot <pane> [--auto <type> <expr>] <viewcl> | "
-           "vctrl split|apply|lint|focus|view|dot|json|layout|save|stats|trace|"
+           "vctrl split|apply|lint|check|focus|view|dot|json|layout|save|stats|trace|"
            "explain|refresh|watch|budget|flights|top|slo|export | "
            "vprof <pane> <viewcl> | "
            "vchat <pane> <request>\n";
@@ -130,6 +130,9 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
   }
   if (sub == "lint") {
     return CmdLint(rest);
+  }
+  if (sub == "check") {
+    return CmdCheck(rest);
   }
   if (sub == "focus") {
     auto [what, value_text] = SplitFirst(rest);
@@ -219,7 +222,44 @@ std::string DebuggerShell::CmdVctrl(const std::string& args) {
     return CmdSlo(rest);
   }
   return "usage: vctrl split|apply|focus|view|layout|save|stats|trace|"
-         "explain|refresh|watch|budget|flights|top|slo|export ...\n";
+         "explain|refresh|watch|budget|flights|top|slo|check|export ...\n";
+}
+
+std::string DebuggerShell::CmdCheck(const std::string& args) {
+  std::string rule;
+  bool incremental = false;
+  bool json = false;
+  std::string remaining = args;
+  while (true) {
+    auto [token, rest] = SplitFirst(remaining);
+    if (token.empty()) {
+      break;
+    }
+    if (token == "json") {
+      json = true;
+    } else if (token == "incremental" || token == "inc") {
+      incremental = true;
+    } else if (token == "list") {
+      std::string out;
+      for (const analysis::CheckRuleInfo& info : analysis::CheckEngine::Catalog()) {
+        out += vl::StrFormat("%s  %-20s %s\n", info.id, info.name, info.description);
+      }
+      return out;
+    } else if (rule.empty()) {
+      rule = token;
+    } else {
+      return "usage: vctrl check [rule|all|list] [incremental] [json]\n";
+    }
+    remaining = rest;
+  }
+  auto sweep = session_->server()->Sweep(rule, incremental);
+  if (!sweep.ok()) {
+    return "error: " + sweep.status().ToString() + "\n";
+  }
+  if (json) {
+    return sweep->ToJson().Dump(2) + "\n";
+  }
+  return sweep->RenderText();
 }
 
 vl::Json DebuggerShell::StatsJson() const {
@@ -248,6 +288,21 @@ vl::Json DebuggerShell::StatsJson() const {
   // The server-wide view: per-shard extraction/dedup counters, control_ns,
   // and the per-shard queue/service/total flight decomposition.
   j["fleet"] = session_->server()->StatsToJson();
+  // vcheck sweep accounting, fed by the check.* counter family.
+  vl::MetricsRegistry& metrics = vl::MetricsRegistry::Instance();
+  vl::Json check = vl::Json::Object();
+  check["sweeps"] = vl::Json::Int(metrics.GetCounter("check.sweeps")->value());
+  check["rules_run"] = vl::Json::Int(metrics.GetCounter("check.rules.run")->value());
+  check["violations"] = vl::Json::Int(metrics.GetCounter("check.violations")->value());
+  check["reads"] = vl::Json::Int(metrics.GetCounter("check.reads")->value());
+  check["read_bytes"] = vl::Json::Int(metrics.GetCounter("check.read_bytes")->value());
+  check["charged_ns"] = vl::Json::Int(metrics.GetCounter("check.charged_ns")->value());
+  vl::Json inc = vl::Json::Object();
+  inc["sweeps"] = vl::Json::Int(metrics.GetCounter("check.incremental.sweeps")->value());
+  inc["skipped"] = vl::Json::Int(metrics.GetCounter("check.incremental.skipped")->value());
+  inc["reran"] = vl::Json::Int(metrics.GetCounter("check.incremental.reran")->value());
+  check["incremental"] = std::move(inc);
+  j["check"] = std::move(check);
   return j;
 }
 
@@ -338,7 +393,19 @@ std::string DebuggerShell::CmdStats(const std::string& args) {
         flights.service_ns.ApproxQuantile(0.50),
         flights.service_ns.ApproxQuantile(0.99));
   }
-  std::string metrics = vl::MetricsRegistry::Instance().TextReport();
+  vl::MetricsRegistry& registry = vl::MetricsRegistry::Instance();
+  if (registry.GetCounter("check.sweeps")->value() > 0) {
+    out += vl::StrFormat(
+        "check: %lld sweep(s), %lld rule(s) run, %lld violation(s), "
+        "%lld reads (%lld ns charged), %lld incremental skip(s)\n",
+        static_cast<long long>(registry.GetCounter("check.sweeps")->value()),
+        static_cast<long long>(registry.GetCounter("check.rules.run")->value()),
+        static_cast<long long>(registry.GetCounter("check.violations")->value()),
+        static_cast<long long>(registry.GetCounter("check.reads")->value()),
+        static_cast<long long>(registry.GetCounter("check.charged_ns")->value()),
+        static_cast<long long>(registry.GetCounter("check.incremental.skipped")->value()));
+  }
+  std::string metrics = registry.TextReport();
   if (!metrics.empty()) {
     out += metrics;
   }

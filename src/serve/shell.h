@@ -42,6 +42,9 @@ class DebuggerShell {
   //   vctrl split <pane> h|v                split a pane
   //   vctrl apply <pane> <viewql...>        refine a pane with ViewQL
   //   vctrl lint <file|pane> [json]         static-check ViewCL/ViewQL (vlint)
+  //   vctrl check [rule|all] [incremental] [json]  vcheck invariant sweep
+  //     across every shard (rule = a VC id or name; incremental re-runs only
+  //     rules whose page footprint is dirty)
   //   vctrl focus addr <hex>                search all panes for an object
   //   vctrl focus <member> <value>          search by member value (e.g. pid 2)
   //   vctrl view <pane> [ascii|dot|json]    render a pane with a back-end
@@ -74,11 +77,12 @@ class DebuggerShell {
   std::string CmdVplot(const std::string& args);
   std::string CmdVctrl(const std::string& args);
   std::string CmdLint(const std::string& args);
+  std::string CmdCheck(const std::string& args);
   std::string CmdVchat(const std::string& args);
   std::string CmdVprof(const std::string& args);
   std::string CmdStats(const std::string& args);
   // The merged stats object: {"target", "cache", "panes", "tracer",
-  // "metrics", "serve", "fleet"} — one place for every stats shape
+  // "metrics", "serve", "fleet", "check"} — one place for every stats shape
   // (docs/observability.md#stats-schema).
   vl::Json StatsJson() const;
   std::string CmdTrace(const std::string& args);

@@ -1,0 +1,559 @@
+// vcheck invariant-engine tests: one targeted corruption per catalog rule
+// (mutate kernel state host-side, assert exactly that rule fires with the
+// right address), clean-corpus zero findings across the 21-figure corpus,
+// charge reconciliation against Target::clock(), incremental footprint
+// skip/retrigger, suspect-set retriggering, and the Server::Sweep /
+// `vctrl check` fleet paths.
+//
+// The arena is identity-mapped (a host pointer IS the target address), so
+// every expected violation address is computed directly from the vkern
+// pointers that were corrupted. Every host-side mutation is followed by
+// Kernel::BumpGeneration() per the mutation contract in kernel.h.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/check.h"
+#include "src/dbg/kernel_introspect.h"
+#include "src/dbg/read_session.h"
+#include "src/serve/server.h"
+#include "src/serve/shell.h"
+#include "src/support/metrics.h"
+#include "src/viewcl/interp.h"
+#include "src/vision/figures.h"
+#include "src/vkern/faults.h"
+#include "src/vkern/kernel.h"
+#include "src/vkern/kstructs.h"
+#include "src/vkern/list.h"
+#include "src/vkern/workload.h"
+#include "tests/test_util.h"
+
+namespace {
+
+using analysis::CheckEngine;
+using analysis::CheckReport;
+using analysis::CheckRuleReport;
+using analysis::CheckViolation;
+
+void NoopTimerFn(vkern::timer_list*) {}
+
+const CheckRuleReport* FindRuleReport(const CheckReport& report, const std::string& id) {
+  for (const CheckRuleReport& r : report.rules) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+// True if rule `id` recorded a violation at exactly `addr`.
+bool FiredAt(const CheckReport& report, const std::string& id, uint64_t addr) {
+  const CheckRuleReport* r = FindRuleReport(report, id);
+  if (r == nullptr) return false;
+  for (const CheckViolation& v : r->violations) {
+    if (v.addr == addr) return true;
+  }
+  return false;
+}
+
+// IDs of every rule that recorded at least one violation.
+std::vector<std::string> FiredRules(const CheckReport& report) {
+  std::vector<std::string> ids;
+  for (const CheckRuleReport& r : report.rules) {
+    if (!r.violations.empty()) ids.push_back(r.id);
+  }
+  return ids;
+}
+
+std::string AllMessages(const CheckReport& report, const std::string& id) {
+  std::string out;
+  const CheckRuleReport* r = FindRuleReport(report, id);
+  if (r == nullptr) return out;
+  for (const CheckViolation& v : r->violations) {
+    out += v.diagnostic.message;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+class CheckTest : public vltest::WorkloadKernelTest {
+ protected:
+  void SetUp() override {
+    WorkloadKernelTest::SetUp();
+    debugger_ = std::make_unique<dbg::KernelDebugger>(kernel_.get(),
+                                                      dbg::LatencyModel::GdbQemu(), cache());
+    vision::RegisterFigureSymbols(debugger_.get(), workload_.get());
+    engine_ = std::make_unique<CheckEngine>(&debugger_->types(), &debugger_->symbols(),
+                                            &debugger_->session());
+  }
+
+  virtual dbg::CacheConfig cache() const { return dbg::CacheConfig{}; }
+
+  // Sweep and require exactly one rule to be at fault.
+  CheckReport SweepExpecting(const std::string& id, uint64_t addr) {
+    CheckReport report = engine_->RunAll();
+    EXPECT_TRUE(report.reconciled);
+    EXPECT_TRUE(FiredAt(report, id, addr))
+        << id << " did not fire at the expected address:\n"
+        << report.RenderText();
+    return report;
+  }
+
+  std::unique_ptr<dbg::KernelDebugger> debugger_;
+  std::unique_ptr<CheckEngine> engine_;
+};
+
+// Same fixture over a delta-invalidation session: RangeCleanSince has real
+// dirty-page history, so RunIncremental can actually skip clean rules.
+class IncrementalCheckTest : public CheckTest {
+ protected:
+  dbg::CacheConfig cache() const override { return dbg::CacheConfig::Incremental(); }
+};
+
+// ---------------------------------------------------------------------------
+// Catalog + clean sweeps
+// ---------------------------------------------------------------------------
+
+TEST(CheckCatalogTest, CatalogIsStableAndSearchable) {
+  const std::vector<analysis::CheckRuleInfo>& catalog = CheckEngine::Catalog();
+  ASSERT_GE(catalog.size(), 10u);
+  EXPECT_STREQ(catalog.front().id, "VC001");
+  const analysis::CheckRuleInfo* by_id = CheckEngine::FindRule("VC004");
+  ASSERT_NE(by_id, nullptr);
+  EXPECT_STREQ(by_id->name, "maple-pivots");
+  const analysis::CheckRuleInfo* by_name = CheckEngine::FindRule("slab-poison");
+  ASSERT_NE(by_name, nullptr);
+  EXPECT_STREQ(by_name->id, "VC006");
+  EXPECT_EQ(CheckEngine::FindRule("no-such-rule"), nullptr);
+}
+
+TEST_F(CheckTest, CleanSweepHasZeroFindingsAndReconciles) {
+  CheckReport report = engine_->RunAll();
+  EXPECT_EQ(report.violations(), 0u) << report.RenderText();
+  EXPECT_EQ(report.rules_run(), CheckEngine::Catalog().size());
+  EXPECT_TRUE(report.reconciled);
+  EXPECT_GT(report.reads, 0u);
+  EXPECT_GT(report.charged_ns, 0u);
+  EXPECT_EQ(report.clock_delta_ns, report.charged_ns + report.sync_ns);
+  // A warm re-sweep still reconciles (cache hits charge nothing, but the
+  // attribution equation must hold regardless).
+  CheckReport warm = engine_->RunAll();
+  EXPECT_TRUE(warm.reconciled);
+  EXPECT_EQ(warm.violations(), 0u);
+}
+
+TEST_F(CheckTest, RunOneRejectsUnknownRules) {
+  vl::StatusOr<CheckReport> report = engine_->RunOne("VC999");
+  EXPECT_FALSE(report.ok());
+  vl::StatusOr<CheckReport> ok = engine_->RunOne("rcu-cblist");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->rules.size(), 1u);
+  EXPECT_EQ(ok->rules[0].id, "VC008");
+  EXPECT_TRUE(ok->reconciled);
+}
+
+// The CI corpus gate in miniature: extract every paper figure, sweeping the
+// full catalog after each one — zero false positives, always reconciled.
+TEST_F(CheckTest, CleanCorpusAcrossAllFigures) {
+  for (const vision::FigureDef& fig : vision::AllFigures()) {
+    workload_->Step();
+    viewcl::Interpreter interp(debugger_.get());
+    auto graph = interp.RunProgram(fig.viewcl);
+    ASSERT_TRUE(graph.ok()) << fig.id << ": " << graph.status().ToString();
+    CheckReport report = engine_->RunAll();
+    EXPECT_EQ(report.violations(), 0u) << fig.id << ":\n" << report.RenderText();
+    EXPECT_TRUE(report.reconciled) << fig.id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// One targeted corruption per rule
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckTest, Vc001ListBacklinkCorruptionFires) {
+  vkern::workqueue_struct* wq = kernel_->mm_percpu_wq();
+  ASSERT_NE(wq, nullptr);
+  wq->list.prev = &wq->list;  // break the back-link into the workqueues ring
+  kernel_->BumpGeneration();
+  uint64_t addr = reinterpret_cast<uint64_t>(&wq->list);
+  CheckReport report = SweepExpecting("VC001", addr);
+  // VC011 walks the same global workqueues list, so it may echo the broken
+  // link; nothing else may fire.
+  for (const std::string& id : FiredRules(report)) {
+    EXPECT_TRUE(id == "VC001" || id == "VC011") << id << " fired unexpectedly";
+  }
+}
+
+TEST_F(CheckTest, Vc002CachedLeftmostCorruptionFires) {
+  // Three fresh runnable tasks guarantee a multi-node CFS tree on CPU 0.
+  for (const char* name : {"chk-a", "chk-b", "chk-c"}) {
+    ASSERT_NE(kernel_->procs().CreateTask(name, workload_->process(0), 0, 0), nullptr);
+  }
+  vkern::cfs_rq* cfs = &kernel_->runqueues()[0].cfs;
+  vkern::rb_node* root = cfs->tasks_timeline.rb_root_.rb_node_;
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(root->rb_left, nullptr);  // root is not the leftmost node
+  cfs->tasks_timeline.rb_leftmost = root;
+  kernel_->BumpGeneration();
+  uint64_t addr = reinterpret_cast<uint64_t>(&cfs->tasks_timeline.rb_leftmost);
+  CheckReport report = SweepExpecting("VC002", addr);
+  EXPECT_EQ(FiredRules(report), std::vector<std::string>{"VC002"});
+}
+
+TEST_F(CheckTest, Vc003RedRootCorruptionFires) {
+  for (const char* name : {"chk-a", "chk-b", "chk-c"}) {
+    ASSERT_NE(kernel_->procs().CreateTask(name, workload_->process(0), 0, 0), nullptr);
+  }
+  vkern::rb_node* root = kernel_->runqueues()[0].cfs.tasks_timeline.rb_root_.rb_node_;
+  ASSERT_NE(root, nullptr);
+  root->__rb_parent_color &= ~1ull;  // clear the colour bit: a red root
+  kernel_->BumpGeneration();
+  CheckReport report = SweepExpecting("VC003", reinterpret_cast<uint64_t>(root));
+  EXPECT_NE(AllMessages(report, "VC003").find("root is red"), std::string::npos);
+  // Ordering is untouched.
+  const CheckRuleReport* vc002 = FindRuleReport(report, "VC002");
+  ASSERT_NE(vc002, nullptr);
+  EXPECT_TRUE(vc002->violations.empty());
+}
+
+// Finds a maple node with at least three live, strictly increasing pivots:
+// pivot[1] is then provably inside the checked data range (pivot[2] bounds it
+// away from the subtree max), so collapsing it breaks monotonicity.
+uint64_t FindCorruptibleMapleNode(uintptr_t enode) {
+  uint64_t node = enode & ~0xffull;
+  uint32_t type = static_cast<uint32_t>((enode >> 3) & 0xf);
+  if (type < 1 || type > 3) return 0;
+  uint32_t n_pivots = type == 3 ? 9 : 15;
+  // pivot[] starts right after the parent pointer in both node layouts.
+  const uint64_t* pivots = reinterpret_cast<const uint64_t*>(node + 8);
+  if (pivots[0] != 0 && pivots[1] > pivots[0] && pivots[2] > pivots[1]) {
+    return node;
+  }
+  if (type == 1) return 0;  // leaf: nowhere further to descend
+  uint64_t slot_base = node + 8 + 8ull * n_pivots;
+  for (uint32_t i = 0; i <= n_pivots; ++i) {
+    if (i > 0 && i <= n_pivots && pivots[i - 1] == 0) break;  // past the data end
+    uintptr_t child = *reinterpret_cast<const uintptr_t*>(slot_base + 8ull * i);
+    if (child == 0 || (child & 2) == 0) continue;
+    uint64_t hit = FindCorruptibleMapleNode(child);
+    if (hit != 0) return hit;
+  }
+  return 0;
+}
+
+TEST_F(CheckTest, Vc004MaplePivotCorruptionFires) {
+  uint64_t node = 0;
+  for (int i = 0; i < workload_->nr_processes() && node == 0; ++i) {
+    vkern::mm_struct* mm = workload_->process(i)->mm;
+    ASSERT_NE(mm, nullptr);
+    uintptr_t enode = reinterpret_cast<uintptr_t>(mm->mm_mt.ma_root);
+    if ((enode & 2u) == 0) continue;  // direct entry, no node to walk
+    node = FindCorruptibleMapleNode(enode);
+  }
+  ASSERT_NE(node, 0u) << "no VMA tree node with three live pivots";
+  uint64_t* pivots = reinterpret_cast<uint64_t*>(node + 8);
+  pivots[1] = pivots[0];  // non-monotonic: pivot[1] < pivot[0] + 1
+  kernel_->BumpGeneration();
+  uint64_t addr = node + 8 + 8;  // &pivot[1]
+  CheckReport report = SweepExpecting("VC004", addr);
+  EXPECT_EQ(FiredRules(report), std::vector<std::string>{"VC004"});
+}
+
+TEST_F(CheckTest, Vc005FreelistEscapeCorruptionFires) {
+  vkern::kmem_cache* cache = kernel_->slabs().FindCache("maple_node");
+  ASSERT_NE(cache, nullptr);
+  void* obj = kernel_->slabs().Alloc(cache);
+  ASSERT_NE(obj, nullptr);
+  vkern::SlabAllocator::Free(cache, obj);
+  // The freed object's first word is the embedded next-free index; point it
+  // out of the slab.
+  *reinterpret_cast<uint32_t*>(obj) = 0xdead;
+  kernel_->BumpGeneration();
+  // Slab blocks are naturally aligned; the descriptor sits at the block head.
+  uint64_t block = static_cast<uint64_t>(cache->pages_per_slab) * 4096;
+  uint64_t slab_addr = reinterpret_cast<uint64_t>(obj) & ~(block - 1);
+  CheckReport report = SweepExpecting("VC005", slab_addr);
+  EXPECT_NE(AllMessages(report, "VC005").find("escapes"), std::string::npos);
+}
+
+TEST_F(CheckTest, Vc006PoisonClobberCorruptionFires) {
+  vkern::kmem_cache* cache = kernel_->slabs().FindCache("maple_node");
+  ASSERT_NE(cache, nullptr);
+  void* obj = kernel_->slabs().Alloc(cache);
+  ASSERT_NE(obj, nullptr);
+  vkern::SlabAllocator::Free(cache, obj);
+  // A write-after-free beyond the freelist word clobbers the 0x6b poison.
+  reinterpret_cast<unsigned char*>(obj)[8] = 0xaa;
+  kernel_->BumpGeneration();
+  uint64_t addr = reinterpret_cast<uint64_t>(obj) + 8;
+  CheckReport report = SweepExpecting("VC006", addr);
+  EXPECT_NE(AllMessages(report, "VC006").find("poison"), std::string::npos);
+  EXPECT_EQ(FiredRules(report), std::vector<std::string>{"VC006"});
+}
+
+TEST_F(CheckTest, Vc006SuspectPointerNamesUseAfterFree) {
+  vkern::kmem_cache* cache = kernel_->slabs().FindCache("maple_node");
+  ASSERT_NE(cache, nullptr);
+  void* obj = kernel_->slabs().Alloc(cache);
+  ASSERT_NE(obj, nullptr);
+  vkern::SlabAllocator::Free(cache, obj);
+  kernel_->BumpGeneration();
+  // An interior pointer a crashed reader still holds must resolve to the
+  // freed object (the StackRot shape: heap consistent, the danger is the
+  // stale register).
+  engine_->AddSuspect(reinterpret_cast<uint64_t>(obj) + 16);
+  CheckReport report = SweepExpecting("VC006", reinterpret_cast<uint64_t>(obj));
+  EXPECT_NE(AllMessages(report, "VC006").find("use-after-free"), std::string::npos);
+}
+
+TEST_F(CheckTest, Vc006SuspectOnLiveObjectStaysQuiet) {
+  vkern::kmem_cache* cache = kernel_->slabs().FindCache("maple_node");
+  ASSERT_NE(cache, nullptr);
+  void* obj = kernel_->slabs().Alloc(cache);
+  ASSERT_NE(obj, nullptr);
+  kernel_->BumpGeneration();
+  engine_->AddSuspect(reinterpret_cast<uint64_t>(obj));
+  vl::StatusOr<CheckReport> report = engine_->RunOne("VC006");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->violations(), 0u) << report->RenderText();
+}
+
+TEST_F(CheckTest, Vc007UnlinkedTaskCorruptionFires) {
+  vkern::task_struct* task = workload_->process(2);
+  ASSERT_NE(task, nullptr);
+  // Remove the task from its parent's children list: still on the global
+  // task list, no longer reachable through the fork tree.
+  vkern::list_del_init(&task->sibling);
+  kernel_->BumpGeneration();
+  CheckReport report = SweepExpecting("VC007", reinterpret_cast<uint64_t>(task));
+  EXPECT_NE(AllMessages(report, "VC007").find("unreachable"), std::string::npos);
+  // Its thread-group members may also drop out of reach, but nothing else.
+  EXPECT_EQ(FiredRules(report), std::vector<std::string>{"VC007"});
+}
+
+TEST_F(CheckTest, Vc008CblistLenCorruptionFires) {
+  vkern::rcu_data* rdp = &kernel_->rcu_data_array()[0];
+  rdp->cblist_len += 3;
+  kernel_->BumpGeneration();
+  uint64_t addr = reinterpret_cast<uint64_t>(&rdp->cblist_len);
+  CheckReport report = SweepExpecting("VC008", addr);
+  EXPECT_NE(AllMessages(report, "VC008").find("cblist_len"), std::string::npos);
+  EXPECT_EQ(FiredRules(report), std::vector<std::string>{"VC008"});
+}
+
+TEST_F(CheckTest, Vc009DirtyPipeScenarioFires) {
+  vkern::DirtyPipeReport fault =
+      vkern::RunDirtyPipeScenario(kernel_.get(), workload_->process(0), /*vulnerable=*/true);
+  ASSERT_NE(fault.pipe, nullptr);
+  ASSERT_TRUE(fault.can_merge_leaked);
+  uint64_t addr = reinterpret_cast<uint64_t>(&fault.pipe->bufs[fault.buggy_buf_index]);
+  CheckReport report = SweepExpecting("VC009", addr);
+  EXPECT_NE(AllMessages(report, "VC009").find("CAN_MERGE"), std::string::npos);
+}
+
+TEST_F(CheckTest, Vc009PatchedPipeStaysQuiet) {
+  vkern::DirtyPipeReport fault =
+      vkern::RunDirtyPipeScenario(kernel_.get(), workload_->process(0), /*vulnerable=*/false);
+  ASSERT_NE(fault.pipe, nullptr);
+  EXPECT_FALSE(fault.can_merge_leaked);
+  vl::StatusOr<CheckReport> report = engine_->RunOne("VC009");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->violations(), 0u) << report->RenderText();
+}
+
+TEST_F(CheckTest, Vc010TimerPprevCorruptionFires) {
+  vkern::timer_list* timer = kernel_->timers().AllocTimer();
+  ASSERT_NE(timer, nullptr);
+  kernel_->timers().AddTimer(0, timer, kernel_->jiffies() + 100, &NoopTimerFn);
+  timer->entry.pprev = reinterpret_cast<vkern::hlist_node**>(&timer->expires);
+  kernel_->BumpGeneration();
+  CheckReport report = SweepExpecting("VC010", reinterpret_cast<uint64_t>(&timer->entry));
+  EXPECT_NE(AllMessages(report, "VC010").find("pprev"), std::string::npos);
+  EXPECT_EQ(FiredRules(report), std::vector<std::string>{"VC010"});
+}
+
+TEST_F(CheckTest, Vc011PwqBackrefCorruptionFires) {
+  vkern::workqueue_struct* wq = kernel_->mm_percpu_wq();
+  ASSERT_NE(wq, nullptr);
+  ASSERT_NE(wq->pwqs.next, &wq->pwqs);
+  vkern::pool_workqueue* pwq =
+      VKERN_CONTAINER_OF(wq->pwqs.next, vkern::pool_workqueue, pwqs_node);
+  ASSERT_EQ(pwq->wq, wq);
+  pwq->wq = kernel_->events_wq();  // back-pointer hijacked to another workqueue
+  kernel_->BumpGeneration();
+  CheckReport report = SweepExpecting("VC011", reinterpret_cast<uint64_t>(pwq));
+  EXPECT_EQ(FiredRules(report), std::vector<std::string>{"VC011"});
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-checking
+// ---------------------------------------------------------------------------
+
+TEST_F(IncrementalCheckTest, SecondSweepSkipsEveryCleanRule) {
+  CheckReport full = engine_->RunAll();
+  ASSERT_EQ(full.violations(), 0u) << full.RenderText();
+  CheckReport inc = engine_->RunIncremental();
+  EXPECT_TRUE(inc.incremental);
+  EXPECT_EQ(inc.rules_skipped(), CheckEngine::Catalog().size());
+  EXPECT_EQ(inc.rules_run(), 0u);
+  EXPECT_EQ(inc.charged_ns, 0u);
+  EXPECT_EQ(inc.violations(), 0u);
+  EXPECT_TRUE(inc.reconciled);
+  for (const CheckRuleReport& r : inc.rules) {
+    EXPECT_FALSE(r.ran) << r.id;
+    EXPECT_TRUE(r.skipped_clean) << r.id;
+  }
+}
+
+TEST_F(IncrementalCheckTest, DirtyFootprintRetriggersOnlyAffectedRules) {
+  CheckReport full = engine_->RunAll();
+  ASSERT_EQ(full.violations(), 0u) << full.RenderText();
+  // Dirty exactly one page: the rcu_data slot VC008's footprint covers.
+  vkern::rcu_data* rdp = &kernel_->rcu_data_array()[0];
+  rdp->cblist_len += 3;
+  kernel_->BumpGeneration();
+  CheckReport inc = engine_->RunIncremental();
+  const CheckRuleReport* vc008 = FindRuleReport(inc, "VC008");
+  ASSERT_NE(vc008, nullptr);
+  EXPECT_TRUE(vc008->ran);
+  EXPECT_TRUE(FiredAt(inc, "VC008", reinterpret_cast<uint64_t>(&rdp->cblist_len)))
+      << inc.RenderText();
+  EXPECT_TRUE(inc.reconciled);
+  // Rules whose footprint avoids the dirtied page replay their clean result.
+  // The journal reports the whole arena-relative page as dirty, and that page
+  // spans up to two absolute 4 KiB granules — compute the set from the arena
+  // base rather than assuming which neighbouring globals share the page.
+  uint64_t addr = reinterpret_cast<uint64_t>(&rdp->cblist_len);
+  uint64_t base = kernel_->arena().base_addr();
+  uint64_t page = base + ((addr - base) / 4096) * 4096;
+  uint64_t g0 = page & ~4095ull;
+  size_t verified_skips = 0;
+  for (const CheckRuleReport& prev : full.rules) {
+    bool touches = false;
+    for (uint64_t pg : prev.footprint) {
+      if (pg == g0 || pg == g0 + 4096) {
+        touches = true;
+        break;
+      }
+    }
+    if (touches) continue;
+    const CheckRuleReport* now = FindRuleReport(inc, prev.id);
+    ASSERT_NE(now, nullptr);
+    EXPECT_TRUE(now->skipped_clean) << prev.id << " touched no dirty page:\n"
+                                    << inc.RenderText();
+    ++verified_skips;
+  }
+  EXPECT_GE(inc.rules_skipped(), verified_skips);
+  // Repair + re-sweep: the page is dirty again, so VC008 re-runs and clears.
+  rdp->cblist_len -= 3;
+  kernel_->BumpGeneration();
+  CheckReport fixed = engine_->RunIncremental();
+  const CheckRuleReport* again = FindRuleReport(fixed, "VC008");
+  ASSERT_NE(again, nullptr);
+  EXPECT_TRUE(again->ran);
+  EXPECT_EQ(fixed.violations(), 0u) << fixed.RenderText();
+}
+
+TEST_F(IncrementalCheckTest, SuspectChangeRetriggersSlabAudit) {
+  vkern::kmem_cache* cache = kernel_->slabs().FindCache("maple_node");
+  ASSERT_NE(cache, nullptr);
+  void* obj = kernel_->slabs().Alloc(cache);
+  ASSERT_NE(obj, nullptr);
+  kernel_->BumpGeneration();
+  CheckReport full = engine_->RunAll();
+  ASSERT_EQ(full.violations(), 0u) << full.RenderText();
+  // No memory changed, but the suspect set did: VC006 must re-run.
+  engine_->AddSuspect(reinterpret_cast<uint64_t>(obj));
+  CheckReport inc = engine_->RunIncremental();
+  const CheckRuleReport* vc006 = FindRuleReport(inc, "VC006");
+  ASSERT_NE(vc006, nullptr);
+  EXPECT_TRUE(vc006->ran);
+  EXPECT_EQ(inc.violations(), 0u) << inc.RenderText();  // object is live
+  // Now the object dies; the suspect pointer becomes a use-after-free.
+  vkern::SlabAllocator::Free(cache, obj);
+  kernel_->BumpGeneration();
+  CheckReport uaf = engine_->RunIncremental();
+  EXPECT_TRUE(FiredAt(uaf, "VC006", reinterpret_cast<uint64_t>(obj))) << uaf.RenderText();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry + fleet sweep
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckTest, ResetStatsClearsCheckCounters) {
+  engine_->RunAll();
+  vl::MetricsRegistry& registry = vl::MetricsRegistry::Instance();
+  EXPECT_GT(registry.GetCounter("check.sweeps")->value(), 0u);
+  EXPECT_GT(registry.GetCounter("check.rules.run")->value(), 0u);
+  debugger_->target().ResetStats();
+  EXPECT_EQ(registry.GetCounter("check.sweeps")->value(), 0u);
+  EXPECT_EQ(registry.GetCounter("check.rules.run")->value(), 0u);
+  EXPECT_EQ(registry.GetCounter("check.violations")->value(), 0u);
+}
+
+TEST(CheckServeTest, ServerSweepCoversEveryShard) {
+  vserve::Server server;
+  ASSERT_TRUE(server.BootShard("s0", dbg::LatencyModel::GdbQemu()).ok());
+  ASSERT_TRUE(server.BootShard("s1", dbg::LatencyModel::GdbQemu()).ok());
+  auto sweep = server.Sweep();
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep->shards.size(), 2u);
+  EXPECT_EQ(sweep->violations(), 0u) << sweep->RenderText();
+  EXPECT_EQ(sweep->rules_run(), 2 * CheckEngine::Catalog().size());
+  EXPECT_TRUE(sweep->reconciled());
+
+  auto one = server.Sweep("VC008");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->rules_run(), 2u);
+  EXPECT_FALSE(server.Sweep("VC999").ok());
+
+  // Corrupt one shard only; the fleet sweep localizes the finding.
+  vkern::Kernel* kernel = server.shard_kernel("s0");
+  ASSERT_NE(kernel, nullptr);
+  kernel->rcu_data_array()[0].cblist_len += 2;
+  kernel->BumpGeneration();
+  auto dirty = server.Sweep("VC008");
+  ASSERT_TRUE(dirty.ok());
+  EXPECT_EQ(dirty->violations(), 1u) << dirty->RenderText();
+  for (const vserve::Server::ShardSweep& s : dirty->shards) {
+    if (s.shard == "s0") {
+      EXPECT_EQ(s.report.violations(), 1u);
+    } else {
+      EXPECT_EQ(s.report.violations(), 0u);
+    }
+  }
+
+  server.ResetStats();
+  EXPECT_EQ(vl::MetricsRegistry::Instance().GetCounter("check.sweeps")->value(), 0u);
+}
+
+TEST(CheckShellTest, VctrlCheckAndStatsSurfaceSweeps) {
+  vserve::Server server;
+  ASSERT_TRUE(server.BootShard("main").ok());
+  auto client = vserve::Client::Connect(&server);
+  ASSERT_TRUE(client.ok());
+  vserve::DebuggerShell shell(client->session());
+
+  std::string listing = shell.Execute("vctrl check list");
+  EXPECT_NE(listing.find("VC001"), std::string::npos);
+  EXPECT_NE(listing.find("maple-pivots"), std::string::npos);
+
+  std::string out = shell.Execute("vctrl check");
+  EXPECT_NE(out.find("sweep: 1 shard(s)"), std::string::npos) << out;
+  EXPECT_NE(out.find("0 violation(s)"), std::string::npos) << out;
+  EXPECT_EQ(out.find("NOT RECONCILED"), std::string::npos) << out;
+
+  std::string json = shell.Execute("vctrl check VC008 json");
+  EXPECT_NE(json.find("\"rules_run\""), std::string::npos) << json;
+
+  EXPECT_NE(shell.Execute("vctrl check bogus-rule").find("error"), std::string::npos);
+
+  std::string stats = shell.Execute("vctrl stats");
+  EXPECT_NE(stats.find("check:"), std::string::npos) << stats;
+  std::string prom = shell.Execute("vctrl export prom");
+  EXPECT_NE(prom.find("vl_check_fleet_sweeps"), std::string::npos) << prom;
+}
+
+}  // namespace
