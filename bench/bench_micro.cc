@@ -34,6 +34,7 @@
 #include "src/viewcl/interp.h"
 #include "src/viewql/query.h"
 #include "src/vision/panes.h"
+#include "src/vision/render.h"
 
 namespace {
 
@@ -352,6 +353,57 @@ int CheckCacheSpeedup() {
               cached.session().cache_stats().HitRate() * 100.0);
   if (speedup < 2.0) {
     std::printf("FAIL: cached repeated extraction is less than 2x faster\n");
+    return 1;
+  }
+  return 0;
+}
+
+// --- plan-speedup guard -----------------------------------------------------
+
+// Asserts the extraction-plan compiler pays for itself where the paper's
+// latency model hurts most: a COLD extraction of a high-fanout figure (the
+// PID hash table — a 64-bucket array fanning into hash chains) must charge
+// at least 3x less virtual transport time with plans on than with pure
+// interpretation, because the plan gathers each wavefront of independent
+// reads into one vectored round trip. Both sides must render byte-identically
+// (the plan is a prefetch oracle, never a semantic shortcut). Returns 0 on
+// success.
+int CheckPlanSpeedup() {
+  vlbench::BenchEnv* env = Env();
+  const vision::FigureDef* figure = vision::FindFigure("fig3_6");
+
+  dbg::KernelDebugger classic(env->kernel.get(), dbg::LatencyModel::GdbQemu());
+  dbg::KernelDebugger planned(env->kernel.get(), dbg::LatencyModel::GdbQemu());
+  vision::RegisterFigureSymbols(&classic, env->workload.get());
+  vision::RegisterFigureSymbols(&planned, env->workload.get());
+
+  viewcl::Interpreter interp_classic(&classic);
+  viewcl::InterpLimits limits;
+  limits.compile_plans = true;
+  viewcl::Interpreter interp_planned(&planned, limits);
+  auto classic_graph = interp_classic.RunProgram(figure->viewcl);
+  auto planned_graph = interp_planned.RunProgram(figure->viewcl);
+  if (!classic_graph.ok() || !planned_graph.ok()) {
+    std::printf("FAIL: plan-speedup guard extraction errored\n");
+    return 1;
+  }
+  std::string classic_render = vision::AsciiRenderer().Render(**classic_graph);
+  std::string planned_render = vision::AsciiRenderer().Render(**planned_graph);
+  if (classic_render != planned_render) {
+    std::printf("FAIL: plan-assisted render diverged from the interpreter\n");
+    return 1;
+  }
+
+  uint64_t classic_ns = classic.target().clock().nanos();
+  uint64_t planned_ns = planned.target().clock().nanos();
+  double speedup = planned_ns > 0
+                       ? static_cast<double>(classic_ns) / static_cast<double>(planned_ns)
+                       : 1e100;
+  std::printf("plan-speedup guard: GDB/QEMU cold fig3_6 extraction, classic "
+              "%.2f ms, planned %.2f ms, speedup %.1fx (floor 3x)\n",
+              classic_ns / 1e6, planned_ns / 1e6, speedup);
+  if (speedup < 3.0) {
+    std::printf("FAIL: plan-assisted cold extraction is less than 3x cheaper\n");
     return 1;
   }
   return 0;
@@ -736,7 +788,8 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return CheckTracingOverhead() + CheckCacheSpeedup() + CheckIncrementalSpeedup() +
+  return CheckTracingOverhead() + CheckCacheSpeedup() + CheckPlanSpeedup() +
+         CheckIncrementalSpeedup() +
          CheckInvariantSweepSpeedup() + CheckDisabledObservabilityOverhead() +
          CheckServeDedup() + CheckFlightOverhead();
 }

@@ -228,6 +228,70 @@ vl::Json MeasureCacheWorkflow(vlbench::BenchEnv& env, const dbg::LatencyModel& m
   return j;
 }
 
+// Cold-extraction cost with and without compiled extraction plans: every
+// Table 2 figure, on both transport models. Each cell is one cold run on a
+// fresh debugger (empty block cache) so the number is the full first-paint
+// charge — the case vectored prefetch targets. Renders must stay
+// byte-identical cell by cell; "passed" additionally requires the
+// high-fanout PID-hash figure to clear the 3x floor on both models.
+vl::Json MeasurePlan(vlbench::BenchEnv& env) {
+  const char* kGateFigure = "fig3_6";
+  constexpr double kGateFloor = 3.0;
+  const dbg::LatencyModel kModels[] = {dbg::LatencyModel::GdbQemu(),
+                                       dbg::LatencyModel::KgdbRpi400()};
+
+  vl::Json j = vl::Json::Object();
+  j["gate_figure"] = vl::Json::Str(kGateFigure);
+  j["gate_floor"] = vl::Json::Number(kGateFloor);
+  vl::Json models = vl::Json::Array();
+  bool identical = true;
+  bool gate_ok = true;
+  vision::AsciiRenderer renderer;
+  for (const dbg::LatencyModel& model : kModels) {
+    vl::Json m = vl::Json::Object();
+    m["model"] = vl::Json::Str(model.name);
+    vl::Json figures = vl::Json::Array();
+    for (const vision::FigureDef& figure : vision::AllFigures()) {
+      auto run = [&](bool plans, uint64_t* ns) -> std::string {
+        dbg::KernelDebugger debugger(env.kernel.get(), model);
+        vision::RegisterFigureSymbols(&debugger, env.workload.get());
+        viewcl::InterpLimits limits;
+        limits.compile_plans = plans;
+        viewcl::Interpreter interp(&debugger, limits);
+        auto graph = interp.RunProgram(figure.viewcl);
+        *ns = debugger.target().clock().nanos();
+        return graph.ok() ? renderer.Render(**graph) : std::string();
+      };
+      uint64_t interp_ns = 0;
+      uint64_t plan_ns = 0;
+      std::string classic_render = run(false, &interp_ns);
+      std::string planned_render = run(true, &plan_ns);
+      bool cell_identical = !classic_render.empty() && classic_render == planned_render;
+      identical = identical && cell_identical;
+      double speedup = plan_ns > 0
+                           ? static_cast<double>(interp_ns) / static_cast<double>(plan_ns)
+                           : 0.0;
+      if (figure.id == std::string(kGateFigure) && speedup < kGateFloor) {
+        gate_ok = false;
+      }
+      vl::Json cell = vl::Json::Object();
+      cell["figure"] = vl::Json::Str(figure.id);
+      cell["interpreter_ns"] = vl::Json::Int(static_cast<int64_t>(interp_ns));
+      cell["plan_ns"] = vl::Json::Int(static_cast<int64_t>(plan_ns));
+      cell["speedup"] = vl::Json::Number(speedup);
+      cell["renders_identical"] = vl::Json::Bool(cell_identical);
+      figures.Append(std::move(cell));
+    }
+    m["figures"] = std::move(figures);
+    models.Append(std::move(m));
+  }
+  j["models"] = std::move(models);
+  j["renders_identical"] = vl::Json::Bool(identical);
+  j["gate_ok"] = vl::Json::Bool(gate_ok);
+  j["passed"] = vl::Json::Bool(identical && gate_ok);
+  return j;
+}
+
 // Steady-state incremental refresh: one small mutation batch (a single CPU
 // tick — the breakpoint-stepping scenario) between pane refreshes. The
 // "full" path is the classic cache (whole-cache
@@ -889,6 +953,22 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", check_path);
   if (check_passed == nullptr || !check_passed->AsBool()) {
     std::printf("error: vcheck sweep missed its reconciliation/speedup gates\n");
+    return 1;
+  }
+
+  // Extraction plans: cold interpreter-vs-plan charge per figure per model.
+  const char* plan_path = argc > 9 ? argv[9] : "BENCH_plan.json";
+  vl::Json plan_report = MeasurePlan(env);
+  const vl::Json* plan_passed = plan_report.Find("passed");
+  std::ofstream plan_file(plan_path);
+  if (!plan_file) {
+    std::printf("error: cannot open %s\n", plan_path);
+    return 1;
+  }
+  plan_file << plan_report.Dump(2) << "\n";
+  std::printf("wrote %s\n", plan_path);
+  if (plan_passed == nullptr || !plan_passed->AsBool()) {
+    std::printf("error: extraction plans missed the byte-identity/speedup gates\n");
     return 1;
   }
 

@@ -46,6 +46,8 @@ vl::Json CacheStats::ToJson() const {
   j["invalidated_bytes_full"] = vl::Json::Int(static_cast<int64_t>(invalidated_bytes_full));
   j["invalidated_bytes_delta"] = vl::Json::Int(static_cast<int64_t>(invalidated_bytes_delta));
   j["delta_prefetches"] = vl::Json::Int(static_cast<int64_t>(delta_prefetches));
+  j["vector_batches"] = vl::Json::Int(static_cast<int64_t>(vector_batches));
+  j["vector_blocks"] = vl::Json::Int(static_cast<int64_t>(vector_blocks));
   return j;
 }
 
@@ -356,6 +358,75 @@ void ReadSession::Prefetch(uint64_t addr, size_t len) {
     bool hit = false;
     (void)LookupOrFetch(b, &hit);  // best effort; failures fall back at read
   }
+}
+
+ReadSession::SpanFetch ReadSession::FetchSpans(
+    const std::vector<Span>& spans,
+    std::unordered_map<uint64_t, std::vector<uint8_t>>* snapshot) {
+  SpanFetch out;
+  if (!cache_enabled()) {
+    return out;
+  }
+  CheckEpoch();
+  // Gather the aligned blocks the spans cover; cached blocks are touched
+  // (LRU) and copied into the snapshot, missing blocks queue for the batch.
+  std::vector<uint64_t> missing;
+  std::unordered_set<uint64_t> seen;
+  for (const Span& span : spans) {
+    if (span.len == 0) {
+      continue;
+    }
+    uint64_t base = (span.addr >> block_shift_) << block_shift_;
+    uint64_t end = span.addr + span.len;
+    for (uint64_t b = base; b < end; b += config_.block_bytes) {
+      if (!seen.insert(b).second) {
+        continue;
+      }
+      auto it = blocks_.find(b);
+      if (it != blocks_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        if (snapshot != nullptr) {
+          (*snapshot)[b] = it->second.bytes;
+        }
+        continue;
+      }
+      missing.push_back(b);
+    }
+  }
+  if (missing.empty()) {
+    return out;
+  }
+  // One vectored transport request for every missing block.
+  std::vector<std::vector<uint8_t>> buffers(missing.size());
+  std::vector<ReadSpan> batch(missing.size());
+  for (size_t i = 0; i < missing.size(); ++i) {
+    buffers[i].resize(config_.block_bytes);
+    batch[i] = ReadSpan{missing[i], config_.block_bytes, buffers[i].data(), false};
+  }
+  (void)target_->ReadVector(batch);
+  out.batches = 1;
+  stats_.vector_batches++;
+  for (size_t i = 0; i < missing.size(); ++i) {
+    if (!batch[i].ok) {
+      continue;  // unreadable block: reads of it fall back to exact ranges
+    }
+    out.fetched_blocks++;
+    stats_.vector_blocks++;
+    stats_.fetched_bytes += config_.block_bytes;
+    while (blocks_.size() >= config_.capacity_blocks && !lru_.empty()) {
+      blocks_.erase(lru_.back());
+      lru_.pop_back();
+      stats_.evictions++;
+    }
+    lru_.push_front(missing[i]);
+    Block& block = blocks_[missing[i]];
+    if (snapshot != nullptr) {
+      (*snapshot)[missing[i]] = buffers[i];
+    }
+    block.bytes = std::move(buffers[i]);
+    block.lru_it = lru_.begin();
+  }
+  return out;
 }
 
 void ReadSession::PrefetchObject(uint64_t addr, const Type* type) {

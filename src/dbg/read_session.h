@@ -94,6 +94,9 @@ struct CacheStats {
   uint64_t invalidated_bytes_full = 0;   // cached bytes dropped by full flushes
   uint64_t invalidated_bytes_delta = 0;  // cached bytes dropped by delta eviction
   uint64_t delta_prefetches = 0;         // re-prefetches narrowed to dirty pages
+  // Vectored-fetch accounting (docs/caching.md#vectored-reads).
+  uint64_t vector_batches = 0;  // Target::ReadVector batches issued
+  uint64_t vector_blocks = 0;   // blocks filled by those batches
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -103,7 +106,8 @@ struct CacheStats {
   // {"hits", "misses", "hit_bytes", "miss_bytes", "block_fetches",
   //  "fetched_bytes", "evictions", "invalidations", "uncached_reads",
   //  "prefetches", "delta_invalidations", "invalidated_bytes_full",
-  //  "invalidated_bytes_delta", "delta_prefetches"}
+  //  "invalidated_bytes_delta", "delta_prefetches", "vector_batches",
+  //  "vector_blocks"}
   vl::Json ToJson() const;
 };
 
@@ -127,6 +131,29 @@ class ReadSession {
   // benefit); a no-op when caching is disabled.
   void PrefetchObject(uint64_t addr, const Type* type);
   void Prefetch(uint64_t addr, size_t len);
+
+  // One address range of a vectored fetch (FetchSpans).
+  struct Span {
+    uint64_t addr = 0;
+    size_t len = 0;
+  };
+  struct SpanFetch {
+    size_t batches = 0;         // vectored transport requests issued (0 or 1)
+    size_t fetched_blocks = 0;  // blocks the batch pulled into the cache
+  };
+  // The extraction-plan executor's entry point
+  // (docs/caching.md#vectored-reads): ensures every byte of the given spans
+  // is cached, gathering all missing aligned blocks into ONE
+  // Target::ReadVector batch, so a whole wavefront of independent reads
+  // costs one base latency instead of one per block. Spans already cached
+  // cost nothing; unreadable blocks are skipped (later reads fall back to
+  // the exact-range path). When `snapshot` is non-null, every block covering
+  // the spans — cached or just fetched — is copied into it (block base ->
+  // bytes), giving parallel decode workers a read-only view of the
+  // wavefront's memory without touching the session. No-op when caching is
+  // disabled.
+  SpanFetch FetchSpans(const std::vector<Span>& spans,
+                       std::unordered_map<uint64_t, std::vector<uint8_t>>* snapshot);
 
   // Drops every cached block (does not touch stats counters except nothing).
   void InvalidateAll();

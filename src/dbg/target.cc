@@ -42,6 +42,53 @@ void Target::ResetStats() {
   // zeroes the clock but kept stale sweep charges would break the stats-schema
   // invariant that reset zeroes every counter family.
   vl::MetricsRegistry::Instance().ResetPrefix("check.");
+  // Same invariant for the vectored-read batches and the extraction-plan
+  // counters: both families account charges on this clock.
+  vl::MetricsRegistry::Instance().ResetPrefix("read.vector.");
+  vl::MetricsRegistry::Instance().ResetPrefix("plan.");
+}
+
+size_t Target::ReadVector(std::vector<ReadSpan>& spans) {
+  if (spans.empty()) {
+    return 0;
+  }
+  size_t ok_count = 0;
+  size_t ok_bytes = 0;
+  for (ReadSpan& span : spans) {
+    span.ok = span.len != 0 && span.out != nullptr &&
+              memory_->ReadBytes(span.addr, span.out, span.len);
+    if (span.ok) {
+      ++ok_count;
+      ok_bytes += span.len;
+    }
+  }
+  // One batched round trip: base latency once for the whole request, payload
+  // per successfully transferred byte. The batch counts as a single read so
+  // the classic invariant clock == reads * per_access + bytes * per_byte
+  // keeps holding exactly.
+  uint64_t cost = model_.per_access_ns + model_.per_byte_ns * ok_bytes;
+  clock_.AdvanceNanos(cost);
+  reads_.store(reads_.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  bytes_read_.store(bytes_read_.load(std::memory_order_relaxed) + ok_bytes,
+                    std::memory_order_relaxed);
+  // Batch accounting is a cold path (once per wavefront, not per read), so
+  // these counters are unconditional like the check.* family — `vctrl stats`
+  // reports them without tracing enabled.
+  vl::MetricsRegistry& metrics = vl::MetricsRegistry::Instance();
+  metrics.GetCounter("read.vector.batches")->Add();
+  metrics.GetCounter("read.vector.spans")->Add(ok_count);
+  metrics.GetCounter("read.vector.bytes")->Add(ok_bytes);
+  if (ok_count > 0) {
+    // Every span beyond the first would have been its own round trip.
+    metrics.GetCounter("read.vector.avoided_round_trips")->Add(ok_count - 1);
+  }
+  if (trace_flag_->load(std::memory_order_relaxed)) {
+    vl::Tracer::Instance().CompleteEvent(
+        "dbg.read_vector", clock_.nanos() - cost, cost,
+        {{"spans", static_cast<int64_t>(ok_count)},
+         {"bytes", static_cast<int64_t>(ok_bytes)}});
+  }
+  return ok_count;
 }
 
 DirtyPageInfo Target::DirtyPagesSince(uint64_t since_generation) {

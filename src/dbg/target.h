@@ -59,6 +59,16 @@ class MemoryDomain {
   }
 };
 
+// One span of a vectored read request (Target::ReadVector). The caller owns
+// `out` (must hold `len` bytes); `ok` reports per-span success after the
+// batch completes.
+struct ReadSpan {
+  uint64_t addr = 0;
+  size_t len = 0;
+  void* out = nullptr;
+  bool ok = false;
+};
+
 // Per-access cost model for a debugger transport.
 struct LatencyModel {
   std::string name;
@@ -107,6 +117,18 @@ class Target {
   // Reads a NUL-terminated string of at most max_len bytes.
   vl::StatusOr<std::string> ReadCString(uint64_t addr, size_t max_len = 256);
 
+  // --- vectored read (one batched transport round trip) ---
+  // Services every span against the memory domain in ONE transport request,
+  // with GDB-remote-style batching semantics: the model's per_access_ns base
+  // latency is charged once for the whole batch, plus per_byte_ns for every
+  // successfully transferred byte. Per-span failures are tolerated (the
+  // span's `ok` stays false and its bytes are skipped) — a batch that mixes
+  // readable and unreadable memory still delivers the readable spans.
+  // Returns the number of spans read successfully. An empty batch charges
+  // nothing. Feeds the unconditional `read.vector.*` counters (batches,
+  // spans, bytes, avoided_round_trips); ResetStats clears them.
+  size_t ReadVector(std::vector<ReadSpan>& spans);
+
   // --- dirty-page log (incremental refresh) ---
   // Queries the memory domain for pages changed after `since_generation`.
   // Supported domains charge one dirty-log round trip
@@ -134,8 +156,9 @@ class Target {
   uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t bytes_read() const { return bytes_read_.load(std::memory_order_relaxed); }
   // Resets clock, totals, per-model attribution, AND the `dbg.read.*`
-  // tracing metrics recorded via RecordRead, so back-to-back bench phases
-  // can't leak counts into each other. Safe to call while readers snapshot
+  // tracing metrics recorded via RecordRead — plus the `read.vector.*` batch
+  // counters and the `plan.*` extraction-plan counters charged on this
+  // clock — so back-to-back bench phases can't leak counts into each other. Safe to call while readers snapshot
   // stats concurrently (they see either pre- or post-reset values, never a
   // torn map).
   void ResetStats();

@@ -53,6 +53,12 @@ struct SessionOptions {
   // epoch, backend) are served once and fanned out from the shard's result
   // cache. false restores classic always-re-extract semantics.
   bool coalesce = true;
+  // Compile loaded ViewCL into typed extraction plans and run them as a
+  // batched prefetch pass (vectored transport reads) before each
+  // interpretation — docs/caching.md#extraction-plans. Serving default; only
+  // engages when the shard has a block cache, and programs the linter
+  // diagnoses fall back to pure interpretation automatically.
+  bool compile_plans = true;
 
   // --- placement & admission control ---
   // Shard to attach to; "" picks one round-robin across the server's shards.

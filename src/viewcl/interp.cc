@@ -7,6 +7,7 @@
 #include "src/support/str.h"
 #include "src/support/trace.h"
 #include "src/viewcl/parser.h"
+#include "src/viewcl/plan.h"
 
 namespace viewcl {
 
@@ -1143,6 +1144,8 @@ class Interpreter::RunState {
 Interpreter::Interpreter(dbg::KernelDebugger* debugger, InterpLimits limits)
     : debugger_(debugger), limits_(limits) {}
 
+Interpreter::~Interpreter() = default;
+
 namespace {
 
 // Walks an expression tree collecting every inline box declaration, so the
@@ -1235,6 +1238,12 @@ vl::Status Interpreter::Load(std::string_view source) {
   if (load_validator_ != nullptr) {
     VL_RETURN_IF_ERROR(load_validator_(program, source));
   }
+  // Plan gate: unlike the fail-fast validator, a refusal here still loads the
+  // chunk — it just pins the program to the classic interpretation path.
+  if (plan_gate_ != nullptr && !plan_blocked_ && !plan_gate_(program, source)) {
+    plan_blocked_ = true;
+  }
+  program_version_++;
 
   for (std::unique_ptr<BoxDecl>& decl : program.defines) {
     defines_[decl->name] = decl.get();
@@ -1254,8 +1263,45 @@ vl::Status Interpreter::Load(std::string_view source) {
 
 vl::StatusOr<std::unique_ptr<ViewGraph>> Interpreter::Run() {
   warnings_.clear();
+  MaybeRunPlan();
   RunState state(this);
   return state.Run();
+}
+
+void Interpreter::MaybeRunPlan() {
+  // Prefetch is only profitable through a block cache: every plan read must
+  // land somewhere the interpreter's identical read can hit.
+  if (!limits_.compile_plans || plan_blocked_ ||
+      !debugger_->session().cache_enabled()) {
+    return;
+  }
+  vl::ScopedSpan span("viewcl.plan");
+  vl::MetricsRegistry& metrics = vl::MetricsRegistry::Instance();
+  if (plan_ == nullptr || plan_version_ != program_version_) {
+    plan_ = CompilePlan(defines_, bindings_, plots_, debugger_);
+    plan_version_ = program_version_;
+    metrics.GetCounter("plan.compiles")->Add();
+  } else {
+    metrics.GetCounter("plan.cache_hits")->Add();
+  }
+  PlanExecOptions opts;
+  opts.max_boxes = limits_.max_boxes;
+  opts.max_container_elems = limits_.max_container_elems;
+  opts.workers = limits_.plan_workers;
+  opts.parallel_min = limits_.plan_parallel_min;
+  ExecutePlan(plan_.get(), debugger_, opts);
+}
+
+vl::Json Interpreter::PlanToJson() const {
+  if (plan_blocked_) {
+    vl::Json j = vl::Json::Object();
+    j["blocked"] = vl::Json::Bool(true);
+    return j;
+  }
+  if (plan_ == nullptr) {
+    return vl::Json::Null();
+  }
+  return plan_->ToJson();
 }
 
 }  // namespace viewcl

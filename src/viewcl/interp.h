@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/dbg/kernel_introspect.h"
+#include "src/support/json.h"
 #include "src/viewcl/ast.h"
 #include "src/viewcl/decorate.h"
 #include "src/viewcl/graph.h"
@@ -37,11 +38,24 @@ struct InterpLimits {
   // epochs that prove a memo is still valid come from there), so default
   // sessions keep their exact classic behavior. Requires intern_boxes.
   bool memoize_boxes = true;
+  // Compiles the loaded program into an extraction plan and executes it as a
+  // batched prefetch pass before each interpretation (docs/caching.md
+  // #extraction-plans). Off by default at this layer so embedders with exact
+  // read-count expectations opt in; the serving layer defaults it on
+  // (SessionOptions::compile_plans). Only engages when the session's block
+  // cache is enabled — without a cache the prefetch would double-charge.
+  bool compile_plans = false;
+  // Wavefront decode parallelism for the plan executor (see PlanExecOptions).
+  int plan_workers = 4;
+  size_t plan_parallel_min = 64;
 };
+
+class ExtractionPlan;
 
 class Interpreter {
  public:
   explicit Interpreter(dbg::KernelDebugger* debugger, InterpLimits limits = InterpLimits{});
+  ~Interpreter();  // out of line: ExtractionPlan is forward-declared
 
   // Parses and accumulates a program chunk (definitions are remembered across
   // Load calls, so a prelude can be loaded before a figure program).
@@ -56,6 +70,14 @@ class Interpreter {
   using LoadValidator = std::function<vl::Status(const Program& program,
                                                  std::string_view source)>;
   void SetLoadValidator(LoadValidator validator) { load_validator_ = std::move(validator); }
+
+  // Plan gate: consulted per Load chunk when compile_plans is on. Returning
+  // false marks the program plan-blocked — every subsequent Run() skips plan
+  // execution and uses pure interpretation. The serving layer installs a
+  // linter-backed gate here so statically diagnosed programs never reach the
+  // speculative executor (they fall back to the classic path instead).
+  using PlanGate = std::function<bool(const Program& program, std::string_view source)>;
+  void SetPlanGate(PlanGate gate) { plan_gate_ = std::move(gate); }
 
   // Evaluates all pending top-level bindings and plot statements against the
   // current kernel state, producing a fresh graph. Can be called repeatedly;
@@ -76,6 +98,13 @@ class Interpreter {
   // across this interpreter's lifetime; see docs/caching.md#incremental).
   uint64_t memo_replays() const { return memo_replays_; }
   uint64_t memo_misses() const { return memo_misses_; }
+
+  // The compiled extraction plan for the current program, or null when plans
+  // are disabled/blocked or no Run() has happened since the last Load.
+  const ExtractionPlan* plan() const { return plan_.get(); }
+  // Plan DAG + last batch stats as JSON (`vctrl plan`). Null JSON when no
+  // plan is live; includes a "blocked" marker when the gate refused one.
+  vl::Json PlanToJson() const;
 
  private:
   struct VclValue;
@@ -128,6 +157,16 @@ class Interpreter {
   std::map<BoxMemo::InternKey, BoxMemo> memo_;
   uint64_t memo_replays_ = 0;
   uint64_t memo_misses_ = 0;
+
+  // Extraction-plan state. The program version bumps on every Load; Run()
+  // recompiles the plan lazily when the versions diverge (plan.compiles vs
+  // plan.cache_hits counters).
+  void MaybeRunPlan();
+  PlanGate plan_gate_;
+  bool plan_blocked_ = false;
+  uint64_t program_version_ = 0;
+  uint64_t plan_version_ = 0;
+  std::unique_ptr<ExtractionPlan> plan_;
 };
 
 }  // namespace viewcl

@@ -1,0 +1,122 @@
+// Extraction plans: ViewCL compiled into a typed op DAG executed with
+// vectored, coalesced transport reads (docs/caching.md#extraction-plans).
+//
+// The interpreter re-derives types, field offsets, and adapter traversal
+// logic on every refresh, and every discovered pointer costs one transport
+// round trip before the next can be issued. CompilePlan lowers the parsed
+// program once — with zero target reads, purely against the TypeRegistry —
+// into a plan: per-box typed ops (resolved `@this` field offsets, anchored
+// link targets, container adapters with their well-known node offsets,
+// decorator string slots). ExecutePlan then walks the live object graph
+// wavefront-by-wavefront: every read the next step needs (all sibling
+// objects, all chain next-pointers, all rb children) is gathered into ONE
+// ReadSession::FetchSpans call, which issues a single Target::ReadVector
+// batch for the missing blocks — base latency once per wavefront instead of
+// once per pointer.
+//
+// Plans are a *prefetch oracle*, not a second renderer: execution only warms
+// the shared block cache (plus per-op fanout profiles that steer speculation
+// away from historically empty subtrees). The interpreter runs unchanged
+// afterwards and hits; renders are byte-identical by construction, and a plan
+// that diverges from interpreter semantics can only cost spare bytes, never
+// correctness. Constructs the compiler cannot lower (helper-heavy
+// expressions, exotic sources) fall back per-op: the plan records a bail and
+// the interpreter simply pays the classic cost for that subtree.
+
+#ifndef SRC_VIEWCL_PLAN_H_
+#define SRC_VIEWCL_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dbg/kernel_introspect.h"
+#include "src/support/json.h"
+#include "src/viewcl/ast.h"
+
+namespace viewcl {
+
+// Accounting for one ExecutePlan call. Mirrors the unconditional `plan.*`
+// metrics family (docs/observability.md#stats-schema).
+struct PlanStats {
+  uint64_t wavefronts = 0;   // batching rounds executed
+  uint64_t batches = 0;      // vectored transport requests issued (≤ wavefronts)
+  uint64_t spans = 0;        // address ranges gathered across all wavefronts
+  uint64_t span_bytes = 0;   // bytes those spans cover (cached or fetched)
+  uint64_t boxes = 0;        // box objects scheduled for prefetch
+  uint64_t steps = 0;        // adapter traversal steps decoded
+  uint64_t parallel_wavefronts = 0;  // wavefronts decoded on worker threads
+  uint64_t steered_skips = 0;  // container ops skipped by the fanout profile
+  uint64_t soft_errors = 0;    // advisory failures (subtree left cold)
+
+  vl::Json ToJson() const;
+};
+
+// A compiled program: box plans keyed by declaration, plus the top-level
+// bindings and plot roots. Opaque outside plan.cc; `vctrl plan` renders it
+// through ToJson.
+class ExtractionPlan {
+ public:
+  struct Impl;
+  explicit ExtractionPlan(std::unique_ptr<Impl> impl);
+  ~ExtractionPlan();
+
+  ExtractionPlan(const ExtractionPlan&) = delete;
+  ExtractionPlan& operator=(const ExtractionPlan&) = delete;
+
+  // True when every construct lowered without an interpreter bail.
+  bool complete() const;
+  // Ops the compiler could not lower (left to the interpreter).
+  size_t fallback_ops() const;
+  // Box declarations compiled into the plan.
+  size_t box_count() const;
+  // ExecutePlan calls against this plan so far.
+  uint64_t executions() const;
+  // Stats of the most recent execution.
+  const PlanStats& last_stats() const;
+
+  // The full DAG dump: per-box ops with resolved offsets and per-container
+  // fanout profiles, plot roots, and the last execution's batch stats.
+  vl::Json ToJson() const;
+
+  Impl* impl() { return impl_.get(); }
+  const Impl* impl() const { return impl_.get(); }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+// Lowers the accumulated program into a plan. Performs NO target reads: all
+// resolution (kernel types, `@this` path offsets, container_of anchors,
+// adapter node offsets) runs against the debugger's TypeRegistry, the same
+// zero-read analysis vlint uses. Never fails — unloadable constructs become
+// per-op fallbacks counted in fallback_ops().
+std::unique_ptr<ExtractionPlan> CompilePlan(
+    const std::map<std::string, const BoxDecl*>& defines,
+    const std::vector<Binding>& bindings,
+    const std::vector<ExprPtr>& plots,
+    dbg::KernelDebugger* debugger);
+
+struct PlanExecOptions {
+  size_t max_boxes = 50000;          // mirror of InterpLimits::max_boxes
+  size_t max_container_elems = 4096;  // mirror of max_container_elems
+  // Wavefront decode parallelism: when a wavefront holds at least
+  // parallel_min worker-eligible steps, they are decoded on `workers`
+  // threads against an immutable snapshot of the wavefront's blocks (the
+  // session itself is only ever touched by the coordinator).
+  int workers = 4;
+  size_t parallel_min = 64;
+};
+
+// Executes the plan against the debugger's current kernel state, warming the
+// ReadSession block cache wavefront-by-wavefront. Requires an enabled block
+// cache (no-op passthrough sessions gain nothing from prefetch); the caller
+// gates on session().cache_enabled(). Also updates the per-op fanout
+// profiles and the unconditional `plan.*` metrics.
+PlanStats ExecutePlan(ExtractionPlan* plan, dbg::KernelDebugger* debugger,
+                      const PlanExecOptions& options);
+
+}  // namespace viewcl
+
+#endif  // SRC_VIEWCL_PLAN_H_
